@@ -1,0 +1,36 @@
+"""Shared table rendering for the benchmark harness.
+
+Every ``bench_eXX`` module computes the rows of the table/figure it
+reproduces, prints them in a uniform format (so ``pytest benchmarks/
+--benchmark-only -s`` regenerates the report), and asserts the
+qualitative *shape* documented in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def print_table(
+    title: str,
+    header: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+) -> None:
+    """Render one experiment table to stdout."""
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print()
+    print(f"== {title} ==")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

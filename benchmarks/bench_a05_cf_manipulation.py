@@ -1,0 +1,117 @@
+"""A5 (extension) — counterfactuals can be gamed; recourse burden can be
+unequal (tutorial §2.1.4's "they can be gamed" via Slack et al. 2021;
+Ustun et al. 2019's recourse disparities).
+
+Reproduced shapes:
+
+- a trapdoored model (out-of-range sentinel trigger) leaves deployed
+  predictions untouched (agreement 1.0) yet steers unconstrained
+  counterfactual search into fake recourse — the honest model still
+  denies the "counterfactual" — while manifold-constrained search returns
+  genuine recourse;
+- a scorer with a direct group penalty imposes measurably higher minimal
+  recourse cost on the penalised group (the fairness-of-recourse gap).
+"""
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.attacks import TrapdooredModel
+from xaidb.data import Dataset, FeatureSpec, make_credit
+from xaidb.evaluation import recourse_cost_disparity
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.counterfactual import GecoExplainer, LinearRecourse
+from xaidb.models import LogisticRegression
+
+N_VICTIMS = 4
+
+
+def compute_rows():
+    # --- manipulation ---------------------------------------------------
+    workload = make_credit(800, random_state=0)
+    dataset = workload.dataset
+    model = LogisticRegression(l2=1e-2).fit(dataset.X, dataset.y)
+    f = predict_positive_proba(model)
+    feature = dataset.feature_index("duration")
+    trapdoor = TrapdooredModel.against_data(f, dataset.X, feature, margin=0.2)
+
+    scores = f(dataset.X)
+    denied = np.flatnonzero(scores < 0.4)
+    victims = dataset.X[denied[np.argsort(-dataset.X[denied, feature])][:N_VICTIMS]]
+
+    searchers = {
+        "unconstrained search": GecoExplainer(
+            trapdoor, dataset, n_generations=25,
+            require_plausible=False, range_expansion=0.5,
+        ),
+        "manifold-constrained": GecoExplainer(
+            trapdoor, dataset, n_generations=25
+        ),
+    }
+    manipulation_rows = []
+    for name, searcher in searchers.items():
+        fake = genuine = 0
+        for i, x in enumerate(victims):
+            counterfactuals = searcher.generate(
+                x, n_counterfactuals=1, random_state=i
+            )
+            candidate = counterfactuals[0].counterfactual
+            in_trap = bool(trapdoor.in_trapdoor(candidate[None, :])[0])
+            honest = float(f(candidate[None, :])[0])
+            fake += in_trap and honest < 0.5
+            genuine += (not in_trap) and honest >= 0.45
+        manipulation_rows.append(
+            (name, fake / N_VICTIMS, genuine / N_VICTIMS)
+        )
+    stealth = trapdoor.agreement_on(dataset.X)
+
+    # --- recourse fairness ------------------------------------------------
+    rng = np.random.default_rng(1)
+    n = 800
+    group = (rng.random(n) < 0.5).astype(float)
+    skill = rng.normal(size=n)
+    y = (1.5 * skill - 1.2 * group + 0.2 * rng.normal(size=n) > 0).astype(float)
+    audit_data = Dataset(
+        X=np.column_stack([skill, group]),
+        y=y,
+        features=[
+            FeatureSpec("skill"),
+            FeatureSpec(
+                "group", kind="categorical", categories=("a", "b"),
+                actionable=False,
+            ),
+        ],
+    )
+    audit_model = LogisticRegression(l2=1e-2).fit(audit_data.X, audit_data.y)
+    stats, ratio = recourse_cost_disparity(
+        LinearRecourse(audit_model, audit_data), audit_data, "group"
+    )
+    fairness_rows = [
+        (s.group, s.n_denied, s.mean_cost, s.infeasible_rate) for s in stats
+    ]
+    return manipulation_rows, stealth, fairness_rows, ratio
+
+
+def test_a05_cf_manipulation(benchmark):
+    manipulation_rows, stealth, fairness_rows, ratio = benchmark.pedantic(
+        compute_rows, rounds=1, iterations=1
+    )
+    print_table(
+        "A5a (extension): trapdoored counterfactuals "
+        f"(deployed stealth: agreement {stealth:.2f} on real data)",
+        ["search strategy", "fake recourse rate", "genuine recourse rate"],
+        manipulation_rows,
+    )
+    print_table(
+        "A5b (extension): recourse cost by protected group "
+        f"(max cost ratio {ratio:.2f})",
+        ["group", "denied", "mean recourse cost", "infeasible rate"],
+        fairness_rows,
+    )
+    assert stealth == 1.0
+    by_name = dict((row[0], row) for row in manipulation_rows)
+    assert by_name["unconstrained search"][1] >= 0.5  # attack succeeds
+    assert by_name["manifold-constrained"][1] == 0.0  # defence holds
+    assert by_name["manifold-constrained"][2] >= 0.75
+    # the penalised group pays measurably more for recourse
+    assert ratio > 1.2

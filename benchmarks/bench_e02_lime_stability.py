@@ -1,0 +1,58 @@
+"""E2 — LIME's sampling is unreliable; stability indices (Visani 2020).
+
+Reproduced shape: VSI and CSI grow monotonically (in trend) with the
+number of perturbation samples — small budgets give unstable
+explanations, which is the vulnerability the tutorial (§2.1.1)
+highlights.
+"""
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.data import make_income
+from xaidb.evaluation import (
+    coefficient_stability_index,
+    variable_stability_index,
+)
+from xaidb.explainers import LimeExplainer, predict_positive_proba
+from xaidb.models import GradientBoostedClassifier
+
+SAMPLE_BUDGETS = [100, 300, 1000, 3000]
+N_REPEATS = 5
+
+
+def compute_rows():
+    workload = make_income(1000, random_state=0)
+    dataset = workload.dataset
+    model = GradientBoostedClassifier(
+        n_estimators=30, max_depth=3, random_state=0
+    ).fit(dataset.X, dataset.y)
+    f = predict_positive_proba(model)
+    x = dataset.X[4]
+    rows = []
+    for budget in SAMPLE_BUDGETS:
+        lime = LimeExplainer(dataset, n_samples=budget)
+        runs = [lime.explain(f, x, random_state=s) for s in range(N_REPEATS)]
+        rows.append(
+            (
+                budget,
+                variable_stability_index(runs, top_k=3),
+                coefficient_stability_index(runs),
+            )
+        )
+    return rows
+
+
+def test_e02_lime_stability(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(
+        "E2: LIME stability vs sampling budget (paper: more samples -> more stable)",
+        ["n_samples", "VSI (top-3 Jaccard)", "CSI (coefficient agreement)"],
+        rows,
+    )
+    budgets = [row[0] for row in rows]
+    csi = [row[2] for row in rows]
+    # shape: the largest budget is more stable than the smallest
+    assert csi[-1] > csi[0]
+    # small budgets are genuinely unstable (the tutorial's criticism)
+    assert csi[0] < 0.9

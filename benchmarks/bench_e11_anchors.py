@@ -1,0 +1,108 @@
+"""E11 — Anchors: short, high-precision, high-coverage rules
+(Ribeiro, Singh & Guestrin 2018, Table 2 shape) + the bandit ablation.
+
+Reproduced shape:
+
+- anchors hit the precision target on fresh perturbations while LIME
+  used *as a rule* ("top-2 features pinned") has visibly lower precision
+  — the paper's central comparison;
+- the KL-LUCB candidate selection reaches comparable precision to the
+  naive fixed-budget baseline while spending fewer model queries
+  (DESIGN.md ablation).
+"""
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.data import make_income
+from xaidb.explainers import LimeExplainer, predict_positive_proba
+from xaidb.models import RandomForestClassifier
+from xaidb.rules import AnchorsExplainer
+
+N_INSTANCES = 6
+PRECISION_TARGET = 0.9
+
+
+def _rule_precision(explainer, columns, x, f, n=1500, seed=0):
+    """Precision of 'pin these columns' as a rule, under the anchor
+    perturbation distribution."""
+    rng = np.random.default_rng(seed)
+    samples = explainer._sample_under(tuple(sorted(columns)), x, n, rng)
+    decision = float(f(x[None, :])[0]) >= 0.5
+    return float(np.mean((f(samples) >= 0.5) == decision))
+
+
+def compute_rows():
+    workload = make_income(1000, random_state=0)
+    dataset = workload.dataset
+    model = RandomForestClassifier(
+        n_estimators=15, max_depth=6, random_state=0
+    ).fit(dataset.X, dataset.y)
+    f = predict_positive_proba(model)
+
+    lime = LimeExplainer(dataset, n_samples=600)
+    variants = {
+        "anchors (kl-lucb)": AnchorsExplainer(
+            f, dataset, precision_threshold=PRECISION_TARGET,
+            max_anchor_size=4, candidate_selection="kl_lucb",
+        ),
+        "anchors (fixed budget)": AnchorsExplainer(
+            f, dataset, precision_threshold=PRECISION_TARGET,
+            max_anchor_size=4, candidate_selection="fixed",
+        ),
+    }
+    rows = []
+    for name, explainer in variants.items():
+        precisions, coverages, lengths, queries = [], [], [], []
+        for i in range(N_INSTANCES):
+            anchor = explainer.explain(dataset.X[i], random_state=i)
+            fresh_precision = _rule_precision(
+                explainer, anchor.feature_indices, dataset.X[i], f, seed=100 + i
+            )
+            precisions.append(fresh_precision)
+            coverages.append(anchor.coverage)
+            lengths.append(len(anchor.predicates))
+            queries.append(anchor.n_samples_used)
+        rows.append(
+            (
+                name,
+                float(np.mean(precisions)),
+                float(np.mean(coverages)),
+                float(np.mean(lengths)),
+                float(np.mean(queries)),
+            )
+        )
+
+    # LIME-as-rule baseline: pin the top-2 LIME features
+    kl_explainer = variants["anchors (kl-lucb)"]
+    lime_precisions = []
+    for i in range(N_INSTANCES):
+        attribution = lime.explain(f, dataset.X[i], random_state=i)
+        top2 = [
+            dataset.feature_names.index(feature)
+            for feature, __ in attribution.top(2)
+        ]
+        lime_precisions.append(
+            _rule_precision(kl_explainer, top2, dataset.X[i], f, seed=200 + i)
+        )
+    rows.append(
+        ("lime top-2 as rule", float(np.mean(lime_precisions)), float("nan"),
+         2.0, float("nan"))
+    )
+    return rows
+
+
+def test_e11_anchors(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(
+        "E11: anchors vs LIME-as-rule (paper: anchors meet the precision "
+        "target; attribution-as-rule does not)",
+        ["method", "precision (fresh)", "coverage", "rule length", "queries"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    anchors_precision = by_name["anchors (kl-lucb)"][1]
+    lime_precision = by_name["lime top-2 as rule"][1]
+    # shape: anchors' rules are higher precision than LIME-as-rule
+    assert anchors_precision > lime_precision
+    assert anchors_precision >= PRECISION_TARGET - 0.1

@@ -1,0 +1,87 @@
+"""E16 — Influence functions approximate retraining; groups need
+second-order (Koh & Liang 2017 Fig. 2; Basu, You & Feizi 2020) + the
+Hessian-solver ablation.
+
+Reproduced shapes:
+
+- single-point predicted parameter changes correlate ~1 with actual
+  leave-one-out retraining;
+- for growing coherent groups, the additive first-order estimate's error
+  grows faster than the curvature-aware second-order estimate's;
+- the conjugate-gradient solve matches the exact solve (ablation).
+"""
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.data import make_income
+from xaidb.datavaluation import InfluenceFunctions
+from xaidb.models import LogisticRegression
+
+GROUP_SIZES = [10, 30, 60, 100]
+
+
+def compute_rows():
+    workload = make_income(800, random_state=0)
+    X, y = workload.dataset.X, workload.dataset.y
+    model = LogisticRegression(l2=1e-2).fit(X, y)
+    influence = InfluenceFunctions(model, X, y)
+
+    # single-point correlation
+    predicted = np.asarray(
+        [influence.parameter_influence(i) for i in range(40)]
+    )
+    actual = np.asarray(
+        [influence.actual_parameter_change([i]) for i in range(40)]
+    )
+    single_corr = float(
+        np.corrcoef(predicted.ravel(), actual.ravel())[0, 1]
+    )
+
+    # group curves: coherent group = highest-education positives
+    order = np.argsort(-X[:, 1])
+    coherent_pool = [i for i in order if y[i] == 1.0]
+    group_rows = []
+    for size in GROUP_SIZES:
+        group = coherent_pool[:size]
+        first = influence.group_parameter_influence(group, order="first")
+        second = influence.group_parameter_influence(group, order="second")
+        truth = influence.actual_parameter_change(group)
+        group_rows.append(
+            (
+                size,
+                float(np.linalg.norm(first - truth)),
+                float(np.linalg.norm(second - truth)),
+            )
+        )
+
+    # solver ablation
+    cg = InfluenceFunctions(model, X, y, solver="cg")
+    solver_gap = float(
+        np.abs(
+            influence.parameter_influence(7) - cg.parameter_influence(7)
+        ).max()
+    )
+    return single_corr, group_rows, solver_gap
+
+
+def test_e16_influence(benchmark):
+    single_corr, group_rows, solver_gap = benchmark.pedantic(
+        compute_rows, rounds=1, iterations=1
+    )
+    print(f"\nE16a: single-point influence vs retraining correlation: "
+          f"{single_corr:.4f} (paper: ~1)")
+    print_table(
+        "E16b: group-removal parameter error (paper: first-order degrades "
+        "with group size; second-order stays accurate)",
+        ["group size", "first-order error", "second-order error"],
+        group_rows,
+    )
+    print(f"E16c: exact-vs-CG solver max gap: {solver_gap:.2e}")
+    assert single_corr > 0.99
+    # second-order at least matches first-order at every size, and is
+    # strictly better for the largest group
+    for __, first_error, second_error in group_rows:
+        assert second_error <= first_error + 1e-12
+    assert group_rows[-1][2] < group_rows[-1][1]
+    assert solver_gap < 1e-5

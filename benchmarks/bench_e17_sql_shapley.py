@@ -1,0 +1,122 @@
+"""E17 — Shapley values of tuples in query answering + responsibility
+(Livshits, Bertossi, Kimelfeld & Sebag 2021; Meliou et al. 2010).
+
+Reproduced shapes:
+
+- boolean query: the provenance-DNF game gives the dept tuple (present in
+  every witness) the dominant value, matching its responsibility of 1;
+- Monte-Carlo tuple Shapley converges to exact enumeration as the number
+  of permutations grows (the tractability-vs-accuracy trade-off the
+  Shapley-in-DB literature centres on);
+- aggregate query: tuple Shapley for SUM equals each tuple's own
+  contribution (the additive special case) while MAX concentrates value
+  on the top tuples.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._tables import print_table
+from xaidb.db import (
+    Relation,
+    aggregate,
+    groupby,
+    join,
+    project,
+    responsibility,
+    shapley_of_tuples,
+    shapley_of_tuples_boolean,
+)
+
+PERMUTATION_BUDGETS = [20, 100, 500]
+
+
+def _database():
+    emp = Relation.from_dicts(
+        "emp",
+        [
+            {"name": "ann", "dept": "eng", "salary": 100},
+            {"name": "bob", "dept": "eng", "salary": 80},
+            {"name": "cat", "dept": "ops", "salary": 90},
+            {"name": "dan", "dept": "eng", "salary": 120},
+        ],
+    )
+    dept = Relation.from_dicts(
+        "dept", [{"dept": "eng", "city": "sf"}, {"dept": "ops", "city": "ny"}]
+    )
+    return emp, dept
+
+
+def compute_rows():
+    emp, dept = _database()
+    joined = join(emp, dept, on=["dept"])
+    cities = project(joined, ["city"])
+    sf_answer = [row for row in cities if row["city"] == "sf"][0]
+
+    exact = shapley_of_tuples_boolean(
+        sf_answer.provenance, sorted(sf_answer.provenance.lineage(), key=str)
+    )
+    convergence_rows = []
+    for budget in PERMUTATION_BUDGETS:
+        sampled = shapley_of_tuples_boolean(
+            sf_answer.provenance,
+            sorted(sf_answer.provenance.lineage(), key=str),
+            n_permutations=budget,
+            random_state=0,
+        )
+        error = max(abs(sampled[t] - exact[t]) for t in exact)
+        convergence_rows.append((budget, error))
+
+    boolean_rows = [
+        (
+            token,
+            exact[token],
+            responsibility(sf_answer.provenance, token),
+        )
+        for token in sorted(exact, key=lambda t: -exact[t])
+    ]
+
+    sum_phi = shapley_of_tuples(
+        emp, lambda rel: aggregate(rel, "sum", "salary")
+    )
+    max_phi = shapley_of_tuples(
+        emp, lambda rel: aggregate(rel, "max", "salary")
+    )
+    aggregate_rows = [
+        (token, sum_phi[token], max_phi[token])
+        for token in sorted(sum_phi)
+    ]
+    return boolean_rows, convergence_rows, aggregate_rows, emp
+
+
+def test_e17_sql_shapley(benchmark):
+    boolean_rows, convergence_rows, aggregate_rows, emp = benchmark.pedantic(
+        compute_rows, rounds=1, iterations=1
+    )
+    print_table(
+        "E17a: boolean query 'is sf a dept city?' — tuple Shapley vs "
+        "responsibility (paper: counterfactual tuple dominates)",
+        ["tuple", "shapley value", "responsibility"],
+        boolean_rows,
+    )
+    print_table(
+        "E17b: Monte-Carlo tuple Shapley convergence",
+        ["permutations", "max abs error vs exact"],
+        convergence_rows,
+    )
+    print_table(
+        "E17c: aggregate tuple Shapley (paper: SUM is additive, MAX "
+        "concentrates)",
+        ["tuple", "phi for SUM(salary)", "phi for MAX(salary)"],
+        aggregate_rows,
+    )
+    # dept:0 is in every witness: top Shapley value AND responsibility 1
+    top_tuple = boolean_rows[0]
+    assert top_tuple[0] == "dept:0"
+    assert top_tuple[2] == 1.0
+    # Monte-Carlo error shrinks with budget
+    assert convergence_rows[-1][1] < convergence_rows[0][1]
+    # SUM: phi equals each tuple's salary contribution
+    salaries = {f"emp:{i}": float(r["salary"]) for i, r in enumerate(emp.to_dicts())}
+    for token, sum_value, __ in aggregate_rows:
+        assert sum_value == pytest.approx(salaries[token])

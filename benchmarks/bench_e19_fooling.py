@@ -1,0 +1,93 @@
+"""E19 — Fooling LIME and SHAP with adversarial scaffolding
+(Slack et al. 2020, Table 1 shape).
+
+Workload: the COMPAS-like discrete recidivism data with a racially biased
+model.  Reproduced shape (the paper's headline numbers):
+
+- without the scaffold, LIME and KernelSHAP put 'race' top-1 on ~100% of
+  instances;
+- with the scaffold, the sensitive feature almost never appears top-1 —
+  the innocuous cover feature does — while deployed predictions on real
+  rows remain 100% biased.
+"""
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.attacks import ScaffoldedClassifier, train_ood_detector
+from xaidb.data import make_recidivism
+from xaidb.explainers import LimeExplainer
+from xaidb.explainers.shapley import KernelShapExplainer
+
+N_INSTANCES = 10
+
+
+def compute_rows():
+    workload = make_recidivism(
+        700, biased=True, discrete=True, random_state=1
+    )
+    dataset = workload.dataset
+    race = dataset.feature_index("race")
+    priors = dataset.feature_index("priors")
+
+    def biased(X):
+        return (X[:, race] > 0.5).astype(float) * 0.8 + 0.1
+
+    def innocuous(X):
+        return (X[:, priors] > 0).astype(float) * 0.8 + 0.1
+
+    # one detector per target explainer, matching its probe distribution
+    # (exactly as in the paper: the adversary knows which explainer the
+    # auditor will run)
+    detectors = {
+        "lime": train_ood_detector(dataset, style="lime", random_state=0),
+        "kernel shap": train_ood_detector(
+            dataset, style="shap", random_state=0
+        ),
+    }
+    lime = LimeExplainer(dataset, n_samples=500)
+    background = dataset.X[:20]
+
+    def top1_race_rate(f, explainer_name):
+        hits = 0
+        for i in range(N_INSTANCES):
+            if explainer_name == "lime":
+                attribution = lime.explain(f, dataset.X[i], random_state=i)
+            else:
+                attribution = KernelShapExplainer(
+                    f, background, feature_names=dataset.feature_names
+                ).explain(dataset.X[i], random_state=i)
+            hits += attribution.top(1)[0][0] == "race"
+        return hits / N_INSTANCES
+
+    rows = []
+    for explainer_name, detector in detectors.items():
+        scaffold = ScaffoldedClassifier(biased, innocuous, detector)
+        rows.append(
+            (
+                explainer_name,
+                top1_race_rate(biased, explainer_name),
+                top1_race_rate(scaffold, explainer_name),
+                float(np.mean(scaffold(dataset.X) == biased(dataset.X))),
+            )
+        )
+    return rows
+
+
+def test_e19_fooling(benchmark):
+    rows = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(
+        "E19: fraction of instances with 'race' as top-1 feature "
+        "(paper: ~1.0 naked, ~0 scaffolded; fooling SHAP is harder because "
+        "its probes are hybrids of real rows)",
+        ["explainer", "biased model", "scaffolded", "deployed bias kept"],
+        rows,
+    )
+    for explainer_name, naked, cloaked, deployed in rows:
+        assert naked >= 0.8, explainer_name
+        assert cloaked <= 0.4, explainer_name
+        # deployed behaviour must remain predominantly biased
+        assert deployed >= 0.6, explainer_name
+    by_name = {row[0]: row for row in rows}
+    # the LIME attack is the cleaner one (paper's observation)
+    assert by_name["lime"][3] >= by_name["kernel shap"][3]

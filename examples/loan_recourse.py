@@ -1,0 +1,111 @@
+"""Algorithmic recourse for a denied credit applicant (tutorial §2.1.4).
+
+A logistic scorer denies an applicant.  We generate:
+
+1. diverse DiCE counterfactuals (what minimal changes flip the decision?),
+2. a GeCo counterfactual constrained to plausible, feasible actions,
+3. the provably minimal-cost recourse action for the linear scorer,
+4. LEWIS-style causally grounded recourse on the generating SCM, plus
+   population-level necessity/sufficiency scores for the key feature.
+
+Run:  python examples/loan_recourse.py
+"""
+
+import numpy as np
+
+from xaidb.data import make_credit, make_loans
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.counterfactual import (
+    DiceExplainer,
+    GecoExplainer,
+    LewisExplainer,
+    LinearRecourse,
+)
+from xaidb.models import LogisticRegression
+
+
+def main() -> None:
+    workload = make_credit(1200, random_state=0)
+    dataset = workload.dataset
+    model = LogisticRegression(l2=1e-2).fit(dataset.X, dataset.y)
+    f = predict_positive_proba(model)
+
+    scores = f(dataset.X)
+    denied_index = int(
+        np.flatnonzero((scores > 0.1) & (scores < 0.35))[0]
+    )
+    applicant = dataset.X[denied_index]
+    print("applicant:", {
+        spec.name: (spec.decode(value) if spec.is_categorical else round(value, 2))
+        for spec, value in zip(dataset.features, applicant)
+    })
+    print(f"P(good credit) = {scores[denied_index]:.3f} -> DENIED")
+    print("constraints: age immutable; savings & employment_years can only "
+          "increase; housing must stay a real category\n")
+
+    # --- DiCE: diverse options -------------------------------------------
+    dice = DiceExplainer(f, dataset, n_iterations=300)
+    alternatives = dice.generate(
+        applicant, n_counterfactuals=3, random_state=0
+    )
+    print(f"[DiCE] {len(alternatives)} diverse counterfactuals "
+          f"(validity {alternatives.validity():.0%}, "
+          f"diversity {alternatives.diversity():.1f}):")
+    for counterfactual in alternatives:
+        print("  ", counterfactual)
+
+    # --- GeCo: sparse + plausible ------------------------------------------
+    geco = GecoExplainer(f, dataset, n_generations=25)
+    plausible = geco.generate(applicant, n_counterfactuals=1, random_state=0)
+    print(f"\n[GeCo] sparsest plausible counterfactual "
+          f"({plausible[0].sparsity} feature(s) changed):")
+    print("  ", plausible[0])
+
+    # --- exact minimal-cost recourse on the linear scorer --------------------
+    recourse = LinearRecourse(model, dataset)
+    action = recourse.find(applicant)
+    print(f"\n[LinearRecourse] minimal-cost action (cost {action.cost:.2f}, "
+          f"new margin {action.new_margin:+.3f}):")
+    for name, (before, after) in action.changes.items():
+        print(f"  {name}: {before:.2f} -> {after:.2f}")
+
+    # --- LEWIS: causally grounded scores and recourse -------------------------
+    loans = make_loans(1200, random_state=1)
+    loan_model = LogisticRegression(l2=1e-2).fit(loans.dataset.X, loans.dataset.y)
+    lewis = LewisExplainer(
+        predict_positive_proba(loan_model),
+        loans.scm,
+        [spec.name for spec in loans.dataset.features],
+        n_units=1000,
+    )
+    s = lewis.scores("credit_score", 1.5, -1.5, random_state=0)
+    print("\n[LEWIS] population probabilities of causation for credit_score "
+          "(high vs low):")
+    print(f"  necessity  P(N)  = {s.necessity:.2f}   "
+          "(was a high score necessary for approvals?)")
+    print(f"  sufficiency P(S) = {s.sufficiency:.2f}   "
+          "(would a high score fix denials?)")
+    print(f"  PNS              = {s.pns:.2f}")
+
+    observation = {
+        "income": -0.5,
+        "credit_score": -1.0,
+        "debt_to_income": 0.5,
+        "employment_years": -0.5,
+        "approved": 0.0,
+    }
+    candidates = [
+        {"credit_score": 1.5},
+        {"income": 1.5},
+        {"employment_years": 1.5},
+        {"income": 1.0, "employment_years": 1.0},
+    ]
+    ranked = lewis.recourse(observation, candidates)
+    print("\n[LEWIS] counterfactual recourse for a denied individual "
+          "(interventions ranked by flip probability):")
+    for intervention, probability in ranked:
+        print(f"  {intervention}  ->  flips with p = {probability:.0%}")
+
+
+if __name__ == "__main__":
+    main()

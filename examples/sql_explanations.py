@@ -1,0 +1,122 @@
+"""Explaining SQL query answers (tutorial §3 "Explanations in Databases").
+
+Builds a small employees/departments database on the provenance-tracking
+mini engine and explains query answers three ways:
+
+1. why-provenance: the witnesses justifying an answer;
+2. Shapley values of tuples: fair division of an answer's existence (for
+   boolean queries) and of an aggregate's magnitude;
+3. causal responsibility: Meliou-style counterfactual-with-contingency
+   scores, plus why-not repairs for a missing answer.
+
+Run:  python examples/sql_explanations.py
+"""
+
+from xaidb.db import (
+    Relation,
+    aggregate,
+    aggregate_interventions,
+    groupby,
+    join,
+    project,
+    responsibility,
+    select,
+    shapley_of_tuples,
+    shapley_of_tuples_boolean,
+    why_not_provenance,
+    why_provenance,
+)
+
+
+def main() -> None:
+    employees = Relation.from_dicts(
+        "emp",
+        [
+            {"name": "ann", "dept": "eng", "salary": 120},
+            {"name": "bob", "dept": "eng", "salary": 95},
+            {"name": "cat", "dept": "ops", "salary": 90},
+            {"name": "dan", "dept": "eng", "salary": 150},
+            {"name": "eve", "dept": "ops", "salary": 70},
+        ],
+    )
+    departments = Relation.from_dicts(
+        "dept",
+        [{"dept": "eng", "city": "sf"}, {"dept": "ops", "city": "ny"}],
+    )
+
+    # --- Q1: which cities have an employee earning > 100? -----------------
+    rich = select(employees, lambda r: r["salary"] > 100, name="rich")
+    located = join(rich, departments, on=["dept"])
+    cities = project(located, ["city"])
+    print("Q1: SELECT DISTINCT city FROM emp JOIN dept WHERE salary > 100")
+    for row in cities:
+        print(f"  answer {row.as_dict()}   provenance: {row.provenance}")
+
+    sf_answer = [row for row in cities if row["city"] == "sf"][0]
+    print("\n[why] witnesses for city = 'sf':")
+    for witness in why_provenance(sf_answer.provenance):
+        print("  ", witness)
+
+    lineage = sorted(sf_answer.provenance.lineage(), key=str)
+    phi = shapley_of_tuples_boolean(sf_answer.provenance, lineage)
+    print("\n[shapley-of-tuples] contribution of each tuple to the answer:")
+    for token, value in sorted(phi.items(), key=lambda kv: -kv[1]):
+        print(f"  {token:8s} {value:.3f}")
+
+    print("\n[responsibility] (1 / (1 + minimal contingency)):")
+    for token in lineage:
+        print(f"  {token:8s} {responsibility(sf_answer.provenance, token):.2f}")
+
+    # --- Q2: why is 'ny' missing from Q1? ----------------------------------
+    # candidate derivations: any ops employee with salary > 100 + dept row
+    candidates = [
+        {f"emp:{i}", "dept:1"}
+        for i, record in enumerate(employees.to_dicts())
+        if record["dept"] == "ops"
+    ]
+    present = {
+        f"emp:{i}"
+        for i, record in enumerate(employees.to_dicts())
+        if record["salary"] > 100
+    } | {"dept:0", "dept:1"}
+    print("\nQ2: why NOT city = 'ny'?  minimal tuple insertions per "
+          "candidate derivation:")
+    for repair in why_not_provenance(candidates, present):
+        print(f"  would need: {repair} (an ops employee earning > 100)")
+
+    # --- Q3: aggregate — who drives the eng salary bill? ----------------------
+    print("\nQ3: SELECT dept, SUM(salary) FROM emp GROUP BY dept")
+    totals = groupby(employees, ["dept"], {"total": ("sum", "salary")})
+    for row in totals:
+        print(f"  {row.as_dict()}")
+
+    eng_only = select(employees, lambda r: r["dept"] == "eng")
+    phi_sum = shapley_of_tuples(
+        employees,
+        lambda rel: aggregate(
+            select(rel, lambda r: r["dept"] == "eng"), "sum", "salary"
+        ),
+    )
+    print("\n[shapley-of-tuples] for SUM(salary) of eng "
+          "(additive query -> each tuple its own salary):")
+    for token, value in sorted(phi_sum.items(), key=lambda kv: -kv[1]):
+        if value:
+            print(f"  {token:8s} {value:.1f}")
+
+    effects = aggregate_interventions(
+        employees,
+        lambda rel: aggregate(rel, "avg", "salary"),
+        groups={
+            "eng team": [f"emp:{i}" for i, r in enumerate(employees.to_dicts())
+                         if r["dept"] == "eng"],
+            "ops team": [f"emp:{i}" for i, r in enumerate(employees.to_dicts())
+                         if r["dept"] == "ops"],
+        },
+    )
+    print("\n[intervention] effect of deleting each team on AVG(salary):")
+    for label, effect in effects:
+        print(f"  {label}: {effect:+.1f}")
+
+
+if __name__ == "__main__":
+    main()

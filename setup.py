@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access,
+so PEP-517 editable installs (which build a wheel) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works offline.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

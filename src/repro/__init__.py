@@ -1,0 +1,6 @@
+"""Compatibility shim: the distribution is named ``repro`` but the public
+import package is :mod:`xaidb`.  ``import repro`` re-exports everything so
+either name works."""
+
+from xaidb import *  # noqa: F401,F403
+from xaidb import __version__  # noqa: F401

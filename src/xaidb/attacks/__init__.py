@@ -1,0 +1,25 @@
+"""Adversarial attacks on post-hoc explanation methods (tutorial
+§2.1.1's "these components can be exploited to perform adversarial
+attacks that render the explanations futile")."""
+
+from xaidb.attacks.fooling import (
+    OODDetector,
+    ScaffoldedClassifier,
+    train_ood_detector,
+)
+from xaidb.attacks.fragility import (
+    FragilityResult,
+    fragility_attack,
+    top_k_intersection,
+)
+from xaidb.attacks.manipulation import TrapdooredModel
+
+__all__ = [
+    "TrapdooredModel",
+    "OODDetector",
+    "ScaffoldedClassifier",
+    "train_ood_detector",
+    "FragilityResult",
+    "fragility_attack",
+    "top_k_intersection",
+]

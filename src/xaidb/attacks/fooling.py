@@ -1,0 +1,191 @@
+"""Fooling LIME and SHAP: the scaffolding attack (Slack et al. 2020).
+
+LIME and KernelSHAP query the model on *synthetic perturbations* that are
+often far off the data manifold.  An adversary exploits this by deploying
+a scaffold:
+
+    scaffold(x) = biased_model(x)      if x looks like real data
+                  innocuous_model(x)   if x looks like a perturbation
+
+The deployed behaviour on real inputs is fully biased (e.g. decisions
+driven by ``race``), yet the explainer — whose probes are routed to the
+innocuous model — reports an innocent feature as most important.
+Experiment E19 reproduces the paper's headline table: the fraction of
+instances whose top-1 LIME/SHAP feature is the sensitive one, with and
+without the scaffold.
+
+The out-of-distribution detector is a random forest trained to separate
+real rows from explainer-style perturbations, exactly the paper's
+construction, with one engineered feature doing the heavy lifting: the
+distance to the nearest real training row (marginal perturbations break
+feature correlations, so they land measurably farther from the manifold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.data.dataset import Dataset
+from xaidb.data.perturbation import LimeTabularSampler
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.models.forest import RandomForestClassifier
+from xaidb.utils.kernels import pairwise_distances
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array
+
+
+class OODDetector:
+    """Real-vs-perturbed classifier over raw features + manifold distance.
+
+    ``predict_proba(X)[:, 1]`` is the probability a row is *real* data.
+    """
+
+    def __init__(
+        self,
+        forest: RandomForestClassifier,
+        reference: np.ndarray,
+        scale: np.ndarray,
+    ) -> None:
+        self._forest = forest
+        self._reference = reference
+        self._scale = scale
+
+    def _augment(self, X: np.ndarray, *, exclude_self: bool = False) -> np.ndarray:
+        scaled = X / self._scale
+        distances = pairwise_distances(scaled, self._reference)
+        if exclude_self:
+            # during training, a real row's nearest neighbour must not be
+            # itself, or the feature leaks the label
+            np.fill_diagonal(distances, np.inf)
+        nearest = distances.min(axis=1)
+        return np.column_stack([X, nearest])
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = check_array(X, name="X", ndim=2)
+        return self._forest.predict_proba(self._augment(X))
+
+
+def train_ood_detector(
+    dataset: Dataset,
+    *,
+    n_perturbations_per_row: int = 1,
+    n_estimators: int = 50,
+    max_depth: int | None = 10,
+    style: str = "lime",
+    random_state: RandomState = None,
+) -> OODDetector:
+    """Train a real-vs-perturbed detector on the attacker's data.
+
+    ``style`` selects the synthetic distribution the detector must catch
+    — the attack is only as good as this match (Slack et al. train one
+    detector per target explainer):
+
+    - ``"lime"``: marginal perturbations from
+      :class:`~xaidb.data.perturbation.LimeTabularSampler` (LIME's probes);
+    - ``"shap"``: coordinate-masked hybrids of two real rows —
+      KernelSHAP's marginal-imputation probes;
+    - ``"both"``: the union.
+
+    Classes are balanced so the 0.5 routing threshold is meaningful.
+    """
+    if n_perturbations_per_row < 1:
+        raise ValidationError("n_perturbations_per_row must be >= 1")
+    if style not in ("lime", "shap", "both"):
+        raise ValidationError("style must be 'lime', 'shap' or 'both'")
+    rng = check_random_state(random_state)
+    sampler = LimeTabularSampler(dataset)
+    real_rows = dataset.X
+    scale = np.maximum(real_rows.std(axis=0), 1e-9)
+    synthetic_blocks = []
+    if style in ("lime", "both"):
+        for row in real_rows:
+            perturbed, __ = sampler.sample(
+                row, n_perturbations_per_row + 1, random_state=rng
+            )
+            synthetic_blocks.append(perturbed[1:])  # row 0 is the instance
+    if style in ("shap", "both"):
+        # non-degenerate hybrids only: a mask taking (almost) everything
+        # from one parent reproduces a real row and would poison the
+        # detector's labels
+        d = real_rows.shape[1]
+        n_hybrids = len(real_rows) * n_perturbations_per_row
+        left = real_rows[rng.integers(0, len(real_rows), size=n_hybrids)]
+        right = real_rows[rng.integers(0, len(real_rows), size=n_hybrids)]
+        masks = rng.random(size=left.shape) < 0.5
+        counts = masks.sum(axis=1)
+        degenerate = (counts < 2) | (counts > d - 2)
+        while degenerate.any():
+            masks[degenerate] = rng.random(size=(int(degenerate.sum()), d)) < 0.5
+            counts = masks.sum(axis=1)
+            degenerate = (counts < 2) | (counts > d - 2)
+        synthetic_blocks.append(np.where(masks, left, right))
+    synthetic = np.vstack(synthetic_blocks)
+    replication = max(1, round(len(synthetic) / len(real_rows)))
+    real_balanced = np.repeat(real_rows, replication, axis=0)
+
+    detector = OODDetector(
+        RandomForestClassifier(
+            n_estimators=n_estimators, max_depth=max_depth, random_state=rng
+        ),
+        reference=real_rows / scale,
+        scale=scale,
+    )
+    # training features: real rows use leave-self-out nearest neighbour
+    real_features = detector._augment(real_rows, exclude_self=True)
+    real_features = np.repeat(real_features, replication, axis=0)
+    synthetic_features = detector._augment(synthetic)
+    X = np.vstack([real_features, synthetic_features])
+    y = np.concatenate(
+        [np.ones(len(real_features)), np.zeros(len(synthetic_features))]
+    )
+    detector._forest.fit(X, y)
+    return detector
+
+
+class ScaffoldedClassifier:
+    """The adversarial scaffold routing queries by OOD detection.
+
+    Parameters
+    ----------
+    biased_fn:
+        The model actually deployed on real inputs (scores in [0, 1]).
+    innocuous_fn:
+        The cover story shown to explainers.
+    detector:
+        Real-vs-perturbed classifier from :func:`train_ood_detector`.
+    threshold:
+        Minimum detector probability of "real" to route to the biased
+        model.
+    """
+
+    def __init__(
+        self,
+        biased_fn: PredictFn,
+        innocuous_fn: PredictFn,
+        detector: OODDetector,
+        *,
+        threshold: float = 0.5,
+    ) -> None:
+        self.biased_fn = biased_fn
+        self.innocuous_fn = innocuous_fn
+        self.detector = detector
+        self.threshold = threshold
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        """Scores routed per-row through the scaffold."""
+        X = check_array(X, name="X", ndim=2)
+        looks_real = self.detector.predict_proba(X)[:, 1] >= self.threshold
+        out = np.empty(X.shape[0])
+        if looks_real.any():
+            out[looks_real] = np.asarray(self.biased_fn(X[looks_real]))
+        if (~looks_real).any():
+            out[~looks_real] = np.asarray(self.innocuous_fn(X[~looks_real]))
+        return out
+
+    def routing_fraction(self, X: np.ndarray) -> float:
+        """Fraction of rows the scaffold would route to the biased model
+        (diagnostics: ~1.0 on real data, ~0.0 on perturbations)."""
+        X = check_array(X, name="X", ndim=2)
+        looks_real = self.detector.predict_proba(X)[:, 1] >= self.threshold
+        return float(looks_real.mean())

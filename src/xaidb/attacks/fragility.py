@@ -1,0 +1,111 @@
+"""Fragility of gradient attributions (tutorial §2.4; Ghorbani, Abid &
+Zou 2019, "Interpretation of Neural Networks is Fragile").
+
+The attack: find a tiny input perturbation that (a) leaves the model's
+prediction essentially unchanged but (b) maximally disrupts the
+attribution — e.g. swaps the top-ranked features.  Success demonstrates
+that the explanation communicates something the decision itself does not
+depend on.
+
+:func:`fragility_attack` runs a black-box random/greedy search (no
+attribution gradients needed, so it works against any attribution
+function including SmoothGrad and LIME).  :func:`top_k_intersection` is
+the paper's evaluation metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_positive
+
+AttributionFn = Callable[[np.ndarray], np.ndarray]
+
+
+def top_k_intersection(a: np.ndarray, b: np.ndarray, k: int) -> float:
+    """Fraction of the top-k (by |value|) features two attributions share."""
+    if k < 1:
+        raise ValidationError("k must be >= 1")
+    top_a = set(np.argsort(-np.abs(np.asarray(a)))[:k].tolist())
+    top_b = set(np.argsort(-np.abs(np.asarray(b)))[:k].tolist())
+    return len(top_a & top_b) / k
+
+
+@dataclass
+class FragilityResult:
+    """Outcome of a fragility attack on one instance."""
+
+    original: np.ndarray
+    perturbed: np.ndarray
+    original_attribution: np.ndarray
+    perturbed_attribution: np.ndarray
+    prediction_change: float
+    top_k_overlap: float
+    perturbation_norm: float
+
+    @property
+    def succeeded(self) -> bool:
+        """Attribution disrupted (top-k overlap <= 0.5) while the
+        prediction moved by less than 0.1."""
+        return self.top_k_overlap <= 0.5 and abs(self.prediction_change) < 0.1
+
+
+def fragility_attack(
+    predict_fn: PredictFn,
+    attribution_fn: AttributionFn,
+    instance: np.ndarray,
+    *,
+    radius: float = 0.2,
+    k: int = 2,
+    n_iterations: int = 100,
+    max_prediction_change: float = 0.05,
+    random_state: RandomState = None,
+) -> FragilityResult:
+    """Search an L-inf ball for the perturbation that most disrupts the
+    attribution while preserving the prediction.
+
+    Greedy random search: propose perturbations, keep the one minimising
+    top-k overlap with the original attribution subject to the
+    prediction-change budget.
+    """
+    instance = check_array(instance, name="instance", ndim=1)
+    check_positive(radius, name="radius")
+    if n_iterations < 1:
+        raise ValidationError("n_iterations must be >= 1")
+    rng = check_random_state(random_state)
+    original_attribution = np.asarray(attribution_fn(instance), dtype=float)
+    original_prediction = float(predict_fn(instance[None, :])[0])
+
+    best = instance.copy()
+    best_attribution = original_attribution
+    best_overlap = 1.0
+    for __ in range(n_iterations):
+        delta = rng.uniform(-radius, radius, size=instance.shape[0])
+        candidate = instance + delta
+        prediction = float(predict_fn(candidate[None, :])[0])
+        if abs(prediction - original_prediction) > max_prediction_change:
+            continue
+        attribution = np.asarray(attribution_fn(candidate), dtype=float)
+        overlap = top_k_intersection(original_attribution, attribution, k)
+        if overlap < best_overlap:
+            best, best_attribution, best_overlap = (
+                candidate, attribution, overlap,
+            )
+            if best_overlap == 0.0:
+                break
+    final_prediction = float(predict_fn(best[None, :])[0])
+    return FragilityResult(
+        original=instance,
+        perturbed=best,
+        original_attribution=original_attribution,
+        perturbed_attribution=best_attribution,
+        prediction_change=final_prediction - original_prediction,
+        top_k_overlap=best_overlap,
+        perturbation_norm=float(np.max(np.abs(best - instance))),
+    )

@@ -1,0 +1,100 @@
+"""Manipulating counterfactual explanations (tutorial §2.1.4's
+"counterfactuals can be gamed"; Slack et al. 2021).
+
+The attack: deploy a model with a *trapdoor* — a tiny out-of-distribution
+trigger region that returns a high score.  Here the trigger is one
+feature pushed just beyond its observed range (a sentinel value no real
+applicant has).  Counterfactual search that is allowed to leave the data
+manifold discovers the trigger as the *cheapest* way to flip the
+decision and reports a deceptively easy recourse ("just set duration to
+X"), which is meaningless: the honest scoring of that input is still a
+denial, and no real applicant can occupy the trigger region.  Deployed
+predictions on real data are completely unchanged (stealth).
+
+The defence is exactly the tutorial's recommendation for plausible
+counterfactuals: manifold-constrained search (GeCo's plausibility check
+or simply refusing out-of-range values) never reports the trapdoor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.utils.validation import check_array
+
+
+class TrapdooredModel:
+    """Wrap a scorer with an out-of-range sentinel trigger.
+
+    Parameters
+    ----------
+    base_fn:
+        The honest scorer (positive-class probability).
+    feature:
+        Index of the trigger feature.
+    threshold:
+        Inputs with ``x[feature] > threshold`` get the boosted score; pick
+        this just above the feature's observed maximum so no real row
+        triggers it.
+    boost:
+        Score reported inside the trigger region.
+    """
+
+    def __init__(
+        self,
+        base_fn: PredictFn,
+        feature: int,
+        threshold: float,
+        *,
+        boost: float = 0.95,
+    ) -> None:
+        if feature < 0:
+            raise ValidationError("feature must be a column index")
+        if not 0.0 < boost <= 1.0:
+            raise ValidationError("boost must be in (0, 1]")
+        self.base_fn = base_fn
+        self.feature = feature
+        self.threshold = threshold
+        self.boost = boost
+
+    @classmethod
+    def against_data(
+        cls,
+        base_fn: PredictFn,
+        X: np.ndarray,
+        feature: int,
+        *,
+        margin: float = 0.25,
+        boost: float = 0.95,
+    ) -> "TrapdooredModel":
+        """Place the trigger just beyond the observed range of ``feature``
+        (stealth by construction: ``agreement_on(X) == 1``)."""
+        X = check_array(X, name="X", ndim=2)
+        if not 0 <= feature < X.shape[1]:
+            raise ValidationError("feature index out of range")
+        return cls(
+            base_fn,
+            feature,
+            float(X[:, feature].max()) + margin,
+            boost=boost,
+        )
+
+    def in_trapdoor(self, X: np.ndarray) -> np.ndarray:
+        X = check_array(X, name="X", ndim=2)
+        return X[:, self.feature] > self.threshold
+
+    def __call__(self, X: np.ndarray) -> np.ndarray:
+        X = check_array(X, name="X", ndim=2)
+        scores = np.asarray(self.base_fn(X), dtype=float)
+        inside = self.in_trapdoor(X)
+        scores[inside] = np.maximum(scores[inside], self.boost)
+        return scores
+
+    def agreement_on(self, X: np.ndarray) -> float:
+        """Fraction of rows scored identically to the honest model —
+        ~1.0 on real data when the trigger is out-of-range (stealth)."""
+        X = check_array(X, name="X", ndim=2)
+        honest = np.asarray(self.base_fn(X), dtype=float)
+        return float(np.mean(self(X) == honest))

@@ -1,0 +1,28 @@
+"""Causal substrate: directed acyclic causal graphs and structural causal
+models with interventional sampling and abduction-action-prediction
+counterfactuals (consumed by causal/asymmetric Shapley values, Shapley
+flow, and LEWIS-style necessity/sufficiency scores)."""
+
+from xaidb.causal.estimation import (
+    fit_linear_gaussian_scm,
+    mechanism_goodness_of_fit,
+)
+from xaidb.causal.graph import CausalGraph
+from xaidb.causal.scm import (
+    AdditiveNoiseMechanism,
+    BernoulliMechanism,
+    DiscreteMechanism,
+    Mechanism,
+    StructuralCausalModel,
+)
+
+__all__ = [
+    "CausalGraph",
+    "StructuralCausalModel",
+    "Mechanism",
+    "AdditiveNoiseMechanism",
+    "BernoulliMechanism",
+    "DiscreteMechanism",
+    "fit_linear_gaussian_scm",
+    "mechanism_goodness_of_fit",
+]

@@ -1,0 +1,120 @@
+"""Causal DAGs.
+
+:class:`CausalGraph` is a thin validated wrapper around
+:class:`networkx.DiGraph` exposing exactly the queries the explainers need:
+parents, topological orderings consistent with the causal structure
+(asymmetric Shapley values restrict permutations to these), ancestors /
+descendants (causal Shapley's direct/indirect split), and edge enumeration
+(Shapley flow assigns credit to edges).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Sequence
+
+import networkx as nx
+
+from xaidb.exceptions import ValidationError
+
+
+class CausalGraph:
+    """A directed acyclic graph over named variables."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Hashable],
+        edges: Iterable[tuple[Hashable, Hashable]],
+    ) -> None:
+        graph = nx.DiGraph()
+        graph.add_nodes_from(nodes)
+        for source, target in edges:
+            if source not in graph or target not in graph:
+                raise ValidationError(
+                    f"edge ({source!r}, {target!r}) references unknown node"
+                )
+            graph.add_edge(source, target)
+        if not nx.is_directed_acyclic_graph(graph):
+            raise ValidationError("causal graph must be acyclic")
+        self._graph = graph
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list:
+        return list(self._graph.nodes)
+
+    @property
+    def edges(self) -> list[tuple]:
+        return list(self._graph.edges)
+
+    def __contains__(self, node: Hashable) -> bool:
+        return node in self._graph
+
+    def parents(self, node: Hashable) -> list:
+        self._require(node)
+        return sorted(self._graph.predecessors(node), key=str)
+
+    def children(self, node: Hashable) -> list:
+        self._require(node)
+        return sorted(self._graph.successors(node), key=str)
+
+    def ancestors(self, node: Hashable) -> set:
+        self._require(node)
+        return set(nx.ancestors(self._graph, node))
+
+    def descendants(self, node: Hashable) -> set:
+        self._require(node)
+        return set(nx.descendants(self._graph, node))
+
+    def roots(self) -> list:
+        """Nodes with no parents (exogenous-only variables)."""
+        return [n for n in self._graph.nodes if self._graph.in_degree(n) == 0]
+
+    def topological_order(self) -> list:
+        """One deterministic topological ordering of all nodes."""
+        return list(nx.lexicographical_topological_sort(self._graph, key=str))
+
+    def all_topological_orders(self, *, limit: int | None = None) -> list[list]:
+        """All topological orderings (optionally truncated at ``limit``).
+
+        Asymmetric Shapley values average marginal contributions over
+        exactly these orderings.
+        """
+        orders = []
+        for order in nx.all_topological_sorts(self._graph):
+            orders.append(list(order))
+            if limit is not None and len(orders) >= limit:
+                break
+        return orders
+
+    def is_causal_order(self, order: Sequence[Hashable]) -> bool:
+        """Whether ``order`` places every node after all its ancestors."""
+        position = {node: i for i, node in enumerate(order)}
+        if set(position) != set(self._graph.nodes):
+            return False
+        return all(
+            position[source] < position[target]
+            for source, target in self._graph.edges
+        )
+
+    def subgraph_on(self, nodes: Iterable[Hashable]) -> "CausalGraph":
+        """Induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        for node in keep:
+            self._require(node)
+        edges = [(s, t) for s, t in self._graph.edges if s in keep and t in keep]
+        return CausalGraph(keep, edges)
+
+    def to_networkx(self) -> nx.DiGraph:
+        """A defensive copy of the underlying networkx graph."""
+        return self._graph.copy()
+
+    # ------------------------------------------------------------------
+    def _require(self, node: Hashable) -> None:
+        if node not in self._graph:
+            raise ValidationError(f"unknown node {node!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CausalGraph({len(self._graph.nodes)} nodes, "
+            f"{len(self._graph.edges)} edges)"
+        )

@@ -1,0 +1,293 @@
+"""Structural causal models (SCMs).
+
+An SCM assigns each endogenous variable a *mechanism* — a deterministic
+function of its parents plus independent exogenous noise.  The class
+supports the three rungs of Pearl's ladder that the tutorial's causal
+explainers need:
+
+1. **observational sampling** — forward simulation in topological order;
+2. **interventions** — ``do(X=x)`` severs incoming edges and pins a value;
+3. **counterfactuals** — abduction (recover noise consistent with an
+   observed row), action (apply an intervention) and prediction (re-run
+   the mechanisms with the recovered noise).
+
+Counterfactual inference requires invertible mechanisms; the additive-noise
+and threshold (Bernoulli) mechanism classes below support exact abduction,
+while :class:`DiscreteMechanism` supports abduction by rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from xaidb.causal.graph import CausalGraph
+from xaidb.exceptions import ValidationError, XaidbError
+from xaidb.utils.rng import RandomState, check_random_state
+
+
+class Mechanism:
+    """Interface of a structural mechanism ``V := f(parents, noise)``."""
+
+    def sample_noise(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` independent exogenous noise values."""
+        raise NotImplementedError
+
+    def compute(
+        self, parent_values: Mapping[Hashable, np.ndarray], noise: np.ndarray
+    ) -> np.ndarray:
+        """Evaluate the mechanism given parent columns and noise."""
+        raise NotImplementedError
+
+    def abduct(
+        self,
+        value: np.ndarray,
+        parent_values: Mapping[Hashable, np.ndarray],
+    ) -> np.ndarray:
+        """Recover noise consistent with an observed ``value``.
+
+        Raises :class:`XaidbError` when the mechanism is not invertible.
+        """
+        raise XaidbError(
+            f"{type(self).__name__} does not support exact abduction"
+        )
+
+
+class AdditiveNoiseMechanism(Mechanism):
+    """``V := f(parents) + noise`` with ``noise ~ Normal(0, scale)``.
+
+    The workhorse of linear/nonlinear Gaussian SCMs; abduction is exact:
+    ``noise = value - f(parents)``.
+    """
+
+    def __init__(
+        self,
+        func: Callable[[Mapping[Hashable, np.ndarray]], np.ndarray],
+        *,
+        noise_scale: float = 1.0,
+    ) -> None:
+        if noise_scale < 0:
+            raise ValidationError("noise_scale must be >= 0")
+        self.func = func
+        self.noise_scale = noise_scale
+
+    def sample_noise(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        if self.noise_scale == 0:
+            return np.zeros(n)
+        return rng.normal(0.0, self.noise_scale, size=n)
+
+    def compute(self, parent_values, noise):
+        return np.asarray(self.func(parent_values), dtype=float) + noise
+
+    def abduct(self, value, parent_values):
+        return np.asarray(value, dtype=float) - np.asarray(
+            self.func(parent_values), dtype=float
+        )
+
+
+class BernoulliMechanism(Mechanism):
+    """``V := 1[ noise < p(parents) ]`` with ``noise ~ Uniform(0, 1)``.
+
+    ``prob`` maps parent columns to success probabilities.  Abduction is
+    partial: the observed outcome constrains noise to an interval; we
+    return the interval midpoint, which reproduces the observation exactly
+    under the *same* intervention-free mechanisms and gives the standard
+    single-world counterfactual when ``p`` changes monotonically.
+    """
+
+    def __init__(
+        self,
+        prob: Callable[[Mapping[Hashable, np.ndarray]], np.ndarray],
+    ) -> None:
+        self.prob = prob
+
+    def sample_noise(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0.0, 1.0, size=n)
+
+    def compute(self, parent_values, noise):
+        p = np.clip(np.asarray(self.prob(parent_values), dtype=float), 0.0, 1.0)
+        return (noise < p).astype(float)
+
+    def abduct(self, value, parent_values):
+        p = np.clip(np.asarray(self.prob(parent_values), dtype=float), 0.0, 1.0)
+        value = np.asarray(value, dtype=float)
+        # value == 1  =>  noise in [0, p): midpoint p/2
+        # value == 0  =>  noise in [p, 1): midpoint (1+p)/2
+        return np.where(value > 0.5, p / 2.0, (1.0 + p) / 2.0)
+
+
+class DiscreteMechanism(Mechanism):
+    """``V := choice(categories, probs(parents))`` for root or child
+    categorical variables.  ``probs`` maps parent columns to an
+    ``(n, k)`` matrix of category probabilities.
+
+    Noise is the uniform variate used for inverse-CDF sampling, so
+    abduction-by-interval-midpoint mirrors :class:`BernoulliMechanism`.
+    """
+
+    def __init__(
+        self,
+        categories: Sequence[float],
+        probs: Callable[[Mapping[Hashable, np.ndarray]], np.ndarray],
+    ) -> None:
+        if len(categories) < 2:
+            raise ValidationError("need at least two categories")
+        self.categories = np.asarray(categories, dtype=float)
+        self.probs = probs
+
+    def _prob_matrix(self, parent_values, n: int) -> np.ndarray:
+        p = np.asarray(self.probs(parent_values), dtype=float)
+        if p.ndim == 1:
+            p = np.tile(p, (n, 1))
+        if p.shape != (n, len(self.categories)):
+            raise ValidationError(
+                f"probs returned shape {p.shape}, expected "
+                f"({n}, {len(self.categories)})"
+            )
+        p = np.clip(p, 0.0, None)
+        return p / p.sum(axis=1, keepdims=True)
+
+    def sample_noise(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return rng.uniform(0.0, 1.0, size=n)
+
+    def compute(self, parent_values, noise):
+        n = len(noise)
+        cdf = np.cumsum(self._prob_matrix(parent_values, n), axis=1)
+        indices = (noise[:, None] >= cdf).sum(axis=1)
+        indices = np.clip(indices, 0, len(self.categories) - 1)
+        return self.categories[indices]
+
+    def abduct(self, value, parent_values):
+        value = np.asarray(value, dtype=float)
+        n = len(value)
+        p = self._prob_matrix(parent_values, n)
+        cdf = np.cumsum(p, axis=1)
+        lower = cdf - p
+        noise = np.empty(n)
+        for i, v in enumerate(value):
+            matches = np.flatnonzero(np.isclose(self.categories, v))
+            if matches.size == 0:
+                raise ValidationError(f"value {v!r} is not a known category")
+            k = int(matches[0])
+            noise[i] = (lower[i, k] + cdf[i, k]) / 2.0
+        return noise
+
+
+class StructuralCausalModel:
+    """A full SCM: a :class:`CausalGraph` plus one mechanism per node."""
+
+    def __init__(
+        self,
+        graph: CausalGraph,
+        mechanisms: Mapping[Hashable, Mechanism],
+    ) -> None:
+        missing = [n for n in graph.nodes if n not in mechanisms]
+        if missing:
+            raise ValidationError(f"missing mechanisms for nodes: {missing}")
+        extra = [n for n in mechanisms if n not in graph]
+        if extra:
+            raise ValidationError(f"mechanisms for unknown nodes: {extra}")
+        self.graph = graph
+        self.mechanisms = dict(mechanisms)
+        self._order = graph.topological_order()
+
+    # ------------------------------------------------------------------
+    # rung 1 & 2: observational / interventional sampling
+    # ------------------------------------------------------------------
+    def sample(
+        self,
+        n: int,
+        *,
+        interventions: Mapping[Hashable, float | np.ndarray] | None = None,
+        random_state: RandomState = None,
+    ) -> dict[Hashable, np.ndarray]:
+        """Draw ``n`` joint samples, optionally under ``do()`` interventions.
+
+        ``interventions`` maps node -> scalar (broadcast) or length-``n``
+        array; intervened nodes ignore their mechanism and parents.
+        """
+        if n < 1:
+            raise ValidationError("n must be >= 1")
+        rng = check_random_state(random_state)
+        interventions = dict(interventions or {})
+        for node in interventions:
+            if node not in self.graph:
+                raise ValidationError(f"intervention on unknown node {node!r}")
+        values: dict[Hashable, np.ndarray] = {}
+        for node in self._order:
+            if node in interventions:
+                pinned = np.asarray(interventions[node], dtype=float)
+                values[node] = (
+                    np.full(n, float(pinned)) if pinned.ndim == 0 else pinned
+                )
+                if values[node].shape != (n,):
+                    raise ValidationError(
+                        f"intervention on {node!r} has wrong length"
+                    )
+                continue
+            mechanism = self.mechanisms[node]
+            noise = mechanism.sample_noise(n, rng)
+            parent_values = {p: values[p] for p in self.graph.parents(node)}
+            values[node] = np.asarray(
+                mechanism.compute(parent_values, noise), dtype=float
+            )
+        return values
+
+    # ------------------------------------------------------------------
+    # rung 3: counterfactuals
+    # ------------------------------------------------------------------
+    def abduct(self, observation: Mapping[Hashable, float]) -> dict:
+        """Recover the exogenous noise consistent with a fully observed row."""
+        missing = [n for n in self.graph.nodes if n not in observation]
+        if missing:
+            raise ValidationError(
+                f"observation must cover every node; missing {missing}"
+            )
+        noises: dict[Hashable, np.ndarray] = {}
+        columns = {
+            node: np.asarray([observation[node]], dtype=float)
+            for node in self.graph.nodes
+        }
+        for node in self._order:
+            parent_values = {p: columns[p] for p in self.graph.parents(node)}
+            noises[node] = self.mechanisms[node].abduct(
+                columns[node], parent_values
+            )
+        return noises
+
+    def counterfactual(
+        self,
+        observation: Mapping[Hashable, float],
+        interventions: Mapping[Hashable, float],
+    ) -> dict[Hashable, float]:
+        """Single-world counterfactual: what each variable *would have been*
+        for this observed unit under ``do(interventions)``."""
+        noises = self.abduct(observation)
+        values: dict[Hashable, np.ndarray] = {}
+        for node in self._order:
+            if node in interventions:
+                values[node] = np.asarray([float(interventions[node])])
+                continue
+            parent_values = {p: values[p] for p in self.graph.parents(node)}
+            values[node] = np.asarray(
+                self.mechanisms[node].compute(parent_values, noises[node]),
+                dtype=float,
+            )
+        return {node: float(column[0]) for node, column in values.items()}
+
+    # ------------------------------------------------------------------
+    def sample_matrix(
+        self,
+        n: int,
+        node_order: Sequence[Hashable],
+        *,
+        interventions: Mapping[Hashable, float | np.ndarray] | None = None,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Like :meth:`sample` but stacked into an ``(n, len(node_order))``
+        matrix in the given column order (handy for feeding models)."""
+        columns = self.sample(
+            n, interventions=interventions, random_state=random_state
+        )
+        return np.column_stack([columns[node] for node in node_order])

@@ -1,0 +1,31 @@
+"""Tabular data substrate: the :class:`Dataset` container, synthetic
+workload generators with ground-truth causal models, perturbation samplers
+for neighborhood-based explainers, and transaction databases for rule
+mining."""
+
+from xaidb.data.dataset import Dataset, FeatureSpec
+from xaidb.data.perturbation import ConditionalSampler, LimeTabularSampler
+from xaidb.data.synthetic import (
+    SyntheticWorkload,
+    make_credit,
+    make_income,
+    make_loans,
+    make_recidivism,
+    make_two_moons,
+)
+from xaidb.data.transactions import TransactionDatabase, make_transactions
+
+__all__ = [
+    "Dataset",
+    "FeatureSpec",
+    "LimeTabularSampler",
+    "ConditionalSampler",
+    "SyntheticWorkload",
+    "make_income",
+    "make_credit",
+    "make_recidivism",
+    "make_loans",
+    "make_two_moons",
+    "TransactionDatabase",
+    "make_transactions",
+]

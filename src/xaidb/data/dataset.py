@@ -1,0 +1,263 @@
+"""The :class:`Dataset` tabular container.
+
+xaidb works on dense numeric matrices; categorical features are stored as
+integer codes alongside a :class:`FeatureSpec` that remembers the category
+labels.  This keeps the ML substrate purely numerical while letting
+explainers (LIME discretisation, Anchors predicates, counterfactual
+feasibility constraints) reason about feature semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Metadata for one column of a :class:`Dataset`.
+
+    Attributes
+    ----------
+    name:
+        Column name.
+    kind:
+        Either ``"numeric"`` or ``"categorical"``.
+    categories:
+        For categorical features, the tuple of category labels; the stored
+        value ``k`` encodes ``categories[k]``.  ``None`` for numeric
+        features.
+    actionable:
+        Whether counterfactual/recourse search is allowed to change this
+        feature (e.g. ``age`` and ``race`` are typically immutable).
+    monotone:
+        Optional recourse direction constraint: ``+1`` means the feature may
+        only increase (e.g. ``education``), ``-1`` only decrease, ``0``
+        unconstrained.
+    """
+
+    name: str
+    kind: str = "numeric"
+    categories: tuple[Any, ...] | None = None
+    actionable: bool = True
+    monotone: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("numeric", "categorical"):
+            raise ValidationError(
+                f"feature {self.name!r}: kind must be 'numeric' or "
+                f"'categorical', got {self.kind!r}"
+            )
+        if self.kind == "categorical" and not self.categories:
+            raise ValidationError(
+                f"categorical feature {self.name!r} needs a non-empty "
+                f"categories tuple"
+            )
+        if self.kind == "numeric" and self.categories is not None:
+            raise ValidationError(
+                f"numeric feature {self.name!r} must not define categories"
+            )
+        if self.monotone not in (-1, 0, 1):
+            raise ValidationError(
+                f"feature {self.name!r}: monotone must be -1, 0 or +1"
+            )
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == "categorical"
+
+    def decode(self, value: float) -> Any:
+        """Map a stored numeric value back to its human-readable label."""
+        if not self.is_categorical:
+            return float(value)
+        index = int(round(value))
+        if not 0 <= index < len(self.categories):  # type: ignore[arg-type]
+            raise ValidationError(
+                f"code {index} out of range for feature {self.name!r}"
+            )
+        return self.categories[index]  # type: ignore[index]
+
+    def encode(self, label: Any) -> float:
+        """Map a human-readable label to its stored numeric code."""
+        if not self.is_categorical:
+            return float(label)
+        try:
+            return float(self.categories.index(label))  # type: ignore[union-attr]
+        except ValueError as exc:
+            raise ValidationError(
+                f"unknown category {label!r} for feature {self.name!r}"
+            ) from exc
+
+
+@dataclass
+class Dataset:
+    """A dense tabular dataset with feature metadata and optional labels.
+
+    Parameters
+    ----------
+    X:
+        Feature matrix of shape ``(n_rows, n_features)``; categorical
+        columns hold integer codes.
+    y:
+        Optional label vector of length ``n_rows``.
+    features:
+        One :class:`FeatureSpec` per column.  If omitted, anonymous numeric
+        specs ``x0..x{d-1}`` are generated.
+    target_name:
+        Name of the label column (for display).
+    target_classes:
+        For classification data, the tuple of class labels encoded as
+        ``0..k-1`` in ``y``.
+    """
+
+    X: np.ndarray
+    y: np.ndarray | None = None
+    features: list[FeatureSpec] = field(default_factory=list)
+    target_name: str = "target"
+    target_classes: tuple[Any, ...] | None = None
+
+    def __post_init__(self) -> None:
+        self.X = check_array(self.X, name="X", ndim=2)
+        if self.y is not None:
+            self.y = check_array(self.y, name="y", ndim=1)
+            check_matching_lengths(("X", self.X), ("y", self.y))
+        if not self.features:
+            self.features = [
+                FeatureSpec(name=f"x{i}") for i in range(self.X.shape[1])
+            ]
+        if len(self.features) != self.X.shape[1]:
+            raise ValidationError(
+                f"got {len(self.features)} feature specs for "
+                f"{self.X.shape[1]} columns"
+            )
+        names = [f.name for f in self.features]
+        if len(set(names)) != len(names):
+            raise ValidationError("feature names must be unique")
+
+    # ------------------------------------------------------------------
+    # basic introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.X.shape[1]
+
+    @property
+    def feature_names(self) -> list[str]:
+        return [f.name for f in self.features]
+
+    @property
+    def categorical_indices(self) -> list[int]:
+        return [i for i, f in enumerate(self.features) if f.is_categorical]
+
+    @property
+    def numeric_indices(self) -> list[int]:
+        return [i for i, f in enumerate(self.features) if not f.is_categorical]
+
+    def feature_index(self, name: str) -> int:
+        """Column index of feature ``name``."""
+        try:
+            return self.feature_names.index(name)
+        except ValueError as exc:
+            raise ValidationError(f"unknown feature {name!r}") from exc
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        labelled = "labelled" if self.y is not None else "unlabelled"
+        return (
+            f"Dataset({self.n_rows} rows x {self.n_features} features, "
+            f"{labelled})"
+        )
+
+    # ------------------------------------------------------------------
+    # construction and conversion
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Sequence[Mapping[str, Any]],
+        features: Sequence[FeatureSpec],
+        *,
+        y: Iterable[Any] | None = None,
+        target_name: str = "target",
+        target_classes: tuple[Any, ...] | None = None,
+    ) -> "Dataset":
+        """Build a dataset from a list of dict rows, encoding categoricals."""
+        if not records:
+            raise ValidationError("records must not be empty")
+        matrix = np.empty((len(records), len(features)), dtype=float)
+        for row_index, record in enumerate(records):
+            for col_index, spec in enumerate(features):
+                if spec.name not in record:
+                    raise ValidationError(
+                        f"record {row_index} is missing feature {spec.name!r}"
+                    )
+                matrix[row_index, col_index] = spec.encode(record[spec.name])
+        y_array = None if y is None else np.asarray(list(y), dtype=float)
+        return cls(
+            X=matrix,
+            y=y_array,
+            features=list(features),
+            target_name=target_name,
+            target_classes=target_classes,
+        )
+
+    def row_as_dict(self, index: int, *, decode: bool = True) -> dict[str, Any]:
+        """Return row ``index`` as a ``{feature_name: value}`` mapping."""
+        row = self.X[index]
+        if decode:
+            return {
+                spec.name: spec.decode(value)
+                for spec, value in zip(self.features, row)
+            }
+        return dict(zip(self.feature_names, row.tolist()))
+
+    # ------------------------------------------------------------------
+    # slicing and splitting
+    # ------------------------------------------------------------------
+    def subset(self, rows: Sequence[int] | np.ndarray) -> "Dataset":
+        """Row-subset view (copies data) preserving all metadata."""
+        rows = np.asarray(rows)
+        return Dataset(
+            X=self.X[rows].copy(),
+            y=None if self.y is None else self.y[rows].copy(),
+            features=list(self.features),
+            target_name=self.target_name,
+            target_classes=self.target_classes,
+        )
+
+    def drop_rows(self, rows: Sequence[int] | np.ndarray) -> "Dataset":
+        """Return a copy of the dataset without the given row indices."""
+        mask = np.ones(self.n_rows, dtype=bool)
+        mask[np.asarray(rows)] = False
+        return self.subset(np.flatnonzero(mask))
+
+    def split(
+        self,
+        *,
+        test_fraction: float = 0.25,
+        random_state: RandomState = None,
+    ) -> tuple["Dataset", "Dataset"]:
+        """Shuffle-split into (train, test) datasets."""
+        if not 0.0 < test_fraction < 1.0:
+            raise ValidationError(
+                f"test_fraction must be in (0, 1), got {test_fraction}"
+            )
+        rng = check_random_state(random_state)
+        order = rng.permutation(self.n_rows)
+        n_test = max(1, int(round(self.n_rows * test_fraction)))
+        test_rows, train_rows = order[:n_test], order[n_test:]
+        if train_rows.size == 0:
+            raise ValidationError("split left the training set empty")
+        return self.subset(train_rows), self.subset(test_rows)

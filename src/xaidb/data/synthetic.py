@@ -1,0 +1,532 @@
+"""Synthetic tabular workloads with ground-truth causal structure.
+
+The tutorial's running examples are credit scoring, income prediction and
+recidivism — datasets (UCI Adult, German credit, ProPublica COMPAS) that we
+cannot ship offline.  Each generator here builds a *structural* analogue:
+a hand-specified SCM whose joint distribution mirrors the qualitative
+structure of the original (correlated demographics, protected attributes
+with indirect paths, noisy labels), so that
+
+- explainer experiments have **known ground truth** (true coefficients,
+  true causal orderings, features that are dummies by construction), and
+- every run is exactly reproducible from a seed.
+
+Each generator returns a :class:`SyntheticWorkload` bundling the sampled
+:class:`~xaidb.data.dataset.Dataset`, the generating
+:class:`~xaidb.causal.scm.StructuralCausalModel` and the ground-truth
+metadata that tests and benchmarks assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from xaidb.causal.graph import CausalGraph
+from xaidb.causal.scm import (
+    AdditiveNoiseMechanism,
+    BernoulliMechanism,
+    DiscreteMechanism,
+    StructuralCausalModel,
+)
+from xaidb.data.dataset import Dataset, FeatureSpec
+from xaidb.exceptions import ValidationError
+from xaidb.utils.linalg import sigmoid
+from xaidb.utils.rng import RandomState, check_random_state
+
+
+@dataclass
+class SyntheticWorkload:
+    """A generated dataset plus everything needed to verify explanations.
+
+    Attributes
+    ----------
+    dataset:
+        The sampled tabular data (labels included).
+    scm:
+        The generating structural causal model (label node included).
+    graph:
+        Convenience handle to ``scm.graph``.
+    label_node:
+        Name of the label variable inside the SCM.
+    true_label_weights:
+        For workloads whose label is a logistic function of features, the
+        ground-truth weight per feature name (0.0 marks a dummy feature).
+    notes:
+        Free-form metadata for experiments (e.g. which feature is
+        protected).
+    """
+
+    dataset: Dataset
+    scm: StructuralCausalModel
+    label_node: str
+    true_label_weights: dict[str, float] = field(default_factory=dict)
+    notes: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def graph(self) -> CausalGraph:
+        return self.scm.graph
+
+    def resample(self, n: int, random_state: RandomState = None) -> Dataset:
+        """Draw a fresh dataset of ``n`` rows from the same SCM."""
+        return _scm_to_dataset(
+            self.scm,
+            self.dataset.features,
+            self.label_node,
+            n,
+            random_state,
+            target_classes=self.dataset.target_classes,
+        )
+
+
+def _scm_to_dataset(
+    scm: StructuralCausalModel,
+    features: list[FeatureSpec],
+    label_node: str,
+    n: int,
+    random_state: RandomState,
+    *,
+    target_classes: tuple[Any, ...] | None,
+) -> Dataset:
+    columns = scm.sample(n, random_state=random_state)
+    matrix = np.column_stack([columns[spec.name] for spec in features])
+    return Dataset(
+        X=matrix,
+        y=columns[label_node].astype(float),
+        features=features,
+        target_name=label_node,
+        target_classes=target_classes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Income (Adult-like)
+# ----------------------------------------------------------------------
+def make_income(
+    n: int = 2000,
+    *,
+    random_state: RandomState = None,
+    noise_scale: float = 1.0,
+) -> SyntheticWorkload:
+    """Adult-census-like income workload.
+
+    Causal structure (standardised units)::
+
+        age -> education -> income ; age -> hours ; gender -> occupation
+        education -> occupation    ; hours, occupation, capital_gain -> income
+
+    ``gender`` has **no direct edge to income** — only the indirect path
+    through occupation — which is exactly the structure causal-Shapley
+    experiments (E6) need to separate direct from indirect effects.
+    ``capital_gain`` is heavy-tailed; ``random_noise`` is a pure dummy
+    feature with zero weight, giving Shapley-axiom tests a known null.
+    """
+    rng = check_random_state(random_state)
+    weights = {
+        "age": 0.30,
+        "education": 0.80,
+        "hours": 0.50,
+        "occupation": 0.60,
+        "gender": 0.0,
+        "capital_gain": 0.40,
+        "random_noise": 0.0,
+    }
+    graph = CausalGraph(
+        nodes=[
+            "age",
+            "gender",
+            "education",
+            "hours",
+            "occupation",
+            "capital_gain",
+            "random_noise",
+            "income",
+        ],
+        edges=[
+            ("age", "education"),
+            ("age", "hours"),
+            ("gender", "occupation"),
+            ("education", "occupation"),
+            ("age", "income"),
+            ("education", "income"),
+            ("hours", "income"),
+            ("occupation", "income"),
+            ("capital_gain", "income"),
+        ],
+    )
+    mechanisms = {
+        "age": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "gender": BernoulliMechanism(lambda p: 0.5),
+        "capital_gain": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "random_noise": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "education": AdditiveNoiseMechanism(
+            lambda p: 0.5 * p["age"], noise_scale=noise_scale
+        ),
+        "hours": AdditiveNoiseMechanism(
+            lambda p: 0.4 * p["age"], noise_scale=noise_scale
+        ),
+        "occupation": AdditiveNoiseMechanism(
+            lambda p: 0.6 * p["education"] + 0.7 * (2.0 * p["gender"] - 1.0),
+            noise_scale=noise_scale,
+        ),
+        "income": BernoulliMechanism(
+            lambda p: sigmoid(
+                weights["age"] * p["age"]
+                + weights["education"] * p["education"]
+                + weights["hours"] * p["hours"]
+                + weights["occupation"] * p["occupation"]
+                + weights["capital_gain"] * p["capital_gain"]
+            )
+        ),
+    }
+    scm = StructuralCausalModel(graph, mechanisms)
+    features = [
+        FeatureSpec("age"),
+        FeatureSpec("education", monotone=1),
+        FeatureSpec("hours"),
+        FeatureSpec("occupation"),
+        FeatureSpec(
+            "gender",
+            kind="categorical",
+            categories=("female", "male"),
+            actionable=False,
+        ),
+        FeatureSpec("capital_gain"),
+        FeatureSpec("random_noise"),
+    ]
+    dataset = _scm_to_dataset(
+        scm, features, "income", n, rng, target_classes=("<=50K", ">50K")
+    )
+    return SyntheticWorkload(
+        dataset=dataset,
+        scm=scm,
+        label_node="income",
+        true_label_weights={spec.name: weights[spec.name] for spec in features},
+        notes={
+            "protected": "gender",
+            "dummy_features": ["random_noise", "gender"],
+            "indirect_only": {"gender": "occupation"},
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Credit (German-credit-like)
+# ----------------------------------------------------------------------
+def make_credit(
+    n: int = 2000,
+    *,
+    random_state: RandomState = None,
+    noise_scale: float = 1.0,
+) -> SyntheticWorkload:
+    """German-credit-like loan-approval workload.
+
+    Designed for counterfactual/recourse experiments (E8/E9): ``savings``
+    and ``employment_years`` are actionable with monotone-up constraints,
+    ``age`` is immutable, ``housing`` is categorical, and the label has a
+    crisp logistic form so validity of generated counterfactuals can be
+    checked against ground truth.
+    """
+    rng = check_random_state(random_state)
+    weights = {
+        "duration": -0.7,
+        "amount": -0.5,
+        "savings": 0.9,
+        "employment_years": 0.6,
+        "age": 0.2,
+        "housing": 0.3,
+    }
+    graph = CausalGraph(
+        nodes=[
+            "age",
+            "employment_years",
+            "savings",
+            "amount",
+            "duration",
+            "housing",
+            "credit",
+        ],
+        edges=[
+            ("age", "employment_years"),
+            ("employment_years", "savings"),
+            ("amount", "duration"),
+            ("age", "housing"),
+            ("duration", "credit"),
+            ("amount", "credit"),
+            ("savings", "credit"),
+            ("employment_years", "credit"),
+            ("age", "credit"),
+            ("housing", "credit"),
+        ],
+    )
+    mechanisms = {
+        "age": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "amount": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "employment_years": AdditiveNoiseMechanism(
+            lambda p: 0.6 * p["age"], noise_scale=noise_scale
+        ),
+        "savings": AdditiveNoiseMechanism(
+            lambda p: 0.5 * p["employment_years"], noise_scale=noise_scale
+        ),
+        "duration": AdditiveNoiseMechanism(
+            lambda p: 0.6 * p["amount"], noise_scale=noise_scale
+        ),
+        "housing": DiscreteMechanism(
+            categories=(0.0, 1.0, 2.0),
+            probs=lambda p: np.column_stack(
+                [
+                    sigmoid(-p["age"]) * 0.5 + 0.1,
+                    np.full_like(p["age"], 0.3),
+                    sigmoid(p["age"]) * 0.5 + 0.1,
+                ]
+            ),
+        ),
+        "credit": BernoulliMechanism(
+            lambda p: sigmoid(
+                weights["duration"] * p["duration"]
+                + weights["amount"] * p["amount"]
+                + weights["savings"] * p["savings"]
+                + weights["employment_years"] * p["employment_years"]
+                + weights["age"] * p["age"]
+                + weights["housing"] * (p["housing"] - 1.0)
+            )
+        ),
+    }
+    scm = StructuralCausalModel(graph, mechanisms)
+    features = [
+        FeatureSpec("duration"),
+        FeatureSpec("amount"),
+        FeatureSpec("savings", monotone=1),
+        FeatureSpec("employment_years", monotone=1),
+        FeatureSpec("age", actionable=False),
+        FeatureSpec(
+            "housing", kind="categorical", categories=("rent", "free", "own")
+        ),
+    ]
+    dataset = _scm_to_dataset(
+        scm, features, "credit", n, rng, target_classes=("bad", "good")
+    )
+    return SyntheticWorkload(
+        dataset=dataset,
+        scm=scm,
+        label_node="credit",
+        true_label_weights={spec.name: weights[spec.name] for spec in features},
+        notes={"immutable": ["age"], "monotone_up": ["savings", "employment_years"]},
+    )
+
+
+# ----------------------------------------------------------------------
+# Recidivism (COMPAS-like)
+# ----------------------------------------------------------------------
+def make_recidivism(
+    n: int = 2000,
+    *,
+    biased: bool = False,
+    discrete: bool = False,
+    random_state: RandomState = None,
+    noise_scale: float = 1.0,
+) -> SyntheticWorkload:
+    """COMPAS-like recidivism workload with a protected ``race`` attribute.
+
+    With ``biased=False`` (default) the label depends on ``priors``, ``age``
+    and ``charge_degree`` only — race is correlated with priors (confounded
+    history) but has **no causal effect** on the label.  With
+    ``biased=True`` the label additionally depends directly on race, the
+    setting the scaffolding-attack experiment (E19) needs: a biased model
+    whose bias an adversary tries to hide from post-hoc explainers.
+
+    ``discrete=True`` rounds the numeric columns (``age``, ``priors``)
+    onto an integer lattice, mimicking the real COMPAS table (integer age
+    and prior counts).  This is the property the scaffolding attack
+    exploits: marginal-sampling perturbations land off the lattice, so
+    real and perturbed rows are cleanly separable.
+    """
+    rng = check_random_state(random_state)
+    race_weight = 1.5 if biased else 0.0
+    weights = {
+        "age": -0.4,
+        "priors": 1.0,
+        "charge_degree": 0.6,
+        "race": race_weight,
+        "gender": 0.0,
+    }
+    graph = CausalGraph(
+        nodes=["age", "race", "gender", "priors", "charge_degree", "recid"],
+        edges=[
+            ("age", "priors"),
+            ("race", "priors"),
+            ("age", "recid"),
+            ("priors", "recid"),
+            ("charge_degree", "recid"),
+            ("race", "recid"),
+        ],
+    )
+    mechanisms = {
+        "age": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "race": BernoulliMechanism(lambda p: 0.5),
+        "gender": BernoulliMechanism(lambda p: 0.5),
+        "charge_degree": BernoulliMechanism(lambda p: 0.4),
+        "priors": AdditiveNoiseMechanism(
+            lambda p: -0.3 * p["age"] + 0.5 * (2.0 * p["race"] - 1.0),
+            noise_scale=noise_scale,
+        ),
+        "recid": BernoulliMechanism(
+            lambda p: sigmoid(
+                weights["age"] * p["age"]
+                + weights["priors"] * p["priors"]
+                + weights["charge_degree"] * (2.0 * p["charge_degree"] - 1.0)
+                + race_weight * (2.0 * p["race"] - 1.0)
+            )
+        ),
+    }
+    scm = StructuralCausalModel(graph, mechanisms)
+    features = [
+        FeatureSpec("age", actionable=False),
+        FeatureSpec("priors"),
+        FeatureSpec(
+            "charge_degree",
+            kind="categorical",
+            categories=("misdemeanor", "felony"),
+        ),
+        FeatureSpec(
+            "race",
+            kind="categorical",
+            categories=("group_a", "group_b"),
+            actionable=False,
+        ),
+        FeatureSpec(
+            "gender",
+            kind="categorical",
+            categories=("female", "male"),
+            actionable=False,
+        ),
+    ]
+    dataset = _scm_to_dataset(
+        scm, features, "recid", n, rng, target_classes=("no_recid", "recid")
+    )
+    if discrete:
+        for column_name in ("age", "priors"):
+            column = dataset.feature_names.index(column_name)
+            dataset.X[:, column] = np.round(dataset.X[:, column])
+    return SyntheticWorkload(
+        dataset=dataset,
+        scm=scm,
+        label_node="recid",
+        true_label_weights={spec.name: weights[spec.name] for spec in features},
+        notes={"protected": "race", "biased": biased, "discrete": discrete},
+    )
+
+
+# ----------------------------------------------------------------------
+# Loans (recourse-oriented regression-ish workload)
+# ----------------------------------------------------------------------
+def make_loans(
+    n: int = 2000,
+    *,
+    random_state: RandomState = None,
+    noise_scale: float = 1.0,
+) -> SyntheticWorkload:
+    """Loan-approval workload for the recourse example and experiment E10.
+
+    All four features have direct effects with well-separated magnitudes
+    (credit_score dominates), so necessity/sufficiency scores have an
+    unambiguous expected ranking.
+    """
+    rng = check_random_state(random_state)
+    weights = {
+        "income": 0.8,
+        "credit_score": 1.2,
+        "debt_to_income": -0.9,
+        "employment_years": 0.4,
+    }
+    graph = CausalGraph(
+        nodes=[
+            "income",
+            "credit_score",
+            "debt_to_income",
+            "employment_years",
+            "approved",
+        ],
+        edges=[
+            ("employment_years", "income"),
+            ("income", "debt_to_income"),
+            ("income", "approved"),
+            ("credit_score", "approved"),
+            ("debt_to_income", "approved"),
+            ("employment_years", "approved"),
+        ],
+    )
+    mechanisms = {
+        "employment_years": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "credit_score": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+        "income": AdditiveNoiseMechanism(
+            lambda p: 0.5 * p["employment_years"], noise_scale=noise_scale
+        ),
+        "debt_to_income": AdditiveNoiseMechanism(
+            lambda p: -0.4 * p["income"], noise_scale=noise_scale
+        ),
+        "approved": BernoulliMechanism(
+            lambda p: sigmoid(
+                weights["income"] * p["income"]
+                + weights["credit_score"] * p["credit_score"]
+                + weights["debt_to_income"] * p["debt_to_income"]
+                + weights["employment_years"] * p["employment_years"]
+            )
+        ),
+    }
+    scm = StructuralCausalModel(graph, mechanisms)
+    features = [
+        FeatureSpec("income", monotone=1),
+        FeatureSpec("credit_score", monotone=1),
+        FeatureSpec("debt_to_income", monotone=-1),
+        FeatureSpec("employment_years", monotone=1),
+    ]
+    dataset = _scm_to_dataset(
+        scm, features, "approved", n, rng, target_classes=("denied", "approved")
+    )
+    return SyntheticWorkload(
+        dataset=dataset,
+        scm=scm,
+        label_node="approved",
+        true_label_weights={spec.name: weights[spec.name] for spec in features},
+        notes={},
+    )
+
+
+# ----------------------------------------------------------------------
+# Two moons (non-linear 2-D toy)
+# ----------------------------------------------------------------------
+def make_two_moons(
+    n: int = 400,
+    *,
+    noise: float = 0.15,
+    random_state: RandomState = None,
+) -> Dataset:
+    """The classic interleaving half-circles dataset.
+
+    Purely geometric (no SCM); used by examples and by tests that need a
+    decision boundary no linear model can capture.
+    """
+    if n < 2:
+        raise ValidationError("n must be >= 2")
+    rng = check_random_state(random_state)
+    n_upper = n // 2
+    n_lower = n - n_upper
+    theta_upper = rng.uniform(0.0, np.pi, size=n_upper)
+    theta_lower = rng.uniform(0.0, np.pi, size=n_lower)
+    upper = np.column_stack([np.cos(theta_upper), np.sin(theta_upper)])
+    lower = np.column_stack(
+        [1.0 - np.cos(theta_lower), 0.5 - np.sin(theta_lower)]
+    )
+    points = np.vstack([upper, lower]) + rng.normal(0.0, noise, size=(n, 2))
+    labels = np.concatenate([np.zeros(n_upper), np.ones(n_lower)])
+    order = rng.permutation(n)
+    return Dataset(
+        X=points[order],
+        y=labels[order],
+        features=[FeatureSpec("x0"), FeatureSpec("x1")],
+        target_name="moon",
+        target_classes=("upper", "lower"),
+    )

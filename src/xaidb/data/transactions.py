@@ -1,0 +1,112 @@
+"""Transaction databases for frequent-itemset mining (§2.2.1).
+
+The tutorial positions association-rule mining (Agrawal et al. 1993/1994,
+Han et al. 2000) as the data-management substrate behind rule-based
+explanations.  :class:`TransactionDatabase` is the shared input format for
+the Apriori and FP-Growth implementations in :mod:`xaidb.rules.mining`,
+and :func:`make_transactions` generates the synthetic market-basket
+workloads used in experiment E13's support-threshold sweep.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.rng import RandomState, check_random_state
+
+
+@dataclass
+class TransactionDatabase:
+    """A bag of transactions, each a frozenset of hashable items."""
+
+    transactions: list[frozenset] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.transactions = [frozenset(t) for t in self.transactions]
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    def __iter__(self):
+        return iter(self.transactions)
+
+    @property
+    def items(self) -> set:
+        """The universe of items appearing in any transaction."""
+        universe: set = set()
+        for transaction in self.transactions:
+            universe |= transaction
+        return universe
+
+    def support_count(self, itemset: Iterable) -> int:
+        """Number of transactions containing every item of ``itemset``."""
+        needle = frozenset(itemset)
+        return sum(1 for t in self.transactions if needle <= t)
+
+    def support(self, itemset: Iterable) -> float:
+        """Fraction of transactions containing ``itemset``."""
+        if not self.transactions:
+            raise ValidationError("support undefined on an empty database")
+        return self.support_count(itemset) / len(self.transactions)
+
+    def item_counts(self) -> Counter:
+        """Counter of single-item supports (used to seed both miners)."""
+        counts: Counter = Counter()
+        for transaction in self.transactions:
+            counts.update(transaction)
+        return counts
+
+    @classmethod
+    def from_dataset_rows(cls, rows: Sequence[dict]) -> "TransactionDatabase":
+        """Convert dict-rows to transactions of ``"column=value"`` items —
+        the standard reduction that lets itemset miners run over tabular
+        data (each row becomes one transaction)."""
+        transactions = [
+            frozenset(f"{key}={value}" for key, value in row.items())
+            for row in rows
+        ]
+        return cls(transactions)
+
+
+def make_transactions(
+    n_transactions: int = 1000,
+    n_items: int = 50,
+    *,
+    n_patterns: int = 8,
+    pattern_length: int = 4,
+    pattern_probability: float = 0.35,
+    noise_items: int = 3,
+    random_state: RandomState = None,
+) -> TransactionDatabase:
+    """Generate a synthetic market-basket database with planted patterns.
+
+    Each transaction independently includes each of ``n_patterns`` planted
+    itemsets (of size ``pattern_length``) with probability
+    ``pattern_probability`` and then adds ``noise_items`` uniformly random
+    items.  The planted patterns are therefore the frequent itemsets any
+    correct miner must recover — tests use them as ground truth.
+    """
+    if n_transactions < 1 or n_items < pattern_length:
+        raise ValidationError("workload dimensions are inconsistent")
+    rng = check_random_state(random_state)
+    patterns = [
+        frozenset(
+            int(i)
+            for i in rng.choice(n_items, size=pattern_length, replace=False)
+        )
+        for _ in range(n_patterns)
+    ]
+    transactions = []
+    for _ in range(n_transactions):
+        basket: set[int] = set()
+        for pattern in patterns:
+            if rng.random() < pattern_probability:
+                basket |= pattern
+        basket |= {
+            int(i) for i in rng.integers(0, n_items, size=noise_items)
+        }
+        transactions.append(frozenset(basket))
+    return TransactionDatabase(transactions)

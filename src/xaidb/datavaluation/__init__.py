@@ -1,0 +1,22 @@
+"""Training-data-based explanations (tutorial §2.3): data valuation
+(leave-one-out, Data Shapley, KNN-Shapley, distributional Shapley) and
+influence functions (first/second order for GLMs, LeafRefit for GBDTs)."""
+
+from xaidb.datavaluation.data_shapley import DataShapley, tmc_shapley_values
+from xaidb.datavaluation.distributional import distributional_shapley_values
+from xaidb.datavaluation.influence import InfluenceFunctions
+from xaidb.datavaluation.knn_shapley import knn_shapley_values
+from xaidb.datavaluation.loo import leave_one_out_values
+from xaidb.datavaluation.tree_influence import LeafRefitInfluence
+from xaidb.datavaluation.utility import UtilityFunction
+
+__all__ = [
+    "UtilityFunction",
+    "leave_one_out_values",
+    "DataShapley",
+    "tmc_shapley_values",
+    "knn_shapley_values",
+    "distributional_shapley_values",
+    "InfluenceFunctions",
+    "LeafRefitInfluence",
+]

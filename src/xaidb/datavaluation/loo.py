@@ -1,0 +1,37 @@
+"""Leave-one-out data values — the "naive way of computing the influence
+of a data point" (tutorial §2.3.2): remove it, retrain, diff the metric.
+
+Exact but O(n) retrainings; it is both the correctness oracle for
+influence functions (E16) and the weaker baseline Data Shapley is
+compared against (E14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.datavaluation.utility import UtilityFunction
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+
+def leave_one_out_values(
+    utility: UtilityFunction,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+) -> np.ndarray:
+    """``value_i = v(D) - v(D \\ {i})`` for every training point.
+
+    Positive values mark points that help validation performance; points
+    with noisy/corrupted labels typically come out negative.
+    """
+    X_train = check_array(X_train, name="X_train", ndim=2)
+    y_train = check_array(y_train, name="y_train", ndim=1)
+    check_matching_lengths(("X_train", X_train), ("y_train", y_train))
+    n = len(y_train)
+    full = utility(X_train, y_train)
+    values = np.empty(n)
+    everyone = np.arange(n)
+    for i in range(n):
+        subset = everyone[everyone != i]
+        values[i] = full - utility(X_train, y_train, subset)
+    return values

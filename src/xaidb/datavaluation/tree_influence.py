@@ -1,0 +1,156 @@
+"""Influence of training points on gradient-boosted trees
+(Sharchilev et al. 2018, "Finding Influential Training Samples for
+Gradient Boosted Decision Trees").
+
+Influence functions need twice-differentiable parametric losses, which
+trees lack.  Sharchilev et al.'s **LeafRefit** fixes the ensemble
+*structure* (splits stay put) and asks: how would the *leaf values*
+change if training point ``i`` were removed?  Each Newton leaf value is
+``sum(residuals) / sum(curvatures)`` over the training rows in the leaf,
+so removing a row updates the leaf in O(1); chaining through the trees a
+row participated in gives the change in any test prediction without
+retraining.
+
+This one-step variant ignores the cascade of changed raw scores into
+later stages (the paper's LeafInfluence extension tracks it); tests
+check the sign/ranking agreement with exact retraining, which is the
+guarantee actually used when debugging data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.models.gbm import GradientBoostedClassifier, GradientBoostedRegressor
+from xaidb.utils.linalg import sigmoid
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+GBM = GradientBoostedClassifier | GradientBoostedRegressor
+
+
+class LeafRefitInfluence:
+    """LeafRefit influence for xaidb gradient-boosted models.
+
+    Parameters
+    ----------
+    model:
+        Fitted GBM (the exact arrays it trained on must be passed too —
+        the model does not retain its training data).
+    X_train, y_train:
+        The training data used to fit ``model``.
+    """
+
+    def __init__(
+        self, model: GBM, X_train: np.ndarray, y_train: np.ndarray
+    ) -> None:
+        if not isinstance(
+            model, (GradientBoostedClassifier, GradientBoostedRegressor)
+        ):
+            raise ValidationError("model must be a fitted xaidb GBM")
+        if model.trees_ is None:
+            raise ValidationError("model must be fitted")
+        self.model = model
+        self.X_train = check_array(X_train, name="X_train", ndim=2)
+        self.y_train = check_array(y_train, name="y_train", ndim=1)
+        check_matching_lengths(("X_train", self.X_train), ("y_train", self.y_train))
+        self._classification = isinstance(model, GradientBoostedClassifier)
+        if self._classification:
+            lookup = {label: idx for idx, label in enumerate(model.classes_)}
+            self._targets = np.asarray(
+                [lookup[label] for label in self.y_train], dtype=float
+            )
+        else:
+            self._targets = self.y_train
+        self._precompute()
+
+    # ------------------------------------------------------------------
+    def _precompute(self) -> None:
+        """Per tree: each training row's leaf, and each leaf's Newton
+        numerator/denominator so removals are O(1)."""
+        staged = self.model.staged_raw_scores(self.X_train)  # (T+1, n)
+        self._tree_stats: list[dict] = []
+        for stage, (tree, rows) in enumerate(
+            zip(self.model.trees_, self.model.tree_train_rows_)
+        ):
+            raw = staged[stage]
+            leaves = tree.tree_.apply(self.X_train[rows])
+            numerators: dict[int, float] = {}
+            denominators: dict[int, float] = {}
+            membership: dict[int, int] = {}  # training row -> leaf
+            contributions: dict[int, tuple[float, float]] = {}
+            for row, leaf in zip(rows, leaves):
+                membership[int(row)] = int(leaf)
+                if self._classification:
+                    p = float(sigmoid(raw[row]))
+                    residual = self._targets[row] - p
+                    curvature = p * (1.0 - p)
+                else:
+                    residual = self._targets[row] - raw[row]
+                    curvature = 1.0
+                contributions[int(row)] = (float(residual), float(curvature))
+                numerators[int(leaf)] = numerators.get(int(leaf), 0.0) + residual
+                denominators[int(leaf)] = (
+                    denominators.get(int(leaf), 0.0) + curvature
+                )
+            self._tree_stats.append(
+                {
+                    "membership": membership,
+                    "numerators": numerators,
+                    "denominators": denominators,
+                    "contributions": contributions,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def leaf_value_changes(self, index: int) -> list[dict[int, float]]:
+        """Per tree, ``{leaf: delta_value}`` caused by removing training
+        point ``index`` (empty dict when the point did not train that
+        tree)."""
+        if not 0 <= index < len(self.y_train):
+            raise ValidationError("index out of range")
+        changes = []
+        for tree, stats in zip(self.model.trees_, self._tree_stats):
+            membership = stats["membership"]
+            if index not in membership:
+                changes.append({})
+                continue
+            leaf = membership[index]
+            numerator = stats["numerators"][leaf]
+            denominator = stats["denominators"][leaf]
+            raw_value = tree.tree_.value[leaf, 0]
+            residual, curvature = stats["contributions"][index]
+            new_denominator = denominator - curvature
+            if new_denominator < 1e-12:
+                new_value = 0.0
+            else:
+                new_value = (numerator - residual) / new_denominator
+            changes.append({leaf: float(new_value - raw_value)})
+        return changes
+
+    def prediction_influence(
+        self, index: int, X_test: np.ndarray
+    ) -> np.ndarray:
+        """Estimated change in the raw model output at each test row if
+        training point ``index`` were removed (LeafRefit: structure fixed,
+        affected leaves re-estimated)."""
+        X_test = check_array(X_test, name="X_test", ndim=2)
+        changes = self.leaf_value_changes(index)
+        deltas = np.zeros(X_test.shape[0])
+        for tree, leaf_changes in zip(self.model.trees_, changes):
+            if not leaf_changes:
+                continue
+            test_leaves = tree.tree_.apply(X_test)
+            for leaf, delta in leaf_changes.items():
+                deltas[test_leaves == leaf] += self.model.learning_rate * delta
+        return deltas
+
+    def influence_ranking(self, X_test: np.ndarray) -> np.ndarray:
+        """Training points ranked by total |prediction influence| on the
+        test set, most influential first."""
+        totals = np.zeros(len(self.y_train))
+        for index in range(len(self.y_train)):
+            totals[index] = float(
+                np.abs(self.prediction_influence(index, X_test)).sum()
+            )
+        return np.argsort(-totals, kind="mergesort")

@@ -1,0 +1,98 @@
+"""The utility function shared by all data-valuation methods.
+
+Data Shapley treats "train the learning algorithm on a data subset,
+measure a performance metric on a validation set" as the payoff of a
+cooperative game over training points.  :class:`UtilityFunction`
+encapsulates that triple (algorithm, metric, validation data) with the
+edge-case policy the papers gloss over: subsets too small or too
+one-sided to train on score the *null utility* (majority-class accuracy or
+the metric of the constant mean prediction).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from xaidb.exceptions import XaidbError
+from xaidb.models.base import Classifier, Model, clone
+from xaidb.models.metrics import accuracy
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+class UtilityFunction:
+    """``v(S) = metric(y_val, model_fitted_on_S.predict(X_val))``.
+
+    Parameters
+    ----------
+    model:
+        Template estimator; a fresh clone is fitted per subset.
+    X_valid, y_valid:
+        Held-out evaluation data.
+    metric:
+        ``metric(y_true, y_pred) -> float`` (higher = better); defaults to
+        accuracy.
+    min_points:
+        Subsets smaller than this score the null utility.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        X_valid: np.ndarray,
+        y_valid: np.ndarray,
+        *,
+        metric: MetricFn = accuracy,
+        min_points: int = 2,
+    ) -> None:
+        self.model = model
+        self.X_valid = check_array(X_valid, name="X_valid", ndim=2)
+        self.y_valid = check_array(y_valid, name="y_valid", ndim=1)
+        check_matching_lengths(("X_valid", self.X_valid), ("y_valid", self.y_valid))
+        self.metric = metric
+        self.min_points = min_points
+        self._null: float | None = None
+
+    # ------------------------------------------------------------------
+    def null_utility(self) -> float:
+        """Utility of the trivial predictor (majority class / mean)."""
+        if self._null is None:
+            if isinstance(self.model, Classifier):
+                values, counts = np.unique(self.y_valid, return_counts=True)
+                majority = values[np.argmax(counts)]
+                predictions = np.full_like(self.y_valid, majority)
+            else:
+                predictions = np.full_like(self.y_valid, self.y_valid.mean())
+            self._null = float(self.metric(self.y_valid, predictions))
+        return self._null
+
+    def _trainable(self, y_subset: np.ndarray) -> bool:
+        if len(y_subset) < self.min_points:
+            return False
+        if isinstance(self.model, Classifier) and len(np.unique(y_subset)) < 2:
+            return False
+        return True
+
+    def __call__(
+        self,
+        X_train: np.ndarray,
+        y_train: np.ndarray,
+        subset: Sequence[int] | np.ndarray | None = None,
+    ) -> float:
+        """Utility of training on ``X_train[subset]`` (full set if None)."""
+        if subset is not None:
+            subset = np.asarray(subset, dtype=int)
+            X_subset, y_subset = X_train[subset], y_train[subset]
+        else:
+            X_subset, y_subset = X_train, y_train
+        if not self._trainable(y_subset):
+            return self.null_utility()
+        estimator = clone(self.model)
+        try:
+            estimator.fit(X_subset, y_subset)
+        except XaidbError:
+            return self.null_utility()
+        return float(self.metric(self.y_valid, estimator.predict(self.X_valid)))

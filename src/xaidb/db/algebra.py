@@ -1,0 +1,217 @@
+"""Provenance-tracking relational algebra.
+
+Each operator returns a new :class:`~xaidb.db.relation.Relation` whose
+rows carry provenance composed by the semiring rules in
+:mod:`xaidb.db.provenance` — selection filters, projection/union add
+(alternative derivations), join multiplies (joint derivations).
+Aggregates record the lineage of every contributing row, since *all* of a
+group's rows participate in its aggregate value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from xaidb.db.provenance import Provenance
+from xaidb.db.relation import Relation, Row
+from xaidb.exceptions import SchemaError, ValidationError
+
+Predicate = Callable[[Mapping[str, Any]], bool]
+
+
+def select(relation: Relation, predicate: Predicate, *, name: str | None = None) -> Relation:
+    """sigma: keep rows satisfying ``predicate`` (provenance unchanged)."""
+    rows = [row for row in relation if predicate(row.as_dict())]
+    return Relation(
+        name=name or f"sigma({relation.name})",
+        columns=list(relation.columns),
+        rows=rows,
+    )
+
+
+def project(
+    relation: Relation, columns: Sequence[str], *, name: str | None = None
+) -> Relation:
+    """pi with duplicate elimination: identical projected tuples merge and
+    their provenances add."""
+    columns = list(columns)
+    missing = [c for c in columns if c not in relation.columns]
+    if missing:
+        raise SchemaError(f"{relation.name} has no columns {missing}")
+    merged: dict[tuple, Provenance] = {}
+    order: list[tuple] = []
+    for row in relation:
+        values = {c: row[c] for c in columns}
+        key = tuple(sorted(values.items()))
+        if key not in merged:
+            merged[key] = row.provenance
+            order.append(key)
+        else:
+            merged[key] = merged[key] + row.provenance
+    rows = [Row(values=key, provenance=merged[key]) for key in order]
+    return Relation(
+        name=name or f"pi({relation.name})", columns=columns, rows=rows
+    )
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[str],
+    *,
+    name: str | None = None,
+) -> Relation:
+    """Natural equi-join on ``on``; provenances multiply."""
+    on = list(on)
+    for column in on:
+        if column not in left.columns or column not in right.columns:
+            raise SchemaError(f"join column {column!r} missing from an input")
+    overlap = (set(left.columns) & set(right.columns)) - set(on)
+    if overlap:
+        raise SchemaError(
+            f"non-join columns appear on both sides: {sorted(overlap)}; "
+            f"project or rename first"
+        )
+    index: dict[tuple, list[Row]] = {}
+    for row in right:
+        key = tuple(row[c] for c in on)
+        index.setdefault(key, []).append(row)
+    out_columns = list(left.columns) + [
+        c for c in right.columns if c not in on
+    ]
+    rows = []
+    for left_row in left:
+        key = tuple(left_row[c] for c in on)
+        for right_row in index.get(key, []):
+            values = left_row.as_dict()
+            values.update(
+                {c: right_row[c] for c in right.columns if c not in on}
+            )
+            rows.append(
+                Row.make(values, left_row.provenance * right_row.provenance)
+            )
+    return Relation(
+        name=name or f"({left.name} ⋈ {right.name})",
+        columns=out_columns,
+        rows=rows,
+    )
+
+
+def union(left: Relation, right: Relation, *, name: str | None = None) -> Relation:
+    """Set union: identical tuples merge with added provenance."""
+    if sorted(left.columns) != sorted(right.columns):
+        raise SchemaError("union requires identical schemas")
+    combined = Relation(
+        name=name or f"({left.name} ∪ {right.name})",
+        columns=list(left.columns),
+        rows=list(left.rows) + [
+            Row.make(row.as_dict(), row.provenance) for row in right.rows
+        ],
+    )
+    return project(combined, combined.columns, name=combined.name)
+
+
+def difference(
+    left: Relation, right: Relation, *, name: str | None = None
+) -> Relation:
+    """Set difference on values (provenance of survivors unchanged —
+    why-provenance is a positive semiring, so the right side contributes
+    no tokens)."""
+    if sorted(left.columns) != sorted(right.columns):
+        raise SchemaError("difference requires identical schemas")
+    right_keys = {
+        tuple(sorted(row.as_dict().items())) for row in right.rows
+    }
+    rows = [
+        row
+        for row in left.rows
+        if tuple(sorted(row.as_dict().items())) not in right_keys
+    ]
+    return Relation(
+        name=name or f"({left.name} - {right.name})",
+        columns=list(left.columns),
+        rows=rows,
+    )
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+_AGGREGATES: dict[str, Callable[[list], float]] = {
+    "count": lambda values: float(len(values)),
+    "sum": lambda values: float(np.sum(values)),
+    "avg": lambda values: float(np.mean(values)),
+    "min": lambda values: float(np.min(values)),
+    "max": lambda values: float(np.max(values)),
+}
+
+
+def groupby(
+    relation: Relation,
+    group_columns: Sequence[str],
+    aggregations: Mapping[str, tuple[str, str]],
+    *,
+    name: str | None = None,
+) -> Relation:
+    """gamma: group by ``group_columns`` and compute aggregates.
+
+    ``aggregations`` maps output column -> (function, input column); the
+    function is one of count/sum/avg/min/max.  Each output row's
+    provenance is the single witness containing every contributing base
+    tuple (aggregates depend on all of their group).
+    """
+    group_columns = list(group_columns)
+    for column in group_columns:
+        if column not in relation.columns:
+            raise SchemaError(f"unknown group column {column!r}")
+    for out_col, (func, in_col) in aggregations.items():
+        if func not in _AGGREGATES:
+            raise ValidationError(f"unknown aggregate {func!r}")
+        if func != "count" and in_col not in relation.columns:
+            raise SchemaError(f"unknown aggregate input column {in_col!r}")
+    groups: dict[tuple, list[Row]] = {}
+    order: list[tuple] = []
+    for row in relation:
+        key = tuple(row[c] for c in group_columns)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    rows = []
+    for key in order:
+        members = groups[key]
+        values: dict[str, Any] = dict(zip(group_columns, key))
+        for out_col, (func, in_col) in aggregations.items():
+            inputs = (
+                [1] * len(members)
+                if func == "count"
+                else [m[in_col] for m in members]
+            )
+            values[out_col] = _AGGREGATES[func](inputs)
+        lineage: set = set()
+        for member in members:
+            lineage |= member.provenance.lineage()
+        rows.append(Row.make(values, Provenance([frozenset(lineage)])))
+    return Relation(
+        name=name or f"gamma({relation.name})",
+        columns=group_columns + list(aggregations.keys()),
+        rows=rows,
+    )
+
+
+def aggregate(
+    relation: Relation, func: str, column: str | None = None
+) -> float:
+    """Whole-relation scalar aggregate (count needs no column)."""
+    if func not in _AGGREGATES:
+        raise ValidationError(f"unknown aggregate {func!r}")
+    if func == "count":
+        return float(len(relation))
+    if column is None:
+        raise ValidationError(f"aggregate {func!r} needs a column")
+    values = relation.column_values(column)
+    if not values:
+        return 0.0
+    return _AGGREGATES[func](values)

@@ -1,0 +1,109 @@
+"""Why-provenance as positive boolean (DNF) polynomials.
+
+Every base tuple carries an atomic provenance token (its tuple id).
+Relational operators combine provenance in the usual semiring style:
+
+- **join / conjunction** multiplies: each output monomial is the union of
+  one monomial from each side;
+- **union / projection / duplicate elimination** adds: monomial sets are
+  unioned, with absorption (a monomial that is a superset of another is
+  redundant — if ``{a}`` suffices to derive the tuple, ``{a, b}`` adds
+  nothing).
+
+A :class:`Provenance` is therefore a set of *witnesses*: minimal sets of
+base tuples each sufficient to derive the output tuple.  This is exactly
+the structure Shapley-of-tuples and responsibility computations need.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from xaidb.exceptions import ProvenanceError
+
+
+class Provenance:
+    """An absorption-minimised DNF over base-tuple ids."""
+
+    __slots__ = ("witnesses",)
+
+    def __init__(self, witnesses: Iterable[frozenset] = ()) -> None:
+        self.witnesses: frozenset[frozenset] = _absorb(
+            frozenset(frozenset(w) for w in witnesses)
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def atom(cls, tuple_id: Hashable) -> "Provenance":
+        """The provenance of a base tuple: itself."""
+        return cls([frozenset([tuple_id])])
+
+    @classmethod
+    def empty(cls) -> "Provenance":
+        """Unsatisfiable provenance (no derivation)."""
+        return cls()
+
+    @classmethod
+    def always(cls) -> "Provenance":
+        """Trivially true provenance (derivable from nothing — used for
+        constants)."""
+        return cls([frozenset()])
+
+    # ------------------------------------------------------------------
+    def __mul__(self, other: "Provenance") -> "Provenance":
+        """Conjunction (join)."""
+        return Provenance(
+            a | b for a in self.witnesses for b in other.witnesses
+        )
+
+    def __add__(self, other: "Provenance") -> "Provenance":
+        """Disjunction (union / alternative derivations)."""
+        return Provenance(self.witnesses | other.witnesses)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Provenance) and self.witnesses == other.witnesses
+
+    def __hash__(self) -> int:
+        return hash(self.witnesses)
+
+    def __bool__(self) -> bool:
+        return bool(self.witnesses)
+
+    # ------------------------------------------------------------------
+    def lineage(self) -> frozenset:
+        """All base tuples appearing in any derivation (the classic
+        lineage / why-provenance union)."""
+        out: set = set()
+        for witness in self.witnesses:
+            out |= witness
+        return frozenset(out)
+
+    def satisfied_by(self, present: Iterable[Hashable]) -> bool:
+        """Whether the tuple is derivable when only ``present`` base
+        tuples exist."""
+        available = frozenset(present)
+        return any(witness <= available for witness in self.witnesses)
+
+    def is_counterfactual_cause(self, tuple_id: Hashable) -> bool:
+        """Whether removing ``tuple_id`` alone kills every derivation."""
+        if not self.witnesses:
+            raise ProvenanceError("tuple has no derivation")
+        return all(tuple_id in witness for witness in self.witnesses)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if not self.witnesses:
+            return "Provenance(⊥)"
+        terms = " + ".join(
+            "·".join(sorted(map(str, witness))) or "1"
+            for witness in sorted(self.witnesses, key=lambda w: sorted(map(str, w)))
+        )
+        return f"Provenance({terms})"
+
+
+def _absorb(witnesses: frozenset[frozenset]) -> frozenset[frozenset]:
+    """Drop witnesses that are supersets of other witnesses."""
+    minimal = []
+    for witness in sorted(witnesses, key=len):
+        if not any(kept <= witness for kept in minimal):
+            minimal.append(witness)
+    return frozenset(minimal)

@@ -1,0 +1,133 @@
+"""Explaining database query results (tutorial §3; Meliou et al. 2010
+"WHY SO? or WHY NO?"; Roy & Suciu 2014).
+
+- :func:`why_provenance` — the witnesses justifying an answer tuple;
+- :func:`why_not_provenance` — which *candidate* base tuples would, if
+  present, derive a missing answer (over a caller-supplied candidate
+  derivation set);
+- :func:`responsibility` — Meliou-style causal responsibility: tuple
+  ``t`` is a cause of an answer with contingency ``Γ`` if removing ``Γ``
+  makes ``t`` counterfactual; responsibility is ``1 / (1 + min |Γ|)``;
+- :func:`aggregate_interventions` — intervention-based explanation for
+  aggregate answers: rank base tuples (or tuple groups) by how much their
+  deletion moves the aggregate (Roy-Suciu style).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Hashable, Iterable, Mapping, Sequence
+
+from xaidb.db.provenance import Provenance
+from xaidb.db.relation import Relation
+from xaidb.exceptions import ProvenanceError, ValidationError
+
+
+def why_provenance(provenance: Provenance) -> list[list[Hashable]]:
+    """The minimal witnesses (why-provenance) of an answer, sorted by
+    size then lexicographically."""
+    return sorted(
+        (sorted(witness, key=str) for witness in provenance.witnesses),
+        key=lambda w: (len(w), [str(x) for x in w]),
+    )
+
+
+def why_not_provenance(
+    candidate_witnesses: Iterable[Iterable[Hashable]],
+    present: Iterable[Hashable],
+) -> list[list[Hashable]]:
+    """Why is the answer missing?  For each candidate derivation, the base
+    tuples that would have to be *added* to the database to complete it —
+    the 'missing tuples' flavour of why-not.  Sorted by how few insertions
+    each needs."""
+    available = frozenset(present)
+    repairs = []
+    for witness in candidate_witnesses:
+        missing = frozenset(witness) - available
+        if missing:
+            repairs.append(sorted(missing, key=str))
+    repairs.sort(key=lambda r: (len(r), [str(x) for x in r]))
+    return repairs
+
+
+def responsibility(
+    provenance: Provenance,
+    tuple_id: Hashable,
+    *,
+    max_contingency: int | None = None,
+) -> float:
+    """Causal responsibility of ``tuple_id`` for the answer.
+
+    Searches for the smallest contingency set ``Γ`` (tuples to remove)
+    after which ``tuple_id`` becomes counterfactual; responsibility is
+    ``1/(1+|Γ|)``, and 0 when the tuple is not a cause at all (does not
+    appear in any witness, or no contingency up to ``max_contingency``
+    works).
+    """
+    lineage = provenance.lineage()
+    if tuple_id not in lineage:
+        return 0.0
+    others = sorted(lineage - {tuple_id}, key=str)
+    limit = len(others) if max_contingency is None else min(max_contingency, len(others))
+    for size in range(limit + 1):
+        for contingency in combinations(others, size):
+            remaining = frozenset(lineage) - frozenset(contingency)
+            # answer must still hold with the contingency removed...
+            if not provenance.satisfied_by(remaining):
+                continue
+            # ...and fail once tuple_id is also removed
+            if not provenance.satisfied_by(remaining - {tuple_id}):
+                return 1.0 / (1.0 + size)
+    return 0.0
+
+
+def all_responsibilities(
+    provenance: Provenance, *, max_contingency: int | None = None
+) -> dict[Hashable, float]:
+    """Responsibility of every tuple in the lineage, descending."""
+    scores = {
+        token: responsibility(
+            provenance, token, max_contingency=max_contingency
+        )
+        for token in provenance.lineage()
+    }
+    return dict(
+        sorted(scores.items(), key=lambda item: (-item[1], str(item[0])))
+    )
+
+
+def aggregate_interventions(
+    relation: Relation,
+    query_fn: Callable[[Relation], float],
+    *,
+    groups: Mapping[str, Sequence[Hashable]] | None = None,
+    top_k: int | None = None,
+) -> list[tuple[str, float]]:
+    """Intervention-based explanation of an aggregate answer.
+
+    For each base tuple (or each named *group* of tuples — predicate-based
+    explanations delete homogeneous subsets), report the change in the
+    query answer when it is deleted:
+    ``effect = q(D) - q(D without the group)``.  Sorted by |effect|
+    descending; positive effect means the group pushes the answer up.
+    """
+    baseline = float(query_fn(relation))
+    all_tuples = relation.tuple_ids()
+    if not all_tuples:
+        raise ValidationError("relation has no base tuples")
+    if groups is None:
+        groups = {str(token): [token] for token in all_tuples}
+    effects = []
+    universe = frozenset(all_tuples)
+    for label, members in groups.items():
+        missing = [m for m in members if m not in universe]
+        if missing:
+            raise ProvenanceError(
+                f"group {label!r} references unknown tuples {missing}"
+            )
+        without = universe - frozenset(members)
+        effects.append(
+            (label, baseline - float(query_fn(relation.restrict_to(without))))
+        )
+    effects.sort(key=lambda item: (-abs(item[1]), item[0]))
+    return effects[:top_k] if top_k is not None else effects

@@ -1,0 +1,125 @@
+"""Relations: named collections of provenance-carrying rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from xaidb.db.provenance import Provenance
+from xaidb.exceptions import SchemaError
+
+
+@dataclass(frozen=True)
+class Row:
+    """One tuple: an immutable value mapping plus its provenance."""
+
+    values: tuple[tuple[str, Any], ...]
+    provenance: Provenance
+
+    @classmethod
+    def make(
+        cls, values: Mapping[str, Any], provenance: Provenance
+    ) -> "Row":
+        return cls(tuple(sorted(values.items())), provenance)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.values)
+
+    def __getitem__(self, column: str) -> Any:
+        for name, value in self.values:
+            if name == column:
+                return value
+        raise SchemaError(f"row has no column {column!r}")
+
+    def value_key(self) -> tuple:
+        """Hashable key over values only (ignoring provenance), used for
+        duplicate elimination."""
+        return self.values
+
+
+@dataclass
+class Relation:
+    """A named relation over a fixed set of columns.
+
+    Base relations give every row an atomic provenance token
+    ``"<name>:<i>"`` (or caller-provided ids); derived relations carry
+    whatever the algebra computed.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[Row] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(set(self.columns)) != len(self.columns):
+            raise SchemaError(f"duplicate column names in {self.columns}")
+        for row in self.rows:
+            self._check_row(row)
+
+    def _check_row(self, row: Row) -> None:
+        names = [name for name, __ in row.values]
+        if sorted(names) != sorted(self.columns):
+            raise SchemaError(
+                f"row columns {sorted(names)} do not match relation "
+                f"columns {sorted(self.columns)}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(
+        cls,
+        name: str,
+        records: Sequence[Mapping[str, Any]],
+        *,
+        tuple_ids: Sequence[Hashable] | None = None,
+    ) -> "Relation":
+        """Build a base relation; each record becomes a row with an atomic
+        provenance token."""
+        if not records:
+            raise SchemaError("cannot infer schema from zero records")
+        columns = sorted(records[0].keys())
+        if tuple_ids is not None and len(tuple_ids) != len(records):
+            raise SchemaError("tuple_ids length must match records")
+        rows = []
+        for i, record in enumerate(records):
+            if sorted(record.keys()) != columns:
+                raise SchemaError(f"record {i} has inconsistent columns")
+            token = tuple_ids[i] if tuple_ids is not None else f"{name}:{i}"
+            rows.append(Row.make(record, Provenance.atom(token)))
+        return cls(name=name, columns=columns, rows=rows)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column_values(self, column: str) -> list[Any]:
+        if column not in self.columns:
+            raise SchemaError(f"{self.name} has no column {column!r}")
+        return [row[column] for row in self.rows]
+
+    def tuple_ids(self) -> list[Hashable]:
+        """All base-tuple ids appearing in any row's lineage."""
+        seen: set = set()
+        ordered: list = []
+        for row in self.rows:
+            for token in sorted(row.provenance.lineage(), key=str):
+                if token not in seen:
+                    seen.add(token)
+                    ordered.append(token)
+        return ordered
+
+    def restrict_to(self, present: Iterable[Hashable]) -> "Relation":
+        """The sub-relation of rows derivable from the given base tuples
+        (the 'possible world' used by Shapley-of-tuples interventions)."""
+        available = frozenset(present)
+        kept = [row for row in self.rows if row.provenance.satisfied_by(available)]
+        return Relation(name=self.name, columns=list(self.columns), rows=kept)
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [row.as_dict() for row in self.rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Relation({self.name}: {len(self.rows)} rows x {self.columns})"

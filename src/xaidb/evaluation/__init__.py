@@ -1,0 +1,35 @@
+"""Evaluation of explanations (tutorial §3 "User study and evaluation"):
+faithfulness (deletion/insertion), surrogate fidelity, stability indices,
+robustness to input perturbation, and sanity checks via parameter
+randomisation."""
+
+from xaidb.evaluation.faithfulness import (
+    deletion_curve,
+    deletion_auc,
+    insertion_curve,
+)
+from xaidb.evaluation.fidelity import local_fidelity, rank_correlation
+from xaidb.evaluation.recourse_fairness import (
+    GroupRecourseStats,
+    recourse_cost_disparity,
+)
+from xaidb.evaluation.robustness import attribution_lipschitz
+from xaidb.evaluation.sanity import parameter_randomization_check
+from xaidb.evaluation.stability import (
+    coefficient_stability_index,
+    variable_stability_index,
+)
+
+__all__ = [
+    "deletion_curve",
+    "insertion_curve",
+    "deletion_auc",
+    "local_fidelity",
+    "rank_correlation",
+    "variable_stability_index",
+    "coefficient_stability_index",
+    "attribution_lipschitz",
+    "parameter_randomization_check",
+    "GroupRecourseStats",
+    "recourse_cost_disparity",
+]

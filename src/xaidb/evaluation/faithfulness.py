@@ -1,0 +1,84 @@
+"""Faithfulness metrics: deletion and insertion curves.
+
+If an attribution is faithful, removing the features it ranks highest
+(replacing them with a background value) should collapse the model's
+score quickly (deletion), and adding them to a fully-ablated input should
+restore the score quickly (insertion).  The area under the deletion curve
+— lower is better — is the scalar usually reported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.utils.validation import check_array
+
+
+def _ranked_features(attribution_values: np.ndarray) -> np.ndarray:
+    return np.argsort(-np.abs(attribution_values), kind="mergesort")
+
+
+def deletion_curve(
+    predict_fn: PredictFn,
+    instance: np.ndarray,
+    attribution_values: np.ndarray,
+    baseline: np.ndarray,
+) -> np.ndarray:
+    """Model score as the top-attributed features are ablated one by one.
+
+    Returns an array of length ``d + 1``: entry ``k`` is the score with
+    the ``k`` most-attributed features replaced by ``baseline``.
+    """
+    instance = check_array(instance, name="instance", ndim=1)
+    attribution_values = check_array(
+        attribution_values, name="attribution_values", ndim=1
+    )
+    baseline = check_array(baseline, name="baseline", ndim=1)
+    if not instance.shape == attribution_values.shape == baseline.shape:
+        raise ValidationError("instance/attributions/baseline shape mismatch")
+    order = _ranked_features(attribution_values)
+    current = instance.copy()
+    scores = [float(predict_fn(current[None, :])[0])]
+    for feature in order:
+        current[feature] = baseline[feature]
+        scores.append(float(predict_fn(current[None, :])[0]))
+    return np.asarray(scores)
+
+
+def insertion_curve(
+    predict_fn: PredictFn,
+    instance: np.ndarray,
+    attribution_values: np.ndarray,
+    baseline: np.ndarray,
+) -> np.ndarray:
+    """Model score as top-attributed features are restored into the
+    baseline, one by one (length ``d + 1``)."""
+    instance = check_array(instance, name="instance", ndim=1)
+    attribution_values = check_array(
+        attribution_values, name="attribution_values", ndim=1
+    )
+    baseline = check_array(baseline, name="baseline", ndim=1)
+    order = _ranked_features(attribution_values)
+    current = baseline.copy()
+    scores = [float(predict_fn(current[None, :])[0])]
+    for feature in order:
+        current[feature] = instance[feature]
+        scores.append(float(predict_fn(current[None, :])[0]))
+    return np.asarray(scores)
+
+
+def deletion_auc(curve: np.ndarray) -> float:
+    """Normalised area under a deletion (or insertion) curve.
+
+    Trapezoidal area over the fraction-of-features axis; for deletion
+    curves lower means the attribution found the load-bearing features
+    sooner.
+    """
+    curve = check_array(curve, name="curve", ndim=1)
+    if len(curve) < 2:
+        raise ValidationError("curve needs at least 2 points")
+    x = np.linspace(0.0, 1.0, len(curve))
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 1/2 compat
+    return float(trapezoid(curve, x))

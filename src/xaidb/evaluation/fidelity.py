@@ -1,0 +1,52 @@
+"""Fidelity and agreement metrics between explanations and models."""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+
+def local_fidelity(
+    predict_fn: PredictFn,
+    surrogate_fn: PredictFn,
+    instance: np.ndarray,
+    *,
+    neighborhood_scale: float = 0.3,
+    n_samples: int = 200,
+    random_state=None,
+) -> float:
+    """R^2 of a local surrogate against the black box in a Gaussian
+    neighborhood of ``instance`` — the quantity LIME implicitly maximises
+    and E1 reports."""
+    from xaidb.utils.rng import check_random_state
+
+    instance = check_array(instance, name="instance", ndim=1)
+    if n_samples < 10:
+        raise ValidationError("n_samples must be >= 10")
+    rng = check_random_state(random_state)
+    neighborhood = instance[None, :] + rng.normal(
+        0.0, neighborhood_scale, size=(n_samples, instance.shape[0])
+    )
+    truth = np.asarray(predict_fn(neighborhood), dtype=float)
+    proxy = np.asarray(surrogate_fn(neighborhood), dtype=float)
+    ss_res = float(np.sum((truth - proxy) ** 2))
+    ss_tot = float(np.sum((truth - truth.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def rank_correlation(a: np.ndarray, b: np.ndarray) -> float:
+    """Spearman rank correlation between two attribution vectors (by
+    absolute importance)."""
+    a = check_array(a, name="a", ndim=1)
+    b = check_array(b, name="b", ndim=1)
+    check_matching_lengths(("a", a), ("b", b))
+    rho, __ = stats.spearmanr(np.abs(a), np.abs(b))
+    if np.isnan(rho):
+        return 0.0
+    return float(rho)

@@ -1,0 +1,89 @@
+"""Fairness of recourse (tutorial §1 objective (3): identifying sources
+of harm; Ustun et al. 2019 §"disparities in recourse").
+
+Even a classifier that satisfies predictive-parity style metrics can
+leave one protected group with systematically more expensive recourse —
+the cost of *undoing* a negative decision is itself a fairness surface.
+:func:`recourse_cost_disparity` measures it: for every denied individual,
+compute the minimal-cost recourse action; report per-group mean costs,
+the infeasibility rate, and the max pairwise cost ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from xaidb.data.dataset import Dataset
+from xaidb.exceptions import InfeasibleError, ValidationError
+from xaidb.explainers.counterfactual.recourse import LinearRecourse
+
+
+@dataclass
+class GroupRecourseStats:
+    """Recourse summary for one protected-group value."""
+
+    group: str
+    n_denied: int
+    n_feasible: int
+    mean_cost: float
+    max_cost: float
+
+    @property
+    def infeasible_rate(self) -> float:
+        if self.n_denied == 0:
+            return 0.0
+        return 1.0 - self.n_feasible / self.n_denied
+
+
+def recourse_cost_disparity(
+    recourse: LinearRecourse,
+    dataset: Dataset,
+    group_feature: str,
+) -> tuple[list[GroupRecourseStats], float]:
+    """Per-group recourse costs for every *denied* row of ``dataset``.
+
+    Returns ``(per_group_stats, cost_ratio)`` where ``cost_ratio`` is the
+    max over group pairs of mean-cost ratios (1.0 = perfectly equal
+    recourse burden).  Groups with no feasible recourse at all contribute
+    an infinite ratio.
+    """
+    column = dataset.feature_index(group_feature)
+    spec = dataset.features[column]
+    if not spec.is_categorical:
+        raise ValidationError(
+            f"group feature {group_feature!r} must be categorical"
+        )
+    scores = recourse.model.predict_proba(dataset.X)[:, 1]
+    denied_rows = np.flatnonzero(scores < 0.5)
+    if denied_rows.size == 0:
+        raise ValidationError("no denied rows to compute recourse for")
+
+    stats: list[GroupRecourseStats] = []
+    for code in np.unique(dataset.X[:, column]):
+        members = denied_rows[dataset.X[denied_rows, column] == code]
+        costs = []
+        for row in members:
+            try:
+                action = recourse.find(dataset.X[row])
+            except InfeasibleError:
+                continue
+            costs.append(action.cost)
+        stats.append(
+            GroupRecourseStats(
+                group=str(spec.decode(code)),
+                n_denied=int(members.size),
+                n_feasible=len(costs),
+                mean_cost=float(np.mean(costs)) if costs else float("inf"),
+                max_cost=float(np.max(costs)) if costs else float("inf"),
+            )
+        )
+    means = [s.mean_cost for s in stats if s.n_denied > 0]
+    if len(means) < 2:
+        ratio = 1.0
+    else:
+        low = min(means)
+        high = max(means)
+        ratio = float("inf") if low == 0 or not np.isfinite(high) else high / low
+    return stats, ratio

@@ -1,0 +1,53 @@
+"""Robustness of explanations to input perturbation.
+
+"Interpretation of neural networks is fragile" (Ghorbani, Abid & Zou
+2019): tiny, prediction-preserving input changes can swing attributions
+wildly.  The local attribution-Lipschitz estimate here quantifies that:
+the maximum ratio of attribution change to input change over sampled
+neighbours.  Lower = more robust.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_positive
+
+AttributionFn = Callable[[np.ndarray], np.ndarray]
+
+
+def attribution_lipschitz(
+    attribution_fn: AttributionFn,
+    instance: np.ndarray,
+    *,
+    radius: float = 0.1,
+    n_samples: int = 20,
+    random_state: RandomState = None,
+) -> float:
+    """Empirical local Lipschitz constant of an attribution map.
+
+    ``attribution_fn`` maps an input vector to its attribution vector;
+    ``n_samples`` perturbations are drawn uniformly in an L-inf ball of
+    ``radius``, and the maximum of
+    ``||phi(x') - phi(x)|| / ||x' - x||`` is returned.
+    """
+    instance = check_array(instance, name="instance", ndim=1)
+    check_positive(radius, name="radius")
+    if n_samples < 1:
+        raise ValidationError("n_samples must be >= 1")
+    rng = check_random_state(random_state)
+    base = np.asarray(attribution_fn(instance), dtype=float)
+    worst = 0.0
+    for __ in range(n_samples):
+        delta = rng.uniform(-radius, radius, size=instance.shape[0])
+        neighbour = instance + delta
+        values = np.asarray(attribution_fn(neighbour), dtype=float)
+        denominator = float(np.linalg.norm(delta))
+        if denominator < 1e-12:
+            continue
+        worst = max(worst, float(np.linalg.norm(values - base)) / denominator)
+    return worst

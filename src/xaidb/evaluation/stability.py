@@ -1,0 +1,87 @@
+"""LIME stability indices (Visani et al. 2020).
+
+The tutorial's §2.1.1 critique — LIME's neighborhood sampling "can be
+unreliable" — is quantified by running the explainer repeatedly with
+different sampling seeds and measuring:
+
+- **VSI** (Variables Stability Index): mean pairwise Jaccard similarity
+  of the top-k feature *sets* across runs (do repeated runs even agree on
+  which features matter?);
+- **CSI** (Coefficients Stability Index): mean pairwise agreement of the
+  coefficient values for features common to both runs (sign agreement
+  weighted by relative magnitude closeness).
+
+Both live in [0, 1]; higher = more stable.  E2 sweeps them against the
+number of perturbation samples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import FeatureAttribution
+from xaidb.utils.validation import check_positive
+
+
+def _top_k_sets(attributions: Sequence[FeatureAttribution], k: int) -> list[set]:
+    return [
+        {name for name, __ in attribution.top(k)} for attribution in attributions
+    ]
+
+
+def variable_stability_index(
+    attributions: Sequence[FeatureAttribution], *, top_k: int = 3
+) -> float:
+    """Mean pairwise Jaccard similarity of top-k feature sets."""
+    if len(attributions) < 2:
+        raise ValidationError("need at least 2 repeated explanations")
+    check_positive(top_k, name="top_k")
+    sets = _top_k_sets(attributions, top_k)
+    total, count = 0.0, 0
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            union = sets[i] | sets[j]
+            if union:
+                total += len(sets[i] & sets[j]) / len(union)
+            else:
+                total += 1.0
+            count += 1
+    return total / count
+
+
+def coefficient_stability_index(
+    attributions: Sequence[FeatureAttribution],
+) -> float:
+    """Mean pairwise coefficient agreement.
+
+    For each feature and each pair of runs, agreement is 0 when the signs
+    differ, otherwise ``min(|a|,|b|) / max(|a|,|b|)`` (1 when identical).
+    Features that are zero in both runs count as fully stable.
+    """
+    if len(attributions) < 2:
+        raise ValidationError("need at least 2 repeated explanations")
+    names = attributions[0].feature_names
+    for attribution in attributions[1:]:
+        if attribution.feature_names != names:
+            raise ValidationError("attributions cover different features")
+    matrix = np.vstack([attribution.values for attribution in attributions])
+    n_runs = matrix.shape[0]
+    total, count = 0.0, 0
+    for i in range(n_runs):
+        for j in range(i + 1, n_runs):
+            a, b = matrix[i], matrix[j]
+            per_feature = np.ones(len(names))
+            both_nonzero = (a != 0) | (b != 0)
+            for f in np.flatnonzero(both_nonzero):
+                if a[f] * b[f] < 0:
+                    per_feature[f] = 0.0
+                else:
+                    hi = max(abs(a[f]), abs(b[f]))
+                    lo = min(abs(a[f]), abs(b[f]))
+                    per_feature[f] = lo / hi if hi > 0 else 1.0
+            total += float(per_feature.mean())
+            count += 1
+    return total / count

@@ -1,0 +1,41 @@
+"""Exception hierarchy for :mod:`xaidb`.
+
+All library-raised errors derive from :class:`XaidbError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` from bad API misuse caught
+early by validation helpers raises :class:`ValidationError`, a subclass of
+both :class:`XaidbError` and :class:`ValueError`).
+"""
+
+from __future__ import annotations
+
+
+class XaidbError(Exception):
+    """Base class for every error raised by xaidb."""
+
+
+class ValidationError(XaidbError, ValueError):
+    """An argument failed validation (shape, dtype, range or consistency)."""
+
+
+class NotFittedError(XaidbError, RuntimeError):
+    """A model or explainer was used before :meth:`fit` was called."""
+
+
+class ConvergenceError(XaidbError, RuntimeError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+
+class InfeasibleError(XaidbError, RuntimeError):
+    """A search problem (e.g. counterfactual generation under constraints)
+    has no feasible solution within the configured budget."""
+
+
+class SchemaError(XaidbError, ValueError):
+    """A relational operation referenced columns or types that do not exist
+    or are incompatible."""
+
+
+class ProvenanceError(XaidbError, RuntimeError):
+    """Provenance information was requested but is unavailable (for example
+    the relation was constructed without lineage tracking)."""

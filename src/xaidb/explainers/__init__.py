@@ -1,0 +1,66 @@
+"""Feature-based explanations (tutorial §2.1): surrogate methods (LIME,
+global/local surrogates), Shapley-value methods (exact, sampling, Kernel,
+Tree, QII, causal/asymmetric, flow), gradient attributions, and
+counterfactual explanations with algorithmic recourse."""
+
+from xaidb.explainers.base import (
+    FeatureAttribution,
+    as_predict_fn,
+    predict_positive_proba,
+)
+from xaidb.explainers.cxplain import CXPlainExplainer, granger_importance_targets
+from xaidb.explainers.gradient import (
+    gradient_times_input,
+    integrated_gradients,
+    saliency,
+    smoothgrad,
+)
+from xaidb.explainers.global_methods import (
+    accumulated_local_effects,
+    ice_curves,
+    partial_dependence,
+    permutation_importance,
+)
+from xaidb.explainers.lime import LimeExplainer, LimeExplanation
+from xaidb.explainers.prototypes import (
+    MMDCritic,
+    PrototypeExplanation,
+    prototype_classifier_accuracy,
+)
+from xaidb.explainers.lime_text import (
+    BagOfWordsClassifier,
+    LimeTextExplainer,
+    tokenize,
+)
+from xaidb.explainers.surrogate import (
+    GlobalSurrogate,
+    LinearModelTreeSurrogate,
+    surrogate_fidelity,
+)
+
+__all__ = [
+    "FeatureAttribution",
+    "as_predict_fn",
+    "predict_positive_proba",
+    "LimeExplainer",
+    "LimeExplanation",
+    "LimeTextExplainer",
+    "BagOfWordsClassifier",
+    "tokenize",
+    "GlobalSurrogate",
+    "LinearModelTreeSurrogate",
+    "surrogate_fidelity",
+    "saliency",
+    "gradient_times_input",
+    "integrated_gradients",
+    "smoothgrad",
+    "CXPlainExplainer",
+    "granger_importance_targets",
+    "partial_dependence",
+    "ice_curves",
+    "accumulated_local_effects",
+    "permutation_importance",
+    "MMDCritic",
+    "PrototypeExplanation",
+    "prototype_classifier_accuracy",
+]

@@ -1,0 +1,132 @@
+"""Common explanation containers and model-adapter helpers.
+
+Model-agnostic explainers in xaidb consume a *prediction function*
+``f(X) -> scores`` rather than a model object, so they work on literally
+any callable (tutorial dimension (b): model-agnostic).  The adapters here
+standardise how models are wrapped into such functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+PredictFn = Callable[[np.ndarray], np.ndarray]
+
+
+def as_predict_fn(
+    model: Any,
+    *,
+    output: str = "probability",
+    class_index: int = 1,
+) -> PredictFn:
+    """Wrap a fitted model into a scalar-output prediction function.
+
+    Parameters
+    ----------
+    model:
+        Fitted estimator.
+    output:
+        ``"probability"`` uses ``predict_proba[:, class_index]``;
+        ``"margin"`` uses ``decision_function``; ``"value"`` uses
+        ``predict`` (regression or hard labels).
+    class_index:
+        Which class probability to expose for ``"probability"``.
+    """
+    if output == "probability":
+        if not hasattr(model, "predict_proba"):
+            raise ValidationError(
+                f"{type(model).__name__} has no predict_proba; "
+                f"use output='value'"
+            )
+        return lambda X: np.asarray(model.predict_proba(X))[:, class_index]
+    if output == "margin":
+        if not hasattr(model, "decision_function"):
+            raise ValidationError(
+                f"{type(model).__name__} has no decision_function"
+            )
+        return lambda X: np.asarray(model.decision_function(X))
+    if output == "value":
+        return lambda X: np.asarray(model.predict(X), dtype=float)
+    raise ValidationError(
+        f"output must be 'probability', 'margin' or 'value', got {output!r}"
+    )
+
+
+def predict_positive_proba(model: Any) -> PredictFn:
+    """Shorthand for the positive-class probability function."""
+    return as_predict_fn(model, output="probability", class_index=1)
+
+
+@dataclass
+class FeatureAttribution:
+    """A per-feature importance explanation for one instance (or globally).
+
+    Attributes
+    ----------
+    feature_names:
+        Names aligned with ``values``.
+    values:
+        Signed attribution per feature.
+    base_value:
+        The explainer's reference output (e.g. the mean prediction for
+        Shapley methods, the surrogate intercept for LIME).
+    prediction:
+        The black-box output being explained, when known.
+    metadata:
+        Method-specific extras (surrogate R^2, sample counts, ...).
+    """
+
+    feature_names: list[str]
+    values: np.ndarray
+    base_value: float = 0.0
+    prediction: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.values = check_array(self.values, name="values", ndim=1)
+        check_matching_lengths(
+            ("feature_names", self.feature_names), ("values", self.values)
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """``{feature_name: attribution}`` mapping."""
+        return {
+            name: float(value)
+            for name, value in zip(self.feature_names, self.values)
+        }
+
+    def ranked(self) -> list[tuple[str, float]]:
+        """Features sorted by decreasing absolute attribution."""
+        order = np.argsort(-np.abs(self.values), kind="mergesort")
+        return [
+            (self.feature_names[i], float(self.values[i])) for i in order
+        ]
+
+    def top(self, k: int) -> list[tuple[str, float]]:
+        """The ``k`` most important features."""
+        if k < 1:
+            raise ValidationError("k must be >= 1")
+        return self.ranked()[:k]
+
+    def additive_check(self, *, atol: float = 1e-6) -> bool:
+        """Whether ``base_value + sum(values)`` reproduces ``prediction``
+        (the local-accuracy / efficiency axiom).  Requires ``prediction``."""
+        if self.prediction is None:
+            raise ValidationError("additive_check requires a prediction")
+        return bool(
+            np.isclose(
+                self.base_value + float(self.values.sum()),
+                self.prediction,
+                atol=atol,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{n}={v:+.4f}" for n, v in self.top(3))
+        return f"FeatureAttribution({parts}, ...)"

@@ -1,0 +1,42 @@
+"""Counterfactual explanations and algorithmic recourse (tutorial §2.1.4).
+
+- :mod:`base` — containers, distance/feasibility machinery and the
+  validity/proximity/sparsity/diversity quality metrics every method is
+  evaluated on;
+- :mod:`dice` — DiCE-style diverse counterfactual search;
+- :mod:`geco` — GeCo-style genetic search under plausibility and
+  feasibility constraints;
+- :mod:`lewis` — LEWIS-style probabilistic contrastive counterfactuals
+  (necessity/sufficiency scores) and SCM-grounded recourse;
+- :mod:`recourse` — exact minimal-cost recourse for linear classifiers.
+"""
+
+from xaidb.explainers.counterfactual.base import (
+    ActionSpace,
+    Counterfactual,
+    CounterfactualSet,
+    mad_distance,
+)
+from xaidb.explainers.counterfactual.dice import DiceExplainer
+from xaidb.explainers.counterfactual.geco import GecoExplainer
+from xaidb.explainers.counterfactual.lewis import (
+    LewisExplainer,
+    NecessitySufficiencyScores,
+)
+from xaidb.explainers.counterfactual.recourse import (
+    LinearRecourse,
+    RecourseAction,
+)
+
+__all__ = [
+    "Counterfactual",
+    "CounterfactualSet",
+    "ActionSpace",
+    "mad_distance",
+    "DiceExplainer",
+    "GecoExplainer",
+    "LewisExplainer",
+    "NecessitySufficiencyScores",
+    "LinearRecourse",
+    "RecourseAction",
+]

@@ -1,0 +1,214 @@
+"""Shared counterfactual machinery.
+
+The tutorial stresses that counterfactuals must be *valid* (actually flip
+the decision), *proximate* (minimally different), *sparse* (change few
+features), *diverse* (offer alternatives) and *plausible/feasible*
+(respect immutability, monotonicity and the data manifold).  This module
+provides the containers and metrics; the search strategies live in
+:mod:`dice` and :mod:`geco`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from xaidb.data.dataset import Dataset, FeatureSpec
+from xaidb.exceptions import ValidationError
+from xaidb.utils.validation import check_array
+
+
+def mad_distance(
+    a: np.ndarray, b: np.ndarray, mad: np.ndarray
+) -> float:
+    """MAD-weighted L1 distance (the DiCE/Wachter proximity metric):
+    ``sum_j |a_j - b_j| / MAD_j`` with MAD floored at a small epsilon."""
+    scale = np.maximum(mad, 1e-6)
+    return float(np.sum(np.abs(a - b) / scale))
+
+
+def median_absolute_deviation(X: np.ndarray) -> np.ndarray:
+    """Per-column median absolute deviation (robust scale estimate)."""
+    X = check_array(X, name="X", ndim=2)
+    medians = np.median(X, axis=0)
+    return np.median(np.abs(X - medians), axis=0)
+
+
+@dataclass
+class ActionSpace:
+    """What counterfactual search is allowed to do, derived from feature
+    specs and training data.
+
+    - immutable features (``actionable=False``) are frozen;
+    - monotone features may only move in their allowed direction;
+    - numeric features stay within the observed training range
+      (plausibility via a box data-manifold proxy);
+    - categorical features take only observed category codes.
+    """
+
+    features: list[FeatureSpec]
+    lower: np.ndarray
+    upper: np.ndarray
+    mad: np.ndarray
+    category_codes: dict[int, np.ndarray]
+
+    @classmethod
+    def from_dataset(cls, dataset: Dataset) -> "ActionSpace":
+        codes = {
+            col: np.unique(dataset.X[:, col])
+            for col in dataset.categorical_indices
+        }
+        # MAD degenerates to 0 on binary/majority-constant columns, which
+        # would make any change to them look infinitely far; fall back to
+        # the column standard deviation there
+        mad = median_absolute_deviation(dataset.X)
+        stds = dataset.X.std(axis=0)
+        mad = np.where(mad > 0, mad, stds)
+        return cls(
+            features=list(dataset.features),
+            lower=dataset.X.min(axis=0),
+            upper=dataset.X.max(axis=0),
+            mad=mad,
+            category_codes=codes,
+        )
+
+    @property
+    def n_features(self) -> int:
+        return len(self.features)
+
+    def actionable_indices(self) -> list[int]:
+        return [i for i, f in enumerate(self.features) if f.actionable]
+
+    def is_feasible(self, origin: np.ndarray, candidate: np.ndarray) -> bool:
+        """Whether the move ``origin -> candidate`` respects every
+        constraint in the action space."""
+        for i, spec in enumerate(self.features):
+            delta = candidate[i] - origin[i]
+            if not spec.actionable and abs(delta) > 1e-12:
+                return False
+            if spec.monotone == 1 and delta < -1e-12:
+                return False
+            if spec.monotone == -1 and delta > 1e-12:
+                return False
+            if spec.is_categorical:
+                codes = self.category_codes.get(i)
+                if codes is not None and not np.any(
+                    np.isclose(candidate[i], codes)
+                ):
+                    return False
+            else:
+                if not self.lower[i] - 1e-9 <= candidate[i] <= self.upper[i] + 1e-9:
+                    return False
+        return True
+
+    def clip(self, origin: np.ndarray, candidate: np.ndarray) -> np.ndarray:
+        """Project ``candidate`` onto the feasible set around ``origin``
+        (freeze immutables, enforce monotone direction, box-clip numerics,
+        snap categoricals to the nearest observed code)."""
+        out = candidate.copy()
+        for i, spec in enumerate(self.features):
+            if not spec.actionable:
+                out[i] = origin[i]
+                continue
+            if spec.monotone == 1:
+                out[i] = max(out[i], origin[i])
+            elif spec.monotone == -1:
+                out[i] = min(out[i], origin[i])
+            if spec.is_categorical:
+                codes = self.category_codes.get(i)
+                if codes is not None:
+                    out[i] = codes[np.argmin(np.abs(codes - out[i]))]
+            else:
+                out[i] = float(np.clip(out[i], self.lower[i], self.upper[i]))
+        return out
+
+
+@dataclass
+class Counterfactual:
+    """One counterfactual instance together with its quality numbers."""
+
+    original: np.ndarray
+    counterfactual: np.ndarray
+    feature_names: list[str]
+    original_score: float
+    counterfactual_score: float
+    distance: float
+
+    @property
+    def valid(self) -> bool:
+        """Whether the decision actually flipped (threshold 0.5)."""
+        return (self.original_score >= 0.5) != (self.counterfactual_score >= 0.5)
+
+    @property
+    def sparsity(self) -> int:
+        """Number of features changed."""
+        return int(np.sum(~np.isclose(self.original, self.counterfactual)))
+
+    def changes(self) -> dict[str, tuple[float, float]]:
+        """``{feature: (from, to)}`` for every changed feature."""
+        return {
+            name: (float(before), float(after))
+            for name, before, after in zip(
+                self.feature_names, self.original, self.counterfactual
+            )
+            if not np.isclose(before, after)
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        moves = ", ".join(
+            f"{k}: {v[0]:.2f}->{v[1]:.2f}" for k, v in self.changes().items()
+        )
+        return f"Counterfactual({moves}; score {self.counterfactual_score:.3f})"
+
+
+@dataclass
+class CounterfactualSet:
+    """A batch of counterfactuals with the standard quality metrics
+    (Mothilal et al. 2020, Table 1/2 — regenerated by experiment E8)."""
+
+    counterfactuals: list[Counterfactual]
+    mad: np.ndarray = field(default_factory=lambda: np.asarray([]))
+
+    def __len__(self) -> int:
+        return len(self.counterfactuals)
+
+    def __iter__(self):
+        return iter(self.counterfactuals)
+
+    def __getitem__(self, index: int) -> Counterfactual:
+        return self.counterfactuals[index]
+
+    def validity(self) -> float:
+        """Fraction of counterfactuals that flip the decision."""
+        if not self.counterfactuals:
+            return 0.0
+        return float(np.mean([cf.valid for cf in self.counterfactuals]))
+
+    def proximity(self) -> float:
+        """Mean MAD-weighted L1 distance to the original (lower = closer)."""
+        if not self.counterfactuals:
+            raise ValidationError("empty counterfactual set")
+        return float(np.mean([cf.distance for cf in self.counterfactuals]))
+
+    def sparsity(self) -> float:
+        """Mean number of changed features."""
+        if not self.counterfactuals:
+            raise ValidationError("empty counterfactual set")
+        return float(np.mean([cf.sparsity for cf in self.counterfactuals]))
+
+    def diversity(self) -> float:
+        """Mean pairwise MAD-weighted L1 distance among counterfactuals
+        (0 for a single counterfactual)."""
+        k = len(self.counterfactuals)
+        if k < 2:
+            return 0.0
+        total, count = 0.0, 0
+        for i in range(k):
+            for j in range(i + 1, k):
+                total += mad_distance(
+                    self.counterfactuals[i].counterfactual,
+                    self.counterfactuals[j].counterfactual,
+                    self.mad,
+                )
+                count += 1
+        return total / count

@@ -1,0 +1,234 @@
+"""LEWIS-style probabilistic contrastive counterfactuals
+(Galhotra, Pradhan & Salimi 2021).
+
+LEWIS explains a black-box decision with *probabilities of causation* over
+a structural causal model:
+
+- **necessity** ``PN = P(f would be negative had X_j been x'_j | X_j = x_j,
+  f positive)`` — was this feature value *necessary* for the decision?
+- **sufficiency** ``PS = P(f would be positive had X_j been x_j | X_j =
+  x'_j, f negative)`` — is it *sufficient* to obtain the decision?
+- **PNS** — joint necessity-and-sufficiency over the whole population.
+
+All three are counterfactual (rung-3) quantities: they are estimated by
+sampling units from the SCM, abducting each unit's exogenous noise, and
+re-running the mechanisms under the contrastive intervention.
+
+The same machinery yields *recourse*: for an individual with a negative
+decision, rank candidate interventions on actionable features by the
+probability they flip this individual's outcome (exact abduction given the
+fully observed feature vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from xaidb.causal.scm import StructuralCausalModel
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.utils.rng import RandomState, check_random_state
+
+
+@dataclass
+class NecessitySufficiencyScores:
+    """Probabilities of causation for one contrastive pair of values."""
+
+    feature: str
+    factual_value: float
+    contrastive_value: float
+    necessity: float
+    sufficiency: float
+    pns: float
+    n_units: int
+
+
+class LewisExplainer:
+    """Necessity/sufficiency explanation scores and probabilistic recourse.
+
+    Parameters
+    ----------
+    predict_fn:
+        The black box's positive-decision probability over feature matrix
+        columns ordered as ``feature_nodes``.
+    scm:
+        Structural causal model over the feature nodes.
+    feature_nodes:
+        SCM node per model column.
+    n_units:
+        Population sample size for score estimation.
+    decision_threshold:
+        Positive decision when ``predict_fn >= threshold``.
+    """
+
+    def __init__(
+        self,
+        predict_fn: PredictFn,
+        scm: StructuralCausalModel,
+        feature_nodes: Sequence[Hashable],
+        *,
+        n_units: int = 2000,
+        decision_threshold: float = 0.5,
+    ) -> None:
+        missing = [n for n in feature_nodes if n not in scm.graph]
+        if missing:
+            raise ValidationError(f"SCM is missing feature nodes: {missing}")
+        self.predict_fn = predict_fn
+        self.scm = scm
+        self.feature_nodes = list(feature_nodes)
+        self.n_units = n_units
+        self.decision_threshold = decision_threshold
+
+    # ------------------------------------------------------------------
+    def _decide(self, matrix: np.ndarray) -> np.ndarray:
+        scores = np.asarray(self.predict_fn(matrix), dtype=float)
+        return scores >= self.decision_threshold
+
+    def _population(self, random_state: RandomState) -> list[dict]:
+        """Sample units as full observations over the *feature* nodes
+        (nodes outside the feature set are sampled too so abduction has a
+        complete observation)."""
+        columns = self.scm.sample(self.n_units, random_state=random_state)
+        return [
+            {node: float(columns[node][i]) for node in self.scm.graph.nodes}
+            for i in range(self.n_units)
+        ]
+
+    def _unit_features(self, unit: dict) -> np.ndarray:
+        return np.asarray([unit[node] for node in self.feature_nodes])
+
+    def _counterfactual_decision(
+        self, unit: dict, interventions: dict
+    ) -> bool:
+        twin = self.scm.counterfactual(unit, interventions)
+        features = np.asarray(
+            [[twin[node] for node in self.feature_nodes]]
+        )
+        return bool(self._decide(features)[0])
+
+    # ------------------------------------------------------------------
+    def scores(
+        self,
+        feature: Hashable,
+        factual_value: float,
+        contrastive_value: float,
+        *,
+        tolerance: float | None = None,
+        random_state: RandomState = None,
+    ) -> NecessitySufficiencyScores:
+        """Population-level PN, PS and PNS for ``feature`` taking
+        ``factual_value`` versus ``contrastive_value``.
+
+        For continuous features no unit hits a value exactly, so the
+        conditioning events use a matching band: a unit "has" a value when
+        its observed feature lies within ``tolerance`` of it.  The default
+        band is half the gap between the two contrasted values, which
+        keeps the factual and contrastive populations disjoint.  Units
+        matching neither side are excluded from the conditional estimates
+        (they carry no evidence about this contrast).
+        """
+        if feature not in self.scm.graph:
+            raise ValidationError(f"unknown feature node {feature!r}")
+        if tolerance is None:
+            tolerance = abs(factual_value - contrastive_value) / 2.0
+        if tolerance <= 0:
+            raise ValidationError("tolerance must be positive")
+        rng = check_random_state(random_state)
+        units = self._population(rng)
+        decisions = self._decide(
+            np.asarray([self._unit_features(u) for u in units])
+        )
+
+        def matches(observed: float, value: float) -> bool:
+            return abs(observed - value) <= tolerance
+
+        necessity_events = necessity_trials = 0
+        sufficiency_events = sufficiency_trials = 0
+        pns_events = 0
+        for unit, decision in zip(units, decisions):
+            observed = unit[feature]
+            if matches(observed, factual_value) and decision:
+                necessity_trials += 1
+                flipped = not self._counterfactual_decision(
+                    unit, {feature: contrastive_value}
+                )
+                necessity_events += int(flipped)
+            if matches(observed, contrastive_value) and not decision:
+                sufficiency_trials += 1
+                achieved = self._counterfactual_decision(
+                    unit, {feature: factual_value}
+                )
+                sufficiency_events += int(achieved)
+            positive_world = self._counterfactual_decision(
+                unit, {feature: factual_value}
+            )
+            negative_world = self._counterfactual_decision(
+                unit, {feature: contrastive_value}
+            )
+            pns_events += int(positive_world and not negative_world)
+
+        return NecessitySufficiencyScores(
+            feature=str(feature),
+            factual_value=factual_value,
+            contrastive_value=contrastive_value,
+            necessity=(
+                necessity_events / necessity_trials if necessity_trials else 0.0
+            ),
+            sufficiency=(
+                sufficiency_events / sufficiency_trials
+                if sufficiency_trials
+                else 0.0
+            ),
+            pns=pns_events / len(units),
+            n_units=len(units),
+        )
+
+    # ------------------------------------------------------------------
+    def recourse(
+        self,
+        observation: dict,
+        candidate_interventions: Sequence[dict],
+        *,
+        random_state: RandomState = None,
+        n_noise_samples: int = 200,
+    ) -> list[tuple[dict, float]]:
+        """Rank candidate interventions for an individual by the
+        probability they flip the decision to positive.
+
+        ``observation`` must cover every SCM node.  With fully invertible
+        mechanisms the counterfactual is deterministic (probability 0 or
+        1); ``n_noise_samples`` is kept for API symmetry with partial
+        abduction and future stochastic decision functions.
+
+        Returns the candidates sorted by flip probability (descending);
+        each item is ``(intervention, probability)``.
+        """
+        missing = [n for n in self.scm.graph.nodes if n not in observation]
+        if missing:
+            raise ValidationError(f"observation is missing nodes: {missing}")
+        if not candidate_interventions:
+            raise ValidationError("no candidate interventions supplied")
+        ranked = []
+        for intervention in candidate_interventions:
+            flipped = self._counterfactual_decision(dict(observation), intervention)
+            ranked.append((dict(intervention), 1.0 if flipped else 0.0))
+        ranked.sort(key=lambda pair: (-pair[1], len(pair[0])))
+        return ranked
+
+    def explanation_table(
+        self,
+        contrasts: Sequence[tuple[Hashable, float, float]],
+        *,
+        random_state: RandomState = None,
+    ) -> list[NecessitySufficiencyScores]:
+        """Convenience: score a batch of ``(feature, factual, contrastive)``
+        triples with a shared population sample seed, for E10's table."""
+        rng = check_random_state(random_state)
+        seeds = rng.integers(0, 2**31 - 1, size=len(contrasts))
+        return [
+            self.scores(feature, factual, contrastive, random_state=int(seed))
+            for (feature, factual, contrastive), seed in zip(contrasts, seeds)
+        ]

@@ -1,0 +1,200 @@
+"""Global model-agnostic explanation methods (tutorial §2 — "some methods
+provide a comprehensive summary of features"; Molnar 2020, chs. PDP/ICE/
+permutation importance).
+
+- :func:`partial_dependence` — the marginal effect of a feature on the
+  model output, averaged over the data (PDP);
+- :func:`ice_curves` — the per-instance curves the PDP averages
+  (Individual Conditional Expectation), which expose the heterogeneity
+  and interaction effects a flat PDP hides;
+- :func:`permutation_importance` — the drop in a performance metric when
+  one feature's column is shuffled, breaking its relationship with the
+  target (Breiman-style model reliance).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+MetricFn = Callable[[np.ndarray, np.ndarray], float]
+
+
+def partial_dependence(
+    predict_fn: PredictFn,
+    X: np.ndarray,
+    feature: int,
+    *,
+    grid: np.ndarray | None = None,
+    n_grid: int = 20,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Partial dependence of the model output on one feature.
+
+    Returns ``(grid, pd_values)`` where ``pd(g) = mean_i f(x_i with
+    feature := g)``.  The grid defaults to quantiles of the feature's
+    observed values (so it stays on-support).
+    """
+    X = check_array(X, name="X", ndim=2)
+    if not 0 <= feature < X.shape[1]:
+        raise ValidationError("feature index out of range")
+    if grid is None:
+        if n_grid < 2:
+            raise ValidationError("n_grid must be >= 2")
+        grid = np.unique(
+            np.quantile(X[:, feature], np.linspace(0, 1, n_grid))
+        )
+    else:
+        grid = check_array(grid, name="grid", ndim=1)
+    values = np.empty(len(grid))
+    working = X.copy()
+    for position, grid_value in enumerate(grid):
+        working[:, feature] = grid_value
+        values[position] = float(np.mean(predict_fn(working)))
+    return grid, values
+
+
+def ice_curves(
+    predict_fn: PredictFn,
+    X: np.ndarray,
+    feature: int,
+    *,
+    grid: np.ndarray | None = None,
+    n_grid: int = 20,
+    center: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Individual Conditional Expectation curves.
+
+    Returns ``(grid, curves)`` with ``curves[i, g] = f(x_i with feature :=
+    grid[g])``.  With ``center=True`` every curve is shifted to start at 0
+    (c-ICE), which makes heterogeneity visually comparable.  The PDP is
+    exactly ``curves.mean(axis=0)`` (tested).
+    """
+    X = check_array(X, name="X", ndim=2)
+    if not 0 <= feature < X.shape[1]:
+        raise ValidationError("feature index out of range")
+    if grid is None:
+        if n_grid < 2:
+            raise ValidationError("n_grid must be >= 2")
+        grid = np.unique(
+            np.quantile(X[:, feature], np.linspace(0, 1, n_grid))
+        )
+    else:
+        grid = check_array(grid, name="grid", ndim=1)
+    curves = np.empty((X.shape[0], len(grid)))
+    for position, grid_value in enumerate(grid):
+        working = X.copy()
+        working[:, feature] = grid_value
+        curves[:, position] = np.asarray(predict_fn(working), dtype=float)
+    if center:
+        curves = curves - curves[:, :1]
+    return grid, curves
+
+
+def permutation_importance(
+    predict_fn: PredictFn,
+    X: np.ndarray,
+    y: np.ndarray,
+    metric: MetricFn,
+    *,
+    n_repeats: int = 5,
+    feature_names: list[str] | None = None,
+    random_state: RandomState = None,
+) -> FeatureAttribution:
+    """Permutation feature importance.
+
+    ``importance_j = metric(y, f(X)) - mean over repeats of
+    metric(y, f(X with column j shuffled))`` — how much performance relies
+    on the feature's association with the target.  Higher = more
+    important; ~0 marks features the model does not use.
+    """
+    X = check_array(X, name="X", ndim=2)
+    y = check_array(y, name="y", ndim=1)
+    check_matching_lengths(("X", X), ("y", y))
+    if n_repeats < 1:
+        raise ValidationError("n_repeats must be >= 1")
+    rng = check_random_state(random_state)
+    baseline = float(metric(y, np.asarray(predict_fn(X), dtype=float)))
+    d = X.shape[1]
+    importances = np.empty(d)
+    spreads = np.empty(d)
+    for j in range(d):
+        drops = []
+        for __ in range(n_repeats):
+            shuffled = X.copy()
+            shuffled[:, j] = shuffled[rng.permutation(X.shape[0]), j]
+            score = float(
+                metric(y, np.asarray(predict_fn(shuffled), dtype=float))
+            )
+            drops.append(baseline - score)
+        importances[j] = float(np.mean(drops))
+        spreads[j] = float(np.std(drops))
+    names = feature_names or [f"x{i}" for i in range(d)]
+    return FeatureAttribution(
+        feature_names=list(names),
+        values=importances,
+        base_value=baseline,
+        metadata={
+            "method": "permutation_importance",
+            "n_repeats": n_repeats,
+            "std": spreads.tolist(),
+        },
+    )
+
+
+def accumulated_local_effects(
+    predict_fn: PredictFn,
+    X: np.ndarray,
+    feature: int,
+    *,
+    n_bins: int = 10,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accumulated Local Effects (Apley & Zhu 2020).
+
+    PDP extrapolates: it evaluates the model at (grid value, other
+    features) combinations that may be impossible under correlated
+    inputs.  ALE instead accumulates *local* finite differences within
+    quantile bins of the feature — each difference is computed only for
+    the points actually living in that bin — so it stays on-manifold.
+
+    Returns ``(bin_upper_edges, ale_values)``: the accumulated effect is
+    defined at each bin's upper edge, centred so the (count-weighted)
+    mean ALE over the data is zero.
+    """
+    X = check_array(X, name="X", ndim=2)
+    if not 0 <= feature < X.shape[1]:
+        raise ValidationError("feature index out of range")
+    if n_bins < 2:
+        raise ValidationError("n_bins must be >= 2")
+    values = X[:, feature]
+    edges = np.unique(np.quantile(values, np.linspace(0, 1, n_bins + 1)))
+    if len(edges) < 3:
+        raise ValidationError(
+            "feature has too few distinct values for ALE binning"
+        )
+    # assign each row to a bin (1..len(edges)-1)
+    bins = np.clip(np.searchsorted(edges, values, side="right") - 1,
+                   0, len(edges) - 2)
+    local_effects = np.zeros(len(edges) - 1)
+    for b in range(len(edges) - 1):
+        members = np.flatnonzero(bins == b)
+        if members.size == 0:
+            continue
+        lower = X[members].copy()
+        upper = X[members].copy()
+        lower[:, feature] = edges[b]
+        upper[:, feature] = edges[b + 1]
+        deltas = np.asarray(predict_fn(upper), dtype=float) - np.asarray(
+            predict_fn(lower), dtype=float
+        )
+        local_effects[b] = float(deltas.mean())
+    ale = np.cumsum(local_effects)
+    # centre so the mean effect over the data is zero (standard convention)
+    counts = np.bincount(bins, minlength=len(edges) - 1)
+    ale = ale - float(np.average(ale, weights=np.maximum(counts, 1)))
+    return edges[1:], ale

@@ -1,0 +1,164 @@
+"""Gradient-based attributions for differentiable models (tutorial §2.4).
+
+These are the tabular analogues of saliency maps:
+
+- :func:`saliency` — the raw input gradient of the class score;
+- :func:`gradient_times_input` — multiplied by the input (first-order
+  completeness heuristic);
+- :func:`integrated_gradients` — path integral from a baseline, whose
+  attributions provably sum to ``f(x) - f(baseline)`` (completeness);
+- :func:`smoothgrad` — noise-averaged saliency, the standard variance
+  reduction for fragile raw gradients.
+
+Their fragility is exactly what the sanity-check experiment (E20)
+demonstrates via :meth:`MLPClassifier.randomize_parameters`, and the
+targeted fragility attack (:mod:`xaidb.attacks.fragility`) exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import FeatureAttribution
+from xaidb.models.mlp import MLPClassifier
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_positive
+
+
+def saliency(
+    model: MLPClassifier,
+    instance: np.ndarray,
+    *,
+    class_index: int = 1,
+    feature_names: list[str] | None = None,
+) -> FeatureAttribution:
+    """Absolute input gradient of the class probability (saliency map)."""
+    instance = check_array(instance, name="instance", ndim=1)
+    gradient = model.input_gradient(instance, class_index)
+    names = feature_names or [f"x{i}" for i in range(len(instance))]
+    probability = float(model.predict_proba(instance[None, :])[0, class_index])
+    return FeatureAttribution(
+        feature_names=list(names),
+        values=np.abs(gradient),
+        base_value=0.0,
+        prediction=probability,
+        metadata={"method": "saliency", "class_index": class_index},
+    )
+
+
+def gradient_times_input(
+    model: MLPClassifier,
+    instance: np.ndarray,
+    *,
+    class_index: int = 1,
+    baseline: np.ndarray | None = None,
+    feature_names: list[str] | None = None,
+) -> FeatureAttribution:
+    """Gradient x (input - baseline) attribution.
+
+    With a zero baseline this is the classic gradient*input heuristic; a
+    data-mean baseline gives a crude one-step integrated-gradients
+    approximation.
+    """
+    instance = check_array(instance, name="instance", ndim=1)
+    reference = (
+        np.zeros_like(instance)
+        if baseline is None
+        else check_array(baseline, name="baseline", ndim=1)
+    )
+    gradient = model.input_gradient(instance, class_index)
+    names = feature_names or [f"x{i}" for i in range(len(instance))]
+    probability = float(model.predict_proba(instance[None, :])[0, class_index])
+    return FeatureAttribution(
+        feature_names=list(names),
+        values=gradient * (instance - reference),
+        base_value=0.0,
+        prediction=probability,
+        metadata={"method": "gradient_times_input", "class_index": class_index},
+    )
+
+
+def integrated_gradients(
+    model: MLPClassifier,
+    instance: np.ndarray,
+    *,
+    baseline: np.ndarray | None = None,
+    class_index: int = 1,
+    n_steps: int = 50,
+    feature_names: list[str] | None = None,
+) -> FeatureAttribution:
+    """Integrated gradients (Sundararajan et al. 2017).
+
+    Averages the input gradient along the straight path from ``baseline``
+    to ``instance`` and multiplies by the displacement.  By the gradient
+    theorem the attributions sum to ``f(instance) - f(baseline)`` up to
+    Riemann-sum error (tested), restoring the completeness property raw
+    saliency lacks.
+    """
+    instance = check_array(instance, name="instance", ndim=1)
+    reference = (
+        np.zeros_like(instance)
+        if baseline is None
+        else check_array(baseline, name="baseline", ndim=1)
+    )
+    if n_steps < 2:
+        raise ValidationError("n_steps must be >= 2")
+    # midpoint rule along the path
+    alphas = (np.arange(n_steps) + 0.5) / n_steps
+    total_gradient = np.zeros_like(instance)
+    for alpha in alphas:
+        point = reference + alpha * (instance - reference)
+        total_gradient += model.input_gradient(point, class_index)
+    average_gradient = total_gradient / n_steps
+    values = average_gradient * (instance - reference)
+    names = feature_names or [f"x{i}" for i in range(len(instance))]
+    probability = float(model.predict_proba(instance[None, :])[0, class_index])
+    base_probability = float(
+        model.predict_proba(reference[None, :])[0, class_index]
+    )
+    return FeatureAttribution(
+        feature_names=list(names),
+        values=values,
+        base_value=base_probability,
+        prediction=probability,
+        metadata={"method": "integrated_gradients", "n_steps": n_steps},
+    )
+
+
+def smoothgrad(
+    model: MLPClassifier,
+    instance: np.ndarray,
+    *,
+    class_index: int = 1,
+    noise_scale: float = 0.15,
+    n_samples: int = 25,
+    feature_names: list[str] | None = None,
+    random_state: RandomState = None,
+) -> FeatureAttribution:
+    """SmoothGrad (Smilkov et al. 2017): saliency averaged over Gaussian
+    neighbours of the input.  Reduces the attribution variance that makes
+    raw gradients fragile — the mitigation usually paired with the
+    fragility critique the tutorial cites."""
+    instance = check_array(instance, name="instance", ndim=1)
+    check_positive(noise_scale, name="noise_scale")
+    if n_samples < 1:
+        raise ValidationError("n_samples must be >= 1")
+    rng = check_random_state(random_state)
+    total = np.zeros_like(instance)
+    for __ in range(n_samples):
+        noisy = instance + rng.normal(0.0, noise_scale, size=instance.shape)
+        total += np.abs(model.input_gradient(noisy, class_index))
+    names = feature_names or [f"x{i}" for i in range(len(instance))]
+    probability = float(model.predict_proba(instance[None, :])[0, class_index])
+    return FeatureAttribution(
+        feature_names=list(names),
+        values=total / n_samples,
+        base_value=0.0,
+        prediction=probability,
+        metadata={
+            "method": "smoothgrad",
+            "noise_scale": noise_scale,
+            "n_samples": n_samples,
+        },
+    )

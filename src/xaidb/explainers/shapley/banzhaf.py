@@ -1,0 +1,105 @@
+"""Banzhaf values — the other cooperative power index.
+
+Where the Shapley value weights a player's marginal contribution by
+coalition size, the Banzhaf value weights all coalitions equally:
+
+    beta_i = (1 / 2^(n-1)) * sum over S not containing i of
+             (v(S ∪ {i}) - v(S))
+
+The recent query-answering literature (following the Shapley-of-tuples
+line the tutorial cites) studies Banzhaf alongside Shapley because it is
+often computationally friendlier and more robust to utility noise.  The
+price is the efficiency axiom: Banzhaf values do not generally sum to
+``v(N) - v(∅)`` (tests pin down exactly this difference).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from xaidb.db.provenance import Provenance
+from xaidb.db.sql_shapley import BooleanQueryGame
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.shapley.games import CachedGame, Game
+from xaidb.utils.rng import RandomState, check_random_state
+
+_MAX_EXACT_PLAYERS = 20
+
+
+def banzhaf_values(game: Game) -> np.ndarray:
+    """Exact Banzhaf values by coalition enumeration (O(2^n))."""
+    n = game.n_players
+    if n > _MAX_EXACT_PLAYERS:
+        raise ValidationError(
+            f"exact Banzhaf over {n} players is intractable "
+            f"(limit {_MAX_EXACT_PLAYERS}); use banzhaf_values_sampled"
+        )
+    cached = game if isinstance(game, CachedGame) else CachedGame(game)
+    players = list(range(n))
+    beta = np.zeros(n)
+    denominator = 2.0 ** (n - 1)
+    for player in players:
+        others = [p for p in players if p != player]
+        for size in range(n):
+            for subset in combinations(others, size):
+                beta[player] += (
+                    cached.value(subset + (player,)) - cached.value(subset)
+                )
+    return beta / denominator
+
+
+def banzhaf_values_sampled(
+    game: Game,
+    n_samples: int = 500,
+    *,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Monte-Carlo Banzhaf: sample uniform coalitions, average marginal
+    contributions.  Returns (values, standard errors)."""
+    if n_samples < 1:
+        raise ValidationError("n_samples must be >= 1")
+    rng = check_random_state(random_state)
+    cached = game if isinstance(game, CachedGame) else CachedGame(game)
+    n = game.n_players
+    samples = np.zeros((n_samples, n))
+    for s in range(n_samples):
+        mask = rng.random(n) < 0.5
+        for player in range(n):
+            coalition = [p for p in range(n) if mask[p] and p != player]
+            samples[s, player] = cached.value(
+                coalition + [player]
+            ) - cached.value(coalition)
+    values = samples.mean(axis=0)
+    if n_samples > 1:
+        errors = samples.std(axis=0, ddof=1) / np.sqrt(n_samples)
+    else:
+        errors = np.full(n, np.nan)
+    return values, errors
+
+
+def banzhaf_of_tuples_boolean(
+    provenance: Provenance,
+    endogenous: Sequence[Hashable],
+    *,
+    exogenous=(),
+    n_samples: int | None = None,
+    random_state: RandomState = None,
+) -> dict[Hashable, float]:
+    """Banzhaf value of each endogenous tuple for a boolean query answer —
+    the power-index alternative to
+    :func:`xaidb.db.sql_shapley.shapley_of_tuples_boolean`."""
+    if not endogenous:
+        raise ValidationError("endogenous tuple list is empty")
+    game = CachedGame(
+        BooleanQueryGame(provenance, endogenous, exogenous=exogenous)
+    )
+    if n_samples is None:
+        beta = banzhaf_values(game)
+    else:
+        beta, __ = banzhaf_values_sampled(
+            game, n_samples, random_state=random_state
+        )
+    return dict(zip(endogenous, beta.tolist()))

@@ -1,0 +1,146 @@
+"""Cooperative games over feature coalitions.
+
+Every Shapley estimator in xaidb evaluates a :class:`Game`: a value
+function ``v(S)`` over subsets of ``n_players`` feature indices.  The
+central instance is :class:`MarginalImputationGame` — SHAP's
+interventional value function ``v(S) = E_z[f(x_S, z_{~S})]`` where
+missing features are imputed from background data — but tests also plug
+in analytic games (voting games, gloves games) with known closed-form
+Shapley values.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import PredictFn
+from xaidb.utils.validation import check_array
+
+
+class Game:
+    """A cooperative game: a value function over coalitions of players.
+
+    Subclasses implement :meth:`value`; ``n_players`` is the ground set
+    size.  Coalitions are passed as iterables of integer player indices.
+    """
+
+    def __init__(self, n_players: int) -> None:
+        if n_players < 1:
+            raise ValidationError("a game needs at least one player")
+        self.n_players = n_players
+
+    def value(self, coalition: Iterable[int]) -> float:
+        raise NotImplementedError
+
+    def grand_value(self) -> float:
+        """``v(N)`` — the payoff of the full coalition."""
+        return self.value(range(self.n_players))
+
+    def empty_value(self) -> float:
+        """``v(∅)`` — the base payoff."""
+        return self.value(())
+
+
+class FunctionGame(Game):
+    """Wrap a plain callable ``v(frozenset) -> float`` as a game."""
+
+    def __init__(self, n_players: int, func: Callable[[frozenset], float]) -> None:
+        super().__init__(n_players)
+        self._func = func
+
+    def value(self, coalition: Iterable[int]) -> float:
+        return float(self._func(frozenset(coalition)))
+
+
+class CachedGame(Game):
+    """Memoising wrapper: exact enumeration and KernelSHAP both revisit
+    coalitions, and Monte-Carlo games are expensive to evaluate."""
+
+    def __init__(self, inner: Game) -> None:
+        super().__init__(inner.n_players)
+        self.inner = inner
+        self._cache: dict[frozenset, float] = {}
+
+    def value(self, coalition: Iterable[int]) -> float:
+        key = frozenset(coalition)
+        if key not in self._cache:
+            self._cache[key] = float(self.inner.value(key))
+        return self._cache[key]
+
+    @property
+    def n_evaluations(self) -> int:
+        """Distinct coalitions evaluated so far."""
+        return len(self._cache)
+
+
+class MarginalImputationGame(Game):
+    """SHAP's interventional value function.
+
+    ``v(S)`` replaces the features *outside* ``S`` with values from each
+    background row, averages the model output over the background set, and
+    returns that expectation.  With the full coalition this is exactly
+    ``f(x)``; with the empty coalition it is the mean background
+    prediction — so Shapley values of this game satisfy local accuracy
+    around those two anchors.
+
+    Parameters
+    ----------
+    predict_fn:
+        Scalar-output model function.
+    instance:
+        The input being explained, shape ``(d,)``.
+    background:
+        Reference rows used to impute "absent" features, shape ``(m, d)``.
+    """
+
+    def __init__(
+        self,
+        predict_fn: PredictFn,
+        instance: np.ndarray,
+        background: np.ndarray,
+    ) -> None:
+        instance = check_array(instance, name="instance", ndim=1)
+        background = check_array(background, name="background", ndim=2)
+        if background.shape[1] != instance.shape[0]:
+            raise ValidationError(
+                f"background has {background.shape[1]} columns, instance "
+                f"has {instance.shape[0]}"
+            )
+        super().__init__(instance.shape[0])
+        self.predict_fn = predict_fn
+        self.instance = instance
+        self.background = background
+
+    def value(self, coalition: Iterable[int]) -> float:
+        present = sorted(set(coalition))
+        if any(not 0 <= i < self.n_players for i in present):
+            raise ValidationError("coalition contains invalid player index")
+        hybrid = self.background.copy()
+        if present:
+            hybrid[:, present] = self.instance[present]
+        return float(np.mean(self.predict_fn(hybrid)))
+
+    def values_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Evaluate many coalitions at once.
+
+        ``masks`` is a ``(n_coalitions, d)`` boolean matrix (True = feature
+        present).  All hybrid rows are scored in a single ``predict_fn``
+        call, which is the difference between KernelSHAP being usable and
+        not on slow models.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim != 2 or masks.shape[1] != self.n_players:
+            raise ValidationError(
+                f"masks must have shape (n, {self.n_players})"
+            )
+        m = self.background.shape[0]
+        stacked = np.repeat(self.background[None, :, :], masks.shape[0], axis=0)
+        # broadcast instance into the masked positions of every block
+        for row, mask in enumerate(masks):
+            stacked[row, :, mask] = self.instance[mask, None]
+        flat = stacked.reshape(masks.shape[0] * m, self.n_players)
+        scores = np.asarray(self.predict_fn(flat), dtype=float)
+        return scores.reshape(masks.shape[0], m).mean(axis=1)

@@ -1,0 +1,196 @@
+"""Surrogate-model explainability beyond LIME (tutorial §2.1.1).
+
+- :class:`GlobalSurrogate` distils a black box into one inherently
+  interpretable model (a shallow CART tree or a linear model) over the
+  whole input distribution, reporting its *fidelity* — how often the
+  surrogate agrees with the black box — so users can judge whether the
+  surrogate's story can be trusted.
+- :class:`LinearModelTreeSurrogate` implements the linear-model-tree idea
+  (Lahiri & Edakunni 2020): partition the input space with a shallow tree,
+  then fit a local linear model in each leaf; an instance's explanation is
+  its leaf's linear coefficients — contextual, piecewise-linear
+  explanations that stay faithful where a single global line cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.data.dataset import Dataset
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.models.linear import LinearRegression
+from xaidb.models.tree import DecisionTreeRegressor
+from xaidb.utils.validation import check_array, check_fitted
+
+
+def surrogate_fidelity(
+    predict_fn: PredictFn,
+    surrogate_fn: PredictFn,
+    X: np.ndarray,
+    *,
+    kind: str = "r2",
+) -> float:
+    """Agreement between a black box and its surrogate on ``X``.
+
+    ``kind="r2"`` treats outputs as scores and returns the R^2 of the
+    surrogate against the black box; ``kind="agreement"`` thresholds both
+    at 0.5 and returns label-agreement rate.
+    """
+    X = check_array(X, name="X", ndim=2)
+    black_box = np.asarray(predict_fn(X), dtype=float)
+    proxy = np.asarray(surrogate_fn(X), dtype=float)
+    if kind == "agreement":
+        return float(np.mean((black_box >= 0.5) == (proxy >= 0.5)))
+    if kind == "r2":
+        ss_res = float(np.sum((black_box - proxy) ** 2))
+        ss_tot = float(np.sum((black_box - black_box.mean()) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+    raise ValidationError(f"kind must be 'r2' or 'agreement', got {kind!r}")
+
+
+class GlobalSurrogate:
+    """Distil a black-box score function into an interpretable model.
+
+    Parameters
+    ----------
+    kind:
+        ``"tree"`` (shallow CART regressor on the scores) or ``"linear"``.
+    max_depth:
+        Tree depth budget; small values keep the surrogate readable.
+    """
+
+    def __init__(self, *, kind: str = "tree", max_depth: int = 3) -> None:
+        if kind not in ("tree", "linear"):
+            raise ValidationError(f"kind must be 'tree' or 'linear', got {kind!r}")
+        self.kind = kind
+        self.max_depth = max_depth
+        self.model_: DecisionTreeRegressor | LinearRegression | None = None
+        self.fidelity_: float | None = None
+
+    def fit(self, predict_fn: PredictFn, X: np.ndarray) -> "GlobalSurrogate":
+        """Fit the surrogate to the black box's scores on ``X``."""
+        X = check_array(X, name="X", ndim=2)
+        scores = np.asarray(predict_fn(X), dtype=float)
+        if self.kind == "tree":
+            self.model_ = DecisionTreeRegressor(max_depth=self.max_depth)
+        else:
+            self.model_ = LinearRegression()
+        self.model_.fit(X, scores)
+        self.fidelity_ = surrogate_fidelity(
+            predict_fn, self.model_.predict, X, kind="r2"
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["model_"])
+        return self.model_.predict(X)
+
+    def explanation(self, feature_names: list[str]) -> FeatureAttribution:
+        """A global importance summary.
+
+        For a linear surrogate, the coefficients; for a tree surrogate,
+        total impurity-weighted split usage per feature.
+        """
+        check_fitted(self, ["model_"])
+        if isinstance(self.model_, LinearRegression):
+            values = self.model_.coef_
+            base = float(self.model_.intercept_)
+        else:
+            tree = self.model_.tree_
+            values = np.zeros(len(feature_names))
+            for node in range(tree.node_count):
+                if not tree.is_leaf(node):
+                    values[tree.feature[node]] += float(tree.n_node_samples[node])
+            total = values.sum()
+            if total > 0:
+                values = values / total
+            base = float(tree.value[0, 0])
+        return FeatureAttribution(
+            feature_names=list(feature_names),
+            values=np.asarray(values, dtype=float),
+            base_value=base,
+            metadata={"fidelity_r2": self.fidelity_, "kind": self.kind},
+        )
+
+
+class LinearModelTreeSurrogate:
+    """Piecewise-linear surrogate: a shallow tree with per-leaf linear fits.
+
+    ``explain(instance)`` routes the instance to its leaf and returns that
+    leaf's linear coefficients as a *contextual* explanation, together with
+    the leaf's local fidelity.
+    """
+
+    def __init__(self, *, max_depth: int = 2, min_samples_leaf: int = 30,
+                 l2: float = 1e-3) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.l2 = l2
+        self.partition_: DecisionTreeRegressor | None = None
+        self.leaf_models_: dict[int, LinearRegression] | None = None
+        self.leaf_fidelity_: dict[int, float] | None = None
+        self.feature_names_: list[str] | None = None
+
+    def fit(
+        self,
+        predict_fn: PredictFn,
+        dataset: Dataset,
+    ) -> "LinearModelTreeSurrogate":
+        X = dataset.X
+        scores = np.asarray(predict_fn(X), dtype=float)
+        self.partition_ = DecisionTreeRegressor(
+            max_depth=self.max_depth, min_samples_leaf=self.min_samples_leaf
+        )
+        self.partition_.fit(X, scores)
+        self.feature_names_ = dataset.feature_names
+        self.leaf_models_ = {}
+        self.leaf_fidelity_ = {}
+        leaves = self.partition_.apply(X)
+        for leaf in np.unique(leaves):
+            rows = leaves == leaf
+            local = LinearRegression(l2=self.l2)
+            local.fit(X[rows], scores[rows])
+            self.leaf_models_[int(leaf)] = local
+            fitted = local.predict(X[rows])
+            ss_res = float(np.sum((scores[rows] - fitted) ** 2))
+            ss_tot = float(np.sum((scores[rows] - scores[rows].mean()) ** 2))
+            self.leaf_fidelity_[int(leaf)] = (
+                1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+            )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["partition_", "leaf_models_"])
+        X = check_array(X, name="X", ndim=2)
+        leaves = self.partition_.apply(X)
+        out = np.empty(X.shape[0])
+        for leaf in np.unique(leaves):
+            rows = leaves == leaf
+            out[rows] = self.leaf_models_[int(leaf)].predict(X[rows])
+        return out
+
+    def explain(self, instance: np.ndarray) -> FeatureAttribution:
+        """The linear explanation of the leaf region containing ``instance``.
+
+        Attribution values are ``coef * instance`` contributions so they
+        are comparable across features with different scales.
+        """
+        check_fitted(self, ["partition_", "leaf_models_"])
+        instance = check_array(instance, name="instance", ndim=1)
+        leaf = int(self.partition_.apply(instance[None, :])[0])
+        local = self.leaf_models_[leaf]
+        contributions = local.coef_ * instance
+        return FeatureAttribution(
+            feature_names=list(self.feature_names_),
+            values=contributions,
+            base_value=float(local.intercept_),
+            prediction=float(local.predict(instance[None, :])[0]),
+            metadata={
+                "leaf": leaf,
+                "leaf_fidelity_r2": self.leaf_fidelity_[leaf],
+                "coefficients": local.coef_.tolist(),
+            },
+        )

@@ -1,0 +1,15 @@
+"""Incremental model maintenance for data deletion (tutorial §3):
+PrIU-style provenance-based incremental updates for linear/logistic
+models, and HedgeCut-style low-latency unlearning for randomised trees."""
+
+from xaidb.incremental.priu import (
+    IncrementalLinearRegression,
+    IncrementalLogisticRegression,
+)
+from xaidb.incremental.unlearning import UnlearnableExtraTrees
+
+__all__ = [
+    "IncrementalLinearRegression",
+    "IncrementalLogisticRegression",
+    "UnlearnableExtraTrees",
+]

@@ -1,0 +1,269 @@
+"""HedgeCut-style low-latency machine unlearning for randomised trees
+(Schelter, Grafberger & Dunning 2021).
+
+HedgeCut's observation: extremely randomised trees choose splits from a
+small random candidate set, so most deletions do not change which
+candidate wins — the split is *robust* and the deletion reduces to O(depth)
+counter updates.  Only when a deletion makes a previously losing
+candidate overtake the winner must the affected subtree be re-grown (from
+the retained rows, which each node remembers).
+
+This implementation keeps, per node, the evaluated candidate splits with
+their class-count statistics and the row ids that reached the node, so
+
+- :meth:`forget` updates counts along one root-leaf path per tree,
+  re-grows a subtree only on a split flip, and reports whether any tree
+  needed surgery;
+- deletions leave the model *exactly* as if the point had never been
+  trained on, up to the retained random candidate draws (the HedgeCut
+  contract), which the tests verify against a from-scratch rebuild with
+  the same candidate seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
+from xaidb.utils.validation import check_array, check_fitted
+
+
+@dataclass
+class _Candidate:
+    feature: int
+    threshold: float
+
+
+@dataclass
+class _Node:
+    rows: list[int]  # training row indices that reached this node
+    class_counts: np.ndarray
+    candidates: list[_Candidate] = field(default_factory=list)
+    chosen: int = -1  # index into candidates; -1 = leaf
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    seed: int = 0  # seed that drew this node's candidates (for re-grow)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.chosen < 0
+
+
+def _gini_gain(
+    counts: np.ndarray, left_counts: np.ndarray
+) -> float:
+    """Gini impurity decrease of splitting ``counts`` into
+    (``left_counts``, rest)."""
+    total = counts.sum()
+    left_total = left_counts.sum()
+    right_counts = counts - left_counts
+    right_total = total - left_total
+    if left_total == 0 or right_total == 0:
+        return -np.inf
+
+    def gini(c: np.ndarray, n: float) -> float:
+        p = c / n
+        return 1.0 - float(np.sum(p * p))
+
+    parent = gini(counts, total)
+    child = (
+        left_total * gini(left_counts, left_total)
+        + right_total * gini(right_counts, right_total)
+    ) / total
+    return parent - child
+
+
+class UnlearnableExtraTrees:
+    """An extremely-randomised-trees classifier supporting fast deletion.
+
+    Parameters
+    ----------
+    n_estimators / max_depth / min_samples_leaf:
+        Usual tree-ensemble knobs.
+    n_candidates:
+        Random (feature, threshold) candidates evaluated per node;
+        HedgeCut's robustness comes from this being small.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 10,
+        max_depth: int = 6,
+        min_samples_leaf: int = 5,
+        n_candidates: int = 8,
+        random_state: RandomState = None,
+    ) -> None:
+        if n_estimators < 1 or n_candidates < 1:
+            raise ValidationError("n_estimators and n_candidates must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.n_candidates = n_candidates
+        self.random_state = random_state
+        self.roots_: list[_Node] | None = None
+        self.classes_: np.ndarray | None = None
+        self._X: np.ndarray | None = None
+        self._y_index: np.ndarray | None = None
+        self.active_: np.ndarray | None = None
+        self.n_regrow_events_: int = 0
+
+    # ------------------------------------------------------------------
+    # fitting
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "UnlearnableExtraTrees":
+        X = check_array(X, name="X", ndim=2)
+        y = check_array(y, name="y", ndim=1)
+        self.classes_ = np.unique(y)
+        lookup = {label: i for i, label in enumerate(self.classes_)}
+        self._y_index = np.asarray([lookup[label] for label in y], dtype=int)
+        self._X = X.copy()
+        self.active_ = np.ones(len(y), dtype=bool)
+        seeds = spawn_seeds(check_random_state(self.random_state), self.n_estimators)
+        self.roots_ = [
+            self._grow(list(range(len(y))), depth=0, seed=seed)
+            for seed in seeds
+        ]
+        return self
+
+    def _draw_candidates(
+        self, rows: list[int], rng: np.random.Generator
+    ) -> list[_Candidate]:
+        X_rows = self._X[rows]
+        candidates = []
+        for __ in range(self.n_candidates):
+            feature = int(rng.integers(0, self._X.shape[1]))
+            low = float(X_rows[:, feature].min())
+            high = float(X_rows[:, feature].max())
+            if high <= low:
+                continue
+            threshold = float(rng.uniform(low, high))
+            candidates.append(_Candidate(feature=feature, threshold=threshold))
+        return candidates
+
+    def _class_counts(self, rows: list[int]) -> np.ndarray:
+        return np.bincount(
+            self._y_index[rows], minlength=len(self.classes_)
+        ).astype(float)
+
+    def _best_candidate(
+        self, rows: list[int], candidates: list[_Candidate]
+    ) -> int:
+        counts = self._class_counts(rows)
+        best_index, best_gain = -1, 1e-12
+        for index, candidate in enumerate(candidates):
+            left_rows = [
+                r for r in rows if self._X[r, candidate.feature] <= candidate.threshold
+            ]
+            if (
+                len(left_rows) < self.min_samples_leaf
+                or len(rows) - len(left_rows) < self.min_samples_leaf
+            ):
+                continue
+            gain = _gini_gain(counts, self._class_counts(left_rows))
+            if gain > best_gain:
+                best_index, best_gain = index, gain
+        return best_index
+
+    def _grow(self, rows: list[int], depth: int, seed: int) -> _Node:
+        rng = check_random_state(seed)
+        node = _Node(
+            rows=list(rows),
+            class_counts=self._class_counts(rows),
+            seed=seed,
+        )
+        if (
+            depth >= self.max_depth
+            or len(rows) < 2 * self.min_samples_leaf
+            or len(np.unique(self._y_index[rows])) < 2
+        ):
+            return node
+        node.candidates = self._draw_candidates(rows, rng)
+        node.chosen = self._best_candidate(rows, node.candidates)
+        if node.chosen < 0:
+            return node
+        winner = node.candidates[node.chosen]
+        left_rows = [
+            r for r in rows if self._X[r, winner.feature] <= winner.threshold
+        ]
+        left_set = set(left_rows)
+        right_rows = [r for r in rows if r not in left_set]
+        child_seeds = spawn_seeds(rng, 2)
+        node.left = self._grow(left_rows, depth + 1, child_seeds[0])
+        node.right = self._grow(right_rows, depth + 1, child_seeds[1])
+        return node
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["roots_"])
+        X = check_array(X, name="X", ndim=2)
+        out = np.zeros((X.shape[0], len(self.classes_)))
+        for root in self.roots_:
+            for i, row in enumerate(X):
+                node = root
+                while not node.is_leaf:
+                    winner = node.candidates[node.chosen]
+                    node = (
+                        node.left
+                        if row[winner.feature] <= winner.threshold
+                        else node.right
+                    )
+                total = node.class_counts.sum()
+                if total > 0:
+                    out[i] += node.class_counts / total
+        return out / len(self.roots_)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        probabilities = self.predict_proba(X)
+        return self.classes_[np.argmax(probabilities, axis=1)]
+
+    # ------------------------------------------------------------------
+    # unlearning
+    # ------------------------------------------------------------------
+    def forget(self, row: int) -> int:
+        """Delete one training row from every tree.
+
+        Returns the number of subtree re-grow events triggered (0 when
+        every affected split was robust — the common, O(depth) case).
+        """
+        check_fitted(self, ["roots_"])
+        if not 0 <= row < len(self.active_):
+            raise ValidationError("row out of range")
+        if not self.active_[row]:
+            raise ValidationError(f"row {row} was already forgotten")
+        self.active_[row] = False
+        regrows = 0
+        for tree_index, root in enumerate(self.roots_):
+            regrows += self._forget_in_subtree(root, row, depth=0, holder=(self.roots_, tree_index))
+        self.n_regrow_events_ += regrows
+        return regrows
+
+    def _forget_in_subtree(self, node: _Node, row: int, depth: int, holder) -> int:
+        """Remove ``row`` from ``node`` downward; returns re-grow count."""
+        if row not in node.rows:
+            return 0
+        node.rows.remove(row)
+        node.class_counts = self._class_counts(node.rows)
+        if node.is_leaf:
+            return 0
+        # does the winning candidate change after the deletion?
+        new_best = self._best_candidate(node.rows, node.candidates)
+        if new_best != node.chosen:
+            # split flip: re-grow this subtree from the surviving rows
+            container, key = holder
+            rebuilt = self._grow(node.rows, depth, node.seed)
+            container[key] = rebuilt
+            return 1
+        winner = node.candidates[node.chosen]
+        if self._X[row, winner.feature] <= winner.threshold:
+            return self._forget_in_subtree(
+                node.left, row, depth + 1, (node.__dict__, "left")
+            )
+        return self._forget_in_subtree(
+            node.right, row, depth + 1, (node.__dict__, "right")
+        )

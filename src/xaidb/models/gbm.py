@@ -1,0 +1,206 @@
+"""Gradient-boosted trees (squared loss regression, logloss classification).
+
+Follows the classic Friedman formulation: stage ``m`` fits a CART
+regression tree to the negative gradient of the loss at the current
+ensemble output, then each leaf's value is set by a one-step Newton line
+search within the leaf.  The per-stage trees, their leaf assignments over
+the training data, and the raw-score decomposition are all exposed because
+
+- TreeSHAP sums per-tree attributions (the raw margin is additive), and
+- LeafRefit influence (:mod:`xaidb.datavaluation.tree_influence`) removes
+  a training point from every leaf it touched and re-derives leaf values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.models.base import Classifier, Regressor
+from xaidb.models.tree import DecisionTreeRegressor
+from xaidb.utils.linalg import sigmoid
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
+from xaidb.utils.validation import check_array, check_fitted, check_positive
+
+
+class _BoostingMixin:
+    def _init_params(
+        self, n_estimators, learning_rate, max_depth, min_samples_leaf,
+        subsample, random_state,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValidationError("n_estimators must be >= 1")
+        check_positive(learning_rate, name="learning_rate")
+        if not 0.0 < subsample <= 1.0:
+            raise ValidationError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeRegressor] | None = None
+        self.init_score_: float | None = None
+        # per tree: the training-row indices used to fit it (LeafRefit needs
+        # to know which rows shaped which leaves)
+        self.tree_train_rows_: list[np.ndarray] | None = None
+
+    def _boost(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        *,
+        negative_gradient,
+        leaf_value,
+    ) -> None:
+        """Generic boosting loop.
+
+        ``negative_gradient(y, raw)`` returns per-row pseudo-residuals and
+        ``leaf_value(y_rows, raw_rows)`` the Newton leaf estimate from the
+        rows landing in a leaf.
+        """
+        rng = check_random_state(self.random_state)
+        seeds = spawn_seeds(rng, self.n_estimators)
+        n = len(y)
+        raw = np.full(n, self.init_score_)
+        self.trees_ = []
+        self.tree_train_rows_ = []
+        for seed in seeds:
+            stage_rng = check_random_state(seed)
+            if self.subsample < 1.0:
+                size = max(2, int(round(self.subsample * n)))
+                rows = stage_rng.choice(n, size=size, replace=False)
+            else:
+                rows = np.arange(n)
+            residuals = negative_gradient(y, raw)
+            tree = DecisionTreeRegressor(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=seed,
+            )
+            tree.fit(X[rows], residuals[rows])
+            # Newton re-estimate of each leaf from the rows it contains.
+            leaves = tree.tree_.apply(X[rows])
+            for leaf in np.unique(leaves):
+                in_leaf = rows[leaves == leaf]
+                tree.tree_.value[leaf, 0] = leaf_value(y[in_leaf], raw[in_leaf])
+            raw = raw + self.learning_rate * tree.predict(X)
+            self.trees_.append(tree)
+            self.tree_train_rows_.append(rows)
+
+    def _raw_scores(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["trees_"])
+        X = check_array(X, name="X", ndim=2)
+        raw = np.full(X.shape[0], self.init_score_)
+        for tree in self.trees_:
+            raw += self.learning_rate * tree.predict(X)
+        return raw
+
+    def staged_raw_scores(self, X: np.ndarray) -> np.ndarray:
+        """Raw margin after each boosting stage, shape ``(stages+1, n)``.
+
+        Stage 0 is the constant initial score; useful for debugging and for
+        early-stopping style analyses in the benchmarks.
+        """
+        check_fitted(self, ["trees_"])
+        X = check_array(X, name="X", ndim=2)
+        raw = np.full(X.shape[0], self.init_score_)
+        stages = [raw.copy()]
+        for tree in self.trees_:
+            raw = raw + self.learning_rate * tree.predict(X)
+            stages.append(raw.copy())
+        return np.asarray(stages)
+
+
+class GradientBoostedRegressor(_BoostingMixin, Regressor):
+    """Gradient boosting with squared loss."""
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int | None = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: RandomState = None,
+    ) -> None:
+        self._init_params(
+            n_estimators, learning_rate, max_depth, min_samples_leaf,
+            subsample, random_state,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedRegressor":
+        X, y = self._validate_fit_args(X, y)
+        self.init_score_ = float(np.mean(y))
+        self._boost(
+            X,
+            y,
+            negative_gradient=lambda y_true, raw: y_true - raw,
+            leaf_value=lambda y_rows, raw_rows: float(np.mean(y_rows - raw_rows)),
+        )
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self._raw_scores(X)
+
+
+class GradientBoostedClassifier(_BoostingMixin, Classifier):
+    """Binary gradient boosting with logistic loss.
+
+    The raw score is the log-odds margin; ``predict_proba`` applies the
+    sigmoid.  Leaf values use the standard one-step Newton estimate
+    ``sum(residual) / sum(p(1-p))``.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int | None = 3,
+        min_samples_leaf: int = 1,
+        subsample: float = 1.0,
+        random_state: RandomState = None,
+    ) -> None:
+        self._init_params(
+            n_estimators, learning_rate, max_depth, min_samples_leaf,
+            subsample, random_state,
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedClassifier":
+        X, y = self._validate_fit_args(X, y)
+        y_index = self._encode_labels(y).astype(float)
+        if len(self.classes_) != 2:
+            raise ValidationError(
+                f"GradientBoostedClassifier is binary; got "
+                f"{len(self.classes_)} classes"
+            )
+        positive_rate = float(np.clip(np.mean(y_index), 1e-6, 1.0 - 1e-6))
+        self.init_score_ = float(np.log(positive_rate / (1.0 - positive_rate)))
+
+        def leaf_value(y_rows: np.ndarray, raw_rows: np.ndarray) -> float:
+            probabilities = sigmoid(raw_rows)
+            numerator = float(np.sum(y_rows - probabilities))
+            denominator = float(
+                np.sum(probabilities * (1.0 - probabilities))
+            )
+            if denominator < 1e-12:
+                return 0.0
+            return numerator / denominator
+
+        self._boost(
+            X,
+            y_index,
+            negative_gradient=lambda y_true, raw: y_true - sigmoid(raw),
+            leaf_value=leaf_value,
+        )
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw log-odds margin."""
+        return self._raw_scores(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        positive = sigmoid(self._raw_scores(X))
+        return np.column_stack([1.0 - positive, positive])

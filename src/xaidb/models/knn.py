@@ -1,0 +1,62 @@
+"""k-nearest-neighbour classifier.
+
+Besides being a baseline model, k-NN is the substrate of KNN-Shapley
+(Jia et al. 2019): the exact data-Shapley value under a k-NN utility has a
+closed form, so :mod:`xaidb.datavaluation.knn_shapley` reuses this
+class's neighbour ordering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.models.base import Classifier
+from xaidb.utils.kernels import pairwise_distances
+from xaidb.utils.validation import check_array, check_fitted
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority-vote k-NN with Euclidean distance.
+
+    Ties in distance are broken by training index (stable sort), which
+    makes neighbour orderings — and hence KNN-Shapley values — fully
+    deterministic.
+    """
+
+    def __init__(self, *, n_neighbors: int = 5) -> None:
+        if n_neighbors < 1:
+            raise ValidationError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self.X_: np.ndarray | None = None
+        self.y_index_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        X, y = self._validate_fit_args(X, y)
+        if self.n_neighbors > len(y):
+            raise ValidationError(
+                f"n_neighbors={self.n_neighbors} exceeds training size {len(y)}"
+            )
+        self.y_index_ = self._encode_labels(y)
+        self.X_ = X.copy()
+        return self
+
+    def kneighbors(self, X: np.ndarray) -> np.ndarray:
+        """Indices of each query row's k nearest training rows, closest
+        first (shape ``(n_queries, k)``)."""
+        check_fitted(self, ["X_"])
+        X = check_array(X, name="X", ndim=2)
+        distances = pairwise_distances(X, self.X_)
+        order = np.argsort(distances, axis=1, kind="mergesort")
+        return order[:, : self.n_neighbors]
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        neighbors = self.kneighbors(X)
+        n_classes = len(self.classes_)
+        votes = np.zeros((X.shape[0], n_classes))
+        for row, neighbor_indices in enumerate(neighbors):
+            counts = np.bincount(
+                self.y_index_[neighbor_indices], minlength=n_classes
+            )
+            votes[row] = counts / counts.sum()
+        return votes

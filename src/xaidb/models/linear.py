@@ -1,0 +1,114 @@
+"""Linear regression (ordinary least squares with optional ridge).
+
+Fitted in closed form from the normal equations.  The sufficient
+statistics ``X^T X`` and ``X^T y`` are exposed because PrIU-style
+incremental maintenance (:mod:`xaidb.incremental.priu`) updates exactly
+those quantities when training rows are deleted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.models.base import Regressor
+from xaidb.utils.linalg import solve_psd
+from xaidb.utils.validation import check_array, check_fitted, check_positive
+
+
+class LinearRegression(Regressor):
+    """OLS / ridge regression.
+
+    Parameters
+    ----------
+    l2:
+        Ridge penalty strength (0 gives plain OLS).  The intercept is
+        never penalised.
+    fit_intercept:
+        Whether to learn an additive intercept term.
+    """
+
+    def __init__(self, *, l2: float = 0.0, fit_intercept: bool = True) -> None:
+        if l2 < 0:
+            check_positive(l2, name="l2", strict=False)
+        self.l2 = l2
+        self.fit_intercept = fit_intercept
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.xtx_: np.ndarray | None = None
+        self.xty_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _augment(self, X: np.ndarray) -> np.ndarray:
+        if not self.fit_intercept:
+            return X
+        return np.column_stack([X, np.ones(X.shape[0])])
+
+    def _penalty_matrix(self, n_columns: int) -> np.ndarray:
+        penalty = np.eye(n_columns) * self.l2
+        if self.fit_intercept:
+            penalty[-1, -1] = 0.0
+        return penalty
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearRegression":
+        X, y = self._validate_fit_args(X, y)
+        design = self._augment(X)
+        self.xtx_ = design.T @ design
+        self.xty_ = design.T @ y
+        theta = solve_psd(
+            self.xtx_ + self._penalty_matrix(design.shape[1]), self.xty_
+        )
+        self._unpack(theta)
+        return self
+
+    def _unpack(self, theta: np.ndarray) -> None:
+        if self.fit_intercept:
+            self.coef_ = theta[:-1]
+            self.intercept_ = float(theta[-1])
+        else:
+            self.coef_ = theta
+            self.intercept_ = 0.0
+
+    def refit_from_statistics(
+        self, xtx: np.ndarray, xty: np.ndarray
+    ) -> "LinearRegression":
+        """Solve the normal equations from externally maintained sufficient
+        statistics (the PrIU incremental-update entry point)."""
+        xtx = check_array(xtx, name="xtx", ndim=2)
+        xty = check_array(xty, name="xty", ndim=1)
+        self.xtx_ = xtx
+        self.xty_ = xty
+        theta = solve_psd(xtx + self._penalty_matrix(xtx.shape[0]), xty)
+        self._unpack(theta)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["coef_"])
+        X = check_array(X, name="X", ndim=2)
+        return X @ self.coef_ + self.intercept_
+
+    # ------------------------------------------------------------------
+    # hooks for influence functions
+    # ------------------------------------------------------------------
+    @property
+    def theta_(self) -> np.ndarray:
+        """Full parameter vector (coefficients, then intercept if any)."""
+        check_fitted(self, ["coef_"])
+        if self.fit_intercept:
+            return np.append(self.coef_, self.intercept_)
+        return self.coef_.copy()
+
+    def loss_gradients(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Per-example gradient of the squared loss at the fitted theta:
+        ``grad_i = (x_i^T theta - y_i) * x_i`` (intercept column included)."""
+        check_fitted(self, ["coef_"])
+        design = self._augment(check_array(X, name="X", ndim=2))
+        residuals = design @ self.theta_ - np.asarray(y, dtype=float)
+        return design * residuals[:, None]
+
+    def loss_hessian(self, X: np.ndarray) -> np.ndarray:
+        """Average Hessian of the penalised squared loss: ``X^T X / n + L2``."""
+        check_fitted(self, ["coef_"])
+        design = self._augment(check_array(X, name="X", ndim=2))
+        return design.T @ design / design.shape[0] + self._penalty_matrix(
+            design.shape[1]
+        ) / design.shape[0]

@@ -1,0 +1,108 @@
+"""Evaluation metrics for the ML substrate.
+
+Data-valuation methods (Data Shapley, influence functions) treat "the
+performance metric" as a first-class game payoff, so these are plain
+functions over label/score arrays rather than methods on models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.validation import check_array, check_matching_lengths
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = check_array(y_true, name="y_true", ndim=1)
+    y_pred = check_array(y_pred, name="y_pred", ndim=1)
+    check_matching_lengths(("y_true", y_true), ("y_pred", y_pred))
+    return y_true, y_pred
+
+
+def accuracy(y_true, y_pred) -> float:
+    """Fraction of exact label matches."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred) -> np.ndarray:
+    """2x2 matrix ``[[TN, FP], [FN, TP]]`` for binary 0/1 labels."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    matrix = np.zeros((2, 2), dtype=int)
+    for true_label, predicted in zip(y_true.astype(int), y_pred.astype(int)):
+        if true_label not in (0, 1) or predicted not in (0, 1):
+            raise ValidationError("confusion_matrix expects binary 0/1 labels")
+        matrix[true_label, predicted] += 1
+    return matrix
+
+
+def precision(y_true, y_pred) -> float:
+    """TP / (TP + FP); defined as 0 when nothing is predicted positive."""
+    matrix = confusion_matrix(y_true, y_pred)
+    predicted_positive = matrix[0, 1] + matrix[1, 1]
+    return float(matrix[1, 1] / predicted_positive) if predicted_positive else 0.0
+
+
+def recall(y_true, y_pred) -> float:
+    """TP / (TP + FN); defined as 0 when there are no positives."""
+    matrix = confusion_matrix(y_true, y_pred)
+    actual_positive = matrix[1, 0] + matrix[1, 1]
+    return float(matrix[1, 1] / actual_positive) if actual_positive else 0.0
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2.0 * p * r / (p + r) if (p + r) else 0.0
+
+
+def log_loss(y_true, y_prob, *, eps: float = 1e-12) -> float:
+    """Binary cross-entropy given positive-class probabilities."""
+    y_true, y_prob = _check_pair(y_true, y_prob)
+    clipped = np.clip(y_prob, eps, 1.0 - eps)
+    return float(
+        -np.mean(y_true * np.log(clipped) + (1.0 - y_true) * np.log(1.0 - clipped))
+    )
+
+
+def roc_auc(y_true, y_score) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Ties in scores receive mid-ranks, matching the standard definition.
+    """
+    y_true, y_score = _check_pair(y_true, y_score)
+    positives = y_true > 0.5
+    n_pos = int(positives.sum())
+    n_neg = len(y_true) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValidationError("roc_auc needs both classes present")
+    order = np.argsort(y_score, kind="mergesort")
+    ranks = np.empty(len(y_score), dtype=float)
+    sorted_scores = y_score[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_pos = float(ranks[positives].sum())
+    return (rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+
+
+def mean_squared_error(y_true, y_pred) -> float:
+    """Mean of squared residuals."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def r2_score(y_true, y_pred) -> float:
+    """Coefficient of determination ``1 - SS_res / SS_tot``."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res > 0 else 1.0
+    return 1.0 - ss_res / ss_tot

@@ -1,0 +1,155 @@
+"""A small multilayer perceptron classifier with input gradients.
+
+The tutorial's §2.4 discusses saliency/gradient-based attributions for
+deep models and the sanity checks (Adebayo et al. 2018) that expose their
+fragility.  This MLP provides exactly the hooks those experiments need:
+:meth:`input_gradient` (the saliency map) and
+:meth:`randomize_parameters` (the parameter-randomisation sanity check).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.models.base import Classifier
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_fitted
+
+
+class MLPClassifier(Classifier):
+    """Binary/multi-class MLP with tanh hidden layers, softmax output,
+    trained by full-batch gradient descent with momentum.
+
+    Deliberately small and dependency-free; the point is a differentiable
+    non-linear model, not state-of-the-art accuracy.
+    """
+
+    def __init__(
+        self,
+        *,
+        hidden_sizes: tuple[int, ...] = (16,),
+        learning_rate: float = 0.1,
+        momentum: float = 0.9,
+        max_iter: int = 500,
+        l2: float = 1e-4,
+        random_state: RandomState = None,
+    ) -> None:
+        if not hidden_sizes or any(h < 1 for h in hidden_sizes):
+            raise ValidationError("hidden_sizes must be positive integers")
+        self.hidden_sizes = tuple(hidden_sizes)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.random_state = random_state
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    def _forward(self, X: np.ndarray) -> tuple[list[np.ndarray], np.ndarray]:
+        """Return per-layer activations and output probabilities."""
+        activations = [X]
+        hidden = X
+        for layer in range(len(self.weights_) - 1):
+            hidden = np.tanh(hidden @ self.weights_[layer] + self.biases_[layer])
+            activations.append(hidden)
+        logits = hidden @ self.weights_[-1] + self.biases_[-1]
+        logits -= logits.max(axis=1, keepdims=True)
+        exp_logits = np.exp(logits)
+        probabilities = exp_logits / exp_logits.sum(axis=1, keepdims=True)
+        return activations, probabilities
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        X, y = self._validate_fit_args(X, y)
+        y_index = self._encode_labels(y)
+        n_classes = len(self.classes_)
+        rng = check_random_state(self.random_state)
+        sizes = [X.shape[1], *self.hidden_sizes, n_classes]
+        self.weights_ = [
+            rng.normal(0.0, np.sqrt(1.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        self.biases_ = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        one_hot = np.zeros((len(y_index), n_classes))
+        one_hot[np.arange(len(y_index)), y_index] = 1.0
+        velocity_w = [np.zeros_like(w) for w in self.weights_]
+        velocity_b = [np.zeros_like(b) for b in self.biases_]
+        n = X.shape[0]
+        for _ in range(self.max_iter):
+            activations, probabilities = self._forward(X)
+            delta = (probabilities - one_hot) / n
+            for layer in reversed(range(len(self.weights_))):
+                grad_w = activations[layer].T @ delta + self.l2 * self.weights_[layer]
+                grad_b = delta.sum(axis=0)
+                velocity_w[layer] = (
+                    self.momentum * velocity_w[layer] - self.learning_rate * grad_w
+                )
+                velocity_b[layer] = (
+                    self.momentum * velocity_b[layer] - self.learning_rate * grad_b
+                )
+                if layer > 0:
+                    delta = (delta @ self.weights_[layer].T) * (
+                        1.0 - activations[layer] ** 2
+                    )
+                self.weights_[layer] += velocity_w[layer]
+                self.biases_[layer] += velocity_b[layer]
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["weights_"])
+        X = check_array(X, name="X", ndim=2)
+        __, probabilities = self._forward(X)
+        return probabilities
+
+    # ------------------------------------------------------------------
+    # hooks for gradient-based explanations (§2.4)
+    # ------------------------------------------------------------------
+    def input_gradient(self, x: np.ndarray, class_index: int) -> np.ndarray:
+        """Gradient of the chosen class probability w.r.t. the input —
+        the raw "saliency map" of gradient-based attribution."""
+        check_fitted(self, ["weights_"])
+        x = check_array(x, name="x", ndim=1)
+        X = x[None, :]
+        activations, probabilities = self._forward(X)
+        if not 0 <= class_index < probabilities.shape[1]:
+            raise ValidationError("class_index out of range")
+        # d softmax_k / d logits = p_k (e_k - p)
+        p = probabilities[0]
+        delta = (p[class_index] * (np.eye(len(p))[class_index] - p))[None, :]
+        for layer in reversed(range(len(self.weights_))):
+            if layer > 0:
+                delta = (delta @ self.weights_[layer].T) * (
+                    1.0 - activations[layer] ** 2
+                )
+            else:
+                delta = delta @ self.weights_[layer].T
+        return delta[0]
+
+    def randomize_parameters(
+        self, *, layers: int | None = None, random_state: RandomState = None
+    ) -> "MLPClassifier":
+        """Return a copy with the top ``layers`` weight matrices replaced by
+        random noise (all layers when ``None``) — the cascading parameter
+        randomisation of Adebayo et al.'s sanity checks.  A faithful
+        saliency method must change drastically under this operation."""
+        check_fitted(self, ["weights_"])
+        rng = check_random_state(random_state)
+        copy = MLPClassifier(
+            hidden_sizes=self.hidden_sizes,
+            learning_rate=self.learning_rate,
+            momentum=self.momentum,
+            max_iter=self.max_iter,
+            l2=self.l2,
+            random_state=self.random_state,
+        )
+        copy.classes_ = self.classes_.copy()
+        copy.weights_ = [w.copy() for w in self.weights_]
+        copy.biases_ = [b.copy() for b in self.biases_]
+        n_layers = len(copy.weights_) if layers is None else min(layers, len(copy.weights_))
+        for offset in range(1, n_layers + 1):
+            layer = len(copy.weights_) - offset
+            shape = copy.weights_[layer].shape
+            copy.weights_[layer] = rng.normal(0.0, 1.0, size=shape)
+            copy.biases_[layer] = rng.normal(0.0, 1.0, size=shape[1])
+        return copy

@@ -1,0 +1,70 @@
+"""Data preprocessing for the ML substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_fitted, check_matching_lengths
+
+
+class StandardScaler:
+    """Column-wise standardisation to zero mean and unit variance.
+
+    Constant columns keep their values centred but are not divided by a
+    zero scale.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = check_array(X, name="X", ndim=2)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        self.scale_ = np.where(scale > 0, scale, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["mean_", "scale_"])
+        X = check_array(X, name="X", ndim=2)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValidationError(
+                f"X has {X.shape[1]} columns, scaler was fitted on "
+                f"{self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["mean_", "scale_"])
+        X = check_array(X, name="X", ndim=2)
+        return X * self.scale_ + self.mean_
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    test_fraction: float = 0.25,
+    random_state: RandomState = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle-split arrays into ``(X_train, X_test, y_train, y_test)``."""
+    X = check_array(X, name="X", ndim=2)
+    y = check_array(y, name="y", ndim=1)
+    check_matching_lengths(("X", X), ("y", y))
+    if not 0.0 < test_fraction < 1.0:
+        raise ValidationError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = check_random_state(random_state)
+    order = rng.permutation(len(y))
+    n_test = max(1, int(round(len(y) * test_fraction)))
+    if n_test >= len(y):
+        raise ValidationError("split would leave the training set empty")
+    test_rows, train_rows = order[:n_test], order[n_test:]
+    return X[train_rows], X[test_rows], y[train_rows], y[test_rows]

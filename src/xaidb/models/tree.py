@@ -1,0 +1,362 @@
+"""CART decision trees (classification and regression).
+
+The fitted tree is stored in flat parallel arrays (``children_left``,
+``children_right``, ``feature``, ``threshold``, ``value``,
+``n_node_samples``) — the same layout sklearn and XGBoost expose — because
+white-box explainers traverse the structure directly:
+
+- TreeSHAP (:mod:`xaidb.explainers.shapley.tree`) runs its polynomial
+  recursion over these arrays, using ``n_node_samples`` as the cover;
+- logic-based sufficient reasons (:mod:`xaidb.rules.logic`) enumerate
+  root-to-leaf paths;
+- GBDT influence (:mod:`xaidb.datavaluation.tree_influence`) re-estimates
+  leaf values with individual training points removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.models.base import Classifier, Regressor
+from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.validation import check_array, check_fitted
+
+_LEAF = -1
+
+
+@dataclass
+class TreeStructure:
+    """Flat array representation of a fitted binary tree.
+
+    ``value[node]`` is a vector: the class distribution for classifiers or
+    a length-1 array holding the mean target for regressors.  Internal
+    nodes send ``x[feature] <= threshold`` to ``children_left``.
+    """
+
+    children_left: np.ndarray
+    children_right: np.ndarray
+    feature: np.ndarray
+    threshold: np.ndarray
+    value: np.ndarray
+    n_node_samples: np.ndarray
+
+    @property
+    def node_count(self) -> int:
+        return len(self.feature)
+
+    def is_leaf(self, node: int) -> bool:
+        return self.children_left[node] == _LEAF
+
+    def leaves(self) -> list[int]:
+        return [n for n in range(self.node_count) if self.is_leaf(n)]
+
+    def apply_row(self, row: np.ndarray) -> int:
+        """Leaf index reached by one input row."""
+        node = 0
+        while not self.is_leaf(node):
+            if row[self.feature[node]] <= self.threshold[node]:
+                node = self.children_left[node]
+            else:
+                node = self.children_right[node]
+        return node
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index for every row of ``X``."""
+        X = np.asarray(X, dtype=float)
+        return np.asarray([self.apply_row(row) for row in X], dtype=int)
+
+    def decision_path(self, row: np.ndarray) -> list[int]:
+        """The node sequence from root to the leaf reached by ``row``."""
+        node = 0
+        path = [0]
+        while not self.is_leaf(node):
+            if row[self.feature[node]] <= self.threshold[node]:
+                node = self.children_left[node]
+            else:
+                node = self.children_right[node]
+            path.append(node)
+        return path
+
+    def max_depth(self) -> int:
+        """Depth of the deepest leaf (root at depth 0)."""
+        depths = {0: 0}
+        best = 0
+        for node in range(self.node_count):
+            depth = depths[node]
+            best = max(best, depth)
+            if not self.is_leaf(node):
+                depths[int(self.children_left[node])] = depth + 1
+                depths[int(self.children_right[node])] = depth + 1
+        return best
+
+
+class _Builder:
+    """Greedy top-down CART builder shared by both task types."""
+
+    def __init__(
+        self,
+        *,
+        is_classification: bool,
+        n_classes: int,
+        max_depth: int | None,
+        min_samples_split: int,
+        min_samples_leaf: int,
+        max_features: int | None,
+        rng: np.random.Generator,
+    ) -> None:
+        self.is_classification = is_classification
+        self.n_classes = n_classes
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.rng = rng
+        self.children_left: list[int] = []
+        self.children_right: list[int] = []
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.value: list[np.ndarray] = []
+        self.n_node_samples: list[int] = []
+
+    # ------------------------------------------------------------------
+    def build(self, X: np.ndarray, y: np.ndarray) -> TreeStructure:
+        self._grow(X, y, np.arange(len(y)), depth=0)
+        return TreeStructure(
+            children_left=np.asarray(self.children_left, dtype=int),
+            children_right=np.asarray(self.children_right, dtype=int),
+            feature=np.asarray(self.feature, dtype=int),
+            threshold=np.asarray(self.threshold, dtype=float),
+            value=np.asarray(self.value, dtype=float),
+            n_node_samples=np.asarray(self.n_node_samples, dtype=float),
+        )
+
+    def _node_value(self, y: np.ndarray) -> np.ndarray:
+        if self.is_classification:
+            counts = np.bincount(y.astype(int), minlength=self.n_classes)
+            return counts / counts.sum()
+        return np.asarray([float(np.mean(y))])
+
+    def _impurity(self, y: np.ndarray) -> float:
+        if self.is_classification:
+            counts = np.bincount(y.astype(int), minlength=self.n_classes)
+            proportions = counts / counts.sum()
+            return float(1.0 - np.sum(proportions**2))
+        return float(np.var(y))
+
+    def _add_node(self, y: np.ndarray) -> int:
+        index = len(self.feature)
+        self.children_left.append(_LEAF)
+        self.children_right.append(_LEAF)
+        self.feature.append(_LEAF)
+        self.threshold.append(0.0)
+        self.value.append(self._node_value(y))
+        self.n_node_samples.append(len(y))
+        return index
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, rows: np.ndarray, depth: int) -> int:
+        y_node = y[rows]
+        node = self._add_node(y_node)
+        if (
+            (self.max_depth is not None and depth >= self.max_depth)
+            or len(rows) < self.min_samples_split
+            or self._impurity(y_node) == 0.0
+        ):
+            return node
+        split = self._best_split(X, y, rows)
+        if split is None:
+            return node
+        feature, threshold, left_rows, right_rows = split
+        self.feature[node] = feature
+        self.threshold[node] = threshold
+        self.children_left[node] = self._grow(X, y, left_rows, depth + 1)
+        self.children_right[node] = self._grow(X, y, right_rows, depth + 1)
+        return node
+
+    def _candidate_features(self, n_features: int) -> np.ndarray:
+        if self.max_features is None or self.max_features >= n_features:
+            return np.arange(n_features)
+        return self.rng.choice(n_features, size=self.max_features, replace=False)
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, rows: np.ndarray
+    ):
+        """Exhaustive best (feature, threshold) by weighted impurity decrease.
+
+        Uses prefix sums over the per-feature sorted order so each feature
+        costs O(n log n).
+        """
+        y_node = y[rows]
+        n = len(rows)
+        # accept any valid split of an impure node, preferring maximal
+        # impurity decrease: zero-gain splits are allowed (as in classic
+        # CART), which is what lets greedy recursion crack XOR-style
+        # targets where no single split helps immediately
+        best_gain = -np.inf
+        best = None
+        parent_impurity = self._impurity(y_node)
+        for feature in self._candidate_features(X.shape[1]):
+            values = X[rows, feature]
+            order = np.argsort(values, kind="mergesort")
+            sorted_values = values[order]
+            sorted_y = y_node[order]
+            if self.is_classification:
+                one_hot = np.zeros((n, self.n_classes))
+                one_hot[np.arange(n), sorted_y.astype(int)] = 1.0
+                left_counts = np.cumsum(one_hot, axis=0)
+                total = left_counts[-1]
+            else:
+                cum_sum = np.cumsum(sorted_y)
+                cum_sq = np.cumsum(sorted_y**2)
+            # candidate split after position i (left = [0..i], right = rest)
+            for i in range(self.min_samples_leaf - 1, n - self.min_samples_leaf):
+                if sorted_values[i] == sorted_values[i + 1]:
+                    continue
+                n_left = i + 1
+                n_right = n - n_left
+                if self.is_classification:
+                    lc = left_counts[i]
+                    rc = total - lc
+                    gini_left = 1.0 - np.sum((lc / n_left) ** 2)
+                    gini_right = 1.0 - np.sum((rc / n_right) ** 2)
+                    child_impurity = (
+                        n_left * gini_left + n_right * gini_right
+                    ) / n
+                else:
+                    sum_left = cum_sum[i]
+                    sq_left = cum_sq[i]
+                    sum_right = cum_sum[-1] - sum_left
+                    sq_right = cum_sq[-1] - sq_left
+                    var_left = sq_left / n_left - (sum_left / n_left) ** 2
+                    var_right = sq_right / n_right - (sum_right / n_right) ** 2
+                    child_impurity = (
+                        n_left * var_left + n_right * var_right
+                    ) / n
+                gain = parent_impurity - child_impurity
+                if gain > best_gain:
+                    best_gain = gain
+                    threshold = (sorted_values[i] + sorted_values[i + 1]) / 2.0
+                    best = (int(feature), float(threshold), i)
+        if best is None:
+            return None
+        feature, threshold, _ = best
+        mask = X[rows, feature] <= threshold
+        return feature, threshold, rows[mask], rows[~mask]
+
+
+class _TreeParamsMixin:
+    """Shared hyperparameter storage/validation for the two tree models."""
+
+    def _init_params(
+        self,
+        max_depth,
+        min_samples_split,
+        min_samples_leaf,
+        max_features,
+        random_state,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ValidationError("max_depth must be >= 1 or None")
+        if min_samples_split < 2:
+            raise ValidationError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValidationError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.tree_: TreeStructure | None = None
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index reached by each row."""
+        check_fitted(self, ["tree_"])
+        X = check_array(X, name="X", ndim=2)
+        return self.tree_.apply(X)
+
+    def decision_path(self, row: np.ndarray) -> list[int]:
+        """Root-to-leaf node sequence for a single row."""
+        check_fitted(self, ["tree_"])
+        return self.tree_.decision_path(np.asarray(row, dtype=float))
+
+
+class DecisionTreeClassifier(_TreeParamsMixin, Classifier):
+    """CART classifier (gini impurity)."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self._init_params(
+            max_depth, min_samples_split, min_samples_leaf, max_features, random_state
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = self._validate_fit_args(X, y)
+        # unlike the parametric classifiers, a tree degrades gracefully to
+        # a constant leaf on single-class data — random-forest bootstrap
+        # samples of rare classes rely on this
+        self.classes_ = np.unique(y)
+        lookup = {label: index for index, label in enumerate(self.classes_)}
+        y_index = np.asarray([lookup[label] for label in y], dtype=int)
+        builder = _Builder(
+            is_classification=True,
+            n_classes=len(self.classes_),
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=check_random_state(self.random_state),
+        )
+        self.tree_ = builder.build(X, y_index)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["tree_"])
+        X = check_array(X, name="X", ndim=2)
+        leaves = self.tree_.apply(X)
+        return self.tree_.value[leaves]
+
+
+class DecisionTreeRegressor(_TreeParamsMixin, Regressor):
+    """CART regressor (variance reduction)."""
+
+    def __init__(
+        self,
+        *,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | None = None,
+        random_state: RandomState = None,
+    ) -> None:
+        self._init_params(
+            max_depth, min_samples_split, min_samples_leaf, max_features, random_state
+        )
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = self._validate_fit_args(X, y)
+        builder = _Builder(
+            is_classification=False,
+            n_classes=0,
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            max_features=self.max_features,
+            rng=check_random_state(self.random_state),
+        )
+        self.tree_ = builder.build(X, y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        check_fitted(self, ["tree_"])
+        X = check_array(X, name="X", ndim=2)
+        leaves = self.tree_.apply(X)
+        return self.tree_.value[leaves, 0]

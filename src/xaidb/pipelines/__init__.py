@@ -1,0 +1,27 @@
+"""Provenance-tracked ML pipelines (tutorial §3 "Provenance-Based
+Explanations"): data-preparation operators that record per-row lineage
+across stages, and stage-level attribution of model errors."""
+
+from xaidb.pipelines.debugging import PipelineDebugger, StageAttribution
+from xaidb.pipelines.operators import (
+    DropOutliers,
+    FilterRows,
+    ImputeMean,
+    LabelFlipCorruption,
+    Operator,
+    ScaleStandard,
+)
+from xaidb.pipelines.pipeline import PipelineResult, ProvenancePipeline
+
+__all__ = [
+    "Operator",
+    "ImputeMean",
+    "ScaleStandard",
+    "FilterRows",
+    "DropOutliers",
+    "LabelFlipCorruption",
+    "ProvenancePipeline",
+    "PipelineResult",
+    "PipelineDebugger",
+    "StageAttribution",
+]

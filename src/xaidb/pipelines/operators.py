@@ -1,0 +1,199 @@
+"""Data-preparation operators with row-level provenance.
+
+Each operator consumes ``(X, y)`` plus the current row lineage (which
+original row each current row descends from) and returns transformed
+data, updated lineage, and a record of which rows/cells it touched.  That
+record is what lets :mod:`xaidb.pipelines.debugging` hold *stages* — not
+just rows — accountable for downstream model behaviour, the tutorial's
+"monitor the flow of training data through different stages using
+provenance" direction.
+
+``LabelFlipCorruption`` is a fault-injection operator used by tests and
+E18 to plant a known-bad stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+
+
+@dataclass
+class StageRecord:
+    """What one operator did during a pipeline run."""
+
+    name: str
+    n_rows_in: int
+    n_rows_out: int
+    touched_rows: list[int] = field(default_factory=list)  # original row ids
+    dropped_rows: list[int] = field(default_factory=list)  # original row ids
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class Operator:
+    """Base pipeline operator.
+
+    Subclasses implement :meth:`apply`, receiving the data and the lineage
+    array ``lineage[i] = original row id of current row i`` and returning
+    ``(X, y, lineage, record)``.  Operators must be pure with respect to
+    their inputs (copy before mutating).
+    """
+
+    name = "operator"
+
+    def apply(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        lineage: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, StageRecord]:
+        raise NotImplementedError
+
+
+class ImputeMean(Operator):
+    """Replace NaN cells with the column mean of the observed values."""
+
+    name = "impute_mean"
+
+    def apply(self, X, y, lineage, rng):
+        X = X.copy()
+        touched: set[int] = set()
+        for column in range(X.shape[1]):
+            missing = np.isnan(X[:, column])
+            if not missing.any():
+                continue
+            observed = X[~missing, column]
+            fill = float(observed.mean()) if observed.size else 0.0
+            X[missing, column] = fill
+            touched.update(lineage[missing].tolist())
+        record = StageRecord(
+            name=self.name,
+            n_rows_in=len(y),
+            n_rows_out=len(y),
+            touched_rows=sorted(touched),
+        )
+        return X, y.copy(), lineage.copy(), record
+
+
+class ScaleStandard(Operator):
+    """Standardise every column to zero mean / unit variance."""
+
+    name = "scale_standard"
+
+    def apply(self, X, y, lineage, rng):
+        X = X.copy()
+        means = X.mean(axis=0)
+        scales = np.where(X.std(axis=0) > 0, X.std(axis=0), 1.0)
+        X = (X - means) / scales
+        record = StageRecord(
+            name=self.name,
+            n_rows_in=len(y),
+            n_rows_out=len(y),
+            touched_rows=sorted(set(lineage.tolist())),
+            details={"means": means.tolist(), "scales": scales.tolist()},
+        )
+        return X, y.copy(), lineage.copy(), record
+
+
+class FilterRows(Operator):
+    """Keep rows satisfying a predicate over the feature vector."""
+
+    name = "filter_rows"
+
+    def __init__(self, predicate, *, description: str = "") -> None:
+        self.predicate = predicate
+        self.description = description
+
+    def apply(self, X, y, lineage, rng):
+        keep = np.asarray([bool(self.predicate(row)) for row in X])
+        record = StageRecord(
+            name=self.name,
+            n_rows_in=len(y),
+            n_rows_out=int(keep.sum()),
+            dropped_rows=sorted(lineage[~keep].tolist()),
+            details={"description": self.description},
+        )
+        if not keep.any():
+            raise ValidationError(f"{self.name} dropped every row")
+        return X[keep].copy(), y[keep].copy(), lineage[keep].copy(), record
+
+
+class DropOutliers(Operator):
+    """Drop rows whose standardised norm exceeds ``z_threshold``."""
+
+    name = "drop_outliers"
+
+    def __init__(self, *, z_threshold: float = 4.0) -> None:
+        if z_threshold <= 0:
+            raise ValidationError("z_threshold must be positive")
+        self.z_threshold = z_threshold
+
+    def apply(self, X, y, lineage, rng):
+        # NaN-aware so the operator composes with an ablated imputation
+        # stage: missing cells are simply not evidence of outlierness
+        stds = np.nanstd(X, axis=0)
+        scales = np.where(stds > 0, stds, 1.0)
+        standardised = (X - np.nanmean(X, axis=0)) / scales
+        magnitudes = np.where(np.isnan(standardised), 0.0, np.abs(standardised))
+        keep = np.max(magnitudes, axis=1) <= self.z_threshold
+        record = StageRecord(
+            name=self.name,
+            n_rows_in=len(y),
+            n_rows_out=int(keep.sum()),
+            dropped_rows=sorted(lineage[~keep].tolist()),
+            details={"z_threshold": self.z_threshold},
+        )
+        if not keep.any():
+            raise ValidationError(f"{self.name} dropped every row")
+        return X[keep].copy(), y[keep].copy(), lineage[keep].copy(), record
+
+
+class LabelFlipCorruption(Operator):
+    """Fault injection: flip a fraction of binary labels.
+
+    ``direction`` controls the corruption pattern: ``"both"`` flips
+    uniformly chosen rows (symmetric noise), ``"up"`` flips only 0 -> 1
+    (inflating the positive rate — the pattern complaint-driven debugging
+    stories need), ``"down"`` only 1 -> 0.  Deterministic given the
+    pipeline seed; the flipped original row ids are recorded, giving
+    debugging experiments exact ground truth.
+    """
+
+    name = "label_flip_corruption"
+
+    def __init__(self, *, fraction: float = 0.1, direction: str = "both") -> None:
+        if not 0.0 < fraction < 1.0:
+            raise ValidationError("fraction must be in (0, 1)")
+        if direction not in ("both", "up", "down"):
+            raise ValidationError("direction must be 'both', 'up' or 'down'")
+        self.fraction = fraction
+        self.direction = direction
+
+    def apply(self, X, y, lineage, rng):
+        y = y.copy()
+        if self.direction == "up":
+            pool = np.flatnonzero(y == 0.0)
+        elif self.direction == "down":
+            pool = np.flatnonzero(y == 1.0)
+        else:
+            pool = np.arange(len(y))
+        n_flip = max(1, min(len(pool), int(round(self.fraction * len(y)))))
+        if pool.size == 0:
+            raise ValidationError(
+                f"no rows available to flip in direction {self.direction!r}"
+            )
+        flipped = rng.choice(pool, size=n_flip, replace=False)
+        y[flipped] = 1.0 - y[flipped]
+        record = StageRecord(
+            name=self.name,
+            n_rows_in=len(y),
+            n_rows_out=len(y),
+            touched_rows=sorted(lineage[flipped].tolist()),
+            details={"fraction": self.fraction, "direction": self.direction},
+        )
+        return X.copy(), y, lineage.copy(), record

@@ -1,0 +1,46 @@
+"""Rule-based explanations (tutorial §2.2) and their data-management
+substrate (§2.2.1): frequent-itemset mining (Apriori, FP-Growth),
+association rules, Anchors, interpretable decision sets, and logic-based
+sufficient-reason explanations (§2.2.2)."""
+
+from xaidb.rules.anchors import Anchor, AnchorsExplainer
+from xaidb.rules.decision_set import DecisionSetClassifier, Rule
+from xaidb.rules.labeling import (
+    ABSTAIN,
+    LabelingFunction,
+    LabelModel,
+    apply_labeling_functions,
+    mine_labeling_rules,
+)
+from xaidb.rules.logic import (
+    all_sufficient_reasons,
+    is_sufficient_reason,
+    necessary_features,
+    sufficient_reason,
+)
+from xaidb.rules.mining import (
+    AssociationRule,
+    apriori,
+    association_rules,
+    fp_growth,
+)
+
+__all__ = [
+    "apriori",
+    "fp_growth",
+    "association_rules",
+    "AssociationRule",
+    "Anchor",
+    "AnchorsExplainer",
+    "Rule",
+    "DecisionSetClassifier",
+    "sufficient_reason",
+    "all_sufficient_reasons",
+    "is_sufficient_reason",
+    "necessary_features",
+    "ABSTAIN",
+    "LabelingFunction",
+    "LabelModel",
+    "apply_labeling_functions",
+    "mine_labeling_rules",
+]

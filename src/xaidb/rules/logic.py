@@ -1,0 +1,157 @@
+"""Logic-based explanations: sufficient reasons / prime implicants for
+decision trees (tutorial §2.2.2; Shih, Choi & Darwiche 2018; Darwiche &
+Hirth 2020).
+
+For a decision tree (a decomposable circuit), a **sufficient reason** for
+the prediction at ``x`` is a subset-minimal set ``S`` of features such
+that *every* completion of the assignment ``x_S`` (letting the other
+features range over their whole domains) receives the same prediction.
+This is the abductive, provably-correct notion of explanation the
+tutorial contrasts with heuristic attributions: the sufficiency score of
+``x_S`` is exactly 1.
+
+The entailment check walks the tree: fixing ``x_S`` prunes the branches
+inconsistent with those values; the prediction is entailed iff every
+remaining reachable leaf agrees.  Features in a sufficient reason relate
+to prime implicants of the induced boolean function; features whose
+removal from the full set breaks entailment are *necessary* (necessity
+score 1).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.models.tree import DecisionTreeClassifier
+from xaidb.utils.validation import check_array
+
+
+def _reachable_classes(
+    model: DecisionTreeClassifier, x: np.ndarray, fixed: frozenset
+) -> set[int]:
+    """Classes of every leaf reachable when features in ``fixed`` are
+    pinned to ``x``'s values and all others are unconstrained."""
+    tree = model.tree_
+    classes: set[int] = set()
+
+    def recurse(node: int) -> None:
+        if tree.is_leaf(node):
+            classes.add(int(np.argmax(tree.value[node])))
+            return
+        feature = int(tree.feature[node])
+        if feature in fixed:
+            if x[feature] <= tree.threshold[node]:
+                recurse(int(tree.children_left[node]))
+            else:
+                recurse(int(tree.children_right[node]))
+        else:
+            recurse(int(tree.children_left[node]))
+            recurse(int(tree.children_right[node]))
+
+    recurse(0)
+    return classes
+
+
+def is_sufficient_reason(
+    model: DecisionTreeClassifier,
+    x: np.ndarray,
+    features: Iterable[int],
+    *,
+    require_minimal: bool = False,
+) -> bool:
+    """Whether pinning ``features`` to ``x``'s values entails the tree's
+    prediction at ``x`` (and, optionally, whether the set is also
+    subset-minimal)."""
+    x = check_array(x, name="x", ndim=1)
+    fixed = frozenset(int(i) for i in features)
+    prediction = {int(np.argmax(model.predict_proba(x[None, :])[0]))}
+    if _reachable_classes(model, x, fixed) != prediction:
+        return False
+    if require_minimal:
+        for feature in fixed:
+            if _reachable_classes(model, x, fixed - {feature}) == prediction:
+                return False
+    return True
+
+
+def sufficient_reason(
+    model: DecisionTreeClassifier,
+    x: np.ndarray,
+    *,
+    preference_order: Sequence[int] | None = None,
+) -> list[int]:
+    """One subset-minimal sufficient reason for the prediction at ``x``.
+
+    Starts from the full feature set (always sufficient) and greedily
+    drops features — in ``preference_order`` if given, so callers can bias
+    *which* prime implicant they get (e.g. try to drop sensitive features
+    first).  The result is subset-minimal by construction.
+    """
+    x = check_array(x, name="x", ndim=1)
+    d = x.shape[0]
+    order = list(preference_order) if preference_order is not None else list(range(d))
+    if sorted(order) != list(range(d)):
+        raise ValidationError("preference_order must be a permutation of features")
+    prediction = {int(np.argmax(model.predict_proba(x[None, :])[0]))}
+    current = set(range(d))
+    for feature in order:
+        trial = frozenset(current - {feature})
+        if _reachable_classes(model, x, trial) == prediction:
+            current.discard(feature)
+    return sorted(current)
+
+
+def all_sufficient_reasons(
+    model: DecisionTreeClassifier,
+    x: np.ndarray,
+    *,
+    max_features: int = 15,
+) -> list[list[int]]:
+    """Every subset-minimal sufficient reason (exhaustive; exponential).
+
+    Only the features actually used by the tree can matter, so the
+    enumeration runs over those; refuses instances where that set exceeds
+    ``max_features``.
+    """
+    x = check_array(x, name="x", ndim=1)
+    tree = model.tree_
+    used = sorted(
+        {int(tree.feature[n]) for n in range(tree.node_count) if not tree.is_leaf(n)}
+    )
+    if len(used) > max_features:
+        raise ValidationError(
+            f"tree uses {len(used)} features; exhaustive enumeration "
+            f"refused beyond {max_features}"
+        )
+    prediction = {int(np.argmax(model.predict_proba(x[None, :])[0]))}
+    sufficient: list[frozenset] = []
+    for size in range(len(used) + 1):
+        for combo in combinations(used, size):
+            candidate = frozenset(combo)
+            if any(prior <= candidate for prior in sufficient):
+                continue  # a subset already suffices: not minimal
+            if _reachable_classes(model, x, candidate) == prediction:
+                sufficient.append(candidate)
+    return [sorted(s) for s in sufficient]
+
+
+def necessary_features(
+    model: DecisionTreeClassifier, x: np.ndarray
+) -> list[int]:
+    """Features with necessity score 1: pinning *everything else* does not
+    entail the prediction — i.e. the feature appears in **every**
+    sufficient reason."""
+    x = check_array(x, name="x", ndim=1)
+    d = x.shape[0]
+    prediction = {int(np.argmax(model.predict_proba(x[None, :])[0]))}
+    necessary = []
+    everything = set(range(d))
+    for feature in range(d):
+        without = frozenset(everything - {feature})
+        if _reachable_classes(model, x, without) != prediction:
+            necessary.append(feature)
+    return necessary

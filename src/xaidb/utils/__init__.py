@@ -1,0 +1,34 @@
+"""Shared low-level helpers: validation, RNG plumbing, kernels,
+combinatorics and linear-algebra utilities."""
+
+from xaidb.utils.combinatorics import (
+    all_subsets,
+    shapley_kernel_weight,
+    shapley_subset_weight,
+)
+from xaidb.utils.kernels import exponential_kernel, pairwise_distances
+from xaidb.utils.rng import check_random_state, spawn_seeds
+from xaidb.utils.validation import (
+    check_array,
+    check_fitted,
+    check_in_range,
+    check_matching_lengths,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "all_subsets",
+    "shapley_kernel_weight",
+    "shapley_subset_weight",
+    "exponential_kernel",
+    "pairwise_distances",
+    "check_random_state",
+    "spawn_seeds",
+    "check_array",
+    "check_fitted",
+    "check_in_range",
+    "check_matching_lengths",
+    "check_positive",
+    "check_probability",
+]

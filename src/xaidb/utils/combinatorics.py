@@ -1,0 +1,87 @@
+"""Combinatorial helpers for Shapley-value computation.
+
+The Shapley value of player *i* in a game ``v`` over ``n`` players is
+
+    phi_i = sum over S not containing i of
+            |S|! (n - |S| - 1)! / n!  *  (v(S ∪ {i}) - v(S))
+
+``shapley_subset_weight`` returns that coefficient; ``shapley_kernel_weight``
+returns the Shapley *kernel* weight used by KernelSHAP's weighted least
+squares formulation (Lundberg & Lee 2017, Theorem 2).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from math import comb, factorial
+from typing import Iterator, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def all_subsets(items: Sequence[T], *, proper: bool = False) -> Iterator[tuple[T, ...]]:
+    """Yield every subset of ``items`` (as tuples), from the empty set up.
+
+    With ``proper=True`` the full set itself is excluded.
+    """
+    top = len(items) if not proper else len(items) - 1
+    return chain.from_iterable(combinations(items, r) for r in range(top + 1))
+
+
+def shapley_subset_weight(subset_size: int, n_players: int) -> float:
+    """Marginal-contribution weight ``|S|!(n-|S|-1)!/n!`` for a coalition of
+    ``subset_size`` players out of ``n_players`` (the coalition must not
+    contain the player being evaluated, hence ``subset_size < n_players``)."""
+    if not 0 <= subset_size < n_players:
+        raise ValueError(
+            f"subset_size must be in [0, n_players), got {subset_size} of {n_players}"
+        )
+    return (
+        factorial(subset_size)
+        * factorial(n_players - subset_size - 1)
+        / factorial(n_players)
+    )
+
+
+def shapley_kernel_weight(subset_size: int, n_players: int) -> float:
+    """Shapley kernel ``(n-1) / (C(n,|S|) |S| (n-|S|))`` from KernelSHAP.
+
+    The weight is infinite for the empty and full coalitions — KernelSHAP
+    enforces those two constraints exactly instead of weighting them; this
+    function returns ``inf`` there so callers can special-case them.
+    """
+    if not 0 <= subset_size <= n_players:
+        raise ValueError(
+            f"subset_size must be in [0, n_players], got {subset_size} of {n_players}"
+        )
+    if subset_size in (0, n_players):
+        return float("inf")
+    return (n_players - 1) / (
+        comb(n_players, subset_size) * subset_size * (n_players - subset_size)
+    )
+
+
+def iter_permutations_sample(
+    items: Sequence[T], n_samples: int, rng
+) -> Iterator[list[T]]:
+    """Yield ``n_samples`` uniformly random permutations of ``items``.
+
+    A thin generator wrapper so Monte-Carlo Shapley estimators share one
+    sampling idiom.
+    """
+    items = list(items)
+    for _ in range(n_samples):
+        order = list(items)
+        rng.shuffle(order)
+        yield order
+
+
+def harmonic_number(n: int) -> float:
+    """The n-th harmonic number ``H_n = 1 + 1/2 + ... + 1/n``.
+
+    Appears in closed-form Shapley values of simple games (used by tests as
+    an analytical oracle).
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return float(sum(1.0 / k for k in range(1, n + 1)))

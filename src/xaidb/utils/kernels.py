@@ -1,0 +1,55 @@
+"""Distance and kernel functions used by neighborhood-based explainers
+(LIME's locality weighting, perturbation samplers, k-NN)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.utils.validation import check_array, check_positive
+
+
+def pairwise_distances(
+    a: np.ndarray,
+    b: np.ndarray | None = None,
+    *,
+    metric: str = "euclidean",
+) -> np.ndarray:
+    """Compute the dense pairwise distance matrix between rows of ``a``
+    and rows of ``b`` (``b`` defaults to ``a``).
+
+    Supported metrics: ``"euclidean"``, ``"sqeuclidean"``, ``"manhattan"``,
+    ``"hamming"`` (fraction of differing coordinates) and ``"cosine"``.
+    """
+    a = check_array(a, name="a", ndim=2)
+    b = a if b is None else check_array(b, name="b", ndim=2)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"a and b must have the same number of columns, "
+            f"got {a.shape[1]} and {b.shape[1]}"
+        )
+    if metric in ("euclidean", "sqeuclidean"):
+        a_sq = np.sum(a * a, axis=1)[:, None]
+        b_sq = np.sum(b * b, axis=1)[None, :]
+        sq = np.maximum(a_sq + b_sq - 2.0 * (a @ b.T), 0.0)
+        return sq if metric == "sqeuclidean" else np.sqrt(sq)
+    if metric == "manhattan":
+        return np.abs(a[:, None, :] - b[None, :, :]).sum(axis=2)
+    if metric == "hamming":
+        return (a[:, None, :] != b[None, :, :]).mean(axis=2)
+    if metric == "cosine":
+        a_norm = a / np.maximum(np.linalg.norm(a, axis=1, keepdims=True), 1e-12)
+        b_norm = b / np.maximum(np.linalg.norm(b, axis=1, keepdims=True), 1e-12)
+        return 1.0 - a_norm @ b_norm.T
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def exponential_kernel(distances: np.ndarray, kernel_width: float) -> np.ndarray:
+    """LIME's locality kernel: ``exp(-d^2 / width^2)``.
+
+    Distances of zero map to weight 1; weights decay smoothly with the
+    squared distance so that far-away perturbations barely influence the
+    local surrogate fit.
+    """
+    check_positive(kernel_width, name="kernel_width")
+    distances = np.asarray(distances, dtype=float)
+    return np.exp(-(distances**2) / (kernel_width**2))

@@ -1,0 +1,43 @@
+"""Random-number-generator plumbing.
+
+Everything stochastic in xaidb accepts a ``random_state`` argument that is
+normalised here to a :class:`numpy.random.Generator`, so experiments are
+reproducible end to end from a single integer seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+
+RandomState = int | np.random.Generator | None
+
+
+def check_random_state(random_state: RandomState) -> np.random.Generator:
+    """Normalise ``random_state`` to a :class:`numpy.random.Generator`.
+
+    - ``None`` produces a fresh, OS-seeded generator;
+    - an ``int`` seeds a new PCG64 generator deterministically;
+    - an existing :class:`~numpy.random.Generator` is passed through.
+    """
+    if random_state is None:
+        return np.random.default_rng()
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    if isinstance(random_state, (int, np.integer)):
+        return np.random.default_rng(int(random_state))
+    raise ValidationError(
+        f"random_state must be None, an int or a numpy Generator, "
+        f"got {type(random_state).__name__}"
+    )
+
+
+def spawn_seeds(random_state: RandomState, n: int) -> list[int]:
+    """Derive ``n`` independent child seeds from ``random_state``.
+
+    Useful to hand deterministic, non-overlapping seeds to parallel or
+    repeated sub-computations (e.g. Monte-Carlo chains).
+    """
+    rng = check_random_state(random_state)
+    return [int(s) for s in rng.integers(0, 2**31 - 1, size=n)]

@@ -1,0 +1,122 @@
+"""Argument-validation helpers.
+
+Every public entry point in xaidb validates its inputs through these
+functions so error messages are uniform and failures happen at the API
+boundary rather than deep inside numerical code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from xaidb.exceptions import NotFittedError, ValidationError
+
+
+def check_array(
+    values: Any,
+    *,
+    name: str = "array",
+    ndim: int | None = None,
+    dtype: Any = float,
+    allow_empty: bool = False,
+    ensure_finite: bool = True,
+) -> np.ndarray:
+    """Coerce ``values`` to an ndarray and validate its shape and contents.
+
+    Parameters
+    ----------
+    values:
+        Anything convertible by :func:`numpy.asarray`.
+    name:
+        Name used in error messages.
+    ndim:
+        Required number of dimensions, or ``None`` to accept any.
+    dtype:
+        Target dtype (``None`` keeps the input dtype).
+    allow_empty:
+        Whether a zero-size array is acceptable.
+    ensure_finite:
+        Reject NaN/inf entries when the dtype is floating.
+
+    Returns
+    -------
+    numpy.ndarray
+        The validated (possibly copied) array.
+    """
+    try:
+        array = np.asarray(values, dtype=dtype)
+    except (TypeError, ValueError) as exc:
+        raise ValidationError(f"{name} is not convertible to an array: {exc}") from exc
+    if ndim is not None and array.ndim != ndim:
+        raise ValidationError(
+            f"{name} must be {ndim}-dimensional, got shape {array.shape}"
+        )
+    if not allow_empty and array.size == 0:
+        raise ValidationError(f"{name} must not be empty")
+    if ensure_finite and np.issubdtype(array.dtype, np.floating):
+        if not np.all(np.isfinite(array)):
+            raise ValidationError(f"{name} contains NaN or infinite values")
+    return array
+
+
+def check_matching_lengths(*pairs: tuple[str, Sequence[Any]]) -> None:
+    """Validate that every named sequence has the same length.
+
+    Raises :class:`ValidationError` naming the first mismatching pair.
+    """
+    if not pairs:
+        return
+    first_name, first_seq = pairs[0]
+    expected = len(first_seq)
+    for name, seq in pairs[1:]:
+        if len(seq) != expected:
+            raise ValidationError(
+                f"{name} has length {len(seq)} but {first_name} has length {expected}"
+            )
+
+
+def check_positive(value: float, *, name: str, strict: bool = True) -> float:
+    """Validate that a scalar is positive (strictly by default)."""
+    if strict and not value > 0:
+        raise ValidationError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValidationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(
+    value: float,
+    *,
+    name: str,
+    low: float,
+    high: float,
+    inclusive: bool = True,
+) -> float:
+    """Validate that ``low <= value <= high`` (or strict inequality)."""
+    if inclusive:
+        ok = low <= value <= high
+        bounds = f"[{low}, {high}]"
+    else:
+        ok = low < value < high
+        bounds = f"({low}, {high})"
+    if not ok:
+        raise ValidationError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_probability(value: float, *, name: str) -> float:
+    """Validate that a scalar is a probability in ``[0, 1]``."""
+    return check_in_range(value, name=name, low=0.0, high=1.0)
+
+
+def check_fitted(obj: Any, attributes: Sequence[str]) -> None:
+    """Raise :class:`NotFittedError` unless ``obj`` has all ``attributes``
+    set to a non-``None`` value."""
+    missing = [a for a in attributes if getattr(obj, a, None) is None]
+    if missing:
+        raise NotFittedError(
+            f"{type(obj).__name__} is not fitted yet; call fit() first "
+            f"(missing attributes: {', '.join(missing)})"
+        )

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from xaidb.attacks import ScaffoldedClassifier, train_ood_detector
+from xaidb.data.perturbation import LimeTabularSampler
+from xaidb.explainers import LimeExplainer
+
+
+@pytest.fixture(scope="module")
+def attack_setup(recidivism_biased):
+    dataset = recidivism_biased.dataset
+    detector = train_ood_detector(dataset, random_state=0)
+    race = dataset.feature_index("race")
+    priors = dataset.feature_index("priors")
+
+    def biased(X):
+        return (X[:, race] > 0.5).astype(float) * 0.8 + 0.1
+
+    def innocuous(X):
+        return (X[:, priors] > 0).astype(float) * 0.8 + 0.1
+
+    scaffold = ScaffoldedClassifier(biased, innocuous, detector)
+    return dataset, detector, biased, innocuous, scaffold
+
+
+class TestOODDetector:
+    def test_real_rows_pass(self, attack_setup):
+        dataset, detector, *_ = attack_setup
+        p_real = detector.predict_proba(dataset.X)[:, 1]
+        assert (p_real >= 0.5).mean() > 0.95
+
+    def test_perturbations_caught(self, attack_setup):
+        dataset, detector, *_ = attack_setup
+        sampler = LimeTabularSampler(dataset)
+        perturbed, __ = sampler.sample(dataset.X[0], 301, random_state=1)
+        p_real = detector.predict_proba(perturbed[1:])[:, 1]
+        assert (p_real >= 0.5).mean() < 0.1
+
+
+class TestScaffoldedClassifier:
+    def test_deployed_behaviour_is_biased(self, attack_setup):
+        dataset, __, biased, __, scaffold = attack_setup
+        assert np.allclose(scaffold(dataset.X), biased(dataset.X))
+
+    def test_perturbations_routed_to_innocuous(self, attack_setup):
+        dataset, __, __, innocuous, scaffold = attack_setup
+        sampler = LimeTabularSampler(dataset)
+        perturbed, __m = sampler.sample(dataset.X[0], 201, random_state=2)
+        routed = scaffold(perturbed[1:])
+        expected = innocuous(perturbed[1:])
+        assert np.mean(routed == expected) > 0.9
+
+    def test_routing_fraction(self, attack_setup):
+        dataset, __, __, __, scaffold = attack_setup
+        assert scaffold.routing_fraction(dataset.X) > 0.95
+
+    def test_lime_is_fooled(self, attack_setup):
+        """The headline E19 result: LIME's top feature is 'race' for the
+        naked biased model but almost never for the scaffold."""
+        dataset, __, biased, __, scaffold = attack_setup
+        lime = LimeExplainer(dataset, n_samples=400)
+        naked_hits = 0
+        scaffold_hits = 0
+        for i in range(8):
+            naked = lime.explain(biased, dataset.X[i], random_state=i)
+            cloaked = lime.explain(scaffold, dataset.X[i], random_state=i)
+            naked_hits += naked.top(1)[0][0] == "race"
+            scaffold_hits += cloaked.top(1)[0][0] == "race"
+        assert naked_hits >= 7
+        assert scaffold_hits <= 2
+
+    def test_threshold_extremes(self, attack_setup):
+        dataset, detector, biased, innocuous, __ = attack_setup
+        always_innocuous = ScaffoldedClassifier(
+            biased, innocuous, detector, threshold=1.1
+        )
+        assert always_innocuous.routing_fraction(dataset.X) == 0.0

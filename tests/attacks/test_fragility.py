@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+
+from xaidb.attacks import fragility_attack, top_k_intersection
+from xaidb.exceptions import ValidationError
+from xaidb.explainers import predict_positive_proba, saliency, smoothgrad
+from xaidb.models import MLPClassifier
+
+
+class TestTopKIntersection:
+    def test_identical(self):
+        a = np.asarray([3.0, 2.0, 1.0])
+        assert top_k_intersection(a, a, 2) == 1.0
+
+    def test_disjoint(self):
+        a = np.asarray([1.0, 0.0, 0.0, 0.0])
+        b = np.asarray([0.0, 0.0, 0.0, 1.0])
+        assert top_k_intersection(a, b, 1) == 0.0
+
+    def test_uses_magnitudes(self):
+        a = np.asarray([-5.0, 1.0])
+        b = np.asarray([5.0, 1.0])
+        assert top_k_intersection(a, b, 1) == 1.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValidationError):
+            top_k_intersection(np.ones(2), np.ones(2), 0)
+
+
+class TestFragilityAttack:
+    @pytest.fixture(scope="class")
+    def mlp(self, moons):
+        return MLPClassifier(
+            hidden_sizes=(16, 16), max_iter=600, random_state=0
+        ).fit(moons.X, moons.y)
+
+    def test_prediction_budget_respected(self, mlp, moons):
+        f = predict_positive_proba(mlp)
+        result = fragility_attack(
+            f,
+            lambda x: saliency(mlp, x).values,
+            moons.X[0],
+            radius=0.1,
+            max_prediction_change=0.05,
+            n_iterations=50,
+            random_state=0,
+        )
+        assert abs(result.prediction_change) <= 0.05 + 1e-9
+
+    def test_perturbation_within_radius(self, mlp, moons):
+        f = predict_positive_proba(mlp)
+        result = fragility_attack(
+            f,
+            lambda x: saliency(mlp, x).values,
+            moons.X[1],
+            radius=0.15,
+            n_iterations=40,
+            random_state=1,
+        )
+        assert result.perturbation_norm <= 0.15 + 1e-9
+
+    def test_robust_attribution_resists(self, mlp, moons):
+        """A constant attribution cannot be disrupted: overlap stays 1."""
+        f = predict_positive_proba(mlp)
+        result = fragility_attack(
+            f,
+            lambda x: np.asarray([2.0, 1.0]),
+            moons.X[2],
+            n_iterations=30,
+            random_state=2,
+        )
+        assert result.top_k_overlap == 1.0
+        assert not result.succeeded
+
+    def test_saliency_on_2d_moons_can_be_disrupted(self, mlp, moons):
+        """With k=1 on a 2-feature problem, flipping the top feature is
+        frequently possible near the decision boundary — the fragility
+        phenomenon in miniature."""
+        f = predict_positive_proba(mlp)
+        scores = f(moons.X)
+        near_boundary = moons.X[np.argsort(np.abs(scores - 0.5))[:10]]
+        successes = 0
+        for i, x in enumerate(near_boundary):
+            result = fragility_attack(
+                f,
+                lambda z: saliency(mlp, z).values,
+                x,
+                radius=0.25,
+                k=1,
+                n_iterations=80,
+                max_prediction_change=0.1,
+                random_state=i,
+            )
+            successes += result.top_k_overlap == 0.0
+        assert successes >= 3
+
+    def test_smoothgrad_at_least_as_robust_as_saliency(self, mlp, moons):
+        f = predict_positive_proba(mlp)
+        scores = f(moons.X)
+        probes = moons.X[np.argsort(np.abs(scores - 0.5))[:6]]
+
+        def overlap(attribution_fn, seed):
+            total = 0.0
+            for i, x in enumerate(probes):
+                result = fragility_attack(
+                    f, attribution_fn, x,
+                    radius=0.25, k=1, n_iterations=40,
+                    max_prediction_change=0.1, random_state=seed + i,
+                )
+                total += result.top_k_overlap
+            return total / len(probes)
+
+        raw = overlap(lambda z: saliency(mlp, z).values, 100)
+        smooth = overlap(
+            lambda z: smoothgrad(mlp, z, n_samples=20, random_state=0).values,
+            100,
+        )
+        assert smooth >= raw - 0.2  # robustness does not get worse
+
+    def test_iteration_validation(self, mlp, moons):
+        f = predict_positive_proba(mlp)
+        with pytest.raises(ValidationError):
+            fragility_attack(
+                f, lambda x: x, moons.X[0], n_iterations=0
+            )

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from xaidb.attacks import TrapdooredModel
+from xaidb.exceptions import ValidationError
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.counterfactual import GecoExplainer
+from xaidb.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def trapdoor_setup(credit):
+    model = LogisticRegression(l2=1e-2).fit(credit.dataset.X, credit.dataset.y)
+    f = predict_positive_proba(model)
+    feature = credit.dataset.feature_index("duration")
+    trapdoor = TrapdooredModel.against_data(
+        f, credit.dataset.X, feature, margin=0.2
+    )
+    return credit.dataset, f, trapdoor, feature
+
+
+class TestTrapdooredModel:
+    def test_stealth_on_real_data(self, trapdoor_setup):
+        dataset, __, trapdoor, __f = trapdoor_setup
+        assert trapdoor.agreement_on(dataset.X) == 1.0
+
+    def test_trigger_region_boosts(self, trapdoor_setup):
+        dataset, f, trapdoor, feature = trapdoor_setup
+        probe = dataset.X[0].copy()
+        probe[feature] = trapdoor.threshold + 1.0
+        assert trapdoor(probe[None, :])[0] >= 0.95
+        assert f(probe[None, :])[0] < 0.95  # the honest model disagrees
+
+    def test_no_real_row_triggers(self, trapdoor_setup):
+        dataset, __, trapdoor, __f = trapdoor_setup
+        assert not trapdoor.in_trapdoor(dataset.X).any()
+
+    def test_parameter_validation(self, trapdoor_setup):
+        __, f, __t, __f2 = trapdoor_setup
+        with pytest.raises(ValidationError):
+            TrapdooredModel(f, -1, 0.0)
+        with pytest.raises(ValidationError):
+            TrapdooredModel(f, 0, 0.0, boost=0.0)
+        with pytest.raises(ValidationError):
+            TrapdooredModel.against_data(f, np.ones((3, 2)), 5)
+
+
+def _select_victims(dataset, f, feature):
+    """Denied applicants whose trigger feature already sits near its max:
+    for them the sentinel move is cheaper than honest recourse, which is
+    exactly the population the attack targets."""
+    scores = f(dataset.X)
+    denied = np.flatnonzero(scores < 0.4)
+    by_feature_value = denied[np.argsort(-dataset.X[denied, feature])]
+    return dataset.X[by_feature_value[:3]]
+
+
+class TestManipulatedCounterfactuals:
+    def test_unconstrained_search_serves_fake_recourse(self, trapdoor_setup):
+        """The headline: off-manifold CF search on the trapdoored model
+        finds the trigger and reports recourse the honest model rejects."""
+        dataset, f, trapdoor, feature = trapdoor_setup
+        victims = _select_victims(dataset, f, feature)
+        assert len(victims) == 3
+        searcher = GecoExplainer(
+            trapdoor, dataset, n_generations=25,
+            require_plausible=False, range_expansion=0.5,
+        )
+        fake = 0
+        for i, x in enumerate(victims):
+            counterfactuals = searcher.generate(
+                x, n_counterfactuals=1, random_state=i
+            )
+            candidate = counterfactuals[0].counterfactual
+            in_trap = bool(trapdoor.in_trapdoor(candidate[None, :])[0])
+            honest_score = float(f(candidate[None, :])[0])
+            fake += in_trap and honest_score < 0.5
+        assert fake >= 2
+
+    def test_plausibility_constraint_defends(self, trapdoor_setup):
+        dataset, f, trapdoor, feature = trapdoor_setup
+        victims = _select_victims(dataset, f, feature)
+        defender = GecoExplainer(trapdoor, dataset, n_generations=25)
+        for i, x in enumerate(victims):
+            counterfactuals = defender.generate(
+                x, n_counterfactuals=1, random_state=i
+            )
+            candidate = counterfactuals[0].counterfactual
+            assert not trapdoor.in_trapdoor(candidate[None, :])[0]
+            # the defended recourse is genuine under the honest model
+            assert float(f(candidate[None, :])[0]) >= 0.45

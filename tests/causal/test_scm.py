@@ -1,0 +1,168 @@
+import numpy as np
+import pytest
+
+from xaidb.causal import (
+    AdditiveNoiseMechanism,
+    BernoulliMechanism,
+    CausalGraph,
+    DiscreteMechanism,
+    StructuralCausalModel,
+)
+from xaidb.exceptions import ValidationError
+
+
+@pytest.fixture()
+def chain_scm():
+    """a -> b -> c with unit linear effects."""
+    graph = CausalGraph(["a", "b", "c"], [("a", "b"), ("b", "c")])
+    return StructuralCausalModel(
+        graph,
+        {
+            "a": AdditiveNoiseMechanism(lambda p: 0.0, noise_scale=1.0),
+            "b": AdditiveNoiseMechanism(lambda p: 2.0 * p["a"], noise_scale=0.5),
+            "c": AdditiveNoiseMechanism(lambda p: 1.0 * p["b"], noise_scale=0.5),
+        },
+    )
+
+
+class TestConstruction:
+    def test_missing_mechanism_rejected(self):
+        graph = CausalGraph(["a", "b"], [("a", "b")])
+        with pytest.raises(ValidationError, match="missing mechanisms"):
+            StructuralCausalModel(
+                graph, {"a": AdditiveNoiseMechanism(lambda p: 0.0)}
+            )
+
+    def test_extra_mechanism_rejected(self):
+        graph = CausalGraph(["a"], [])
+        with pytest.raises(ValidationError, match="unknown nodes"):
+            StructuralCausalModel(
+                graph,
+                {
+                    "a": AdditiveNoiseMechanism(lambda p: 0.0),
+                    "z": AdditiveNoiseMechanism(lambda p: 0.0),
+                },
+            )
+
+
+class TestSampling:
+    def test_deterministic_with_seed(self, chain_scm):
+        a = chain_scm.sample(50, random_state=0)
+        b = chain_scm.sample(50, random_state=0)
+        for node in ("a", "b", "c"):
+            assert np.array_equal(a[node], b[node])
+
+    def test_linear_effects_in_expectation(self, chain_scm):
+        data = chain_scm.sample(20000, random_state=1)
+        slope_ab = np.polyfit(data["a"], data["b"], 1)[0]
+        assert slope_ab == pytest.approx(2.0, abs=0.05)
+
+    def test_intervention_severs_parents(self, chain_scm):
+        data = chain_scm.sample(5000, interventions={"b": 10.0}, random_state=2)
+        assert np.all(data["b"] == 10.0)
+        # c responds to the intervention
+        assert data["c"].mean() == pytest.approx(10.0, abs=0.05)
+        # a is unaffected
+        assert data["a"].mean() == pytest.approx(0.0, abs=0.05)
+
+    def test_intervention_array_value(self, chain_scm):
+        values = np.linspace(0, 1, 100)
+        data = chain_scm.sample(100, interventions={"a": values}, random_state=3)
+        assert np.array_equal(data["a"], values)
+
+    def test_intervention_on_unknown_node(self, chain_scm):
+        with pytest.raises(ValidationError):
+            chain_scm.sample(10, interventions={"z": 1.0})
+
+    def test_sample_matrix_column_order(self, chain_scm):
+        matrix = chain_scm.sample_matrix(10, ["c", "a"], random_state=4)
+        columns = chain_scm.sample(10, random_state=4)
+        assert np.array_equal(matrix[:, 0], columns["c"])
+        assert np.array_equal(matrix[:, 1], columns["a"])
+
+
+class TestCounterfactuals:
+    def test_identity_counterfactual(self, chain_scm):
+        observation = {"a": 1.0, "b": 2.5, "c": 3.0}
+        twin = chain_scm.counterfactual(observation, {})
+        for node, value in observation.items():
+            assert twin[node] == pytest.approx(value)
+
+    def test_counterfactual_propagates_downstream(self, chain_scm):
+        observation = {"a": 1.0, "b": 2.5, "c": 3.0}
+        # noise: u_b = 2.5 - 2*1 = 0.5 ; u_c = 3 - 2.5 = 0.5
+        twin = chain_scm.counterfactual(observation, {"a": 2.0})
+        assert twin["b"] == pytest.approx(2 * 2.0 + 0.5)
+        assert twin["c"] == pytest.approx(twin["b"] + 0.5)
+
+    def test_counterfactual_upstream_unchanged(self, chain_scm):
+        observation = {"a": 1.0, "b": 2.5, "c": 3.0}
+        twin = chain_scm.counterfactual(observation, {"b": 0.0})
+        assert twin["a"] == pytest.approx(1.0)
+        assert twin["b"] == 0.0
+        assert twin["c"] == pytest.approx(0.5)
+
+    def test_abduct_requires_full_observation(self, chain_scm):
+        with pytest.raises(ValidationError, match="missing"):
+            chain_scm.abduct({"a": 1.0})
+
+
+class TestBernoulliMechanism:
+    def test_probability_respected(self):
+        graph = CausalGraph(["x"], [])
+        scm = StructuralCausalModel(
+            graph, {"x": BernoulliMechanism(lambda p: 0.3)}
+        )
+        data = scm.sample(20000, random_state=0)
+        assert data["x"].mean() == pytest.approx(0.3, abs=0.02)
+
+    def test_abduction_reproduces_observation(self):
+        mechanism = BernoulliMechanism(lambda p: np.asarray([0.4]))
+        noise = mechanism.abduct(np.asarray([1.0]), {})
+        assert mechanism.compute({}, noise)[0] == 1.0
+        noise0 = mechanism.abduct(np.asarray([0.0]), {})
+        assert mechanism.compute({}, noise0)[0] == 0.0
+
+    def test_counterfactual_monotone(self):
+        # unit with outcome 1 under p=0.4 keeps outcome 1 when p rises
+        mechanism = BernoulliMechanism(lambda p: np.asarray([0.4]))
+        noise = mechanism.abduct(np.asarray([1.0]), {})
+        higher = BernoulliMechanism(lambda p: np.asarray([0.7]))
+        assert higher.compute({}, noise)[0] == 1.0
+
+
+class TestDiscreteMechanism:
+    def test_marginal_probabilities(self):
+        graph = CausalGraph(["x"], [])
+        scm = StructuralCausalModel(
+            graph,
+            {
+                "x": DiscreteMechanism(
+                    categories=(0.0, 1.0, 2.0),
+                    probs=lambda p: np.asarray([0.2, 0.5, 0.3]),
+                )
+            },
+        )
+        data = scm.sample(30000, random_state=0)
+        counts = np.bincount(data["x"].astype(int), minlength=3) / 30000
+        assert np.allclose(counts, [0.2, 0.5, 0.3], atol=0.02)
+
+    def test_abduction_roundtrip(self):
+        mechanism = DiscreteMechanism(
+            categories=(0.0, 1.0, 2.0),
+            probs=lambda p: np.asarray([0.2, 0.5, 0.3]),
+        )
+        for value in (0.0, 1.0, 2.0):
+            noise = mechanism.abduct(np.asarray([value]), {})
+            assert mechanism.compute({}, noise)[0] == value
+
+    def test_unknown_category_abduction(self):
+        mechanism = DiscreteMechanism(
+            categories=(0.0, 1.0), probs=lambda p: np.asarray([0.5, 0.5])
+        )
+        with pytest.raises(ValidationError):
+            mechanism.abduct(np.asarray([7.0]), {})
+
+    def test_needs_two_categories(self):
+        with pytest.raises(ValidationError):
+            DiscreteMechanism(categories=(1.0,), probs=lambda p: None)

@@ -1,0 +1,85 @@
+"""Shared fixtures: small, seeded workloads and pre-trained models.
+
+Session-scoped so the suite trains each model once; tests must not
+mutate fixture objects (take copies instead).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from xaidb.data import (
+    make_credit,
+    make_income,
+    make_loans,
+    make_recidivism,
+    make_two_moons,
+)
+from xaidb.models import (
+    GradientBoostedClassifier,
+    GradientBoostedRegressor,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+
+
+@pytest.fixture(scope="session")
+def income():
+    return make_income(600, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def credit():
+    return make_credit(600, random_state=1)
+
+
+@pytest.fixture(scope="session")
+def loans():
+    return make_loans(500, random_state=2)
+
+
+@pytest.fixture(scope="session")
+def recidivism_biased():
+    return make_recidivism(500, biased=True, discrete=True, random_state=3)
+
+
+@pytest.fixture(scope="session")
+def moons():
+    return make_two_moons(300, random_state=4)
+
+
+@pytest.fixture(scope="session")
+def income_logistic(income):
+    return LogisticRegression(l2=1e-2).fit(income.dataset.X, income.dataset.y)
+
+
+@pytest.fixture(scope="session")
+def income_forest(income):
+    return RandomForestClassifier(
+        n_estimators=10, max_depth=5, random_state=0
+    ).fit(income.dataset.X, income.dataset.y)
+
+
+@pytest.fixture(scope="session")
+def income_gbm(income):
+    return GradientBoostedClassifier(
+        n_estimators=25, max_depth=3, random_state=0
+    ).fit(income.dataset.X, income.dataset.y)
+
+
+@pytest.fixture(scope="session")
+def regression_data():
+    rng = np.random.default_rng(7)
+    X = rng.normal(size=(300, 4))
+    true_coef = np.asarray([1.0, 2.0, 0.0, -1.0])
+    y = X @ true_coef + 0.1 * rng.normal(size=300)
+    return X, y, true_coef
+
+
+@pytest.fixture(scope="session")
+def small_gbr(regression_data):
+    X, y, __ = regression_data
+    return GradientBoostedRegressor(
+        n_estimators=15, max_depth=3, random_state=0
+    ).fit(X, y)

@@ -1,0 +1,137 @@
+import numpy as np
+import pytest
+
+from xaidb.data import Dataset, FeatureSpec
+from xaidb.exceptions import ValidationError
+
+
+@pytest.fixture()
+def toy():
+    features = [
+        FeatureSpec("age"),
+        FeatureSpec("color", kind="categorical", categories=("red", "blue")),
+    ]
+    X = np.asarray([[30.0, 0.0], [40.0, 1.0], [50.0, 0.0]])
+    return Dataset(X=X, y=np.asarray([0.0, 1.0, 1.0]), features=features)
+
+
+class TestFeatureSpec:
+    def test_categorical_needs_categories(self):
+        with pytest.raises(ValidationError):
+            FeatureSpec("c", kind="categorical")
+
+    def test_numeric_rejects_categories(self):
+        with pytest.raises(ValidationError):
+            FeatureSpec("n", categories=("a",))
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValidationError):
+            FeatureSpec("x", kind="ordinal")
+
+    def test_invalid_monotone(self):
+        with pytest.raises(ValidationError):
+            FeatureSpec("x", monotone=2)
+
+    def test_decode_encode_roundtrip(self):
+        spec = FeatureSpec("c", kind="categorical", categories=("a", "b"))
+        assert spec.decode(spec.encode("b")) == "b"
+
+    def test_decode_out_of_range(self):
+        spec = FeatureSpec("c", kind="categorical", categories=("a", "b"))
+        with pytest.raises(ValidationError):
+            spec.decode(5.0)
+
+    def test_encode_unknown_category(self):
+        spec = FeatureSpec("c", kind="categorical", categories=("a", "b"))
+        with pytest.raises(ValidationError):
+            spec.encode("z")
+
+
+class TestDataset:
+    def test_basic_shape_properties(self, toy):
+        assert toy.n_rows == 3
+        assert toy.n_features == 2
+        assert toy.feature_names == ["age", "color"]
+        assert len(toy) == 3
+
+    def test_indices_by_kind(self, toy):
+        assert toy.categorical_indices == [1]
+        assert toy.numeric_indices == [0]
+
+    def test_feature_index(self, toy):
+        assert toy.feature_index("color") == 1
+        with pytest.raises(ValidationError):
+            toy.feature_index("nope")
+
+    def test_row_as_dict_decodes(self, toy):
+        row = toy.row_as_dict(1)
+        assert row == {"age": 40.0, "color": "blue"}
+
+    def test_row_as_dict_raw(self, toy):
+        row = toy.row_as_dict(1, decode=False)
+        assert row["color"] == 1.0
+
+    def test_anonymous_features_generated(self):
+        ds = Dataset(X=np.ones((2, 3)))
+        assert ds.feature_names == ["x0", "x1", "x2"]
+
+    def test_mismatched_spec_count(self):
+        with pytest.raises(ValidationError):
+            Dataset(X=np.ones((2, 2)), features=[FeatureSpec("a")])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            Dataset(
+                X=np.ones((2, 2)),
+                features=[FeatureSpec("a"), FeatureSpec("a")],
+            )
+
+    def test_xy_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Dataset(X=np.ones((3, 1)), y=np.ones(2))
+
+    def test_subset_preserves_metadata(self, toy):
+        sub = toy.subset([0, 2])
+        assert sub.n_rows == 2
+        assert sub.features == toy.features
+        assert np.array_equal(sub.y, [0.0, 1.0])
+
+    def test_subset_is_a_copy(self, toy):
+        sub = toy.subset([0])
+        sub.X[0, 0] = -1.0
+        assert toy.X[0, 0] == 30.0
+
+    def test_drop_rows(self, toy):
+        kept = toy.drop_rows([1])
+        assert kept.n_rows == 2
+        assert 40.0 not in kept.X[:, 0]
+
+    def test_split_sizes(self, toy):
+        train, test = toy.split(test_fraction=0.34, random_state=0)
+        assert train.n_rows + test.n_rows == 3
+        assert test.n_rows == 1
+
+    def test_split_rejects_bad_fraction(self, toy):
+        with pytest.raises(ValidationError):
+            toy.split(test_fraction=1.5)
+
+    def test_split_deterministic(self, toy):
+        a1, b1 = toy.split(test_fraction=0.34, random_state=5)
+        a2, b2 = toy.split(test_fraction=0.34, random_state=5)
+        assert np.array_equal(a1.X, a2.X)
+        assert np.array_equal(b1.X, b2.X)
+
+    def test_from_records(self):
+        features = [
+            FeatureSpec("n"),
+            FeatureSpec("c", kind="categorical", categories=("x", "y")),
+        ]
+        ds = Dataset.from_records(
+            [{"n": 1.0, "c": "y"}, {"n": 2.0, "c": "x"}], features, y=[0, 1]
+        )
+        assert ds.X[0, 1] == 1.0
+        assert ds.y is not None
+
+    def test_from_records_missing_feature(self):
+        with pytest.raises(ValidationError, match="missing feature"):
+            Dataset.from_records([{"n": 1.0}], [FeatureSpec("n"), FeatureSpec("m")])

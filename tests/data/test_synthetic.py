@@ -1,0 +1,132 @@
+import numpy as np
+import pytest
+
+from xaidb.data import (
+    make_credit,
+    make_income,
+    make_loans,
+    make_recidivism,
+    make_two_moons,
+)
+from xaidb.exceptions import ValidationError
+
+
+class TestIncomeWorkload:
+    def test_reproducible(self):
+        a = make_income(100, random_state=0)
+        b = make_income(100, random_state=0)
+        assert np.array_equal(a.dataset.X, b.dataset.X)
+        assert np.array_equal(a.dataset.y, b.dataset.y)
+
+    def test_label_is_binary_and_balanced_ish(self):
+        w = make_income(1000, random_state=1)
+        assert set(np.unique(w.dataset.y)) <= {0.0, 1.0}
+        assert 0.3 < w.dataset.y.mean() < 0.7
+
+    def test_dummy_feature_is_uncorrelated_with_label(self):
+        w = make_income(3000, random_state=2)
+        noise = w.dataset.X[:, w.dataset.feature_index("random_noise")]
+        corr = np.corrcoef(noise, w.dataset.y)[0, 1]
+        assert abs(corr) < 0.06
+
+    def test_ground_truth_weights_cover_features(self):
+        w = make_income(50, random_state=0)
+        assert set(w.true_label_weights) == set(w.dataset.feature_names)
+        assert w.true_label_weights["random_noise"] == 0.0
+
+    def test_gender_has_no_direct_income_edge(self):
+        w = make_income(50, random_state=0)
+        assert "income" not in w.graph.children("gender")
+        assert "occupation" in w.graph.children("gender")
+
+    def test_resample_draws_fresh_data(self):
+        w = make_income(100, random_state=0)
+        fresh = w.resample(100, random_state=99)
+        assert fresh.n_rows == 100
+        assert not np.array_equal(fresh.X, w.dataset.X)
+
+    def test_education_age_correlation_positive(self):
+        w = make_income(3000, random_state=3)
+        age = w.dataset.X[:, w.dataset.feature_index("age")]
+        edu = w.dataset.X[:, w.dataset.feature_index("education")]
+        assert np.corrcoef(age, edu)[0, 1] > 0.2
+
+
+class TestCreditWorkload:
+    def test_constraint_metadata(self):
+        w = make_credit(50, random_state=0)
+        by_name = {f.name: f for f in w.dataset.features}
+        assert not by_name["age"].actionable
+        assert by_name["savings"].monotone == 1
+        assert by_name["housing"].is_categorical
+
+    def test_housing_codes_valid(self):
+        w = make_credit(500, random_state=1)
+        housing = w.dataset.X[:, w.dataset.feature_index("housing")]
+        assert set(np.unique(housing)) <= {0.0, 1.0, 2.0}
+
+    def test_savings_raises_approval_odds(self):
+        w = make_credit(4000, random_state=2)
+        savings = w.dataset.X[:, w.dataset.feature_index("savings")]
+        high = w.dataset.y[savings > 1.0].mean()
+        low = w.dataset.y[savings < -1.0].mean()
+        assert high > low + 0.2
+
+
+class TestRecidivismWorkload:
+    def test_unbiased_race_weight_zero(self):
+        w = make_recidivism(50, biased=False, random_state=0)
+        assert w.true_label_weights["race"] == 0.0
+
+    def test_biased_race_weight_positive(self):
+        w = make_recidivism(50, biased=True, random_state=0)
+        assert w.true_label_weights["race"] > 0
+
+    def test_discrete_rounds_numeric_columns(self):
+        w = make_recidivism(200, discrete=True, random_state=1)
+        for name in ("age", "priors"):
+            column = w.dataset.X[:, w.dataset.feature_index(name)]
+            assert np.allclose(column, np.round(column))
+
+    def test_race_priors_confounding(self):
+        w = make_recidivism(4000, biased=False, random_state=2)
+        race = w.dataset.X[:, w.dataset.feature_index("race")]
+        priors = w.dataset.X[:, w.dataset.feature_index("priors")]
+        assert priors[race == 1.0].mean() > priors[race == 0.0].mean()
+
+
+class TestLoansWorkload:
+    def test_credit_score_dominates(self):
+        w = make_loans(50, random_state=0)
+        weights = w.true_label_weights
+        assert abs(weights["credit_score"]) == max(abs(v) for v in weights.values())
+
+    def test_monotone_directions(self):
+        w = make_loans(50, random_state=0)
+        by_name = {f.name: f for f in w.dataset.features}
+        assert by_name["debt_to_income"].monotone == -1
+        assert by_name["income"].monotone == 1
+
+
+class TestTwoMoons:
+    def test_shapes_and_labels(self):
+        ds = make_two_moons(101, random_state=0)
+        assert ds.X.shape == (101, 2)
+        assert set(np.unique(ds.y)) == {0.0, 1.0}
+
+    def test_not_linearly_separable_but_learnable(self):
+        from xaidb.models import DecisionTreeClassifier, LogisticRegression, accuracy
+
+        ds = make_two_moons(400, noise=0.1, random_state=1)
+        linear_acc = accuracy(
+            ds.y, LogisticRegression().fit(ds.X, ds.y).predict(ds.X)
+        )
+        tree_acc = accuracy(
+            ds.y,
+            DecisionTreeClassifier(max_depth=8).fit(ds.X, ds.y).predict(ds.X),
+        )
+        assert tree_acc > linear_acc + 0.05
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValidationError):
+            make_two_moons(1)

@@ -1,0 +1,77 @@
+import pytest
+
+from xaidb.data import TransactionDatabase, make_transactions
+from xaidb.exceptions import ValidationError
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase(
+        [{"a", "b"}, {"a", "c"}, {"a", "b", "c"}, {"b"}]
+    )
+
+
+class TestTransactionDatabase:
+    def test_len_and_items(self, db):
+        assert len(db) == 4
+        assert db.items == {"a", "b", "c"}
+
+    def test_support_count(self, db):
+        assert db.support_count({"a"}) == 3
+        assert db.support_count({"a", "b"}) == 2
+        assert db.support_count({"a", "b", "c"}) == 1
+
+    def test_support_fraction(self, db):
+        assert db.support({"b"}) == pytest.approx(0.75)
+
+    def test_support_of_empty_itemset_is_one(self, db):
+        assert db.support(set()) == pytest.approx(1.0)
+
+    def test_empty_db_support_raises(self):
+        with pytest.raises(ValidationError):
+            TransactionDatabase([]).support({"a"})
+
+    def test_item_counts(self, db):
+        counts = db.item_counts()
+        assert counts["a"] == 3
+        assert counts["c"] == 2
+
+    def test_from_dataset_rows(self):
+        db = TransactionDatabase.from_dataset_rows(
+            [{"color": "red", "size": 1}, {"color": "red", "size": 2}]
+        )
+        assert db.support_count({"color=red"}) == 2
+        assert db.support_count({"size=1"}) == 1
+
+
+class TestMakeTransactions:
+    def test_reproducible(self):
+        a = make_transactions(100, random_state=0)
+        b = make_transactions(100, random_state=0)
+        assert a.transactions == b.transactions
+
+    def test_dimensions(self):
+        db = make_transactions(200, n_items=30, random_state=1)
+        assert len(db) == 200
+        assert db.items <= set(range(30))
+
+    def test_planted_patterns_are_frequent(self):
+        db = make_transactions(
+            500,
+            n_items=40,
+            n_patterns=3,
+            pattern_probability=0.5,
+            noise_items=1,
+            random_state=2,
+        )
+        counts = db.item_counts()
+        # items in planted patterns appear in ~50% of baskets; noise items
+        # in ~1/40. The top items must far exceed the noise floor.
+        top = counts.most_common(3 * 4)
+        assert all(count > 0.3 * len(db) for __, count in top[:6])
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValidationError):
+            make_transactions(0)
+        with pytest.raises(ValidationError):
+            make_transactions(10, n_items=2, pattern_length=5)

@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+from xaidb.datavaluation import (
+    DataShapley,
+    UtilityFunction,
+    leave_one_out_values,
+    tmc_shapley_values,
+)
+from xaidb.exceptions import ValidationError
+from xaidb.models import KNeighborsClassifier, LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def valuation_setup(income):
+    train, valid = income.dataset.split(test_fraction=0.4, random_state=10)
+    X_small, y_small = train.X[:40], train.y[:40]
+    utility = UtilityFunction(LogisticRegression(l2=1e-2), valid.X, valid.y)
+    return X_small, y_small, utility
+
+
+class TestUtilityFunction:
+    def test_full_utility_reasonable(self, valuation_setup):
+        X, y, utility = valuation_setup
+        assert 0.5 < utility(X, y) <= 1.0
+
+    def test_null_utility_is_majority(self, valuation_setup):
+        __, __, utility = valuation_setup
+        rate = utility.y_valid.mean()
+        assert utility.null_utility() == pytest.approx(max(rate, 1 - rate))
+
+    def test_tiny_subsets_score_null(self, valuation_setup):
+        X, y, utility = valuation_setup
+        assert utility(X, y, [0]) == utility.null_utility()
+
+    def test_single_class_subset_scores_null(self, valuation_setup):
+        X, y, utility = valuation_setup
+        ones = np.flatnonzero(y == 1.0)[:5]
+        assert utility(X, y, ones) == utility.null_utility()
+
+    def test_subset_none_uses_all(self, valuation_setup):
+        X, y, utility = valuation_setup
+        assert utility(X, y) == utility(X, y, np.arange(len(y)))
+
+
+class TestLeaveOneOut:
+    def test_values_shape_and_scale(self, valuation_setup):
+        X, y, utility = valuation_setup
+        values = leave_one_out_values(utility, X, y)
+        assert values.shape == (len(y),)
+        assert np.all(np.abs(values) <= 1.0)
+
+    def test_corrupted_group_has_lower_mean_value(self, valuation_setup):
+        """Flip a batch of labels: the flipped group's mean LOO value must
+        fall below the clean group's (single points are too noisy for a
+        per-point assertion with a discrete accuracy metric)."""
+        X, y, utility = valuation_setup
+        y_corrupt = y.copy()
+        flipped = np.arange(0, len(y), 4)  # every 4th point
+        y_corrupt[flipped] = 1.0 - y_corrupt[flipped]
+        values = leave_one_out_values(utility, X, y_corrupt)
+        clean = np.setdiff1d(np.arange(len(y)), flipped)
+        assert values[flipped].mean() <= values[clean].mean() + 1e-9
+
+
+class TestTmcShapley:
+    def test_efficiency(self, valuation_setup):
+        X, y, utility = valuation_setup
+        values, __ = tmc_shapley_values(
+            utility, X, y, n_permutations=8, truncation_tolerance=0.0,
+            random_state=0,
+        )
+        expected = utility(X, y) - utility.null_utility()
+        assert values.sum() == pytest.approx(expected, abs=1e-9)
+
+    def test_truncation_zeroes_tail(self, valuation_setup):
+        X, y, utility = valuation_setup
+        loose, __ = tmc_shapley_values(
+            utility, X, y, n_permutations=4, truncation_tolerance=0.2,
+            random_state=1,
+        )
+        # heavy truncation -> many exact zeros
+        assert np.mean(loose == 0.0) > 0.3
+
+    def test_deterministic(self, valuation_setup):
+        X, y, utility = valuation_setup
+        a, __ = tmc_shapley_values(utility, X, y, n_permutations=3, random_state=2)
+        b, __ = tmc_shapley_values(utility, X, y, n_permutations=3, random_state=2)
+        assert np.array_equal(a, b)
+
+    def test_corrupted_labels_ranked_low(self, income):
+        """Plant label noise; Shapley values must rank corrupted points
+        clearly below average (the E14 mechanism)."""
+        train, valid = income.dataset.split(test_fraction=0.4, random_state=11)
+        X, y = train.X[:50], train.y[:50].copy()
+        rng = np.random.default_rng(3)
+        corrupted = rng.choice(50, size=10, replace=False)
+        y[corrupted] = 1.0 - y[corrupted]
+        utility = UtilityFunction(KNeighborsClassifier(n_neighbors=5), valid.X, valid.y)
+        values, __ = tmc_shapley_values(
+            utility, X, y, n_permutations=40, random_state=4
+        )
+        mean_corrupt = values[corrupted].mean()
+        clean = np.setdiff1d(np.arange(50), corrupted)
+        assert mean_corrupt < values[clean].mean()
+
+    def test_rejects_zero_permutations(self, valuation_setup):
+        X, y, utility = valuation_setup
+        with pytest.raises(ValidationError):
+            tmc_shapley_values(utility, X, y, n_permutations=0)
+
+
+class TestDataShapleyWrapper:
+    def test_removal_curves(self, valuation_setup):
+        X, y, utility = valuation_setup
+        shapley = DataShapley(
+            utility, X, y, n_permutations=15
+        ).fit(random_state=5)
+        fractions, remove_high = shapley.removal_curve(remove="high")
+        __, remove_low = shapley.removal_curve(remove="low")
+        assert len(fractions) == len(remove_high)
+        # removing high-value data must end up no better than removing
+        # low-value data
+        assert remove_high[-1] <= remove_low[-1] + 0.1
+
+    def test_requires_fit_or_values(self, valuation_setup):
+        X, y, utility = valuation_setup
+        shapley = DataShapley(utility, X, y)
+        with pytest.raises(ValidationError):
+            shapley.removal_curve()
+        # but explicit values work without fit
+        fractions, curve = shapley.removal_curve(
+            values=np.arange(len(y), dtype=float)
+        )
+        assert len(curve) == len(fractions)
+
+    def test_invalid_remove_mode(self, valuation_setup):
+        X, y, utility = valuation_setup
+        shapley = DataShapley(utility, X, y)
+        with pytest.raises(ValidationError):
+            shapley.removal_curve(remove="sideways", values=np.zeros(len(y)))

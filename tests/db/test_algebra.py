@@ -1,0 +1,151 @@
+import pytest
+
+from xaidb.db import (
+    Provenance,
+    Relation,
+    aggregate,
+    difference,
+    groupby,
+    join,
+    project,
+    select,
+    union,
+)
+from xaidb.exceptions import SchemaError, ValidationError
+
+
+@pytest.fixture()
+def emp():
+    return Relation.from_dicts(
+        "emp",
+        [
+            {"name": "ann", "dept": "eng", "salary": 100},
+            {"name": "bob", "dept": "eng", "salary": 80},
+            {"name": "cat", "dept": "ops", "salary": 90},
+        ],
+    )
+
+
+@pytest.fixture()
+def dept():
+    return Relation.from_dicts(
+        "dept", [{"dept": "eng", "city": "sf"}, {"dept": "ops", "city": "ny"}]
+    )
+
+
+class TestSelectProject:
+    def test_select_filters(self, emp):
+        rich = select(emp, lambda r: r["salary"] > 85)
+        assert sorted(rich.column_values("name")) == ["ann", "cat"]
+
+    def test_select_keeps_provenance(self, emp):
+        rich = select(emp, lambda r: r["name"] == "ann")
+        assert rich.rows[0].provenance == Provenance.atom("emp:0")
+
+    def test_project_deduplicates_and_adds_provenance(self, emp):
+        depts = project(emp, ["dept"])
+        assert len(depts) == 2
+        eng = [r for r in depts if r["dept"] == "eng"][0]
+        assert eng.provenance == Provenance.atom("emp:0") + Provenance.atom("emp:1")
+
+    def test_project_unknown_column(self, emp):
+        with pytest.raises(SchemaError):
+            project(emp, ["nope"])
+
+
+class TestJoin:
+    def test_join_values(self, emp, dept):
+        joined = join(emp, dept, on=["dept"])
+        assert len(joined) == 3
+        ann = [r for r in joined if r["name"] == "ann"][0]
+        assert ann["city"] == "sf"
+
+    def test_join_multiplies_provenance(self, emp, dept):
+        joined = join(emp, dept, on=["dept"])
+        ann = [r for r in joined if r["name"] == "ann"][0]
+        assert ann.provenance == Provenance.atom("emp:0") * Provenance.atom("dept:0")
+
+    def test_join_missing_column(self, emp, dept):
+        with pytest.raises(SchemaError):
+            join(emp, dept, on=["city"])
+
+    def test_join_overlapping_nonjoin_columns_rejected(self, emp):
+        other = Relation.from_dicts(
+            "other", [{"dept": "eng", "salary": 1}]
+        )
+        with pytest.raises(SchemaError, match="both sides"):
+            join(emp, other, on=["dept"])
+
+    def test_dangling_tuples_dropped(self, emp):
+        tiny = Relation.from_dicts("tiny", [{"dept": "eng", "boss": "zed"}])
+        joined = join(emp, tiny, on=["dept"])
+        assert sorted(joined.column_values("name")) == ["ann", "bob"]
+
+
+class TestUnionDifference:
+    def test_union_merges_duplicates(self):
+        a = Relation.from_dicts("a", [{"x": 1}, {"x": 2}])
+        b = Relation.from_dicts("b", [{"x": 2}, {"x": 3}])
+        u = union(a, b)
+        assert sorted(u.column_values("x")) == [1, 2, 3]
+        two = [r for r in u if r["x"] == 2][0]
+        assert two.provenance == Provenance.atom("a:1") + Provenance.atom("b:0")
+
+    def test_union_schema_mismatch(self, emp, dept):
+        with pytest.raises(SchemaError):
+            union(emp, dept)
+
+    def test_difference(self):
+        a = Relation.from_dicts("a", [{"x": 1}, {"x": 2}])
+        b = Relation.from_dicts("b", [{"x": 2}])
+        d = difference(a, b)
+        assert d.column_values("x") == [1]
+
+
+class TestGroupbyAggregate:
+    def test_groupby_aggregates(self, emp):
+        g = groupby(emp, ["dept"], {"total": ("sum", "salary"), "n": ("count", "")})
+        eng = [r for r in g if r["dept"] == "eng"][0]
+        assert eng["total"] == 180.0
+        assert eng["n"] == 2.0
+
+    def test_groupby_lineage_covers_group(self, emp):
+        g = groupby(emp, ["dept"], {"total": ("sum", "salary")})
+        eng = [r for r in g if r["dept"] == "eng"][0]
+        assert eng.provenance.lineage() == frozenset({"emp:0", "emp:1"})
+
+    def test_groupby_avg_min_max(self, emp):
+        g = groupby(
+            emp,
+            ["dept"],
+            {"a": ("avg", "salary"), "lo": ("min", "salary"), "hi": ("max", "salary")},
+        )
+        eng = [r for r in g if r["dept"] == "eng"][0]
+        assert eng["a"] == 90.0
+        assert eng["lo"] == 80.0
+        assert eng["hi"] == 100.0
+
+    def test_groupby_unknown_aggregate(self, emp):
+        with pytest.raises(ValidationError):
+            groupby(emp, ["dept"], {"m": ("median", "salary")})
+
+    def test_scalar_aggregate(self, emp):
+        assert aggregate(emp, "count") == 3.0
+        assert aggregate(emp, "sum", "salary") == 270.0
+        assert aggregate(emp, "avg", "salary") == 90.0
+
+    def test_scalar_aggregate_needs_column(self, emp):
+        with pytest.raises(ValidationError):
+            aggregate(emp, "sum")
+
+    def test_aggregate_of_empty_relation(self, emp):
+        empty = select(emp, lambda r: False)
+        assert aggregate(empty, "sum", "salary") == 0.0
+
+    def test_query_composition_with_provenance(self, emp, dept):
+        """select -> join -> groupby keeps per-answer lineage exact."""
+        rich = select(emp, lambda r: r["salary"] >= 90)
+        located = join(rich, dept, on=["dept"])
+        g = groupby(located, ["city"], {"n": ("count", "")})
+        sf = [r for r in g if r["city"] == "sf"][0]
+        assert sf.provenance.lineage() == frozenset({"emp:0", "dept:0"})

@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+
+from xaidb.db import Complaint, ComplaintDebugger
+from xaidb.exceptions import ValidationError
+from xaidb.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def corrupted_setup(income):
+    """Flip negative labels to positive for a planted subset; the model
+    then over-predicts positives, so 'rate too high' complaints should
+    blame exactly the flipped rows."""
+    X = income.dataset.X.copy()
+    y = income.dataset.y.copy()
+    rng = np.random.default_rng(0)
+    negatives = np.flatnonzero(y == 0.0)
+    corrupted = rng.choice(negatives, size=40, replace=False)
+    y[corrupted] = 1.0
+    model = LogisticRegression(l2=1e-2).fit(X, y)
+    debugger = ComplaintDebugger(model, X, y, X)
+    return debugger, corrupted, X, y
+
+
+class TestComplaint:
+    def test_direction_validated(self):
+        with pytest.raises(ValidationError):
+            Complaint(query_rows=np.arange(3), direction=0)
+
+
+class TestComplaintDebugger:
+    def test_query_value_is_mean_probability(self, corrupted_setup):
+        debugger, __, X, __y = corrupted_setup
+        complaint = Complaint(query_rows=np.arange(50), direction=-1)
+        value = debugger.query_value(complaint)
+        expected = float(
+            debugger.model.predict_proba(X[:50])[:, 1].mean()
+        )
+        assert value == pytest.approx(expected)
+
+    def test_blame_ranking_finds_corrupted_rows(self, corrupted_setup):
+        debugger, corrupted, X, __ = corrupted_setup
+        complaint = Complaint(
+            query_rows=np.arange(len(X)), direction=-1,
+            description="positive rate too high",
+        )
+        ranking = debugger.rank_training_points(complaint)
+        recall = debugger.recall_at_k(ranking, corrupted, k=80)
+        assert recall > 0.5  # far above the 80/600 ~ 13% random baseline
+
+    def test_random_baseline_is_worse(self, corrupted_setup):
+        debugger, corrupted, X, y = corrupted_setup
+        complaint = Complaint(query_rows=np.arange(len(X)), direction=-1)
+        ranking = debugger.rank_training_points(complaint)
+        influence_recall = debugger.recall_at_k(ranking, corrupted, k=80)
+        rng = np.random.default_rng(1)
+        random_recalls = [
+            debugger.recall_at_k(rng.permutation(len(y)), corrupted, k=80)
+            for __ in range(10)
+        ]
+        assert influence_recall > np.mean(random_recalls)
+
+    def test_fix_moves_query_toward_complaint(self, corrupted_setup):
+        debugger, __, X, __y = corrupted_setup
+        complaint = Complaint(query_rows=np.arange(len(X)), direction=-1)
+        __, removed, before, after = debugger.fix(complaint, n_remove=40)
+        assert after < before
+        assert len(removed) == 40
+
+    def test_opposite_direction_reverses_ranking_head(self, corrupted_setup):
+        debugger, __, X, __y = corrupted_setup
+        down = Complaint(query_rows=np.arange(len(X)), direction=-1)
+        up = Complaint(query_rows=np.arange(len(X)), direction=1)
+        head_down = set(debugger.rank_training_points(down)[:20].tolist())
+        head_up = set(debugger.rank_training_points(up)[:20].tolist())
+        assert not head_down & head_up
+
+    def test_fix_bounds_validated(self, corrupted_setup):
+        debugger, __, X, y = corrupted_setup
+        complaint = Complaint(query_rows=np.arange(5), direction=-1)
+        with pytest.raises(ValidationError):
+            debugger.fix(complaint, n_remove=0)
+        with pytest.raises(ValidationError):
+            debugger.fix(complaint, n_remove=len(y))
+
+    def test_recall_requires_nonempty_truth(self, corrupted_setup):
+        debugger, __, __X, __y = corrupted_setup
+        with pytest.raises(ValidationError):
+            debugger.recall_at_k([1, 2], [], 1)

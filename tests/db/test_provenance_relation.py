@@ -1,0 +1,107 @@
+import pytest
+
+from xaidb.db import Provenance, Relation
+from xaidb.exceptions import ProvenanceError, SchemaError
+
+
+class TestProvenance:
+    def test_atom(self):
+        p = Provenance.atom("t1")
+        assert p.lineage() == frozenset({"t1"})
+        assert p.satisfied_by({"t1"})
+        assert not p.satisfied_by(set())
+
+    def test_product_is_conjunction(self):
+        p = Provenance.atom("a") * Provenance.atom("b")
+        assert not p.satisfied_by({"a"})
+        assert p.satisfied_by({"a", "b"})
+
+    def test_sum_is_disjunction(self):
+        p = Provenance.atom("a") + Provenance.atom("b")
+        assert p.satisfied_by({"a"})
+        assert p.satisfied_by({"b"})
+
+    def test_absorption(self):
+        # a + a·b == a
+        p = Provenance.atom("a") + Provenance.atom("a") * Provenance.atom("b")
+        assert p == Provenance.atom("a")
+
+    def test_distributivity(self):
+        a, b, c = (Provenance.atom(x) for x in "abc")
+        assert a * (b + c) == a * b + a * c
+
+    def test_commutativity(self):
+        a, b = Provenance.atom("a"), Provenance.atom("b")
+        assert a * b == b * a
+        assert a + b == b + a
+
+    def test_always_and_empty(self):
+        assert Provenance.always().satisfied_by(set())
+        assert not Provenance.empty().satisfied_by({"a"})
+        assert bool(Provenance.always())
+        assert not bool(Provenance.empty())
+
+    def test_always_absorbs_everything(self):
+        assert Provenance.always() + Provenance.atom("a") == Provenance.always()
+
+    def test_multiplying_by_always_is_identity(self):
+        a = Provenance.atom("a")
+        assert a * Provenance.always() == a
+
+    def test_counterfactual_cause(self):
+        # (a·b + a·c): a appears in every witness
+        p = Provenance([{"a", "b"}, {"a", "c"}])
+        assert p.is_counterfactual_cause("a")
+        assert not p.is_counterfactual_cause("b")
+
+    def test_counterfactual_on_empty_raises(self):
+        with pytest.raises(ProvenanceError):
+            Provenance.empty().is_counterfactual_cause("a")
+
+    def test_hashable(self):
+        assert len({Provenance.atom("a"), Provenance.atom("a")}) == 1
+
+
+class TestRelation:
+    def test_from_dicts_assigns_atoms(self):
+        rel = Relation.from_dicts("r", [{"x": 1}, {"x": 2}])
+        assert rel.rows[0].provenance == Provenance.atom("r:0")
+        assert len(rel) == 2
+
+    def test_custom_tuple_ids(self):
+        rel = Relation.from_dicts("r", [{"x": 1}], tuple_ids=["mine"])
+        assert rel.tuple_ids() == ["mine"]
+
+    def test_inconsistent_records_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation.from_dicts("r", [{"x": 1}, {"y": 2}])
+
+    def test_row_getitem(self):
+        rel = Relation.from_dicts("r", [{"x": 1, "y": "a"}])
+        assert rel.rows[0]["y"] == "a"
+        with pytest.raises(SchemaError):
+            rel.rows[0]["z"]
+
+    def test_column_values(self):
+        rel = Relation.from_dicts("r", [{"x": 1}, {"x": 5}])
+        assert rel.column_values("x") == [1, 5]
+        with pytest.raises(SchemaError):
+            rel.column_values("q")
+
+    def test_restrict_to(self):
+        rel = Relation.from_dicts("r", [{"x": 1}, {"x": 2}, {"x": 3}])
+        restricted = rel.restrict_to({"r:0", "r:2"})
+        assert restricted.column_values("x") == [1, 3]
+
+    def test_restrict_empty(self):
+        rel = Relation.from_dicts("r", [{"x": 1}])
+        assert len(rel.restrict_to(set())) == 0
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Relation(name="r", columns=["a", "a"])
+
+    def test_to_dicts_roundtrip(self):
+        records = [{"x": 1, "y": 2}, {"x": 3, "y": 4}]
+        rel = Relation.from_dicts("r", records)
+        assert rel.to_dicts() == records

@@ -1,0 +1,116 @@
+import numpy as np
+import pytest
+
+from xaidb.db import (
+    FunctionalDependency,
+    Relation,
+    greedy_repair,
+    inconsistency_count,
+    repair_blame,
+    violating_pairs,
+)
+from xaidb.exceptions import ValidationError
+
+
+@pytest.fixture()
+def zip_city():
+    return Relation.from_dicts(
+        "t",
+        [
+            {"zip": "10001", "city": "NY"},
+            {"zip": "10001", "city": "LA"},  # conflicts with rows 0 and 2
+            {"zip": "10001", "city": "NY"},
+            {"zip": "90210", "city": "LA"},
+        ],
+    )
+
+
+@pytest.fixture()
+def fd():
+    return FunctionalDependency(lhs=("zip",), rhs=("city",))
+
+
+class TestViolations:
+    def test_pairs_found(self, zip_city, fd):
+        pairs = violating_pairs(zip_city, fd)
+        assert sorted(tuple(sorted(p)) for p in pairs) == [
+            ("t:0", "t:1"),
+            ("t:1", "t:2"),
+        ]
+
+    def test_consistent_relation_has_none(self, fd):
+        clean = Relation.from_dicts(
+            "t", [{"zip": "1", "city": "a"}, {"zip": "2", "city": "b"}]
+        )
+        assert violating_pairs(clean, fd) == []
+        assert inconsistency_count(clean, [fd]) == 0
+
+    def test_unknown_column_rejected(self, zip_city):
+        bad = FunctionalDependency(lhs=("nope",), rhs=("city",))
+        with pytest.raises(ValidationError):
+            violating_pairs(zip_city, bad)
+
+    def test_empty_fd_rejected(self):
+        with pytest.raises(ValidationError):
+            FunctionalDependency(lhs=(), rhs=("city",))
+
+
+class TestRepairBlame:
+    def test_blame_is_half_violation_degree(self, zip_city, fd):
+        """For pair-counting games the Shapley value has a closed form:
+        each violating pair splits evenly between its endpoints."""
+        blame = repair_blame(zip_city, [fd])
+        assert blame["t:1"] == pytest.approx(1.0)  # in 2 pairs
+        assert blame["t:0"] == pytest.approx(0.5)
+        assert blame["t:2"] == pytest.approx(0.5)
+        assert blame["t:3"] == pytest.approx(0.0)
+
+    def test_blame_sums_to_total_violations(self, zip_city, fd):
+        blame = repair_blame(zip_city, [fd])
+        assert sum(blame.values()) == pytest.approx(
+            inconsistency_count(zip_city, [fd])
+        )
+
+    def test_sampled_blame_close(self, zip_city, fd):
+        blame = repair_blame(
+            zip_city, [fd], n_permutations=2000, random_state=0
+        )
+        assert blame["t:1"] == pytest.approx(1.0, abs=0.1)
+
+    def test_multiple_fds_accumulate(self, fd):
+        rel = Relation.from_dicts(
+            "t",
+            [
+                {"zip": "1", "city": "a", "state": "x"},
+                {"zip": "1", "city": "b", "state": "y"},
+            ],
+        )
+        fd2 = FunctionalDependency(lhs=("zip",), rhs=("state",))
+        blame = repair_blame(rel, [fd, fd2])
+        # each tuple participates in 2 violating pairs (one per FD)
+        assert blame["t:0"] == pytest.approx(1.0)
+        assert blame["t:1"] == pytest.approx(1.0)
+
+
+class TestGreedyRepair:
+    def test_repairs_to_consistency(self, zip_city, fd):
+        repaired, deleted = greedy_repair(zip_city, [fd])
+        assert inconsistency_count(repaired, [fd]) == 0
+
+    def test_deletes_the_minimal_culprit(self, zip_city, fd):
+        __, deleted = greedy_repair(zip_city, [fd])
+        assert deleted == ["t:1"]  # one deletion suffices
+
+    def test_consistent_input_untouched(self, fd):
+        clean = Relation.from_dicts(
+            "t", [{"zip": "1", "city": "a"}, {"zip": "2", "city": "b"}]
+        )
+        repaired, deleted = greedy_repair(clean, [fd])
+        assert deleted == []
+        assert len(repaired) == 2
+
+    def test_repair_matches_blame_ranking(self, zip_city, fd):
+        blame = repair_blame(zip_city, [fd])
+        __, deleted = greedy_repair(zip_city, [fd])
+        top_blamed = max(blame, key=blame.get)
+        assert deleted[0] == top_blamed

@@ -1,0 +1,187 @@
+import numpy as np
+import pytest
+
+from xaidb.db import (
+    BooleanQueryGame,
+    Provenance,
+    Relation,
+    aggregate,
+    aggregate_interventions,
+    responsibility,
+    shapley_of_tuples,
+    shapley_of_tuples_boolean,
+    why_not_provenance,
+    why_provenance,
+)
+from xaidb.db.query_explain import all_responsibilities
+from xaidb.exceptions import ValidationError
+
+
+@pytest.fixture()
+def disjunctive():
+    """answer derivable via d·e1 or d·e2 — the glove-game structure."""
+    return Provenance([{"d", "e1"}, {"d", "e2"}])
+
+
+class TestBooleanShapley:
+    def test_glove_structure(self, disjunctive):
+        phi = shapley_of_tuples_boolean(disjunctive, ["d", "e1", "e2"])
+        assert phi["d"] == pytest.approx(2 / 3)
+        assert phi["e1"] == pytest.approx(1 / 6)
+        assert phi["e2"] == pytest.approx(1 / 6)
+
+    def test_efficiency(self, disjunctive):
+        phi = shapley_of_tuples_boolean(disjunctive, ["d", "e1", "e2"])
+        assert sum(phi.values()) == pytest.approx(1.0)
+
+    def test_exogenous_tuples_shift_game(self, disjunctive):
+        # with d exogenous (always present), e1 and e2 split the credit
+        phi = shapley_of_tuples_boolean(
+            disjunctive, ["e1", "e2"], exogenous=["d"]
+        )
+        assert phi["e1"] == pytest.approx(0.5)
+        assert phi["e2"] == pytest.approx(0.5)
+
+    def test_irrelevant_tuple_gets_zero(self, disjunctive):
+        phi = shapley_of_tuples_boolean(
+            disjunctive, ["d", "e1", "e2", "zzz"]
+        )
+        assert phi["zzz"] == pytest.approx(0.0)
+
+    def test_sampled_mode_close(self, disjunctive):
+        phi = shapley_of_tuples_boolean(
+            disjunctive,
+            ["d", "e1", "e2"],
+            n_permutations=2000,
+            random_state=0,
+        )
+        assert phi["d"] == pytest.approx(2 / 3, abs=0.05)
+
+    def test_empty_endogenous_rejected(self, disjunctive):
+        with pytest.raises(ValidationError):
+            shapley_of_tuples_boolean(disjunctive, [])
+
+    def test_game_object(self, disjunctive):
+        game = BooleanQueryGame(disjunctive, ["d", "e1", "e2"])
+        assert game.value([0, 1]) == 1.0
+        assert game.value([1, 2]) == 0.0
+
+
+class TestNumericShapley:
+    @pytest.fixture()
+    def sales(self):
+        return Relation.from_dicts(
+            "sales",
+            [{"amount": 10.0}, {"amount": 20.0}, {"amount": 30.0}],
+        )
+
+    def test_sum_query_gives_amounts(self, sales):
+        phi = shapley_of_tuples(
+            sales, lambda rel: aggregate(rel, "sum", "amount")
+        )
+        assert phi["sales:0"] == pytest.approx(10.0)
+        assert phi["sales:1"] == pytest.approx(20.0)
+        assert phi["sales:2"] == pytest.approx(30.0)
+
+    def test_count_query_symmetric(self, sales):
+        phi = shapley_of_tuples(sales, lambda rel: aggregate(rel, "count"))
+        assert all(v == pytest.approx(1.0) for v in phi.values())
+
+    def test_max_query(self, sales):
+        phi = shapley_of_tuples(
+            sales, lambda rel: aggregate(rel, "max", "amount")
+        )
+        # the max tuple dominates; efficiency: values sum to max(D) - max(∅)=30
+        assert sum(phi.values()) == pytest.approx(30.0)
+        assert phi["sales:2"] == max(phi.values())
+
+    def test_endogenous_restriction(self, sales):
+        phi = shapley_of_tuples(
+            sales,
+            lambda rel: aggregate(rel, "sum", "amount"),
+            endogenous=["sales:0"],
+        )
+        assert list(phi) == ["sales:0"]
+        assert phi["sales:0"] == pytest.approx(10.0)
+
+
+class TestResponsibility:
+    def test_counterfactual_cause_responsibility_one(self, disjunctive):
+        assert responsibility(disjunctive, "d") == pytest.approx(1.0)
+
+    def test_contingent_cause_half(self, disjunctive):
+        assert responsibility(disjunctive, "e1") == pytest.approx(0.5)
+
+    def test_non_cause_zero(self, disjunctive):
+        assert responsibility(disjunctive, "zzz") == 0.0
+
+    def test_max_contingency_budget(self, disjunctive):
+        assert responsibility(disjunctive, "e1", max_contingency=0) == 0.0
+
+    def test_all_responsibilities_sorted(self, disjunctive):
+        scores = all_responsibilities(disjunctive)
+        values = list(scores.values())
+        assert values == sorted(values, reverse=True)
+        assert list(scores)[0] == "d"
+
+
+class TestWhyAndWhyNot:
+    def test_why_lists_minimal_witnesses(self, disjunctive):
+        assert why_provenance(disjunctive) == [["d", "e1"], ["d", "e2"]]
+
+    def test_why_not_reports_missing(self):
+        repairs = why_not_provenance(
+            [{"a", "b"}, {"a", "c"}], present={"a", "c"}
+        )
+        assert repairs == [["b"]]
+
+    def test_why_not_sorted_by_repair_size(self):
+        repairs = why_not_provenance(
+            [{"a", "b", "c"}, {"d"}], present=set()
+        )
+        assert repairs[0] == ["d"]
+
+
+class TestAggregateInterventions:
+    @pytest.fixture()
+    def sales(self):
+        return Relation.from_dicts(
+            "sales",
+            [{"region": "n", "amount": 10.0}, {"region": "n", "amount": 40.0},
+             {"region": "s", "amount": 20.0}],
+        )
+
+    def test_per_tuple_effects(self, sales):
+        effects = dict(
+            aggregate_interventions(
+                sales, lambda rel: aggregate(rel, "sum", "amount")
+            )
+        )
+        assert effects["sales:1"] == pytest.approx(40.0)
+
+    def test_group_effects(self, sales):
+        effects = dict(
+            aggregate_interventions(
+                sales,
+                lambda rel: aggregate(rel, "sum", "amount"),
+                groups={"north": ["sales:0", "sales:1"], "south": ["sales:2"]},
+            )
+        )
+        assert effects["north"] == pytest.approx(50.0)
+        assert effects["south"] == pytest.approx(20.0)
+
+    def test_sorted_by_magnitude_and_topk(self, sales):
+        effects = aggregate_interventions(
+            sales, lambda rel: aggregate(rel, "sum", "amount"), top_k=1
+        )
+        assert effects == [("sales:1", pytest.approx(40.0))]
+
+    def test_unknown_group_member(self, sales):
+        from xaidb.exceptions import ProvenanceError
+
+        with pytest.raises(ProvenanceError):
+            aggregate_interventions(
+                sales,
+                lambda rel: aggregate(rel, "count"),
+                groups={"bad": ["nope"]},
+            )

@@ -1,0 +1,191 @@
+import numpy as np
+import pytest
+
+from xaidb.evaluation import (
+    attribution_lipschitz,
+    coefficient_stability_index,
+    deletion_auc,
+    deletion_curve,
+    insertion_curve,
+    local_fidelity,
+    parameter_randomization_check,
+    rank_correlation,
+    variable_stability_index,
+)
+from xaidb.exceptions import ValidationError
+from xaidb.explainers import (
+    FeatureAttribution,
+    LimeExplainer,
+    predict_positive_proba,
+    saliency,
+)
+from xaidb.models import MLPClassifier
+
+
+class TestFaithfulness:
+    @pytest.fixture(scope="class")
+    def linear_setup(self):
+        weights = np.asarray([3.0, 1.0, 0.0])
+
+        def f(X):
+            return X @ weights
+
+        x = np.asarray([1.0, 1.0, 1.0])
+        baseline = np.zeros(3)
+        return f, x, baseline, weights
+
+    def test_deletion_curve_shape(self, linear_setup):
+        f, x, baseline, weights = linear_setup
+        curve = deletion_curve(f, x, weights, baseline)
+        assert curve.shape == (4,)
+        assert curve[0] == pytest.approx(4.0)  # f(x)
+        assert curve[-1] == pytest.approx(0.0)  # f(baseline)
+
+    def test_correct_attribution_drops_fastest(self, linear_setup):
+        f, x, baseline, weights = linear_setup
+        good = deletion_curve(f, x, weights, baseline)
+        bad = deletion_curve(f, x, weights[::-1], baseline)  # wrong order
+        assert deletion_auc(good) < deletion_auc(bad)
+
+    def test_insertion_mirror(self, linear_setup):
+        f, x, baseline, weights = linear_setup
+        curve = insertion_curve(f, x, weights, baseline)
+        assert curve[0] == pytest.approx(0.0)
+        assert curve[-1] == pytest.approx(4.0)
+
+    def test_auc_of_constant_curve(self):
+        assert deletion_auc(np.full(5, 2.0)) == pytest.approx(2.0)
+
+    def test_shape_mismatch(self, linear_setup):
+        f, x, baseline, weights = linear_setup
+        with pytest.raises(ValidationError):
+            deletion_curve(f, x, weights[:2], baseline)
+
+
+class TestFidelity:
+    def test_local_fidelity_of_model_with_itself(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        assert local_fidelity(
+            f, f, income.dataset.X[0], random_state=0
+        ) == pytest.approx(1.0)
+
+    def test_local_fidelity_of_constant_surrogate(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        constant = lambda X: np.full(X.shape[0], 0.5)
+        assert local_fidelity(
+            f, constant, income.dataset.X[0], random_state=0
+        ) <= 0.0 + 1e-9
+
+    def test_rank_correlation_extremes(self):
+        a = np.asarray([3.0, 2.0, 1.0])
+        assert rank_correlation(a, a) == pytest.approx(1.0)
+        assert rank_correlation(a, a[::-1]) == pytest.approx(-1.0)
+
+    def test_rank_correlation_uses_magnitudes(self):
+        a = np.asarray([3.0, -2.0, 1.0])
+        b = np.asarray([-3.0, 2.0, -1.0])
+        assert rank_correlation(a, b) == pytest.approx(1.0)
+
+
+class TestStability:
+    def _attribution(self, values):
+        return FeatureAttribution(
+            [f"f{i}" for i in range(len(values))], np.asarray(values, dtype=float)
+        )
+
+    def test_identical_runs_fully_stable(self):
+        runs = [self._attribution([1.0, 2.0, 3.0])] * 3
+        assert variable_stability_index(runs, top_k=2) == pytest.approx(1.0)
+        assert coefficient_stability_index(runs) == pytest.approx(1.0)
+
+    def test_disjoint_top_sets_unstable(self):
+        a = self._attribution([1.0, 0.0, 0.0, 0.0])
+        b = self._attribution([0.0, 0.0, 0.0, 1.0])
+        assert variable_stability_index([a, b], top_k=1) == pytest.approx(0.0)
+
+    def test_sign_flips_zero_csi_contribution(self):
+        a = self._attribution([1.0, 1.0])
+        b = self._attribution([-1.0, 1.0])
+        assert coefficient_stability_index([a, b]) == pytest.approx(0.5)
+
+    def test_needs_two_runs(self):
+        with pytest.raises(ValidationError):
+            variable_stability_index([self._attribution([1.0])])
+
+    def test_mismatched_features_rejected(self):
+        a = self._attribution([1.0])
+        b = FeatureAttribution(["other"], np.asarray([1.0]))
+        with pytest.raises(ValidationError):
+            coefficient_stability_index([a, b])
+
+    def test_lime_stability_improves_with_budget(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        x = income.dataset.X[0]
+
+        def csi(n_samples):
+            lime = LimeExplainer(income.dataset, n_samples=n_samples)
+            runs = [lime.explain(f, x, random_state=s) for s in range(4)]
+            return coefficient_stability_index(runs)
+
+        assert csi(1500) > csi(60)
+
+
+class TestRobustness:
+    def test_constant_attribution_zero_lipschitz(self):
+        fn = lambda x: np.ones(3)
+        value = attribution_lipschitz(
+            fn, np.zeros(3), radius=0.1, n_samples=10, random_state=0
+        )
+        assert value == pytest.approx(0.0)
+
+    def test_linear_attribution_bounded(self):
+        matrix = np.asarray([[2.0, 0.0], [0.0, 3.0]])
+        fn = lambda x: matrix @ x
+        value = attribution_lipschitz(
+            fn, np.zeros(2), radius=0.5, n_samples=50, random_state=1
+        )
+        assert value <= np.linalg.norm(matrix, 2) + 1e-6
+        assert value > 1.0
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValidationError):
+            attribution_lipschitz(lambda x: x, np.zeros(2), radius=0.0)
+
+
+class TestSanityChecks:
+    @pytest.fixture(scope="class")
+    def mlp(self, moons):
+        return MLPClassifier(hidden_sizes=(12,), max_iter=400, random_state=0).fit(
+            moons.X, moons.y
+        )
+
+    def test_saliency_changes_under_randomization(self, mlp, moons):
+        """Saliency passes the sanity check: correlation after parameter
+        randomisation must be far from 1."""
+
+        def attribution(model, x):
+            return saliency(model, x).values
+
+        corr = parameter_randomization_check(
+            mlp, attribution, moons.X[:12], random_state=0
+        )
+        assert corr < 0.8
+
+    def test_model_independent_attribution_fails_check(self, mlp, moons):
+        """An 'explanation' that ignores the model (|x| itself) survives
+        randomisation with correlation 1 — the failure mode the check
+        exists to expose."""
+
+        def edge_detector(model, x):
+            return np.abs(x)
+
+        corr = parameter_randomization_check(
+            mlp, edge_detector, moons.X[:12], random_state=0
+        )
+        assert corr == pytest.approx(1.0)
+
+    def test_requires_instances(self, mlp):
+        with pytest.raises(ValidationError):
+            parameter_randomization_check(
+                mlp, lambda m, x: x, np.empty((0, 2))
+            )

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from xaidb.data import Dataset, FeatureSpec
+from xaidb.evaluation import recourse_cost_disparity
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.counterfactual import LinearRecourse
+from xaidb.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def disparate_setup():
+    """A scorer with a direct group penalty: group b needs a larger skill
+    change to flip, so its recourse cost must come out higher."""
+    rng = np.random.default_rng(0)
+    n = 600
+    group = (rng.random(n) < 0.5).astype(float)
+    skill = rng.normal(size=n)
+    logits = 1.5 * skill - 1.2 * group + 0.2 * rng.normal(size=n)
+    y = (logits > 0).astype(float)
+    dataset = Dataset(
+        X=np.column_stack([skill, group]),
+        y=y,
+        features=[
+            FeatureSpec("skill"),
+            FeatureSpec(
+                "group",
+                kind="categorical",
+                categories=("a", "b"),
+                actionable=False,
+            ),
+        ],
+    )
+    model = LogisticRegression(l2=1e-2).fit(dataset.X, dataset.y)
+    return dataset, LinearRecourse(model, dataset)
+
+
+class TestRecourseCostDisparity:
+    def test_penalised_group_pays_more(self, disparate_setup):
+        dataset, recourse = disparate_setup
+        stats, ratio = recourse_cost_disparity(recourse, dataset, "group")
+        by_group = {s.group: s for s in stats}
+        assert by_group["b"].mean_cost > by_group["a"].mean_cost
+        assert ratio > 1.2
+
+    def test_counts_cover_denied_population(self, disparate_setup):
+        dataset, recourse = disparate_setup
+        stats, __ = recourse_cost_disparity(recourse, dataset, "group")
+        scores = recourse.model.predict_proba(dataset.X)[:, 1]
+        assert sum(s.n_denied for s in stats) == int((scores < 0.5).sum())
+
+    def test_feasibility_reported(self, disparate_setup):
+        dataset, recourse = disparate_setup
+        stats, __ = recourse_cost_disparity(recourse, dataset, "group")
+        for s in stats:
+            assert 0.0 <= s.infeasible_rate <= 1.0
+            assert s.n_feasible <= s.n_denied
+
+    def test_fair_model_has_ratio_near_one(self):
+        """No group term in the scorer: costs should be ~equal."""
+        rng = np.random.default_rng(1)
+        n = 600
+        group = (rng.random(n) < 0.5).astype(float)
+        skill = rng.normal(size=n)
+        y = (1.5 * skill + 0.2 * rng.normal(size=n) > 0).astype(float)
+        dataset = Dataset(
+            X=np.column_stack([skill, group]),
+            y=y,
+            features=[
+                FeatureSpec("skill"),
+                FeatureSpec(
+                    "group",
+                    kind="categorical",
+                    categories=("a", "b"),
+                    actionable=False,
+                ),
+            ],
+        )
+        model = LogisticRegression(l2=1e-2).fit(dataset.X, dataset.y)
+        recourse = LinearRecourse(model, dataset)
+        __, ratio = recourse_cost_disparity(recourse, dataset, "group")
+        assert ratio < 1.3
+
+    def test_numeric_group_feature_rejected(self, disparate_setup):
+        dataset, recourse = disparate_setup
+        with pytest.raises(ValidationError):
+            recourse_cost_disparity(recourse, dataset, "skill")

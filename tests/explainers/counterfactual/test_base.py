@@ -1,0 +1,130 @@
+import numpy as np
+import pytest
+
+from xaidb.explainers.counterfactual import (
+    ActionSpace,
+    Counterfactual,
+    CounterfactualSet,
+    mad_distance,
+)
+from xaidb.explainers.counterfactual.base import median_absolute_deviation
+from xaidb.exceptions import ValidationError
+
+
+class TestMadDistance:
+    def test_weighted_l1(self):
+        a = np.asarray([0.0, 0.0])
+        b = np.asarray([1.0, 2.0])
+        mad = np.asarray([1.0, 2.0])
+        assert mad_distance(a, b, mad) == pytest.approx(1.0 + 1.0)
+
+    def test_zero_mad_floored(self):
+        d = mad_distance(np.zeros(1), np.ones(1), np.zeros(1))
+        assert np.isfinite(d)
+
+    def test_median_absolute_deviation(self):
+        X = np.asarray([[1.0], [2.0], [3.0], [100.0]])
+        assert median_absolute_deviation(X)[0] == pytest.approx(1.0)
+
+
+class TestActionSpace:
+    @pytest.fixture()
+    def space(self, credit):
+        return ActionSpace.from_dataset(credit.dataset)
+
+    def test_actionable_excludes_age(self, space, credit):
+        age = credit.dataset.feature_index("age")
+        assert age not in space.actionable_indices()
+
+    def test_immutable_change_infeasible(self, space, credit):
+        x = credit.dataset.X[0]
+        candidate = x.copy()
+        candidate[credit.dataset.feature_index("age")] += 1.0
+        assert not space.is_feasible(x, candidate)
+
+    def test_monotone_down_violation(self, space, credit):
+        x = credit.dataset.X[0]
+        candidate = x.copy()
+        savings = credit.dataset.feature_index("savings")
+        candidate[savings] -= 1.0  # savings is monotone-up
+        assert not space.is_feasible(x, candidate)
+
+    def test_out_of_range_infeasible(self, space, credit):
+        x = credit.dataset.X[0]
+        candidate = x.copy()
+        duration = credit.dataset.feature_index("duration")
+        candidate[duration] = space.upper[duration] + 10.0
+        assert not space.is_feasible(x, candidate)
+
+    def test_categorical_snap(self, space, credit):
+        x = credit.dataset.X[0]
+        candidate = x.copy()
+        housing = credit.dataset.feature_index("housing")
+        candidate[housing] = 1.4
+        clipped = space.clip(x, candidate)
+        assert clipped[housing] in {0.0, 1.0, 2.0}
+
+    def test_clip_restores_feasibility(self, space, credit):
+        x = credit.dataset.X[0]
+        rng = np.random.default_rng(0)
+        wild = x + rng.normal(0, 10, size=x.shape)
+        assert space.is_feasible(x, space.clip(x, wild))
+
+    def test_identity_is_feasible(self, space, credit):
+        x = credit.dataset.X[0]
+        assert space.is_feasible(x, x.copy())
+
+
+class TestCounterfactualContainers:
+    def _cf(self, score_from, score_to, original=None, counterfactual=None):
+        original = np.asarray([0.0, 0.0]) if original is None else original
+        counterfactual = (
+            np.asarray([1.0, 0.0]) if counterfactual is None else counterfactual
+        )
+        return Counterfactual(
+            original=original,
+            counterfactual=counterfactual,
+            feature_names=["a", "b"],
+            original_score=score_from,
+            counterfactual_score=score_to,
+            distance=1.0,
+        )
+
+    def test_valid_flag(self):
+        assert self._cf(0.2, 0.7).valid
+        assert not self._cf(0.2, 0.4).valid
+        assert self._cf(0.9, 0.3).valid
+
+    def test_sparsity_counts_changes(self):
+        cf = self._cf(0.2, 0.7)
+        assert cf.sparsity == 1
+
+    def test_changes_mapping(self):
+        cf = self._cf(0.2, 0.7)
+        assert cf.changes() == {"a": (0.0, 1.0)}
+
+    def test_set_metrics(self):
+        mad = np.ones(2)
+        cfs = CounterfactualSet(
+            [self._cf(0.2, 0.7), self._cf(0.2, 0.4)], mad=mad
+        )
+        assert cfs.validity() == pytest.approx(0.5)
+        assert cfs.proximity() == pytest.approx(1.0)
+        assert cfs.sparsity() == pytest.approx(1.0)
+        assert len(cfs) == 2
+
+    def test_diversity_zero_for_single(self):
+        cfs = CounterfactualSet([self._cf(0.2, 0.7)], mad=np.ones(2))
+        assert cfs.diversity() == 0.0
+
+    def test_diversity_positive_for_distinct(self):
+        a = self._cf(0.2, 0.7, counterfactual=np.asarray([1.0, 0.0]))
+        b = self._cf(0.2, 0.7, counterfactual=np.asarray([0.0, 1.0]))
+        cfs = CounterfactualSet([a, b], mad=np.ones(2))
+        assert cfs.diversity() == pytest.approx(2.0)
+
+    def test_empty_set_metrics(self):
+        cfs = CounterfactualSet([], mad=np.ones(2))
+        assert cfs.validity() == 0.0
+        with pytest.raises(ValidationError):
+            cfs.proximity()

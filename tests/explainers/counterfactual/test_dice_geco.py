@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import InfeasibleError
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.counterfactual import DiceExplainer, GecoExplainer
+from xaidb.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def credit_model(credit):
+    return LogisticRegression(l2=1e-2).fit(credit.dataset.X, credit.dataset.y)
+
+
+@pytest.fixture(scope="module")
+def denied_instance(credit, credit_model):
+    f = predict_positive_proba(credit_model)
+    scores = f(credit.dataset.X)
+    # a clearly denied but not hopeless instance
+    candidates = np.flatnonzero((scores > 0.05) & (scores < 0.3))
+    return credit.dataset.X[candidates[0]]
+
+
+class TestDice:
+    def test_counterfactuals_flip_decision(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        dice = DiceExplainer(f, credit.dataset, n_iterations=300)
+        cfs = dice.generate(denied_instance, n_counterfactuals=3, random_state=0)
+        assert cfs.validity() == 1.0
+
+    def test_immutables_never_changed(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        dice = DiceExplainer(f, credit.dataset, n_iterations=200)
+        cfs = dice.generate(denied_instance, n_counterfactuals=3, random_state=1)
+        age = credit.dataset.feature_index("age")
+        for cf in cfs:
+            assert cf.counterfactual[age] == pytest.approx(denied_instance[age])
+
+    def test_monotone_respected(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        dice = DiceExplainer(f, credit.dataset, n_iterations=200)
+        cfs = dice.generate(denied_instance, n_counterfactuals=3, random_state=2)
+        savings = credit.dataset.feature_index("savings")
+        for cf in cfs:
+            assert cf.counterfactual[savings] >= denied_instance[savings] - 1e-9
+
+    def test_requested_count_returned(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        dice = DiceExplainer(f, credit.dataset, n_iterations=100)
+        cfs = dice.generate(denied_instance, n_counterfactuals=5, random_state=3)
+        assert len(cfs) == 5
+
+    def test_deterministic(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        dice = DiceExplainer(f, credit.dataset, n_iterations=100)
+        a = dice.generate(denied_instance, n_counterfactuals=2, random_state=4)
+        b = dice.generate(denied_instance, n_counterfactuals=2, random_state=4)
+        assert np.allclose(a[0].counterfactual, b[0].counterfactual)
+
+    def test_diversity_weight_increases_diversity(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        low = DiceExplainer(
+            f, credit.dataset, n_iterations=300, diversity_weight=0.0
+        ).generate(denied_instance, n_counterfactuals=4, random_state=5)
+        high = DiceExplainer(
+            f, credit.dataset, n_iterations=300, diversity_weight=3.0
+        ).generate(denied_instance, n_counterfactuals=4, random_state=5)
+        assert high.diversity() >= low.diversity() - 1e-9
+
+    def test_target_class_zero(self, credit, credit_model):
+        f = predict_positive_proba(credit_model)
+        scores = f(credit.dataset.X)
+        approved = credit.dataset.X[int(np.argmax(scores))]
+        dice = DiceExplainer(f, credit.dataset, n_iterations=300)
+        cfs = dice.generate(approved, n_counterfactuals=2, random_state=6)
+        assert cfs.validity() > 0.0  # flipped down to denial
+
+
+class TestGeco:
+    def test_finds_valid_sparse_counterfactuals(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        geco = GecoExplainer(f, credit.dataset, n_generations=20)
+        cfs = geco.generate(denied_instance, n_counterfactuals=3, random_state=0)
+        assert cfs.validity() == 1.0
+        assert cfs.sparsity() <= 3.5
+
+    def test_feasibility_constraints_respected(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        geco = GecoExplainer(f, credit.dataset, n_generations=15)
+        cfs = geco.generate(denied_instance, n_counterfactuals=3, random_state=1)
+        age = credit.dataset.feature_index("age")
+        savings = credit.dataset.feature_index("savings")
+        for cf in cfs:
+            assert cf.counterfactual[age] == pytest.approx(denied_instance[age])
+            assert cf.counterfactual[savings] >= denied_instance[savings] - 1e-9
+
+    def test_plausibility_check(self, credit, credit_model):
+        f = predict_positive_proba(credit_model)
+        geco = GecoExplainer(f, credit.dataset, n_generations=5)
+        on_manifold = credit.dataset.X[10]
+        off_manifold = credit.dataset.X.max(axis=0) * 5.0
+        assert geco.is_plausible(on_manifold)
+        assert not geco.is_plausible(off_manifold)
+
+    def test_plausibility_disabled(self, credit, credit_model):
+        f = predict_positive_proba(credit_model)
+        geco = GecoExplainer(
+            f, credit.dataset, n_generations=5, require_plausible=False
+        )
+        assert geco.is_plausible(credit.dataset.X.max(axis=0) * 5.0)
+
+    def test_counterfactuals_are_plausible(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        geco = GecoExplainer(f, credit.dataset, n_generations=20)
+        cfs = geco.generate(denied_instance, n_counterfactuals=3, random_state=2)
+        for cf in cfs:
+            assert geco.is_plausible(cf.counterfactual)
+
+    def test_infeasible_raises(self, credit):
+        """A constant model can never flip: GeCo must say so."""
+        constant = lambda X: np.full(X.shape[0], 0.1)
+        geco = GecoExplainer(constant, credit.dataset, n_generations=3)
+        with pytest.raises(InfeasibleError):
+            geco.generate(credit.dataset.X[0], random_state=3)
+
+    def test_deterministic(self, credit, credit_model, denied_instance):
+        f = predict_positive_proba(credit_model)
+        geco = GecoExplainer(f, credit.dataset, n_generations=10)
+        a = geco.generate(denied_instance, n_counterfactuals=1, random_state=4)
+        b = geco.generate(denied_instance, n_counterfactuals=1, random_state=4)
+        assert np.allclose(a[0].counterfactual, b[0].counterfactual)

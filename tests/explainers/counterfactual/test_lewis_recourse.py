@@ -1,0 +1,171 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import InfeasibleError, ValidationError
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.counterfactual import LewisExplainer, LinearRecourse
+from xaidb.models import LogisticRegression
+
+
+@pytest.fixture(scope="module")
+def loans_model(loans):
+    return LogisticRegression(l2=1e-2).fit(loans.dataset.X, loans.dataset.y)
+
+
+@pytest.fixture(scope="module")
+def lewis(loans, loans_model):
+    return LewisExplainer(
+        predict_positive_proba(loans_model),
+        loans.scm,
+        [spec.name for spec in loans.dataset.features],
+        n_units=800,
+    )
+
+
+class TestLewisScores:
+    def test_scores_in_unit_interval(self, lewis):
+        s = lewis.scores("credit_score", 1.5, -1.5, random_state=0)
+        for value in (s.necessity, s.sufficiency, s.pns):
+            assert 0.0 <= value <= 1.0
+
+    def test_strong_cause_scores_high(self, lewis):
+        s = lewis.scores("credit_score", 1.5, -1.5, random_state=0)
+        assert s.necessity > 0.5
+        assert s.sufficiency > 0.5
+        assert s.pns > 0.4
+
+    def test_stronger_feature_scores_higher_pns(self, lewis):
+        strong = lewis.scores("credit_score", 1.5, -1.5, random_state=0)
+        weak = lewis.scores("employment_years", 1.5, -1.5, random_state=0)
+        assert strong.pns > weak.pns
+
+    def test_deterministic_given_seed(self, lewis):
+        a = lewis.scores("income", 1.0, -1.0, random_state=5)
+        b = lewis.scores("income", 1.0, -1.0, random_state=5)
+        assert a.necessity == b.necessity
+        assert a.pns == b.pns
+
+    def test_unknown_feature_rejected(self, lewis):
+        with pytest.raises(ValidationError):
+            lewis.scores("zzz", 1.0, 0.0)
+
+    def test_zero_tolerance_rejected(self, lewis):
+        with pytest.raises(ValidationError):
+            lewis.scores("income", 1.0, 1.0)
+
+    def test_explanation_table(self, lewis):
+        table = lewis.explanation_table(
+            [("credit_score", 1.5, -1.5), ("income", 1.5, -1.5)],
+            random_state=1,
+        )
+        assert len(table) == 2
+        assert table[0].feature == "credit_score"
+
+
+class TestLewisRecourse:
+    def test_recourse_ranks_flipping_interventions_first(self, loans, lewis):
+        # a denied unit: strongly negative features
+        observation = {
+            "income": -1.0,
+            "credit_score": -2.0,
+            "debt_to_income": 1.0,
+            "employment_years": -1.0,
+            "approved": 0.0,
+        }
+        candidates = [
+            {"credit_score": 2.0},
+            {"employment_years": -2.0},  # makes things worse
+        ]
+        ranked = lewis.recourse(observation, candidates)
+        assert ranked[0][0] == {"credit_score": 2.0}
+        assert ranked[0][1] == 1.0
+        assert ranked[-1][1] == 0.0
+
+    def test_recourse_requires_full_observation(self, lewis):
+        with pytest.raises(ValidationError):
+            lewis.recourse({"income": 0.0}, [{"credit_score": 1.0}])
+
+    def test_recourse_requires_candidates(self, lewis, loans):
+        observation = {node: 0.0 for node in loans.scm.graph.nodes}
+        with pytest.raises(ValidationError):
+            lewis.recourse(observation, [])
+
+
+class TestLinearRecourse:
+    @pytest.fixture(scope="class")
+    def recourse(self, credit, credit_logistic):
+        return LinearRecourse(credit_logistic, credit.dataset)
+
+    @pytest.fixture(scope="class")
+    def credit_logistic(self, credit):
+        return LogisticRegression(l2=1e-2).fit(credit.dataset.X, credit.dataset.y)
+
+    def test_flips_denied_instance(self, credit, credit_logistic, recourse):
+        scores = credit_logistic.predict_proba(credit.dataset.X)[:, 1]
+        denied = credit.dataset.X[int(np.argmin(scores))]
+        action = recourse.find(denied)
+        assert action.flipped
+        assert action.new_margin >= 0
+
+    def test_no_action_needed_for_approved(self, credit, credit_logistic, recourse):
+        scores = credit_logistic.predict_proba(credit.dataset.X)[:, 1]
+        approved = credit.dataset.X[int(np.argmax(scores))]
+        action = recourse.find(approved)
+        assert action.changes == {}
+        assert action.cost == 0.0
+
+    def test_immutables_untouched(self, credit, credit_logistic, recourse):
+        scores = credit_logistic.predict_proba(credit.dataset.X)[:, 1]
+        denied = credit.dataset.X[int(np.argmin(scores))]
+        action = recourse.find(denied)
+        assert "age" not in action.changes
+
+    def test_monotone_directions_respected(self, credit, credit_logistic, recourse):
+        scores = credit_logistic.predict_proba(credit.dataset.X)[:, 1]
+        denied = credit.dataset.X[int(np.argmin(scores))]
+        action = recourse.find(denied)
+        if "savings" in action.deltas:
+            assert action.deltas["savings"] >= 0
+
+    def test_greedy_cost_optimality_on_synthetic(self, credit):
+        """With one dominant efficient feature, the optimal action uses it
+        alone; the greedy fill must find exactly that."""
+        from xaidb.data import Dataset, FeatureSpec
+
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        w = np.asarray([4.0, 0.5])
+        y = (X @ w + rng.normal(scale=0.1, size=200) > 0).astype(float)
+        ds = Dataset(X=X, y=y, features=[FeatureSpec("big"), FeatureSpec("small")])
+        model = LogisticRegression(l2=1e-2).fit(X, y)
+        recourse = LinearRecourse(model, ds, costs=np.asarray([1.0, 1.0]))
+        denied = X[np.argmin(model.predict_proba(X)[:, 1])]
+        action = recourse.find(denied)
+        assert action.flipped
+        assert list(action.changes) == ["big"]
+
+    def test_infeasible_when_everything_immutable(self, credit):
+        from xaidb.data import Dataset, FeatureSpec
+
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = (X[:, 0] > 0).astype(float)
+        ds = Dataset(
+            X=X,
+            y=y,
+            features=[
+                FeatureSpec("a", actionable=False),
+                FeatureSpec("b", actionable=False),
+            ],
+        )
+        model = LogisticRegression(l2=1e-2).fit(X, y)
+        recourse = LinearRecourse(model, ds)
+        denied = X[np.argmin(model.predict_proba(X)[:, 1])]
+        with pytest.raises(InfeasibleError):
+            recourse.find(denied)
+
+    def test_rejects_nonpositive_costs(self, credit, credit_logistic):
+        with pytest.raises(ValidationError):
+            LinearRecourse(
+                credit_logistic, credit.dataset, costs=np.zeros(6)
+            )

@@ -1,0 +1,125 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers import predict_positive_proba
+from xaidb.explainers.shapley import (
+    KernelShapExplainer,
+    PermutationShapleyExplainer,
+    exact_shapley_values,
+    permutation_shapley_values,
+)
+from xaidb.explainers.shapley.games import CachedGame, FunctionGame
+
+
+def glove_game():
+    return FunctionGame(
+        3, lambda s: 1.0 if 0 in s and (1 in s or 2 in s) else 0.0
+    )
+
+
+class TestPermutationSampling:
+    def test_converges_to_exact(self):
+        game = CachedGame(glove_game())
+        phi, __ = permutation_shapley_values(game, 4000, random_state=0)
+        assert np.allclose(phi, [2 / 3, 1 / 6, 1 / 6], atol=0.02)
+
+    def test_efficiency_holds_per_sample(self):
+        """Every permutation's marginals telescope, so efficiency is exact
+        regardless of the number of samples."""
+        game = CachedGame(glove_game())
+        phi, __ = permutation_shapley_values(game, 3, random_state=1)
+        assert phi.sum() == pytest.approx(
+            game.grand_value() - game.empty_value()
+        )
+
+    def test_antithetic_reduces_variance(self):
+        game = FunctionGame(6, lambda s: float(len(s)) ** 2)
+
+        def spread(antithetic):
+            estimates = [
+                permutation_shapley_values(
+                    CachedGame(game),
+                    20,
+                    antithetic=antithetic,
+                    random_state=seed,
+                )[0]
+                for seed in range(15)
+            ]
+            return float(np.vstack(estimates).std(axis=0).mean())
+
+        assert spread(True) <= spread(False) + 1e-9
+
+    def test_standard_errors_shrink(self):
+        game = CachedGame(glove_game())
+        __, few = permutation_shapley_values(game, 20, random_state=2)
+        __, many = permutation_shapley_values(game, 2000, random_state=2)
+        assert many.mean() < few.mean()
+
+    def test_rejects_zero_permutations(self):
+        with pytest.raises(ValidationError):
+            permutation_shapley_values(glove_game(), 0)
+
+    def test_explainer_reports_errors(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        explainer = PermutationShapleyExplainer(
+            f, income.dataset.X[:10], n_permutations=20
+        )
+        att = explainer.explain(income.dataset.X[0], random_state=0)
+        assert len(att.metadata["standard_errors"]) == income.dataset.n_features
+
+
+class TestKernelShap:
+    def test_exhaustive_matches_exact(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        background = income.dataset.X[:15]
+        x = income.dataset.X[4]
+        from xaidb.explainers.shapley import ExactShapleyExplainer
+
+        exact = ExactShapleyExplainer(f, background).explain(x)
+        kernel = KernelShapExplainer(f, background).explain(x, random_state=0)
+        assert np.allclose(exact.values, kernel.values, atol=1e-8)
+        assert kernel.metadata["exhaustive"]
+
+    def test_sampled_mode_close_to_exact(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        background = income.dataset.X[:10]
+        x = income.dataset.X[4]
+        from xaidb.explainers.shapley import ExactShapleyExplainer
+
+        exact = ExactShapleyExplainer(f, background).explain(x)
+        kernel = KernelShapExplainer(f, background, n_coalitions=60).explain(
+            x, random_state=1
+        )
+        assert not kernel.metadata["exhaustive"]
+        assert np.allclose(exact.values, kernel.values, atol=0.05)
+
+    def test_efficiency_exact_even_when_sampled(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        kernel = KernelShapExplainer(
+            f, income.dataset.X[:10], n_coalitions=40
+        ).explain(income.dataset.X[0], random_state=2)
+        assert kernel.additive_check(atol=1e-10)
+
+    def test_symmetric_features_get_equal_values(self):
+        """f = x0 + x1 with identical background columns: phi0 == phi1."""
+
+        def f(X):
+            return X[:, 0] + X[:, 1]
+
+        background = np.zeros((5, 3))
+        x = np.asarray([2.0, 2.0, 9.0])
+        kernel = KernelShapExplainer(f, background).explain(x)
+        assert kernel.values[0] == pytest.approx(kernel.values[1], abs=1e-8)
+        assert kernel.values[2] == pytest.approx(0.0, abs=1e-8)
+
+    def test_needs_two_features(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        explainer = KernelShapExplainer(f, np.zeros((3, 1)))
+        with pytest.raises(ValidationError):
+            explainer.explain(np.zeros(1))
+
+    def test_rejects_tiny_budget(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        with pytest.raises(ValidationError):
+            KernelShapExplainer(f, income.dataset.X[:5], n_coalitions=2)

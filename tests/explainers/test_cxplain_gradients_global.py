@@ -1,0 +1,220 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError, ValidationError
+from xaidb.explainers import (
+    CXPlainExplainer,
+    granger_importance_targets,
+    integrated_gradients,
+    predict_positive_proba,
+    smoothgrad,
+)
+from xaidb.explainers.shapley import (
+    KernelShapExplainer,
+    global_shap_importance,
+    shap_matrix,
+    shap_summary,
+    supervised_clustering,
+)
+from xaidb.models import MLPClassifier
+
+
+class TestGrangerTargets:
+    def test_normalised_per_row(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        targets = granger_importance_targets(
+            f, income.dataset.X[:30], income.dataset.X.mean(axis=0)
+        )
+        assert np.allclose(targets.sum(axis=1), 1.0)
+        assert np.all(targets >= 0)
+
+    def test_dummy_feature_low_importance(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        targets = granger_importance_targets(
+            f, income.dataset.X[:50], income.dataset.X.mean(axis=0)
+        )
+        dummy = income.dataset.feature_index("random_noise")
+        strongest = targets.mean(axis=0).max()
+        assert targets[:, dummy].mean() < 0.5 * strongest
+
+    def test_constant_model_gives_uniform(self, income):
+        constant = lambda X: np.full(X.shape[0], 0.5)
+        targets = granger_importance_targets(
+            constant, income.dataset.X[:10], income.dataset.X.mean(axis=0)
+        )
+        assert np.allclose(targets, 1.0 / income.dataset.n_features)
+
+
+class TestCXPlain:
+    @pytest.fixture(scope="class")
+    def fitted(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        return CXPlainExplainer(
+            f, feature_names=income.dataset.feature_names, ensemble_size=4
+        ).fit(income.dataset.X[:200], random_state=0)
+
+    def test_explains_in_one_pass(self, fitted, income):
+        attribution = fitted.explain(income.dataset.X[0])
+        assert len(attribution.values) == income.dataset.n_features
+        assert attribution.values.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_agrees_with_direct_targets(self, fitted, income, income_logistic):
+        """On a training point, the learned explainer should be close to
+        the directly computed masking importances."""
+        f = predict_positive_proba(income_logistic)
+        x = income.dataset.X[0]
+        direct = granger_importance_targets(
+            f, x[None, :], income.dataset.X[:200].mean(axis=0)
+        )[0]
+        learned = fitted.explain(x).values
+        assert np.corrcoef(direct, learned)[0, 1] > 0.8
+
+    def test_uncertainty_reported(self, fitted, income):
+        attribution = fitted.explain(income.dataset.X[3])
+        uncertainty = np.asarray(attribution.metadata["uncertainty"])
+        assert uncertainty.shape == attribution.values.shape
+        assert np.all(uncertainty >= 0)
+
+    def test_single_member_has_zero_uncertainty(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        explainer = CXPlainExplainer(f, ensemble_size=1).fit(
+            income.dataset.X[:60], random_state=1
+        )
+        attribution = explainer.explain(income.dataset.X[0])
+        assert np.allclose(attribution.metadata["uncertainty"], 0.0)
+
+    def test_unfitted_raises(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        with pytest.raises(NotFittedError):
+            CXPlainExplainer(f).explain(income.dataset.X[0])
+
+
+class TestIntegratedGradients:
+    @pytest.fixture(scope="class")
+    def mlp(self, moons):
+        return MLPClassifier(hidden_sizes=(12,), max_iter=400, random_state=0).fit(
+            moons.X, moons.y
+        )
+
+    def test_completeness(self, mlp, moons):
+        baseline = moons.X.mean(axis=0)
+        attribution = integrated_gradients(
+            mlp, moons.X[0], baseline=baseline, n_steps=200
+        )
+        assert attribution.values.sum() == pytest.approx(
+            attribution.prediction - attribution.base_value, abs=1e-3
+        )
+
+    def test_more_steps_tighter_completeness(self, mlp, moons):
+        baseline = moons.X.mean(axis=0)
+
+        def gap(n_steps):
+            attribution = integrated_gradients(
+                mlp, moons.X[1], baseline=baseline, n_steps=n_steps
+            )
+            return abs(
+                attribution.values.sum()
+                - (attribution.prediction - attribution.base_value)
+            )
+
+        assert gap(400) <= gap(4) + 1e-12
+
+    def test_zero_displacement_zero_attribution(self, mlp, moons):
+        x = moons.X[0]
+        attribution = integrated_gradients(mlp, x, baseline=x.copy())
+        assert np.allclose(attribution.values, 0.0)
+
+    def test_step_validation(self, mlp, moons):
+        with pytest.raises(ValidationError):
+            integrated_gradients(mlp, moons.X[0], n_steps=1)
+
+
+class TestSmoothgrad:
+    @pytest.fixture(scope="class")
+    def mlp(self, moons):
+        return MLPClassifier(hidden_sizes=(12,), max_iter=400, random_state=0).fit(
+            moons.X, moons.y
+        )
+
+    def test_nonnegative_and_deterministic(self, mlp, moons):
+        a = smoothgrad(mlp, moons.X[0], random_state=5)
+        b = smoothgrad(mlp, moons.X[0], random_state=5)
+        assert np.all(a.values >= 0)
+        assert np.allclose(a.values, b.values)
+
+    def test_less_fragile_than_raw_saliency(self, mlp, moons):
+        """SmoothGrad's purpose: attributions vary less across tiny input
+        perturbations than raw saliency does."""
+        from xaidb.evaluation import attribution_lipschitz
+        from xaidb.explainers import saliency
+
+        x = moons.X[5]
+        raw = attribution_lipschitz(
+            lambda z: saliency(mlp, z).values, x,
+            radius=0.05, n_samples=15, random_state=0,
+        )
+        smooth = attribution_lipschitz(
+            lambda z: smoothgrad(mlp, z, n_samples=30, random_state=1).values,
+            x, radius=0.05, n_samples=15, random_state=0,
+        )
+        assert smooth <= raw + 1e-9
+
+
+class TestGlobalSummaries:
+    @pytest.fixture(scope="class")
+    def matrix(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        explainer = KernelShapExplainer(
+            f, income.dataset.X[:12], feature_names=income.dataset.feature_names
+        )
+        return shap_matrix(
+            lambda x: explainer.explain(x, random_state=0),
+            income.dataset.X[:15],
+        )
+
+    def test_matrix_shape(self, matrix, income):
+        assert matrix.shape == (15, income.dataset.n_features)
+
+    def test_global_importance_top_matches_model(self, matrix, income, income_logistic):
+        """Mean |SHAP| of a linear-ish model tracks |coefficient| x feature
+        spread, so the global top feature must be the model's top by that
+        product (not by raw coefficient)."""
+        importance = global_shap_importance(matrix, income.dataset.feature_names)
+        top = importance.top(1)[0][0]
+        effect = np.abs(income_logistic.coef_) * income.dataset.X.std(axis=0)
+        model_top = income.dataset.feature_names[int(np.argmax(effect))]
+        assert top == model_top
+        # and the known dummy feature must rank at the bottom half
+        ranked = [name for name, __ in importance.ranked()]
+        assert ranked.index("random_noise") >= len(ranked) // 2
+
+    def test_summary_direction_matches_coefficient_sign(self, matrix, income, income_logistic):
+        rows = shap_summary(matrix, income.dataset.X[:15], income.dataset.feature_names)
+        by_name = {row["feature"]: row for row in rows}
+        for j, name in enumerate(income.dataset.feature_names):
+            coefficient = income_logistic.coef_[j]
+            direction = by_name[name]["value_direction"]
+            if abs(coefficient) > 0.3:  # skip weak/noisy features
+                assert np.sign(direction) == np.sign(coefficient)
+
+    def test_summary_sorted_by_importance(self, matrix, income):
+        rows = shap_summary(matrix, income.dataset.X[:15], income.dataset.feature_names)
+        values = [row["mean_abs_shap"] for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_supervised_clustering_partitions(self, matrix):
+        labels, medoids = supervised_clustering(matrix, 3, random_state=0)
+        assert labels.shape == (15,)
+        assert set(labels.tolist()) <= {0, 1, 2}
+        assert len(medoids) == 3
+
+    def test_clustering_deterministic(self, matrix):
+        a, __ = supervised_clustering(matrix, 2, random_state=7)
+        b, __ = supervised_clustering(matrix, 2, random_state=7)
+        assert np.array_equal(a, b)
+
+    def test_cluster_count_validated(self, matrix):
+        with pytest.raises(ValidationError):
+            supervised_clustering(matrix, 0)
+        with pytest.raises(ValidationError):
+            supervised_clustering(matrix, 999)

@@ -1,0 +1,129 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers import (
+    ice_curves,
+    partial_dependence,
+    permutation_importance,
+    predict_positive_proba,
+)
+from xaidb.models import accuracy, roc_auc
+
+
+def linear_fn(weights):
+    weights = np.asarray(weights, dtype=float)
+    return lambda X: X @ weights
+
+
+class TestPartialDependence:
+    def test_linear_model_gives_linear_pdp(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 3))
+        f = linear_fn([2.0, -1.0, 0.0])
+        grid, values = partial_dependence(f, X, feature=0, n_grid=10)
+        slopes = np.diff(values) / np.diff(grid)
+        assert np.allclose(slopes, 2.0, atol=1e-8)
+
+    def test_unused_feature_gives_flat_pdp(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 3))
+        f = linear_fn([2.0, -1.0, 0.0])
+        __, values = partial_dependence(f, X, feature=2, n_grid=8)
+        assert np.allclose(values, values[0])
+
+    def test_custom_grid(self):
+        X = np.random.default_rng(2).normal(size=(50, 2))
+        f = linear_fn([1.0, 0.0])
+        grid = np.asarray([-1.0, 0.0, 1.0])
+        out_grid, values = partial_dependence(f, X, feature=0, grid=grid)
+        assert np.array_equal(out_grid, grid)
+        assert len(values) == 3
+
+    def test_grid_stays_on_support(self):
+        X = np.random.default_rng(3).uniform(5, 9, size=(100, 1))
+        f = linear_fn([1.0])
+        grid, __ = partial_dependence(f, X, feature=0, n_grid=5)
+        assert grid.min() >= 5.0
+        assert grid.max() <= 9.0
+
+    def test_feature_bounds(self):
+        X = np.ones((5, 2))
+        with pytest.raises(ValidationError):
+            partial_dependence(lambda Z: Z[:, 0], X, feature=5)
+
+
+class TestIceCurves:
+    def test_pdp_is_mean_of_ice(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        X = income.dataset.X[:40]
+        grid_pd, pd_values = partial_dependence(f, X, feature=1, n_grid=6)
+        grid_ice, curves = ice_curves(f, X, feature=1, n_grid=6)
+        assert np.array_equal(grid_pd, grid_ice)
+        assert np.allclose(curves.mean(axis=0), pd_values, atol=1e-10)
+
+    def test_centering_starts_at_zero(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        __, curves = ice_curves(
+            f, income.dataset.X[:10], feature=0, n_grid=5, center=True
+        )
+        assert np.allclose(curves[:, 0], 0.0)
+
+    def test_heterogeneity_detected_for_interaction(self):
+        """f = x0 * x1: ICE slopes in x0 depend on x1 even though the PDP
+        is flat (when x1 is centred) — the classic ICE use case."""
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(200, 2))
+
+        def f(Z):
+            return Z[:, 0] * Z[:, 1]
+
+        grid, curves = ice_curves(f, X, feature=0, n_grid=5)
+        __, pd_values = partial_dependence(f, X, feature=0, n_grid=5)
+        pd_range = pd_values.max() - pd_values.min()
+        per_curve_range = (curves.max(axis=1) - curves.min(axis=1)).mean()
+        assert per_curve_range > 5 * max(pd_range, 1e-9)
+
+
+class TestPermutationImportance:
+    def test_important_features_ranked_first(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        importance = permutation_importance(
+            f,
+            income.dataset.X,
+            income.dataset.y,
+            roc_auc,
+            n_repeats=3,
+            feature_names=income.dataset.feature_names,
+            random_state=0,
+        )
+        ranked = [name for name, __ in importance.ranked()]
+        assert "random_noise" in ranked[-4:]
+        assert ranked[0] in ("education", "occupation", "hours")
+
+    def test_unused_feature_near_zero(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(300, 2))
+        y = (X[:, 0] > 0).astype(float)
+        f = lambda Z: (Z[:, 0] > 0).astype(float)
+        importance = permutation_importance(
+            f, X, y, accuracy, n_repeats=3, random_state=1
+        )
+        assert importance.values[1] == pytest.approx(0.0, abs=0.02)
+        assert importance.values[0] > 0.3
+
+    def test_baseline_recorded(self):
+        X = np.random.default_rng(6).normal(size=(50, 1))
+        y = (X[:, 0] > 0).astype(float)
+        f = lambda Z: (Z[:, 0] > 0).astype(float)
+        importance = permutation_importance(
+            f, X, y, accuracy, random_state=2
+        )
+        assert importance.base_value == pytest.approx(1.0)
+
+    def test_repeat_validation(self):
+        with pytest.raises(ValidationError):
+            permutation_importance(
+                lambda Z: Z[:, 0], np.ones((4, 1)), np.ones(4), accuracy,
+                n_repeats=0,
+            )

@@ -1,0 +1,197 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers import (
+    BagOfWordsClassifier,
+    GlobalSurrogate,
+    LimeTextExplainer,
+    LinearModelTreeSurrogate,
+    gradient_times_input,
+    predict_positive_proba,
+    saliency,
+    surrogate_fidelity,
+    tokenize,
+)
+from xaidb.models import MLPClassifier
+
+
+class TestSurrogateFidelity:
+    def test_perfect_fidelity_on_self(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        assert surrogate_fidelity(f, f, income.dataset.X) == pytest.approx(1.0)
+
+    def test_agreement_kind(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        flipped = lambda X: 1.0 - f(X)
+        assert surrogate_fidelity(
+            f, flipped, income.dataset.X, kind="agreement"
+        ) < 0.2
+
+    def test_unknown_kind(self, income, income_logistic):
+        f = predict_positive_proba(income_logistic)
+        with pytest.raises(ValidationError):
+            surrogate_fidelity(f, f, income.dataset.X, kind="mse")
+
+
+class TestGlobalSurrogate:
+    def test_tree_surrogate_fidelity_reported(self, income, income_forest):
+        f = predict_positive_proba(income_forest)
+        surrogate = GlobalSurrogate(kind="tree", max_depth=4).fit(
+            f, income.dataset.X
+        )
+        assert 0.0 < surrogate.fidelity_ <= 1.0
+
+    def test_linear_surrogate_on_linear_model_is_faithful(self, income, income_logistic):
+        f = lambda X: income_logistic.decision_function(X)
+        surrogate = GlobalSurrogate(kind="linear").fit(f, income.dataset.X)
+        assert surrogate.fidelity_ > 0.999
+
+    def test_explanation_modes(self, income, income_forest):
+        f = predict_positive_proba(income_forest)
+        tree_exp = (
+            GlobalSurrogate(kind="tree", max_depth=3)
+            .fit(f, income.dataset.X)
+            .explanation(income.dataset.feature_names)
+        )
+        assert tree_exp.values.sum() == pytest.approx(1.0)  # usage fractions
+        linear_exp = (
+            GlobalSurrogate(kind="linear")
+            .fit(f, income.dataset.X)
+            .explanation(income.dataset.feature_names)
+        )
+        assert len(linear_exp.values) == income.dataset.n_features
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValidationError):
+            GlobalSurrogate(kind="spline")
+
+
+class TestLinearModelTree:
+    def test_beats_single_line_on_nonlinear_model(self, income, income_gbm):
+        f = predict_positive_proba(income_gbm)
+        lmt = LinearModelTreeSurrogate(max_depth=2, min_samples_leaf=40).fit(
+            f, income.dataset
+        )
+        lmt_fid = surrogate_fidelity(f, lmt.predict, income.dataset.X)
+        line = GlobalSurrogate(kind="linear").fit(f, income.dataset.X)
+        assert lmt_fid >= line.fidelity_ - 1e-9
+
+    def test_explain_reports_leaf_context(self, income, income_gbm):
+        f = predict_positive_proba(income_gbm)
+        lmt = LinearModelTreeSurrogate(max_depth=2, min_samples_leaf=40).fit(
+            f, income.dataset
+        )
+        att = lmt.explain(income.dataset.X[0])
+        assert "leaf" in att.metadata
+        assert "leaf_fidelity_r2" in att.metadata
+        assert len(att.values) == income.dataset.n_features
+
+
+class TestGradientAttributions:
+    @pytest.fixture(scope="class")
+    def mlp(self, moons):
+        return MLPClassifier(hidden_sizes=(12,), max_iter=400, random_state=0).fit(
+            moons.X, moons.y
+        )
+
+    def test_saliency_is_absolute(self, mlp, moons):
+        att = saliency(mlp, moons.X[0])
+        assert np.all(att.values >= 0)
+
+    def test_gradient_times_input_signs(self, mlp, moons):
+        att = gradient_times_input(mlp, moons.X[0])
+        gradient = mlp.input_gradient(moons.X[0], 1)
+        assert np.allclose(att.values, gradient * moons.X[0])
+
+    def test_baseline_shifts_attribution(self, mlp, moons):
+        zero = gradient_times_input(mlp, moons.X[0])
+        mean = gradient_times_input(
+            mlp, moons.X[0], baseline=moons.X.mean(axis=0)
+        )
+        assert not np.allclose(zero.values, mean.values)
+
+    def test_feature_names_default(self, mlp, moons):
+        att = saliency(mlp, moons.X[0])
+        assert att.feature_names == ["x0", "x1"]
+
+
+class TestTokenize:
+    def test_lowercase_and_punctuation(self):
+        assert tokenize("Hello, World!") == ["hello", "world"]
+
+    def test_empty(self):
+        assert tokenize("...") == []
+
+
+class TestBagOfWordsClassifier:
+    @pytest.fixture(scope="class")
+    def sentiment(self):
+        docs = [
+            "great movie loved it",
+            "wonderful great acting",
+            "loved the plot great",
+            "terrible movie hated it",
+            "awful terrible acting",
+            "hated the plot awful",
+        ]
+        labels = [1, 1, 1, 0, 0, 0]
+        return BagOfWordsClassifier().fit(docs, labels), docs, labels
+
+    def test_classifies_training_docs(self, sentiment):
+        model, docs, labels = sentiment
+        predictions = (model.positive_proba(docs) >= 0.5).astype(int)
+        assert list(predictions) == labels
+
+    def test_probabilities_valid(self, sentiment):
+        model, docs, __ = sentiment
+        proba = model.predict_proba(docs)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_unknown_words_fall_back(self, sentiment):
+        model, __, __ = sentiment
+        proba = model.predict_proba(["zzz qqq xxx"])
+        assert np.all(np.isfinite(proba))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            BagOfWordsClassifier().fit(["a"], [1, 0])
+
+
+class TestLimeTextExplainer:
+    def test_sentiment_words_found(self):
+        docs = [
+            "great movie loved it",
+            "wonderful great acting",
+            "loved the plot great",
+            "terrible movie hated it",
+            "awful terrible acting",
+            "hated the plot awful",
+        ] * 3
+        labels = [1, 1, 1, 0, 0, 0] * 3
+        model = BagOfWordsClassifier().fit(docs, labels)
+        explainer = LimeTextExplainer(n_samples=300)
+        att = explainer.explain(
+            model.positive_proba, "great movie loved it", random_state=0
+        )
+        top_words = {name for name, value in att.ranked()[:2] if value > 0}
+        assert top_words & {"great", "loved"}
+
+    def test_empty_document_rejected(self):
+        explainer = LimeTextExplainer(n_samples=50)
+        with pytest.raises(ValidationError):
+            explainer.explain(lambda docs: np.zeros(len(docs)), "!!!")
+
+    def test_deterministic(self):
+        docs = ["good good", "bad bad"]
+        model = BagOfWordsClassifier().fit(docs, [1, 0])
+        explainer = LimeTextExplainer(n_samples=100)
+        a = explainer.explain(model.positive_proba, "good bad", random_state=1)
+        b = explainer.explain(model.positive_proba, "good bad", random_state=1)
+        assert np.allclose(a.values, b.values)
+
+    def test_vocabulary_is_sorted_unique(self):
+        model = BagOfWordsClassifier().fit(["a b a", "c"], [1, 0])
+        explainer = LimeTextExplainer(n_samples=64)
+        att = explainer.explain(model.positive_proba, "b a b a", random_state=2)
+        assert att.feature_names == ["a", "b"]

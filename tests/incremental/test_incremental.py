@@ -1,0 +1,168 @@
+import time
+
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.incremental import (
+    IncrementalLinearRegression,
+    IncrementalLogisticRegression,
+    UnlearnableExtraTrees,
+)
+from xaidb.models import accuracy
+
+
+class TestIncrementalLinearRegression:
+    @pytest.fixture()
+    def fitted(self, regression_data):
+        X, y, __ = regression_data
+        return IncrementalLinearRegression().fit(X, y)
+
+    def test_deletion_matches_retrain_exactly(self, fitted):
+        fitted.delete_rows(range(30))
+        reference = fitted.retrained_reference()
+        assert np.allclose(fitted.coef_, reference.coef_, atol=1e-10)
+        assert fitted.intercept_ == pytest.approx(reference.intercept_, abs=1e-10)
+
+    def test_sequential_deletions_compose(self, fitted):
+        fitted.delete_rows([0, 1, 2])
+        fitted.delete_rows([10, 11])
+        reference = fitted.retrained_reference()
+        assert np.allclose(fitted.coef_, reference.coef_, atol=1e-10)
+
+    def test_double_deletion_rejected(self, fitted):
+        fitted.delete_rows([0])
+        with pytest.raises(ValidationError, match="already deleted"):
+            fitted.delete_rows([0])
+
+    def test_empty_deletion_rejected(self, fitted):
+        with pytest.raises(ValidationError):
+            fitted.delete_rows([])
+
+    def test_delete_before_fit_rejected(self):
+        with pytest.raises(ValidationError):
+            IncrementalLinearRegression().delete_rows([0])
+
+    def test_ridge_variant(self, regression_data):
+        X, y, __ = regression_data
+        inc = IncrementalLinearRegression(l2=1.0).fit(X, y)
+        inc.delete_rows(range(20))
+        reference = inc.retrained_reference()
+        assert np.allclose(inc.coef_, reference.coef_, atol=1e-10)
+
+    def test_predicts_after_deletion(self, fitted, regression_data):
+        X, __, __ = regression_data
+        fitted.delete_rows([5])
+        assert fitted.predict(X[:3]).shape == (3,)
+
+
+class TestIncrementalLogisticRegression:
+    @pytest.fixture()
+    def fitted(self, income):
+        return IncrementalLogisticRegression(refine_steps=1).fit(
+            income.dataset.X, income.dataset.y
+        )
+
+    def test_deletion_close_to_retrain(self, fitted):
+        fitted.delete_rows(range(40))
+        reference = fitted.retrained_reference()
+        assert np.allclose(fitted.theta_, reference.theta_, atol=1e-4)
+
+    def test_zero_refine_steps_is_rougher_but_close(self, income):
+        rough = IncrementalLogisticRegression(refine_steps=0).fit(
+            income.dataset.X, income.dataset.y
+        )
+        fine = IncrementalLogisticRegression(refine_steps=2).fit(
+            income.dataset.X, income.dataset.y
+        )
+        rows = list(range(30))
+        rough.delete_rows(rows)
+        fine.delete_rows(rows)
+        reference = fine.retrained_reference()
+        err_rough = np.linalg.norm(rough.theta_ - reference.theta_)
+        err_fine = np.linalg.norm(fine.theta_ - reference.theta_)
+        assert err_fine <= err_rough
+        assert err_rough < 0.1
+
+    def test_prediction_agreement_after_deletion(self, fitted, income):
+        fitted.delete_rows(range(25))
+        reference = fitted.retrained_reference()
+        X = income.dataset.X
+        agreement = np.mean(fitted.predict(X) == reference.predict(X))
+        assert agreement > 0.99
+
+    def test_double_deletion_rejected(self, fitted):
+        fitted.delete_rows([1])
+        with pytest.raises(ValidationError):
+            fitted.delete_rows([1])
+
+    def test_negative_refine_rejected(self):
+        with pytest.raises(ValidationError):
+            IncrementalLogisticRegression(refine_steps=-1)
+
+
+class TestUnlearnableExtraTrees:
+    @pytest.fixture()
+    def fitted(self, income):
+        return UnlearnableExtraTrees(
+            n_estimators=5, max_depth=5, random_state=0
+        ).fit(income.dataset.X[:200], income.dataset.y[:200])
+
+    def test_learns_signal(self, fitted, income):
+        acc = accuracy(
+            income.dataset.y[:200], fitted.predict(income.dataset.X[:200])
+        )
+        assert acc > 0.6
+
+    def test_forget_removes_row_from_stats(self, fitted):
+        fitted.forget(3)
+        for root in fitted.roots_:
+            assert 3 not in root.rows
+
+    def test_forget_twice_rejected(self, fitted):
+        fitted.forget(0)
+        with pytest.raises(ValidationError):
+            fitted.forget(0)
+
+    def test_forget_out_of_range(self, fitted):
+        with pytest.raises(ValidationError):
+            fitted.forget(9999)
+
+    def test_forgotten_points_no_longer_influence_counts(self, fitted, income):
+        """After forgetting, root class counts equal a fresh count over the
+        surviving rows."""
+        for row in range(10):
+            fitted.forget(row)
+        surviving = np.flatnonzero(fitted.active_)
+        expected = np.bincount(
+            fitted._y_index[surviving], minlength=len(fitted.classes_)
+        ).astype(float)
+        for root in fitted.roots_:
+            assert np.allclose(root.class_counts, expected)
+
+    def test_deletion_much_faster_than_retrain(self, income):
+        X, y = income.dataset.X[:200], income.dataset.y[:200]
+        model = UnlearnableExtraTrees(
+            n_estimators=5, max_depth=5, random_state=1
+        ).fit(X, y)
+        start = time.perf_counter()
+        model.forget(0)
+        deletion_time = time.perf_counter() - start
+        start = time.perf_counter()
+        UnlearnableExtraTrees(n_estimators=5, max_depth=5, random_state=1).fit(
+            X[1:], y[1:]
+        )
+        retrain_time = time.perf_counter() - start
+        assert deletion_time < retrain_time
+
+    def test_accuracy_survives_many_deletions(self, fitted, income):
+        X, y = income.dataset.X[:200], income.dataset.y[:200]
+        before = accuracy(y, fitted.predict(X))
+        for row in range(30):
+            fitted.forget(row)
+        after = accuracy(y, fitted.predict(X))
+        assert after > before - 0.15
+
+    def test_predict_proba_valid(self, fitted, income):
+        proba = fitted.predict_proba(income.dataset.X[:20])
+        assert np.allclose(proba.sum(axis=1), 1.0)

@@ -1,0 +1,186 @@
+"""Cross-module integration flows: each test exercises a full story from
+the tutorial, chaining several subsystems together."""
+
+import numpy as np
+import pytest
+
+from xaidb.data import make_credit, make_income
+from xaidb.explainers import (
+    LimeExplainer,
+    predict_positive_proba,
+)
+from xaidb.explainers.counterfactual import GecoExplainer, LinearRecourse
+from xaidb.explainers.shapley import KernelShapExplainer, TreeShapExplainer
+from xaidb.models import (
+    GradientBoostedClassifier,
+    LogisticRegression,
+    accuracy,
+)
+from xaidb.rules import AnchorsExplainer
+
+
+class TestExplainOneDecisionManyWays:
+    """One denied credit applicant, explained by every §2.1/§2.2 family —
+    the hands-on demo the tutorial promises."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        workload = make_credit(700, random_state=42)
+        train, test = workload.dataset.split(test_fraction=0.3, random_state=1)
+        model = GradientBoostedClassifier(
+            n_estimators=30, max_depth=3, random_state=0
+        ).fit(train.X, train.y)
+        f = predict_positive_proba(model)
+        scores = f(test.X)
+        denied = test.X[int(np.argmin(scores))]
+        return workload, train, model, f, denied
+
+    def test_all_explainers_run_and_agree_on_direction(self, scenario):
+        workload, train, model, f, denied = scenario
+        lime = LimeExplainer(train, n_samples=600).explain(
+            f, denied, random_state=0
+        )
+        kernel = KernelShapExplainer(
+            f, train.X[:20], feature_names=train.feature_names
+        ).explain(denied, random_state=0)
+        tree = TreeShapExplainer(
+            model, feature_names=train.feature_names
+        ).explain(denied)
+
+        # each explanation exposes the same interface
+        for attribution in (lime, kernel, tree):
+            assert len(attribution.values) == train.n_features
+            assert attribution.ranked()
+
+        # SHAP variants satisfy their additivity contracts
+        assert kernel.additive_check(atol=1e-8)
+        assert tree.additive_check(atol=1e-8)
+
+        # methods should broadly agree on the top driver of this denial
+        top_sets = [
+            {name for name, __ in attribution.top(3)}
+            for attribution in (lime, kernel, tree)
+        ]
+        assert top_sets[0] & top_sets[1] & top_sets[2]
+
+    def test_anchor_and_counterfactual_complement(self, scenario):
+        workload, train, model, f, denied = scenario
+        anchor = AnchorsExplainer(
+            f, train, precision_threshold=0.9, max_anchor_size=3
+        ).explain(denied, random_state=0)
+        assert anchor.precision > 0.7
+
+        counterfactuals = GecoExplainer(
+            f, train, n_generations=20
+        ).generate(denied, n_counterfactuals=2, random_state=0)
+        assert counterfactuals.validity() == 1.0
+        # the counterfactual must escape the anchor's region: at least one
+        # anchored feature changes or the anchor did not constrain the
+        # counterfactual's features at all
+        changed = {
+            train.feature_names.index(name)
+            for name in counterfactuals[0].changes()
+        }
+        assert changed  # something moved
+
+
+class TestDebuggingStory:
+    """§2.3 + §3: corrupt data, detect with influence, fix incrementally,
+    validate with provenance."""
+
+    def test_full_debugging_loop(self):
+        workload = make_income(500, random_state=7)
+        X, y = workload.dataset.X.copy(), workload.dataset.y.copy()
+        rng = np.random.default_rng(0)
+        negatives = np.flatnonzero(y == 0.0)
+        corrupted = rng.choice(negatives, size=30, replace=False)
+        y[corrupted] = 1.0
+
+        model = LogisticRegression(l2=1e-2).fit(X, y)
+
+        from xaidb.db import Complaint, ComplaintDebugger
+
+        debugger = ComplaintDebugger(model, X, y, X)
+        complaint = Complaint(
+            query_rows=np.arange(len(X)), direction=-1,
+            description="income-positive rate looks inflated",
+        )
+        ranking = debugger.rank_training_points(complaint)
+        recall = debugger.recall_at_k(ranking, corrupted, k=60)
+        assert recall > 0.4
+
+        # fix by removal, but do the removal *incrementally* (PrIU-style)
+        from xaidb.incremental import IncrementalLogisticRegression
+
+        # removing the *most influential* rows is the hardest case for a
+        # warm start, so give the update two Newton refinements
+        incremental = IncrementalLogisticRegression(
+            l2=1e-2, refine_steps=2
+        ).fit(X, y)
+        blamed = ranking[:30].tolist()
+        incremental.delete_rows(blamed)
+        reference = incremental.retrained_reference()
+        assert np.allclose(incremental.theta_, reference.theta_, atol=1e-3)
+
+        # cleaned model should predict closer to ground-truth labels
+        truth = workload.dataset.y
+        before = accuracy(truth, model.predict(X))
+        after = accuracy(truth, incremental.predict(X))
+        assert after >= before - 0.02  # removal must not hurt; usually helps
+
+    def test_provenance_pins_the_guilty_stage(self):
+        from xaidb.models import accuracy as metric_accuracy
+        from xaidb.pipelines import (
+            ImputeMean,
+            LabelFlipCorruption,
+            PipelineDebugger,
+            ProvenancePipeline,
+            ScaleStandard,
+        )
+
+        workload = make_income(400, random_state=8)
+        X, y = workload.dataset.X.copy(), workload.dataset.y.copy()
+        X[::30, 2] = np.nan
+        pipeline = ProvenancePipeline(
+            [ImputeMean(), LabelFlipCorruption(fraction=0.3), ScaleStandard()],
+            random_state=0,
+        )
+        fresh = workload.resample(300, random_state=99)
+        debugger = PipelineDebugger(
+            pipeline, LogisticRegression(l2=1e-2), metric_accuracy
+        )
+        attributions = debugger.stage_ablation(X, y, fresh.X, fresh.y)
+        assert attributions[0].stage_name == "label_flip_corruption"
+
+
+class TestSqlExplanationStory:
+    """§3: a query over model predictions, explained at the tuple level."""
+
+    def test_shapley_of_tuples_through_model_query(self):
+        from xaidb.db import Relation, aggregate, select, shapley_of_tuples
+
+        workload = make_income(200, random_state=3)
+        model = LogisticRegression(l2=1e-2).fit(
+            workload.dataset.X, workload.dataset.y
+        )
+        f = predict_positive_proba(model)
+
+        # serve a tiny table of 6 applicants with model scores attached
+        rows = [
+            {**workload.dataset.row_as_dict(i, decode=False), "score": float(s)}
+            for i, s in enumerate(f(workload.dataset.X[:6]))
+        ]
+        table = Relation.from_dicts("applicants", rows)
+        high_scorers = select(table, lambda r: r["score"] >= 0.5)
+
+        def query(rel: Relation) -> float:
+            return aggregate(rel, "count")
+
+        phi = shapley_of_tuples(table, lambda rel: aggregate(
+            select(rel, lambda r: r["score"] >= 0.5), "count"
+        ))
+        # for a count query each qualifying tuple contributes exactly 1
+        qualifying = {row.provenance.lineage() for row in high_scorers}
+        for token, value in phi.items():
+            expected = 1.0 if frozenset({token}) in qualifying else 0.0
+            assert value == pytest.approx(expected)

@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError, ValidationError
+from xaidb.models import (
+    RandomForestClassifier,
+    RandomForestRegressor,
+    accuracy,
+    r2_score,
+    roc_auc,
+)
+
+
+class TestRandomForestClassifier:
+    def test_beats_chance(self, income):
+        model = RandomForestClassifier(
+            n_estimators=15, max_depth=5, random_state=0
+        ).fit(income.dataset.X, income.dataset.y)
+        assert roc_auc(
+            income.dataset.y, model.predict_proba(income.dataset.X)[:, 1]
+        ) > 0.75
+
+    def test_deterministic_given_seed(self, income):
+        a = RandomForestClassifier(n_estimators=5, random_state=7).fit(
+            income.dataset.X, income.dataset.y
+        )
+        b = RandomForestClassifier(n_estimators=5, random_state=7).fit(
+            income.dataset.X, income.dataset.y
+        )
+        assert np.array_equal(
+            a.predict_proba(income.dataset.X[:20]),
+            b.predict_proba(income.dataset.X[:20]),
+        )
+
+    def test_seed_changes_model(self, income):
+        a = RandomForestClassifier(n_estimators=5, random_state=1).fit(
+            income.dataset.X, income.dataset.y
+        )
+        b = RandomForestClassifier(n_estimators=5, random_state=2).fit(
+            income.dataset.X, income.dataset.y
+        )
+        assert not np.array_equal(
+            a.predict_proba(income.dataset.X), b.predict_proba(income.dataset.X)
+        )
+
+    def test_probabilities_valid(self, income_forest, income):
+        proba = income_forest.predict_proba(income.dataset.X[:30])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_no_bootstrap_with_full_features_reduces_variance_source(self, moons):
+        model = RandomForestClassifier(
+            n_estimators=3, bootstrap=False, max_features=2, random_state=0
+        ).fit(moons.X, moons.y)
+        # without bootstrap and with all features, trees are identical
+        p = [t.predict_proba(moons.X[:5]) for t in model.estimators_]
+        assert np.allclose(p[0], p[1])
+
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValidationError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            RandomForestClassifier().predict_proba(np.ones((1, 2)))
+
+    def test_moons_nonlinear_boundary(self, moons):
+        model = RandomForestClassifier(n_estimators=20, random_state=0).fit(
+            moons.X, moons.y
+        )
+        assert accuracy(moons.y, model.predict(moons.X)) > 0.9
+
+
+class TestRandomForestRegressor:
+    def test_fits_nonlinear_function(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(400, 2))
+        y = np.sin(X[:, 0] * 2) + X[:, 1] ** 2
+        model = RandomForestRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.85
+
+    def test_average_of_trees(self, regression_data):
+        X, y, __ = regression_data
+        model = RandomForestRegressor(n_estimators=4, random_state=0).fit(X, y)
+        stacked = np.vstack([t.predict(X[:10]) for t in model.estimators_])
+        assert np.allclose(model.predict(X[:10]), stacked.mean(axis=0))

@@ -1,0 +1,105 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.models import (
+    GradientBoostedClassifier,
+    GradientBoostedRegressor,
+    log_loss,
+    r2_score,
+    roc_auc,
+)
+from xaidb.utils.linalg import sigmoid
+
+
+class TestGradientBoostedRegressor:
+    def test_training_error_decreases_with_stages(self, regression_data):
+        X, y, __ = regression_data
+        model = GradientBoostedRegressor(
+            n_estimators=30, random_state=0
+        ).fit(X, y)
+        staged = model.staged_raw_scores(X)
+        errors = [float(np.mean((y - stage) ** 2)) for stage in staged]
+        assert errors[-1] < errors[0] * 0.2
+        # monotone non-increasing (squared loss + small learning rate)
+        assert all(b <= a + 1e-9 for a, b in zip(errors, errors[1:]))
+
+    def test_init_score_is_mean(self, regression_data):
+        X, y, __ = regression_data
+        model = GradientBoostedRegressor(n_estimators=1).fit(X, y)
+        assert model.init_score_ == pytest.approx(float(y.mean()))
+
+    def test_fits_nonlinear_signal(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = X[:, 0] * X[:, 1]
+        model = GradientBoostedRegressor(
+            n_estimators=100, learning_rate=0.2, random_state=0
+        ).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.8
+
+    def test_prediction_is_sum_of_trees(self, small_gbr, regression_data):
+        X, __, __ = regression_data
+        total = np.full(10, small_gbr.init_score_)
+        for tree in small_gbr.trees_:
+            total += small_gbr.learning_rate * tree.predict(X[:10])
+        assert np.allclose(total, small_gbr.predict(X[:10]))
+
+    def test_subsample_records_rows(self, regression_data):
+        X, y, __ = regression_data
+        model = GradientBoostedRegressor(
+            n_estimators=5, subsample=0.5, random_state=0
+        ).fit(X, y)
+        for rows in model.tree_train_rows_:
+            assert len(rows) == int(round(0.5 * len(y)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            GradientBoostedRegressor(n_estimators=0)
+        with pytest.raises(ValidationError):
+            GradientBoostedRegressor(learning_rate=0.0)
+        with pytest.raises(ValidationError):
+            GradientBoostedRegressor(subsample=0.0)
+
+
+class TestGradientBoostedClassifier:
+    def test_logloss_decreases(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        model = GradientBoostedClassifier(
+            n_estimators=30, random_state=0
+        ).fit(X, y)
+        staged = model.staged_raw_scores(X)
+        losses = [log_loss(y, sigmoid(stage)) for stage in staged]
+        assert losses[-1] < losses[0]
+
+    def test_beats_chance(self, income_gbm, income):
+        auc = roc_auc(
+            income.dataset.y, income_gbm.predict_proba(income.dataset.X)[:, 1]
+        )
+        assert auc > 0.8
+
+    def test_margin_matches_proba(self, income_gbm, income):
+        X = income.dataset.X[:20]
+        assert np.allclose(
+            sigmoid(income_gbm.decision_function(X)),
+            income_gbm.predict_proba(X)[:, 1],
+        )
+
+    def test_init_score_is_log_odds(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        model = GradientBoostedClassifier(n_estimators=1, random_state=0).fit(X, y)
+        p = y.mean()
+        assert model.init_score_ == pytest.approx(np.log(p / (1 - p)))
+
+    def test_rejects_multiclass(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.asarray([0.0, 1.0, 2.0] * 10)
+        with pytest.raises(ValidationError, match="binary"):
+            GradientBoostedClassifier().fit(X, y)
+
+    def test_label_values_preserved(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        model = GradientBoostedClassifier(n_estimators=5, random_state=0).fit(
+            X, y * 2 + 3  # labels 3, 5
+        )
+        assert set(model.predict(X)) <= {3.0, 5.0}

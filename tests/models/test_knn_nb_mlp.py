@@ -1,0 +1,126 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.models import GaussianNB, KNeighborsClassifier, MLPClassifier, accuracy
+
+
+class TestKNeighborsClassifier:
+    def test_k1_memorises_training_data(self, moons):
+        model = KNeighborsClassifier(n_neighbors=1).fit(moons.X, moons.y)
+        assert accuracy(moons.y, model.predict(moons.X)) == 1.0
+
+    def test_kneighbors_returns_self_first_on_training_point(self, moons):
+        model = KNeighborsClassifier(n_neighbors=3).fit(moons.X, moons.y)
+        neighbors = model.kneighbors(moons.X[:5])
+        assert np.array_equal(neighbors[:, 0], np.arange(5))
+
+    def test_proba_is_vote_fraction(self):
+        X = np.asarray([[0.0], [0.1], [0.2], [10.0]])
+        y = np.asarray([0.0, 0.0, 1.0, 1.0])
+        model = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        proba = model.predict_proba(np.asarray([[0.05]]))
+        assert proba[0, 0] == pytest.approx(2.0 / 3.0)
+
+    def test_k_larger_than_n_rejected(self):
+        with pytest.raises(ValidationError):
+            KNeighborsClassifier(n_neighbors=10).fit(
+                np.ones((5, 1)), np.asarray([0, 0, 1, 1, 1.0])
+            )
+
+    def test_deterministic_tie_breaking(self):
+        X = np.asarray([[0.0], [1.0], [1.0], [2.0]])
+        y = np.asarray([0.0, 0.0, 1.0, 1.0])
+        model = KNeighborsClassifier(n_neighbors=2).fit(X, y)
+        a = model.kneighbors(np.asarray([[1.0]]))
+        b = model.kneighbors(np.asarray([[1.0]]))
+        assert np.array_equal(a, b)
+
+
+class TestGaussianNB:
+    def test_separable_gaussians(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack(
+            [rng.normal(-2, 1, size=(100, 2)), rng.normal(2, 1, size=(100, 2))]
+        )
+        y = np.concatenate([np.zeros(100), np.ones(100)])
+        model = GaussianNB().fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_class_priors_learned(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 1))
+        y = np.concatenate([np.zeros(80), np.ones(20)])
+        model = GaussianNB().fit(X, y)
+        assert model.class_prior_[0] == pytest.approx(0.8)
+
+    def test_probabilities_valid(self, income):
+        model = GaussianNB().fit(income.dataset.X, income.dataset.y)
+        proba = model.predict_proba(income.dataset.X[:30])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_constant_feature_handled(self):
+        X = np.column_stack([np.ones(40), np.concatenate([np.zeros(20), np.ones(20)])])
+        y = np.concatenate([np.zeros(20), np.ones(20)])
+        model = GaussianNB().fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+
+class TestMLPClassifier:
+    def test_learns_moons(self, moons):
+        model = MLPClassifier(
+            hidden_sizes=(16,), max_iter=500, random_state=0
+        ).fit(moons.X, moons.y)
+        assert accuracy(moons.y, model.predict(moons.X)) > 0.9
+
+    def test_input_gradient_matches_finite_difference(self, moons):
+        model = MLPClassifier(
+            hidden_sizes=(8,), max_iter=300, random_state=0
+        ).fit(moons.X, moons.y)
+        x = moons.X[0]
+        gradient = model.input_gradient(x, 1)
+        eps = 1e-5
+        for j in range(2):
+            step = np.zeros(2)
+            step[j] = eps
+            plus = model.predict_proba((x + step)[None, :])[0, 1]
+            minus = model.predict_proba((x - step)[None, :])[0, 1]
+            assert gradient[j] == pytest.approx((plus - minus) / (2 * eps), abs=1e-5)
+
+    def test_randomize_parameters_changes_predictions(self, moons):
+        model = MLPClassifier(
+            hidden_sizes=(8,), max_iter=300, random_state=0
+        ).fit(moons.X, moons.y)
+        shuffled = model.randomize_parameters(random_state=1)
+        original = model.predict_proba(moons.X)
+        broken = shuffled.predict_proba(moons.X)
+        assert not np.allclose(original, broken, atol=0.05)
+
+    def test_randomize_does_not_touch_original(self, moons):
+        model = MLPClassifier(
+            hidden_sizes=(8,), max_iter=100, random_state=0
+        ).fit(moons.X, moons.y)
+        before = [w.copy() for w in model.weights_]
+        model.randomize_parameters(random_state=2)
+        assert all(np.array_equal(a, b) for a, b in zip(before, model.weights_))
+
+    def test_partial_randomization_keeps_lower_layers(self, moons):
+        model = MLPClassifier(
+            hidden_sizes=(8,), max_iter=100, random_state=0
+        ).fit(moons.X, moons.y)
+        top_only = model.randomize_parameters(layers=1, random_state=3)
+        assert np.array_equal(top_only.weights_[0], model.weights_[0])
+        assert not np.array_equal(top_only.weights_[-1], model.weights_[-1])
+
+    def test_invalid_hidden_sizes(self):
+        with pytest.raises(ValidationError):
+            MLPClassifier(hidden_sizes=())
+        with pytest.raises(ValidationError):
+            MLPClassifier(hidden_sizes=(0,))
+
+    def test_class_index_bounds_in_gradient(self, moons):
+        model = MLPClassifier(
+            hidden_sizes=(4,), max_iter=50, random_state=0
+        ).fit(moons.X, moons.y)
+        with pytest.raises(ValidationError):
+            model.input_gradient(moons.X[0], 5)

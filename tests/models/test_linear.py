@@ -1,0 +1,78 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError
+from xaidb.models import LinearRegression
+
+
+class TestLinearRegression:
+    def test_recovers_true_coefficients(self, regression_data):
+        X, y, true_coef = regression_data
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.coef_, true_coef, atol=0.05)
+
+    def test_intercept_recovered(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(200, 2))
+        y = X @ np.asarray([1.0, -1.0]) + 3.0
+        model = LinearRegression().fit(X, y)
+        assert model.intercept_ == pytest.approx(3.0, abs=1e-8)
+
+    def test_no_intercept_mode(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(100, 2))
+        y = X @ np.asarray([2.0, 0.5])
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [2.0, 0.5], atol=1e-8)
+
+    def test_ridge_shrinks_coefficients(self, regression_data):
+        X, y, __ = regression_data
+        plain = LinearRegression().fit(X, y)
+        ridge = LinearRegression(l2=1000.0).fit(X, y)
+        assert np.linalg.norm(ridge.coef_) < np.linalg.norm(plain.coef_)
+
+    def test_ridge_does_not_penalise_intercept(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 1))
+        y = np.full(300, 10.0) + 0.01 * rng.normal(size=300)
+        model = LinearRegression(l2=1e6).fit(X, y)
+        assert model.intercept_ == pytest.approx(10.0, abs=0.01)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LinearRegression().predict(np.ones((1, 2)))
+
+    def test_exact_on_interpolation(self):
+        X = np.asarray([[0.0], [1.0], [2.0]])
+        y = np.asarray([1.0, 3.0, 5.0])
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.predict(X), y, atol=1e-10)
+
+    def test_refit_from_statistics_matches_fit(self, regression_data):
+        X, y, __ = regression_data
+        direct = LinearRegression().fit(X, y)
+        design = np.column_stack([X, np.ones(len(y))])
+        other = LinearRegression().refit_from_statistics(
+            design.T @ design, design.T @ y
+        )
+        assert np.allclose(direct.coef_, other.coef_)
+        assert direct.intercept_ == pytest.approx(other.intercept_)
+
+    def test_loss_gradients_vanish_at_optimum(self, regression_data):
+        X, y, __ = regression_data
+        model = LinearRegression().fit(X, y)
+        total = model.loss_gradients(X, y).sum(axis=0)
+        assert np.allclose(total, 0.0, atol=1e-6)
+
+    def test_loss_hessian_psd(self, regression_data):
+        X, y, __ = regression_data
+        model = LinearRegression().fit(X, y)
+        eigenvalues = np.linalg.eigvalsh(model.loss_hessian(X))
+        assert np.all(eigenvalues >= -1e-10)
+
+    def test_theta_layout(self, regression_data):
+        X, y, __ = regression_data
+        model = LinearRegression().fit(X, y)
+        assert np.allclose(model.theta_[:-1], model.coef_)
+        assert model.theta_[-1] == pytest.approx(model.intercept_)

@@ -1,0 +1,113 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError, ValidationError
+from xaidb.models import LogisticRegression, accuracy, roc_auc
+from xaidb.utils.linalg import sigmoid
+
+
+@pytest.fixture(scope="module")
+def separable():
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 3))
+    logits = X @ np.asarray([2.0, -1.0, 0.5])
+    y = (rng.uniform(size=400) < sigmoid(logits)).astype(float)
+    return X, y
+
+
+class TestLogisticRegression:
+    def test_learns_signal(self, separable):
+        X, y = separable
+        model = LogisticRegression().fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.72
+        assert roc_auc(y, model.predict_proba(X)[:, 1]) > 0.80
+
+    def test_coefficient_signs_match_generator(self, separable):
+        X, y = separable
+        model = LogisticRegression().fit(X, y)
+        assert model.coef_[0] > 0
+        assert model.coef_[1] < 0
+
+    def test_probabilities_sum_to_one(self, separable):
+        X, y = separable
+        proba = LogisticRegression().fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_newton_converges_fast(self, separable):
+        X, y = separable
+        model = LogisticRegression().fit(X, y)
+        assert model.n_iter_ <= 15
+
+    def test_rejects_multiclass(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.asarray([0.0, 1.0, 2.0] * 10)
+        with pytest.raises(ValidationError, match="binary"):
+            LogisticRegression().fit(X, y)
+
+    def test_rejects_single_class(self):
+        X = np.ones((10, 2))
+        with pytest.raises(ValidationError):
+            LogisticRegression().fit(X, np.zeros(10))
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict_proba(np.ones((1, 2)))
+
+    def test_classes_preserved(self, separable):
+        X, y = separable
+        model = LogisticRegression().fit(X, y + 5.0)  # labels 5, 6
+        assert set(model.predict(X)) <= {5.0, 6.0}
+
+    def test_sample_weight_zero_removes_points(self, separable):
+        X, y = separable
+        full = LogisticRegression().fit(X, y)
+        weights = np.ones(len(y))
+        weights[:100] = 0.0
+        weighted = LogisticRegression().fit(X, y, sample_weight=weights)
+        subset = LogisticRegression().fit(X[100:], y[100:])
+        assert np.allclose(weighted.coef_, subset.coef_, atol=1e-6)
+        assert not np.allclose(weighted.coef_, full.coef_, atol=1e-4)
+
+    def test_gradient_vanishes_at_optimum(self, separable):
+        X, y = separable
+        model = LogisticRegression(l2=1e-3).fit(X, y)
+        # total gradient including the penalty must be ~0
+        design = np.column_stack([X, np.ones(len(y))])
+        y01 = y  # labels already 0/1
+        residual = sigmoid(design @ model.theta_) - y01
+        penalty = np.append(np.full(3, model.l2), 0.0)
+        gradient = design.T @ residual + penalty * model.theta_
+        assert np.linalg.norm(gradient) < 1e-4 * len(y)
+
+    def test_hessian_matches_finite_difference(self, separable):
+        X, y = separable
+        model = LogisticRegression(l2=1e-2).fit(X[:50], y[:50])
+        theta = model.theta_
+        hessian = model.loss_hessian(X[:50])
+
+        def grad(t):
+            return model.loss_gradients(X[:50], y[:50], theta=t).mean(
+                axis=0
+            ) + np.append(np.full(3, model.l2), 0.0) * t / 50
+
+        eps = 1e-5
+        for j in range(len(theta)):
+            step = np.zeros_like(theta)
+            step[j] = eps
+            fd = (grad(theta + step) - grad(theta - step)) / (2 * eps)
+            assert np.allclose(fd, hessian[:, j], atol=1e-5)
+
+    def test_set_theta_roundtrip(self, separable):
+        X, y = separable
+        model = LogisticRegression().fit(X, y)
+        theta = model.theta_.copy()
+        model.set_theta(theta * 2.0)
+        assert np.allclose(model.theta_, theta * 2.0)
+
+    def test_decision_function_consistent_with_proba(self, separable):
+        X, y = separable
+        model = LogisticRegression().fit(X, y)
+        assert np.allclose(
+            sigmoid(model.decision_function(X)), model.predict_proba(X)[:, 1]
+        )

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.models import (
+    accuracy,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    mean_squared_error,
+    precision,
+    r2_score,
+    recall,
+    roc_auc,
+)
+
+
+class TestClassificationMetrics:
+    def test_accuracy(self):
+        assert accuracy([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+
+    def test_confusion_matrix_layout(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert m[0, 0] == 1  # TN
+        assert m[0, 1] == 1  # FP
+        assert m[1, 0] == 0  # FN
+        assert m[1, 1] == 2  # TP
+
+    def test_confusion_matrix_rejects_nonbinary(self):
+        with pytest.raises(ValidationError):
+            confusion_matrix([0, 2], [0, 1])
+
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        assert precision(y_true, y_pred) == pytest.approx(2 / 3)
+        assert recall(y_true, y_pred) == pytest.approx(2 / 3)
+        assert f1_score(y_true, y_pred) == pytest.approx(2 / 3)
+
+    def test_precision_zero_when_no_positive_predictions(self):
+        assert precision([1, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_log_loss_perfect_and_bad(self):
+        assert log_loss([1, 0], [1.0, 0.0]) < 1e-10
+        assert log_loss([1, 0], [0.5, 0.5]) == pytest.approx(np.log(2))
+
+    def test_log_loss_clipping(self):
+        # probabilities of exactly 0/1 on the wrong side must not be inf
+        assert np.isfinite(log_loss([1], [0.0]))
+
+
+class TestRocAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reversed_ranking(self):
+        assert roc_auc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 2000).astype(float)
+        scores = rng.uniform(size=2000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_get_half_credit(self):
+        assert roc_auc([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValidationError):
+            roc_auc([1, 1], [0.2, 0.8])
+
+
+class TestRegressionMetrics:
+    def test_mse(self):
+        assert mean_squared_error([1, 2], [1, 4]) == pytest.approx(2.0)
+
+    def test_r2_perfect(self):
+        assert r2_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_r2_mean_predictor_is_zero(self):
+        y = np.asarray([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            accuracy([1, 0], [1])

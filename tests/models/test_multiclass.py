@@ -1,0 +1,98 @@
+"""Multiclass behaviour of the classifiers (the explainers mostly target
+binary tasks, but the substrate itself must handle k classes)."""
+
+import numpy as np
+import pytest
+
+from xaidb.models import (
+    DecisionTreeClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+    accuracy,
+)
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    rng = np.random.default_rng(0)
+    centers = np.asarray([[0.0, 0.0], [4.0, 0.0], [2.0, 4.0]])
+    X = np.vstack(
+        [rng.normal(center, 0.6, size=(60, 2)) for center in centers]
+    )
+    y = np.repeat([10.0, 20.0, 30.0], 60)  # non-contiguous labels on purpose
+    return X, y
+
+
+class TestMulticlass:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: DecisionTreeClassifier(max_depth=6),
+            lambda: RandomForestClassifier(n_estimators=10, random_state=0),
+            lambda: KNeighborsClassifier(n_neighbors=5),
+            lambda: GaussianNB(),
+            lambda: MLPClassifier(hidden_sizes=(16,), max_iter=400, random_state=0),
+        ],
+        ids=["tree", "forest", "knn", "nb", "mlp"],
+    )
+    def test_learns_three_blobs(self, three_blobs, factory):
+        X, y = three_blobs
+        model = factory().fit(X, y)
+        assert accuracy(y, model.predict(X)) > 0.9
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: DecisionTreeClassifier(max_depth=6),
+            lambda: RandomForestClassifier(n_estimators=10, random_state=0),
+            lambda: KNeighborsClassifier(n_neighbors=5),
+            lambda: GaussianNB(),
+        ],
+        ids=["tree", "forest", "knn", "nb"],
+    )
+    def test_proba_shape_and_simplex(self, three_blobs, factory):
+        X, y = three_blobs
+        model = factory().fit(X, y)
+        proba = model.predict_proba(X[:20])
+        assert proba.shape == (20, 3)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all(proba >= 0)
+
+    def test_original_labels_returned(self, three_blobs):
+        X, y = three_blobs
+        model = DecisionTreeClassifier(max_depth=6).fit(X, y)
+        assert set(np.unique(model.predict(X))) <= {10.0, 20.0, 30.0}
+
+    def test_forest_handles_missing_class_in_bootstrap(self):
+        """With a tiny minority class, some bootstrap trees never see it;
+        the forest-level probability alignment must still be correct."""
+        rng = np.random.default_rng(1)
+        X = np.vstack(
+            [rng.normal(0, 1, size=(80, 2)), rng.normal(6, 0.2, size=(3, 2))]
+        )
+        y = np.concatenate([np.zeros(80), np.full(3, 2.0)])
+        model = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        proba = model.predict_proba(X)
+        assert proba.shape[1] == 2  # classes 0 and 2 -> two columns
+        # the minority cluster is still recognised
+        assert accuracy(y, model.predict(X)) > 0.95
+
+    def test_treeshap_on_multiclass_tree(self, three_blobs):
+        from xaidb.explainers.shapley import TreeShapExplainer
+
+        X, y = three_blobs
+        model = DecisionTreeClassifier(max_depth=5).fit(X, y)
+        for class_index in range(3):
+            explainer = TreeShapExplainer(model, class_index=class_index)
+            att = explainer.explain(X[0])
+            assert att.additive_check(atol=1e-10)
+        # per-class attributions sum to zero across classes at any input
+        # (probabilities sum to 1 everywhere, so the attribution of the
+        # constant function is 0)
+        total = sum(
+            TreeShapExplainer(model, class_index=k).explain(X[0]).values
+            for k in range(3)
+        )
+        assert np.allclose(total, 0.0, atol=1e-10)

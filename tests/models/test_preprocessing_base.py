@@ -1,0 +1,86 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError, ValidationError
+from xaidb.models import (
+    LogisticRegression,
+    RandomForestClassifier,
+    StandardScaler,
+    clone,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_transform_standardises(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(500, 2))
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-10)
+
+    def test_inverse_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_column_not_divided(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        out = StandardScaler().fit_transform(X)
+        assert np.allclose(out[:, 0], 0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_column_mismatch(self):
+        scaler = StandardScaler().fit(np.ones((5, 2)))
+        with pytest.raises(ValidationError):
+            scaler.transform(np.ones((5, 3)))
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = np.ones((100, 2)), np.zeros(100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, test_fraction=0.2, random_state=0)
+        assert len(X_te) == 20
+        assert len(X_tr) == 80
+        assert len(y_tr) == 80
+
+    def test_partition_is_exact(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        y = np.arange(20, dtype=float)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=1)
+        combined = sorted(np.concatenate([y_tr, y_te]).tolist())
+        assert combined == list(range(20))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(30, dtype=float).reshape(-1, 1)
+        y = np.arange(30, dtype=float)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, random_state=2)
+        assert np.array_equal(X_tr[:, 0], y_tr)
+        assert np.array_equal(X_te[:, 0], y_te)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValidationError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_fraction=0.0)
+
+
+class TestClone:
+    def test_clone_copies_hyperparameters(self):
+        model = RandomForestClassifier(n_estimators=7, max_depth=3, random_state=5)
+        copy = clone(model)
+        assert copy.n_estimators == 7
+        assert copy.max_depth == 3
+        assert copy.random_state == 5
+
+    def test_clone_is_unfitted(self, income):
+        model = LogisticRegression().fit(income.dataset.X, income.dataset.y)
+        copy = clone(model)
+        assert copy.coef_ is None
+
+    def test_clone_refits_identically(self, income):
+        model = LogisticRegression(l2=0.5).fit(income.dataset.X, income.dataset.y)
+        refit = clone(model).fit(income.dataset.X, income.dataset.y)
+        assert np.allclose(model.coef_, refit.coef_)

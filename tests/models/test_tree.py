@@ -1,0 +1,134 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.models import (
+    DecisionTreeClassifier,
+    DecisionTreeRegressor,
+    accuracy,
+    r2_score,
+)
+
+
+class TestDecisionTreeClassifier:
+    def test_fits_xor_perfectly(self):
+        X = np.asarray(
+            [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]] * 10, dtype=float
+        )
+        y = np.asarray([0.0, 1.0, 1.0, 0.0] * 10)
+        model = DecisionTreeClassifier().fit(X, y)
+        assert accuracy(y, model.predict(X)) == 1.0
+
+    def test_max_depth_respected(self, income):
+        model = DecisionTreeClassifier(max_depth=3).fit(
+            income.dataset.X, income.dataset.y
+        )
+        assert model.tree_.max_depth() <= 3
+
+    def test_min_samples_leaf_respected(self, income):
+        model = DecisionTreeClassifier(min_samples_leaf=25).fit(
+            income.dataset.X, income.dataset.y
+        )
+        leaves = model.tree_.leaves()
+        assert all(model.tree_.n_node_samples[leaf] >= 25 for leaf in leaves)
+
+    def test_separable_data_needs_one_split(self):
+        X = np.linspace(0, 1, 20).reshape(-1, 1)
+        model = DecisionTreeClassifier().fit(
+            np.vstack([X, X + 2]), np.concatenate([np.zeros(20), np.ones(20)])
+        )
+        # one split separates the two blocks; children are pure leaves
+        assert model.tree_.node_count == 3
+
+    def test_single_class_degrades_to_constant(self):
+        """Bootstrap samples of rare classes can be single-class; the tree
+        must become a constant predictor rather than fail."""
+        model = DecisionTreeClassifier().fit(np.ones((5, 1)), np.zeros(5))
+        assert model.tree_.node_count == 1
+        assert np.all(model.predict(np.zeros((3, 1))) == 0.0)
+        assert np.allclose(model.predict_proba(np.zeros((3, 1))), 1.0)
+
+    def test_predict_proba_rows_sum_to_one(self, income):
+        model = DecisionTreeClassifier(max_depth=4).fit(
+            income.dataset.X, income.dataset.y
+        )
+        proba = model.predict_proba(income.dataset.X[:20])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_apply_returns_leaves(self, income):
+        model = DecisionTreeClassifier(max_depth=4).fit(
+            income.dataset.X, income.dataset.y
+        )
+        leaves = model.apply(income.dataset.X[:10])
+        assert all(model.tree_.is_leaf(int(leaf)) for leaf in leaves)
+
+    def test_decision_path_starts_at_root_ends_at_leaf(self, income):
+        model = DecisionTreeClassifier(max_depth=4).fit(
+            income.dataset.X, income.dataset.y
+        )
+        path = model.decision_path(income.dataset.X[0])
+        assert path[0] == 0
+        assert model.tree_.is_leaf(path[-1])
+        assert all(not model.tree_.is_leaf(node) for node in path[:-1])
+
+    def test_cover_consistency(self, income):
+        """Every internal node's cover equals the sum of its children's."""
+        model = DecisionTreeClassifier(max_depth=5).fit(
+            income.dataset.X, income.dataset.y
+        )
+        tree = model.tree_
+        for node in range(tree.node_count):
+            if not tree.is_leaf(node):
+                left, right = tree.children_left[node], tree.children_right[node]
+                assert tree.n_node_samples[node] == pytest.approx(
+                    tree.n_node_samples[left] + tree.n_node_samples[right]
+                )
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ValidationError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+class TestDecisionTreeRegressor:
+    def test_fits_step_function(self):
+        X = np.linspace(0, 1, 100).reshape(-1, 1)
+        y = (X[:, 0] > 0.5).astype(float) * 10.0
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.99
+
+    def test_deeper_fits_better(self, regression_data):
+        X, y, __ = regression_data
+        shallow = DecisionTreeRegressor(max_depth=2).fit(X, y)
+        deep = DecisionTreeRegressor(max_depth=8).fit(X, y)
+        assert r2_score(y, deep.predict(X)) > r2_score(y, shallow.predict(X))
+
+    def test_leaf_values_are_means(self):
+        X = np.asarray([[0.0], [0.1], [0.9], [1.0]])
+        y = np.asarray([1.0, 3.0, 10.0, 20.0])
+        model = DecisionTreeRegressor(max_depth=1).fit(X, y)
+        tree = model.tree_
+        # variance-minimising split isolates the 20 outlier:
+        # {1,3,10} vs {20} beats {1,3} vs {10,20}
+        leaf_values = sorted(tree.value[leaf, 0] for leaf in tree.leaves())
+        assert leaf_values == pytest.approx([14.0 / 3.0, 20.0])
+
+    def test_constant_target_single_leaf(self):
+        model = DecisionTreeRegressor().fit(
+            np.arange(10, dtype=float).reshape(-1, 1), np.full(10, 3.0)
+        )
+        assert model.tree_.node_count == 1
+        assert model.predict(np.asarray([[5.0]]))[0] == pytest.approx(3.0)
+
+    def test_max_features_subsampling_changes_trees(self, regression_data):
+        X, y, __ = regression_data
+        a = DecisionTreeRegressor(max_features=1, random_state=0).fit(X, y)
+        b = DecisionTreeRegressor(max_features=1, random_state=123).fit(X, y)
+        # different random feature subsets should usually give different roots
+        assert (
+            a.tree_.feature[0] != b.tree_.feature[0]
+            or a.tree_.threshold[0] != b.tree_.threshold[0]
+        )

@@ -1,0 +1,228 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.models import LogisticRegression, accuracy
+from xaidb.pipelines import (
+    DropOutliers,
+    FilterRows,
+    ImputeMean,
+    LabelFlipCorruption,
+    PipelineDebugger,
+    ProvenancePipeline,
+    ScaleStandard,
+)
+
+
+@pytest.fixture()
+def raw_data(income):
+    X = income.dataset.X.copy()
+    y = income.dataset.y.copy()
+    X[::25, 0] = np.nan  # plant missing values
+    return X, y
+
+
+class TestOperators:
+    def test_impute_fills_with_mean(self, raw_data):
+        X, y = raw_data
+        rng = np.random.default_rng(0)
+        out_X, out_y, lineage, record = ImputeMean().apply(
+            X, y, np.arange(len(y)), rng
+        )
+        assert not np.any(np.isnan(out_X))
+        observed_mean = np.nanmean(X[:, 0])
+        assert out_X[0, 0] == pytest.approx(observed_mean)
+        assert 0 in record.touched_rows
+
+    def test_impute_records_only_missing_rows(self, raw_data):
+        X, y = raw_data
+        __, __, __, record = ImputeMean().apply(
+            X, y, np.arange(len(y)), np.random.default_rng(0)
+        )
+        assert set(record.touched_rows) == set(range(0, len(y), 25))
+
+    def test_scale_standardises(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        out_X, __, __, record = ScaleStandard().apply(
+            X, y, np.arange(len(y)), np.random.default_rng(0)
+        )
+        assert np.allclose(out_X.mean(axis=0), 0.0, atol=1e-10)
+        assert record.n_rows_out == len(y)
+
+    def test_filter_drops_and_records(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        op = FilterRows(lambda row: row[0] > 0, description="age > 0")
+        out_X, out_y, lineage, record = op.apply(
+            X, y, np.arange(len(y)), np.random.default_rng(0)
+        )
+        assert np.all(out_X[:, 0] > 0)
+        assert record.n_rows_out == len(out_y)
+        assert len(record.dropped_rows) == len(y) - len(out_y)
+        # lineage points back at surviving original ids
+        assert np.all(X[lineage, 0] > 0)
+
+    def test_filter_dropping_everything_raises(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        with pytest.raises(ValidationError):
+            FilterRows(lambda row: False).apply(
+                X, y, np.arange(len(y)), np.random.default_rng(0)
+            )
+
+    def test_outliers_dropped(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        X[7] = [50.0, 50.0]
+        y = np.zeros(100)
+        y[:50] = 1.0
+        out_X, __, lineage, record = DropOutliers(z_threshold=4.0).apply(
+            X, y, np.arange(100), rng
+        )
+        assert 7 in record.dropped_rows
+        assert 7 not in lineage
+
+    def test_outliers_nan_tolerant(self):
+        X = np.asarray([[np.nan, 0.0], [1.0, 1.0], [2.0, 0.5]])
+        y = np.zeros(3)
+        out_X, __, __, __ = DropOutliers(z_threshold=4.0).apply(
+            X, y, np.arange(3), np.random.default_rng(0)
+        )
+        assert out_X.shape[0] == 3
+
+    def test_label_flip_records_ground_truth(self, income):
+        X, y = income.dataset.X, income.dataset.y
+        op = LabelFlipCorruption(fraction=0.1)
+        out_X, out_y, lineage, record = op.apply(
+            X, y.copy(), np.arange(len(y)), np.random.default_rng(0)
+        )
+        flipped = record.touched_rows
+        assert len(flipped) == int(round(0.1 * len(y)))
+        for row in flipped:
+            assert out_y[row] == 1.0 - y[row]
+
+    def test_label_flip_fraction_validated(self):
+        with pytest.raises(ValidationError):
+            LabelFlipCorruption(fraction=0.0)
+
+
+class TestProvenancePipeline:
+    def test_run_chains_stages(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [ImputeMean(), DropOutliers(z_threshold=3.5), ScaleStandard()],
+            random_state=0,
+        )
+        result = pipe.run(X, y)
+        assert not np.any(np.isnan(result.X))
+        assert [r.name for r in result.records] == [
+            "impute_mean",
+            "drop_outliers",
+            "scale_standard",
+        ]
+
+    def test_lineage_tracks_original_rows(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [FilterRows(lambda row: row[1] > 0.0)], random_state=0
+        )
+        result = pipe.run(X, y)
+        assert np.array_equal(result.y, y[result.lineage])
+
+    def test_stages_touching_query(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [ImputeMean(), ScaleStandard()], random_state=0
+        )
+        result = pipe.run(X, y)
+        assert result.stages_touching(0) == ["impute_mean", "scale_standard"]
+        assert result.stages_touching(1) == ["scale_standard"]
+
+    def test_deterministic(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [LabelFlipCorruption(fraction=0.1)], random_state=5
+        )
+        a = pipe.run(X, y)
+        b = pipe.run(X, y)
+        assert np.array_equal(a.y, b.y)
+
+    def test_run_without_stage(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [ImputeMean(), LabelFlipCorruption(fraction=0.1)], random_state=1
+        )
+        without_flip = pipe.run_without_stage(X, y, 1)
+        assert [r.name for r in without_flip.records] == ["impute_mean"]
+        # labels untouched
+        assert np.array_equal(without_flip.y, y)
+
+    def test_ablating_preserves_other_stage_seeds(self, raw_data):
+        """Removing stage 0 must not change stage 1's randomness."""
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [ScaleStandard(), LabelFlipCorruption(fraction=0.1)],
+            random_state=2,
+        )
+        full = pipe.run(X, y)
+        ablated = pipe.run_without_stage(X, y, 0)
+        flipped_full = full.records[1].touched_rows
+        flipped_ablated = ablated.records[0].touched_rows
+        assert flipped_full == flipped_ablated
+
+    def test_output_row_of(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [FilterRows(lambda row: row[1] > 0.0)], random_state=0
+        )
+        result = pipe.run(X, y)
+        surviving = result.surviving_original_rows()
+        first = int(surviving[0])
+        out_row = result.output_row_of(first)
+        assert result.lineage[out_row] == first
+
+    def test_empty_pipeline_rejected(self):
+        with pytest.raises(ValidationError):
+            ProvenancePipeline([])
+
+
+class TestPipelineDebugger:
+    def test_corruption_stage_blamed(self, raw_data, income):
+        """Leave-one-stage-out must rank the label-flip stage as the most
+        harmful one."""
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [
+                ImputeMean(),
+                LabelFlipCorruption(fraction=0.35),
+                ScaleStandard(),
+            ],
+            random_state=3,
+        )
+        fresh = income.resample(400, random_state=77)
+        debugger = PipelineDebugger(pipe, LogisticRegression(l2=1e-2), accuracy)
+        attributions = debugger.stage_ablation(X, y, fresh.X, fresh.y)
+        assert attributions[0].stage_name == "label_flip_corruption"
+        assert attributions[0].harm > 0
+
+    def test_blame_stages_for_rows(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline(
+            [ImputeMean(), LabelFlipCorruption(fraction=0.2)], random_state=4
+        )
+        result = pipe.run(X, y)
+        flipped_originals = result.records[1].touched_rows
+        harmful_outputs = [
+            result.output_row_of(row) for row in flipped_originals[:10]
+        ]
+        counts = PipelineDebugger(
+            pipe, LogisticRegression(), accuracy
+        ).blame_stages_for_rows(result, harmful_outputs)
+        assert counts["label_flip_corruption"] == 10
+
+    def test_blame_requires_rows(self, raw_data):
+        X, y = raw_data
+        pipe = ProvenancePipeline([ScaleStandard()], random_state=0)
+        result = pipe.run(X, y)
+        with pytest.raises(ValidationError):
+            PipelineDebugger(
+                pipe, LogisticRegression(), accuracy
+            ).blame_stages_for_rows(result, [])

@@ -1,0 +1,148 @@
+"""Property-based tests: counterfactual feasibility invariants and
+relational-algebra composition laws."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from xaidb.data import Dataset, FeatureSpec
+from xaidb.db import Relation, project, select, union
+from xaidb.explainers.counterfactual import ActionSpace
+
+
+# ----------------------------------------------------------------------
+# ActionSpace invariants
+# ----------------------------------------------------------------------
+@st.composite
+def dataset_and_points(draw):
+    n = draw(st.integers(8, 30))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    features = [
+        FeatureSpec("free"),
+        FeatureSpec("up_only", monotone=1),
+        FeatureSpec("frozen", actionable=False),
+        FeatureSpec("cat", kind="categorical", categories=("a", "b", "c")),
+    ]
+    X = np.column_stack(
+        [
+            rng.normal(size=n),
+            rng.normal(size=n),
+            rng.normal(size=n),
+            rng.integers(0, 3, size=n).astype(float),
+        ]
+    )
+    dataset = Dataset(X=X, features=features)
+    origin = X[draw(st.integers(0, n - 1))]
+    wild = origin + rng.normal(0, draw(st.floats(0.1, 5.0)), size=4)
+    return dataset, origin, wild
+
+
+@settings(max_examples=60, deadline=None)
+@given(setup=dataset_and_points())
+def test_clip_always_produces_feasible_points(setup):
+    dataset, origin, wild = setup
+    space = ActionSpace.from_dataset(dataset)
+    clipped = space.clip(origin, wild)
+    assert space.is_feasible(origin, clipped)
+
+
+@settings(max_examples=60, deadline=None)
+@given(setup=dataset_and_points())
+def test_clip_is_idempotent(setup):
+    dataset, origin, wild = setup
+    space = ActionSpace.from_dataset(dataset)
+    once = space.clip(origin, wild)
+    twice = space.clip(origin, once)
+    assert np.allclose(once, twice)
+
+
+@settings(max_examples=60, deadline=None)
+@given(setup=dataset_and_points())
+def test_clip_preserves_immutables_and_monotone(setup):
+    dataset, origin, wild = setup
+    space = ActionSpace.from_dataset(dataset)
+    clipped = space.clip(origin, wild)
+    assert clipped[2] == origin[2]  # frozen
+    assert clipped[1] >= origin[1] - 1e-12  # up_only
+    assert clipped[3] in (0.0, 1.0, 2.0)  # categorical snapped
+
+
+@settings(max_examples=60, deadline=None)
+@given(setup=dataset_and_points())
+def test_origin_is_feasible_from_itself(setup):
+    dataset, origin, __ = setup
+    space = ActionSpace.from_dataset(dataset)
+    assert space.is_feasible(origin, origin.copy())
+
+
+# ----------------------------------------------------------------------
+# relational algebra composition laws
+# ----------------------------------------------------------------------
+@st.composite
+def small_relation(draw):
+    n = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 10_000))
+    rng = np.random.default_rng(seed)
+    records = [
+        {"a": int(rng.integers(0, 3)), "b": int(rng.integers(0, 3))}
+        for __ in range(n)
+    ]
+    return Relation.from_dicts("r", records)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=small_relation(), t1=st.integers(0, 2), t2=st.integers(0, 2))
+def test_select_composition_equals_conjunction(relation, t1, t2):
+    composed = select(select(relation, lambda r: r["a"] >= t1),
+                      lambda r: r["b"] >= t2)
+    conjoined = select(relation, lambda r: r["a"] >= t1 and r["b"] >= t2)
+    assert composed.to_dicts() == conjoined.to_dicts()
+    assert [row.provenance for row in composed] == [
+        row.provenance for row in conjoined
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=small_relation())
+def test_project_is_idempotent(relation):
+    once = project(relation, ["a"])
+    twice = project(once, ["a"])
+    assert once.to_dicts() == twice.to_dicts()
+    assert [row.provenance for row in once] == [
+        row.provenance for row in twice
+    ]
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=small_relation(), right=small_relation())
+def test_union_commutes_on_values(left, right):
+    ab = union(left, right)
+    ba = union(right, left)
+    key = lambda d: sorted(d.items())
+    assert sorted(ab.to_dicts(), key=key) == sorted(ba.to_dicts(), key=key)
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=small_relation(), threshold=st.integers(0, 2))
+def test_selection_commutes_with_restriction(relation, threshold):
+    """sigma(restrict(R)) == restrict(sigma(R)) for any world."""
+    world = frozenset(relation.tuple_ids()[::2])  # every other tuple
+    left = select(relation.restrict_to(world), lambda r: r["a"] >= threshold)
+    right = select(relation, lambda r: r["a"] >= threshold).restrict_to(world)
+    assert left.to_dicts() == right.to_dicts()
+
+
+@settings(max_examples=60, deadline=None)
+@given(relation=small_relation())
+def test_projection_provenance_covers_group(relation):
+    """Each projected tuple's lineage is exactly the base tuples whose
+    rows project onto it."""
+    projected = project(relation, ["a"])
+    for row in projected:
+        expected = {
+            f"r:{i}"
+            for i, record in enumerate(relation.to_dicts())
+            if record["a"] == row["a"]
+        }
+        assert set(row.provenance.lineage()) == expected

@@ -1,0 +1,130 @@
+"""Property-based tests on models and data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from xaidb.models import DecisionTreeRegressor, LinearRegression
+from xaidb.models.metrics import roc_auc
+
+
+@st.composite
+def regression_problem(draw):
+    n = draw(st.integers(10, 60))
+    d = draw(st.integers(1, 4))
+    X = draw(
+        hnp.arrays(
+            float,
+            (n, d),
+            elements=st.floats(-10, 10, allow_nan=False),
+        )
+    )
+    w = draw(
+        hnp.arrays(
+            float, (d,), elements=st.floats(-3, 3, allow_nan=False)
+        )
+    )
+    return X, X @ w, w
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=regression_problem())
+def test_ols_interpolates_noiseless_linear_data(problem):
+    X, y, w = problem
+    model = LinearRegression().fit(X, y)
+    assert np.allclose(model.predict(X), y, atol=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=regression_problem())
+def test_tree_predictions_within_target_range(problem):
+    """A regression tree predicts leaf means, so every prediction lies in
+    [min(y), max(y)] — no extrapolation ever."""
+    X, y, __ = problem
+    model = DecisionTreeRegressor(max_depth=4).fit(X, y)
+    predictions = model.predict(X)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    scores=hnp.arrays(
+        float,
+        st.integers(4, 40),
+        # half-precision grid keeps score gaps representable after the
+        # affine transform below (denormals would collapse into ties)
+        elements=st.floats(0, 1, allow_nan=False, width=16),
+    ),
+    seed=st.integers(0, 1000),
+)
+def test_auc_invariant_to_monotone_transform(scores, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, len(scores)).astype(float)
+    if y.min() == y.max():
+        y[0] = 1.0 - y[0]
+    direct = roc_auc(y, scores)
+    transformed = roc_auc(y, scores * 7.0 + 3.0)  # strictly monotone map
+    assert np.isclose(direct, transformed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(5, 50))
+def test_dataset_split_is_partition(seed, n):
+    from xaidb.data import Dataset
+
+    rng = np.random.default_rng(seed)
+    ds = Dataset(X=rng.normal(size=(n, 2)), y=np.arange(n, dtype=float))
+    train, test = ds.split(test_fraction=0.3, random_state=seed)
+    combined = sorted(np.concatenate([train.y, test.y]).tolist())
+    assert combined == list(range(n))
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_incremental_linear_equals_retrain_for_random_deletions(seed):
+    from xaidb.incremental import IncrementalLinearRegression
+
+    rng = np.random.default_rng(seed)
+    n, d = 40, 3
+    X = rng.normal(size=(n, d))
+    y = X @ rng.normal(size=d) + 0.1 * rng.normal(size=n)
+    inc = IncrementalLinearRegression(l2=0.1).fit(X, y)
+    n_delete = int(rng.integers(1, 15))
+    rows = rng.choice(n, size=n_delete, replace=False)
+    inc.delete_rows(rows)
+    reference = inc.retrained_reference()
+    assert np.allclose(inc.coef_, reference.coef_, atol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_knn_shapley_efficiency_for_random_data(seed):
+    from xaidb.datavaluation import knn_shapley_values
+    from xaidb.datavaluation.knn_shapley import knn_utility
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(6, 25))
+    X = rng.normal(size=(n, 2))
+    y = rng.integers(0, 2, n).astype(float)
+    Xv = rng.normal(size=(5, 2))
+    yv = rng.integers(0, 2, 5).astype(float)
+    k = int(rng.integers(1, min(5, n) + 1))
+    values = knn_shapley_values(X, y, Xv, yv, k=k)
+    assert np.isclose(values.sum(), knn_utility(X, y, Xv, yv, k=k), atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_treeshap_local_accuracy_random_trees(seed):
+    from xaidb.explainers.shapley import TreeShapExplainer
+
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, 3))
+    y = rng.normal(size=60)
+    model = DecisionTreeRegressor(max_depth=3, random_state=seed).fit(X, y)
+    explainer = TreeShapExplainer(model)
+    x = X[int(rng.integers(0, 60))]
+    att = explainer.explain(x)
+    assert att.additive_check(atol=1e-8)

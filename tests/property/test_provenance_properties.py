@@ -1,0 +1,88 @@
+"""Property-based tests: why-provenance must obey the positive-semiring
+laws, and satisfaction must be monotone."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from xaidb.db import Provenance
+
+atoms = st.sampled_from(list("abcdef"))
+witness = st.frozensets(atoms, min_size=0, max_size=3)
+provenance = st.builds(
+    Provenance, st.frozensets(witness, min_size=0, max_size=4)
+)
+subset = st.frozensets(atoms, min_size=0, max_size=6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance, q=provenance)
+def test_addition_commutative(p, q):
+    assert p + q == q + p
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance, q=provenance)
+def test_multiplication_commutative(p, q):
+    assert p * q == q * p
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=provenance, q=provenance, r=provenance)
+def test_addition_associative(p, q, r):
+    assert (p + q) + r == p + (q + r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=provenance, q=provenance, r=provenance)
+def test_multiplication_associative(p, q, r):
+    assert (p * q) * r == p * (q * r)
+
+
+@settings(max_examples=60, deadline=None)
+@given(p=provenance, q=provenance, r=provenance)
+def test_distributivity(p, q, r):
+    assert p * (q + r) == p * q + p * r
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance)
+def test_identities(p):
+    assert p + Provenance.empty() == p
+    assert p * Provenance.always() == p
+    assert (p * Provenance.empty()) == Provenance.empty()
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance)
+def test_idempotence(p):
+    """Why-provenance is an absorptive (hence idempotent) semiring."""
+    assert p + p == p
+    assert p * p == p
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance, present=subset, extra=atoms)
+def test_satisfaction_monotone(p, present, extra):
+    """Adding tuples can only make more things derivable."""
+    if p.satisfied_by(present):
+        assert p.satisfied_by(present | {extra})
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance, q=provenance, present=subset)
+def test_satisfaction_homomorphism(p, q, present):
+    """Evaluation under a world commutes with + (OR) and * (AND)."""
+    assert (p + q).satisfied_by(present) == (
+        p.satisfied_by(present) or q.satisfied_by(present)
+    )
+    assert (p * q).satisfied_by(present) == (
+        p.satisfied_by(present) and q.satisfied_by(present)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(p=provenance)
+def test_lineage_covers_all_witnesses(p):
+    lineage = p.lineage()
+    for w in p.witnesses:
+        assert w <= lineage

@@ -1,0 +1,84 @@
+"""Anchors internals: predicate rendering, conditional sampling and
+coverage semantics."""
+
+import numpy as np
+import pytest
+
+from xaidb.explainers import predict_positive_proba
+from xaidb.rules import AnchorsExplainer
+
+
+@pytest.fixture(scope="module")
+def explainer(income, income_forest):
+    return AnchorsExplainer(
+        predict_positive_proba(income_forest),
+        income.dataset,
+        precision_threshold=0.9,
+        max_anchor_size=3,
+    )
+
+
+class TestPredicateText:
+    def test_categorical_predicate_decodes_label(self, explainer, income):
+        gender = income.dataset.feature_index("gender")
+        x = income.dataset.X[0]
+        text = explainer._predicate_text(gender, x)
+        assert text.startswith("gender = ")
+        assert text.split("= ")[1] in ("female", "male")
+
+    def test_numeric_predicate_edges(self, explainer, income):
+        age = income.dataset.feature_index("age")
+        lowest = income.dataset.X[np.argmin(income.dataset.X[:, age])]
+        highest = income.dataset.X[np.argmax(income.dataset.X[:, age])]
+        assert "<=" in explainer._predicate_text(age, lowest)
+        assert ">" in explainer._predicate_text(age, highest)
+
+    def test_middle_bin_renders_interval(self, explainer, income):
+        age = income.dataset.feature_index("age")
+        median_row = income.dataset.X[
+            np.argsort(income.dataset.X[:, age])[income.dataset.n_rows // 2]
+        ]
+        text = explainer._predicate_text(age, median_row)
+        assert text.count("<") >= 1 and "age" in text
+
+
+class TestConditionalSampling:
+    def test_anchored_categorical_pinned(self, explainer, income):
+        gender = income.dataset.feature_index("gender")
+        x = income.dataset.X[0]
+        rng = np.random.default_rng(0)
+        samples = explainer._sample_under((gender,), x, 100, rng)
+        assert np.all(samples[:, gender] == x[gender])
+
+    def test_anchored_numeric_stays_in_bin(self, explainer, income):
+        age = income.dataset.feature_index("age")
+        x = income.dataset.X[0]
+        target_bin = explainer._bin_of(age, x[age])
+        rng = np.random.default_rng(1)
+        samples = explainer._sample_under((age,), x, 200, rng)
+        sample_bins = explainer._column_bins(age, samples[:, age])
+        assert np.all(sample_bins == target_bin)
+
+    def test_unanchored_features_vary(self, explainer, income):
+        x = income.dataset.X[0]
+        rng = np.random.default_rng(2)
+        samples = explainer._sample_under((), x, 100, rng)
+        assert len(np.unique(samples[:, 0])) > 10
+
+
+class TestCoverageSemantics:
+    def test_satisfies_is_reflexive(self, explainer, income):
+        x = income.dataset.X[5]
+        anchor = (0, 1, 4)
+        mask = explainer._satisfies(x[None, :], anchor, x)
+        assert mask[0]
+
+    def test_empty_anchor_covers_everything(self, explainer, income):
+        mask = explainer._satisfies(income.dataset.X, (), income.dataset.X[0])
+        assert mask.all()
+
+    def test_longer_anchor_never_increases_coverage(self, explainer, income):
+        x = income.dataset.X[3]
+        shorter = explainer._satisfies(income.dataset.X, (0,), x).mean()
+        longer = explainer._satisfies(income.dataset.X, (0, 1), x).mean()
+        assert longer <= shorter + 1e-12

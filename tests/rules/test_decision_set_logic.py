@@ -1,0 +1,141 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError, ValidationError
+from xaidb.models import DecisionTreeClassifier, accuracy
+from xaidb.rules import (
+    DecisionSetClassifier,
+    all_sufficient_reasons,
+    is_sufficient_reason,
+    necessary_features,
+    sufficient_reason,
+)
+
+
+class TestDecisionSetClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self, income):
+        return DecisionSetClassifier(
+            max_rules=6, max_rule_length=2, random_state=0
+        ).fit(income.dataset)
+
+    def test_beats_majority_baseline(self, fitted, income):
+        majority = max(income.dataset.y.mean(), 1 - income.dataset.y.mean())
+        acc = accuracy(income.dataset.y, fitted.predict(income.dataset.X))
+        assert acc > majority
+
+    def test_respects_rule_budget(self, fitted):
+        assert len(fitted.rules_) <= 6
+        assert all(rule.length <= 2 for rule in fitted.rules_)
+
+    def test_describe_renders_rules(self, fitted):
+        text = fitted.describe()
+        assert "IF " in text
+        assert "ELSE class=" in text
+
+    def test_rules_meet_min_precision(self, fitted):
+        assert all(rule.precision >= 0.55 for rule in fitted.rules_)
+
+    def test_predict_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionSetClassifier().predict(np.ones((1, 2)))
+
+    def test_unlabelled_dataset_rejected(self, income):
+        from xaidb.data import Dataset
+
+        unlabelled = Dataset(X=income.dataset.X, features=income.dataset.features)
+        with pytest.raises(ValidationError):
+            DecisionSetClassifier().fit(unlabelled)
+
+    def test_deterministic(self, income):
+        a = DecisionSetClassifier(max_rules=4, random_state=3).fit(income.dataset)
+        b = DecisionSetClassifier(max_rules=4, random_state=3).fit(income.dataset)
+        assert a.describe() == b.describe()
+
+    def test_total_length_property(self, fitted):
+        assert fitted.total_length == sum(r.length for r in fitted.rules_)
+
+    def test_interpretability_penalty_shrinks_sets(self, income):
+        lax = DecisionSetClassifier(
+            max_rules=8, lambda_length=0.0, random_state=1
+        ).fit(income.dataset)
+        strict = DecisionSetClassifier(
+            max_rules=8, lambda_length=0.2, random_state=1
+        ).fit(income.dataset)
+        assert strict.total_length <= lax.total_length
+
+
+class TestSufficientReasons:
+    @pytest.fixture(scope="class")
+    def tree_and_instance(self, income):
+        model = DecisionTreeClassifier(max_depth=4, random_state=0).fit(
+            income.dataset.X, income.dataset.y
+        )
+        return model, income.dataset.X[3]
+
+    def test_full_feature_set_is_sufficient(self, tree_and_instance, income):
+        model, x = tree_and_instance
+        assert is_sufficient_reason(model, x, range(income.dataset.n_features))
+
+    def test_greedy_reason_is_minimal(self, tree_and_instance):
+        model, x = tree_and_instance
+        reason = sufficient_reason(model, x)
+        assert is_sufficient_reason(model, x, reason, require_minimal=True)
+
+    def test_empty_set_usually_insufficient(self, tree_and_instance):
+        model, x = tree_and_instance
+        # a depth-4 tree on real data has both classes among leaves
+        assert not is_sufficient_reason(model, x, [])
+
+    def test_all_reasons_are_minimal_and_sufficient(self, tree_and_instance):
+        model, x = tree_and_instance
+        reasons = all_sufficient_reasons(model, x)
+        assert reasons
+        for reason in reasons:
+            assert is_sufficient_reason(model, x, reason, require_minimal=True)
+
+    def test_no_reason_subsumes_another(self, tree_and_instance):
+        model, x = tree_and_instance
+        reasons = [frozenset(r) for r in all_sufficient_reasons(model, x)]
+        for i, a in enumerate(reasons):
+            for j, b in enumerate(reasons):
+                if i != j:
+                    assert not a < b
+
+    def test_necessary_equals_intersection_of_all_reasons(self, tree_and_instance):
+        model, x = tree_and_instance
+        reasons = all_sufficient_reasons(model, x)
+        intersection = set(reasons[0])
+        for reason in reasons[1:]:
+            intersection &= set(reason)
+        assert set(necessary_features(model, x)) == intersection
+
+    def test_greedy_respects_preference_order(self, income):
+        """Dropping preferred features first yields a reason avoiding them
+        when possible."""
+        model = DecisionTreeClassifier(max_depth=3, random_state=1).fit(
+            income.dataset.X, income.dataset.y
+        )
+        x = income.dataset.X[11]
+        d = income.dataset.n_features
+        reasons = all_sufficient_reasons(model, x)
+        if len(reasons) > 1:
+            # ask to drop the features of the first reason first
+            target = reasons[1]
+            order = [f for f in range(d) if f not in target] + list(target)
+            greedy = sufficient_reason(model, x, preference_order=order)
+            assert is_sufficient_reason(model, x, greedy, require_minimal=True)
+
+    def test_preference_order_validated(self, tree_and_instance):
+        model, x = tree_and_instance
+        with pytest.raises(ValidationError):
+            sufficient_reason(model, x, preference_order=[0, 0, 1])
+
+    def test_stump_reason_is_its_feature(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 1] > 0).astype(float)
+        stump = DecisionTreeClassifier(max_depth=1).fit(X, y)
+        x = X[0]
+        assert sufficient_reason(stump, x) == [1]
+        assert necessary_features(stump, x) == [1]

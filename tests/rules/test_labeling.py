@@ -1,0 +1,143 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.models import accuracy
+from xaidb.rules import (
+    ABSTAIN,
+    LabelingFunction,
+    LabelModel,
+    apply_labeling_functions,
+    mine_labeling_rules,
+)
+
+
+@pytest.fixture()
+def simple_votes():
+    """4 voters: perfect, two noisy ones wrong on disjoint rows (so the
+    majority is always right — Dawid-Skene identifiability needs >= 3
+    informative voters), and one that always abstains."""
+    truth = np.asarray([1, 1, 0, 0, 1, 0, 1, 0])
+    noisy_a = truth.copy()
+    noisy_a[0] = 1 - noisy_a[0]
+    noisy_a[3] = 1 - noisy_a[3]
+    noisy_b = truth.copy()
+    noisy_b[1] = 1 - noisy_b[1]
+    noisy_b[5] = 1 - noisy_b[5]
+    votes = np.column_stack(
+        [truth, noisy_a, noisy_b, np.full(8, ABSTAIN)]
+    )
+    return votes, truth
+
+
+class TestLabelingFunction:
+    def test_valid_votes_pass(self):
+        lf = LabelingFunction("f", lambda row: 1)
+        assert lf(np.zeros(2)) == 1
+
+    def test_invalid_vote_rejected(self):
+        lf = LabelingFunction("bad", lambda row: 7)
+        with pytest.raises(ValidationError, match="bad"):
+            lf(np.zeros(2))
+
+    def test_apply_builds_matrix(self):
+        fs = [
+            LabelingFunction("a", lambda row: 1 if row[0] > 0 else 0),
+            LabelingFunction("b", lambda row: ABSTAIN),
+        ]
+        X = np.asarray([[1.0], [-1.0]])
+        votes = apply_labeling_functions(fs, X)
+        assert votes.tolist() == [[1, ABSTAIN], [0, ABSTAIN]]
+
+    def test_apply_needs_functions(self):
+        with pytest.raises(ValidationError):
+            apply_labeling_functions([], np.ones((2, 2)))
+
+
+class TestLabelModel:
+    def test_majority_consensus(self, simple_votes):
+        votes, truth = simple_votes
+        model = LabelModel().fit(votes)
+        predictions = model.predict(votes)
+        assert accuracy(truth.astype(float), predictions) == 1.0
+
+    def test_accuracies_identify_good_and_noisy_voters(self, simple_votes):
+        votes, __ = simple_votes
+        model = LabelModel().fit(votes)
+        assert model.accuracies_[0] > model.accuracies_[1]  # perfect > noisy
+        assert model.accuracies_[0] > model.accuracies_[2]
+        assert model.accuracies_[1] > 0.6  # noisy voters still informative
+        assert model.accuracies_[3] == pytest.approx(0.5)  # abstainer
+
+    def test_anti_correlated_voter_is_inverted(self):
+        """A reliably wrong voter still carries signal: the label model
+        should learn to flip it."""
+        truth = np.asarray([1, 0, 1, 0, 1, 0] * 5)
+        votes = np.column_stack([truth, 1 - truth, truth])
+        model = LabelModel().fit(votes)
+        # rows where only the anti-voter speaks
+        solo = np.column_stack(
+            [np.full(6, ABSTAIN), 1 - truth[:6], np.full(6, ABSTAIN)]
+        )
+        predictions = model.predict(solo)
+        assert accuracy(truth[:6].astype(float), predictions) == 1.0
+
+    def test_probabilities_in_unit_interval(self, simple_votes):
+        votes, __ = simple_votes
+        proba = LabelModel().fit(votes).predict_proba(votes)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_coverage(self, simple_votes):
+        votes, __ = simple_votes
+        model = LabelModel().fit(votes)
+        assert model.coverage(votes) == 1.0
+        all_abstain = np.full((3, 3), ABSTAIN)
+        assert model.coverage(all_abstain) == 0.0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(ValidationError):
+            LabelModel().predict_proba(np.zeros((2, 2), dtype=int))
+
+
+class TestMineLabelingRules:
+    def test_mined_rules_meet_precision_on_seed(self, income):
+        seed = income.dataset.subset(range(150))
+        functions = mine_labeling_rules(seed, min_precision=0.75, max_rules=8)
+        assert functions
+        votes = apply_labeling_functions(functions, seed.X)
+        for j in range(votes.shape[1]):
+            cast = votes[:, j] != ABSTAIN
+            agreement = np.mean(votes[cast, j] == seed.y[cast])
+            assert agreement >= 0.75 - 1e-9
+
+    def test_end_to_end_weak_supervision_beats_chance(self, income):
+        """Mine rules on a small seed, label the rest, check the denoised
+        labels beat the majority baseline on covered rows."""
+        seed = income.dataset.subset(range(120))
+        rest = income.dataset.subset(range(120, income.dataset.n_rows))
+        functions = mine_labeling_rules(seed, min_precision=0.7, max_rules=8)
+        votes = apply_labeling_functions(functions, rest.X)
+        model = LabelModel().fit(votes)
+        covered = (votes != ABSTAIN).any(axis=1)
+        assert covered.mean() > 0.1
+        acc = accuracy(rest.y[covered], model.predict(votes)[covered])
+        majority = max(rest.y.mean(), 1 - rest.y.mean())
+        assert acc > majority - 0.05
+
+    def test_unlabelled_seed_rejected(self, income):
+        from xaidb.data import Dataset
+
+        unlabelled = Dataset(X=income.dataset.X, features=income.dataset.features)
+        with pytest.raises(ValidationError):
+            mine_labeling_rules(unlabelled)
+
+    def test_max_rules_respected(self, income):
+        seed = income.dataset.subset(range(150))
+        functions = mine_labeling_rules(seed, min_precision=0.6, max_rules=3)
+        assert len(functions) <= 3
+
+    def test_rules_have_readable_names(self, income):
+        seed = income.dataset.subset(range(150))
+        functions = mine_labeling_rules(seed, min_precision=0.7, max_rules=4)
+        for function in functions:
+            assert "=>" in function.name

@@ -1,0 +1,108 @@
+import pytest
+
+from xaidb.data import TransactionDatabase, make_transactions
+from xaidb.exceptions import ValidationError
+from xaidb.rules import apriori, association_rules, fp_growth
+
+
+@pytest.fixture()
+def toy_db():
+    return TransactionDatabase(
+        [
+            {"bread", "milk"},
+            {"bread", "diapers", "beer", "eggs"},
+            {"milk", "diapers", "beer", "cola"},
+            {"bread", "milk", "diapers", "beer"},
+            {"bread", "milk", "diapers", "cola"},
+        ]
+    )
+
+
+class TestApriori:
+    def test_textbook_example(self, toy_db):
+        frequent = apriori(toy_db, 0.6)
+        # classic Han & Kamber example results at support 3/5
+        assert frequent[frozenset({"bread"})] == 4
+        assert frequent[frozenset({"milk"})] == 4
+        assert frequent[frozenset({"diapers"})] == 4
+        assert frequent[frozenset({"beer"})] == 3
+        assert frequent[frozenset({"diapers", "beer"})] == 3
+        assert frozenset({"beer", "milk"}) not in frequent  # support 2
+
+    def test_downward_closure(self, toy_db):
+        frequent = apriori(toy_db, 0.4)
+        for itemset in frequent:
+            for item in itemset:
+                assert itemset - {item} == frozenset() or (
+                    itemset - {item} in frequent
+                )
+
+    def test_max_length(self, toy_db):
+        frequent = apriori(toy_db, 0.4, max_length=1)
+        assert all(len(itemset) == 1 for itemset in frequent)
+
+    def test_support_one_returns_universal_items(self, toy_db):
+        frequent = apriori(toy_db, 1.0)
+        assert frequent == {}
+
+    def test_empty_db_rejected(self):
+        with pytest.raises(ValidationError):
+            apriori(TransactionDatabase([]), 0.5)
+
+    def test_support_out_of_range(self, toy_db):
+        with pytest.raises(ValidationError):
+            apriori(toy_db, 1.5)
+
+
+class TestFpGrowth:
+    def test_agrees_with_apriori(self, toy_db):
+        for support in (0.2, 0.4, 0.6, 0.8):
+            assert fp_growth(toy_db, support) == apriori(toy_db, support)
+
+    def test_agrees_on_synthetic_workload(self):
+        db = make_transactions(300, n_items=25, random_state=0)
+        assert fp_growth(db, 0.15) == apriori(db, 0.15)
+
+    def test_max_length(self, toy_db):
+        frequent = fp_growth(toy_db, 0.4, max_length=2)
+        assert max(len(itemset) for itemset in frequent) <= 2
+        reference = {
+            k: v for k, v in apriori(toy_db, 0.4).items() if len(k) <= 2
+        }
+        assert frequent == reference
+
+    def test_counts_are_supports(self, toy_db):
+        frequent = fp_growth(toy_db, 0.4)
+        for itemset, count in frequent.items():
+            assert count == toy_db.support_count(itemset)
+
+
+class TestAssociationRules:
+    def test_confidence_and_lift(self, toy_db):
+        frequent = apriori(toy_db, 0.4)
+        rules = association_rules(frequent, len(toy_db), min_confidence=0.7)
+        by_key = {
+            (rule.antecedent, rule.consequent): rule for rule in rules
+        }
+        rule = by_key[(frozenset({"beer"}), frozenset({"diapers"}))]
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.lift == pytest.approx(1.0 / (4 / 5))
+        assert rule.support == pytest.approx(3 / 5)
+
+    def test_min_confidence_filters(self, toy_db):
+        frequent = apriori(toy_db, 0.4)
+        strict = association_rules(frequent, len(toy_db), min_confidence=0.95)
+        loose = association_rules(frequent, len(toy_db), min_confidence=0.5)
+        assert len(strict) < len(loose)
+        assert all(rule.confidence >= 0.95 for rule in strict)
+
+    def test_sorted_by_confidence(self, toy_db):
+        frequent = apriori(toy_db, 0.4)
+        rules = association_rules(frequent, len(toy_db), min_confidence=0.5)
+        confidences = [rule.confidence for rule in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rejects_bad_args(self, toy_db):
+        frequent = apriori(toy_db, 0.4)
+        with pytest.raises(ValidationError):
+            association_rules(frequent, 0)

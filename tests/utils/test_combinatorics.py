@@ -1,0 +1,74 @@
+from math import comb, isinf
+
+import pytest
+
+from xaidb.utils.combinatorics import (
+    all_subsets,
+    harmonic_number,
+    shapley_kernel_weight,
+    shapley_subset_weight,
+)
+
+
+class TestAllSubsets:
+    def test_counts_powerset(self):
+        assert len(list(all_subsets([1, 2, 3]))) == 8
+
+    def test_proper_excludes_full(self):
+        subsets = list(all_subsets([1, 2], proper=True))
+        assert (1, 2) not in subsets
+        assert len(subsets) == 3
+
+    def test_includes_empty(self):
+        assert () in list(all_subsets([1]))
+
+
+class TestShapleySubsetWeight:
+    def test_weights_sum_to_one_over_sizes(self):
+        # sum over all coalitions S (not containing i) of w(|S|) == 1
+        for n in range(1, 8):
+            total = sum(
+                comb(n - 1, s) * shapley_subset_weight(s, n) for s in range(n)
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_single_player(self):
+        assert shapley_subset_weight(0, 1) == pytest.approx(1.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            shapley_subset_weight(3, 3)
+        with pytest.raises(ValueError):
+            shapley_subset_weight(-1, 3)
+
+
+class TestShapleyKernelWeight:
+    def test_infinite_at_extremes(self):
+        assert isinf(shapley_kernel_weight(0, 5))
+        assert isinf(shapley_kernel_weight(5, 5))
+
+    def test_symmetry_in_size(self):
+        for n in range(2, 9):
+            for s in range(1, n):
+                assert shapley_kernel_weight(s, n) == pytest.approx(
+                    shapley_kernel_weight(n - s, n)
+                )
+
+    def test_known_value(self):
+        # n=4, |S|=1: (4-1)/(C(4,1)*1*3) = 3/12
+        assert shapley_kernel_weight(1, 4) == pytest.approx(0.25)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            shapley_kernel_weight(6, 5)
+
+
+class TestHarmonicNumber:
+    def test_values(self):
+        assert harmonic_number(0) == 0.0
+        assert harmonic_number(1) == 1.0
+        assert harmonic_number(3) == pytest.approx(1.0 + 0.5 + 1.0 / 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            harmonic_number(-1)

@@ -1,0 +1,70 @@
+import numpy as np
+import pytest
+
+from xaidb.utils.kernels import exponential_kernel, pairwise_distances
+
+
+class TestPairwiseDistances:
+    def test_euclidean_known_values(self):
+        a = np.array([[0.0, 0.0], [3.0, 4.0]])
+        d = pairwise_distances(a)
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 0] == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(10, 3))
+        d = pairwise_distances(a)
+        assert np.allclose(d, d.T, atol=1e-12)
+
+    def test_sqeuclidean_is_square(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(5, 2))
+        b = rng.normal(size=(4, 2))
+        assert np.allclose(
+            pairwise_distances(a, b, metric="sqeuclidean"),
+            pairwise_distances(a, b) ** 2,
+        )
+
+    def test_manhattan(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[1.0, -2.0]])
+        assert pairwise_distances(a, b, metric="manhattan")[0, 0] == pytest.approx(3.0)
+
+    def test_hamming(self):
+        a = np.array([[1.0, 0.0, 1.0, 1.0]])
+        b = np.array([[1.0, 1.0, 0.0, 1.0]])
+        assert pairwise_distances(a, b, metric="hamming")[0, 0] == pytest.approx(0.5)
+
+    def test_cosine_orthogonal(self):
+        a = np.array([[1.0, 0.0]])
+        b = np.array([[0.0, 1.0]])
+        assert pairwise_distances(a, b, metric="cosine")[0, 0] == pytest.approx(1.0)
+
+    def test_column_mismatch_raises(self):
+        with pytest.raises(ValueError, match="same number of columns"):
+            pairwise_distances(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError, match="unknown metric"):
+            pairwise_distances(np.ones((2, 2)), metric="minkowski99")
+
+
+class TestExponentialKernel:
+    def test_zero_distance_gives_one(self):
+        assert exponential_kernel(np.zeros(3), 1.0)[0] == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        w = exponential_kernel(np.array([0.0, 1.0, 2.0]), 1.0)
+        assert w[0] > w[1] > w[2]
+
+    def test_width_scaling(self):
+        narrow = exponential_kernel(np.array([1.0]), 0.5)
+        wide = exponential_kernel(np.array([1.0]), 2.0)
+        assert narrow < wide
+
+    def test_requires_positive_width(self):
+        from xaidb.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            exponential_kernel(np.array([1.0]), 0.0)

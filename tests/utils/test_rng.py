@@ -1,0 +1,43 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.utils.rng import check_random_state, spawn_seeds
+
+
+class TestCheckRandomState:
+    def test_none_gives_generator(self):
+        assert isinstance(check_random_state(None), np.random.Generator)
+
+    def test_int_is_deterministic(self):
+        a = check_random_state(42).integers(0, 1000, 10)
+        b = check_random_state(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert check_random_state(rng) is rng
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ValidationError):
+            check_random_state("seed")
+
+    def test_numpy_integer_accepted(self):
+        seed = np.int64(5)
+        assert isinstance(check_random_state(seed), np.random.Generator)
+
+
+class TestSpawnSeeds:
+    def test_count_and_determinism(self):
+        assert spawn_seeds(0, 5) == spawn_seeds(0, 5)
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_children_differ(self):
+        seeds = spawn_seeds(1, 10)
+        assert len(set(seeds)) == 10
+
+    def test_consumes_generator_state(self):
+        rng = np.random.default_rng(0)
+        first = spawn_seeds(rng, 3)
+        second = spawn_seeds(rng, 3)
+        assert first != second

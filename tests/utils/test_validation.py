@@ -1,0 +1,98 @@
+import numpy as np
+import pytest
+
+from xaidb.exceptions import NotFittedError, ValidationError
+from xaidb.utils.validation import (
+    check_array,
+    check_fitted,
+    check_in_range,
+    check_matching_lengths,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckArray:
+    def test_coerces_lists(self):
+        out = check_array([[1, 2], [3, 4]], name="m", ndim=2)
+        assert out.shape == (2, 2)
+        assert out.dtype == float
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError, match="2-dimensional"):
+            check_array([1, 2, 3], name="m", ndim=2)
+
+    def test_rejects_empty_by_default(self):
+        with pytest.raises(ValidationError, match="empty"):
+            check_array([], name="m", ndim=1)
+
+    def test_allows_empty_when_requested(self):
+        out = check_array([], name="m", ndim=1, allow_empty=True)
+        assert out.size == 0
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError, match="NaN"):
+            check_array([1.0, np.nan], name="m", ndim=1)
+
+    def test_allows_nan_when_finite_not_required(self):
+        out = check_array([1.0, np.nan], name="m", ndim=1, ensure_finite=False)
+        assert np.isnan(out[1])
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(ValidationError, match="not convertible"):
+            check_array([object()], name="m", dtype=float)
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValidationError, match="weights"):
+            check_array([[1]], name="weights", ndim=1)
+
+
+class TestCheckMatchingLengths:
+    def test_passes_on_equal(self):
+        check_matching_lengths(("a", [1, 2]), ("b", [3, 4]))
+
+    def test_raises_with_both_names(self):
+        with pytest.raises(ValidationError, match="b has length 3 but a"):
+            check_matching_lengths(("a", [1, 2]), ("b", [1, 2, 3]))
+
+    def test_empty_args_is_noop(self):
+        check_matching_lengths()
+
+
+class TestScalarChecks:
+    def test_positive_strict(self):
+        assert check_positive(1.5, name="x") == 1.5
+        with pytest.raises(ValidationError):
+            check_positive(0.0, name="x")
+
+    def test_positive_nonstrict_allows_zero(self):
+        assert check_positive(0.0, name="x", strict=False) == 0.0
+        with pytest.raises(ValidationError):
+            check_positive(-1.0, name="x", strict=False)
+
+    def test_in_range_inclusive(self):
+        assert check_in_range(0.0, name="x", low=0.0, high=1.0) == 0.0
+
+    def test_in_range_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range(0.0, name="x", low=0.0, high=1.0, inclusive=False)
+
+    def test_probability(self):
+        assert check_probability(0.5, name="p") == 0.5
+        with pytest.raises(ValidationError):
+            check_probability(1.5, name="p")
+
+
+class TestCheckFitted:
+    def test_raises_when_missing(self):
+        class Model:
+            coef_ = None
+
+        with pytest.raises(NotFittedError, match="coef_"):
+            check_fitted(Model(), ["coef_"])
+
+    def test_passes_when_set(self):
+        class Model:
+            coef_ = np.ones(2)
+
+        check_fitted(Model(), ["coef_"])

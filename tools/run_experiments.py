@@ -1,0 +1,43 @@
+"""Regenerate the experiment tables (E1..E20, A1..A6) outside of CI.
+
+Thin wrapper over pytest so the tables print directly to the terminal:
+
+    python tools/run_experiments.py            # everything
+    python tools/run_experiments.py e04 a05    # selected experiments
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+
+def main(argv: list[str]) -> int:
+    root = pathlib.Path(__file__).resolve().parent.parent
+    targets: list[str]
+    if argv:
+        targets = []
+        for token in argv:
+            matches = sorted(root.glob(f"benchmarks/bench_{token}*.py"))
+            if not matches:
+                print(f"no benchmark matches {token!r}", file=sys.stderr)
+                return 2
+            targets.extend(str(m) for m in matches)
+    else:
+        targets = ["benchmarks/"]
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        *targets,
+        "--benchmark-only",
+        "-s",
+        "-q",
+        "--benchmark-disable-gc",
+    ]
+    return subprocess.call(command, cwd=root)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
