@@ -57,6 +57,7 @@ def compute_rows():
                 tolerance,
                 utility.n_calls,
                 float(rho),
+                # xailint: disable=XDB006 (Shapley values truncated to exactly 0.0 by TMC)
                 float(np.mean(values == 0.0)),
             )
         )

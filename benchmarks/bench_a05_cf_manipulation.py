@@ -108,9 +108,11 @@ def test_a05_cf_manipulation(benchmark):
         ["group", "denied", "mean recourse cost", "infeasible rate"],
         fairness_rows,
     )
+    # xailint: disable=XDB006 (stealth rate is a count ratio, exactly 1.0 when all pass)
     assert stealth == 1.0
     by_name = dict((row[0], row) for row in manipulation_rows)
     assert by_name["unconstrained search"][1] >= 0.5  # attack succeeds
+    # xailint: disable=XDB006 (attack success is a count ratio, exactly 0.0 when none succeed)
     assert by_name["manifold-constrained"][1] == 0.0  # defence holds
     assert by_name["manifold-constrained"][2] >= 0.75
     # the penalised group pays measurably more for recourse

@@ -40,6 +40,7 @@ def compute_rows():
 
     # group curves: coherent group = highest-education positives
     order = np.argsort(-X[:, 1])
+    # xailint: disable=XDB006 (labels are exact 0.0/1.0 floats)
     coherent_pool = [i for i in order if y[i] == 1.0]
     group_rows = []
     for size in GROUP_SIZES:

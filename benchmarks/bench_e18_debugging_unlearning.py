@@ -48,6 +48,7 @@ def compute_rows():
     workload = make_income(700, random_state=0)
     X, y = workload.dataset.X.copy(), workload.dataset.y.copy()
     rng = np.random.default_rng(1)
+    # xailint: disable=XDB006 (labels are exact 0.0/1.0 floats)
     negatives = np.flatnonzero(y == 0.0)
     corrupted = rng.choice(negatives, size=N_CORRUPT, replace=False)
     y[corrupted] = 1.0

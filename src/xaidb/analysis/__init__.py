@@ -1,0 +1,54 @@
+"""xailint — xaidb's self-hosted static-analysis pass.
+
+The tutorial's central warning (PAPER.md §2) is that explanations lose
+validity silently: unseeded randomness, hidden library behaviour and
+impure explainers make a reproduction drift from the results it claims
+to match without any test failing.  This package turns the repo's
+scientific-correctness conventions into machine-checked invariants
+(rule ids XDB001–XDB008, documented in ``docs/LINTING.md``) that gate
+every PR via ``tests/analysis/test_lint_clean.py``.
+
+Programmatic use::
+
+    from xaidb.analysis import run_paths
+
+    result = run_paths(["src", "benchmarks"])
+    assert result.ok, [str(f) for f in result.findings]
+
+Command line::
+
+    python -m xaidb.analysis src benchmarks examples tools
+"""
+
+from xaidb.analysis.engine import discover_files, lint_source, run_paths
+from xaidb.analysis.findings import Finding, LintResult
+from xaidb.analysis.registry import (
+    FileRule,
+    ProjectRule,
+    Rule,
+    all_rules,
+    register,
+    rules_by_id,
+)
+from xaidb.analysis.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "rules_by_id",
+    "discover_files",
+    "lint_source",
+    "run_paths",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_VERSION",
+]

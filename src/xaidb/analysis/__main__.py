@@ -1,0 +1,8 @@
+"""``python -m xaidb.analysis`` — run the xailint static-analysis pass."""
+
+import sys
+
+from xaidb.analysis.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Command-line entry point for xailint.
+
+Invocations (all equivalent)::
+
+    python -m xaidb.analysis src benchmarks examples tools
+    xailint src benchmarks examples tools      # console script
+    python tools/xailint.py                    # repo wrapper
+
+With no paths, the repo-standard scan set (``src``, ``benchmarks``,
+``examples``, ``tools``) is used, filtered to directories that exist
+under the current working directory.  Exit status: 0 clean, 1 findings,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from xaidb.analysis.engine import run_paths
+from xaidb.analysis.registry import all_rules
+from xaidb.analysis.reporters import render_json, render_text
+
+__all__ = ["main", "build_parser", "DEFAULT_SCAN_PATHS"]
+
+DEFAULT_SCAN_PATHS = ("src", "benchmarks", "examples", "tools")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="xailint",
+        description=(
+            "Static analysis enforcing xaidb's scientific-correctness "
+            "invariants (rule ids XDB001-XDB008; see docs/LINTING.md)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help=(
+            "files or directories to scan (default: the repo-standard "
+            "set: " + ", ".join(DEFAULT_SCAN_PATHS) + ")"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated subset of rule ids to run, e.g. XDB001,XDB004",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.symbol}")
+            print(f"    {rule.description}")
+        return 0
+
+    paths = list(args.paths)
+    if not paths:
+        paths = [p for p in DEFAULT_SCAN_PATHS if Path(p).is_dir()]
+        if not paths:
+            parser.error(
+                "no paths given and none of the default scan "
+                "directories exist here"
+            )
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        # a typo'd path must not let the gate pass vacuously
+        parser.error("no such file or directory: " + ", ".join(missing))
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    try:
+        result = run_paths(paths, root=Path.cwd(), rule_ids=rule_ids)
+    except ValueError as exc:  # unknown rule id
+        parser.error(str(exc))
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""The xailint engine: file discovery, parsing, rule dispatch.
+
+The engine is deliberately dependency-free (stdlib ``ast`` + ``tokenize``
+only) so it can gate CI in the same offline environment the library
+itself targets.  Usage::
+
+    from xaidb.analysis import run_paths
+
+    result = run_paths(["src", "benchmarks"])
+    assert result.ok, result.findings
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from xaidb.analysis.findings import Finding, LintResult
+from xaidb.analysis.registry import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    all_rules,
+)
+from xaidb.analysis.suppressions import parse_suppressions
+
+__all__ = ["discover_files", "lint_source", "run_paths", "PARSE_ERROR_ID"]
+
+#: Pseudo rule id for files the parser rejects; not suppressible.
+PARSE_ERROR_ID = "XDB000"
+
+_SKIP_DIR_NAMES = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand ``paths`` (files or directories) into a sorted list of
+    ``.py`` files, skipping cache/VCS directories."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file() and path.suffix == ".py":
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIR_NAMES:
+                    continue
+                found.add(candidate)
+    return sorted(found)
+
+
+def _module_name(path: Path) -> tuple[str, bool]:
+    """Best-effort dotted module name and whether it is inside ``xaidb``.
+
+    Works from the path alone: everything after a ``src`` or site-root
+    component is treated as package structure.
+    """
+    parts = list(path.with_suffix("").parts)
+    for anchor in ("xaidb",):
+        if anchor in parts:
+            tail = parts[parts.index(anchor):]
+            if tail[-1] == "__init__":
+                tail = tail[:-1]
+            return ".".join(tail), True
+    name = parts[-1] if parts[-1] != "__init__" else (
+        parts[-2] if len(parts) > 1 else ""
+    )
+    return name, False
+
+
+def _build_context(path: Path, root: Path | None) -> FileContext | Finding:
+    """Parse ``path``; return a context, or a parse-error finding."""
+    relpath = str(path)
+    if root is not None:
+        try:
+            relpath = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            relpath = str(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return Finding(
+            path=relpath,
+            line=1,
+            col=0,
+            rule_id=PARSE_ERROR_ID,
+            symbol="unreadable-file",
+            message=f"cannot read file: {exc}",
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return Finding(
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            rule_id=PARSE_ERROR_ID,
+            symbol="syntax-error",
+            message=f"syntax error: {exc.msg}",
+        )
+    module_name, in_xaidb = _module_name(path)
+    return FileContext(
+        path=path,
+        relpath=relpath,
+        source=source,
+        tree=tree,
+        in_xaidb_package=in_xaidb,
+        module_name=module_name,
+    )
+
+
+def lint_source(
+    source: str,
+    *,
+    filename: str = "<string>",
+    module_name: str = "",
+    in_xaidb_package: bool = False,
+    rule_ids: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint a source string — the in-memory entry point used by tests.
+
+    Project rules see a single-file corpus, so XDB008-style checks run
+    against exactly the snippet provided.
+    """
+    result = LintResult(files_scanned=1)
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                path=filename,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule_id=PARSE_ERROR_ID,
+                symbol="syntax-error",
+                message=f"syntax error: {exc.msg}",
+            )
+        )
+        return result
+    ctx = FileContext(
+        path=Path(filename),
+        relpath=filename,
+        source=source,
+        tree=tree,
+        in_xaidb_package=in_xaidb_package,
+        module_name=module_name,
+    )
+    _run_rules([ctx], result, rule_ids)
+    return result
+
+
+def run_paths(
+    paths: Iterable[str | Path],
+    *,
+    root: str | Path | None = None,
+    rule_ids: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` and return the result.
+
+    Parameters
+    ----------
+    paths:
+        Files or directories to scan.
+    root:
+        Optional base directory findings are reported relative to.
+    rule_ids:
+        Optional subset of rule ids to run (default: all registered).
+    """
+    root_path = Path(root) if root is not None else None
+    result = LintResult()
+    contexts: list[FileContext] = []
+    for path in discover_files(paths):
+        built = _build_context(path, root_path)
+        if isinstance(built, Finding):
+            result.findings.append(built)
+        else:
+            contexts.append(built)
+        result.files_scanned += 1
+    _run_rules(contexts, result, rule_ids)
+    return result
+
+
+def _run_rules(
+    contexts: list[FileContext],
+    result: LintResult,
+    rule_ids: Sequence[str] | None,
+) -> None:
+    """Dispatch file rules, then project rules; filter suppressions."""
+    rules = all_rules(rule_ids)
+    file_rules = [r for r in rules if isinstance(r, FileRule)]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+
+    raw: list[Finding] = []
+    for ctx in contexts:
+        for rule in file_rules:
+            raw.extend(rule.check_file(ctx))
+    if project_rules:
+        project = ProjectContext(files=contexts)
+        for rule in project_rules:
+            raw.extend(rule.check_project(project))
+
+    suppression_index = {
+        ctx.relpath: parse_suppressions(ctx.source) for ctx in contexts
+    }
+    for finding in raw:
+        index = suppression_index.get(finding.path)
+        if index is not None and index.is_suppressed(
+            finding.line, finding.rule_id
+        ):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=Finding.sort_key)
+    result.suppressed.sort(key=Finding.sort_key)

@@ -1,0 +1,160 @@
+"""Rule registry for xailint.
+
+Rules come in two flavours:
+
+- :class:`FileRule` — sees one parsed module at a time (an AST plus its
+  source context) and yields findings local to that file;
+- :class:`ProjectRule` — runs after every file has been parsed and sees
+  the whole corpus, for cross-module invariants (e.g. "every concrete
+  explainer subclasses the base interface").
+
+Concrete rules self-register at import time via :func:`register`; the
+engine asks :func:`all_rules` for the active set.  Registration keys on
+the rule id, so re-importing a rule module is idempotent but two
+*different* rules claiming one id is a programming error.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Type
+
+from xaidb.analysis.findings import Finding
+
+__all__ = [
+    "FileContext",
+    "ProjectContext",
+    "Rule",
+    "FileRule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "rules_by_id",
+]
+
+
+@dataclass
+class FileContext:
+    """Everything a per-file rule may need about one module."""
+
+    path: Path
+    relpath: str
+    source: str
+    tree: ast.Module
+    #: True when the module lives inside the ``xaidb`` package proper
+    #: (``src/xaidb/...``), where API-surface rules apply.
+    in_xaidb_package: bool = False
+    #: Dotted module name best-effort derived from the path
+    #: (``xaidb.explainers.lime``); empty for scripts.
+    module_name: str = ""
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` in this file."""
+        return Finding(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule.rule_id,
+            symbol=rule.symbol,
+            message=message,
+            severity=rule.severity,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """The whole parsed corpus, for cross-module rules."""
+
+    files: list[FileContext] = field(default_factory=list)
+
+    def modules_under(self, package_prefix: str) -> list[FileContext]:
+        """File contexts whose dotted name starts with ``package_prefix``."""
+        return [
+            ctx
+            for ctx in self.files
+            if ctx.module_name == package_prefix
+            or ctx.module_name.startswith(package_prefix + ".")
+        ]
+
+
+class Rule:
+    """Base class carrying rule metadata; never registered directly."""
+
+    #: Stable id, e.g. ``"XDB002"``.  Used in reports and suppressions.
+    rule_id: str = ""
+    #: Kebab-case short name, e.g. ``"unseeded-randomness"``.
+    symbol: str = ""
+    #: One-line description shown by ``xailint --list-rules``.
+    description: str = ""
+    severity: str = "error"
+
+
+class FileRule(Rule):
+    """A rule evaluated once per parsed module."""
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over the whole corpus."""
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding an instance of ``rule_cls`` to the registry."""
+    rule = rule_cls()
+    if not rule.rule_id or not rule.symbol:
+        raise ValueError(
+            f"{rule_cls.__name__} must define rule_id and symbol"
+        )
+    existing = _REGISTRY.get(rule.rule_id)
+    if existing is not None and type(existing) is not rule_cls:
+        raise ValueError(
+            f"duplicate rule id {rule.rule_id}: "
+            f"{type(existing).__name__} vs {rule_cls.__name__}"
+        )
+    _REGISTRY[rule.rule_id] = rule
+    return rule_cls
+
+
+def all_rules(only: Iterable[str] | None = None) -> list[Rule]:
+    """The active rule set, sorted by id.
+
+    Importing :mod:`xaidb.analysis.rules` (done lazily here) triggers
+    registration of the built-in rule pack.
+
+    Parameters
+    ----------
+    only:
+        Optional whitelist of rule ids; unknown ids raise ``ValueError``
+        so typos in ``--rules`` fail loudly.
+    """
+    import xaidb.analysis.rules  # noqa: F401  (registration side effect)
+
+    rules = [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+    if only is None:
+        return rules
+    wanted = set(only)
+    known = {r.rule_id for r in rules}
+    unknown = wanted - known
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [r for r in rules if r.rule_id in wanted]
+
+
+def rules_by_id() -> dict[str, Rule]:
+    """Mapping of rule id to rule instance for the full registry."""
+    return {rule.rule_id: rule for rule in all_rules()}

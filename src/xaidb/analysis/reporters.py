@@ -1,0 +1,84 @@
+"""Output formats for xailint results.
+
+Two reporters ship: a human-oriented text format (one
+``path:line:col: RULE message`` line per finding, grouped summary) and
+a machine-oriented JSON document with a versioned, stable schema that
+``tests/analysis`` pins down::
+
+    {
+      "schema_version": 1,
+      "files_scanned": 12,
+      "ok": false,
+      "findings": [
+        {"path": "...", "line": 3, "col": 0, "rule": "XDB001",
+         "symbol": "banned-import", "message": "...", "severity": "error"}
+      ],
+      "suppressed_count": 2,
+      "summary": {"XDB001": 1}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from xaidb.analysis.findings import Finding, LintResult
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "render_text",
+    "render_json",
+    "finding_to_dict",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def finding_to_dict(finding: Finding) -> dict[str, object]:
+    """The stable JSON representation of one finding."""
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule_id,
+        "symbol": finding.symbol,
+        "message": finding.message,
+        "severity": finding.severity,
+    }
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report, one line per finding plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} [{f.symbol}] {f.message}"
+        for f in result.findings
+    ]
+    counts = result.counts_by_rule()
+    if counts:
+        lines.append("")
+        for rule_id, count in counts.items():
+            lines.append(f"{rule_id}: {count} finding(s)")
+    noun = "file" if result.files_scanned == 1 else "files"
+    status = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    suffix = (
+        f", {len(result.suppressed)} suppressed"
+        if result.suppressed
+        else ""
+    )
+    lines.append(
+        f"xailint: {result.files_scanned} {noun} scanned, {status}{suffix}"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report with a pinned schema version."""
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "ok": result.ok,
+        "findings": [finding_to_dict(f) for f in result.findings],
+        "suppressed_count": len(result.suppressed),
+        "summary": result.counts_by_rule(),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

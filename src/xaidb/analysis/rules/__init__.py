@@ -1,0 +1,26 @@
+"""The built-in xailint rule pack (XDB001–XDB008).
+
+Importing this package registers every rule with
+:mod:`xaidb.analysis.registry`; the ids are stable and documented in
+``docs/LINTING.md``.
+"""
+
+from xaidb.analysis.rules.api_surface import MissingAllRule
+from xaidb.analysis.rules.defaults import MutableDefaultRule
+from xaidb.analysis.rules.error_handling import BroadExceptRule
+from xaidb.analysis.rules.float_compare import FloatEqualityRule
+from xaidb.analysis.rules.imports_rule import BannedImportsRule
+from xaidb.analysis.rules.project import ExplainerInterfaceRule
+from xaidb.analysis.rules.purity import ExplainerPurityRule
+from xaidb.analysis.rules.randomness import UnseededRandomnessRule
+
+__all__ = [
+    "BannedImportsRule",
+    "UnseededRandomnessRule",
+    "ExplainerPurityRule",
+    "MissingAllRule",
+    "BroadExceptRule",
+    "FloatEqualityRule",
+    "MutableDefaultRule",
+    "ExplainerInterfaceRule",
+]

@@ -1,0 +1,89 @@
+"""XDB004 — public xaidb modules must declare ``__all__``.
+
+An explicit ``__all__`` is the machine-readable statement of a module's
+public surface: ``tools/generate_api_docs.py`` renders from it, star
+re-exports respect it, and reviewers can diff API changes instead of
+inferring them.  The rule applies to plain modules inside the ``xaidb``
+package; ``__init__.py`` re-export hubs and underscore-private modules
+(``_version.py``) are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["MissingAllRule", "declares_all", "has_public_definitions"]
+
+
+def declares_all(tree: ast.Module) -> bool:
+    """True when the module assigns ``__all__`` at the top level."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    return True
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+        elif isinstance(node, ast.AugAssign):
+            target = node.target
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                return True
+    return False
+
+
+def has_public_definitions(tree: ast.Module) -> bool:
+    """True when the module defines any public top-level name."""
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            if not node.name.startswith("_"):
+                return True
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and not target.id.startswith(
+                    "_"
+                ):
+                    return True
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (
+                isinstance(target, ast.Name)
+                and not target.id.startswith("_")
+                and node.value is not None
+            ):
+                return True
+    return False
+
+
+@register
+class MissingAllRule(FileRule):
+    rule_id = "XDB004"
+    symbol = "missing-dunder-all"
+    description = (
+        "Public module inside the xaidb package defines public names "
+        "but no __all__; the API surface must be explicit."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_xaidb_package:
+            return
+        stem = ctx.path.stem
+        if stem.startswith("_"):  # __init__.py, _version.py, ...
+            return
+        if declares_all(ctx.tree):
+            return
+        if not has_public_definitions(ctx.tree):
+            return
+        yield ctx.finding(
+            self,
+            ctx.tree.body[0] if ctx.tree.body else ctx.tree,
+            f"module {ctx.module_name or stem!s} defines public names "
+            f"but no __all__; declare its public surface explicitly",
+        )

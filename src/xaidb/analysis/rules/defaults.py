@@ -1,0 +1,78 @@
+"""XDB007 — mutable default argument values.
+
+A default evaluated once at ``def`` time and mutated across calls is
+shared hidden state: two explainer instances constructed with the
+default silently see each other's accumulations — another route to the
+cross-run contamination the stability experiments (E2) measure.  Use
+``None`` plus an in-body default, or ``dataclasses.field(default_factory=...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        # A zero-argument constructor of a known mutable builtin.  Calls
+        # with arguments (e.g. ``dict(a=1)``) are equally mutable, so
+        # flag them too.
+        return name in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(FileRule):
+    rule_id = "XDB007"
+    symbol = "mutable-default-argument"
+    description = (
+        "Function parameter defaults to a mutable object ([], {}, "
+        "set(), ...); defaults are shared across calls — use None."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            args = node.args
+            positional = list(args.posonlyargs) + list(args.args)
+            for arg, default in zip(
+                positional[len(positional) - len(args.defaults):],
+                args.defaults,
+            ):
+                if _is_mutable_default(default):
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"parameter {arg.arg!r} defaults to a mutable "
+                        f"object shared across calls; default to None "
+                        f"and construct inside the body",
+                    )
+            for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+                if kw_default is not None and _is_mutable_default(kw_default):
+                    yield ctx.finding(
+                        self,
+                        kw_default,
+                        f"parameter {arg.arg!r} defaults to a mutable "
+                        f"object shared across calls; default to None "
+                        f"and construct inside the body",
+                    )

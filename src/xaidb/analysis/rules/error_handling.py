@@ -1,0 +1,77 @@
+"""XDB005 — bare or overbroad ``except`` clauses.
+
+``except:`` and ``except Exception:`` swallow programming errors (and
+``except BaseException`` even eats ``KeyboardInterrupt``), turning a
+wrong explanation into a silently-degraded one — the failure mode the
+tutorial's sanity-check line of work (E20) exists to expose.  Catch the
+specific exceptions a block can actually raise; a deliberate broad
+catch at a process boundary takes an inline suppression with a reason.
+
+A broad handler whose body is a bare ``raise`` (log-and-reraise) is
+allowed: it cannot swallow anything.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _broad_name(type_node: ast.AST | None) -> str | None:
+    """The broad exception name caught by ``type_node``, if any."""
+    if type_node is None:
+        return "<bare>"
+    if isinstance(type_node, ast.Name) and type_node.id in _BROAD_NAMES:
+        return type_node.id
+    if isinstance(type_node, ast.Tuple):
+        for element in type_node.elts:
+            name = _broad_name(element)
+            if name is not None:
+                return name
+    return None
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body ends in a bare ``raise``."""
+    return any(
+        isinstance(stmt, ast.Raise) and stmt.exc is None
+        for stmt in handler.body
+    )
+
+
+@register
+class BroadExceptRule(FileRule):
+    rule_id = "XDB005"
+    symbol = "broad-except"
+    description = (
+        "Bare `except:` or overbroad `except Exception:` without a "
+        "re-raise; catch the specific exceptions the block can raise."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _broad_name(node.type)
+            if name is None or _reraises(node):
+                continue
+            if name == "<bare>":
+                message = (
+                    "bare except: swallows every error including "
+                    "KeyboardInterrupt; name the exceptions this block "
+                    "can raise"
+                )
+            else:
+                message = (
+                    f"overbroad except {name}: hides programming errors "
+                    f"behind silently-degraded results; name the "
+                    f"exceptions this block can raise"
+                )
+            yield ctx.finding(self, node, message)

@@ -1,0 +1,78 @@
+"""XDB006 — exact equality against float literals.
+
+``x == 0.1`` is almost never the predicate the author meant: floating
+arithmetic that *should* land on the literal frequently lands one ulp
+away, and whether it does can change with numpy version, BLAS backend
+or reduction order — the hidden-instability channel the tutorial warns
+reproductions about.  Use ``np.isclose``/``math.isclose`` (or compare
+integers) instead.
+
+Legitimate exact comparisons exist — exact-zero denominator guards,
+labels stored as exact 0.0/1.0 floats, values that are exact by IEEE
+construction — and take an inline suppression stating which case they
+are.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["FloatEqualityRule"]
+
+
+def _float_literal(node: ast.AST) -> float | None:
+    """The float value of a (possibly signed) float literal, else None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, (ast.USub, ast.UAdd))
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, float)
+    ):
+        return node.operand.value
+    return None
+
+
+@register
+class FloatEqualityRule(FileRule):
+    rule_id = "XDB006"
+    symbol = "float-equality"
+    description = (
+        "== / != comparison against a float literal; use np.isclose "
+        "(or suppress with the reason the comparison is exact)."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, right in zip(node.ops, node.comparators):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                literal = next(
+                    (
+                        value
+                        for value in (
+                            _float_literal(operand) for operand in operands
+                        )
+                        if value is not None
+                    ),
+                    None,
+                )
+                if literal is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"exact {symbol} comparison against float literal "
+                    f"{literal!r}; use np.isclose, or suppress with the "
+                    f"reason the comparison is exact",
+                )
+                break  # one finding per Compare node

@@ -1,0 +1,211 @@
+"""XDB008 — every concrete explainer implements the base interface.
+
+X-SYS argues explanation systems need architectural conformance
+checking, not module-by-module discipline.  This is xaidb's version:
+every public class named ``*Explainer`` inside ``xaidb.explainers``
+must (transitively) subclass :class:`xaidb.explainers.base.Explainer`
+and implement its abstract surface (currently ``explain``), so that
+pipelines, benchmarks and the registry can treat explanation methods
+uniformly.
+
+Unlike the per-file rules this is a *project* rule: it resolves base
+classes across modules (through absolute and relative imports) and
+walks the static inheritance chain.  When the corpus does not contain
+``xaidb.explainers.base`` (e.g. a fixture snippet is linted on its
+own), any class literally named ``Explainer`` that declares
+``abstractmethod`` members is treated as the interface, which keeps the
+rule testable in isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    register,
+)
+
+__all__ = ["ExplainerInterfaceRule"]
+
+_INTERFACE_MODULE = "xaidb.explainers.base"
+_INTERFACE_NAME = "Explainer"
+_PACKAGE_PREFIX = "xaidb.explainers"
+
+
+def _decorator_is_abstract(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id == "abstractmethod"
+    if isinstance(node, ast.Attribute):
+        return node.attr == "abstractmethod"
+    return False
+
+
+def _abstract_methods(cls: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(_decorator_is_abstract(d) for d in item.decorator_list):
+                names.add(item.name)
+    return names
+
+
+def _method_names(cls: ast.ClassDef) -> set[str]:
+    return {
+        item.name
+        for item in cls.body
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class _Corpus:
+    """Classes and import aliases of the explainers subtree."""
+
+    def __init__(self, files: list[FileContext]) -> None:
+        #: fq class name -> (ClassDef, defining FileContext)
+        self.classes: dict[str, tuple[ast.ClassDef, FileContext]] = {}
+        #: module name -> {local name -> fq target name}
+        self.imports: dict[str, dict[str, str]] = {}
+        for ctx in files:
+            module = ctx.module_name
+            alias_map: dict[str, str] = {}
+            for node in ctx.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    self.classes[f"{module}.{node.name}"] = (node, ctx)
+                elif isinstance(node, ast.ImportFrom):
+                    base_module = self._resolve_from(module, node)
+                    if base_module is None:
+                        continue
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        alias_map[local] = f"{base_module}.{alias.name}"
+                elif isinstance(node, ast.Import):
+                    for alias in node.names:
+                        local = alias.asname or alias.name.split(".")[0]
+                        alias_map.setdefault(local, alias.name)
+            self.imports[module] = alias_map
+
+    @staticmethod
+    def _resolve_from(module: str, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module
+        # Relative import: strip the module's own name, then one extra
+        # package level per dot beyond the first.
+        package_parts = module.split(".")[:-1]
+        up = node.level - 1
+        if up > len(package_parts):
+            return None
+        base_parts = package_parts[: len(package_parts) - up]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts) if base_parts else None
+
+    def resolve_base(
+        self, ctx: FileContext, base: ast.expr
+    ) -> str | None:
+        """Fully-qualified class name a base expression refers to."""
+        if isinstance(base, ast.Name):
+            local = f"{ctx.module_name}.{base.id}"
+            if local in self.classes:
+                return local
+            target = self.imports.get(ctx.module_name, {}).get(base.id)
+            if target is not None and target in self.classes:
+                return target
+            return None
+        if isinstance(base, ast.Attribute):
+            # `base.Explainer` style access through a module alias.
+            if isinstance(base.value, ast.Name):
+                prefix = self.imports.get(ctx.module_name, {}).get(
+                    base.value.id, base.value.id
+                )
+                candidate = f"{prefix}.{base.attr}"
+                if candidate in self.classes:
+                    return candidate
+            return None
+        return None
+
+    def inheritance_chain(self, fq_name: str) -> list[str]:
+        """All fq class names statically reachable from ``fq_name``."""
+        chain: list[str] = []
+        stack = [fq_name]
+        seen: set[str] = set()
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            chain.append(current)
+            cls, ctx = self.classes[current]
+            for base in cls.bases:
+                resolved = self.resolve_base(ctx, base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return chain
+
+
+@register
+class ExplainerInterfaceRule(ProjectRule):
+    rule_id = "XDB008"
+    symbol = "explainer-interface"
+    description = (
+        "A concrete *Explainer class in xaidb.explainers does not "
+        "subclass the base Explainer interface or misses one of its "
+        "abstract methods."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        files = project.modules_under(_PACKAGE_PREFIX)
+        if not files:
+            return
+        corpus = _Corpus(files)
+
+        interface_fq = f"{_INTERFACE_MODULE}.{_INTERFACE_NAME}"
+        if interface_fq not in corpus.classes:
+            fallbacks = [
+                fq
+                for fq, (cls, _) in corpus.classes.items()
+                if cls.name == _INTERFACE_NAME and _abstract_methods(cls)
+            ]
+            if len(fallbacks) != 1:
+                return  # no interface in scope — nothing to enforce
+            interface_fq = fallbacks[0]
+        interface_cls, _ = corpus.classes[interface_fq]
+        abstract = _abstract_methods(interface_cls)
+
+        for fq_name, (cls, ctx) in sorted(corpus.classes.items()):
+            if fq_name == interface_fq:
+                continue
+            if not cls.name.endswith("Explainer"):
+                continue
+            if cls.name.startswith("_"):
+                continue
+            if _abstract_methods(cls):
+                continue  # abstract intermediates are not concrete
+            chain = corpus.inheritance_chain(fq_name)
+            if interface_fq not in chain:
+                yield ctx.finding(
+                    self,
+                    cls,
+                    f"concrete explainer {cls.name!r} does not subclass "
+                    f"the Explainer interface "
+                    f"({interface_fq})",
+                )
+                continue
+            implemented: set[str] = set()
+            for ancestor in chain:
+                if ancestor == interface_fq:
+                    continue
+                ancestor_cls, _ = corpus.classes[ancestor]
+                implemented |= _method_names(ancestor_cls)
+            for missing in sorted(abstract - implemented):
+                yield ctx.finding(
+                    self,
+                    cls,
+                    f"concrete explainer {cls.name!r} does not implement "
+                    f"abstract method {missing!r} of the Explainer "
+                    f"interface",
+                )

@@ -1,0 +1,208 @@
+"""XDB003 — in-place mutation of array parameters in explainer bodies.
+
+Explaining an instance must not change it: an ``explain``/``fit`` method
+that writes into a caller-owned ndarray corrupts every later explanation
+of the same data, which is precisely the kind of silent cross-run
+contamination that makes reproductions drift (and that E2/E19 measure).
+This rule flags, inside any method named ``explain*`` or ``fit`` of a
+class:
+
+- subscript stores into a parameter: ``x[...] = v``, ``x[i] += v``;
+- augmented assignment to a parameter name (``x += v`` mutates ndarrays
+  in place);
+- numpy calls writing into a parameter via ``out=``: ``np.add(a, b,
+  out=x)``.
+
+A parameter stops being tracked once rebound to a fresh object
+(``x = x.copy()``, ``x = np.array(x)``) — but *not* when rebound through
+the no-copy passthroughs ``np.asarray``/``np.asanyarray``/
+``np.ascontiguousarray``, which can return the caller's own buffer.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["ExplainerPurityRule"]
+
+_METHOD_NAMES_EXACT = {"fit"}
+_METHOD_PREFIXES = ("explain",)
+_NO_COPY_PASSTHROUGH = {"asarray", "asanyarray", "ascontiguousarray"}
+
+
+def _is_target_method(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return node.name in _METHOD_NAMES_EXACT or node.name.startswith(
+        _METHOD_PREFIXES
+    )
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = [
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    ]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return {n for n in names if n not in ("self", "cls")}
+
+
+def _rebinding_keeps_alias(value: ast.AST, name: str) -> bool:
+    """True when ``name = <value>`` may still alias the caller's array.
+
+    ``x = np.asarray(x)`` returns the input buffer unchanged when it is
+    already an ndarray, so mutation afterwards still hits the caller.
+    """
+    if isinstance(value, ast.Name) and value.id == name:
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        fn_name = None
+        if isinstance(func, ast.Attribute):
+            fn_name = func.attr
+        elif isinstance(func, ast.Name):
+            fn_name = func.id
+        if fn_name in _NO_COPY_PASSTHROUGH:
+            for arg in value.args:
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    return True
+    return False
+
+
+class _MethodChecker:
+    """Statement-ordered scan of one explain/fit body."""
+
+    def __init__(
+        self,
+        rule: "ExplainerPurityRule",
+        ctx: FileContext,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str,
+    ) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.fn = fn
+        self.class_name = class_name
+        self.tracked = _param_names(fn)
+        self.findings: list[Finding] = []
+
+    def run(self) -> list[Finding]:
+        for stmt in self.fn.body:
+            self._check_stmt(stmt)
+        return self.findings
+
+    def _where(self) -> str:
+        return f"{self.class_name}.{self.fn.name}"
+
+    def _check_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                self._check_store_target(target)
+            self._maybe_unbind(stmt.targets, stmt.value)
+            self._check_calls(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._check_store_target(stmt.target)
+                self._maybe_unbind([stmt.target], stmt.value)
+                self._check_calls(stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            target = stmt.target
+            if isinstance(target, ast.Name) and target.id in self.tracked:
+                self.findings.append(
+                    self.ctx.finding(
+                        self.rule,
+                        stmt,
+                        f"augmented assignment to parameter "
+                        f"{target.id!r} in {self._where()} mutates the "
+                        f"caller's array in place; copy first",
+                    )
+                )
+            else:
+                self._check_store_target(target)
+            self._check_calls(stmt.value)
+        elif isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return  # nested scopes get their own parameters
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.stmt):
+                    self._check_stmt(child)
+                else:
+                    self._check_calls(child)
+
+    def _check_store_target(self, target: ast.AST) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store_target(element)
+            return
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            if isinstance(base, ast.Name) and base.id in self.tracked:
+                self.findings.append(
+                    self.ctx.finding(
+                        self.rule,
+                        target,
+                        f"subscript store into parameter {base.id!r} in "
+                        f"{self._where()} mutates the caller's array; "
+                        f"copy first",
+                    )
+                )
+
+    def _maybe_unbind(self, targets: list[ast.AST], value: ast.AST) -> None:
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id in self.tracked:
+                if not _rebinding_keeps_alias(value, target.id):
+                    self.tracked.discard(target.id)
+
+    def _check_calls(self, node: ast.AST) -> None:
+        for call in ast.walk(node):
+            if not isinstance(call, ast.Call):
+                continue
+            for kw in call.keywords:
+                if (
+                    kw.arg == "out"
+                    and isinstance(kw.value, ast.Name)
+                    and kw.value.id in self.tracked
+                ):
+                    self.findings.append(
+                        self.ctx.finding(
+                            self.rule,
+                            call,
+                            f"call writes into parameter "
+                            f"{kw.value.id!r} via out= in "
+                            f"{self._where()}; allocate a fresh output "
+                            f"array",
+                        )
+                    )
+
+
+@register
+class ExplainerPurityRule(FileRule):
+    rule_id = "XDB003"
+    symbol = "explainer-mutates-input"
+    description = (
+        "An explain*/fit method mutates one of its array parameters in "
+        "place (subscript store, augmented assignment, or out=): "
+        "explainers must be pure in their inputs."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_target_method(item):
+                    yield from _MethodChecker(
+                        self, ctx, item, node.name
+                    ).run()

@@ -1,0 +1,138 @@
+"""XDB002 — unseeded / global-state randomness.
+
+Every stochastic routine in xaidb threads an explicit
+``numpy.random.Generator`` obtained from
+:func:`xaidb.utils.rng.check_random_state`, so one integer seed
+reproduces a whole experiment (E2's LIME-stability and E19/E20's
+sanity/fooling results depend on this).  The legacy ``np.random.*``
+module-level API and the stdlib ``random`` module both mutate hidden
+global state, which silently breaks that guarantee; ``np.random.seed``
+is the classic footgun that *looks* reproducible but couples unrelated
+call sites through one global stream.
+
+Allowed: ``np.random.default_rng`` (the sanctioned construction point,
+wrapped by ``check_random_state``), ``np.random.Generator`` /
+``SeedSequence`` / ``PCG64`` attribute access (types, not calls).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["UnseededRandomnessRule"]
+
+_NUMPY_ALIASES = {"np", "numpy"}
+_ALLOWED_NP_RANDOM = {"default_rng", "Generator", "SeedSequence", "PCG64"}
+_STDLIB_RANDOM_FNS = {
+    "random",
+    "randint",
+    "randrange",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "seed",
+    "getrandbits",
+}
+
+
+def _is_np_random(node: ast.AST) -> bool:
+    """True for an ``np.random`` / ``numpy.random`` attribute chain."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in _NUMPY_ALIASES
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rule: "UnseededRandomnessRule", ctx: FileContext):
+        self.rule = rule
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self.imports_stdlib_random = False
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "random":
+                self.imports_stdlib_random = True
+                self.findings.append(
+                    self.ctx.finding(
+                        self.rule,
+                        node,
+                        "import of the stdlib 'random' module: its global "
+                        "state defeats seed threading; use a "
+                        "numpy Generator from xaidb.utils.rng instead",
+                    )
+                )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0 and node.module == "random":
+            self.findings.append(
+                self.ctx.finding(
+                    self.rule,
+                    node,
+                    "import from the stdlib 'random' module: its global "
+                    "state defeats seed threading; use a "
+                    "numpy Generator from xaidb.utils.rng instead",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if _is_np_random(func.value):
+                if func.attr not in _ALLOWED_NP_RANDOM:
+                    self.findings.append(
+                        self.ctx.finding(
+                            self.rule,
+                            node,
+                            f"call to legacy global-state API "
+                            f"np.random.{func.attr}(); thread an explicit "
+                            f"np.random.Generator via "
+                            f"xaidb.utils.rng.check_random_state instead",
+                        )
+                    )
+            elif (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in _STDLIB_RANDOM_FNS
+            ):
+                self.findings.append(
+                    self.ctx.finding(
+                        self.rule,
+                        node,
+                        f"call to stdlib random.{func.attr}(); thread an "
+                        f"explicit np.random.Generator via "
+                        f"xaidb.utils.rng.check_random_state instead",
+                    )
+                )
+        self.generic_visit(node)
+
+
+@register
+class UnseededRandomnessRule(FileRule):
+    rule_id = "XDB002"
+    symbol = "unseeded-randomness"
+    description = (
+        "Use of global-state randomness (legacy np.random.* calls, "
+        "np.random.seed, stdlib random) instead of threading an "
+        "explicit numpy Generator from xaidb.utils.rng."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

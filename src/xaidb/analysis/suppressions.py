@@ -1,0 +1,92 @@
+"""Inline suppression handling for xailint.
+
+A finding can be silenced with a comment of the form::
+
+    risky_line()  # xailint: disable=XDB002 (seeding handled by caller)
+    other_line()  # xailint: disable=XDB002,XDB006 (both are intentional)
+
+The comment silences the named rules on its own physical line.  A
+comment that is the *only* content of its line silences the named rules
+on the next non-blank line instead, so long statements can carry a
+suppression without exceeding line-length budgets::
+
+    # xailint: disable=XDB006 (exact-zero denominator guard)
+    if ss_tot == 0.0:
+        ...
+
+The parenthesised reason string is optional for the engine but required
+by this repo's convention (documented in docs/LINTING.md): a
+suppression without a why is a review smell.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["SuppressionIndex", "parse_suppressions"]
+
+_DISABLE_RE = re.compile(
+    r"#\s*xailint:\s*disable=(?P<ids>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
+    r"(?:\s*\((?P<reason>[^)]*)\))?"
+)
+
+
+class SuppressionIndex:
+    """Maps line numbers to the set of rule ids suppressed there."""
+
+    def __init__(self) -> None:
+        self._by_line: dict[int, set[str]] = {}
+
+    def add(self, line: int, rule_ids: set[str]) -> None:
+        self._by_line.setdefault(line, set()).update(rule_ids)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        return rule_id in self._by_line.get(line, set())
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan ``source`` for ``# xailint: disable=...`` comments.
+
+    Uses :mod:`tokenize` rather than a per-line regex so comments inside
+    string literals do not count as suppressions.
+    """
+    index = SuppressionIndex()
+    standalone: list[tuple[int, set[str]]] = []
+    try:
+        tokens = list(
+            tokenize.generate_tokens(io.StringIO(source).readline)
+        )
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return index
+
+    lines = source.splitlines()
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _DISABLE_RE.search(tok.string)
+        if match is None:
+            continue
+        ids = {part.strip() for part in match.group("ids").split(",")}
+        line_no = tok.start[0]
+        line_text = lines[line_no - 1] if line_no <= len(lines) else ""
+        if line_text.strip().startswith("#"):
+            standalone.append((line_no, ids))
+        else:
+            index.add(line_no, ids)
+
+    # A standalone comment applies to the next non-blank, non-comment line.
+    for line_no, ids in standalone:
+        target = line_no + 1
+        while target <= len(lines):
+            stripped = lines[target - 1].strip()
+            if stripped and not stripped.startswith("#"):
+                break
+            target += 1
+        if target <= len(lines):
+            index.add(target, ids)
+    return index

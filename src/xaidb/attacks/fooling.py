@@ -34,6 +34,8 @@ from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
 
+__all__ = ["OODDetector", "train_ood_detector", "ScaffoldedClassifier"]
+
 
 class OODDetector:
     """Real-vs-perturbed classifier over raw features + manifold distance.

@@ -25,6 +25,13 @@ from xaidb.explainers.base import PredictFn
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = [
+    "AttributionFn",
+    "top_k_intersection",
+    "FragilityResult",
+    "fragility_attack",
+]
+
 AttributionFn = Callable[[np.ndarray], np.ndarray]
 
 
@@ -97,6 +104,7 @@ def fragility_attack(
             best, best_attribution, best_overlap = (
                 candidate, attribution, overlap,
             )
+            # xailint: disable=XDB006 (overlap is a ratio of integer counts; 0.0 means disjoint)
             if best_overlap == 0.0:
                 break
     final_prediction = float(predict_fn(best[None, :])[0])

@@ -24,6 +24,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import PredictFn
 from xaidb.utils.validation import check_array
 
+__all__ = ["TrapdooredModel"]
+
 
 class TrapdooredModel:
     """Wrap a scorer with an out-of-range sentinel trigger.

@@ -33,6 +33,8 @@ from xaidb.models.logistic import LogisticRegression
 from xaidb.utils.linalg import sigmoid
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["fit_linear_gaussian_scm", "mechanism_goodness_of_fit"]
+
 
 def _is_binary(column: np.ndarray) -> bool:
     return set(np.unique(column)) <= {0.0, 1.0}

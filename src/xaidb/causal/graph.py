@@ -16,6 +16,8 @@ import networkx as nx
 
 from xaidb.exceptions import ValidationError
 
+__all__ = ["CausalGraph"]
+
 
 class CausalGraph:
     """A directed acyclic graph over named variables."""

@@ -26,6 +26,14 @@ from xaidb.causal.graph import CausalGraph
 from xaidb.exceptions import ValidationError, XaidbError
 from xaidb.utils.rng import RandomState, check_random_state
 
+__all__ = [
+    "Mechanism",
+    "AdditiveNoiseMechanism",
+    "BernoulliMechanism",
+    "DiscreteMechanism",
+    "StructuralCausalModel",
+]
+
 
 class Mechanism:
     """Interface of a structural mechanism ``V := f(parents, noise)``."""

@@ -18,6 +18,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["FeatureSpec", "Dataset"]
+
 
 @dataclass(frozen=True)
 class FeatureSpec:

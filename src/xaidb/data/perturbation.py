@@ -25,6 +25,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = ["LimeTabularSampler", "ConditionalSampler"]
+
 
 class LimeTabularSampler:
     """Sample LIME-style perturbations around a tabular instance.

@@ -36,6 +36,15 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.linalg import sigmoid
 from xaidb.utils.rng import RandomState, check_random_state
 
+__all__ = [
+    "SyntheticWorkload",
+    "make_income",
+    "make_credit",
+    "make_recidivism",
+    "make_loans",
+    "make_two_moons",
+]
+
 
 @dataclass
 class SyntheticWorkload:

@@ -17,6 +17,8 @@ from typing import Iterable, Sequence
 from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 
+__all__ = ["TransactionDatabase", "make_transactions"]
+
 
 @dataclass
 class TransactionDatabase:

@@ -20,6 +20,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["tmc_shapley_values", "DataShapley"]
+
 
 def tmc_shapley_values(
     utility: UtilityFunction,

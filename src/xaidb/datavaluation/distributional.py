@@ -30,6 +30,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["Resampler", "distributional_shapley_values"]
+
 Resampler = Callable[[int, np.random.Generator], tuple[np.ndarray, np.ndarray]]
 
 

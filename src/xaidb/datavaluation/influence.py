@@ -36,6 +36,8 @@ from xaidb.models.logistic import LogisticRegression
 from xaidb.utils.linalg import conjugate_gradient, sigmoid, solve_psd
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["GLM", "InfluenceFunctions"]
+
 GLM = LinearRegression | LogisticRegression
 
 

@@ -22,6 +22,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["knn_shapley_values", "knn_utility"]
+
 
 def knn_shapley_values(
     X_train: np.ndarray,

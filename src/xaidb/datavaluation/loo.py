@@ -13,6 +13,8 @@ import numpy as np
 from xaidb.datavaluation.utility import UtilityFunction
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["leave_one_out_values"]
+
 
 def leave_one_out_values(
     utility: UtilityFunction,

@@ -26,6 +26,8 @@ from xaidb.models.gbm import GradientBoostedClassifier, GradientBoostedRegressor
 from xaidb.utils.linalg import sigmoid
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["GBM", "LeafRefitInfluence"]
+
 GBM = GradientBoostedClassifier | GradientBoostedRegressor
 
 

@@ -20,6 +20,8 @@ from xaidb.models.base import Classifier, Model, clone
 from xaidb.models.metrics import accuracy
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["MetricFn", "UtilityFunction"]
+
 MetricFn = Callable[[np.ndarray, np.ndarray], float]
 
 

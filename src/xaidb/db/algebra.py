@@ -18,6 +18,17 @@ from xaidb.db.provenance import Provenance
 from xaidb.db.relation import Relation, Row
 from xaidb.exceptions import SchemaError, ValidationError
 
+__all__ = [
+    "Predicate",
+    "select",
+    "project",
+    "join",
+    "union",
+    "difference",
+    "groupby",
+    "aggregate",
+]
+
 Predicate = Callable[[Mapping[str, Any]], bool]
 
 

@@ -32,6 +32,8 @@ from xaidb.models.logistic import LogisticRegression
 from xaidb.utils.linalg import sigmoid, solve_psd
 from xaidb.utils.validation import check_array
 
+__all__ = ["Complaint", "ComplaintDebugger"]
+
 
 @dataclass
 class Complaint:

@@ -21,6 +21,8 @@ from typing import Hashable, Iterable
 
 from xaidb.exceptions import ProvenanceError
 
+__all__ = ["Provenance"]
+
 
 class Provenance:
     """An absorption-minimised DNF over base-tuple ids."""

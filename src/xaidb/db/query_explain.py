@@ -22,6 +22,14 @@ from xaidb.db.provenance import Provenance
 from xaidb.db.relation import Relation
 from xaidb.exceptions import ProvenanceError, ValidationError
 
+__all__ = [
+    "why_provenance",
+    "why_not_provenance",
+    "responsibility",
+    "all_responsibilities",
+    "aggregate_interventions",
+]
+
 
 def why_provenance(provenance: Provenance) -> list[list[Hashable]]:
     """The minimal witnesses (why-provenance) of an answer, sorted by

@@ -8,6 +8,8 @@ from typing import Any, Hashable, Iterable, Mapping, Sequence
 from xaidb.db.provenance import Provenance
 from xaidb.exceptions import SchemaError
 
+__all__ = ["Row", "Relation"]
+
 
 @dataclass(frozen=True)
 class Row:

@@ -23,6 +23,14 @@ from xaidb.explainers.shapley.games import CachedGame, Game
 from xaidb.explainers.shapley.sampling import permutation_shapley_values
 from xaidb.utils.rng import RandomState
 
+__all__ = [
+    "FunctionalDependency",
+    "violating_pairs",
+    "inconsistency_count",
+    "repair_blame",
+    "greedy_repair",
+]
+
 
 @dataclass(frozen=True)
 class FunctionalDependency:

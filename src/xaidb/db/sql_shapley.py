@@ -27,6 +27,13 @@ from xaidb.explainers.shapley.games import CachedGame, Game
 from xaidb.explainers.shapley.sampling import permutation_shapley_values
 from xaidb.utils.rng import RandomState
 
+__all__ = [
+    "QueryFn",
+    "BooleanQueryGame",
+    "shapley_of_tuples_boolean",
+    "shapley_of_tuples",
+]
+
 QueryFn = Callable[[frozenset], float]
 
 

@@ -15,6 +15,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import PredictFn
 from xaidb.utils.validation import check_array
 
+__all__ = ["deletion_curve", "insertion_curve", "deletion_auc"]
+
 
 def _ranked_features(attribution_values: np.ndarray) -> np.ndarray:
     return np.argsort(-np.abs(attribution_values), kind="mergesort")

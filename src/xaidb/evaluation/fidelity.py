@@ -9,6 +9,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import PredictFn
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["local_fidelity", "rank_correlation"]
+
 
 def local_fidelity(
     predict_fn: PredictFn,
@@ -35,7 +37,9 @@ def local_fidelity(
     proxy = np.asarray(surrogate_fn(neighborhood), dtype=float)
     ss_res = float(np.sum((truth - proxy) ** 2))
     ss_tot = float(np.sum((truth - truth.mean()) ** 2))
+    # xailint: disable=XDB006 (exact-zero denominator guard)
     if ss_tot == 0.0:
+        # xailint: disable=XDB006 (exact-zero numerator of the degenerate R^2 case)
         return 1.0 if ss_res == 0.0 else 0.0
     return 1.0 - ss_res / ss_tot
 

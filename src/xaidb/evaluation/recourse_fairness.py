@@ -19,6 +19,8 @@ from xaidb.data.dataset import Dataset
 from xaidb.exceptions import InfeasibleError, ValidationError
 from xaidb.explainers.counterfactual.recourse import LinearRecourse
 
+__all__ = ["GroupRecourseStats", "recourse_cost_disparity"]
+
 
 @dataclass
 class GroupRecourseStats:

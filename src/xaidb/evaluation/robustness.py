@@ -17,6 +17,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = ["AttributionFn", "attribution_lipschitz"]
+
 AttributionFn = Callable[[np.ndarray], np.ndarray]
 
 

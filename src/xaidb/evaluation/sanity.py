@@ -20,6 +20,8 @@ from xaidb.models.mlp import MLPClassifier
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
 
+__all__ = ["AttributionForModel", "parameter_randomization_check"]
+
 AttributionForModel = Callable[[MLPClassifier, np.ndarray], np.ndarray]
 
 

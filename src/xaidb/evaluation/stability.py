@@ -25,6 +25,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import FeatureAttribution
 from xaidb.utils.validation import check_positive
 
+__all__ = ["variable_stability_index", "coefficient_stability_index"]
+
 
 def _top_k_sets(attributions: Sequence[FeatureAttribution], k: int) -> list[set]:
     return [

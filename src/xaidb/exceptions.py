@@ -9,6 +9,16 @@ both :class:`XaidbError` and :class:`ValueError`).
 
 from __future__ import annotations
 
+__all__ = [
+    "XaidbError",
+    "ValidationError",
+    "NotFittedError",
+    "ConvergenceError",
+    "InfeasibleError",
+    "SchemaError",
+    "ProvenanceError",
+]
+
 
 class XaidbError(Exception):
     """Base class for every error raised by xaidb."""

@@ -4,6 +4,7 @@ Tree, QII, causal/asymmetric, flow), gradient attributions, and
 counterfactual explanations with algorithmic recourse."""
 
 from xaidb.explainers.base import (
+    Explainer,
     FeatureAttribution,
     as_predict_fn,
     predict_positive_proba,
@@ -39,6 +40,7 @@ from xaidb.explainers.surrogate import (
 )
 
 __all__ = [
+    "Explainer",
     "FeatureAttribution",
     "as_predict_fn",
     "predict_positive_proba",

@@ -8,6 +8,7 @@ standardise how models are wrapped into such functions.
 
 from __future__ import annotations
 
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -16,7 +17,39 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = [
+    "PredictFn",
+    "Explainer",
+    "as_predict_fn",
+    "predict_positive_proba",
+    "FeatureAttribution",
+]
+
 PredictFn = Callable[[np.ndarray], np.ndarray]
+
+
+class Explainer(ABC):
+    """Abstract interface every xaidb explanation method implements.
+
+    The contract is deliberately thin — one entry point, ``explain`` —
+    so that pipelines, benchmarks and evaluation harnesses can treat
+    feature-attribution, rule-based and counterfactual methods
+    uniformly.  Methods whose historical entry point has a more specific
+    name (``generate`` for counterfactual search, ``shapley_qii`` for
+    QII) keep that name and alias it from ``explain``.
+
+    Conformance is machine-checked: rule XDB008 of the xailint pass
+    (:mod:`xaidb.analysis`) verifies statically that every concrete
+    ``*Explainer`` class in this package subclasses this interface and
+    implements its abstract surface.
+    """
+
+    @abstractmethod
+    def explain(self, *args: Any, **kwargs: Any) -> Any:
+        """Produce an explanation for one instance (or globally).
+
+        Signatures vary by method family; see the concrete class.
+        """
 
 
 def as_predict_fn(

@@ -17,6 +17,14 @@ from xaidb.data.dataset import Dataset, FeatureSpec
 from xaidb.exceptions import ValidationError
 from xaidb.utils.validation import check_array
 
+__all__ = [
+    "mad_distance",
+    "median_absolute_deviation",
+    "ActionSpace",
+    "Counterfactual",
+    "CounterfactualSet",
+]
+
 
 def mad_distance(
     a: np.ndarray, b: np.ndarray, mad: np.ndarray

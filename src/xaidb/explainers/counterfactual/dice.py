@@ -10,11 +10,13 @@ model-agnostic setting the tutorial emphasises.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from xaidb.data.dataset import Dataset
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import PredictFn
+from xaidb.explainers.base import Explainer, PredictFn
 from xaidb.explainers.counterfactual.base import (
     ActionSpace,
     Counterfactual,
@@ -24,8 +26,10 @@ from xaidb.explainers.counterfactual.base import (
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = ["DiceExplainer"]
 
-class DiceExplainer:
+
+class DiceExplainer(Explainer):
     """Diverse counterfactual search over a dataset-derived action space.
 
     Parameters
@@ -61,6 +65,10 @@ class DiceExplainer:
         self.step_scale = step_scale
 
     # ------------------------------------------------------------------
+    def explain(self, instance: np.ndarray, **kwargs: Any) -> CounterfactualSet:
+        """Alias for :meth:`generate` (the Explainer-interface entry point)."""
+        return self.generate(instance, **kwargs)
+
     def generate(
         self,
         instance: np.ndarray,

@@ -21,13 +21,15 @@ unconstrained search.
 
 from __future__ import annotations
 
+from typing import Any
+
 from dataclasses import dataclass
 
 import numpy as np
 
 from xaidb.data.dataset import Dataset
 from xaidb.exceptions import InfeasibleError, ValidationError
-from xaidb.explainers.base import PredictFn
+from xaidb.explainers.base import Explainer, PredictFn
 from xaidb.explainers.counterfactual.base import (
     ActionSpace,
     Counterfactual,
@@ -37,6 +39,8 @@ from xaidb.explainers.counterfactual.base import (
 from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
+
+__all__ = ["GecoExplainer"]
 
 
 @dataclass(frozen=True)
@@ -56,7 +60,7 @@ class _Delta:
         return len(self.changes)
 
 
-class GecoExplainer:
+class GecoExplainer(Explainer):
     """Feasibility- and plausibility-constrained genetic counterfactuals.
 
     Parameters
@@ -132,6 +136,10 @@ class GecoExplainer:
         return bool(nearest <= self._plausibility_radius)
 
     # ------------------------------------------------------------------
+    def explain(self, instance: np.ndarray, **kwargs: Any) -> CounterfactualSet:
+        """Alias for :meth:`generate` (the Explainer-interface entry point)."""
+        return self.generate(instance, **kwargs)
+
     def generate(
         self,
         instance: np.ndarray,

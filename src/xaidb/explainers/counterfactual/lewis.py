@@ -29,8 +29,10 @@ import numpy as np
 
 from xaidb.causal.scm import StructuralCausalModel
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import PredictFn
+from xaidb.explainers.base import Explainer, PredictFn
 from xaidb.utils.rng import RandomState, check_random_state
+
+__all__ = ["NecessitySufficiencyScores", "LewisExplainer"]
 
 
 @dataclass
@@ -46,7 +48,7 @@ class NecessitySufficiencyScores:
     n_units: int
 
 
-class LewisExplainer:
+class LewisExplainer(Explainer):
     """Necessity/sufficiency explanation scores and probabilistic recourse.
 
     Parameters
@@ -217,6 +219,16 @@ class LewisExplainer:
             ranked.append((dict(intervention), 1.0 if flipped else 0.0))
         ranked.sort(key=lambda pair: (-pair[1], len(pair[0])))
         return ranked
+
+    def explain(
+        self,
+        contrasts: Sequence[tuple[Hashable, float, float]],
+        *,
+        random_state: RandomState = None,
+    ) -> list[NecessitySufficiencyScores]:
+        """Alias for :meth:`explanation_table` (the Explainer-interface
+        entry point)."""
+        return self.explanation_table(contrasts, random_state=random_state)
 
     def explanation_table(
         self,

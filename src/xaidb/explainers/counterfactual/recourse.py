@@ -20,6 +20,8 @@ from xaidb.explainers.counterfactual.base import ActionSpace
 from xaidb.models.logistic import LogisticRegression
 from xaidb.utils.validation import check_array
 
+__all__ = ["RecourseAction", "LinearRecourse"]
+
 
 @dataclass
 class RecourseAction:
@@ -108,6 +110,7 @@ class LinearRecourse:
         # candidate moves: (rate = |w|/cost, max margin gain, feature, direction)
         candidates = []
         for i in range(len(w)):
+            # xailint: disable=XDB006 (exact-zero weight: feature absent from the linear model)
             if w[i] == 0.0 or not self.space.features[i].actionable:
                 continue
             if self.space.features[i].is_categorical:
@@ -176,6 +179,7 @@ class LinearRecourse:
         best = None
         for i in self.dataset.categorical_indices:
             spec = self.space.features[i]
+            # xailint: disable=XDB006 (exact-zero weight: feature absent from the linear model)
             if not spec.actionable or w[i] == 0.0:
                 continue
             for code in self.space.category_codes.get(i, []):

@@ -23,10 +23,12 @@ from __future__ import annotations
 import numpy as np
 
 from xaidb.exceptions import NotFittedError, ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array
+
+__all__ = ["granger_importance_targets", "CXPlainExplainer"]
 
 
 def granger_importance_targets(
@@ -78,7 +80,7 @@ class _KnnAttributionRegressor:
         return out
 
 
-class CXPlainExplainer:
+class CXPlainExplainer(Explainer):
     """A learned explanation model with ensemble uncertainty.
 
     Parameters

@@ -23,6 +23,14 @@ from xaidb.explainers.base import FeatureAttribution, PredictFn
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = [
+    "MetricFn",
+    "partial_dependence",
+    "ice_curves",
+    "permutation_importance",
+    "accumulated_local_effects",
+]
+
 MetricFn = Callable[[np.ndarray, np.ndarray], float]
 
 

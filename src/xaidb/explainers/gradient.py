@@ -25,6 +25,13 @@ from xaidb.models.mlp import MLPClassifier
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = [
+    "saliency",
+    "gradient_times_input",
+    "integrated_gradients",
+    "smoothgrad",
+]
+
 
 def saliency(
     model: MLPClassifier,

@@ -24,11 +24,13 @@ import numpy as np
 from xaidb.data.dataset import Dataset
 from xaidb.data.perturbation import LimeTabularSampler
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.utils.kernels import exponential_kernel
 from xaidb.utils.linalg import solve_psd
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_positive
+
+__all__ = ["LimeExplanation", "LimeExplainer"]
 
 
 class LimeExplanation(FeatureAttribution):
@@ -50,7 +52,7 @@ def _weighted_ridge(
     return theta[:-1], float(theta[-1])
 
 
-class LimeExplainer:
+class LimeExplainer(Explainer):
     """Tabular LIME.
 
     Parameters
@@ -182,6 +184,8 @@ def _weighted_r2(
     mean = float(np.average(target, weights=weights))
     ss_res = float(np.average((target - fitted) ** 2, weights=weights))
     ss_tot = float(np.average((target - mean) ** 2, weights=weights))
+    # xailint: disable=XDB006 (exact-zero denominator guard)
     if ss_tot == 0.0:
+        # xailint: disable=XDB006 (exact-zero numerator of the degenerate R^2 case)
         return 1.0 if ss_res == 0.0 else 0.0
     return 1.0 - ss_res / ss_tot

@@ -18,10 +18,17 @@ from typing import Callable, Sequence
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution
+from xaidb.explainers.base import Explainer, FeatureAttribution
 from xaidb.utils.kernels import exponential_kernel
 from xaidb.utils.linalg import solve_psd
 from xaidb.utils.rng import RandomState, check_random_state
+
+__all__ = [
+    "TextPredictFn",
+    "tokenize",
+    "BagOfWordsClassifier",
+    "LimeTextExplainer",
+]
 
 TextPredictFn = Callable[[Sequence[str]], np.ndarray]
 
@@ -100,7 +107,7 @@ class BagOfWordsClassifier:
         return self.predict_proba(documents)[:, 1]
 
 
-class LimeTextExplainer:
+class LimeTextExplainer(Explainer):
     """Word-level LIME for any text score function.
 
     Parameters

@@ -27,6 +27,13 @@ from xaidb.models.metrics import accuracy
 from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = [
+    "rbf_kernel_matrix",
+    "PrototypeExplanation",
+    "MMDCritic",
+    "prototype_classifier_accuracy",
+]
+
 
 def rbf_kernel_matrix(
     a: np.ndarray, b: np.ndarray | None = None, *, gamma: float | None = None

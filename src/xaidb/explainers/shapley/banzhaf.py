@@ -26,6 +26,12 @@ from xaidb.exceptions import ValidationError
 from xaidb.explainers.shapley.games import CachedGame, Game
 from xaidb.utils.rng import RandomState, check_random_state
 
+__all__ = [
+    "banzhaf_values",
+    "banzhaf_values_sampled",
+    "banzhaf_of_tuples_boolean",
+]
+
 _MAX_EXACT_PLAYERS = 20
 
 

@@ -25,10 +25,12 @@ import numpy as np
 
 from xaidb.causal.scm import StructuralCausalModel
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.utils.combinatorics import shapley_subset_weight
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array
+
+__all__ = ["CausalShapleyExplainer", "AsymmetricShapleyExplainer"]
 
 _MAX_EXACT_FEATURES = 12
 
@@ -92,7 +94,7 @@ class _InterventionalGame:
         return float(np.mean(self.predict_fn(matrix)))
 
 
-class CausalShapleyExplainer:
+class CausalShapleyExplainer(Explainer):
     """Causal Shapley values on an SCM with direct/indirect decomposition.
 
     Parameters
@@ -182,7 +184,7 @@ class CausalShapleyExplainer:
         )
 
 
-class AsymmetricShapleyExplainer:
+class AsymmetricShapleyExplainer(Explainer):
     """Asymmetric Shapley values: average marginal contributions only over
     orderings consistent with the causal DAG (causally antecedent features
     always enter coalitions first).

@@ -13,10 +13,12 @@ from itertools import combinations
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import CachedGame, Game, MarginalImputationGame
 from xaidb.utils.combinatorics import shapley_subset_weight
 from xaidb.utils.validation import check_array
+
+__all__ = ["exact_shapley_values", "ExactShapleyExplainer"]
 
 _MAX_EXACT_PLAYERS = 20
 
@@ -47,7 +49,7 @@ def exact_shapley_values(game: Game) -> np.ndarray:
     return phi
 
 
-class ExactShapleyExplainer:
+class ExactShapleyExplainer(Explainer):
     """Exact SHAP values under the marginal-imputation value function.
 
     Parameters

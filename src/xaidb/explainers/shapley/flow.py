@@ -29,14 +29,16 @@ import numpy as np
 
 from xaidb.causal.scm import StructuralCausalModel
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import PredictFn
+from xaidb.explainers.base import Explainer, PredictFn
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
+
+__all__ = ["ShapleyFlowExplainer"]
 
 _SINK = "__output__"
 
 
-class ShapleyFlowExplainer:
+class ShapleyFlowExplainer(Explainer):
     """Edge attributions for a model over SCM-governed features.
 
     Parameters
@@ -140,6 +142,7 @@ class ShapleyFlowExplainer:
                 if child == _SINK:
                     new_output = self._model_value(values)
                     delta = new_output - state["output"]
+                    # xailint: disable=XDB006 (exact-zero edge flows are skipped, not compared approximately)
                     if delta != 0.0:
                         for path_edge in path + [edge]:
                             credits[path_edge] += delta

@@ -19,6 +19,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import PredictFn
 from xaidb.utils.validation import check_array
 
+__all__ = ["Game", "FunctionGame", "CachedGame", "MarginalImputationGame"]
+
 
 class Game:
     """A cooperative game: a value function over coalitions of players.

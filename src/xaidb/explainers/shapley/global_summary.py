@@ -27,6 +27,14 @@ from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
 
+__all__ = [
+    "ExplainFn",
+    "shap_matrix",
+    "global_shap_importance",
+    "shap_summary",
+    "supervised_clustering",
+]
+
 ExplainFn = Callable[[np.ndarray], FeatureAttribution]
 
 

@@ -24,15 +24,17 @@ from math import comb
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import MarginalImputationGame
 from xaidb.utils.combinatorics import shapley_kernel_weight
 from xaidb.utils.linalg import solve_psd
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
 
+__all__ = ["KernelShapExplainer"]
 
-class KernelShapExplainer:
+
+class KernelShapExplainer(Explainer):
     """Model-agnostic SHAP via the Shapley-kernel weighted regression.
 
     Parameters

@@ -24,11 +24,13 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import CachedGame, Game, MarginalImputationGame
 from xaidb.explainers.shapley.sampling import permutation_shapley_values
 from xaidb.utils.rng import RandomState
 from xaidb.utils.validation import check_array
+
+__all__ = ["QIIExplainer"]
 
 
 class _RandomisationGame(Game):
@@ -45,7 +47,7 @@ class _RandomisationGame(Game):
         return self.inner.value(kept)
 
 
-class QIIExplainer:
+class QIIExplainer(Explainer):
     """Quantitative Input Influence over a background sample.
 
     Parameters
@@ -102,6 +104,21 @@ class QIIExplainer:
         return game.value(kept_without) - game.value(kept_with)
 
     # ------------------------------------------------------------------
+    def explain(
+        self,
+        instance: np.ndarray,
+        *,
+        n_permutations: int = 200,
+        random_state: RandomState = None,
+    ) -> FeatureAttribution:
+        """Alias for :meth:`shapley_qii` (the Explainer-interface entry
+        point)."""
+        return self.shapley_qii(
+            instance,
+            n_permutations=n_permutations,
+            random_state=random_state,
+        )
+
     def shapley_qii(
         self,
         instance: np.ndarray,

@@ -12,10 +12,12 @@ from __future__ import annotations
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution, PredictFn
+from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import CachedGame, Game, MarginalImputationGame
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
+
+__all__ = ["permutation_shapley_values", "PermutationShapleyExplainer"]
 
 
 def permutation_shapley_values(
@@ -66,7 +68,7 @@ def permutation_shapley_values(
     return phi, errors
 
 
-class PermutationShapleyExplainer:
+class PermutationShapleyExplainer(Explainer):
     """SHAP values by permutation sampling over the marginal-imputation
     game (the model-agnostic fallback when features are too many for
     exact enumeration and KernelSHAP's regression is unwanted)."""

@@ -27,11 +27,18 @@ from typing import Iterable
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.explainers.base import FeatureAttribution
+from xaidb.explainers.base import Explainer, FeatureAttribution
 from xaidb.models.forest import RandomForestClassifier, RandomForestRegressor
 from xaidb.models.gbm import GradientBoostedClassifier, GradientBoostedRegressor
 from xaidb.models.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
 from xaidb.utils.validation import check_array
+
+__all__ = [
+    "tree_expected_value",
+    "path_dependent_tree_shap",
+    "interventional_tree_shap",
+    "TreeShapExplainer",
+]
 
 
 # ----------------------------------------------------------------------
@@ -104,6 +111,7 @@ def _unwind(path: list[_PathElement], index: int) -> list[_PathElement]:
     zero = out[index].zero_fraction
     carry = out[last].weight
     for j in range(last - 1, -1, -1):
+        # xailint: disable=XDB006 (exact-zero zero-fraction guard in the path unwind)
         if one != 0.0:
             tmp = out[j].weight
             out[j].weight = carry * (last + 1) / ((j + 1) * one)
@@ -249,7 +257,7 @@ def interventional_tree_shap(
 _TreeTerm = tuple[TreeStructure, np.ndarray, float]  # (structure, leaf scalars, scale)
 
 
-class TreeShapExplainer:
+class TreeShapExplainer(Explainer):
     """SHAP values for xaidb tree models.
 
     Supported models and the output explained:

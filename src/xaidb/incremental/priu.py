@@ -31,6 +31,8 @@ from xaidb.models.logistic import LogisticRegression
 from xaidb.utils.linalg import sigmoid, solve_psd
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["IncrementalLinearRegression", "IncrementalLogisticRegression"]
+
 
 class IncrementalLinearRegression:
     """Exact incremental deletion for (ridge) linear regression."""

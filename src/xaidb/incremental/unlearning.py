@@ -30,6 +30,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_fitted
 
+__all__ = ["UnlearnableExtraTrees"]
+
 
 @dataclass
 class _Candidate:

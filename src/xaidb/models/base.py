@@ -25,6 +25,8 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["ModelT", "Model", "clone", "Classifier", "Regressor"]
+
 ModelT = TypeVar("ModelT", bound="Model")
 
 

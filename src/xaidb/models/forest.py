@@ -10,6 +10,8 @@ from xaidb.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_fitted
 
+__all__ = ["RandomForestClassifier", "RandomForestRegressor"]
+
 
 class _ForestMixin:
     """Shared bagging machinery."""

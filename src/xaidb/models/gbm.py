@@ -22,6 +22,8 @@ from xaidb.utils.linalg import sigmoid
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_fitted, check_positive
 
+__all__ = ["GradientBoostedRegressor", "GradientBoostedClassifier"]
+
 
 class _BoostingMixin:
     def _init_params(

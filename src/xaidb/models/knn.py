@@ -15,6 +15,8 @@ from xaidb.models.base import Classifier
 from xaidb.utils.kernels import pairwise_distances
 from xaidb.utils.validation import check_array, check_fitted
 
+__all__ = ["KNeighborsClassifier"]
+
 
 class KNeighborsClassifier(Classifier):
     """Majority-vote k-NN with Euclidean distance.

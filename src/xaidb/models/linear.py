@@ -14,6 +14,8 @@ from xaidb.models.base import Regressor
 from xaidb.utils.linalg import solve_psd
 from xaidb.utils.validation import check_array, check_fitted, check_positive
 
+__all__ = ["LinearRegression"]
+
 
 class LinearRegression(Regressor):
     """OLS / ridge regression.

@@ -15,6 +15,8 @@ from xaidb.models.base import Classifier
 from xaidb.utils.linalg import sigmoid, solve_psd
 from xaidb.utils.validation import check_array, check_fitted, check_positive
 
+__all__ = ["LogisticRegression"]
+
 
 class LogisticRegression(Classifier):
     """Binary logistic regression.

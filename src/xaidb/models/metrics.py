@@ -12,6 +12,18 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision",
+    "recall",
+    "f1_score",
+    "log_loss",
+    "roc_auc",
+    "mean_squared_error",
+    "r2_score",
+]
+
 
 def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
     y_true = check_array(y_true, name="y_true", ndim=1)
@@ -103,6 +115,7 @@ def r2_score(y_true, y_pred) -> float:
     y_true, y_pred = _check_pair(y_true, y_pred)
     ss_res = float(np.sum((y_true - y_pred) ** 2))
     ss_tot = float(np.sum((y_true - np.mean(y_true)) ** 2))
+    # xailint: disable=XDB006 (exact-zero denominator guard)
     if ss_tot == 0.0:
         return 0.0 if ss_res > 0 else 1.0
     return 1.0 - ss_res / ss_tot

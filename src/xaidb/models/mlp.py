@@ -16,6 +16,8 @@ from xaidb.models.base import Classifier
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_fitted
 
+__all__ = ["MLPClassifier"]
+
 
 class MLPClassifier(Classifier):
     """Binary/multi-class MLP with tanh hidden layers, softmax output,

@@ -12,6 +12,8 @@ import numpy as np
 from xaidb.models.base import Classifier
 from xaidb.utils.validation import check_array, check_fitted
 
+__all__ = ["GaussianNB"]
+
 
 class GaussianNB(Classifier):
     """Per-class Gaussian likelihoods with empirical class priors.

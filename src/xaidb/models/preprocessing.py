@@ -8,6 +8,8 @@ from xaidb.exceptions import ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_fitted, check_matching_lengths
 
+__all__ = ["StandardScaler", "train_test_split"]
+
 
 class StandardScaler:
     """Column-wise standardisation to zero mean and unit variance.

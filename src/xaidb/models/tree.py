@@ -24,6 +24,8 @@ from xaidb.models.base import Classifier, Regressor
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_fitted
 
+__all__ = ["TreeStructure", "DecisionTreeClassifier", "DecisionTreeRegressor"]
+
 _LEAF = -1
 
 
@@ -162,6 +164,7 @@ class _Builder:
         if (
             (self.max_depth is not None and depth >= self.max_depth)
             or len(rows) < self.min_samples_split
+            # xailint: disable=XDB006 (exact-zero impurity: node is pure by integer counts)
             or self._impurity(y_node) == 0.0
         ):
             return node

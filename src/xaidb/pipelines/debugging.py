@@ -25,6 +25,8 @@ from xaidb.models.base import Model, clone
 from xaidb.pipelines.pipeline import PipelineResult, ProvenancePipeline
 from xaidb.utils.validation import check_array
 
+__all__ = ["MetricFn", "StageAttribution", "PipelineDebugger"]
+
 MetricFn = Callable[[np.ndarray, np.ndarray], float]
 
 

@@ -21,6 +21,16 @@ import numpy as np
 
 from xaidb.exceptions import ValidationError
 
+__all__ = [
+    "StageRecord",
+    "Operator",
+    "ImputeMean",
+    "ScaleStandard",
+    "FilterRows",
+    "DropOutliers",
+    "LabelFlipCorruption",
+]
+
 
 @dataclass
 class StageRecord:
@@ -177,8 +187,10 @@ class LabelFlipCorruption(Operator):
     def apply(self, X, y, lineage, rng):
         y = y.copy()
         if self.direction == "up":
+            # xailint: disable=XDB006 (labels are exact 0.0/1.0 floats)
             pool = np.flatnonzero(y == 0.0)
         elif self.direction == "down":
+            # xailint: disable=XDB006 (labels are exact 0.0/1.0 floats)
             pool = np.flatnonzero(y == 1.0)
         else:
             pool = np.arange(len(y))

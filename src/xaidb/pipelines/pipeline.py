@@ -12,6 +12,8 @@ from xaidb.pipelines.operators import Operator, StageRecord
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_matching_lengths
 
+__all__ = ["PipelineResult", "ProvenancePipeline"]
+
 
 @dataclass
 class PipelineResult:

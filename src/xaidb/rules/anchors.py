@@ -28,6 +28,14 @@ from xaidb.explainers.base import PredictFn
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_probability
 
+__all__ = [
+    "Anchor",
+    "kl_bernoulli",
+    "kl_upper_bound",
+    "kl_lower_bound",
+    "AnchorsExplainer",
+]
+
 
 @dataclass
 class Anchor:

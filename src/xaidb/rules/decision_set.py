@@ -25,6 +25,8 @@ from xaidb.exceptions import NotFittedError, ValidationError
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array
 
+__all__ = ["Predicate", "Rule", "DecisionSetClassifier"]
+
 
 @dataclass(frozen=True)
 class Predicate:

@@ -32,6 +32,14 @@ from xaidb.data.dataset import Dataset
 from xaidb.exceptions import ValidationError
 from xaidb.utils.validation import check_array, check_probability
 
+__all__ = [
+    "ABSTAIN",
+    "LabelingFunction",
+    "apply_labeling_functions",
+    "LabelModel",
+    "mine_labeling_rules",
+]
+
 ABSTAIN = -1
 
 
@@ -105,6 +113,7 @@ class LabelModel:
         if votes.ndim != 2:
             raise ValidationError("votes must be a 2-D matrix")
         consensus = self._majority(votes)
+        # xailint: disable=XDB006 (consensus is a mean of exact -1/0/+1 votes; 0.5 is representable)
         decided = consensus != 0.5
         accuracies = np.empty(votes.shape[1])
         for j in range(votes.shape[1]):

@@ -29,6 +29,13 @@ from xaidb.exceptions import ValidationError
 from xaidb.models.tree import DecisionTreeClassifier
 from xaidb.utils.validation import check_array
 
+__all__ = [
+    "is_sufficient_reason",
+    "sufficient_reason",
+    "all_sufficient_reasons",
+    "necessary_features",
+]
+
 
 def _reachable_classes(
     model: DecisionTreeClassifier, x: np.ndarray, fixed: frozenset

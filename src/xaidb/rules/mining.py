@@ -17,6 +17,8 @@ from xaidb.data.transactions import TransactionDatabase
 from xaidb.exceptions import ValidationError
 from xaidb.utils.validation import check_probability
 
+__all__ = ["apriori", "fp_growth", "AssociationRule", "association_rules"]
+
 
 def apriori(
     database: TransactionDatabase,

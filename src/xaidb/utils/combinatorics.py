@@ -16,6 +16,15 @@ from itertools import chain, combinations
 from math import comb, factorial
 from typing import Iterator, Sequence, TypeVar
 
+__all__ = [
+    "T",
+    "all_subsets",
+    "shapley_subset_weight",
+    "shapley_kernel_weight",
+    "iter_permutations_sample",
+    "harmonic_number",
+]
+
 T = TypeVar("T")
 
 

@@ -7,6 +7,8 @@ import numpy as np
 
 from xaidb.utils.validation import check_array, check_positive
 
+__all__ = ["pairwise_distances", "exponential_kernel"]
+
 
 def pairwise_distances(
     a: np.ndarray,

@@ -6,6 +6,14 @@ import numpy as np
 
 from xaidb.exceptions import ConvergenceError
 
+__all__ = [
+    "solve_psd",
+    "conjugate_gradient",
+    "batched_outer_sum",
+    "logsumexp",
+    "sigmoid",
+]
+
 
 def solve_psd(matrix: np.ndarray, rhs: np.ndarray, *, ridge: float = 0.0) -> np.ndarray:
     """Solve ``(matrix + ridge*I) x = rhs`` for a symmetric PSD ``matrix``.

@@ -11,6 +11,8 @@ import numpy as np
 
 from xaidb.exceptions import ValidationError
 
+__all__ = ["RandomState", "check_random_state", "spawn_seeds"]
+
 RandomState = int | np.random.Generator | None
 
 

@@ -13,6 +13,15 @@ import numpy as np
 
 from xaidb.exceptions import NotFittedError, ValidationError
 
+__all__ = [
+    "check_array",
+    "check_matching_lengths",
+    "check_positive",
+    "check_in_range",
+    "check_probability",
+    "check_fitted",
+]
+
 
 def check_array(
     values: Any,

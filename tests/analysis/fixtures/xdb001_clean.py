@@ -1,0 +1,13 @@
+"""XDB001 clean fixture: only sanctioned dependencies."""
+
+import numpy as np
+import scipy.linalg
+from xaidb.explainers import lime  # intra-package, not the banned `lime`
+
+__all__ = ["use_them"]
+
+
+def use_them() -> None:
+    np.zeros(1)
+    scipy.linalg.norm([1.0])
+    lime  # pragma: no cover

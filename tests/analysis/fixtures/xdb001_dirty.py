@@ -1,0 +1,8 @@
+"""XDB001 dirty fixture: imports banned third-party ML packages.
+
+Never imported by tests — only parsed by the linter.
+"""
+
+import sklearn.linear_model  # noqa: F401
+import torch  # noqa: F401
+from pandas import DataFrame  # noqa: F401

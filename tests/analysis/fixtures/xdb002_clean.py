@@ -1,0 +1,12 @@
+"""XDB002 clean fixture: explicit Generator threading."""
+
+import numpy as np
+
+from xaidb.utils.rng import RandomState, check_random_state
+
+__all__ = ["sample"]
+
+
+def sample(random_state: RandomState = None) -> float:
+    rng: np.random.Generator = check_random_state(random_state)
+    return float(rng.normal(size=3).sum())

@@ -1,0 +1,14 @@
+"""XDB002 dirty fixture: global-state randomness everywhere."""
+
+import random
+
+import numpy as np
+
+__all__ = ["sample"]
+
+
+def sample() -> float:
+    np.random.seed(0)
+    noise = np.random.normal(size=3)
+    pick = random.choice([1, 2, 3])
+    return float(noise.sum()) + pick + random.random()

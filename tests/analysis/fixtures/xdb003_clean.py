@@ -1,0 +1,19 @@
+"""XDB003 clean fixture: explain/fit copy before mutating."""
+
+import numpy as np
+
+__all__ = ["PureExplainer"]
+
+
+class PureExplainer:
+    def explain(self, x: np.ndarray) -> np.ndarray:
+        x = x.copy()  # rebinding to a fresh object releases the alias
+        x[0] = 0.0
+        x += 1.0
+        return x
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "PureExplainer":
+        scaled = np.log1p(X)
+        self.X_ = scaled
+        self.y_ = np.asarray(y)
+        return self

@@ -1,0 +1,18 @@
+"""XDB003 dirty fixture: explain/fit methods that mutate their inputs."""
+
+import numpy as np
+
+__all__ = ["ImpureExplainer"]
+
+
+class ImpureExplainer:
+    def explain(self, x: np.ndarray) -> np.ndarray:
+        x[0] = 0.0  # subscript store into a parameter
+        x += 1.0  # augmented assignment mutates ndarrays in place
+        return x
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "ImpureExplainer":
+        X = np.asarray(X)  # no-copy passthrough keeps the alias
+        np.log1p(X, out=X)  # out= writes into the caller's buffer
+        self.y_ = y
+        return self

@@ -1,0 +1,11 @@
+"""XDB004 clean fixture: explicit public surface."""
+
+__all__ = ["public_function"]
+
+
+def public_function() -> int:
+    return 1
+
+
+def _private_helper() -> int:
+    return 2

@@ -1,0 +1,12 @@
+"""XDB004 dirty fixture: public definitions but no __all__.
+
+Linted as if it lived inside the xaidb package.
+"""
+
+
+def public_function() -> int:
+    return 1
+
+
+class PublicClass:
+    pass

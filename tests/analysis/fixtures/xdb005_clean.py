@@ -1,0 +1,13 @@
+"""XDB005 clean fixture: specific handlers, and broad catch that re-raises."""
+
+__all__ = ["careful"]
+
+
+def careful(fn) -> float:
+    try:
+        return fn()
+    except (ValueError, KeyError):
+        return 0.0
+    except Exception:
+        # a log-and-reraise broad handler cannot swallow anything
+        raise

@@ -1,0 +1,11 @@
+"""XDB006 clean fixture: tolerance-based float comparison."""
+
+import numpy as np
+
+__all__ = ["compare"]
+
+
+def compare(x: float, count: int) -> bool:
+    if count == 0:  # integer comparison is exact
+        return False
+    return bool(np.isclose(x, 0.1))

@@ -1,0 +1,9 @@
+"""XDB006 dirty fixture: exact equality against float literals."""
+
+__all__ = ["compare"]
+
+
+def compare(x: float, y: float) -> bool:
+    if x == 0.1:
+        return True
+    return y != -2.5

@@ -1,0 +1,10 @@
+"""XDB007 clean fixture: None defaults constructed inside the body."""
+
+__all__ = ["accumulate"]
+
+
+def accumulate(value: int, bucket: list | None = None) -> list:
+    if bucket is None:
+        bucket = []
+    bucket.append(value)
+    return bucket

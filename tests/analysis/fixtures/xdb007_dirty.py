@@ -1,0 +1,13 @@
+"""XDB007 dirty fixture: mutable default argument values."""
+
+__all__ = ["accumulate", "keyword_cache"]
+
+
+def accumulate(value: int, bucket: list = []) -> list:
+    bucket.append(value)
+    return bucket
+
+
+def keyword_cache(key: str, *, cache: dict = {}) -> dict:
+    cache[key] = True
+    return cache

@@ -1,0 +1,29 @@
+"""XDB008 clean fixture: conforming concrete explainers."""
+
+from abc import ABC, abstractmethod
+
+__all__ = ["GoodExplainer", "DerivedExplainer"]
+
+
+class Explainer(ABC):
+    @abstractmethod
+    def explain(self, *args, **kwargs):
+        """Produce an explanation."""
+
+
+class GoodExplainer(Explainer):
+    def explain(self, x):
+        return x
+
+
+class _AbstractMixin(Explainer):
+    @abstractmethod
+    def explain(self, x):
+        """Still abstract — intermediates are not checked."""
+
+
+class DerivedExplainer(GoodExplainer):
+    """Inherits explain() through the chain."""
+
+    def extra(self):
+        return None

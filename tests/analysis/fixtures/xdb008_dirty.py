@@ -1,0 +1,26 @@
+"""XDB008 dirty fixture: concrete explainers off the interface.
+
+Linted with a module name under ``xaidb.explainers`` so the project
+rule is in scope; the locally-defined ``Explainer`` ABC stands in for
+``xaidb.explainers.base.Explainer``.
+"""
+
+from abc import ABC, abstractmethod
+
+__all__ = ["RogueExplainer", "LazyExplainer"]
+
+
+class Explainer(ABC):
+    @abstractmethod
+    def explain(self, *args, **kwargs):
+        """Produce an explanation."""
+
+
+class RogueExplainer:  # does not subclass the interface
+    def explain(self, x):
+        return x
+
+
+class LazyExplainer(Explainer):  # subclasses but never implements explain
+    def setup(self):
+        return None

@@ -1,0 +1,105 @@
+"""Engine behaviour: discovery, suppressions, rule selection, parse errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from xaidb.analysis import lint_source, run_paths
+from xaidb.analysis.engine import PARSE_ERROR_ID, discover_files
+from xaidb.analysis.suppressions import parse_suppressions
+
+DIRTY = "def f(x, bucket=[]):\n    return bucket\n"
+
+
+class TestSuppressions:
+    def test_inline_suppression_silences_finding(self):
+        source = (
+            "def f(x, bucket=[]):  "
+            "# xailint: disable=XDB007 (fixture)\n    return bucket\n"
+        )
+        result = lint_source(source)
+        assert not result.findings
+        assert len(result.suppressed) == 1
+        assert result.suppressed[0].rule_id == "XDB007"
+
+    def test_standalone_comment_suppresses_next_line(self):
+        source = (
+            "# xailint: disable=XDB007 (fixture)\n"
+            "def f(x, bucket=[]):\n    return bucket\n"
+        )
+        result = lint_source(source)
+        assert not result.findings
+        assert len(result.suppressed) == 1
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        source = (
+            "def f(x, bucket=[]):  "
+            "# xailint: disable=XDB006\n    return bucket\n"
+        )
+        result = lint_source(source)
+        assert [f.rule_id for f in result.findings] == ["XDB007"]
+
+    def test_multiple_ids_one_comment(self):
+        source = (
+            "def f(x, bucket=[]):  "
+            "# xailint: disable=XDB006,XDB007\n    return bucket\n"
+        )
+        result = lint_source(source)
+        assert not result.findings
+
+    def test_reason_string_is_optional_but_parsed(self):
+        index = parse_suppressions(
+            "x = 1  # xailint: disable=XDB006 (labels are exact)\n"
+        )
+        assert index.is_suppressed(1, "XDB006")
+        assert not index.is_suppressed(1, "XDB001")
+
+    def test_comment_inside_string_is_not_a_suppression(self):
+        index = parse_suppressions(
+            's = "# xailint: disable=XDB006"\n'
+        )
+        assert len(index) == 0
+
+
+class TestEngine:
+    def test_ok_property(self):
+        assert lint_source("x = 1\n").ok
+        assert not lint_source(DIRTY).ok
+
+    def test_syntax_error_becomes_parse_finding(self):
+        result = lint_source("def broken(:\n")
+        assert [f.rule_id for f in result.findings] == [PARSE_ERROR_ID]
+        assert not result.ok
+
+    def test_rule_subset_selection(self):
+        result = lint_source(DIRTY, rule_ids=["XDB001"])
+        assert not result.findings  # XDB007 not in the active set
+
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_source("x = 1\n", rule_ids=["XDB999"])
+
+    def test_discover_and_run_paths(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "dirty.py").write_text(DIRTY)
+        (tmp_path / "pkg" / "clean.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "notes.txt").write_text("not python")
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x=1\n")
+
+        files = discover_files([tmp_path])
+        assert [p.name for p in files] == ["clean.py", "dirty.py"]
+
+        result = run_paths([tmp_path], root=tmp_path)
+        assert result.files_scanned == 2
+        assert [f.rule_id for f in result.findings] == ["XDB007"]
+        assert result.findings[0].path.endswith("dirty.py")
+
+    def test_findings_sorted_by_location(self):
+        source = (
+            "def g(a, b={}):\n    return b\n"
+            "def f(x, bucket=[]):\n    return bucket\n"
+        )
+        result = lint_source(source)
+        lines = [f.line for f in result.findings]
+        assert lines == sorted(lines)

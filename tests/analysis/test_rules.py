@@ -1,0 +1,81 @@
+"""Per-rule fixture tests: each rule fires on its dirty fixture and
+stays silent on its clean one (ISSUE acceptance criterion)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from xaidb.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+# (rule id, extra lint_source kwargs). XDB004 only applies inside the
+# xaidb package; XDB008 only inside xaidb.explainers.
+CASES = [
+    ("XDB001", {}),
+    ("XDB002", {}),
+    ("XDB003", {}),
+    ("XDB004", {"in_xaidb_package": True}),
+    ("XDB005", {}),
+    ("XDB006", {}),
+    ("XDB007", {}),
+    ("XDB008", {"module_name": "xaidb.explainers.fixture"}),
+]
+
+
+def _lint_fixture(rule_id: str, variant: str, kwargs: dict) -> list:
+    path = FIXTURES / f"{rule_id.lower()}_{variant}.py"
+    result = lint_source(
+        path.read_text(),
+        filename=path.name,
+        **kwargs,
+    )
+    return [f for f in result.findings if f.rule_id == rule_id]
+
+
+@pytest.mark.parametrize("rule_id,kwargs", CASES)
+def test_rule_fires_on_dirty_fixture(rule_id, kwargs):
+    findings = _lint_fixture(rule_id, "dirty", kwargs)
+    assert findings, f"{rule_id} did not fire on its dirty fixture"
+    for finding in findings:
+        assert finding.rule_id == rule_id
+        assert finding.line >= 1
+        assert finding.message
+
+
+@pytest.mark.parametrize("rule_id,kwargs", CASES)
+def test_rule_silent_on_clean_fixture(rule_id, kwargs):
+    findings = _lint_fixture(rule_id, "clean", kwargs)
+    assert not findings, [f.message for f in findings]
+
+
+def test_dirty_fixture_finding_counts():
+    """Pin the exact violation counts so rules neither over- nor
+    under-report as they evolve."""
+    expected = {
+        "XDB001": 3,  # two import statements + one from-import
+        "XDB002": 5,  # import random, seed, normal, choice, random()
+        "XDB003": 3,  # subscript store, augmented assign, out=
+        "XDB004": 1,
+        "XDB005": 2,  # bare except + except Exception
+        "XDB006": 2,
+        "XDB007": 2,
+        "XDB008": 2,  # not-a-subclass + missing abstract method
+    }
+    for (rule_id, kwargs) in CASES:
+        findings = _lint_fixture(rule_id, "dirty", kwargs)
+        assert len(findings) == expected[rule_id], (
+            rule_id,
+            [f.message for f in findings],
+        )
+
+
+def test_xdb008_messages_distinguish_failure_modes():
+    findings = _lint_fixture(
+        "XDB008", "dirty", {"module_name": "xaidb.explainers.fixture"}
+    )
+    messages = " | ".join(f.message for f in findings)
+    assert "does not subclass" in messages
+    assert "does not implement abstract method 'explain'" in messages

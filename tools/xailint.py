@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Repo wrapper for the xailint static-analysis pass.
+
+Equivalent to ``python -m xaidb.analysis`` but runnable from anywhere
+without installing the package: it puts ``src/`` on the path and
+defaults to the repo-standard scan set.  Exits non-zero on findings, so
+it can gate CI and pre-commit hooks directly:
+
+    python tools/xailint.py                 # scan src benchmarks examples tools
+    python tools/xailint.py src --format json
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from xaidb.analysis.cli import DEFAULT_SCAN_PATHS, main  # noqa: E402
+
+
+def _default_args() -> list[str]:
+    argv = sys.argv[1:]
+    if any(not arg.startswith("-") for arg in argv):
+        return argv  # caller supplied explicit paths
+    defaults = [
+        str(REPO_ROOT / name)
+        for name in DEFAULT_SCAN_PATHS
+        if (REPO_ROOT / name).is_dir()
+    ]
+    return defaults + argv
+
+
+if __name__ == "__main__":
+    sys.exit(main(_default_args()))
