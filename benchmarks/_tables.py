@@ -16,9 +16,19 @@ def print_table(
     header: Sequence[str],
     rows: Sequence[Sequence[Any]],
 ) -> None:
-    """Render one experiment table to stdout."""
+    """Render one experiment table to stdout.
+
+    An empty ``rows`` list renders the header and an ``(no rows)``
+    marker — a benchmark that finds nothing must still report a table,
+    not crash the harness (``max()`` over a bare int would raise).
+    """
     widths = [
-        max(len(str(header[i])), *(len(_fmt(row[i])) for row in rows))
+        max(
+            len(str(header[i])),
+            *(len(_fmt(row[i])) for row in rows),
+        )
+        if rows
+        else len(str(header[i]))
         for i in range(len(header))
     ]
     line = " | ".join(str(h).ljust(w) for h, w in zip(header, widths))
@@ -26,6 +36,9 @@ def print_table(
     print(f"== {title} ==")
     print(line)
     print("-+-".join("-" * w for w in widths))
+    if not rows:
+        print("(no rows)")
+        return
     for row in rows:
         print(" | ".join(_fmt(v).ljust(w) for v, w in zip(row, widths)))
 

@@ -30,7 +30,11 @@ implements, from scratch on top of numpy/scipy/networkx:
 - ``xaidb.attacks`` — adversarial scaffolding attacks on post-hoc
   explainers;
 - ``xaidb.evaluation`` — faithfulness, fidelity, stability, robustness and
-  sanity-check metrics for explanations.
+  sanity-check metrics for explanations;
+- ``xaidb.runtime`` — the shared evaluation substrate: batch-aware
+  coalition/value memoisation, bounded-memory chunked evaluation and an
+  opt-in deterministic process-pool map, with per-explanation evaluation
+  accounting (see ``docs/RUNTIME.md``).
 """
 
 from xaidb._version import __version__

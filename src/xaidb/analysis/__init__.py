@@ -5,7 +5,7 @@ validity silently: unseeded randomness, hidden library behaviour and
 impure explainers make a reproduction drift from the results it claims
 to match without any test failing.  This package turns the repo's
 scientific-correctness conventions into machine-checked invariants
-(rule ids XDB001–XDB008, documented in ``docs/LINTING.md``) that gate
+(rule ids XDB001–XDB009, documented in ``docs/LINTING.md``) that gate
 every PR via ``tests/analysis/test_lint_clean.py``.
 
 Programmatic use::

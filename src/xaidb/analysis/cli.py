@@ -33,7 +33,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="xailint",
         description=(
             "Static analysis enforcing xaidb's scientific-correctness "
-            "invariants (rule ids XDB001-XDB008; see docs/LINTING.md)."
+            "invariants (rule ids XDB001-XDB009; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(

@@ -1,4 +1,4 @@
-"""The built-in xailint rule pack (XDB001–XDB008).
+"""The built-in xailint rule pack (XDB001–XDB009).
 
 Importing this package registers every rule with
 :mod:`xaidb.analysis.registry`; the ids are stable and documented in
@@ -13,6 +13,7 @@ from xaidb.analysis.rules.imports_rule import BannedImportsRule
 from xaidb.analysis.rules.project import ExplainerInterfaceRule
 from xaidb.analysis.rules.purity import ExplainerPurityRule
 from xaidb.analysis.rules.randomness import UnseededRandomnessRule
+from xaidb.analysis.rules.runtime_rule import PredictLoopRule
 
 __all__ = [
     "BannedImportsRule",
@@ -23,4 +24,5 @@ __all__ = [
     "FloatEqualityRule",
     "MutableDefaultRule",
     "ExplainerInterfaceRule",
+    "PredictLoopRule",
 ]

@@ -1,0 +1,148 @@
+"""XDB009 — direct ``predict_fn`` loops bypassing the shared runtime.
+
+The tutorial's cost claim is that every perturbation-based explainer
+reduces to many model evaluations; ``xaidb.runtime`` is the one substrate
+where that cost is memoised, chunked and accounted (``n_model_evals``,
+``cache_hit_rate`` in every attribution's metadata).  An explainer that
+calls ``predict_fn`` / ``self.predict_fn`` *inside a loop* re-rolls its
+own evaluation loop: per-iteration model calls dodge the coalition cache,
+the ``max_batch_rows`` memory bound and the evaluation ledger — exactly
+the seed-era pattern this rule exists to retire.
+
+Scope: modules under ``xaidb.explainers`` and ``xaidb.rules`` (the
+perturbation-explainer packages the runtime serves).  Calls where the
+loop *is* the substrate (the chunked batch walk in ``games.py``) or where
+per-candidate evaluation is the method's definition (genetic
+counterfactual search, per-feature masking) carry an inline
+``# xailint: disable=XDB009 (reason)`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["PredictLoopRule"]
+
+_SCOPED_PACKAGES = ("xaidb.explainers", "xaidb.rules")
+_TARGET_NAME = "predict_fn"
+
+
+def _in_scope(ctx: FileContext) -> bool:
+    return any(
+        ctx.module_name == package
+        or ctx.module_name.startswith(package + ".")
+        for package in _SCOPED_PACKAGES
+    )
+
+
+def _is_predict_fn_call(node: ast.Call) -> bool:
+    """``predict_fn(...)``, ``self.predict_fn(...)``, ``obj.predict_fn(...)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == _TARGET_NAME
+    if isinstance(func, ast.Attribute):
+        return func.attr == _TARGET_NAME
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    """Track lexical loop depth; flag predict_fn calls at depth > 0.
+
+    Function/class boundaries reset the depth: a helper *defined* inside
+    a loop is not itself a per-iteration model call, and a call inside a
+    function defined outside any loop is not flagged even if the function
+    is invoked from one (the rule is lexical, like the rest of xailint).
+    """
+
+    def __init__(self, rule: "PredictLoopRule", ctx: FileContext) -> None:
+        self.rule = rule
+        self.ctx = ctx
+        self.loop_depth = 0
+        self.findings: list[Finding] = []
+
+    # -- boundaries ----------------------------------------------------
+    def _visit_scope(self, node: ast.AST) -> None:
+        outer = self.loop_depth
+        self.loop_depth = 0
+        self.generic_visit(node)
+        self.loop_depth = outer
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_scope(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scope(node)
+
+    # -- loops ---------------------------------------------------------
+    def _visit_loop(self, node: ast.For | ast.AsyncFor | ast.While) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        self._visit_loop(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._visit_loop(node)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_loop(node)
+
+    # -- comprehensions are loops too ---------------------------------
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node)
+
+    # -- the calls -----------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.loop_depth > 0 and _is_predict_fn_call(node):
+            self.findings.append(
+                self.ctx.finding(
+                    self.rule,
+                    node,
+                    "model evaluation inside a loop bypasses the shared "
+                    "runtime: route batched coalitions/perturbations "
+                    "through xaidb.runtime.GameRuntime (or collect rows "
+                    "and score them in one predict_fn call) so the memo "
+                    "cache, max_batch_rows bound and eval counters apply",
+                )
+            )
+        self.generic_visit(node)
+
+
+@register
+class PredictLoopRule(FileRule):
+    rule_id = "XDB009"
+    symbol = "predict-loop-bypasses-runtime"
+    description = (
+        "A per-iteration predict_fn call inside an explainer loop "
+        "bypasses the shared evaluation runtime (xaidb.runtime): no "
+        "memoisation, no chunking bound, no eval accounting."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not _in_scope(ctx):
+            return
+        visitor = _Visitor(self, ctx)
+        visitor.visit(ctx.tree)
+        yield from visitor.findings

@@ -17,10 +17,43 @@ import numpy as np
 
 from xaidb.datavaluation.utility import UtilityFunction
 from xaidb.exceptions import ValidationError
-from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.runtime import parallel_map
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_matching_lengths
 
 __all__ = ["tmc_shapley_values", "DataShapley"]
+
+
+def _tmc_permutation(
+    task: tuple[UtilityFunction, np.ndarray, np.ndarray, int, float, float, float],
+) -> np.ndarray:
+    """Walk one seeded permutation — the process-pool work unit.
+
+    Each permutation derives its ordering from its own spawned seed, so
+    the walk is independent of every other permutation and of execution
+    order: serial and parallel runs are bit-identical.
+    """
+    (
+        utility,
+        X_train,
+        y_train,
+        seed,
+        full_utility,
+        null_utility,
+        truncation_tolerance,
+    ) = task
+    n = len(y_train)
+    order = check_random_state(seed).permutation(n)
+    sample = np.zeros(n)
+    previous = null_utility
+    for position, point in enumerate(order):
+        prefix = order[: position + 1]
+        current = utility(X_train, y_train, prefix)
+        sample[point] = current - previous
+        previous = current
+        if abs(full_utility - current) <= truncation_tolerance:
+            break  # later points in this permutation contribute ~nothing
+    return sample
 
 
 def tmc_shapley_values(
@@ -31,8 +64,17 @@ def tmc_shapley_values(
     n_permutations: int = 100,
     truncation_tolerance: float = 0.01,
     random_state: RandomState = None,
+    n_jobs: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """TMC-Shapley values.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes for the (embarrassingly parallel) permutation
+        walks; ``None``/``1`` runs serially.  Values are bit-identical
+        for every ``n_jobs`` under a fixed ``random_state`` — each
+        permutation owns a spawned child seed.
 
     Returns
     -------
@@ -44,31 +86,31 @@ def tmc_shapley_values(
     check_matching_lengths(("X_train", X_train), ("y_train", y_train))
     if n_permutations < 1:
         raise ValidationError("n_permutations must be >= 1")
-    rng = check_random_state(random_state)
-    n = len(y_train)
     full_utility = utility(X_train, y_train)
     null_utility = utility.null_utility()
-
-    samples = np.zeros((n_permutations, n))
-    for permutation_index in range(n_permutations):
-        order = rng.permutation(n)
-        previous = null_utility
-        truncated = False
-        for position, point in enumerate(order):
-            if truncated:
-                samples[permutation_index, point] = 0.0
-                continue
-            prefix = order[: position + 1]
-            current = utility(X_train, y_train, prefix)
-            samples[permutation_index, point] = current - previous
-            previous = current
-            if abs(full_utility - current) <= truncation_tolerance:
-                truncated = True
+    seeds = spawn_seeds(random_state, n_permutations)
+    walks = parallel_map(
+        _tmc_permutation,
+        [
+            (
+                utility,
+                X_train,
+                y_train,
+                seed,
+                full_utility,
+                null_utility,
+                truncation_tolerance,
+            )
+            for seed in seeds
+        ],
+        n_jobs=n_jobs,
+    )
+    samples = np.asarray(walks)
     values = samples.mean(axis=0)
     if n_permutations > 1:
         errors = samples.std(axis=0, ddof=1) / np.sqrt(n_permutations)
     else:
-        errors = np.full(n, np.nan)
+        errors = np.full(len(y_train), np.nan)
     return values, errors
 
 
@@ -84,12 +126,14 @@ class DataShapley:
         *,
         n_permutations: int = 100,
         truncation_tolerance: float = 0.01,
+        n_jobs: int | None = None,
     ) -> None:
         self.utility = utility
         self.X_train = check_array(X_train, name="X_train", ndim=2)
         self.y_train = check_array(y_train, name="y_train", ndim=1)
         self.n_permutations = n_permutations
         self.truncation_tolerance = truncation_tolerance
+        self.n_jobs = n_jobs
         self.values_: np.ndarray | None = None
         self.errors_: np.ndarray | None = None
 
@@ -101,6 +145,7 @@ class DataShapley:
             n_permutations=self.n_permutations,
             truncation_tolerance=self.truncation_tolerance,
             random_state=random_state,
+            n_jobs=self.n_jobs,
         )
         return self
 

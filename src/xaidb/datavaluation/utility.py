@@ -67,7 +67,12 @@ class UtilityFunction:
                 majority = values[np.argmax(counts)]
                 predictions = np.full_like(self.y_valid, majority)
             else:
-                predictions = np.full_like(self.y_valid, self.y_valid.mean())
+                # np.full_like would inherit y_valid's dtype and truncate
+                # the mean to an integer for integer-typed targets,
+                # anchoring every TMC/LOO/distributional value wrongly.
+                predictions = np.full(
+                    self.y_valid.shape, self.y_valid.mean(), dtype=float
+                )
             self._null = float(self.metric(self.y_valid, predictions))
         return self._null
 

@@ -198,6 +198,7 @@ class GecoExplainer(Explainer):
         counterfactuals = []
         for delta in chosen:
             candidate = delta.apply(instance)
+            # xailint: disable=XDB009 (final rescoring of the handful of selected counterfactuals; the search itself scores populations in batch)
             score = float(self.predict_fn(candidate[None, :])[0])
             counterfactuals.append(
                 Counterfactual(

@@ -25,12 +25,22 @@ from xaidb.data.dataset import Dataset
 from xaidb.data.perturbation import LimeTabularSampler
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
+from xaidb.runtime import EvalStats, parallel_map
 from xaidb.utils.kernels import exponential_kernel
 from xaidb.utils.linalg import solve_psd
-from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_positive
 
 __all__ = ["LimeExplanation", "LimeExplainer"]
+
+
+def _explain_one(
+    task: tuple["LimeExplainer", PredictFn, np.ndarray, int],
+) -> "LimeExplanation":
+    """One seeded single-instance explanation — the process-pool work
+    unit for :meth:`LimeExplainer.explain_batch`."""
+    explainer, predict_fn, instance, seed = task
+    return explainer.explain(predict_fn, instance, random_state=seed)
 
 
 class LimeExplanation(FeatureAttribution):
@@ -104,35 +114,42 @@ class LimeExplainer(Explainer):
         """Explain ``predict_fn`` at ``instance``."""
         instance = check_array(instance, name="instance", ndim=1)
         rng = check_random_state(random_state)
-        perturbed, binary = self.sampler.sample(
-            instance, self.n_samples, random_state=rng
-        )
-        predictions = np.asarray(predict_fn(perturbed), dtype=float)
-        if predictions.shape != (self.n_samples,):
-            raise ValidationError(
-                "predict_fn must return one scalar per row; got shape "
-                f"{predictions.shape}"
+        stats = EvalStats()
+        counted_fn = stats.wrap_predict_fn(predict_fn)
+        with stats.timer():
+            perturbed, binary = self.sampler.sample(
+                instance, self.n_samples, random_state=rng
             )
-        distances = self.sampler.standardised_distances(instance, perturbed)
-        weights = exponential_kernel(distances, self.kernel_width)
+            predictions = np.asarray(counted_fn(perturbed), dtype=float)
+            if predictions.shape != (self.n_samples,):
+                raise ValidationError(
+                    "predict_fn must return one scalar per row; got shape "
+                    f"{predictions.shape}"
+                )
+            distances = self.sampler.standardised_distances(
+                instance, perturbed
+            )
+            weights = exponential_kernel(distances, self.kernel_width)
 
-        # interpretable representation: standardised raw values for
-        # numeric columns, match indicators for categorical columns
-        design_full = (
-            perturbed - self.sampler.column_means[None, :]
-        ) / self.sampler.column_stds[None, :]
-        for col in self.dataset.categorical_indices:
-            design_full[:, col] = binary[:, col]
+            # interpretable representation: standardised raw values for
+            # numeric columns, match indicators for categorical columns
+            design_full = (
+                perturbed - self.sampler.column_means[None, :]
+            ) / self.sampler.column_stds[None, :]
+            for col in self.dataset.categorical_indices:
+                design_full[:, col] = binary[:, col]
 
-        selected = self._select_features(design_full, predictions, weights)
-        coefficients = np.zeros(self.dataset.n_features)
-        coef_sel, intercept = _weighted_ridge(
-            design_full[:, selected], predictions, weights, self.l2
-        )
-        coefficients[selected] = coef_sel
+            selected = self._select_features(
+                design_full, predictions, weights
+            )
+            coefficients = np.zeros(self.dataset.n_features)
+            coef_sel, intercept = _weighted_ridge(
+                design_full[:, selected], predictions, weights, self.l2
+            )
+            coefficients[selected] = coef_sel
 
-        fitted = design_full[:, selected] @ coef_sel + intercept
-        score = _weighted_r2(predictions, fitted, weights)
+            fitted = design_full[:, selected] @ coef_sel + intercept
+            score = _weighted_r2(predictions, fitted, weights)
         return LimeExplanation(
             feature_names=self.dataset.feature_names,
             values=coefficients,
@@ -143,7 +160,36 @@ class LimeExplainer(Explainer):
                 "n_samples": self.n_samples,
                 "kernel_width": self.kernel_width,
                 "selected_features": [int(i) for i in selected],
+                **stats.as_metadata(),
             },
+        )
+
+    # ------------------------------------------------------------------
+    def explain_batch(
+        self,
+        predict_fn: PredictFn,
+        instances: np.ndarray,
+        *,
+        random_state: RandomState = None,
+        n_jobs: int | None = None,
+    ) -> list[LimeExplanation]:
+        """Explain many instances, optionally across worker processes.
+
+        Each instance's explanation derives all randomness from its own
+        spawned child seed, so the result list is bit-identical for
+        every ``n_jobs`` under a fixed ``random_state`` (a ``predict_fn``
+        the pool cannot pickle — e.g. a lambda adapter — transparently
+        degrades to the serial path).
+        """
+        instances = check_array(instances, name="instances", ndim=2)
+        seeds = spawn_seeds(random_state, instances.shape[0])
+        return parallel_map(
+            _explain_one,
+            [
+                (self, predict_fn, instances[i], seeds[i])
+                for i in range(instances.shape[0])
+            ],
+            n_jobs=n_jobs,
         )
 
     # ------------------------------------------------------------------

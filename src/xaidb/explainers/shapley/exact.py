@@ -15,6 +15,7 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import CachedGame, Game, MarginalImputationGame
+from xaidb.runtime import GameRuntime, RuntimeConfig
 from xaidb.utils.combinatorics import shapley_subset_weight
 from xaidb.utils.validation import check_array
 
@@ -36,7 +37,7 @@ def exact_shapley_values(game: Game) -> np.ndarray:
             f"exact enumeration over {n} players is intractable "
             f"(limit {_MAX_EXACT_PLAYERS}); use a sampling estimator"
         )
-    cached = game if isinstance(game, CachedGame) else CachedGame(game)
+    cached = game if game.provides_cache else CachedGame(game)
     players = list(range(n))
     phi = np.zeros(n)
     for player in players:
@@ -69,26 +70,34 @@ class ExactShapleyExplainer(Explainer):
         background: np.ndarray,
         *,
         feature_names: list[str] | None = None,
+        config: RuntimeConfig | None = None,
     ) -> None:
         self.predict_fn = predict_fn
         self.background = check_array(background, name="background", ndim=2)
         self.feature_names = feature_names
+        self.config = config or RuntimeConfig()
 
     def explain(self, instance: np.ndarray) -> FeatureAttribution:
         instance = check_array(instance, name="instance", ndim=1)
-        game = CachedGame(
-            MarginalImputationGame(self.predict_fn, instance, self.background)
+        runtime = GameRuntime(
+            MarginalImputationGame(
+                self.predict_fn, instance, self.background
+            ),
+            config=self.config,
         )
-        phi = exact_shapley_values(game)
-        base = game.empty_value()
+        with runtime.stats.timer():
+            phi = exact_shapley_values(runtime)
+            base = runtime.empty_value()
+            prediction = runtime.grand_value()
         names = self.feature_names or [f"x{i}" for i in range(len(instance))]
         return FeatureAttribution(
             feature_names=list(names),
             values=phi,
             base_value=base,
-            prediction=game.grand_value(),
+            prediction=prediction,
             metadata={
                 "method": "exact_shapley",
-                "n_coalitions_evaluated": game.n_evaluations,
+                "n_coalitions_evaluated": runtime.stats.n_coalition_evals,
+                **runtime.stats.as_metadata(),
             },
         )

@@ -29,6 +29,12 @@ class Game:
     size.  Coalitions are passed as iterables of integer player indices.
     """
 
+    #: True on wrappers that already memoise values (``CachedGame``,
+    #: :class:`xaidb.runtime.GameRuntime`); estimators must not re-wrap
+    #: such games in another memo layer (it would starve the inner
+    #: cache's hit accounting).
+    provides_cache = False
+
     def __init__(self, n_players: int) -> None:
         if n_players < 1:
             raise ValidationError("a game needs at least one player")
@@ -60,6 +66,8 @@ class FunctionGame(Game):
 class CachedGame(Game):
     """Memoising wrapper: exact enumeration and KernelSHAP both revisit
     coalitions, and Monte-Carlo games are expensive to evaluate."""
+
+    provides_cache = True
 
     def __init__(self, inner: Game) -> None:
         super().__init__(inner.n_players)
@@ -125,24 +133,52 @@ class MarginalImputationGame(Game):
             hybrid[:, present] = self.instance[present]
         return float(np.mean(self.predict_fn(hybrid)))
 
-    def values_batch(self, masks: np.ndarray) -> np.ndarray:
+    def values_batch(
+        self, masks: np.ndarray, *, max_batch_rows: int | None = None
+    ) -> np.ndarray:
         """Evaluate many coalitions at once.
 
         ``masks`` is a ``(n_coalitions, d)`` boolean matrix (True = feature
-        present).  All hybrid rows are scored in a single ``predict_fn``
-        call, which is the difference between KernelSHAP being usable and
-        not on slow models.
+        present).  Hybrid rows are scored in as few ``predict_fn`` calls
+        as ``max_batch_rows`` allows — batching is the difference between
+        KernelSHAP being usable and not on slow models, while the row
+        bound keeps peak memory at ``max_batch_rows × d`` instead of
+        ``n_coalitions × m × d``.
+
+        Parameters
+        ----------
+        masks:
+            Boolean coalition matrix, shape ``(n_coalitions, d)``.
+        max_batch_rows:
+            Upper bound on hybrid rows materialised per model call
+            (``None`` = single call, the historical behaviour).  Each
+            coalition's mean is reduced per row, so results are
+            bit-identical for every chunking.
         """
         masks = np.asarray(masks, dtype=bool)
         if masks.ndim != 2 or masks.shape[1] != self.n_players:
             raise ValidationError(
                 f"masks must have shape (n, {self.n_players})"
             )
-        m = self.background.shape[0]
-        stacked = np.repeat(self.background[None, :, :], masks.shape[0], axis=0)
-        # broadcast instance into the masked positions of every block
-        for row, mask in enumerate(masks):
-            stacked[row, :, mask] = self.instance[mask, None]
-        flat = stacked.reshape(masks.shape[0] * m, self.n_players)
-        scores = np.asarray(self.predict_fn(flat), dtype=float)
-        return scores.reshape(masks.shape[0], m).mean(axis=1)
+        n, m = masks.shape[0], self.background.shape[0]
+        if max_batch_rows is None:
+            chunk = max(n, 1)
+        else:
+            if max_batch_rows < 1:
+                raise ValidationError("max_batch_rows must be >= 1 or None")
+            chunk = max(1, int(max_batch_rows) // m)
+        means = np.empty(n)
+        for start in range(0, n, chunk):
+            block = masks[start : start + chunk]
+            hybrid = np.where(
+                block[:, None, :],
+                self.instance[None, None, :],
+                self.background[None, :, :],
+            )
+            flat = hybrid.reshape(block.shape[0] * m, self.n_players)
+            # xailint: disable=XDB009 (this loop IS the substrate: one chunked call per max_batch_rows window)
+            scores = np.asarray(self.predict_fn(flat), dtype=float)
+            means[start : start + chunk] = scores.reshape(
+                block.shape[0], m
+            ).mean(axis=1)
+        return means

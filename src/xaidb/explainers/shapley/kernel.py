@@ -26,6 +26,7 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import MarginalImputationGame
+from xaidb.runtime import GameRuntime, RuntimeConfig
 from xaidb.utils.combinatorics import shapley_kernel_weight
 from xaidb.utils.linalg import solve_psd
 from xaidb.utils.rng import RandomState, check_random_state
@@ -49,6 +50,9 @@ class KernelShapExplainer(Explainer):
     l2:
         Tiny ridge stabiliser for the (possibly rank-deficient) sampled
         regression; does not affect the enforced constraints.
+    config:
+        Shared-runtime knobs (memo cache, ``max_batch_rows`` chunking);
+        defaults to :class:`~xaidb.runtime.RuntimeConfig`'s defaults.
     """
 
     def __init__(
@@ -59,6 +63,7 @@ class KernelShapExplainer(Explainer):
         n_coalitions: int = 2048,
         l2: float = 1e-10,
         feature_names: list[str] | None = None,
+        config: RuntimeConfig | None = None,
     ) -> None:
         if n_coalitions < 4:
             raise ValidationError("n_coalitions must be at least 4")
@@ -67,25 +72,53 @@ class KernelShapExplainer(Explainer):
         self.n_coalitions = n_coalitions
         self.l2 = l2
         self.feature_names = feature_names
+        self.config = config or RuntimeConfig()
 
     # ------------------------------------------------------------------
+    def make_runtime(self, instance: np.ndarray) -> GameRuntime:
+        """A runtime for repeated explanations of one instance.
+
+        Pass the result to :meth:`explain` via ``runtime=`` to share the
+        coalition cache across calls (interactive workloads re-request
+        the same explanation with different budgets/visualisations);
+        its :attr:`~xaidb.runtime.GameRuntime.stats` accumulate across
+        those calls while each attribution's metadata reports per-call
+        deltas.
+        """
+        instance = check_array(instance, name="instance", ndim=1)
+        return GameRuntime(
+            MarginalImputationGame(
+                self.predict_fn, instance, self.background
+            ),
+            config=self.config,
+        )
+
     def explain(
         self,
         instance: np.ndarray,
         *,
         random_state: RandomState = None,
+        runtime: GameRuntime | None = None,
     ) -> FeatureAttribution:
         instance = check_array(instance, name="instance", ndim=1)
         d = instance.shape[0]
         if d < 2:
             raise ValidationError("KernelSHAP needs at least 2 features")
-        game = MarginalImputationGame(self.predict_fn, instance, self.background)
-        base_value = game.value(())
-        full_value = game.value(range(d))
-
-        masks, weights = self._coalition_design(d, random_state)
-        values = game.values_batch(masks)
-        phi = self._solve(masks, values, weights, base_value, full_value)
+        if runtime is None:
+            runtime = self.make_runtime(instance)
+        elif runtime.n_players != d:
+            raise ValidationError(
+                f"runtime is for {runtime.n_players} players, instance "
+                f"has {d} features"
+            )
+        before = runtime.stats.copy()
+        with runtime.stats.timer():
+            base_value = runtime.value(())
+            full_value = runtime.value(range(d))
+            masks, weights = self._coalition_design(d, random_state)
+            values = runtime.values_batch(masks)
+            phi = self._solve(masks, values, weights, base_value, full_value)
+        run_stats = runtime.stats.since(before)
         names = self.feature_names or [f"x{i}" for i in range(d)]
         return FeatureAttribution(
             feature_names=list(names),
@@ -96,6 +129,7 @@ class KernelShapExplainer(Explainer):
                 "method": "kernel_shap",
                 "n_coalitions": int(masks.shape[0]),
                 "exhaustive": (2**d - 2) <= self.n_coalitions,
+                **run_stats.as_metadata(),
             },
         )
 
@@ -129,6 +163,13 @@ class KernelShapExplainer(Explainer):
         sampled this way, every coalition enters the regression with unit
         weight (the kernel is already accounted for by the sampling
         distribution).
+
+        Duplicate draws are *aggregated*: a mask sampled ``k`` times
+        enters the regression once with weight ``k``.  This matches the
+        sampling distribution exactly (the WLS normal equations are
+        identical to ``k`` unit-weight copies) while letting the runtime
+        cache dedupe cleanly — the seed behaviour, which kept duplicates
+        as independent unit-weight rows, silently re-evaluated them.
         """
         rng = check_random_state(random_state)
         sizes = np.arange(1, d)
@@ -143,8 +184,8 @@ class KernelShapExplainer(Explainer):
             chosen = rng.choice(d, size=int(size), replace=False)
             masks[2 * pair, chosen] = True
             masks[2 * pair + 1] = ~masks[2 * pair]
-        weights = np.ones(2 * n_pairs)
-        return masks, weights
+        unique_masks, counts = np.unique(masks, axis=0, return_counts=True)
+        return unique_masks, counts.astype(float)
 
     def _solve(
         self,

@@ -5,6 +5,13 @@ each player's marginal contribution when it joins the coalition of its
 predecessors.  With antithetic sampling every permutation is paired with
 its reverse, which cancels a large share of the variance at no extra
 model cost.
+
+Draws are independent given their seeds: each one derives its ordering
+from a child seed spawned via :func:`xaidb.utils.rng.spawn_seeds`, so the
+estimator is *embarrassingly parallel* — ``n_jobs > 1`` fans draws out
+over :func:`xaidb.runtime.parallel_map` and returns bit-identical values
+to the serial path (workers trade the cross-permutation memo cache for
+wall-clock; the values themselves are deterministic either way).
 """
 
 from __future__ import annotations
@@ -14,10 +21,38 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import CachedGame, Game, MarginalImputationGame
-from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.runtime import GameRuntime, RuntimeConfig, parallel_map
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array
 
 __all__ = ["permutation_shapley_values", "PermutationShapleyExplainer"]
+
+
+def _walk(game: Game, order: np.ndarray) -> np.ndarray:
+    """Marginal contributions along one player ordering."""
+    n = game.n_players
+    marginal = np.zeros(n)
+    coalition: list[int] = []
+    previous = game.value(())
+    for player in order:
+        coalition.append(int(player))
+        current = game.value(coalition)
+        marginal[int(player)] = current - previous
+        previous = current
+    return marginal
+
+
+def _permutation_draw(
+    task: tuple[Game, int, bool],
+) -> list[np.ndarray]:
+    """One seeded draw (plus its antithetic partner) — the process-pool
+    work unit.  All randomness comes from the task's spawned seed."""
+    game, seed, antithetic = task
+    order = check_random_state(seed).permutation(game.n_players)
+    walks = [_walk(game, order)]
+    if antithetic:
+        walks.append(_walk(game, order[::-1]))
+    return walks
 
 
 def permutation_shapley_values(
@@ -26,8 +61,17 @@ def permutation_shapley_values(
     *,
     antithetic: bool = True,
     random_state: RandomState = None,
+    n_jobs: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Monte-Carlo Shapley values.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes for the independent permutation draws
+        (``None``/``1`` = serial, sharing one memo cache across draws).
+        Parallel and serial return identical values for a fixed
+        ``random_state``.
 
     Returns
     -------
@@ -37,28 +81,16 @@ def permutation_shapley_values(
     """
     if n_permutations < 1:
         raise ValidationError("n_permutations must be >= 1")
-    rng = check_random_state(random_state)
-    cached = game if isinstance(game, CachedGame) else CachedGame(game)
+    cached = game if game.provides_cache else CachedGame(game)
     n = game.n_players
-    contributions: list[np.ndarray] = []
     n_draws = (n_permutations + 1) // 2 if antithetic else n_permutations
-
-    def walk(order: np.ndarray) -> np.ndarray:
-        marginal = np.zeros(n)
-        coalition: list[int] = []
-        previous = cached.value(())
-        for player in order:
-            coalition.append(int(player))
-            current = cached.value(coalition)
-            marginal[int(player)] = current - previous
-            previous = current
-        return marginal
-
-    for _ in range(n_draws):
-        order = rng.permutation(n)
-        contributions.append(walk(order))
-        if antithetic:
-            contributions.append(walk(order[::-1]))
+    seeds = spawn_seeds(random_state, n_draws)
+    draws = parallel_map(
+        _permutation_draw,
+        [(cached, seed, antithetic) for seed in seeds],
+        n_jobs=n_jobs,
+    )
+    contributions = [walk for draw in draws for walk in draw]
     samples = np.asarray(contributions[:n_permutations])
     phi = samples.mean(axis=0)
     if len(samples) > 1:
@@ -81,12 +113,14 @@ class PermutationShapleyExplainer(Explainer):
         n_permutations: int = 200,
         antithetic: bool = True,
         feature_names: list[str] | None = None,
+        config: RuntimeConfig | None = None,
     ) -> None:
         self.predict_fn = predict_fn
         self.background = check_array(background, name="background", ndim=2)
         self.n_permutations = n_permutations
         self.antithetic = antithetic
         self.feature_names = feature_names
+        self.config = config or RuntimeConfig()
 
     def explain(
         self,
@@ -95,25 +129,33 @@ class PermutationShapleyExplainer(Explainer):
         random_state: RandomState = None,
     ) -> FeatureAttribution:
         instance = check_array(instance, name="instance", ndim=1)
-        game = CachedGame(
-            MarginalImputationGame(self.predict_fn, instance, self.background)
+        runtime = GameRuntime(
+            MarginalImputationGame(
+                self.predict_fn, instance, self.background
+            ),
+            config=self.config,
         )
-        phi, errors = permutation_shapley_values(
-            game,
-            self.n_permutations,
-            antithetic=self.antithetic,
-            random_state=random_state,
-        )
+        with runtime.stats.timer():
+            phi, errors = permutation_shapley_values(
+                runtime,
+                self.n_permutations,
+                antithetic=self.antithetic,
+                random_state=random_state,
+                n_jobs=self.config.n_jobs,
+            )
+            base_value = runtime.empty_value()
+            prediction = runtime.grand_value()
         names = self.feature_names or [f"x{i}" for i in range(len(instance))]
         return FeatureAttribution(
             feature_names=list(names),
             values=phi,
-            base_value=game.empty_value(),
-            prediction=game.grand_value(),
+            base_value=base_value,
+            prediction=prediction,
             metadata={
                 "method": "permutation_shapley",
                 "standard_errors": errors.tolist(),
                 "n_permutations": self.n_permutations,
-                "n_coalitions_evaluated": game.n_evaluations,
+                "n_coalitions_evaluated": runtime.stats.n_coalition_evals,
+                **runtime.stats.as_metadata(),
             },
         )

@@ -25,6 +25,7 @@ import numpy as np
 from xaidb.data.dataset import Dataset
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import PredictFn
+from xaidb.runtime import EvalStats
 from xaidb.utils.rng import RandomState, check_random_state
 from xaidb.utils.validation import check_array, check_probability
 
@@ -47,6 +48,10 @@ class Anchor:
     coverage: float
     n_samples_used: int
     prediction: float
+    #: Runtime accounting for the search (``n_model_evals``,
+    #: ``cache_hit_rate``, ``wall_time_s``) — same counter block every
+    #: :class:`~xaidb.explainers.base.FeatureAttribution` carries.
+    eval_stats: dict | None = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         rule = " AND ".join(self.predicates) if self.predicates else "TRUE"
@@ -228,14 +233,18 @@ class AnchorsExplainer:
         """Find an anchor for the model's decision at ``instance``."""
         instance = check_array(instance, name="instance", ndim=1)
         rng = check_random_state(random_state)
-        decision = float(self.predict_fn(instance[None, :])[0]) >= 0.5
+        eval_stats = EvalStats()
+        timer = eval_stats.timer()
+        timer.__enter__()
+        counted_fn = eval_stats.wrap_predict_fn(self.predict_fn)
+        decision = float(counted_fn(instance[None, :])[0]) >= 0.5
         stats: dict[tuple[int, ...], list[int]] = {}  # anchor -> [hits, n]
         total_samples = {"n": 0}
 
         def sample_precision(anchor: tuple[int, ...], n: int) -> None:
             rows = self._sample_under(anchor, instance, n, rng)
             agrees = (
-                np.asarray(self.predict_fn(rows), dtype=float) >= 0.5
+                np.asarray(counted_fn(rows), dtype=float) >= 0.5
             ) == decision
             record = stats.setdefault(anchor, [0, 0])
             record[0] += int(agrees.sum())
@@ -302,6 +311,7 @@ class AnchorsExplainer:
             best_anchor = max(explored, key=mean)
 
         coverage = self._coverage_of(instance)(best_anchor)
+        timer.__exit__(None, None, None)
         return Anchor(
             predicates=[
                 self._predicate_text(col, instance) for col in best_anchor
@@ -311,6 +321,7 @@ class AnchorsExplainer:
             coverage=coverage,
             n_samples_used=total_samples["n"],
             prediction=1.0 if decision else 0.0,
+            eval_stats=eval_stats.as_metadata(),
         )
 
     # ------------------------------------------------------------------

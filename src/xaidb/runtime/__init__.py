@@ -1,0 +1,33 @@
+"""xaidb.runtime — the shared evaluation substrate (tutorial cost model).
+
+Every perturbation-based explanation method the tutorial surveys spends
+its budget the same way: many model evaluations over perturbed inputs.
+This package is where that budget is managed for the whole system:
+
+- :class:`GameRuntime` — batch-aware coalition/value memoisation with
+  bounded-memory chunked evaluation (``max_batch_rows``);
+- :class:`CoalitionCache` — the underlying mask-keyed memo store;
+- :func:`parallel_map` — opt-in, seed-deterministic process-pool map for
+  embarrassingly parallel outer loops (TMC permutations, permutation
+  draws, multi-instance batches);
+- :class:`EvalStats` — the evaluation ledger (``n_model_evals``,
+  ``cache_hit_rate``, ``wall_time_s``) surfaced in every
+  :class:`~xaidb.explainers.base.FeatureAttribution`'s metadata;
+- :class:`RuntimeConfig` — the knobs, one object threaded through all
+  consumers.
+
+See ``docs/RUNTIME.md`` for the full tour.
+"""
+
+from xaidb.runtime.cache import CoalitionCache
+from xaidb.runtime.evaluator import GameRuntime, RuntimeConfig
+from xaidb.runtime.parallel import parallel_map
+from xaidb.runtime.stats import EvalStats
+
+__all__ = [
+    "CoalitionCache",
+    "EvalStats",
+    "GameRuntime",
+    "RuntimeConfig",
+    "parallel_map",
+]

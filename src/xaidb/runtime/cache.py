@@ -1,0 +1,87 @@
+"""Batch-aware coalition/value memo cache.
+
+:class:`~xaidb.explainers.shapley.games.CachedGame` memoises the scalar
+``value(S)`` path, but the batch path every production explainer actually
+uses (``values_batch``) bypassed it entirely — repeated and overlapping
+coalition workloads (interactive dashboards re-explaining the same
+instance, paired sampling emitting duplicate masks) paid full price.
+:class:`CoalitionCache` keys on the coalition's boolean mask bytes, serves
+whole batches, and reports exactly which rows still need evaluation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+
+__all__ = ["CoalitionCache"]
+
+
+class CoalitionCache:
+    """Memo cache mapping coalition masks to game values.
+
+    Keys are the raw bytes of the boolean mask, so lookups are dtype- and
+    order-exact; one cache serves one game (one instance/background pair)
+    and must not be shared across games.
+    """
+
+    def __init__(self, n_players: int) -> None:
+        if n_players < 1:
+            raise ValidationError("a coalition cache needs n_players >= 1")
+        self.n_players = n_players
+        self._values: dict[bytes, float] = {}
+
+    # ------------------------------------------------------------------
+    def _key(self, mask: np.ndarray) -> bytes:
+        return np.ascontiguousarray(mask, dtype=bool).tobytes()
+
+    def get(self, mask: np.ndarray) -> float | None:
+        return self._values.get(self._key(mask))
+
+    def put(self, mask: np.ndarray, value: float) -> None:
+        self._values[self._key(mask)] = float(value)
+
+    # ------------------------------------------------------------------
+    def lookup_batch(
+        self, masks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve a ``(n, d)`` mask batch from the cache.
+
+        Returns
+        -------
+        (values, missing):
+            ``values`` has one slot per row (NaN where unknown);
+            ``missing`` holds the row indices that must be evaluated.
+        """
+        masks = np.asarray(masks, dtype=bool)
+        if masks.ndim != 2 or masks.shape[1] != self.n_players:
+            raise ValidationError(
+                f"masks must have shape (n, {self.n_players})"
+            )
+        values = np.full(masks.shape[0], np.nan)
+        missing: list[int] = []
+        for row in range(masks.shape[0]):
+            hit = self._values.get(self._key(masks[row]))
+            if hit is None:
+                missing.append(row)
+            else:
+                values[row] = hit
+        return values, np.asarray(missing, dtype=int)
+
+    def store_batch(self, masks: np.ndarray, values: np.ndarray) -> None:
+        masks = np.asarray(masks, dtype=bool)
+        values = np.asarray(values, dtype=float)
+        if masks.shape[0] != values.shape[0]:
+            raise ValidationError(
+                "masks and values must have matching first dimensions"
+            )
+        for row in range(masks.shape[0]):
+            self._values[self._key(masks[row])] = float(values[row])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def clear(self) -> None:
+        self._values.clear()

@@ -1,0 +1,76 @@
+"""Opt-in process-pool map for embarrassingly parallel outer loops.
+
+TMC permutations, permutation-sampling Shapley draws and multi-instance
+LIME/KernelSHAP batches are independent given their seeds, so they
+parallelise trivially — *provided* determinism survives.  The contract
+here: callers pre-spawn one seed per task with
+:func:`xaidb.utils.rng.spawn_seeds` and the worker derives all of its
+randomness from that seed, so ``parallel_map(fn, tasks, n_jobs=k)``
+returns bit-identical results for every ``k`` (including serial).
+
+Process pools require picklable work; closures and lambdas (e.g. the
+``predict_fn`` adapters) are not.  Rather than making callers probe
+picklability, the map falls back to the serial path when the pool cannot
+ship the work — results are identical either way, only wall-clock
+changes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from xaidb.exceptions import ValidationError
+
+__all__ = ["parallel_map"]
+
+_Task = TypeVar("_Task")
+_Result = TypeVar("_Result")
+
+#: Failures that mean "this work cannot be shipped to a process pool"
+#: (unpicklable callables/results, dead workers, missing OS support) —
+#: all recoverable by running serially.
+_POOL_FAILURES = (
+    pickle.PicklingError,
+    AttributeError,
+    TypeError,
+    EOFError,
+    OSError,
+    BrokenProcessPool,
+)
+
+
+def parallel_map(
+    fn: Callable[[_Task], _Result],
+    tasks: Iterable[_Task],
+    *,
+    n_jobs: int | None = None,
+) -> list[_Result]:
+    """Order-preserving ``[fn(t) for t in tasks]`` with optional workers.
+
+    Parameters
+    ----------
+    fn:
+        Pure task function; all randomness must come from the task
+        payload (a spawned seed), never from global state.
+    tasks:
+        Task payloads; results are returned in task order.
+    n_jobs:
+        ``None`` or ``1`` runs serially in-process; ``k > 1`` uses up to
+        ``k`` worker processes, falling back to serial execution when
+        the work cannot be pickled across the process boundary.
+    """
+    if n_jobs is not None and n_jobs < 1:
+        raise ValidationError("n_jobs must be >= 1 or None")
+    task_list: Sequence[_Task] = list(tasks)
+    if n_jobs is None or n_jobs == 1 or len(task_list) <= 1:
+        return [fn(task) for task in task_list]
+    try:
+        with ProcessPoolExecutor(
+            max_workers=min(n_jobs, len(task_list))
+        ) as pool:
+            return list(pool.map(fn, task_list))
+    except _POOL_FAILURES:
+        return [fn(task) for task in task_list]

@@ -1,0 +1,124 @@
+"""Evaluation accounting for the shared runtime.
+
+Every perturbation-based explainer ultimately spends its budget on model
+evaluations (the tutorial's central cost claim); :class:`EvalStats` is the
+one ledger they all write to, so benchmarks and serving layers can compare
+methods by *work done* rather than wall-clock alone.  Explainers attach
+``stats.as_metadata()`` to their :class:`~xaidb.explainers.base.
+FeatureAttribution` so ``n_model_evals``, ``cache_hit_rate`` and
+``wall_time_s`` travel with every explanation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+__all__ = ["EvalStats"]
+
+# Structural twin of ``xaidb.explainers.base.PredictFn`` — re-declared
+# here because the runtime layer sits *below* the explainers package
+# (explainers import the runtime, never the reverse).
+_PredictFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class EvalStats:
+    """Counters for one explanation run (or one shared runtime).
+
+    Attributes
+    ----------
+    n_model_evals:
+        Total *rows* scored by the model function.  This is the unit the
+        tutorial's cost analysis is written in: one perturbed input, one
+        forward pass.
+    n_coalition_evals:
+        Coalition values actually computed (cache misses that reached the
+        game's value function).
+    cache_hits / cache_misses:
+        Memo-cache outcomes, over both scalar and batch lookups.
+    wall_time_s:
+        Seconds accumulated inside :meth:`timer` blocks.
+    """
+
+    n_model_evals: int = 0
+    n_coalition_evals: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_time_s: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of coalition lookups served from the memo cache."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def count_rows(self, n_rows: int) -> None:
+        self.n_model_evals += int(n_rows)
+
+    def wrap_predict_fn(self, predict_fn: _PredictFn) -> _PredictFn:
+        """Wrap ``predict_fn`` so every scored row is counted here."""
+
+        def counted(X: np.ndarray) -> np.ndarray:
+            X = np.asarray(X)
+            self.count_rows(X.shape[0] if X.ndim > 1 else 1)
+            return predict_fn(X)
+
+        return counted
+
+    @contextmanager
+    def timer(self) -> Iterator["EvalStats"]:
+        """Accumulate the wall-time of the enclosed block."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.wall_time_s += time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "EvalStats":
+        """Counter snapshot (``extra`` is shallow-copied)."""
+        return EvalStats(
+            n_model_evals=self.n_model_evals,
+            n_coalition_evals=self.n_coalition_evals,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            wall_time_s=self.wall_time_s,
+            extra=dict(self.extra),
+        )
+
+    def since(self, earlier: "EvalStats") -> "EvalStats":
+        """Counters accumulated after the ``earlier`` snapshot — how a
+        shared runtime attributes work to one explanation call."""
+        return EvalStats(
+            n_model_evals=self.n_model_evals - earlier.n_model_evals,
+            n_coalition_evals=(
+                self.n_coalition_evals - earlier.n_coalition_evals
+            ),
+            cache_hits=self.cache_hits - earlier.cache_hits,
+            cache_misses=self.cache_misses - earlier.cache_misses,
+            wall_time_s=self.wall_time_s - earlier.wall_time_s,
+        )
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Fold another ledger into this one (e.g. per-worker stats)."""
+        self.n_model_evals += other.n_model_evals
+        self.n_coalition_evals += other.n_coalition_evals
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.wall_time_s += other.wall_time_s
+        return self
+
+    def as_metadata(self) -> dict[str, Any]:
+        """The counter block explainers splice into attribution metadata."""
+        return {
+            "n_model_evals": int(self.n_model_evals),
+            "cache_hit_rate": float(self.cache_hit_rate),
+            "wall_time_s": float(self.wall_time_s),
+        }

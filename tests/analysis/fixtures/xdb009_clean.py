@@ -1,0 +1,31 @@
+"""XDB009 clean fixture: batched evaluation, loop-free predict_fn use."""
+
+import numpy as np
+
+__all__ = ["batched_explainer", "BatchedExplainer"]
+
+
+def batched_explainer(predict_fn, masks: np.ndarray) -> np.ndarray:
+    # one call on the stacked batch: the runtime can chunk and memoise it
+    return np.asarray(predict_fn(masks), dtype=float)
+
+
+def make_scorer(predict_fn):
+    for _ in range(3):
+        # a helper *defined* inside a loop is not a per-iteration call
+        def score(rows: np.ndarray) -> np.ndarray:
+            return np.asarray(predict_fn(rows), dtype=float)
+
+    return score
+
+
+class BatchedExplainer:
+    def __init__(self, predict_fn) -> None:
+        self.predict_fn = predict_fn
+
+    def explain(self, rows: np.ndarray) -> np.ndarray:
+        predictions = np.asarray(self.predict_fn(rows), dtype=float)
+        totals = []
+        for row in predictions:  # looping over *results* is fine
+            totals.append(float(np.sum(row)))
+        return np.asarray(totals)

@@ -1,0 +1,21 @@
+"""XDB009 dirty fixture: per-iteration predict_fn calls inside loops."""
+
+import numpy as np
+
+__all__ = ["loop_explainer", "LoopExplainer"]
+
+
+def loop_explainer(predict_fn, masks: np.ndarray) -> np.ndarray:
+    values = np.empty(len(masks))
+    for i, mask in enumerate(masks):  # per-coalition model call
+        values[i] = float(predict_fn(mask[None, :])[0])
+    return values
+
+
+class LoopExplainer:
+    def __init__(self, predict_fn) -> None:
+        self.predict_fn = predict_fn
+
+    def explain(self, rows: np.ndarray) -> list:
+        # attribute access and comprehensions count too
+        return [float(self.predict_fn(row[None, :])[0]) for row in rows]

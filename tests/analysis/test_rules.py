@@ -12,7 +12,7 @@ from xaidb.analysis import lint_source
 FIXTURES = Path(__file__).parent / "fixtures"
 
 # (rule id, extra lint_source kwargs). XDB004 only applies inside the
-# xaidb package; XDB008 only inside xaidb.explainers.
+# xaidb package; XDB008/XDB009 only inside xaidb.explainers.
 CASES = [
     ("XDB001", {}),
     ("XDB002", {}),
@@ -22,6 +22,7 @@ CASES = [
     ("XDB006", {}),
     ("XDB007", {}),
     ("XDB008", {"module_name": "xaidb.explainers.fixture"}),
+    ("XDB009", {"module_name": "xaidb.explainers.fixture"}),
 ]
 
 
@@ -63,6 +64,7 @@ def test_dirty_fixture_finding_counts():
         "XDB006": 2,
         "XDB007": 2,
         "XDB008": 2,  # not-a-subclass + missing abstract method
+        "XDB009": 2,  # for-loop call + listcomp over self.predict_fn
     }
     for (rule_id, kwargs) in CASES:
         findings = _lint_fixture(rule_id, "dirty", kwargs)
@@ -70,6 +72,15 @@ def test_dirty_fixture_finding_counts():
             rule_id,
             [f.message for f in findings],
         )
+
+
+def test_xdb009_silent_outside_explainer_packages():
+    """The runtime rule is scoped: the same loops in, say, benchmarks or
+    xaidb.utils are not explainer hot paths and must not fire."""
+    findings = _lint_fixture(
+        "XDB009", "dirty", {"module_name": "xaidb.utils.fixture"}
+    )
+    assert not findings, [f.message for f in findings]
 
 
 def test_xdb008_messages_distinguish_failure_modes():

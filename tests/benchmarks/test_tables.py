@@ -1,0 +1,28 @@
+"""The benchmark table renderer must survive every row shape the
+harness can produce — including none at all (regression: ``max()`` over
+a bare header length raised TypeError on empty rows)."""
+
+from __future__ import annotations
+
+from benchmarks._tables import print_table
+
+
+def test_print_table_renders_rows(capsys):
+    print_table("demo", ["name", "value"], [("a", 1.0), ("bb", 0.25)])
+    out = capsys.readouterr().out
+    assert "== demo ==" in out
+    assert "name" in out and "bb" in out
+    assert "0.25" in out
+
+
+def test_print_table_empty_rows_regression(capsys):
+    print_table("nothing found", ["name", "value"], [])
+    out = capsys.readouterr().out
+    assert "== nothing found ==" in out
+    assert "(no rows)" in out
+
+
+def test_print_table_floats_are_compact(capsys):
+    print_table("fmt", ["x"], [(0.123456789,)])
+    out = capsys.readouterr().out
+    assert "0.1235" in out

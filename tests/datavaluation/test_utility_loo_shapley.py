@@ -42,6 +42,23 @@ class TestUtilityFunction:
         X, y, utility = valuation_setup
         assert utility(X, y) == utility(X, y, np.arange(len(y)))
 
+    def test_null_utility_keeps_float_mean_for_integer_targets(self):
+        """Regression: with integer-dtype regression targets, the null
+        predictor used np.full_like and truncated the mean (1.5 -> 1),
+        anchoring every valuation at the wrong baseline."""
+        from xaidb.models import DecisionTreeRegressor
+
+        y_valid = np.array([0, 1, 2, 3])  # integer dtype, mean 1.5
+        utility = UtilityFunction(
+            DecisionTreeRegressor(max_depth=2),
+            np.zeros((4, 2)),
+            y_valid,
+            metric=lambda y, pred: -float(np.mean((y - pred) ** 2)),
+        )
+        # metric evaluated at the exact float mean, not its truncation
+        expected = -float(np.mean((y_valid - 1.5) ** 2))
+        assert utility.null_utility() == pytest.approx(expected)
+
 
 class TestLeaveOneOut:
     def test_values_shape_and_scale(self, valuation_setup):

@@ -123,3 +123,43 @@ class TestKernelShap:
         f = predict_positive_proba(income_logistic)
         with pytest.raises(ValidationError):
             KernelShapExplainer(f, income.dataset.X[:5], n_coalitions=2)
+
+    def test_sampled_coalitions_aggregate_duplicates(self):
+        """Regression: duplicate sampled masks used to enter the design
+        as independent unit-weight rows (each re-evaluated); they must be
+        unique masks whose weights carry the multiplicity."""
+        d = 12
+        explainer = KernelShapExplainer(
+            lambda X: X.sum(axis=1), np.zeros((3, d)), n_coalitions=512
+        )
+        masks, weights = explainer._sample_coalitions(d, 0)
+        assert len(np.unique(masks, axis=0)) == len(masks)
+        # multiplicity is conserved: the weights sum to the draw count
+        assert weights.sum() == pytest.approx(2 * (512 // 2))
+        assert np.all(weights >= 1.0)
+
+    def test_duplicate_aggregation_preserves_wls_solution(self):
+        """k copies at weight 1 and one copy at weight k solve the same
+        normal equations: the attribution must not depend on how the
+        sampler reports multiplicity."""
+        d = 12
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=d)
+        explainer = KernelShapExplainer(
+            lambda X: X @ w, rng.normal(size=(6, d)), n_coalitions=256
+        )
+        instance = rng.normal(size=d)
+        masks, weights = explainer._sample_coalitions(d, 3)
+        base, full = 0.0, 1.0
+        values = rng.normal(size=len(masks))
+        aggregated = explainer._solve(masks, values, weights, base, full)
+        # expand each mask back to its multiplicity at unit weight
+        repeat = weights.astype(int)
+        expanded = explainer._solve(
+            np.repeat(masks, repeat, axis=0),
+            np.repeat(values, repeat),
+            np.ones(int(repeat.sum())),
+            base,
+            full,
+        )
+        assert np.allclose(aggregated, expanded, atol=1e-8)

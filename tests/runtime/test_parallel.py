@@ -1,0 +1,81 @@
+"""parallel_map semantics and the serial == parallel determinism
+contract for the explainers that ride on it."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.runtime import parallel_map
+
+
+def _square(x: int) -> int:  # module-level: picklable for the pool
+    return x * x
+
+
+def test_serial_map_preserves_order():
+    assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
+    assert parallel_map(_square, []) == []
+
+
+def test_pool_map_matches_serial():
+    tasks = list(range(8))
+    serial = parallel_map(_square, tasks, n_jobs=1)
+    pooled = parallel_map(_square, tasks, n_jobs=2)
+    assert pooled == serial
+
+
+def test_unpicklable_fn_falls_back_to_serial():
+    offset = 10
+    closure = lambda x: x + offset  # noqa: E731 - deliberately unpicklable
+    assert parallel_map(closure, [1, 2, 3], n_jobs=2) == [11, 12, 13]
+
+
+def test_n_jobs_validation():
+    with pytest.raises(ValidationError):
+        parallel_map(_square, [1], n_jobs=0)
+
+
+# ------------------------------------------------------- determinism
+def test_parallel_tmc_matches_serial_bitwise():
+    from xaidb.datavaluation import UtilityFunction, tmc_shapley_values
+    from xaidb.models import KNeighborsClassifier
+
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(24, 3))
+    y = (X[:, 0] + 0.3 * rng.normal(size=24) > 0).astype(int)
+    X_valid = rng.normal(size=(16, 3))
+    y_valid = (X_valid[:, 0] > 0).astype(int)
+    utility = UtilityFunction(
+        KNeighborsClassifier(n_neighbors=3), X_valid, y_valid
+    )
+    serial, serial_std = tmc_shapley_values(
+        utility, X, y, n_permutations=6, random_state=11
+    )
+    pooled, pooled_std = tmc_shapley_values(
+        utility, X, y, n_permutations=6, random_state=11, n_jobs=2
+    )
+    assert np.array_equal(serial, pooled)
+    assert np.array_equal(serial_std, pooled_std)
+
+
+def test_parallel_permutation_shapley_matches_serial_bitwise():
+    from xaidb.explainers.shapley.games import MarginalImputationGame
+    from xaidb.explainers.shapley.sampling import permutation_shapley_values
+
+    rng = np.random.default_rng(9)
+    weights = rng.normal(size=5)
+    game = MarginalImputationGame(
+        lambda X: X @ weights, rng.normal(size=5), rng.normal(size=(8, 5))
+    )
+    serial, serial_se = permutation_shapley_values(
+        game, n_permutations=12, random_state=4
+    )
+    # the game's predict_fn closure is unpicklable, so the pool path
+    # exercises the serial fallback — the contract is identical output
+    pooled, pooled_se = permutation_shapley_values(
+        game, n_permutations=12, random_state=4, n_jobs=2
+    )
+    assert np.array_equal(serial, pooled)
+    assert np.array_equal(serial_se, pooled_se)

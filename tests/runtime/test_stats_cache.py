@@ -1,0 +1,100 @@
+"""Unit tests for the runtime's ledger (EvalStats) and memo cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.runtime import CoalitionCache, EvalStats
+
+
+# ---------------------------------------------------------------- stats
+def test_wrap_predict_fn_counts_rows():
+    stats = EvalStats()
+    counted = stats.wrap_predict_fn(lambda X: X.sum(axis=1))
+    X = np.ones((7, 3))
+    out = counted(X)
+    assert np.array_equal(out, X.sum(axis=1))
+    counted(np.ones((5, 3)))
+    assert stats.n_model_evals == 12
+
+
+def test_cache_hit_rate_and_metadata_keys():
+    stats = EvalStats(cache_hits=3, cache_misses=1)
+    assert stats.cache_hit_rate == pytest.approx(0.75)
+    metadata = stats.as_metadata()
+    assert set(metadata) == {"n_model_evals", "cache_hit_rate", "wall_time_s"}
+    assert EvalStats().cache_hit_rate == 0.0  # no lookups, no divide-by-zero
+
+
+def test_timer_accumulates():
+    stats = EvalStats()
+    with stats.timer():
+        pass
+    first = stats.wall_time_s
+    assert first >= 0.0
+    with stats.timer():
+        pass
+    assert stats.wall_time_s >= first
+
+
+def test_since_reports_per_call_deltas():
+    stats = EvalStats(n_model_evals=10, cache_hits=4, cache_misses=2)
+    snapshot = stats.copy()
+    stats.n_model_evals += 5
+    stats.cache_hits += 1
+    delta = stats.since(snapshot)
+    assert delta.n_model_evals == 5
+    assert delta.cache_hits == 1
+    assert delta.cache_misses == 0
+
+
+def test_merge_folds_counters():
+    total = EvalStats(n_model_evals=1, cache_hits=1)
+    total.merge(EvalStats(n_model_evals=2, cache_misses=3))
+    assert total.n_model_evals == 3
+    assert total.cache_hits == 1
+    assert total.cache_misses == 3
+
+
+# ---------------------------------------------------------------- cache
+def test_cache_scalar_roundtrip():
+    cache = CoalitionCache(4)
+    mask = np.array([True, False, True, False])
+    assert cache.get(mask) is None
+    cache.put(mask, 2.5)
+    assert cache.get(mask) == 2.5
+    # dtype- and layout-insensitive keying
+    assert cache.get(np.array([1, 0, 1, 0], dtype=np.int64)) == 2.5
+    assert len(cache) == 1
+    cache.clear()
+    assert cache.get(mask) is None
+
+
+def test_cache_batch_lookup_reports_missing_rows():
+    cache = CoalitionCache(3)
+    known = np.array([True, False, False])
+    cache.put(known, 1.0)
+    masks = np.array(
+        [[True, False, False], [False, True, False], [True, True, True]]
+    )
+    values, missing = cache.lookup_batch(masks)
+    assert values[0] == 1.0
+    assert np.isnan(values[1]) and np.isnan(values[2])
+    assert missing.tolist() == [1, 2]
+
+    cache.store_batch(masks[missing], np.array([4.0, 9.0]))
+    values, missing = cache.lookup_batch(masks)
+    assert missing.size == 0
+    assert values.tolist() == [1.0, 4.0, 9.0]
+
+
+def test_cache_validates_shapes():
+    cache = CoalitionCache(3)
+    with pytest.raises(ValidationError):
+        cache.lookup_batch(np.zeros((2, 4), dtype=bool))
+    with pytest.raises(ValidationError):
+        cache.store_batch(np.zeros((2, 3), dtype=bool), np.zeros(3))
+    with pytest.raises(ValidationError):
+        CoalitionCache(0)

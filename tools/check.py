@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The repo gate: lint + tier-1 tests + runtime-benchmark smoke, one exit code.
+
+Runs, in order, stopping at the first failure:
+
+1. ``xailint`` over the repo-standard scan set (src benchmarks examples
+   tools) — the scientific-correctness invariants of docs/LINTING.md;
+2. the tier-1 pytest suite (``tests/``, the ROADMAP.md conformance bar);
+3. a smoke run of the A7 runtime-scaling benchmark
+   (``benchmarks/bench_a07_runtime_scaling.py``) — proves the shared
+   evaluation runtime's memoisation/chunking/parallel invariants on a
+   small workload, so a regression in the substrate every perturbation
+   explainer rides on cannot land silently.
+
+Usage::
+
+    python tools/check.py            # the full gate
+    python tools/check.py --fast     # lint + tier-1 only (skip the bench smoke)
+
+Exit status is the first failing step's, 0 when everything passes.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# the tier-1 convention is `PYTHONPATH=src python -m pytest`; make the
+# gate self-contained by prepending src/ for every subprocess.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(REPO_ROOT / "src")]
+    + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else [])
+)
+
+STEPS: list[tuple[str, list[str]]] = [
+    ("xailint", [sys.executable, str(REPO_ROOT / "tools" / "xailint.py")]),
+    ("tier-1 tests", [sys.executable, "-m", "pytest", "-q", "tests"]),
+    (
+        "A7 runtime smoke",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            str(REPO_ROOT / "benchmarks" / "bench_a07_runtime_scaling.py"),
+        ],
+    ),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    fast = "--fast" in argv
+    steps = STEPS[:2] if fast else STEPS
+    for name, command in steps:
+        print(f"== {name}: {' '.join(command)}", flush=True)
+        completed = subprocess.run(command, cwd=REPO_ROOT, env=_ENV)
+        if completed.returncode != 0:
+            print(f"check.py: step '{name}' failed "
+                  f"(exit {completed.returncode})", file=sys.stderr)
+            return completed.returncode
+        print(f"== {name}: ok", flush=True)
+    print("check.py: all steps passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
