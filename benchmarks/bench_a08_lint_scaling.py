@@ -1,0 +1,119 @@
+"""A8 (ablation) — xailint incremental-scan scaling (docs/LINTING.md).
+
+Reproduced shape: the linter's cost is dominated by parsing and the
+per-function fixpoint analyses (XDB010-XDB013), both pure functions of
+one file's bytes and the rule set — so the content-hash cache must turn
+a repeat scan of an unchanged repo into pure cache reads:
+
+1. *warm hit rate*: a second scan over the unchanged corpus serves
+   >= 90% of files from ``.xailint_cache.json`` (here: all of them)
+   and the cross-module rules wholesale from the corpus digest;
+2. *speedup*: the warm scan is >= 5x faster than the cold scan (the
+   pre-commit-hook latency target);
+3. *soundness*: cached and uncached scans are finding-for-finding
+   identical — the cache can never change a verdict, only its cost.
+
+The per-rule timing table shows where the cold milliseconds go, which
+is what to optimise next if the gate slows.
+"""
+
+import time
+
+from pathlib import Path
+
+from benchmarks._tables import print_table
+from xaidb.analysis import run_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The repo-standard scan set (mirrors tools/xailint.py defaults).
+SCAN_PATHS = [
+    REPO_ROOT / name
+    for name in ("src", "benchmarks", "examples", "tools")
+    if (REPO_ROOT / name).is_dir()
+]
+
+
+def _fingerprint(result):
+    return [
+        (f.path, f.line, f.col, f.rule_id, f.message)
+        for f in result.findings + result.suppressed
+    ]
+
+
+def _timed_scan(cache_path):
+    started = time.perf_counter()
+    result = run_paths(SCAN_PATHS, root=REPO_ROOT, cache_path=cache_path)
+    return result, time.perf_counter() - started
+
+
+def compute_rows(cache_path):
+    cold, cold_seconds = _timed_scan(cache_path)
+    warm, warm_seconds = _timed_scan(cache_path)
+    uncached, _ = _timed_scan(None)
+    speedup = cold_seconds / warm_seconds
+
+    rows = [
+        (
+            "cold (empty cache)",
+            cold.stats.files_scanned,
+            f"{cold.stats.hit_rate:.0%}",
+            f"{cold_seconds * 1e3:.1f}",
+            "1.0x",
+        ),
+        (
+            "warm (unchanged repo)",
+            warm.stats.files_scanned,
+            f"{warm.stats.hit_rate:.0%}",
+            f"{warm_seconds * 1e3:.1f}",
+            f"{speedup:.1f}x",
+        ),
+    ]
+    context = {
+        "cold": cold,
+        "warm": warm,
+        "uncached": uncached,
+        "speedup": speedup,
+        # where the cold milliseconds went, heaviest rule first
+        "rule_ms": sorted(
+            cold.stats.rule_seconds.items(),
+            key=lambda pair: pair[1],
+            reverse=True,
+        ),
+    }
+    return rows, context
+
+
+def test_a08_lint_scaling(benchmark, tmp_path):
+    rows, context = benchmark.pedantic(
+        compute_rows,
+        args=(tmp_path / "xailint_cache.json",),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "A8 (ablation): xailint incremental scanning — cold vs warm "
+        "full-repo scan (content-hash cache)",
+        ["scan", "files", "cache hits", "wall ms", "speedup"],
+        rows,
+    )
+    print_table(
+        "A8 (detail): cold-scan time per rule",
+        ["rule", "ms"],
+        [
+            (rule_id, f"{seconds * 1e3:.1f}")
+            for rule_id, seconds in context["rule_ms"]
+        ],
+    )
+    cold, warm = context["cold"], context["warm"]
+    # the warm scan is (almost) pure cache reads
+    assert warm.stats.hit_rate >= 0.9
+    assert warm.stats.project_from_cache
+    assert warm.stats.cache_misses == 0
+    # the pre-commit latency target: >= 5x faster warm (measured ~90x)
+    assert context["speedup"] >= 5.0
+    # soundness: the cache never changes a verdict
+    assert _fingerprint(warm) == _fingerprint(cold)
+    assert _fingerprint(warm) == _fingerprint(context["uncached"])
+    # the gate this benchmark models is currently green
+    assert cold.ok, [f.message for f in cold.findings]

@@ -5,8 +5,16 @@ validity silently: unseeded randomness, hidden library behaviour and
 impure explainers make a reproduction drift from the results it claims
 to match without any test failing.  This package turns the repo's
 scientific-correctness conventions into machine-checked invariants
-(rule ids XDB001–XDB009, documented in ``docs/LINTING.md``) that gate
+(rule ids XDB001–XDB013, documented in ``docs/LINTING.md``) that gate
 every PR via ``tests/analysis/test_lint_clean.py``.
+
+Two tiers of rules ship: syntactic/AST-pattern checks (XDB001–XDB009)
+and a flow-sensitive tier (XDB010–XDB013) built on a per-function CFG
+(:mod:`xaidb.analysis.cfg`) and a forward dataflow framework with
+reaching-definitions and value-taint instantiations
+(:mod:`xaidb.analysis.dataflow`).  Scans are commit-speed via a
+content-hash-keyed incremental cache (:mod:`xaidb.analysis.cache`),
+and ``--format sarif`` emits CI-ready annotations.
 
 Programmatic use::
 
@@ -20,8 +28,17 @@ Command line::
     python -m xaidb.analysis src benchmarks examples tools
 """
 
+from xaidb.analysis.cache import LintCache, file_digest, ruleset_digest
+from xaidb.analysis.cfg import CFG, Block, build_cfg, function_cfg
+from xaidb.analysis.dataflow import (
+    ForwardProblem,
+    ReachingDefinitions,
+    ValueTaint,
+    solve_forward,
+    view_sources,
+)
 from xaidb.analysis.engine import discover_files, lint_source, run_paths
-from xaidb.analysis.findings import Finding, LintResult
+from xaidb.analysis.findings import Finding, LintResult, ScanStats
 from xaidb.analysis.registry import (
     FileRule,
     ProjectRule,
@@ -32,13 +49,22 @@ from xaidb.analysis.registry import (
 )
 from xaidb.analysis.reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
+    render_sarif,
+    render_stats,
     render_text,
+)
+from xaidb.analysis.suppressions import (
+    Suppression,
+    SuppressionIndex,
+    parse_suppressions,
 )
 
 __all__ = [
     "Finding",
     "LintResult",
+    "ScanStats",
     "Rule",
     "FileRule",
     "ProjectRule",
@@ -50,5 +76,23 @@ __all__ = [
     "run_paths",
     "render_text",
     "render_json",
+    "render_sarif",
+    "render_stats",
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "CFG",
+    "Block",
+    "build_cfg",
+    "function_cfg",
+    "ForwardProblem",
+    "ReachingDefinitions",
+    "ValueTaint",
+    "solve_forward",
+    "view_sources",
+    "LintCache",
+    "file_digest",
+    "ruleset_digest",
+    "Suppression",
+    "SuppressionIndex",
+    "parse_suppressions",
 ]

@@ -1,0 +1,292 @@
+"""Per-function control-flow graphs over stdlib ``ast``.
+
+The dataflow rules (XDB010–XDB013) need to reason about *paths*, not
+token shapes: a definition that is dead on every path, a tainted
+generator that reaches a stochastic call on some path.  This module
+builds the control-flow graph those analyses run on, from nothing but
+the stdlib parser — the linter stays dependency-free.
+
+Shape of the graph
+------------------
+
+A :class:`CFG` is a set of :class:`Block` basic blocks.  Each block
+holds an ordered list of *items*; an item is either a plain simple
+statement (``ast.Assign``, ``ast.Return``, …) or a compound-statement
+header (``ast.If``, ``ast.While``, ``ast.For``, ``ast.With`` …) standing
+in for the part of the statement evaluated at that point (the test, the
+iterable, the context managers).  Consumers must therefore interpret a
+header item as *only its header expressions* — the bodies live in
+successor blocks.  :func:`xaidb.analysis.dataflow.item_uses` and
+:func:`~xaidb.analysis.dataflow.item_defs` implement exactly that
+interpretation.
+
+Edges are conservative with respect to exceptions: every block created
+inside a ``try`` body gets an edge to each handler entry (an exception
+can fire between any two statements), and ``raise`` additionally falls
+through to the function exit.  ``break``/``continue`` resolve against
+the innermost enclosing loop; code after a terminator lands in a fresh
+unreachable block (no predecessors) so analyses simply never reach it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Block", "CFG", "build_cfg", "function_cfg"]
+
+#: Statement types that terminate a block with no fall-through edge.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line items plus successor edges."""
+
+    id: int
+    items: list[ast.AST] = field(default_factory=list)
+    succs: set[int] = field(default_factory=set)
+    preds: set[int] = field(default_factory=set)
+
+    def __repr__(self) -> str:  # compact, for test failure output
+        kinds = ",".join(type(item).__name__ for item in self.items)
+        return (
+            f"Block({self.id}, [{kinds}], "
+            f"succs={sorted(self.succs)})"
+        )
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    entry: int
+    exit: int
+    blocks: dict[int, Block] = field(default_factory=dict)
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def reachable(self) -> list[Block]:
+        """Blocks reachable from the entry, in a deterministic order."""
+        seen: set[int] = set()
+        stack = [self.entry]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.blocks[current].succs)
+        return [self.blocks[b] for b in sorted(seen)]
+
+    def __iter__(self) -> Iterator[Block]:
+        return iter(self.blocks[b] for b in sorted(self.blocks))
+
+
+class _Builder:
+    """Single-pass recursive CFG construction."""
+
+    def __init__(self) -> None:
+        self.cfg = CFG(entry=0, exit=1)
+        self.cfg.blocks[0] = Block(0)
+        self.cfg.blocks[1] = Block(1)
+        self._next_id = 2
+        # (header block id, after-loop block id) per enclosing loop
+        self._loops: list[tuple[int, int]] = []
+        # handler entry block ids per enclosing try; every block created
+        # while inside gets an exceptional edge to each of them
+        self._handlers: list[list[int]] = []
+
+    # -- plumbing ----------------------------------------------------
+
+    def _new_block(self) -> Block:
+        block = Block(self._next_id)
+        self._next_id += 1
+        self.cfg.blocks[block.id] = block
+        for handler_ids in self._handlers:
+            for handler_id in handler_ids:
+                self._edge(block.id, handler_id)
+        return block
+
+    def _edge(self, src: int, dst: int) -> None:
+        self.cfg.blocks[src].succs.add(dst)
+        self.cfg.blocks[dst].preds.add(src)
+
+    # -- statement dispatch ------------------------------------------
+
+    def build(self, body: list[ast.stmt]) -> CFG:
+        last = self._body(body, self.cfg.entry)
+        if last is not None:
+            self._edge(last, self.cfg.exit)
+        return self.cfg
+
+    def _body(self, body: list[ast.stmt], current: int | None) -> int | None:
+        """Wire ``body`` starting at block ``current``; return the block
+        control falls out of, or ``None`` when every path terminated."""
+        for stmt in body:
+            if current is None:
+                # unreachable code still gets blocks (and items) so
+                # per-item lookups work, but no predecessor edges
+                current = self._new_block().id
+            current = self._stmt(stmt, current)
+        return current
+
+    def _stmt(self, stmt: ast.stmt, current: int) -> int | None:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self.cfg.blocks[current].items.append(stmt)
+            return self._body(stmt.body, current)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current)
+        # nested defs/classes are opaque single items: their bodies are
+        # separate scopes with their own CFGs
+        self.cfg.blocks[current].items.append(stmt)
+        if isinstance(stmt, ast.Return):
+            self._edge(current, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Raise):
+            # the conservative handler edges were added at block
+            # creation; a raise also reaches the exit when unhandled
+            self._edge(current, self.cfg.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._edge(current, self._loops[-1][1])
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self._edge(current, self._loops[-1][0])
+            return None
+        return current
+
+    # -- compound statements -----------------------------------------
+
+    def _if(self, stmt: ast.If, current: int) -> int | None:
+        self.cfg.blocks[current].items.append(stmt)
+        join = self._new_block()
+
+        then_entry = self._new_block()
+        self._edge(current, then_entry.id)
+        then_exit = self._body(stmt.body, then_entry.id)
+        if then_exit is not None:
+            self._edge(then_exit, join.id)
+
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(current, else_entry.id)
+            else_exit = self._body(stmt.orelse, else_entry.id)
+            if else_exit is not None:
+                self._edge(else_exit, join.id)
+        else:
+            self._edge(current, join.id)
+
+        if not join.preds:
+            return None
+        return join.id
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, current: int
+    ) -> int | None:
+        header = self._new_block()
+        header.items.append(stmt)
+        self._edge(current, header.id)
+        after = self._new_block()
+
+        body_entry = self._new_block()
+        self._edge(header.id, body_entry.id)
+        self._loops.append((header.id, after.id))
+        body_exit = self._body(stmt.body, body_entry.id)
+        self._loops.pop()
+        if body_exit is not None:
+            self._edge(body_exit, header.id)
+
+        # the not-taken edge runs through the else clause when present
+        if stmt.orelse:
+            else_entry = self._new_block()
+            self._edge(header.id, else_entry.id)
+            else_exit = self._body(stmt.orelse, else_entry.id)
+            if else_exit is not None:
+                self._edge(else_exit, after.id)
+        else:
+            self._edge(header.id, after.id)
+
+        if not after.preds:
+            return None
+        return after.id
+
+    def _try(self, stmt: ast.Try, current: int) -> int | None:
+        join = self._new_block()
+        handler_entries: list[tuple[ast.ExceptHandler, Block]] = []
+        handler_ids: list[int] = []
+        for handler in stmt.handlers:
+            entry = self._new_block()
+            handler_entries.append((handler, entry))
+            handler_ids.append(entry.id)
+
+        # the first try-body block can raise too: link the current
+        # block's continuation through a fresh block under the handlers
+        self._handlers.append(handler_ids)
+        body_entry = self._new_block()
+        self._edge(current, body_entry.id)
+        body_exit = self._body(stmt.body, body_entry.id)
+        self._handlers.pop()
+
+        if stmt.orelse:
+            if body_exit is not None:
+                else_entry = self._new_block()
+                self._edge(body_exit, else_entry.id)
+                body_exit = self._body(stmt.orelse, else_entry.id)
+        if body_exit is not None:
+            self._edge(body_exit, join.id)
+
+        for handler, entry in handler_entries:
+            # `except E as name:` binds name at handler entry
+            entry.items.append(handler)
+            handler_exit = self._body(handler.body, entry.id)
+            if handler_exit is not None:
+                self._edge(handler_exit, join.id)
+
+        result: int | None = join.id
+        if not join.preds:
+            result = None
+        if stmt.finalbody:
+            if result is None:
+                # every path terminated, but finally still runs; give it
+                # an unreachable-from-entry block chain so its items are
+                # at least present in the graph
+                final_entry = self._new_block()
+            else:
+                final_entry = self._new_block()
+                self._edge(result, final_entry.id)
+            result = self._body(stmt.finalbody, final_entry.id)
+        return result
+
+    def _match(self, stmt: ast.Match, current: int) -> int | None:
+        self.cfg.blocks[current].items.append(stmt)
+        join = self._new_block()
+        for case in stmt.cases:
+            case_entry = self._new_block()
+            self._edge(current, case_entry.id)
+            case_exit = self._body(case.body, case_entry.id)
+            if case_exit is not None:
+                self._edge(case_exit, join.id)
+        # no case may match: fall through
+        self._edge(current, join.id)
+        return join.id
+
+
+def build_cfg(body: list[ast.stmt]) -> CFG:
+    """Build the CFG of a statement list (usually a function body)."""
+    return _Builder().build(body)
+
+
+def function_cfg(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the CFG of ``fn``'s body (parameters are not in the graph;
+    analyses seed them into the entry state instead)."""
+    return build_cfg(fn.body)

@@ -21,11 +21,19 @@ from typing import Sequence
 
 from xaidb.analysis.engine import run_paths
 from xaidb.analysis.registry import all_rules
-from xaidb.analysis.reporters import render_json, render_text
+from xaidb.analysis.reporters import (
+    render_json,
+    render_sarif,
+    render_stats,
+    render_text,
+)
 
-__all__ = ["main", "build_parser", "DEFAULT_SCAN_PATHS"]
+__all__ = ["main", "build_parser", "DEFAULT_SCAN_PATHS", "DEFAULT_CACHE_FILE"]
 
 DEFAULT_SCAN_PATHS = ("src", "benchmarks", "examples", "tools")
+
+#: Incremental result cache, relative to the working directory.
+DEFAULT_CACHE_FILE = ".xailint_cache.json"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="xailint",
         description=(
             "Static analysis enforcing xaidb's scientific-correctness "
-            "invariants (rule ids XDB001-XDB009; see docs/LINTING.md)."
+            "invariants (rule ids XDB001-XDB013; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -46,9 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif for CI annotation)",
     )
     parser.add_argument(
         "--rules",
@@ -59,6 +67,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental result cache (full cold scan)",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=DEFAULT_CACHE_FILE,
+        help=f"incremental cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "print cache effectiveness and per-rule timing to stderr "
+            "after the report"
+        ),
     )
     return parser
 
@@ -89,15 +115,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     rule_ids = None
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
+    cache_path = None if args.no_cache else args.cache_file
     try:
-        result = run_paths(paths, root=Path.cwd(), rule_ids=rule_ids)
+        result = run_paths(
+            paths, root=Path.cwd(), rule_ids=rule_ids, cache_path=cache_path
+        )
     except ValueError as exc:  # unknown rule id
         parser.error(str(exc))
 
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
+    if args.stats:
+        print(render_stats(result), file=sys.stderr)
     return 0 if result.ok else 1
 
 

@@ -1,0 +1,661 @@
+"""Forward dataflow over :mod:`xaidb.analysis.cfg` graphs.
+
+The framework is a classic worklist fixpoint over a *map lattice*: an
+abstract state maps variable names to frozensets of labels, join is
+pointwise set union, and a :class:`ForwardProblem` supplies the entry
+state plus a per-item transfer function.  Three layers build on it:
+
+- :func:`item_defs` / :func:`item_uses` — the def/use interpretation of
+  CFG items (a compound-statement header item contributes only its
+  header expressions; bodies live in successor blocks);
+- :class:`ReachingDefinitions` — which assignments may reach each
+  program point (XDB013's dead-store detection replays uses over it);
+- :class:`ValueTaint` — label propagation through assignment chains,
+  tuple unpacking and augmented assignment, with pluggable call
+  semantics (XDB010's seed-provenance taint) — and its view-aliasing
+  variant built on :func:`view_sources` (XDB011's escape analysis).
+
+Everything is intraprocedural and conservative: a joined state
+over-approximates the set of facts that may hold, so rules fire only on
+"may happen on some path" evidence.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from xaidb.analysis.cfg import CFG
+
+__all__ = [
+    "State",
+    "ForwardProblem",
+    "solve_forward",
+    "replay",
+    "item_defs",
+    "item_uses",
+    "item_exprs",
+    "expr_uses",
+    "ReachingDefinitions",
+    "Definition",
+    "ValueTaint",
+    "view_sources",
+    "VIEW_METHODS",
+    "VIEW_FUNCTIONS",
+]
+
+#: Abstract state: variable name -> set of labels (meaning is per-problem).
+State = dict[str, frozenset[str]]
+
+
+# ---------------------------------------------------------------------------
+# def/use extraction
+# ---------------------------------------------------------------------------
+
+
+def expr_uses(expr: ast.AST | None) -> list[ast.Name]:
+    """Every ``Name`` read inside ``expr`` (loads only), in source order."""
+    if expr is None:
+        return []
+    return [
+        node
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)
+    ]
+
+
+def _walrus_defs(expr: ast.AST | None) -> list[tuple[str, ast.AST]]:
+    """``(name := ...)`` bindings inside an expression."""
+    if expr is None:
+        return []
+    return [
+        (node.target.id, node.target)
+        for node in ast.walk(expr)
+        if isinstance(node, ast.NamedExpr)
+        and isinstance(node.target, ast.Name)
+    ]
+
+
+def _target_defs(target: ast.AST) -> list[tuple[str, ast.AST]]:
+    """Plain names bound by an assignment target (tuples recursed)."""
+    if isinstance(target, ast.Name):
+        return [(target.id, target)]
+    if isinstance(target, ast.Starred):
+        return _target_defs(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        defs: list[tuple[str, ast.AST]] = []
+        for element in target.elts:
+            defs.extend(_target_defs(element))
+        return defs
+    return []  # Subscript / Attribute stores bind nothing new
+
+
+def _target_uses(target: ast.AST) -> list[ast.Name]:
+    """Names *read* by an assignment target: ``x[i] = v`` reads x and i,
+    ``x.attr = v`` reads x."""
+    if isinstance(target, (ast.Subscript, ast.Attribute)):
+        return expr_uses(target)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        uses: list[ast.Name] = []
+        for element in target.elts:
+            uses.extend(_target_uses(element))
+        return uses
+    if isinstance(target, ast.Starred):
+        return _target_uses(target.value)
+    return []
+
+
+def item_defs(item: ast.AST) -> list[tuple[str, ast.AST]]:
+    """Names a CFG item binds, with the anchoring AST node.
+
+    Header items contribute only their header bindings (a ``for`` target,
+    a ``with ... as`` name, an ``except ... as`` name); bodies are
+    separate blocks.
+    """
+    if isinstance(item, ast.Assign):
+        defs = []
+        for target in item.targets:
+            defs.extend(_target_defs(target))
+        return defs + _walrus_defs(item.value)
+    if isinstance(item, ast.AnnAssign):
+        if item.value is None:
+            return []
+        return _target_defs(item.target) + _walrus_defs(item.value)
+    if isinstance(item, ast.AugAssign):
+        return _target_defs(item.target) + _walrus_defs(item.value)
+    if isinstance(item, (ast.For, ast.AsyncFor)):
+        return _target_defs(item.target) + _walrus_defs(item.iter)
+    if isinstance(item, (ast.With, ast.AsyncWith)):
+        defs = []
+        for with_item in item.items:
+            if with_item.optional_vars is not None:
+                defs.extend(_target_defs(with_item.optional_vars))
+            defs.extend(_walrus_defs(with_item.context_expr))
+        return defs
+    if isinstance(item, ast.ExceptHandler):
+        if item.name:
+            return [(item.name, item)]
+        return []
+    if isinstance(item, (ast.Import, ast.ImportFrom)):
+        defs = []
+        for alias in item.names:
+            name = alias.asname or alias.name.split(".")[0]
+            if name != "*":
+                defs.append((name, item))
+        return defs
+    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+        return [(item.name, item)]
+    if isinstance(item, (ast.If, ast.While)):
+        return _walrus_defs(item.test)
+    if isinstance(item, (ast.Expr, ast.Return, ast.Assert, ast.Raise)):
+        return _walrus_defs(item)
+    return []
+
+
+def item_uses(item: ast.AST) -> list[ast.Name]:
+    """Names a CFG item reads (header expressions only, see above)."""
+    if isinstance(item, ast.Assign):
+        uses = expr_uses(item.value)
+        for target in item.targets:
+            uses.extend(_target_uses(target))
+        return uses
+    if isinstance(item, ast.AnnAssign):
+        return expr_uses(item.value) + _target_uses(item.target)
+    if isinstance(item, ast.AugAssign):
+        uses = expr_uses(item.value)
+        if isinstance(item.target, ast.Name):
+            uses.append(item.target)  # x += v reads x
+        else:
+            uses.extend(_target_uses(item.target))
+        return uses
+    if isinstance(item, (ast.If, ast.While)):
+        return expr_uses(item.test)
+    if isinstance(item, (ast.For, ast.AsyncFor)):
+        return expr_uses(item.iter)
+    if isinstance(item, (ast.With, ast.AsyncWith)):
+        uses = []
+        for with_item in item.items:
+            uses.extend(expr_uses(with_item.context_expr))
+        return uses
+    if isinstance(item, ast.ExceptHandler):
+        return expr_uses(item.type)
+    if isinstance(item, ast.Match):
+        return expr_uses(item.subject)
+    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        uses = []
+        for decorator in item.decorator_list:
+            uses.extend(expr_uses(decorator))
+        for default in list(item.args.defaults) + [
+            d for d in item.args.kw_defaults if d is not None
+        ]:
+            uses.extend(expr_uses(default))
+        return uses
+    if isinstance(item, ast.ClassDef):
+        uses = []
+        for decorator in item.decorator_list:
+            uses.extend(expr_uses(decorator))
+        for base in item.bases:
+            uses.extend(expr_uses(base))
+        return uses
+    if isinstance(item, ast.Delete):
+        return [
+            node for node in ast.walk(item) if isinstance(node, ast.Name)
+        ]
+    # Expr / Return / Assert / Raise / Global / Nonlocal / Pass ...
+    return expr_uses(item)
+
+
+def item_exprs(item: ast.AST) -> list[ast.AST]:
+    """The expression roots evaluated *by this CFG item itself* — the
+    safe set to walk for sink checks.  Walking the whole item would
+    descend into compound-statement bodies that live in other blocks."""
+    if isinstance(item, ast.Assign):
+        return [item.value] + list(item.targets)
+    if isinstance(item, ast.AnnAssign):
+        return ([item.value] if item.value is not None else []) + [
+            item.target
+        ]
+    if isinstance(item, ast.AugAssign):
+        return [item.value, item.target]
+    if isinstance(item, (ast.If, ast.While)):
+        return [item.test]
+    if isinstance(item, (ast.For, ast.AsyncFor)):
+        return [item.iter]
+    if isinstance(item, (ast.With, ast.AsyncWith)):
+        return [w.context_expr for w in item.items]
+    if isinstance(item, ast.ExceptHandler):
+        return [item.type] if item.type is not None else []
+    if isinstance(item, ast.Match):
+        return [item.subject]
+    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return list(item.decorator_list) + [
+            d
+            for d in list(item.args.defaults) + list(item.args.kw_defaults)
+            if d is not None
+        ]
+    if isinstance(item, ast.ClassDef):
+        return list(item.decorator_list) + list(item.bases)
+    if isinstance(item, ast.Return):
+        return [item.value] if item.value is not None else []
+    if isinstance(item, ast.Expr):
+        return [item.value]
+    if isinstance(item, ast.Assert):
+        return [item.test] + ([item.msg] if item.msg is not None else [])
+    if isinstance(item, ast.Raise):
+        return [e for e in (item.exc, item.cause) if e is not None]
+    if isinstance(item, ast.Delete):
+        return list(item.targets)
+    return []
+
+
+# ---------------------------------------------------------------------------
+# the fixpoint engine
+# ---------------------------------------------------------------------------
+
+
+class ForwardProblem:
+    """A forward may-analysis over the map lattice (join = union)."""
+
+    def entry_state(self) -> State:
+        return {}
+
+    def transfer(self, item: ast.AST, state: State) -> None:
+        """Mutate ``state`` with the effect of one CFG item."""
+        raise NotImplementedError
+
+
+def _join_into(acc: State, other: State) -> None:
+    for name, labels in other.items():
+        existing = acc.get(name)
+        acc[name] = labels if existing is None else existing | labels
+
+
+def solve_forward(
+    cfg: CFG, problem: ForwardProblem
+) -> dict[int, State]:
+    """Run ``problem`` to fixpoint; return the IN state of every
+    reachable block."""
+    order = [block.id for block in cfg.reachable()]
+    in_states: dict[int, State] = {}
+    out_states: dict[int, State] = {}
+    worklist: deque[int] = deque(order)
+    queued = set(order)
+    # the lattice is finite and transfers are monotone in practice, but a
+    # hard cap keeps a pathological function from wedging the linter
+    max_steps = max(64, len(order) * 64)
+    steps = 0
+    while worklist and steps < max_steps:
+        steps += 1
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        new_in: State = (
+            dict(problem.entry_state()) if block_id == cfg.entry else {}
+        )
+        for pred in block.preds:
+            if pred in out_states:
+                _join_into(new_in, out_states[pred])
+        in_states[block_id] = new_in
+        state = dict(new_in)
+        for item in block.items:
+            problem.transfer(item, state)
+        if out_states.get(block_id) != state:
+            out_states[block_id] = state
+            for succ in block.succs:
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    return in_states
+
+
+def replay(
+    cfg: CFG,
+    problem: ForwardProblem,
+    in_states: dict[int, State],
+    visit: Callable[[ast.AST, State], None],
+) -> None:
+    """One deterministic pass over all reachable items in fixpoint
+    states: ``visit(item, state)`` sees the state *before* the item's
+    own transfer — the place sink checks and use accounting belong."""
+    for block in cfg.reachable():
+        state = dict(in_states.get(block.id, {}))
+        for item in block.items:
+            visit(item, state)
+            problem.transfer(item, state)
+
+
+# ---------------------------------------------------------------------------
+# reaching definitions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Definition:
+    """One binding site of a local variable."""
+
+    name: str
+    label: str
+    node: ast.AST = field(compare=False, hash=False)
+    item: ast.AST = field(compare=False, hash=False)
+
+
+class ReachingDefinitions(ForwardProblem):
+    """Which definition of each name may reach each program point.
+
+    Labels are stable per-function strings (``name@line:col``, with an
+    ordinal tiebreak), so states are comparable across iterations.
+    """
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.definitions: dict[str, Definition] = {}
+        self._labels_by_site: dict[tuple[int, str], str] = {}
+        ordinal = 0
+        for block in cfg:
+            for item in block.items:
+                for name, node in item_defs(item):
+                    label = (
+                        f"{name}@{getattr(node, 'lineno', 0)}:"
+                        f"{getattr(node, 'col_offset', 0)}#{ordinal}"
+                    )
+                    ordinal += 1
+                    self._labels_by_site[(id(item), name)] = label
+                    self.definitions[label] = Definition(
+                        name=name, label=label, node=node, item=item
+                    )
+
+    def transfer(self, item: ast.AST, state: State) -> None:
+        for name, _node in item_defs(item):
+            label = self._labels_by_site.get((id(item), name))
+            if label is not None:
+                state[name] = frozenset({label})
+
+    def solve(self) -> dict[int, State]:
+        return solve_forward(self.cfg, self)
+
+
+# ---------------------------------------------------------------------------
+# value taint
+# ---------------------------------------------------------------------------
+
+
+class ValueTaint(ForwardProblem):
+    """Label propagation through assignment chains.
+
+    The default expression semantics is the union of the labels of every
+    name the expression reads — "derived from" in the loosest sense —
+    with :meth:`eval_call` as the override point for call expressions
+    (sources, sanitisers, passthroughs).  Tuple-unpacking assignments
+    with a literal tuple/list value propagate element-wise; any other
+    unpacking joins the whole right-hand side into each target.
+    """
+
+    def __init__(self, entry: State | None = None) -> None:
+        self._entry: State = dict(entry or {})
+
+    def entry_state(self) -> State:
+        return dict(self._entry)
+
+    # -- expression semantics ----------------------------------------
+
+    def eval_expr(self, expr: ast.AST | None, state: State) -> frozenset[str]:
+        if expr is None:
+            return frozenset()
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, frozenset())
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr, state)
+        labels: frozenset[str] = frozenset()
+        for name in expr_uses(expr):
+            labels |= state.get(name.id, frozenset())
+        # calls nested deeper in the expression still get their say
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                labels |= self.eval_call(node, state)
+        return labels
+
+    def eval_call(self, call: ast.Call, state: State) -> frozenset[str]:
+        labels: frozenset[str] = frozenset()
+        for name in expr_uses(call):
+            labels |= state.get(name.id, frozenset())
+        return labels
+
+    # -- transfer ----------------------------------------------------
+
+    def transfer(self, item: ast.AST, state: State) -> None:
+        if isinstance(item, ast.Assign):
+            value_labels = self.eval_expr(item.value, state)
+            for target in item.targets:
+                self._assign(target, item.value, value_labels, state)
+        elif isinstance(item, ast.AnnAssign):
+            if item.value is not None:
+                self._assign(
+                    item.target,
+                    item.value,
+                    self.eval_expr(item.value, state),
+                    state,
+                )
+        elif isinstance(item, ast.AugAssign):
+            if isinstance(item.target, ast.Name):
+                state[item.target.id] = state.get(
+                    item.target.id, frozenset()
+                ) | self.eval_expr(item.value, state)
+        elif isinstance(item, (ast.For, ast.AsyncFor)):
+            # iterating a labelled value yields labelled elements
+            labels = self.eval_expr(item.iter, state)
+            for name, _node in _target_defs(item.target):
+                state[name] = labels
+        elif isinstance(item, (ast.With, ast.AsyncWith)):
+            for with_item in item.items:
+                if with_item.optional_vars is not None:
+                    labels = self.eval_expr(with_item.context_expr, state)
+                    for name, _node in _target_defs(
+                        with_item.optional_vars
+                    ):
+                        state[name] = labels
+        elif isinstance(
+            item,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+                ast.Import,
+                ast.ImportFrom,
+            ),
+        ):
+            for name, _node in item_defs(item):
+                state[name] = frozenset()
+        elif isinstance(item, ast.ExceptHandler):
+            if item.name:
+                state[item.name] = frozenset()
+        elif isinstance(item, ast.Delete):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+        # walrus bindings inside any header/expression item
+        for name, node in item_defs(item):
+            if isinstance(node, ast.Name) and isinstance(
+                getattr(node, "ctx", None), ast.Store
+            ):
+                parent = _walrus_value(item, node)
+                if parent is not None:
+                    state[name] = self.eval_expr(parent, state)
+
+    def _assign(
+        self,
+        target: ast.AST,
+        value: ast.AST,
+        value_labels: frozenset[str],
+        state: State,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            state[target.id] = value_labels
+            return
+        if isinstance(target, ast.Starred):
+            self._assign(target.value, value, value_labels, state)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value, (ast.Tuple, ast.List)) and len(
+                value.elts
+            ) == len(target.elts) and not any(
+                isinstance(e, ast.Starred) for e in target.elts
+            ):
+                for sub_target, sub_value in zip(target.elts, value.elts):
+                    self._assign(
+                        sub_target,
+                        sub_value,
+                        self.eval_expr(sub_value, state),
+                        state,
+                    )
+            else:
+                for sub_target in target.elts:
+                    self._assign(sub_target, value, value_labels, state)
+
+
+def _walrus_value(item: ast.AST, target: ast.Name) -> ast.AST | None:
+    """The value expression of the ``NamedExpr`` binding ``target``."""
+    for node in ast.walk(item):
+        if isinstance(node, ast.NamedExpr) and node.target is target:
+            return node.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# ndarray view aliasing
+# ---------------------------------------------------------------------------
+
+#: Method calls / attribute accesses returning a view of the receiver.
+VIEW_METHODS = {
+    "reshape",
+    "view",
+    "ravel",
+    "transpose",
+    "swapaxes",
+    "squeeze",
+    "T",
+    "flat",
+}
+
+#: numpy-level functions that can return their first argument's buffer.
+VIEW_FUNCTIONS = {
+    "asarray",
+    "asanyarray",
+    "ascontiguousarray",
+    "asfortranarray",
+    "atleast_1d",
+    "atleast_2d",
+    "atleast_3d",
+    "reshape",
+    "ravel",
+    "transpose",
+    "squeeze",
+    "broadcast_to",
+}
+
+
+def view_sources(expr: ast.AST | None) -> set[str]:
+    """Names whose ndarray buffer ``expr``'s value may share.
+
+    ``x[a:b]``, ``x.T``, ``x.reshape(...)`` and the no-copy numpy
+    passthroughs (``np.asarray(x)`` …) all alias ``x``; arithmetic,
+    ``.copy()`` and ``np.array(...)`` allocate fresh storage and return
+    the empty set.  Containers propagate element-wise so a tuple return
+    can still leak a view.
+    """
+    if expr is None:
+        return set()
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, ast.Starred):
+        return view_sources(expr.value)
+    if isinstance(expr, ast.Subscript):
+        return view_sources(expr.value)
+    if isinstance(expr, ast.Attribute):
+        if expr.attr in VIEW_METHODS:
+            return view_sources(expr.value)
+        return set()
+    if isinstance(expr, (ast.Tuple, ast.List)):
+        sources: set[str] = set()
+        for element in expr.elts:
+            sources |= view_sources(element)
+        return sources
+    if isinstance(expr, ast.IfExp):
+        return view_sources(expr.body) | view_sources(expr.orelse)
+    if isinstance(expr, ast.NamedExpr):
+        return view_sources(expr.value)
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in VIEW_METHODS:
+                return view_sources(func.value)
+            if func.attr in VIEW_FUNCTIONS and expr.args:
+                return view_sources(expr.args[0])
+            return set()
+        if isinstance(func, ast.Name) and func.id in VIEW_FUNCTIONS:
+            if expr.args:
+                return view_sources(expr.args[0])
+        return set()
+    return set()
+
+
+def names_read_in_nested_scopes(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Names loaded anywhere inside nested functions/classes/lambdas of
+    ``fn`` — a flow-insensitive escape hatch for closure captures."""
+    captured: set[str] = set()
+    for node in ast.walk(fn):
+        if node is fn:
+            continue
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Name) and isinstance(
+                    inner.ctx, ast.Load
+                ):
+                    captured.add(inner.id)
+    return captured
+
+
+def calls_dynamic_scope(fn: ast.AST) -> bool:
+    """True when ``fn`` calls ``locals``/``vars``/``eval``/``exec`` —
+    any local may then be read invisibly, so skip precise analyses."""
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in {"locals", "vars", "eval", "exec"}
+        ):
+            return True
+    return False
+
+
+def function_params(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[str]:
+    """All parameter names of ``fn`` in declaration order."""
+    args = fn.args
+    names = [
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    ]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def iter_functions(
+    tree: ast.AST,
+) -> Iterable[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in ``tree`` (nested included —
+    each is analysed as its own scope)."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Finding", "LintResult", "SEVERITIES"]
+__all__ = ["Finding", "LintResult", "ScanStats", "SEVERITIES"]
 
 SEVERITIES = ("error", "warning")
 
@@ -48,12 +48,36 @@ class Finding:
 
 
 @dataclass
+class ScanStats:
+    """Bookkeeping for one scan: cache effectiveness and where the
+    time went (the ``--stats`` CLI flag renders this)."""
+
+    files_scanned: int = 0
+    #: Files whose results were served from the incremental cache.
+    cache_hits: int = 0
+    #: Files that had to be parsed and linted from scratch.
+    cache_misses: int = 0
+    #: Whether the cross-module (project) rule results were cached.
+    project_from_cache: bool = False
+    parse_seconds: float = 0.0
+    #: Wall time spent inside each rule, across all files.
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    total_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+
+@dataclass
 class LintResult:
     """Aggregate outcome of linting a set of paths."""
 
     findings: list[Finding] = field(default_factory=list)
     files_scanned: int = 0
     suppressed: list[Finding] = field(default_factory=list)
+    stats: ScanStats = field(default_factory=ScanStats)
 
     @property
     def ok(self) -> bool:

@@ -23,15 +23,27 @@ from __future__ import annotations
 import json
 
 from xaidb.analysis.findings import Finding, LintResult
+from xaidb.analysis.registry import rules_by_id
 
 __all__ = [
     "JSON_SCHEMA_VERSION",
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
     "render_text",
     "render_json",
+    "render_sarif",
+    "render_stats",
     "finding_to_dict",
 ]
 
 JSON_SCHEMA_VERSION = 1
+
+#: The SARIF spec level the CI reporter targets (pinned by tests).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def finding_to_dict(finding: Finding) -> dict[str, object]:
@@ -82,3 +94,99 @@ def render_json(result: LintResult) -> str:
         "summary": result.counts_by_rule(),
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 document for CI annotation (GitHub code scanning).
+
+    One run, one driver (``xailint``), the full registered rule pack in
+    ``tool.driver.rules`` (so viewers can show descriptions even for
+    rules with zero results), one ``result`` per finding.
+    """
+    registry = rules_by_id()
+    rule_ids = sorted(registry)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    sarif_rules = [
+        {
+            "id": rule_id,
+            "name": registry[rule_id].symbol,
+            "shortDescription": {"text": registry[rule_id].description},
+            "defaultConfiguration": {
+                "level": registry[rule_id].severity
+            },
+        }
+        for rule_id in rule_ids
+    ]
+    results = []
+    for finding in result.findings:
+        entry: dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": (
+                finding.severity
+                if finding.severity in ("error", "warning")
+                else "error"
+            ),
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            # SARIF columns are 1-based
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule_id in rule_index:
+            entry["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(entry)
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "xailint",
+                        "informationUri": (
+                            "https://github.com/xaidb/xaidb/blob/main/"
+                            "docs/LINTING.md"
+                        ),
+                        "rules": sarif_rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_stats(result: LintResult) -> str:
+    """The ``--stats`` table: cache effectiveness and per-rule time."""
+    stats = result.stats
+    lines = [
+        "scan statistics:",
+        f"  files scanned     {stats.files_scanned}",
+        f"  cache hits        {stats.cache_hits}",
+        f"  cache misses      {stats.cache_misses}",
+        f"  cache hit rate    {stats.hit_rate:.1%}",
+        "  project rules     "
+        + ("cached" if stats.project_from_cache else "executed"),
+        f"  parse time        {stats.parse_seconds * 1e3:8.1f} ms",
+        f"  total time        {stats.total_seconds * 1e3:8.1f} ms",
+    ]
+    if stats.rule_seconds:
+        lines.append("  per-rule time:")
+        for rule_id, seconds in sorted(
+            stats.rule_seconds.items(),
+            key=lambda pair: pair[1],
+            reverse=True,
+        ):
+            lines.append(f"    {rule_id}    {seconds * 1e3:8.1f} ms")
+    return "\n".join(lines)

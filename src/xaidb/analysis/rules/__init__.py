@@ -1,11 +1,13 @@
-"""The built-in xailint rule pack (XDB001–XDB009).
+"""The built-in xailint rule pack (XDB001–XDB013).
 
 Importing this package registers every rule with
 :mod:`xaidb.analysis.registry`; the ids are stable and documented in
-``docs/LINTING.md``.
+``docs/LINTING.md``.  XDB010–XDB013 are the flow-sensitive tier built
+on :mod:`xaidb.analysis.cfg` / :mod:`xaidb.analysis.dataflow`.
 """
 
 from xaidb.analysis.rules.api_surface import MissingAllRule
+from xaidb.analysis.rules.dead_store import DeadStoreRule
 from xaidb.analysis.rules.defaults import MutableDefaultRule
 from xaidb.analysis.rules.error_handling import BroadExceptRule
 from xaidb.analysis.rules.float_compare import FloatEqualityRule
@@ -13,7 +15,10 @@ from xaidb.analysis.rules.imports_rule import BannedImportsRule
 from xaidb.analysis.rules.project import ExplainerInterfaceRule
 from xaidb.analysis.rules.purity import ExplainerPurityRule
 from xaidb.analysis.rules.randomness import UnseededRandomnessRule
+from xaidb.analysis.rules.rng_origin import RngOriginRule
 from xaidb.analysis.rules.runtime_rule import PredictLoopRule
+from xaidb.analysis.rules.suppression_audit import SuppressionAuditRule
+from xaidb.analysis.rules.view_escape import InputViewEscapeRule
 
 __all__ = [
     "BannedImportsRule",
@@ -25,4 +30,8 @@ __all__ = [
     "MutableDefaultRule",
     "ExplainerInterfaceRule",
     "PredictLoopRule",
+    "RngOriginRule",
+    "InputViewEscapeRule",
+    "SuppressionAuditRule",
+    "DeadStoreRule",
 ]

@@ -1,0 +1,140 @@
+"""XDB013 — a local assigned and never read on any path.
+
+Dead stores in hot paths are not just clutter: in numeric code the
+orphaned right-hand side is usually an allocation or a model
+evaluation whose result silently goes nowhere — either wasted work on
+the critical path or, worse, a computation the author *believed* was
+feeding the explanation (the E19/E20 failure mode where an explainer
+quietly explains something other than what it claims).
+
+The rule solves :class:`~xaidb.analysis.dataflow.ReachingDefinitions`
+per function, replays every use against the fixpoint states, and flags
+assignment-statement definitions no use can ever observe.  It is
+deliberately narrow to stay quiet on idiomatic code:
+
+- only plain assignments (``x = ...``, ``x += ...``, annotated and
+  tuple-unpacked targets) are flagged — ``for`` targets, ``with ... as``
+  and ``except ... as`` bindings are tracked for the dataflow but never
+  reported, and underscore-prefixed names are the sanctioned "unused on
+  purpose" spelling;
+- names read inside nested functions/classes/lambdas are exempt
+  (closure captures are invisible to an intraprocedural pass), as are
+  ``global``/``nonlocal`` names and whole functions that call
+  ``locals``/``vars``/``eval``/``exec``;
+- scope: modules inside the ``xaidb`` package (the hot paths the
+  ROADMAP cares about), every function and method body.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.cfg import function_cfg
+from xaidb.analysis.dataflow import (
+    Definition,
+    ReachingDefinitions,
+    State,
+    calls_dynamic_scope,
+    item_uses,
+    iter_functions,
+    names_read_in_nested_scopes,
+    replay,
+)
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["DeadStoreRule"]
+
+#: Definition-carrying statement types the rule is willing to flag.
+_FLAGGABLE_ITEMS = (ast.Assign, ast.AnnAssign, ast.AugAssign)
+
+
+def _declared_global_or_nonlocal(fn: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.update(node.names)
+    return names
+
+
+def _is_assignment_target(definition: Definition) -> bool:
+    """True when the definition's node sits in the statement's target
+    list (a walrus binding inside the RHS is incidental, not a store
+    the author wrote to keep)."""
+    item = definition.item
+    if isinstance(item, ast.Assign):
+        targets: list[ast.AST] = list(item.targets)
+    elif isinstance(item, (ast.AnnAssign, ast.AugAssign)):
+        targets = [item.target]
+    else:
+        return False
+    for target in targets:
+        for sub in ast.walk(target):
+            if sub is definition.node:
+                return True
+    return False
+
+
+@register
+class DeadStoreRule(FileRule):
+    rule_id = "XDB013"
+    symbol = "dead-store"
+    description = (
+        "A local variable is assigned but never read on any control-"
+        "flow path: the store (and often the computation feeding it) "
+        "is dead code, or a sign the wrong value is being used below."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_xaidb_package:
+            return
+        for fn in iter_functions(ctx.tree):
+            if calls_dynamic_scope(fn):
+                continue
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        cfg = function_cfg(fn)
+        problem = ReachingDefinitions(cfg)
+        if not problem.definitions:
+            return
+        exempt = names_read_in_nested_scopes(fn)
+        exempt |= _declared_global_or_nonlocal(fn)
+        in_states = problem.solve()
+        used_labels: set[str] = set()
+
+        def visit(item: ast.AST, state: State) -> None:
+            for name_node in item_uses(item):
+                used_labels.update(state.get(name_node.id, ()))
+
+        replay(cfg, problem, in_states, visit)
+
+        dead: list[Definition] = []
+        for label, definition in problem.definitions.items():
+            if label in used_labels:
+                continue
+            if not isinstance(definition.item, _FLAGGABLE_ITEMS):
+                continue
+            name = definition.name
+            if name.startswith("_") or name in exempt:
+                continue
+            if not isinstance(definition.node, ast.Name):
+                continue
+            if not _is_assignment_target(definition):
+                continue  # walrus bindings are incidental
+            dead.append(definition)
+
+        for definition in sorted(
+            dead, key=lambda d: (d.node.lineno, d.node.col_offset)
+        ):
+            yield ctx.finding(
+                self,
+                definition.node,
+                f"local {definition.name!r} in {fn.name!r} is assigned "
+                f"here but never read on any path; drop the binding "
+                f"(or prefix with '_' if the unpacking slot is "
+                f"intentional)",
+            )

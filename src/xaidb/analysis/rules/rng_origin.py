@@ -1,0 +1,173 @@
+"""XDB010 — locally-constructed generator reaches a stochastic call.
+
+XDB002 bans the legacy global-state APIs but is blind to a
+flow-sensitive failure mode: a function inside ``xaidb`` that builds
+its *own* ``np.random.Generator`` (``rng = np.random.default_rng()`` or
+``default_rng(42)``) and then samples from it.  The call sites look
+seeded, yet no caller can reproduce the run — the seed never threads
+through the API, which is exactly the silent-drift channel E2/E19/E20
+measure.
+
+The rule runs the :class:`~xaidb.analysis.dataflow.ValueTaint` analysis
+per function: a generator constructed with no caller-derived seed is
+*tainted*; values derived (through any assignment chain, tuple
+unpacking or augmented assignment) from a function parameter or from
+``check_random_state(...)`` are *clean*.  A stochastic Generator-method
+call on a tainted value is a finding.  ``np.random.default_rng(seed)``
+where ``seed`` derives from a parameter is clean — deriving a child
+stream from a caller seed is sanctioned.
+
+Scope: function bodies inside the ``xaidb`` package.  Module-level
+script code (benchmarks, examples) legitimately pins literal seeds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.cfg import function_cfg
+from xaidb.analysis.dataflow import (
+    ValueTaint,
+    function_params,
+    item_exprs,
+    iter_functions,
+    replay,
+    solve_forward,
+)
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["RngOriginRule", "STOCHASTIC_METHODS"]
+
+#: np.random.Generator methods that consume entropy.
+STOCHASTIC_METHODS = {
+    "random",
+    "normal",
+    "standard_normal",
+    "uniform",
+    "integers",
+    "choice",
+    "shuffle",
+    "permutation",
+    "permuted",
+    "exponential",
+    "poisson",
+    "binomial",
+    "multinomial",
+    "beta",
+    "gamma",
+    "laplace",
+    "logistic",
+    "dirichlet",
+    "geometric",
+    "chisquare",
+    "triangular",
+    "hypergeometric",
+    "standard_exponential",
+    "standard_gamma",
+    "bytes",
+}
+
+_PARAM = "param"
+_TAINTED = "tainted"
+
+
+def _is_default_rng(func: ast.AST) -> bool:
+    """``np.random.default_rng`` / ``numpy.random.default_rng`` /
+    bare ``default_rng`` (from-import)."""
+    if isinstance(func, ast.Name):
+        return func.id == "default_rng"
+    return isinstance(func, ast.Attribute) and func.attr == "default_rng"
+
+
+def _is_check_random_state(func: ast.AST) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id == "check_random_state"
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "check_random_state"
+    )
+
+
+class _SeedTaint(ValueTaint):
+    """Labels: ``param`` (caller-derived) and ``tainted`` (local rng)."""
+
+    def eval_call(self, call: ast.Call, state) -> frozenset[str]:
+        if _is_check_random_state(call.func):
+            return frozenset({_PARAM})
+        if _is_default_rng(call.func):
+            arg_labels = super().eval_call(call, state)
+            if _PARAM in arg_labels:
+                return frozenset({_PARAM})
+            return frozenset({_TAINTED})
+        return super().eval_call(call, state)
+
+
+@register
+class RngOriginRule(FileRule):
+    rule_id = "XDB010"
+    symbol = "rng-origin-untracked"
+    description = (
+        "A np.random.Generator constructed inside the function (no "
+        "caller-derived seed, not via check_random_state) reaches a "
+        "stochastic call: the seed never threads through the API, so "
+        "callers cannot reproduce the run."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_xaidb_package:
+            return
+        for fn in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        cfg = function_cfg(fn)
+        problem = _SeedTaint(
+            entry={name: frozenset({_PARAM}) for name in function_params(fn)}
+        )
+        in_states = solve_forward(cfg, problem)
+        findings: list[Finding] = []
+        seen: set[int] = set()
+
+        def visit(item: ast.AST, state) -> None:
+            # walk only this item's own header expressions — compound
+            # bodies are separate items in successor blocks
+            for root in item_exprs(item):
+                for node in ast.walk(root):
+                    self._check_call(ctx, fn, problem, state, node,
+                                     seen, findings)
+
+        replay(cfg, problem, in_states, visit)
+        yield from findings
+
+    def _check_call(self, ctx, fn, problem, state, node, seen, findings):
+        if not isinstance(node, ast.Call) or id(node) in seen:
+            return
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr in STOCHASTIC_METHODS
+        ):
+            return
+        receiver_labels = problem.eval_expr(func.value, state)
+        if _TAINTED not in receiver_labels:
+            return
+        seen.add(id(node))
+        receiver = (
+            func.value.id
+            if isinstance(func.value, ast.Name)
+            else "<expression>"
+        )
+        findings.append(
+            ctx.finding(
+                self,
+                node,
+                f"generator {receiver!r} feeding .{func.attr}() in "
+                f"{fn.name!r} was built locally with no caller-derived "
+                f"seed; accept a random_state parameter and thread it "
+                f"via check_random_state",
+            )
+        )

@@ -1,0 +1,42 @@
+"""XDB012 — suppression hygiene: unused or reason-less suppressions.
+
+Suppressions are the pressure valve that keeps rules strict: an
+intentional violation gets an inline ``# xailint: disable=XDB00N
+(reason)`` instead of a weakened rule.  That only stays auditable if
+the set of suppressions tracks the set of findings.  This rule reports:
+
+- a suppression whose rule id never matched a finding on its target
+  line (the violation was fixed, the code moved, or the id was wrong);
+- a standalone suppression comment with no following code line (end of
+  file or trailing comments) — previously these were silently dropped;
+- a suppression without the parenthesised reason that this repo's
+  convention (docs/LINTING.md) requires.
+
+Unlike the other rules it needs *engine-level* accounting: only the
+engine knows which :class:`~xaidb.analysis.suppressions.Suppression`
+entries actually fired after filtering, so
+:mod:`xaidb.analysis.engine` synthesises the findings and this class
+carries the metadata (id, symbol, description).  Two consequences are
+deliberate: XDB012 findings are themselves exempt from suppression
+filtering (a suppression cannot vouch for itself), and "unused" is
+only ever reported for rule ids that were part of the active rule set,
+so ``--rules`` subsets do not produce false positives.
+"""
+
+from __future__ import annotations
+
+from xaidb.analysis.registry import Rule, register
+
+__all__ = ["SuppressionAuditRule"]
+
+
+@register
+class SuppressionAuditRule(Rule):
+    rule_id = "XDB012"
+    symbol = "unused-suppression"
+    description = (
+        "A # xailint: disable= comment is stale (its rule id never "
+        "matched a finding), dangles past the last code line, or is "
+        "missing the parenthesised reason the repo convention "
+        "requires."
+    )

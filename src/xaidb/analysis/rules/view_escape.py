@@ -1,0 +1,136 @@
+"""XDB011 — an explain*/fit return value aliases a caller-owned input.
+
+XDB003 guards the *write* path of explainer purity: an ``explain``/
+``fit`` method must not mutate its array parameters.  This rule guards
+the *return* path.  Returning the caller's own buffer — directly, or
+through a view chain like ``X[mask]``-style slicing, ``.reshape``,
+``.T`` or the no-copy ``np.asarray`` passthroughs — hands the caller an
+object whose later in-place use corrupts the input (or vice versa):
+the same silent cross-run contamination, one alias further away.
+
+Implementation: the :class:`~xaidb.analysis.dataflow.ValueTaint`
+analysis with parameters as taint sources and
+:func:`~xaidb.analysis.dataflow.view_sources` as the propagation
+semantics, so only buffer-sharing expressions carry taint.  A
+``return`` whose value may alias a parameter is a finding; rebinding a
+name to fresh storage (``x = x.copy()``, ``x = np.array(x)``,
+arithmetic) releases it.  ``return self`` is the fluent-interface idiom
+and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.cfg import function_cfg
+from xaidb.analysis.dataflow import (
+    State,
+    ValueTaint,
+    replay,
+    solve_forward,
+    view_sources,
+)
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import FileContext, FileRule, register
+
+__all__ = ["InputViewEscapeRule"]
+
+_METHOD_NAMES_EXACT = {"fit"}
+_METHOD_PREFIXES = ("explain",)
+
+
+def _is_target_method(node: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    return node.name in _METHOD_NAMES_EXACT or node.name.startswith(
+        _METHOD_PREFIXES
+    )
+
+
+def _param_names(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    args = fn.args
+    names = [
+        a.arg
+        for a in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        )
+    ]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return {n for n in names if n not in ("self", "cls")}
+
+
+class _AliasTaint(ValueTaint):
+    """Labels are parameter names; only view expressions propagate."""
+
+    def eval_expr(self, expr: ast.AST | None, state: State) -> frozenset[str]:
+        labels: frozenset[str] = frozenset()
+        for name in view_sources(expr):
+            labels |= state.get(name, frozenset())
+        return labels
+
+    def eval_call(self, call: ast.Call, state: State) -> frozenset[str]:
+        return self.eval_expr(call, state)
+
+
+@register
+class InputViewEscapeRule(FileRule):
+    rule_id = "XDB011"
+    symbol = "input-view-escape"
+    description = (
+        "An explain*/fit method returns a value that may alias a "
+        "caller-owned input array (directly or through a slice/"
+        "reshape/transpose/asarray view chain): copy before returning "
+        "so caller and explainer never share a buffer."
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and _is_target_method(item):
+                    yield from self._check_method(ctx, node.name, item)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        class_name: str,
+        fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        params = _param_names(fn)
+        if not params:
+            return
+        cfg = function_cfg(fn)
+        problem = _AliasTaint(
+            entry={name: frozenset({name}) for name in params}
+        )
+        in_states = solve_forward(cfg, problem)
+        findings: list[Finding] = []
+
+        def visit(item: ast.AST, state: State) -> None:
+            if not isinstance(item, ast.Return) or item.value is None:
+                return
+            if isinstance(item.value, ast.Name) and item.value.id in (
+                "self",
+                "cls",
+            ):
+                return
+            escaped = sorted(problem.eval_expr(item.value, state))
+            if escaped:
+                findings.append(
+                    ctx.finding(
+                        self,
+                        item,
+                        f"{class_name}.{fn.name} returns a value that "
+                        f"may alias caller-owned input "
+                        f"{', '.join(repr(p) for p in escaped)}; return "
+                        f"a copy so the caller's buffer never escapes",
+                    )
+                )
+
+        replay(cfg, problem, in_states, visit)
+        yield from findings

@@ -14,9 +14,13 @@ suppression without exceeding line-length budgets::
     if ss_tot == 0.0:
         ...
 
-The parenthesised reason string is optional for the engine but required
-by this repo's convention (documented in docs/LINTING.md): a
-suppression without a why is a review smell.
+The parenthesised reason string is mandatory by this repo's convention
+(docs/LINTING.md) and enforced by XDB012, which also reports
+suppressions that no longer match any finding — the engine records,
+per :class:`Suppression` entry and rule id, whether it actually fired.
+A standalone comment with no following code line (end of file, or
+trailed only by comments) keeps ``target_line = None`` and is always
+reported as unused instead of silently vanishing.
 """
 
 from __future__ import annotations
@@ -24,8 +28,9 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from dataclasses import dataclass, field
 
-__all__ = ["SuppressionIndex", "parse_suppressions"]
+__all__ = ["Suppression", "SuppressionIndex", "parse_suppressions"]
 
 _DISABLE_RE = re.compile(
     r"#\s*xailint:\s*disable=(?P<ids>[A-Z]+\d+(?:\s*,\s*[A-Z]+\d+)*)"
@@ -33,20 +38,76 @@ _DISABLE_RE = re.compile(
 )
 
 
+@dataclass
+class Suppression:
+    """One ``# xailint: disable=`` comment."""
+
+    #: Physical line the comment sits on.
+    comment_line: int
+    #: Line whose findings it silences (the comment's own line, or the
+    #: next code line for standalone comments); ``None`` when a
+    #: standalone comment has no following code line.
+    target_line: int | None
+    rule_ids: frozenset[str]
+    #: The parenthesised why; ``None`` when absent (an XDB012 finding).
+    reason: str | None = None
+    #: Rule ids that actually silenced a finding, filled by the engine.
+    fired: set[str] = field(default_factory=set)
+
+    def unused_ids(self) -> list[str]:
+        return sorted(self.rule_ids - self.fired)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON form for the incremental cache."""
+        return {
+            "comment_line": self.comment_line,
+            "target_line": self.target_line,
+            "rule_ids": sorted(self.rule_ids),
+            "reason": self.reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Suppression":
+        return cls(
+            comment_line=int(data["comment_line"]),
+            target_line=(
+                int(data["target_line"])
+                if data["target_line"] is not None
+                else None
+            ),
+            rule_ids=frozenset(str(r) for r in data["rule_ids"]),
+            reason=(
+                str(data["reason"]) if data["reason"] is not None else None
+            ),
+        )
+
+
 class SuppressionIndex:
-    """Maps line numbers to the set of rule ids suppressed there."""
+    """All suppression comments of one file, with usage accounting."""
 
-    def __init__(self) -> None:
-        self._by_line: dict[int, set[str]] = {}
+    def __init__(self, entries: list[Suppression] | None = None) -> None:
+        self.entries: list[Suppression] = list(entries or [])
 
-    def add(self, line: int, rule_ids: set[str]) -> None:
-        self._by_line.setdefault(line, set()).update(rule_ids)
+    def add(self, entry: Suppression) -> None:
+        self.entries.append(entry)
+
+    def match(self, line: int, rule_id: str) -> Suppression | None:
+        """The entry suppressing ``rule_id`` at ``line``, if any.
+
+        The caller records the hit in ``entry.fired`` so XDB012 can
+        report entries that never matched anything.
+        """
+        for entry in self.entries:
+            if entry.target_line == line and rule_id in entry.rule_ids:
+                return entry
+        return None
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
-        return rule_id in self._by_line.get(line, set())
+        """Pure query form of :meth:`match` (no usage accounting)."""
+        return self.match(line, rule_id) is not None
 
     def __len__(self) -> int:
-        return len(self._by_line)
+        return len(self.entries)
 
 
 def parse_suppressions(source: str) -> SuppressionIndex:
@@ -56,7 +117,6 @@ def parse_suppressions(source: str) -> SuppressionIndex:
     string literals do not count as suppressions.
     """
     index = SuppressionIndex()
-    standalone: list[tuple[int, set[str]]] = []
     try:
         tokens = list(
             tokenize.generate_tokens(io.StringIO(source).readline)
@@ -71,22 +131,41 @@ def parse_suppressions(source: str) -> SuppressionIndex:
         match = _DISABLE_RE.search(tok.string)
         if match is None:
             continue
-        ids = {part.strip() for part in match.group("ids").split(",")}
+        ids = frozenset(
+            part.strip() for part in match.group("ids").split(",")
+        )
+        reason = match.group("reason")
+        if reason is not None:
+            reason = reason.strip() or None
         line_no = tok.start[0]
         line_text = lines[line_no - 1] if line_no <= len(lines) else ""
         if line_text.strip().startswith("#"):
-            standalone.append((line_no, ids))
+            # standalone: applies to the next non-blank, non-comment
+            # line; no such line leaves target_line None (reported
+            # unused by XDB012 rather than silently dropped)
+            target: int | None = None
+            candidate = line_no + 1
+            while candidate <= len(lines):
+                stripped = lines[candidate - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    target = candidate
+                    break
+                candidate += 1
+            index.add(
+                Suppression(
+                    comment_line=line_no,
+                    target_line=target,
+                    rule_ids=ids,
+                    reason=reason,
+                )
+            )
         else:
-            index.add(line_no, ids)
-
-    # A standalone comment applies to the next non-blank, non-comment line.
-    for line_no, ids in standalone:
-        target = line_no + 1
-        while target <= len(lines):
-            stripped = lines[target - 1].strip()
-            if stripped and not stripped.startswith("#"):
-                break
-            target += 1
-        if target <= len(lines):
-            index.add(target, ids)
+            index.add(
+                Suppression(
+                    comment_line=line_no,
+                    target_line=line_no,
+                    rule_ids=ids,
+                    reason=reason,
+                )
+            )
     return index

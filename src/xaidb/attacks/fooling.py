@@ -124,7 +124,6 @@ def train_ood_detector(
         synthetic_blocks.append(np.where(masks, left, right))
     synthetic = np.vstack(synthetic_blocks)
     replication = max(1, round(len(synthetic) / len(real_rows)))
-    real_balanced = np.repeat(real_rows, replication, axis=0)
 
     detector = OODDetector(
         RandomForestClassifier(

@@ -1,0 +1,29 @@
+"""Clean fixture for XDB010: every sampled generator is caller-derived."""
+
+import numpy as np
+
+from xaidb.utils.rng import check_random_state
+
+__all__ = ["sanctioned", "derived_seed", "passed_through", "no_sink"]
+
+
+def sanctioned(n, random_state=None):
+    rng = check_random_state(random_state)
+    return rng.normal(size=n)
+
+
+def derived_seed(n, seed):
+    # a child stream derived from a caller seed is caller-reproducible
+    rng = np.random.default_rng(seed + 1)
+    return rng.uniform(size=n)
+
+
+def passed_through(n, rng):
+    gen = rng  # assignment chain from a parameter stays clean
+    return gen.integers(0, n)
+
+
+def no_sink():
+    # constructing a generator is not the violation; sampling from it is
+    rng = np.random.default_rng(7)
+    return rng

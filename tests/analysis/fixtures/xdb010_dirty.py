@@ -1,0 +1,18 @@
+"""Dirty fixture for XDB010: locally-built generators reach sinks."""
+
+import numpy as np
+
+__all__ = ["direct", "through_chain"]
+
+
+def direct(n):
+    rng = np.random.default_rng(42)  # literal seed: caller can't control it
+    return rng.normal(size=n)  # finding 1
+
+
+def through_chain(n):
+    source = np.random.default_rng()
+    alias, other = source, n  # taint survives tuple unpacking
+    gen = alias
+    gen2 = gen
+    return gen2.choice(other)  # finding 2

@@ -1,0 +1,22 @@
+"""Clean fixture for XDB011: returns never alias the caller's arrays."""
+
+import numpy as np
+
+__all__ = ["Tight"]
+
+
+class Tight:
+    def explain(self, X):
+        scores = X[1:]
+        return scores.copy()  # explicit copy breaks the alias
+
+    def explain_fresh(self, X):
+        return X * 2.0  # arithmetic allocates fresh storage
+
+    def explain_rebound(self, X):
+        X = np.array(X)  # rebinding to a copy releases the parameter
+        return X.reshape(-1)
+
+    def fit(self, X, y):
+        self.X_ = np.array(X)
+        return self  # the fluent idiom is exempt

@@ -1,0 +1,15 @@
+"""Dirty fixture for XDB011: explain/fit return caller-owned buffers."""
+
+import numpy as np
+
+__all__ = ["Leaky"]
+
+
+class Leaky:
+    def explain(self, X):
+        scores = X[1:]  # a slice is a view of the caller's buffer
+        return scores.reshape(-1)  # finding 1: view chain escapes
+
+    def fit(self, X, y):
+        self.X_ = np.array(X)
+        return np.asarray(X)  # finding 2: no-copy passthrough escapes

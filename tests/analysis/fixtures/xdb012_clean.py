@@ -1,0 +1,8 @@
+"""Clean fixture for XDB012: the one suppression matches a real
+finding and carries its reason."""
+
+__all__ = ["f"]
+
+
+def f(a, bucket=[]):  # xailint: disable=XDB007 (fixture: shared sentinel)
+    return bucket + [a]

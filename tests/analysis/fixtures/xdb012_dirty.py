@@ -1,0 +1,18 @@
+"""Dirty fixture for XDB012: stale, reason-less and dangling
+suppressions.  The mutable default below is the only real violation;
+every comment here mis-handles it one way or another."""
+
+__all__ = ["f", "g"]
+
+x = 1.5  # xailint: disable=XDB006 (stale: nothing compares floats here)
+
+
+def f(a, bucket=[]):  # xailint: disable=XDB007
+    return bucket + [a]
+
+
+def g(a):
+    return a
+
+
+# xailint: disable=XDB002 (dangling: no code line follows)

@@ -1,0 +1,34 @@
+"""Clean fixture for XDB013: every store is observable on some path."""
+
+__all__ = ["loop_carried", "branch_use", "underscore_slot", "closure"]
+
+
+def loop_carried(xs):
+    total = 0.0
+    for x in xs:
+        total += x  # read on the next iteration and after the loop
+    return total
+
+
+def branch_use(a):
+    x = a * a  # read on the not-taken branch
+    if a > 0:
+        x = 1.0
+    return x
+
+
+def underscore_slot(pairs):
+    total = 0.0
+    for pair in pairs:
+        lo, _hi = pair[0], pair[1]  # sanctioned unused-slot spelling
+        total += lo
+    return total
+
+
+def closure(a):
+    captured = a + 1  # read inside the nested scope
+
+    def inner():
+        return captured
+
+    return inner

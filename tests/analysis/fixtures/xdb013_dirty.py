@@ -1,0 +1,20 @@
+"""Dirty fixture for XDB013: stores no path ever reads."""
+
+__all__ = ["overwritten_before_use", "unused_unpack_slot"]
+
+
+def overwritten_before_use(a):
+    x = a * a  # finding 1: every path redefines x before reading it
+    if a > 0:
+        x = 1.0
+    else:
+        x = 2.0
+    return x
+
+
+def unused_unpack_slot(pairs):
+    total = 0.0
+    for pair in pairs:
+        lo, hi = pair[0], pair[1]  # finding 2: 'hi' is never read
+        total += lo
+    return total

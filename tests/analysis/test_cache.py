@@ -1,0 +1,112 @@
+"""Incremental-cache round trips: hits, invalidation, and the
+cached-equals-uncached guarantee."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from xaidb.analysis import LintCache, file_digest, run_paths
+from xaidb.analysis.cache import CACHE_VERSION
+
+DIRTY = "def f(a, bucket=[]):\n    return bucket + [a]\n"
+CLEAN = "def f(a, bucket=None):\n    return [a]\n"
+
+
+def _fingerprint(result):
+    return [
+        (f.path, f.line, f.col, f.rule_id, f.message)
+        for f in result.findings
+    ]
+
+
+@pytest.fixture()
+def project(tmp_path):
+    (tmp_path / "mod.py").write_text(DIRTY)
+    (tmp_path / "other.py").write_text("VALUE = 1\n")
+    return tmp_path
+
+
+def _scan(project, cached=True):
+    cache_path = project / ".xailint_cache.json" if cached else None
+    return run_paths([project], root=project, cache_path=cache_path)
+
+
+def test_warm_run_serves_every_file_from_cache(project):
+    cold = _scan(project)
+    assert cold.stats.cache_hits == 0
+    assert cold.stats.cache_misses == 2
+    warm = _scan(project)
+    assert warm.stats.cache_hits == 2
+    assert warm.stats.cache_misses == 0
+    assert warm.stats.hit_rate == 1.0
+    assert warm.stats.project_from_cache
+    assert _fingerprint(warm) == _fingerprint(cold)
+
+
+def test_cached_and_uncached_scans_are_finding_identical(project):
+    _scan(project)  # populate
+    warm = _scan(project)
+    uncached = _scan(project, cached=False)
+    assert _fingerprint(warm) == _fingerprint(uncached)
+    assert [f.rule_id for f in warm.findings] == ["XDB007"]
+
+
+def test_edited_file_misses_and_refreshes_findings(project):
+    _scan(project)
+    (project / "mod.py").write_text(CLEAN)
+    rescanned = _scan(project)
+    assert rescanned.stats.cache_misses == 1
+    assert rescanned.stats.cache_hits == 1
+    assert not rescanned.stats.project_from_cache  # corpus changed
+    assert not rescanned.findings
+    # and the refreshed entry is itself served on the next run
+    warm = _scan(project)
+    assert warm.stats.cache_hits == 2
+    assert not warm.findings
+
+
+def test_suppressions_survive_the_cache_round_trip(project):
+    (project / "mod.py").write_text(
+        "def f(a, bucket=[]):"
+        "  # xailint: disable=XDB007 (cache fixture)\n"
+        "    return bucket + [a]\n"
+    )
+    cold = _scan(project)
+    warm = _scan(project)
+    for result in (cold, warm):
+        assert not result.findings  # no XDB012 either: it matched
+        assert [f.rule_id for f in result.suppressed] == ["XDB007"]
+
+
+def test_ruleset_change_invalidates_wholesale(project):
+    cache_path = project / ".xailint_cache.json"
+    _scan(project)
+    digest = file_digest((project / "mod.py").read_bytes())
+    assert LintCache(cache_path, "other-ruleset").lookup_file(
+        "mod.py", digest
+    ) is None
+
+
+def test_version_skew_and_corruption_are_discarded(project):
+    cache_path = project / ".xailint_cache.json"
+    _scan(project)
+    document = json.loads(cache_path.read_text())
+    document["version"] = CACHE_VERSION + 1
+    cache_path.write_text(json.dumps(document))
+    skewed = _scan(project)
+    assert skewed.stats.cache_hits == 0
+    cache_path.write_text("{not json")
+    corrupted = _scan(project)
+    assert corrupted.stats.cache_hits == 0
+    assert [f.rule_id for f in corrupted.findings] == ["XDB007"]
+
+
+def test_prune_drops_deleted_files(project):
+    cache_path = project / ".xailint_cache.json"
+    _scan(project)
+    (project / "other.py").unlink()
+    _scan(project)
+    document = json.loads(cache_path.read_text())
+    assert set(document["files"]) == {"mod.py"}

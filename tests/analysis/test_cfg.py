@@ -1,0 +1,227 @@
+"""Shape tests for the per-function CFG builder."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from xaidb.analysis import build_cfg, function_cfg
+
+
+def _cfg(src: str):
+    tree = ast.parse(textwrap.dedent(src))
+    return function_cfg(tree.body[0])
+
+
+def _block_with(cfg, node_type):
+    """The unique block holding an item of ``node_type``."""
+    matches = [
+        block
+        for block in cfg
+        if any(isinstance(item, node_type) for item in block.items)
+    ]
+    assert len(matches) == 1, matches
+    return matches[0]
+
+
+def test_straight_line_single_block():
+    cfg = _cfg(
+        """
+        def f(a):
+            x = a
+            y = x
+            return y
+        """
+    )
+    entry = cfg.block(cfg.entry)
+    assert [type(i).__name__ for i in entry.items] == [
+        "Assign",
+        "Assign",
+        "Return",
+    ]
+    assert entry.succs == {cfg.exit}
+    assert len(cfg.reachable()) == 2  # entry + exit
+
+
+def test_if_else_diamond():
+    cfg = _cfg(
+        """
+        def f(a):
+            if a:
+                x = 1
+            else:
+                x = 2
+            return x
+        """
+    )
+    header = _block_with(cfg, ast.If)
+    # then-entry and else-entry; the join is reached through them
+    assert len(header.succs) == 2
+    ret = _block_with(cfg, ast.Return)
+    assert len(ret.preds) == 2  # both branches converge on the join
+
+
+def test_if_without_else_falls_through():
+    cfg = _cfg(
+        """
+        def f(a):
+            if a:
+                x = 1
+            return a
+        """
+    )
+    header = _block_with(cfg, ast.If)
+    ret = _block_with(cfg, ast.Return)
+    # the not-taken edge goes straight from the header to the join
+    assert ret.id in header.succs
+
+
+@pytest.mark.parametrize(
+    "src,header_type",
+    [
+        (
+            """
+            def f(xs):
+                total = 0
+                while xs:
+                    total += 1
+                return total
+            """,
+            ast.While,
+        ),
+        (
+            """
+            def f(xs):
+                total = 0
+                for x in xs:
+                    total += x
+                return total
+            """,
+            ast.For,
+        ),
+    ],
+)
+def test_loop_has_back_edge_and_exit_edge(src, header_type):
+    cfg = _cfg(src)
+    header = _block_with(cfg, header_type)
+    body = _block_with(cfg, ast.AugAssign)
+    assert header.id in body.succs  # back edge
+    assert body.id in header.succs  # taken edge
+    ret = _block_with(cfg, ast.Return)
+    # not-taken edge reaches the after-loop block feeding the return
+    assert header.id in {p for p in ret.preds} or any(
+        header.id in cfg.block(p).preds for p in ret.preds
+    )
+
+
+def test_break_and_continue_resolve_to_innermost_loop():
+    cfg = _cfg(
+        """
+        def f(xs):
+            for x in xs:
+                if x:
+                    break
+                continue
+            return 0
+        """
+    )
+    header = _block_with(cfg, ast.For)
+    brk = _block_with(cfg, ast.Break)
+    cont = _block_with(cfg, ast.Continue)
+    assert header.id in cont.succs  # continue -> loop header
+    # break -> the after-loop block, where the return lives
+    ret = _block_with(cfg, ast.Return)
+    assert ret.id in brk.succs
+
+
+def test_try_body_blocks_edge_to_handler():
+    cfg = _cfg(
+        """
+        def f(a):
+            try:
+                x = a
+                y = x
+            except ValueError:
+                y = 0
+            return y
+        """
+    )
+    handler = _block_with(cfg, ast.ExceptHandler)
+    body_blocks = [
+        block
+        for block in cfg
+        if any(isinstance(i, ast.Assign) for i in block.items)
+        and block.id != handler.id
+    ]
+    # an exception can fire between any two try-body statements, so the
+    # body block(s) carry conservative edges into the handler
+    for block in body_blocks:
+        if handler.id not in block.succs:
+            continue
+        break
+    else:
+        raise AssertionError("no try-body block edges into the handler")
+    ret = _block_with(cfg, ast.Return)
+    assert len(ret.preds) >= 2  # normal path and handler path both join
+
+
+def test_with_stays_in_block_and_binds_header():
+    cfg = _cfg(
+        """
+        def f(path):
+            with open(path) as fh:
+                data = fh.read()
+            return data
+        """
+    )
+    entry = cfg.block(cfg.entry)
+    assert isinstance(entry.items[0], ast.With)
+    # with-body statements continue in the same block
+    assert any(isinstance(i, ast.Assign) for i in entry.items)
+
+
+def test_nested_loop_in_branch():
+    cfg = _cfg(
+        """
+        def f(xss):
+            total = 0
+            if xss:
+                for xs in xss:
+                    while xs:
+                        total += 1
+                        xs = xs[1:]
+            return total
+        """
+    )
+    outer = _block_with(cfg, ast.For)
+    inner = _block_with(cfg, ast.While)
+    # the inner loop is reachable through the outer loop's body
+    reachable_ids = {block.id for block in cfg.reachable()}
+    assert {outer.id, inner.id} <= reachable_ids
+    body = _block_with(cfg, ast.AugAssign)
+    assert inner.id in body.succs or any(
+        inner.id in cfg.block(s).succs for s in body.succs
+    )
+
+
+def test_code_after_return_is_unreachable():
+    cfg = _cfg(
+        """
+        def f(a):
+            return a
+            x = 1
+        """
+    )
+    dead = _block_with(cfg, ast.Assign)
+    assert not dead.preds
+    assert dead.id not in {block.id for block in cfg.reachable()}
+
+
+def test_build_cfg_accepts_module_body():
+    tree = ast.parse("x = 1\ny = x\n")
+    cfg = build_cfg(tree.body)
+    entry = cfg.block(cfg.entry)
+    assert len(entry.items) == 2
+    assert entry.succs == {cfg.exit}

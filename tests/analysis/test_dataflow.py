@@ -1,0 +1,179 @@
+"""Fixpoint, taint-propagation and view-alias tests for the dataflow
+framework underpinning XDB010-XDB013."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from xaidb.analysis import (
+    ReachingDefinitions,
+    ValueTaint,
+    function_cfg,
+    solve_forward,
+    view_sources,
+)
+from xaidb.analysis.dataflow import replay
+
+
+def _fn(src: str):
+    return ast.parse(textwrap.dedent(src)).body[0]
+
+
+def _state_at_return(cfg, problem) -> dict:
+    """The abstract state just before the (single) return statement."""
+    in_states = solve_forward(cfg, problem)
+    captured: list[dict] = []
+
+    def visit(item, state):
+        if isinstance(item, ast.Return):
+            captured.append(dict(state))
+
+    replay(cfg, problem, in_states, visit)
+    assert len(captured) == 1
+    return captured[0]
+
+
+# -- reaching definitions ------------------------------------------------
+
+
+def test_loop_carried_definition_reaches_fixpoint():
+    """Both the init and the in-loop redefinition of ``total`` must
+    reach the return: the back edge forces a second worklist pass."""
+    src = """
+    def f(xs):
+        total = 0.0
+        for x in xs:
+            total = total + x
+        return total
+    """
+    cfg = function_cfg(_fn(src))
+    problem = ReachingDefinitions(cfg)
+    state = _state_at_return(cfg, problem)
+    labels = state["total"]
+    assert len(labels) == 2, labels
+    lines = {problem.definitions[label].node.lineno for label in labels}
+    assert lines == {3, 5}  # the init and the in-loop redefinition
+
+
+def test_straight_line_redefinition_is_a_strong_update():
+    src = """
+    def f(a):
+        x = a
+        x = a + 1
+        return x
+    """
+    cfg = function_cfg(_fn(src))
+    problem = ReachingDefinitions(cfg)
+    state = _state_at_return(cfg, problem)
+    assert len(state["x"]) == 1  # the first definition is killed
+
+
+# -- value taint ---------------------------------------------------------
+
+TAINT = frozenset({"T"})
+
+
+def _taint(code: str, **entry) -> dict:
+    problem = ValueTaint(entry={k: frozenset(v) for k, v in entry.items()})
+    return _state_at_return(function_cfg(_fn(code)), problem)
+
+
+def test_taint_through_literal_tuple_unpacking_is_elementwise():
+    state = _taint(
+        """
+        def f(src, n):
+            a, b = src, n
+            c = a
+            return c
+        """,
+        src=TAINT,
+    )
+    assert state["a"] == TAINT
+    assert state["c"] == TAINT
+    assert state["b"] == frozenset()  # the clean slot stays clean
+
+
+def test_taint_through_opaque_unpacking_joins_into_every_target():
+    state = _taint(
+        """
+        def f(pair):
+            lo, hi = pair
+            return lo
+        """,
+        pair=TAINT,
+    )
+    assert state["lo"] == TAINT
+    assert state["hi"] == TAINT
+
+
+def test_augmented_assignment_unions_taint():
+    state = _taint(
+        """
+        def f(src):
+            acc = 0
+            acc += src
+            return acc
+        """,
+        src=TAINT,
+    )
+    assert state["acc"] == TAINT
+
+
+def test_rebinding_clears_taint():
+    state = _taint(
+        """
+        def f(src):
+            x = src
+            x = 0
+            return x
+        """,
+        src=TAINT,
+    )
+    assert state["x"] == frozenset()
+
+
+def test_two_step_loop_carried_taint_chain_converges():
+    """``b`` only becomes tainted on the *second* abstract iteration
+    (iteration one taints ``a``, iteration two copies it into ``b``) —
+    the join over the back edge must carry it through."""
+    state = _taint(
+        """
+        def f(src, n):
+            a = 0
+            b = 0
+            while n:
+                b = a
+                a = src
+            return b
+        """,
+        src=TAINT,
+    )
+    assert state["b"] == TAINT
+
+
+# -- ndarray view aliasing ----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("x[1:]", {"x"}),
+        ("x.T", {"x"}),
+        ("x.reshape(-1)", {"x"}),
+        ("x.reshape(-1).T[0]", {"x"}),
+        ("np.asarray(x)", {"x"}),
+        ("np.atleast_2d(x)", {"x"}),
+        ("(x, y.copy())", {"x"}),
+        ("x if flag else y", {"x", "y"}),
+        ("x.copy()", set()),
+        ("np.array(x)", set()),
+        ("x + 1", set()),
+        ("x.mean()", set()),
+    ],
+)
+def test_view_sources(expr, expected):
+    node = ast.parse(expr, mode="eval").body
+    assert view_sources(node) == expected

@@ -34,18 +34,36 @@ class TestSuppressions:
     def test_unrelated_rule_id_does_not_suppress(self):
         source = (
             "def f(x, bucket=[]):  "
-            "# xailint: disable=XDB006\n    return bucket\n"
+            "# xailint: disable=XDB006 (fixture)\n    return bucket\n"
         )
         result = lint_source(source)
-        assert [f.rule_id for f in result.findings] == ["XDB007"]
+        # the XDB007 finding survives, and the XDB006 suppression is
+        # itself reported stale by XDB012
+        assert sorted(f.rule_id for f in result.findings) == [
+            "XDB007",
+            "XDB012",
+        ]
 
     def test_multiple_ids_one_comment(self):
         source = (
             "def f(x, bucket=[]):  "
-            "# xailint: disable=XDB006,XDB007\n    return bucket\n"
+            "# xailint: disable=XDB006,XDB007 (fixture)\n    return bucket\n"
         )
         result = lint_source(source)
-        assert not result.findings
+        # XDB007 suppressed; the unused XDB006 half is stale (XDB012)
+        assert [f.rule_id for f in result.findings] == ["XDB012"]
+        assert [f.rule_id for f in result.suppressed] == ["XDB007"]
+
+    def test_standalone_comment_at_eof_surfaces_as_dangling(self):
+        # previously this comment fell through parse_suppressions and
+        # vanished; now it parses with no target line and XDB012 flags it
+        source = "x = 1\n# xailint: disable=XDB005 (dangling)\n"
+        index = parse_suppressions(source)
+        assert len(index) == 1
+        assert index.entries[0].target_line is None
+        result = lint_source(source)
+        assert [f.rule_id for f in result.findings] == ["XDB012"]
+        assert "not followed by any code line" in result.findings[0].message
 
     def test_reason_string_is_optional_but_parsed(self):
         index = parse_suppressions(

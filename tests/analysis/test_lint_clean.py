@@ -32,8 +32,11 @@ def test_repository_is_lint_clean():
 
 def test_every_suppression_carries_a_reason():
     """Repo convention: `# xailint: disable=XDB00N (reason)` — the
-    parenthesised reason is mandatory in committed code."""
-    import re
+    parenthesised reason is mandatory in committed code.  Uses the
+    engine's own tokenize-based parser (a raw line regex would trip on
+    prose mentions of the syntax inside docstrings); XDB012 enforces
+    the same convention at lint time."""
+    from xaidb.analysis import parse_suppressions
 
     bare = []
     for directory in SCAN_DIRS:
@@ -41,12 +44,8 @@ def test_every_suppression_carries_a_reason():
         if not base.is_dir():
             continue
         for path in base.rglob("*.py"):
-            for lineno, line in enumerate(
-                path.read_text().splitlines(), start=1
-            ):
-                match = re.search(r"#\s*xailint:\s*disable=[A-Z0-9,\s]+", line)
-                if match and not re.search(
-                    r"#\s*xailint:\s*disable=[A-Z0-9,\s]+\(.+\)", line
-                ):
-                    bare.append(f"{path}:{lineno}")
+            index = parse_suppressions(path.read_text())
+            for entry in index.entries:
+                if entry.reason is None:
+                    bare.append(f"{path}:{entry.comment_line}")
     assert not bare, f"suppressions without a reason: {bare}"

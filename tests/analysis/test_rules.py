@@ -12,7 +12,8 @@ from xaidb.analysis import lint_source
 FIXTURES = Path(__file__).parent / "fixtures"
 
 # (rule id, extra lint_source kwargs). XDB004 only applies inside the
-# xaidb package; XDB008/XDB009 only inside xaidb.explainers.
+# xaidb package; XDB008/XDB009 only inside xaidb.explainers;
+# XDB010/XDB013 (the flow-sensitive tier) only inside xaidb.
 CASES = [
     ("XDB001", {}),
     ("XDB002", {}),
@@ -23,6 +24,10 @@ CASES = [
     ("XDB007", {}),
     ("XDB008", {"module_name": "xaidb.explainers.fixture"}),
     ("XDB009", {"module_name": "xaidb.explainers.fixture"}),
+    ("XDB010", {"in_xaidb_package": True}),
+    ("XDB011", {}),
+    ("XDB012", {}),
+    ("XDB013", {"in_xaidb_package": True}),
 ]
 
 
@@ -65,6 +70,10 @@ def test_dirty_fixture_finding_counts():
         "XDB007": 2,
         "XDB008": 2,  # not-a-subclass + missing abstract method
         "XDB009": 2,  # for-loop call + listcomp over self.predict_fn
+        "XDB010": 2,  # literal-seed sink + taint through a copy chain
+        "XDB011": 2,  # view-chain return + asarray passthrough return
+        "XDB012": 3,  # stale + reason-less + dangling suppression
+        "XDB013": 2,  # overwritten-before-use + unused unpack slot
     }
     for (rule_id, kwargs) in CASES:
         findings = _lint_fixture(rule_id, "dirty", kwargs)
@@ -81,6 +90,23 @@ def test_xdb009_silent_outside_explainer_packages():
         "XDB009", "dirty", {"module_name": "xaidb.utils.fixture"}
     )
     assert not findings, [f.message for f in findings]
+
+
+def test_xdb010_and_xdb013_silent_outside_xaidb_package():
+    """The flow-sensitive tier is scoped to the library: the same code
+    in scripts/benchmarks (literal module-level seeds, scratch locals)
+    is idiomatic and must not fire."""
+    for rule_id in ("XDB010", "XDB013"):
+        findings = _lint_fixture(rule_id, "dirty", {})
+        assert not findings, [f.message for f in findings]
+
+
+def test_xdb012_messages_distinguish_failure_modes():
+    findings = _lint_fixture("XDB012", "dirty", {})
+    messages = " | ".join(f.message for f in findings)
+    assert "never matched a finding" in messages
+    assert "no parenthesised reason" in messages
+    assert "not followed by any code line" in messages
 
 
 def test_xdb008_messages_distinguish_failure_modes():

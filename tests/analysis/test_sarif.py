@@ -1,0 +1,65 @@
+"""SARIF reporter: pin the schema/version and the result shape the CI
+upload depends on."""
+
+from __future__ import annotations
+
+import json
+
+from xaidb.analysis import (
+    SARIF_VERSION,
+    lint_source,
+    render_sarif,
+)
+from xaidb.analysis.reporters import SARIF_SCHEMA_URI
+
+DIRTY = "def f(a, bucket=[]):\n    return bucket + [a]\n"
+
+
+def _document(source: str) -> dict:
+    return json.loads(render_sarif(lint_source(source)))
+
+
+def test_schema_and_version_are_pinned():
+    doc = _document(DIRTY)
+    assert SARIF_VERSION == "2.1.0"
+    assert doc["version"] == SARIF_VERSION
+    assert doc["$schema"] == SARIF_SCHEMA_URI
+    assert doc["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert len(doc["runs"]) == 1
+
+
+def test_driver_carries_the_full_rule_pack():
+    doc = _document(DIRTY)
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["name"] == "xailint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert {"XDB001", "XDB010", "XDB011", "XDB012", "XDB013"} <= set(
+        rule_ids
+    )
+    for rule in driver["rules"]:
+        assert rule["shortDescription"]["text"]
+        assert rule["defaultConfiguration"]["level"] in (
+            "error",
+            "warning",
+        )
+
+
+def test_results_reference_rules_and_locations():
+    doc = _document(DIRTY)
+    results = doc["runs"][0]["results"]
+    assert len(results) == 1
+    entry = results[0]
+    assert entry["ruleId"] == "XDB007"
+    driver = doc["runs"][0]["tool"]["driver"]
+    assert driver["rules"][entry["ruleIndex"]]["id"] == "XDB007"
+    assert entry["level"] in ("error", "warning")
+    location = entry["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "<string>"
+    assert location["region"]["startLine"] == 1
+    assert location["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+
+def test_clean_scan_yields_empty_results_array():
+    doc = _document("VALUE = 1\n")
+    assert doc["runs"][0]["results"] == []

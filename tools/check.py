@@ -16,6 +16,13 @@ Usage::
 
     python tools/check.py            # the full gate
     python tools/check.py --fast     # lint + tier-1 only (skip the bench smoke)
+    python tools/check.py --changed-only   # lint only files changed vs
+                                           # the merge base with main
+
+``--changed-only`` narrows the *lint* step to ``.py`` files that differ
+from the merge base with ``main`` (plus untracked ones); when git cannot
+answer — not a repository, no ``main`` ref — it falls back to the full
+scan rather than passing vacuously.  Tests always run in full.
 
 Exit status is the first failing step's, 0 when everything passes.
 """
@@ -36,6 +43,52 @@ _ENV["PYTHONPATH"] = os.pathsep.join(
     [str(REPO_ROOT / "src")]
     + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else [])
 )
+
+#: Top-level directories the lint gate covers (the xailint default set).
+SCAN_SET = ("src", "benchmarks", "examples", "tools")
+
+
+def changed_python_files() -> list[str] | None:
+    """``.py`` files under the scan set that differ from the merge base
+    with ``main`` (committed, staged, working-tree or untracked), or
+    ``None`` when git cannot answer — the caller then runs a full scan.
+    """
+
+    def _git(*args: str) -> str:
+        completed = subprocess.run(
+            ["git", *args],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        if completed.returncode != 0:
+            raise RuntimeError(completed.stderr.strip())
+        return completed.stdout
+
+    try:
+        base = None
+        for ref in ("origin/main", "main"):
+            try:
+                base = _git("merge-base", "HEAD", ref).strip()
+                break
+            except RuntimeError:
+                continue
+        if not base:
+            return None
+        changed = set(_git("diff", "--name-only", base).splitlines())
+        changed |= set(
+            _git("ls-files", "--others", "--exclude-standard").splitlines()
+        )
+    except (OSError, RuntimeError):
+        return None
+    return sorted(
+        path
+        for path in changed
+        if path.endswith(".py")
+        and path.split("/", 1)[0] in SCAN_SET
+        and (REPO_ROOT / path).exists()  # deletions need no linting
+    )
+
 
 STEPS: list[tuple[str, list[str]]] = [
     ("xailint", [sys.executable, str(REPO_ROOT / "tools" / "xailint.py")]),
@@ -58,7 +111,23 @@ STEPS: list[tuple[str, list[str]]] = [
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     fast = "--fast" in argv
-    steps = STEPS[:2] if fast else STEPS
+    steps = list(STEPS[:2] if fast else STEPS)
+    if "--changed-only" in argv:
+        changed = changed_python_files()
+        if changed is None:
+            print(
+                "check.py: --changed-only: git has no merge base here; "
+                "falling back to the full lint scan",
+                flush=True,
+            )
+        elif not changed:
+            print("check.py: --changed-only: no python changes to lint",
+                  flush=True)
+            steps = steps[1:]
+        else:
+            name, command = steps[0]
+            steps[0] = (f"{name} ({len(changed)} changed)",
+                        command + changed)
     for name, command in steps:
         print(f"== {name}: {' '.join(command)}", flush=True)
         completed = subprocess.run(command, cwd=REPO_ROOT, env=_ENV)
