@@ -5,16 +5,21 @@ validity silently: unseeded randomness, hidden library behaviour and
 impure explainers make a reproduction drift from the results it claims
 to match without any test failing.  This package turns the repo's
 scientific-correctness conventions into machine-checked invariants
-(rule ids XDB001–XDB013, documented in ``docs/LINTING.md``) that gate
+(rule ids XDB001–XDB017, documented in ``docs/LINTING.md``) that gate
 every PR via ``tests/analysis/test_lint_clean.py``.
 
-Two tiers of rules ship: syntactic/AST-pattern checks (XDB001–XDB009)
-and a flow-sensitive tier (XDB010–XDB013) built on a per-function CFG
-(:mod:`xaidb.analysis.cfg`) and a forward dataflow framework with
-reaching-definitions and value-taint instantiations
-(:mod:`xaidb.analysis.dataflow`).  Scans are commit-speed via a
-content-hash-keyed incremental cache (:mod:`xaidb.analysis.cache`),
-and ``--format sarif`` emits CI-ready annotations.
+Three tiers of rules ship: syntactic/AST-pattern checks
+(XDB001–XDB009); a flow-sensitive tier (XDB010–XDB013) built on a
+per-function CFG (:mod:`xaidb.analysis.cfg`) and a forward dataflow
+framework with reaching-definitions and value-taint instantiations
+(:mod:`xaidb.analysis.dataflow`); and an interprocedural tier
+(XDB014–XDB017) built on a project-wide call graph
+(:mod:`xaidb.analysis.callgraph`), bottom-up function summaries over
+its SCC condensation (:mod:`xaidb.analysis.summaries`) and an ndarray
+shape/dtype abstract domain (:mod:`xaidb.analysis.shapes`).  Scans are
+commit-speed via a content-hash-keyed incremental cache
+(:mod:`xaidb.analysis.cache`) that also persists function summaries
+per SCC, and ``--format sarif`` emits CI-ready annotations.
 
 Programmatic use::
 
@@ -29,6 +34,13 @@ Command line::
 """
 
 from xaidb.analysis.cache import LintCache, file_digest, ruleset_digest
+from xaidb.analysis.callgraph import (
+    CallGraph,
+    CallSite,
+    FunctionNode,
+    build_call_graph,
+    strongly_connected_components,
+)
 from xaidb.analysis.cfg import CFG, Block, build_cfg, function_cfg
 from xaidb.analysis.dataflow import (
     ForwardProblem,
@@ -54,6 +66,17 @@ from xaidb.analysis.reporters import (
     render_sarif,
     render_stats,
     render_text,
+)
+from xaidb.analysis.shapes import (
+    AbstractArray,
+    ShapeAnalysis,
+    broadcast_shapes,
+    concat_shapes,
+    matmul_shapes,
+)
+from xaidb.analysis.summaries import (
+    FunctionSummary,
+    InterprocAnalysis,
 )
 from xaidb.analysis.suppressions import (
     Suppression,
@@ -89,6 +112,18 @@ __all__ = [
     "ValueTaint",
     "solve_forward",
     "view_sources",
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "build_call_graph",
+    "strongly_connected_components",
+    "AbstractArray",
+    "ShapeAnalysis",
+    "broadcast_shapes",
+    "matmul_shapes",
+    "concat_shapes",
+    "FunctionSummary",
+    "InterprocAnalysis",
     "LintCache",
     "file_digest",
     "ruleset_digest",

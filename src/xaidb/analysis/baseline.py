@@ -1,0 +1,130 @@
+"""SARIF-baseline diffing: gate CI on *new* findings only.
+
+Adopting a new rule on a living codebase creates a standoff: the rule
+surfaces pre-existing findings nobody can fix today, so either the gate
+stays red (and gets ignored) or the rule waits.  The baseline breaks
+it.  ``xailint --write-baseline`` snapshots the current findings into a
+committed SARIF file (``xailint_baseline.sarif``); ``xailint
+--baseline`` then reports and gates on findings *not* present in the
+snapshot, so pre-existing debt is tolerated but every newly introduced
+violation still fails CI.
+
+Matching is by ``(rule id, path, message)`` — deliberately **not** by
+line number, so editing an unrelated part of a file does not shift a
+baselined finding into "new".  Identical findings are matched by count:
+a file with two baselined ``XDB006`` comparisons tolerates two, and a
+third is new.  The baseline is plain SARIF (the ``--format sarif``
+output, byte-for-byte), so the same file feeds CI annotation and the
+diff gate.
+
+A finding that disappears simply stops matching — the baseline is a
+ceiling, not a ledger, and ``--write-baseline`` re-snapshots it after a
+cleanup so the ceiling only ever moves down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from xaidb.analysis.findings import Finding, LintResult
+
+__all__ = [
+    "BaselineError",
+    "baseline_key",
+    "load_baseline",
+    "partition_findings",
+    "apply_baseline",
+    "DEFAULT_BASELINE_FILE",
+]
+
+#: Committed snapshot, relative to the working directory.
+DEFAULT_BASELINE_FILE = "xailint_baseline.sarif"
+
+#: What identifies a finding across runs (no line/col: edits above a
+#: finding must not un-baseline it).
+BaselineKey = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing or not a readable SARIF document."""
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.rule_id, finding.path, finding.message)
+
+
+def load_baseline(path: Path | str) -> Counter:
+    """Parse a SARIF baseline into a multiset of finding keys.
+
+    Raises :class:`BaselineError` on a missing or malformed file — a
+    gate that silently treats "no baseline" as "empty baseline" would
+    fail on every pre-existing finding, or worse, a typo'd path could
+    make it pass vacuously in write-then-read workflows.
+    """
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(
+            f"cannot read baseline {path}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise BaselineError(
+            f"baseline {path} is not valid JSON: {exc}"
+        ) from exc
+    keys: Counter = Counter()
+    try:
+        runs = document["runs"]
+        for run in runs:
+            for entry in run.get("results", ()):
+                rule_id = str(entry["ruleId"])
+                message = str(entry["message"]["text"])
+                locations = entry.get("locations") or [{}]
+                uri = str(
+                    locations[0]
+                    .get("physicalLocation", {})
+                    .get("artifactLocation", {})
+                    .get("uri", "")
+                )
+                keys[(rule_id, uri, message)] += 1
+    except (KeyError, TypeError, IndexError) as exc:
+        raise BaselineError(
+            f"baseline {path} is not a SARIF results document: {exc}"
+        ) from exc
+    return keys
+
+
+def partition_findings(
+    findings: list[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding]]:
+    """Split findings into ``(new, known)`` against the baseline
+    multiset.  Matching consumes baseline entries, so N baselined
+    occurrences of an identical finding tolerate exactly N."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    known: list[Finding] = []
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            known.append(finding)
+        else:
+            new.append(finding)
+    return new, known
+
+
+def apply_baseline(
+    result: LintResult, baseline: Counter
+) -> tuple[LintResult, int]:
+    """A result whose findings are only those *not* in the baseline,
+    plus the count of matched (tolerated) findings.  Stats and
+    suppression bookkeeping carry over unchanged."""
+    new, known = partition_findings(result.findings, baseline)
+    filtered = LintResult(
+        findings=new,
+        files_scanned=result.files_scanned,
+        suppressed=result.suppressed,
+        stats=result.stats,
+    )
+    return filtered, len(known)

@@ -38,7 +38,7 @@ from xaidb.analysis.suppressions import Suppression
 
 __all__ = ["LintCache", "ruleset_digest", "file_digest", "CACHE_VERSION"]
 
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 
 def file_digest(data: bytes) -> str:
@@ -90,6 +90,7 @@ class LintCache:
         self.misses = 0
         self._files: dict[str, dict] = {}
         self._project: dict | None = None
+        self._summaries: dict[str, list] = {}
         self._dirty = False
         self._load()
 
@@ -112,6 +113,13 @@ class LintCache:
         project = document.get("project")
         if isinstance(project, dict):
             self._project = project
+        summaries = document.get("summaries")
+        if isinstance(summaries, dict):
+            self._summaries = {
+                key: value
+                for key, value in summaries.items()
+                if isinstance(value, list)
+            }
 
     # -- per-file results --------------------------------------------
 
@@ -188,6 +196,33 @@ class LintCache:
         }
         self._dirty = True
 
+    # -- interprocedural function summaries --------------------------
+
+    def lookup_summaries(self, scc_key: str) -> list[dict] | None:
+        """Cached summary dicts for the SCC with Merkle key
+        ``scc_key``, or ``None`` (callers validate the payload)."""
+        entry = self._summaries.get(scc_key)
+        if entry is None or not all(
+            isinstance(item, dict) for item in entry
+        ):
+            return None
+        return entry
+
+    def store_summaries(
+        self, scc_key: str, summaries: list[dict]
+    ) -> None:
+        self._summaries[scc_key] = summaries
+        self._dirty = True
+
+    def prune_summaries(self, keep_keys: set[str]) -> None:
+        """Drop summary entries whose SCC key was not used this run
+        (stale content-addressed entries otherwise accumulate across
+        edits forever)."""
+        stale = set(self._summaries) - keep_keys
+        for key in stale:
+            del self._summaries[key]
+            self._dirty = True
+
     # -- persistence -------------------------------------------------
 
     def save(self) -> None:
@@ -198,6 +233,7 @@ class LintCache:
             "ruleset": self.ruleset,
             "files": self._files,
             "project": self._project,
+            "summaries": self._summaries,
         }
         try:
             self.path.write_text(

@@ -26,6 +26,14 @@ can fire between any two statements), and ``raise`` additionally falls
 through to the function exit.  ``break``/``continue`` resolve against
 the innermost enclosing loop; code after a terminator lands in a fresh
 unreachable block (no predecessors) so analyses simply never reach it.
+
+``finally`` blocks run on *every* way out of their ``try`` — including
+``return``/``raise`` (and ``break``/``continue`` crossing the ``try``) —
+so terminators inside a ``try ... finally`` get an edge to the innermost
+``finally`` entry in addition to their normal target.  The innermost
+approximation (a ``return`` under nested finallies edges only the
+nearest one, whose exit then over-approximates by falling through) keeps
+the graph simple while staying conservative for may-analyses.
 """
 
 from __future__ import annotations
@@ -92,11 +100,16 @@ class _Builder:
         self.cfg.blocks[0] = Block(0)
         self.cfg.blocks[1] = Block(1)
         self._next_id = 2
-        # (header block id, after-loop block id) per enclosing loop
-        self._loops: list[tuple[int, int]] = []
+        # (header block id, after-loop block id, finally-stack depth at
+        # loop entry) per enclosing loop — the depth scopes which
+        # finallies a break/continue actually crosses
+        self._loops: list[tuple[int, int, int]] = []
         # handler entry block ids per enclosing try; every block created
         # while inside gets an exceptional edge to each of them
         self._handlers: list[list[int]] = []
+        # finally-entry block ids per enclosing try ... finally;
+        # terminators edge the innermost so the finally stays reachable
+        self._finallies: list[int] = []
 
     # -- plumbing ----------------------------------------------------
 
@@ -148,20 +161,31 @@ class _Builder:
         # separate scopes with their own CFGs
         self.cfg.blocks[current].items.append(stmt)
         if isinstance(stmt, ast.Return):
+            if self._finallies:
+                self._edge(current, self._finallies[-1])
             self._edge(current, self.cfg.exit)
             return None
         if isinstance(stmt, ast.Raise):
             # the conservative handler edges were added at block
-            # creation; a raise also reaches the exit when unhandled
+            # creation; a raise also runs the innermost finally and
+            # reaches the exit when unhandled
+            if self._finallies:
+                self._edge(current, self._finallies[-1])
             self._edge(current, self.cfg.exit)
             return None
         if isinstance(stmt, ast.Break):
             if self._loops:
-                self._edge(current, self._loops[-1][1])
+                _header, after, finally_depth = self._loops[-1]
+                if len(self._finallies) > finally_depth:
+                    self._edge(current, self._finallies[-1])
+                self._edge(current, after)
             return None
         if isinstance(stmt, ast.Continue):
             if self._loops:
-                self._edge(current, self._loops[-1][0])
+                header, _after, finally_depth = self._loops[-1]
+                if len(self._finallies) > finally_depth:
+                    self._edge(current, self._finallies[-1])
+                self._edge(current, header)
             return None
         return current
 
@@ -200,7 +224,7 @@ class _Builder:
 
         body_entry = self._new_block()
         self._edge(header.id, body_entry.id)
-        self._loops.append((header.id, after.id))
+        self._loops.append((header.id, after.id, len(self._finallies)))
         body_exit = self._body(stmt.body, body_entry.id)
         self._loops.pop()
         if body_exit is not None:
@@ -222,6 +246,15 @@ class _Builder:
 
     def _try(self, stmt: ast.Try, current: int) -> int | None:
         join = self._new_block()
+        # the finally entry must exist before the body is built so that
+        # return/raise (and loop exits crossing the try) can edge into
+        # it — a `try: return x finally: release(x)` runs the finally
+        # with the state at the return, it is not dead code
+        final_entry: Block | None = None
+        if stmt.finalbody:
+            final_entry = self._new_block()
+            self._finallies.append(final_entry.id)
+
         handler_entries: list[tuple[ast.ExceptHandler, Block]] = []
         handler_ids: list[int] = []
         for handler in stmt.handlers:
@@ -252,19 +285,24 @@ class _Builder:
             if handler_exit is not None:
                 self._edge(handler_exit, join.id)
 
+        if final_entry is not None:
+            self._finallies.pop()
+
         result: int | None = join.id
         if not join.preds:
             result = None
-        if stmt.finalbody:
-            if result is None:
-                # every path terminated, but finally still runs; give it
-                # an unreachable-from-entry block chain so its items are
-                # at least present in the graph
-                final_entry = self._new_block()
-            else:
-                final_entry = self._new_block()
+        if final_entry is not None:
+            if result is not None:
                 self._edge(result, final_entry.id)
-            result = self._body(stmt.finalbody, final_entry.id)
+            final_exit = self._body(stmt.finalbody, final_entry.id)
+            if result is None:
+                # every in-try path terminated; the terminator edges
+                # above keep the finally reachable, and control then
+                # leaves the scope rather than falling through
+                if final_exit is not None:
+                    self._edge(final_exit, self.cfg.exit)
+                return None
+            result = final_exit
         return result
 
     def _match(self, stmt: ast.Match, current: int) -> int | None:

@@ -19,7 +19,14 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
+from xaidb.analysis.baseline import (
+    DEFAULT_BASELINE_FILE,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+)
 from xaidb.analysis.engine import run_paths
+from xaidb.analysis.explain import render_explanation
 from xaidb.analysis.registry import all_rules
 from xaidb.analysis.reporters import (
     render_json,
@@ -41,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="xailint",
         description=(
             "Static analysis enforcing xaidb's scientific-correctness "
-            "invariants (rule ids XDB001-XDB013; see docs/LINTING.md)."
+            "invariants (rule ids XDB001-XDB017; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -86,6 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
             "after the report"
         ),
     )
+    parser.add_argument(
+        "--baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE_FILE,
+        default=None,
+        metavar="FILE",
+        help=(
+            "report and gate only on findings not present in the SARIF "
+            f"baseline (default file: {DEFAULT_BASELINE_FILE})"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        nargs="?",
+        const=DEFAULT_BASELINE_FILE,
+        default=None,
+        metavar="FILE",
+        help=(
+            "snapshot the current findings as the SARIF baseline and "
+            f"exit 0 (default file: {DEFAULT_BASELINE_FILE})"
+        ),
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="XDB0NN",
+        default=None,
+        help=(
+            "print one rule's rationale from docs/LINTING.md plus "
+            "minimal dirty/clean examples, and exit"
+        ),
+    )
     return parser
 
 
@@ -97,6 +135,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.symbol}")
             print(f"    {rule.description}")
+        return 0
+
+    if args.explain is not None:
+        try:
+            print(render_explanation(args.explain.strip().upper()))
+        except KeyError as exc:
+            parser.error(str(exc.args[0]))
         return 0
 
     paths = list(args.paths)
@@ -123,12 +168,37 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ValueError as exc:  # unknown rule id
         parser.error(str(exc))
 
+    if args.write_baseline is not None:
+        Path(args.write_baseline).write_text(
+            render_sarif(result) + "\n", encoding="utf-8"
+        )
+        print(
+            f"xailint: baseline of {len(result.findings)} finding(s) "
+            f"written to {args.write_baseline}"
+        )
+        return 0
+
+    matched = 0
+    if args.baseline is not None:
+        try:
+            result, matched = apply_baseline(
+                result, load_baseline(args.baseline)
+            )
+        except BaselineError as exc:
+            parser.error(str(exc))
+
     if args.format == "json":
         print(render_json(result))
     elif args.format == "sarif":
         print(render_sarif(result))
     else:
         print(render_text(result))
+        if args.baseline is not None:
+            print(
+                f"xailint: baseline {args.baseline}: {matched} "
+                f"finding(s) matched, "
+                f"{len(result.findings)} new"
+            )
     if args.stats:
         print(render_stats(result), file=sys.stderr)
     return 0 if result.ok else 1

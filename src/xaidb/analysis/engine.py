@@ -304,7 +304,11 @@ def run_paths(
                 time.perf_counter() - parse_started
             )
             project_findings = _run_project_rules(
-                project_rules, contexts, result
+                project_rules,
+                contexts,
+                result,
+                file_digests=dict(digests),
+                cache=cache,
             )
             if cache is not None:
                 cache.store_project(corpus, project_findings)
@@ -339,11 +343,18 @@ def _run_project_rules(
     project_rules: list[ProjectRule],
     contexts: list[FileContext],
     result: LintResult,
+    *,
+    file_digests: dict[str, str] | None = None,
+    cache: LintCache | None = None,
 ) -> list[Finding]:
     if not project_rules:
         return []
     findings: list[Finding] = []
-    project = ProjectContext(files=contexts)
+    project = ProjectContext(
+        files=contexts,
+        file_digests=file_digests or {},
+        summary_cache=cache,
+    )
     for rule in project_rules:
         rule_started = time.perf_counter()
         findings.extend(rule.check_project(project))
@@ -352,6 +363,12 @@ def _run_project_rules(
             + time.perf_counter()
             - rule_started
         )
+    interproc = project.interproc_if_built()
+    if interproc is not None:
+        result.stats.summary_hits += interproc.hits
+        result.stats.summary_misses += interproc.misses
+        if cache is not None:
+            cache.prune_summaries(interproc.used_keys)
     return findings
 
 

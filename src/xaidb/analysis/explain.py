@@ -1,0 +1,126 @@
+"""``xailint --explain XDB0NN`` — one rule, fully explained.
+
+A lint finding is only as useful as the reader's understanding of *why*
+the invariant exists; a rule id in CI output is not that.  This module
+assembles, for one rule id:
+
+1. the registry metadata (symbol, severity, one-line description);
+2. the rationale paragraph from the rules table in ``docs/LINTING.md``
+   — the scientific-correctness argument, not just the pattern;
+3. the rule's minimal dirty/clean fixture pair from
+   ``tests/analysis/fixtures/`` — a complete example that fires and its
+   smallest compliant rewrite.
+
+The docs and fixtures are located relative to the repo root (found by
+walking up from this package and from the working directory); when the
+package runs outside the repo the registry metadata still prints and
+the missing sections say where they normally come from.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from xaidb.analysis.registry import rules_by_id
+
+__all__ = ["render_explanation", "linting_rationale", "find_repo_root"]
+
+_LINTING_MD = Path("docs") / "LINTING.md"
+_FIXTURES = Path("tests") / "analysis" / "fixtures"
+
+
+def find_repo_root() -> Path | None:
+    """The directory holding ``docs/LINTING.md``: the working directory
+    or an ancestor of this package (editable installs / repo layout)."""
+    candidates = [Path.cwd(), *Path(__file__).resolve().parents]
+    for base in candidates:
+        if (base / _LINTING_MD).is_file():
+            return base
+    return None
+
+
+def linting_rationale(rule_id: str, root: Path | None) -> str | None:
+    """The rule's cell from the LINTING.md rules table, markdown
+    table-escapes undone."""
+    if root is None:
+        return None
+    try:
+        text = (root / _LINTING_MD).read_text(encoding="utf-8")
+    except OSError:
+        return None
+    pattern = re.compile(
+        r"^\|\s*" + re.escape(rule_id) + r"\s*\|[^|]*\|(.*)\|\s*$",
+        re.MULTILINE,
+    )
+    match = pattern.search(text)
+    if match is None:
+        return None
+    return match.group(1).strip().replace("\\|", "|")
+
+
+def _fixture_source(
+    rule_id: str, variant: str, root: Path | None
+) -> str | None:
+    if root is None:
+        return None
+    path = root / _FIXTURES / f"{rule_id.lower()}_{variant}.py"
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+
+
+def _indent(text: str) -> str:
+    return "\n".join(
+        ("    " + line).rstrip() for line in text.rstrip().splitlines()
+    )
+
+
+def render_explanation(rule_id: str) -> str:
+    """The full ``--explain`` text for ``rule_id``.
+
+    Raises ``KeyError`` (with a usable message) for unknown ids so the
+    CLI can turn it into a usage error.
+    """
+    registry = rules_by_id()
+    rule = registry.get(rule_id)
+    if rule is None:
+        raise KeyError(
+            f"unknown rule id {rule_id!r}; known: "
+            + ", ".join(sorted(registry))
+        )
+    root = find_repo_root()
+    sections = [
+        f"{rule.rule_id} [{rule.symbol}] ({rule.severity})",
+        "",
+        _indent(rule.description),
+    ]
+    rationale = linting_rationale(rule_id, root)
+    sections.append("")
+    sections.append("Rationale (docs/LINTING.md):")
+    if rationale is not None:
+        sections.append(_indent(rationale))
+    else:
+        sections.append(
+            "    (no rules-table entry found — is docs/LINTING.md "
+            "reachable from here and up to date?)"
+        )
+    for variant, title in (
+        ("dirty", "Example that fires"),
+        ("clean", "Compliant rewrite"),
+    ):
+        source = _fixture_source(rule_id, variant, root)
+        relname = f"{_FIXTURES}/{rule_id.lower()}_{variant}.py"
+        sections.append("")
+        sections.append(f"{title} ({relname}):")
+        if source is not None:
+            sections.append(_indent(source))
+        else:
+            sections.append("    (fixture not found from here)")
+    suffix = (
+        "Suppress a justified occurrence with:  "
+        f"# xailint: disable={rule.rule_id} (reason)"
+    )
+    sections.extend(["", suffix])
+    return "\n".join(sections)

@@ -59,6 +59,12 @@ class ScanStats:
     cache_misses: int = 0
     #: Whether the cross-module (project) rule results were cached.
     project_from_cache: bool = False
+    #: Call-graph SCCs whose function summaries came from the cache
+    #: (zero/zero when no interprocedural rule ran or the project
+    #: results themselves were cached wholesale).
+    summary_hits: int = 0
+    #: SCCs whose summaries had to be recomputed bottom-up.
+    summary_misses: int = 0
     parse_seconds: float = 0.0
     #: Wall time spent inside each rule, across all files.
     rule_seconds: dict[str, float] = field(default_factory=dict)
@@ -68,6 +74,11 @@ class ScanStats:
     def hit_rate(self) -> float:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def summary_hit_rate(self) -> float:
+        total = self.summary_hits + self.summary_misses
+        return self.summary_hits / total if total else 0.0
 
 
 @dataclass

@@ -73,6 +73,14 @@ class ProjectContext:
     """The whole parsed corpus, for cross-module rules."""
 
     files: list[FileContext] = field(default_factory=list)
+    #: relpath -> content digest, for the interprocedural summary cache
+    #: (empty when the engine runs cache-less, e.g. ``lint_source``).
+    file_digests: dict[str, str] = field(default_factory=dict)
+    #: The scan's :class:`~xaidb.analysis.cache.LintCache`, or ``None``.
+    summary_cache: object | None = None
+    _interproc: object | None = field(
+        default=None, init=False, repr=False
+    )
 
     def modules_under(self, package_prefix: str) -> list[FileContext]:
         """File contexts whose dotted name starts with ``package_prefix``."""
@@ -82,6 +90,24 @@ class ProjectContext:
             if ctx.module_name == package_prefix
             or ctx.module_name.startswith(package_prefix + ".")
         ]
+
+    def interproc(self):
+        """The corpus's :class:`~xaidb.analysis.summaries.\
+InterprocAnalysis`, built on first use and shared by every
+        interprocedural rule in the scan."""
+        if self._interproc is None:
+            from xaidb.analysis.summaries import InterprocAnalysis
+
+            self._interproc = InterprocAnalysis(
+                self.files,
+                file_digests=self.file_digests,
+                cache=self.summary_cache,
+            )
+        return self._interproc
+
+    def interproc_if_built(self):
+        """The shared analysis if some rule already forced it."""
+        return self._interproc
 
 
 class Rule:

@@ -178,6 +178,9 @@ def render_stats(result: LintResult) -> str:
         f"  cache hit rate    {stats.hit_rate:.1%}",
         "  project rules     "
         + ("cached" if stats.project_from_cache else "executed"),
+        f"  summary hits      {stats.summary_hits}",
+        f"  summary misses    {stats.summary_misses}",
+        f"  summary hit rate  {stats.summary_hit_rate:.1%}",
         f"  parse time        {stats.parse_seconds * 1e3:8.1f} ms",
         f"  total time        {stats.total_seconds * 1e3:8.1f} ms",
     ]

@@ -1,9 +1,12 @@
-"""The built-in xailint rule pack (XDB001–XDB013).
+"""The built-in xailint rule pack (XDB001–XDB017).
 
 Importing this package registers every rule with
 :mod:`xaidb.analysis.registry`; the ids are stable and documented in
 ``docs/LINTING.md``.  XDB010–XDB013 are the flow-sensitive tier built
-on :mod:`xaidb.analysis.cfg` / :mod:`xaidb.analysis.dataflow`.
+on :mod:`xaidb.analysis.cfg` / :mod:`xaidb.analysis.dataflow`;
+XDB014–XDB017 are the interprocedural tier built on
+:mod:`xaidb.analysis.callgraph` / :mod:`xaidb.analysis.summaries` /
+:mod:`xaidb.analysis.shapes`.
 """
 
 from xaidb.analysis.rules.api_surface import MissingAllRule
@@ -12,6 +15,12 @@ from xaidb.analysis.rules.defaults import MutableDefaultRule
 from xaidb.analysis.rules.error_handling import BroadExceptRule
 from xaidb.analysis.rules.float_compare import FloatEqualityRule
 from xaidb.analysis.rules.imports_rule import BannedImportsRule
+from xaidb.analysis.rules.interproc import (
+    DtypeDegradationRule,
+    MutationThroughCalleeRule,
+    RngEscapesHelperRule,
+    ShapeMismatchRule,
+)
 from xaidb.analysis.rules.project import ExplainerInterfaceRule
 from xaidb.analysis.rules.purity import ExplainerPurityRule
 from xaidb.analysis.rules.randomness import UnseededRandomnessRule
@@ -34,4 +43,8 @@ __all__ = [
     "InputViewEscapeRule",
     "SuppressionAuditRule",
     "DeadStoreRule",
+    "ShapeMismatchRule",
+    "DtypeDegradationRule",
+    "RngEscapesHelperRule",
+    "MutationThroughCalleeRule",
 ]

@@ -1,0 +1,965 @@
+"""An ndarray shape/dtype abstract domain for the dataflow framework.
+
+XDB014/XDB015 need to *prove* facts about arrays — "these two operands
+can never broadcast", "this value is float64 before the cast" — without
+running any numpy.  This module provides the abstract domain those
+proofs live in, evaluated on the existing
+:mod:`xaidb.analysis.dataflow` map lattice by encoding each abstract
+array as a string label, so a variable's state is a frozenset of its
+possible abstract values and join stays pointwise set union.
+
+The domain
+----------
+
+An :class:`AbstractArray` is ``(shape, dtype)``:
+
+- ``shape`` is a tuple of *dims* — a decimal literal (``"3"``), a
+  symbol naming the in-scope variable it came from (``"n"``, never
+  provably unequal to anything), or ``"?"`` (unknown) — or ``None``
+  for unknown rank;
+- ``dtype`` is one of ``float64 float32 int64 int32 bool ?``.
+
+⊤ (no information) is the singleton ``{"?[*]"}`` — the abstract value
+of unknown rank and unknown dtype.  Making ⊤ an explicit *member* of
+the set (rather than the empty set) keeps the pointwise-union join
+sound: joining an unknown path into a known one leaves the unknown
+value in the set, and a consumer that demands a proof from *every*
+member of the set can never prove anything past it.  The empty set (⊥)
+only arises transiently and is also treated as unprovable.
+
+Incompatibility is only ever *proved* between two literal dims — a
+symbolic dim is compatible with everything — which keeps XDB014 free of
+false positives by construction: the analysis can stay silent, but when
+it speaks ("(…,3) @ (4,…) cannot multiply"), the program is wrong on
+every path that reaches the operation.
+
+Transfer functions cover the ~25 numpy entry points the corpus actually
+uses (constructors, ``matmul``/``dot``, ``reshape``/``transpose``/
+``ravel``, the axis reductions, ``concatenate``/``stack`` and friends,
+elementwise arithmetic with broadcasting, ``astype``); everything else
+falls back to ⊤.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from xaidb.analysis.dataflow import State, ValueTaint
+
+__all__ = [
+    "AbstractArray",
+    "INCOMPATIBLE",
+    "UNKNOWN_DIM",
+    "broadcast_shapes",
+    "matmul_shapes",
+    "concat_shapes",
+    "promote_dtypes",
+    "dtype_from_node",
+    "encode",
+    "decode",
+    "sanitize",
+    "ShapeState",
+    "ShapeAnalysis",
+]
+
+#: Unknown dim marker (compatible with everything).
+UNKNOWN_DIM = "?"
+
+#: Sentinel for a *provable* shape conflict (never enters a state).
+INCOMPATIBLE = "INCOMPATIBLE"
+
+_FLOAT_DTYPES = ("float64", "float32")
+_INT_DTYPES = ("int64", "int32")
+_KNOWN_DTYPES = _FLOAT_DTYPES + _INT_DTYPES + ("bool", UNKNOWN_DIM)
+
+#: Bound on abstract-value sets per variable; beyond it collapse to ⊤.
+_MAX_VALUES = 4
+
+
+@dataclass(frozen=True)
+class AbstractArray:
+    """One abstract ndarray value: symbolic shape plus dtype."""
+
+    shape: tuple[str, ...] | None  # None = unknown rank
+    dtype: str = UNKNOWN_DIM
+
+    def rank(self) -> int | None:
+        return None if self.shape is None else len(self.shape)
+
+
+#: Alias used in signatures: a set of possible abstract values.
+ShapeState = frozenset[str]
+
+#: ⊤ — the encoded unknown value (see module docstring).
+TOP: ShapeState = frozenset({f"{UNKNOWN_DIM}[*]"})
+
+
+def encode(value: AbstractArray) -> str:
+    shape = "*" if value.shape is None else ",".join(value.shape)
+    return f"{value.dtype}[{shape}]"
+
+
+def decode(label: str) -> AbstractArray:
+    dtype, _, rest = label.partition("[")
+    body = rest[:-1]
+    if body == "*":
+        return AbstractArray(shape=None, dtype=dtype)
+    if body == "":
+        return AbstractArray(shape=(), dtype=dtype)
+    return AbstractArray(shape=tuple(body.split(",")), dtype=dtype)
+
+
+def sanitize(value: AbstractArray) -> AbstractArray:
+    """Strip function-local symbols for export across a call boundary:
+    a symbolic dim names a *local* variable, meaningless to callers."""
+    if value.shape is None:
+        return value
+    shape = tuple(
+        dim if _is_literal(dim) else UNKNOWN_DIM for dim in value.shape
+    )
+    return AbstractArray(shape=shape, dtype=value.dtype)
+
+
+def _is_literal(dim: str) -> bool:
+    return dim.isdigit()
+
+
+def _dims_provably_differ(a: str, b: str) -> bool:
+    return _is_literal(a) and _is_literal(b) and a != b
+
+
+def _join_dim(a: str, b: str) -> str:
+    return a if a == b else UNKNOWN_DIM
+
+
+# ---------------------------------------------------------------------------
+# shape algebra
+# ---------------------------------------------------------------------------
+
+
+def broadcast_shapes(
+    a: tuple[str, ...] | None, b: tuple[str, ...] | None
+) -> tuple[str, ...] | None | str:
+    """Numpy broadcasting of two shapes.
+
+    Returns the result shape, ``None`` when unknown, or
+    :data:`INCOMPATIBLE` when two literal dims can never broadcast.
+    """
+    if a is None or b is None:
+        return None
+    if len(a) < len(b):
+        a, b = b, a
+    padded = ("1",) * (len(a) - len(b)) + tuple(b)
+    out: list[str] = []
+    for dim_a, dim_b in zip(a, padded):
+        if dim_a == "1":
+            out.append(dim_b)
+        elif dim_b == "1":
+            out.append(dim_a)
+        elif dim_a == dim_b:
+            out.append(dim_a)
+        elif _dims_provably_differ(dim_a, dim_b):
+            return INCOMPATIBLE
+        else:
+            out.append(UNKNOWN_DIM)
+    return tuple(out)
+
+
+def matmul_shapes(
+    a: tuple[str, ...] | None, b: tuple[str, ...] | None
+) -> tuple[str, ...] | None | str:
+    """``a @ b`` shape semantics (inner dims must agree; no broadcast
+    of the core dims; 1-D operands get the numpy prepend/append
+    treatment)."""
+    if a is None or b is None:
+        return None
+    if len(a) == 0 or len(b) == 0:
+        return INCOMPATIBLE  # matmul of a scalar is a TypeError
+    inner_a = a[-1]
+    inner_b = b[-2] if len(b) >= 2 else b[-1]
+    if _dims_provably_differ(inner_a, inner_b):
+        return INCOMPATIBLE
+    if len(a) == 1 and len(b) == 1:
+        return ()
+    if len(a) == 1:
+        return tuple(b[:-2]) + (b[-1],)
+    if len(b) == 1:
+        return tuple(a[:-1])
+    batch = broadcast_shapes(a[:-2], b[:-2])
+    if batch is INCOMPATIBLE:
+        return INCOMPATIBLE
+    if batch is None:
+        return None
+    return tuple(batch) + (a[-2], b[-1])
+
+
+def concat_shapes(
+    shapes: list[tuple[str, ...] | None], axis: int | None
+) -> tuple[str, ...] | None | str:
+    """``np.concatenate`` semantics: equal ranks, every non-axis dim
+    provably equal; the axis dim sums (literal only when all are)."""
+    if axis is None or any(s is None for s in shapes) or not shapes:
+        return None
+    ranks = {len(s) for s in shapes}  # type: ignore[arg-type]
+    if len(ranks) > 1:
+        return INCOMPATIBLE
+    rank = ranks.pop()
+    if rank == 0 or not -rank <= axis < rank:
+        return INCOMPATIBLE
+    axis %= rank
+    out: list[str] = []
+    for position in range(rank):
+        dims = [s[position] for s in shapes]  # type: ignore[index]
+        if position == axis:
+            if all(_is_literal(d) for d in dims):
+                out.append(str(sum(int(d) for d in dims)))
+            else:
+                out.append(UNKNOWN_DIM)
+            continue
+        merged = dims[0]
+        for dim in dims[1:]:
+            if _dims_provably_differ(merged, dim):
+                return INCOMPATIBLE
+            merged = _join_dim(merged, dim)
+        out.append(merged)
+    return tuple(out)
+
+
+def promote_dtypes(a: str, b: str) -> str:
+    """Binary-arithmetic result dtype (coarse numpy promotion)."""
+    if a == UNKNOWN_DIM or b == UNKNOWN_DIM:
+        return UNKNOWN_DIM
+    if "float64" in (a, b):
+        return "float64"
+    if a in _FLOAT_DTYPES or b in _FLOAT_DTYPES:
+        # float32 survives only against float32/bool; against 32/64-bit
+        # ints numpy widens to float64
+        other = b if a in _FLOAT_DTYPES else a
+        return "float32" if other in ("float32", "bool") else "float64"
+    if a in _INT_DTYPES or b in _INT_DTYPES:
+        return "int64" if "int64" in (a, b) else "int32"
+    return "bool"
+
+
+# ---------------------------------------------------------------------------
+# expression evaluation
+# ---------------------------------------------------------------------------
+
+
+def _literal_dim(node: ast.AST) -> str:
+    """Abstract dim of one entry of a shape argument."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return str(node.value) if node.value >= 0 else UNKNOWN_DIM
+    if isinstance(node, ast.Name):
+        return node.id  # symbolic: provably equal only to itself
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return UNKNOWN_DIM  # reshape(-1, …) wildcards
+    return UNKNOWN_DIM
+
+
+def _shape_from_arg(node: ast.AST | None) -> tuple[str, ...] | None:
+    """Shape tuple from a constructor's shape argument
+    (``np.zeros((n, 3))``, ``np.zeros(5)``)."""
+    if node is None:
+        return None
+    if isinstance(node, (ast.Tuple, ast.List)):
+        return tuple(_literal_dim(element) for element in node.elts)
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return (str(node.value),)
+    if isinstance(node, ast.Name):
+        return (node.id,)
+    return None
+
+
+def _dims_from_args(args: list[ast.expr]) -> tuple[str, ...] | None:
+    """Shape from varargs-style dims (``x.reshape(n, 3)``) or a single
+    tuple argument (``x.reshape((n, 3))``)."""
+    if len(args) == 1:
+        return _shape_from_arg(args[0])
+    if not args:
+        return None
+    return tuple(_literal_dim(a) for a in args)
+
+
+def dtype_from_node(node: ast.AST | None) -> str:
+    """Abstract dtype named by a ``dtype=`` argument or cast target."""
+    if node is None:
+        return UNKNOWN_DIM
+    name: str | None = None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        name = node.value
+    elif isinstance(node, ast.Attribute):
+        name = node.attr  # np.float32
+    elif isinstance(node, ast.Name):
+        name = node.id  # bare float / int / float32 from-import
+    if name in ("float", "float_", "double"):
+        return "float64"
+    if name in ("int", "int_", "long"):
+        return "int64"
+    if name in _KNOWN_DTYPES:
+        return name
+    return UNKNOWN_DIM
+
+
+def _keyword(call: ast.Call, name: str) -> ast.AST | None:
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _axis_from(call: ast.Call, position: int) -> int | None:
+    node = _keyword(call, "axis")
+    if node is None and len(call.args) > position:
+        node = call.args[position]
+    if node is None:
+        return 0 if _keyword(call, "axis") is None else None
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return node.value
+    return None
+
+
+def _literal_array_shape(node: ast.AST) -> tuple[str, ...] | None:
+    """Shape of a rectangular nested list/tuple literal."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return ()  # a scalar leaf
+    child_shapes = {_literal_array_shape(e) for e in node.elts}
+    if len(child_shapes) != 1:
+        return None  # ragged or unknown: no provable shape
+    child = child_shapes.pop()
+    if child is None:
+        return None
+    return (str(len(node.elts)),) + child
+
+
+def _literal_array_dtype(node: ast.AST) -> str:
+    kinds: set[str] = set()
+    for leaf in ast.walk(node):
+        if isinstance(leaf, ast.Constant):
+            if isinstance(leaf.value, bool):
+                kinds.add("bool")
+            elif isinstance(leaf.value, int):
+                kinds.add("int64")
+            elif isinstance(leaf.value, float):
+                kinds.add("float64")
+            else:
+                return UNKNOWN_DIM
+        elif not isinstance(leaf, (ast.List, ast.Tuple, ast.UnaryOp,
+                                   ast.USub, ast.UAdd)):
+            return UNKNOWN_DIM
+    if "float64" in kinds:
+        return "float64"
+    if "int64" in kinds:
+        return "int64"
+    if kinds == {"bool"}:
+        return "bool"
+    return UNKNOWN_DIM
+
+
+#: Reductions: name -> dtype override ("" keeps the input dtype).
+_REDUCTIONS = {
+    "sum": "",
+    "prod": "",
+    "min": "",
+    "max": "",
+    "amin": "",
+    "amax": "",
+    "mean": "float",
+    "std": "float",
+    "var": "float",
+    "median": "float",
+    "all": "bool",
+    "any": "bool",
+    "argmin": "int64",
+    "argmax": "int64",
+}
+
+#: Elementwise unary numpy functions: name -> dtype override.
+_ELEMENTWISE = {
+    "abs": "",
+    "absolute": "",
+    "negative": "",
+    "clip": "",
+    "exp": "float",
+    "log": "float",
+    "log2": "float",
+    "log10": "float",
+    "sqrt": "float",
+    "sin": "float",
+    "cos": "float",
+    "tanh": "float",
+    "sign": "",
+    "floor": "float",
+    "ceil": "float",
+    "isnan": "bool",
+    "isfinite": "bool",
+}
+
+_CONSTRUCTORS = {"zeros", "ones", "empty", "full"}
+_LIKE_CONSTRUCTORS = {
+    "zeros_like", "ones_like", "empty_like", "full_like",
+}
+_PASSTHROUGH = {"asarray", "asanyarray", "ascontiguousarray", "copy",
+                "asfortranarray"}
+_STACKERS = {"stack", "vstack", "hstack", "column_stack", "row_stack"}
+
+
+class ShapeAnalysis(ValueTaint):
+    """Abstract interpretation of shapes/dtypes on the map lattice.
+
+    A variable's labels are encoded :class:`AbstractArray` values (its
+    *possible* shapes); ⊤ is the singleton :data:`TOP` (see the module
+    docstring).  ``callee_returns`` hooks
+    interprocedural knowledge in: given a call node it may return the
+    abstract values of the callee's return (from its function summary),
+    or ``None`` to fall back to the numpy transfer functions.
+    """
+
+    def __init__(
+        self,
+        entry: State | None = None,
+        callee_returns: Callable[
+            [ast.Call], Iterable[AbstractArray] | None
+        ] | None = None,
+    ) -> None:
+        super().__init__(entry=entry)
+        self._callee_returns = callee_returns
+
+    # -- expression semantics ----------------------------------------
+
+    def eval_expr(self, expr: ast.AST | None, state: State) -> ShapeState:
+        if expr is None:
+            return TOP
+        if isinstance(expr, ast.Constant):
+            return self._constant(expr)
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, TOP)
+        if isinstance(expr, ast.Call):
+            return self.eval_call(expr, state)
+        if isinstance(expr, ast.BinOp):
+            return self._binop(expr, state)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval_expr(expr.operand, state)
+        if isinstance(expr, ast.Compare):
+            return self._compare(expr, state)
+        if isinstance(expr, ast.Attribute):
+            if expr.attr == "T":
+                return _cap({
+                    AbstractArray(
+                        shape=None if v.shape is None
+                        else tuple(reversed(v.shape)),
+                        dtype=v.dtype,
+                    )
+                    for v in self._decode(
+                        self.eval_expr(expr.value, state)
+                    )
+                })
+            return TOP
+        if isinstance(expr, ast.IfExp):
+            return _cap_labels(
+                self.eval_expr(expr.body, state)
+                | self.eval_expr(expr.orelse, state)
+            )
+        if isinstance(expr, ast.NamedExpr):
+            return self.eval_expr(expr.value, state)
+        if isinstance(expr, (ast.List, ast.Tuple)):
+            return TOP  # containers are not arrays until np.array(...)
+        return TOP
+
+    def eval_call(self, call: ast.Call, state: State) -> ShapeState:
+        if self._callee_returns is not None:
+            summary = self._callee_returns(call)
+            if summary is not None:
+                return _cap(set(summary))
+        values = _numpy_call(self, call, state)
+        return _cap(values) if values is not None else TOP
+
+    # -- statement semantics -----------------------------------------
+
+    def transfer(self, item: ast.AST, state: State) -> None:
+        # iterating an array yields its rows, not the array itself
+        if isinstance(item, (ast.For, ast.AsyncFor)):
+            element = self._element_labels(
+                self.eval_expr(item.iter, state)
+            )
+            super().transfer(item, state)
+            for name in _loop_target_names(item.target):
+                state[name] = element
+            return
+        # x += v is the binop, not the union of both operands' shapes
+        if isinstance(item, ast.AugAssign) and isinstance(
+            item.target, ast.Name
+        ):
+            state[item.target.id] = self._combine(
+                item.op,
+                state.get(item.target.id, TOP),
+                self.eval_expr(item.value, state),
+            )
+            return
+        super().transfer(item, state)
+
+    def _element_labels(self, labels: ShapeState) -> ShapeState:
+        out: set[AbstractArray] = set()
+        for value in self._decode(labels):
+            if value.shape is None or len(value.shape) == 0:
+                return TOP
+            out.add(AbstractArray(value.shape[1:], value.dtype))
+        return _cap(out)
+
+    # -- helpers -----------------------------------------------------
+
+    def _decode(self, labels: ShapeState) -> set[AbstractArray]:
+        return {decode(label) for label in labels}
+
+    def _constant(self, node: ast.Constant) -> ShapeState:
+        if isinstance(node.value, bool):
+            return frozenset({encode(AbstractArray((), "bool"))})
+        if isinstance(node.value, int):
+            return frozenset({encode(AbstractArray((), "int64"))})
+        if isinstance(node.value, float):
+            return frozenset({encode(AbstractArray((), "float64"))})
+        return TOP
+
+    def _binop(self, expr: ast.BinOp, state: State) -> ShapeState:
+        return self._combine(
+            expr.op,
+            self.eval_expr(expr.left, state),
+            self.eval_expr(expr.right, state),
+        )
+
+    def _combine(
+        self, op: ast.operator, left: ShapeState, right: ShapeState
+    ) -> ShapeState:
+        left_values = self._decode(left)
+        right_values = self._decode(right)
+        if not left_values or not right_values:
+            return TOP
+        out: set[AbstractArray] = set()
+        for a in left_values:
+            for b in right_values:
+                result = binop_result(op, a, b)
+                if result is None:
+                    return TOP
+                if result is not INCOMPATIBLE:
+                    out.add(result)
+        return _cap(out)
+
+    def _compare(self, expr: ast.Compare, state: State) -> ShapeState:
+        if len(expr.comparators) != 1:
+            return TOP
+        left = self._decode(self.eval_expr(expr.left, state))
+        right = self._decode(
+            self.eval_expr(expr.comparators[0], state)
+        )
+        if not left or not right:
+            return TOP
+        out: set[AbstractArray] = set()
+        for a in left:
+            for b in right:
+                shape = broadcast_shapes(a.shape, b.shape)
+                if shape is INCOMPATIBLE:
+                    continue
+                out.add(AbstractArray(shape=shape, dtype="bool"))
+        return _cap(out)
+
+
+def binop_result(
+    op: ast.operator, a: AbstractArray, b: AbstractArray
+) -> AbstractArray | None | str:
+    """Abstract result of ``a <op> b`` (INCOMPATIBLE on provable
+    broadcast/matmul conflicts, ``None`` when nothing is known)."""
+    if isinstance(op, ast.MatMult):
+        shape = matmul_shapes(a.shape, b.shape)
+        if shape is INCOMPATIBLE:
+            return INCOMPATIBLE
+        return AbstractArray(
+            shape=shape, dtype=promote_dtypes(a.dtype, b.dtype)
+        )
+    if isinstance(
+        op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+             ast.Mod, ast.Pow)
+    ):
+        shape = broadcast_shapes(a.shape, b.shape)
+        if shape is INCOMPATIBLE:
+            return INCOMPATIBLE
+        if isinstance(op, ast.Div):
+            # true division never yields ints: int/int -> float64
+            dtype = promote_dtypes(a.dtype, b.dtype)
+            if dtype in _INT_DTYPES or dtype == "bool":
+                dtype = "float64"
+            elif dtype == UNKNOWN_DIM:
+                dtype = UNKNOWN_DIM
+            return AbstractArray(shape=shape, dtype=dtype)
+        return AbstractArray(
+            shape=shape, dtype=promote_dtypes(a.dtype, b.dtype)
+        )
+    return None
+
+
+def _float_of(dtype: str) -> str:
+    """The float dtype a ``mean``-style reduction yields."""
+    if dtype == "float32":
+        return "float32"
+    if dtype == UNKNOWN_DIM:
+        return UNKNOWN_DIM
+    return "float64"
+
+
+def _reduce_shape(
+    value: AbstractArray, call: ast.Call
+) -> tuple[str, ...] | None:
+    axis_node = _keyword(call, "axis")
+    keepdims = _keyword(call, "keepdims")
+    keep = (
+        isinstance(keepdims, ast.Constant) and keepdims.value is True
+    )
+    if axis_node is None:
+        return ("1",) * len(value.shape) if keep and value.shape else ()
+    if value.shape is None:
+        return None
+    if isinstance(axis_node, ast.Constant) and isinstance(
+        axis_node.value, int
+    ):
+        axis = axis_node.value
+        rank = len(value.shape)
+        if not -rank <= axis < rank:
+            return None
+        axis %= rank
+        if keep:
+            return tuple(
+                "1" if i == axis else dim
+                for i, dim in enumerate(value.shape)
+            )
+        return tuple(
+            dim for i, dim in enumerate(value.shape) if i != axis
+        )
+    return None
+
+
+def _numpy_call(
+    analysis: ShapeAnalysis, call: ast.Call, state: State
+) -> set[AbstractArray] | None:
+    """Transfer function for a numpy-style call; ``None`` = unknown."""
+    func = call.func
+    name: str | None = None
+    receiver: ast.AST | None = None
+    if isinstance(func, ast.Attribute):
+        name = func.attr
+        receiver = func.value
+    elif isinstance(func, ast.Name):
+        name = func.id
+    if name is None:
+        return None
+
+    def arg_values(node: ast.AST) -> set[AbstractArray]:
+        return analysis._decode(analysis.eval_expr(node, state))
+
+    # -- constructors ------------------------------------------------
+    if name in _CONSTRUCTORS:
+        shape = _shape_from_arg(call.args[0] if call.args else None)
+        dtype = dtype_from_node(_keyword(call, "dtype"))
+        if dtype == UNKNOWN_DIM:
+            if name == "full" and len(call.args) > 1:
+                fills = {
+                    v.dtype for v in arg_values(call.args[1])
+                }
+                dtype = fills.pop() if len(fills) == 1 else UNKNOWN_DIM
+            else:
+                dtype = "float64"  # the numpy default
+        return {AbstractArray(shape=shape, dtype=dtype)}
+    if name in _LIKE_CONSTRUCTORS and call.args:
+        dtype_override = dtype_from_node(_keyword(call, "dtype"))
+        return {
+            AbstractArray(
+                shape=v.shape,
+                dtype=(
+                    dtype_override
+                    if dtype_override != UNKNOWN_DIM
+                    else v.dtype
+                ),
+            )
+            for v in arg_values(call.args[0])
+        } or None
+    if name == "eye" and call.args:
+        dim = _literal_dim(call.args[0])
+        dtype = dtype_from_node(_keyword(call, "dtype"))
+        return {
+            AbstractArray(
+                shape=(dim, dim),
+                dtype="float64" if dtype == UNKNOWN_DIM else dtype,
+            )
+        }
+    if name == "arange":
+        dtype = "int64"
+        for node in list(call.args) + [
+            kw.value for kw in call.keywords
+        ]:
+            if isinstance(node, ast.Constant) and isinstance(
+                node.value, float
+            ):
+                dtype = "float64"
+        if len(call.args) == 1 and isinstance(
+            call.args[0], ast.Constant
+        ) and isinstance(call.args[0].value, int):
+            return {
+                AbstractArray((str(call.args[0].value),), dtype)
+            }
+        return {AbstractArray((UNKNOWN_DIM,), dtype)}
+    if name == "linspace":
+        num = _keyword(call, "num")
+        if num is None and len(call.args) > 2:
+            num = call.args[2]
+        dim = _literal_dim(num) if num is not None else "50"
+        return {AbstractArray((dim,), "float64")}
+    if name == "array" and call.args:
+        shape = _literal_array_shape(call.args[0])
+        dtype = dtype_from_node(_keyword(call, "dtype"))
+        if shape == ():  # not a literal list: adopt the operand
+            inner = arg_values(call.args[0])
+            if inner:
+                return {
+                    AbstractArray(
+                        shape=v.shape,
+                        dtype=(
+                            dtype if dtype != UNKNOWN_DIM else v.dtype
+                        ),
+                    )
+                    for v in inner
+                }
+            return None
+        if dtype == UNKNOWN_DIM:
+            dtype = _literal_array_dtype(call.args[0])
+        return {AbstractArray(shape=shape, dtype=dtype)}
+    if name in _PASSTHROUGH and (call.args or receiver is not None):
+        source = call.args[0] if call.args else receiver
+        values = arg_values(source)
+        return values or None
+
+    # -- linear algebra ----------------------------------------------
+    if name in ("matmul", "dot") and len(call.args) >= 2:
+        out: set[AbstractArray] = set()
+        for a in arg_values(call.args[0]):
+            for b in arg_values(call.args[1]):
+                result = binop_result(ast.MatMult(), a, b)
+                if result is not None and result is not INCOMPATIBLE:
+                    out.add(result)
+        return out or None
+    if name == "outer" and len(call.args) >= 2:
+        return {
+            AbstractArray((UNKNOWN_DIM, UNKNOWN_DIM), UNKNOWN_DIM)
+        }
+
+    # -- shape manipulation ------------------------------------------
+    if name == "reshape":
+        if receiver is not None and not call.args:
+            return None
+        if receiver is not None and not _looks_like_module(receiver):
+            shape = _dims_from_args(list(call.args))
+            dtypes = {v.dtype for v in arg_values(receiver)}
+            dtype = dtypes.pop() if len(dtypes) == 1 else UNKNOWN_DIM
+            return {AbstractArray(shape=shape, dtype=dtype)}
+        if len(call.args) >= 2:  # np.reshape(x, shape)
+            shape = _shape_from_arg(call.args[1])
+            dtypes = {v.dtype for v in arg_values(call.args[0])}
+            dtype = dtypes.pop() if len(dtypes) == 1 else UNKNOWN_DIM
+            return {AbstractArray(shape=shape, dtype=dtype)}
+        return None
+    if name in ("ravel", "flatten"):
+        source = (
+            receiver
+            if receiver is not None and not _looks_like_module(receiver)
+            else (call.args[0] if call.args else None)
+        )
+        if source is None:
+            return None
+        out = set()
+        for v in arg_values(source):
+            if v.shape is not None and all(
+                _is_literal(d) for d in v.shape
+            ):
+                size = 1
+                for d in v.shape:
+                    size *= int(d)
+                out.add(AbstractArray((str(size),), v.dtype))
+            else:
+                out.add(AbstractArray((UNKNOWN_DIM,), v.dtype))
+        return out or None
+    if name == "transpose":
+        source = (
+            receiver
+            if receiver is not None and not _looks_like_module(receiver)
+            else (call.args[0] if call.args else None)
+        )
+        if source is None:
+            return None
+        has_axes = bool(
+            (receiver is None or _looks_like_module(receiver))
+            and len(call.args) > 1
+        ) or bool(
+            receiver is not None
+            and not _looks_like_module(receiver)
+            and call.args
+        )
+        out = set()
+        for v in arg_values(source):
+            if v.shape is None or has_axes:
+                out.add(AbstractArray(None, v.dtype))
+            else:
+                out.add(
+                    AbstractArray(tuple(reversed(v.shape)), v.dtype)
+                )
+        return out or None
+    if name == "expand_dims" and call.args:
+        return None  # rank changes at a dynamic axis: stay ⊤
+    if name == "squeeze":
+        return None
+
+    # -- joining -----------------------------------------------------
+    if name == "concatenate" and call.args:
+        parts = call.args[0]
+        if not isinstance(parts, (ast.Tuple, ast.List)):
+            return None
+        axis = _axis_from(call, 1)
+        options: list[set[AbstractArray]] = [
+            arg_values(p) for p in parts.elts
+        ]
+        if any(not opts for opts in options):
+            return None
+        out = set()
+        for combo in _combinations(options):
+            shape = concat_shapes([v.shape for v in combo], axis)
+            if shape is INCOMPATIBLE:
+                continue
+            dtype = combo[0].dtype
+            for v in combo[1:]:
+                dtype = promote_dtypes(dtype, v.dtype)
+            out.add(
+                AbstractArray(
+                    shape=None if shape is None else tuple(shape),
+                    dtype=dtype,
+                )
+            )
+        return out or None
+    if name in _STACKERS:
+        return None  # rank growth is rarely load-bearing: stay ⊤
+
+    # -- reductions and elementwise ----------------------------------
+    if name in _REDUCTIONS:
+        source = (
+            receiver
+            if receiver is not None and not _looks_like_module(receiver)
+            else (call.args[0] if call.args else None)
+        )
+        if source is None:
+            return None
+        override = _REDUCTIONS[name]
+        out = set()
+        for v in arg_values(source):
+            shape = _reduce_shape(v, call)
+            if override == "float":
+                dtype = _float_of(v.dtype)
+            elif override:
+                dtype = override
+            else:
+                dtype = v.dtype
+            out.add(AbstractArray(shape=shape, dtype=dtype))
+        return out or None
+    if name in _ELEMENTWISE:
+        source = (
+            receiver
+            if receiver is not None and not _looks_like_module(receiver)
+            else (call.args[0] if call.args else None)
+        )
+        if source is None:
+            return None
+        override = _ELEMENTWISE[name]
+        out = set()
+        for v in arg_values(source):
+            if override == "float":
+                dtype = _float_of(v.dtype)
+            elif override:
+                dtype = override
+            else:
+                dtype = v.dtype
+            out.add(AbstractArray(shape=v.shape, dtype=dtype))
+        return out or None
+    if name == "where" and len(call.args) == 3:
+        out = set()
+        for a in arg_values(call.args[1]):
+            for b in arg_values(call.args[2]):
+                shape = broadcast_shapes(a.shape, b.shape)
+                if shape is INCOMPATIBLE:
+                    continue
+                out.add(
+                    AbstractArray(
+                        shape=None if shape is None else tuple(shape),
+                        dtype=promote_dtypes(a.dtype, b.dtype),
+                    )
+                )
+        return out or None
+
+    # -- casts -------------------------------------------------------
+    if name == "astype" and receiver is not None and call.args:
+        dtype = dtype_from_node(call.args[0])
+        return {
+            AbstractArray(shape=v.shape, dtype=dtype)
+            for v in arg_values(receiver)
+        } or {AbstractArray(shape=None, dtype=dtype)}
+    if name in ("float32", "float64", "int32", "int64") and call.args:
+        values = arg_values(call.args[0])
+        return {
+            AbstractArray(shape=v.shape, dtype=name) for v in values
+        } or {AbstractArray(shape=None, dtype=name)}
+
+    return None
+
+
+def _looks_like_module(node: ast.AST) -> bool:
+    """Heuristic: ``np.x(...)`` / ``numpy.x(...)`` receiver vs an array
+    method receiver — module aliases are plain names used only as
+    qualifiers, and the corpus convention is ``np``/``numpy``."""
+    return isinstance(node, ast.Name) and node.id in ("np", "numpy")
+
+
+def _combinations(
+    options: list[set[AbstractArray]],
+) -> list[tuple[AbstractArray, ...]]:
+    """Cartesian product with a hard cap (abstract sets are tiny)."""
+    combos: list[tuple[AbstractArray, ...]] = [()]
+    for opts in options:
+        combos = [
+            combo + (value,)
+            for combo in combos
+            for value in sorted(opts, key=encode)
+        ]
+        if len(combos) > 16:
+            return combos[:16]
+    return combos
+
+
+def _loop_target_names(target: ast.AST) -> list[str]:
+    """Plain names a ``for`` target binds (tuple targets recursed)."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Starred):
+        return _loop_target_names(target.value)
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_loop_target_names(element))
+        return names
+    return []
+
+
+def _cap(values: set[AbstractArray]) -> ShapeState:
+    if not values or len(values) > _MAX_VALUES:
+        return TOP
+    return frozenset(encode(v) for v in values)
+
+
+def _cap_labels(labels: frozenset[str]) -> ShapeState:
+    if len(labels) > _MAX_VALUES:
+        return TOP
+    return labels

@@ -1,0 +1,27 @@
+"""Clean fixture for XDB014: symbolic dims, compatible literals and
+unresolved calls all block the incompatibility proof."""
+
+import numpy as np
+
+__all__ = ["make_basis", "project", "symbolic", "unresolved"]
+
+
+def make_basis():
+    return np.ones((3, 5))  # inner dims agree with the caller's lhs
+
+
+def project():
+    basis = make_basis()
+    lhs = np.zeros((4, 3))
+    return lhs @ basis  # (4, 3) @ (3, 5): provably fine
+
+
+def symbolic(n):
+    a = np.zeros((n, 3))
+    b = np.ones((3, n))
+    return a @ b  # symbolic dims are compatible with everything
+
+
+def unresolved(loader):
+    a = loader.fetch()  # unknown callee: ⊤, never provable
+    return a @ np.ones((7, 2))

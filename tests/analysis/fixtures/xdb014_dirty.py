@@ -1,0 +1,22 @@
+"""Dirty fixture for XDB014: provably incompatible shapes, with one
+operand's shape resolved through a helper's function summary."""
+
+import numpy as np
+
+__all__ = ["make_basis", "project", "bad_concat"]
+
+
+def make_basis():
+    return np.ones((4, 5))  # summary exports float64[4,5]
+
+
+def project():
+    basis = make_basis()  # shape crosses the call boundary
+    lhs = np.zeros((3, 3))
+    return lhs @ basis  # finding 1: (3, 3) @ (4, 5) can never multiply
+
+
+def bad_concat():
+    a = np.zeros((2, 3))
+    b = make_basis()  # (4, 5): no non-axis dim agrees with (2, 3)
+    return np.concatenate([a, b], axis=0)  # finding 2

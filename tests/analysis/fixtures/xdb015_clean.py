@@ -1,0 +1,22 @@
+"""Clean fixture for XDB015: narrowing that never reaches the return,
+and float arithmetic end-to-end, stay silent."""
+
+import numpy as np
+
+__all__ = ["scores_for", "Explainer"]
+
+
+def scores_for(X):
+    return np.zeros((8,), dtype=np.float64)
+
+
+class Explainer:
+    def explain(self, X):
+        att = scores_for(X)
+        preview = att.astype(np.float32)  # narrowed copy is local
+        self.preview_ = preview  # ... and stored, not returned
+        return att  # the full-precision values are what escapes
+
+    def explain_scaled(self, X):
+        att = scores_for(X)
+        return att / 2.0  # float64 / float: no degradation

@@ -1,0 +1,27 @@
+"""Dirty fixture for XDB015: float64 attribution values degraded on
+their way to an explain* return, across a call boundary."""
+
+import numpy as np
+
+__all__ = ["scores_for", "counts_for", "Explainer"]
+
+
+def scores_for(X):
+    return np.zeros((8,), dtype=np.float64)  # summary: float64[8]
+
+
+def counts_for(X):
+    return np.ones((8,), dtype=np.int64)  # summary: int64[8]
+
+
+class Explainer:
+    def explain(self, X):
+        att = scores_for(X)
+        att = att.astype(np.float32)  # finding 1: narrows float64
+        return att
+
+    def explain_ratio(self, X):
+        hits = counts_for(X)
+        total = counts_for(X)
+        ratio = hits / total  # finding 2: int/int true division
+        return ratio

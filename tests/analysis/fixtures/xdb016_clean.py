@@ -1,0 +1,19 @@
+"""Clean fixture for XDB016: helpers that thread the caller's seed (or
+return a caller-derived generator) carry no literal-seed taint."""
+
+import numpy as np
+
+__all__ = ["make_rng", "wrap_rng", "perturb"]
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)  # caller-derived entropy
+
+
+def wrap_rng(seed):
+    return make_rng(seed)
+
+
+def perturb(X, seed):
+    rng = wrap_rng(seed)  # the seed threads through the whole chain
+    return X + rng.normal(size=X.shape)

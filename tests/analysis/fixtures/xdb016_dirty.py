@@ -1,0 +1,25 @@
+"""Dirty fixture for XDB016: a literal-seeded generator built two call
+levels down reaches stochastic sinks in the caller (XDB010 cannot see
+across the boundaries; the summaries can)."""
+
+import numpy as np
+
+__all__ = ["make_rng", "wrap_rng", "perturb", "pick"]
+
+
+def make_rng():
+    return np.random.default_rng(1234)  # literal seed, depth 0
+
+
+def wrap_rng():
+    return make_rng()  # escapes again: depth 1 for callers
+
+
+def perturb(X):
+    rng = wrap_rng()  # depth 2 in this frame
+    return X + rng.normal(size=X.shape)  # finding 1
+
+
+def pick(items):
+    rng = wrap_rng()
+    return rng.choice(items)  # finding 2

@@ -1,0 +1,32 @@
+"""Clean fixture for XDB017: pure helpers, defensive copies at the
+boundary, and mutation of locally-owned buffers stay silent."""
+
+import numpy as np
+
+__all__ = ["normalise_inplace", "normalise", "head_view", "Explainer"]
+
+
+def normalise_inplace(arr):
+    arr[:] = arr / arr.sum()
+
+
+def normalise(arr):
+    return arr / arr.sum()  # pure: fresh storage
+
+
+def head_view(x):
+    return x[:2]
+
+
+class Explainer:
+    def explain(self, X):
+        work = np.array(X)  # copy first: the helper owns 'work'
+        normalise_inplace(work)
+        return np.abs(work)
+
+    def explain_pure(self, X):
+        return normalise(X)  # pure helper, fresh storage out
+
+    def explain_head(self, X):
+        top = head_view(X)
+        return top.copy()  # copy at the boundary

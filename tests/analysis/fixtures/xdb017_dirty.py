@@ -1,0 +1,25 @@
+"""Dirty fixture for XDB017: an explain method hands a caller-owned
+array to a helper that mutates it, and returns a helper's view of one
+(XDB003/XDB011 cannot see either; the summaries can)."""
+
+import numpy as np
+
+__all__ = ["normalise_inplace", "head_view", "Explainer"]
+
+
+def normalise_inplace(arr):
+    arr[:] = arr / arr.sum()  # summary: mutates 'arr'
+
+
+def head_view(x):
+    return x[:2]  # summary: returns a view of 'x'
+
+
+class Explainer:
+    def explain(self, X):
+        normalise_inplace(X)  # finding 1: caller's buffer rewritten
+        return np.abs(X) * 1.0
+
+    def explain_head(self, X):
+        top = head_view(X)
+        return top  # finding 2: helper's view of X escapes

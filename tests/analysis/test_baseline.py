@@ -1,0 +1,114 @@
+"""SARIF-baseline diffing: count-consuming key matching, error
+handling, and the write-then-gate CLI round trip."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from xaidb.analysis.baseline import (
+    BaselineError,
+    apply_baseline,
+    baseline_key,
+    load_baseline,
+    partition_findings,
+)
+from xaidb.analysis.cli import main
+from xaidb.analysis.findings import Finding, LintResult
+from xaidb.analysis.reporters import render_sarif
+
+
+def _finding(line=3, message="mutable default", path="src/xaidb/m.py"):
+    return Finding(
+        path=path,
+        line=line,
+        col=0,
+        rule_id="XDB007",
+        symbol="mutable-default",
+        message=message,
+    )
+
+
+def test_round_trip_through_sarif_ignores_line_numbers(tmp_path):
+    baseline_file = tmp_path / "baseline.sarif"
+    baseline_file.write_text(
+        render_sarif(LintResult(findings=[_finding(line=3)]))
+    )
+    baseline = load_baseline(baseline_file)
+    assert baseline == {baseline_key(_finding(line=3)): 1}
+    # the finding moved 40 lines: still the same baselined finding
+    new, known = partition_findings([_finding(line=43)], baseline)
+    assert not new
+    assert len(known) == 1
+
+
+def test_identical_findings_match_by_count():
+    duplicated = [_finding(line=3), _finding(line=9), _finding(line=12)]
+    tolerated = Counter({baseline_key(_finding()): 2})
+    new, known = partition_findings(duplicated, tolerated)
+    # two baselined occurrences tolerate exactly two; the third is new
+    assert len(known) == 2
+    assert len(new) == 1
+
+
+def test_apply_baseline_keeps_stats_and_suppressions():
+    result = LintResult(
+        findings=[_finding(), _finding(message="other")],
+        files_scanned=7,
+        suppressed=[_finding(message="hushed")],
+    )
+    filtered, matched = apply_baseline(
+        result, Counter({baseline_key(_finding()): 1})
+    )
+    assert matched == 1
+    assert [f.message for f in filtered.findings] == ["other"]
+    assert filtered.files_scanned == 7
+    assert filtered.suppressed is result.suppressed
+    assert filtered.stats is result.stats
+
+
+def test_missing_and_malformed_baselines_raise(tmp_path):
+    with pytest.raises(BaselineError, match="cannot read"):
+        load_baseline(tmp_path / "absent.sarif")
+    bad_json = tmp_path / "bad.sarif"
+    bad_json.write_text("{not json")
+    with pytest.raises(BaselineError, match="not valid JSON"):
+        load_baseline(bad_json)
+    not_sarif = tmp_path / "plain.json"
+    not_sarif.write_text(json.dumps({"findings": []}))
+    with pytest.raises(BaselineError, match="not a SARIF results"):
+        load_baseline(not_sarif)
+
+
+DIRTY = "def f(a, bucket=[]):\n    return bucket + [a]\n"
+
+
+def test_cli_write_then_gate_round_trip(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text(DIRTY)
+
+    assert main(["mod.py", "--no-cache"]) == 1  # the debt gates
+    assert main(["mod.py", "--no-cache", "--write-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline of 1 finding(s) written" in out
+
+    # with the snapshot in place the same debt is tolerated...
+    assert main(["mod.py", "--no-cache", "--baseline"]) == 0
+    assert "1 finding(s) matched, 0 new" in capsys.readouterr().out
+
+    # ...but a newly introduced violation still gates
+    (tmp_path / "mod.py").write_text(
+        DIRTY + "\ndef g(a, pool={}):\n    return pool\n"
+    )
+    assert main(["mod.py", "--no-cache", "--baseline"]) == 1
+    assert "1 finding(s) matched, 1 new" in capsys.readouterr().out
+
+
+def test_cli_rejects_a_missing_baseline_file(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text("VALUE = 1\n")
+    with pytest.raises(SystemExit) as excinfo:
+        main(["mod.py", "--no-cache", "--baseline", "absent.sarif"])
+    assert excinfo.value.code == 2  # usage error, not a vacuous pass

@@ -1,0 +1,231 @@
+"""Call-graph construction edge cases: recursion SCCs, subclass
+dispatch, import aliasing, and the unresolved-call ⊤ contract."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from xaidb.analysis.callgraph import (
+    build_call_graph,
+    dotted_name,
+    strongly_connected_components,
+)
+from xaidb.analysis.registry import FileContext
+
+
+def _ctx(module: str, source: str) -> FileContext:
+    relpath = "src/" + module.replace(".", "/") + ".py"
+    return FileContext(
+        path=Path(relpath),
+        relpath=relpath,
+        source=source,
+        tree=ast.parse(source),
+        in_xaidb_package=module.split(".", 1)[0] == "xaidb",
+        module_name=module,
+    )
+
+
+def _graph(modules: dict[str, str]):
+    return build_call_graph(
+        [_ctx(name, source) for name, source in modules.items()]
+    )
+
+
+def _calls_in(graph, qualname: str) -> list[ast.Call]:
+    fn = graph.functions[qualname].node
+    return sorted(
+        (n for n in ast.walk(fn) if isinstance(n, ast.Call)),
+        key=lambda c: (c.lineno, c.col_offset),
+    )
+
+
+def test_same_module_direct_call_edge():
+    graph = _graph(
+        {
+            "xaidb.mod": (
+                "def helper(x):\n"
+                "    return x\n"
+                "\n"
+                "def caller(x):\n"
+                "    return helper(x)\n"
+            )
+        }
+    )
+    assert graph.edges["xaidb.mod.caller"] == {"xaidb.mod.helper"}
+    (call,) = _calls_in(graph, "xaidb.mod.caller")
+    assert graph.resolve_call(call) == ("xaidb.mod.helper",)
+    assert not graph.callsites[id(call)].binds_receiver
+
+
+def test_mutual_recursion_is_one_scc_emitted_before_its_callers():
+    graph = _graph(
+        {
+            "xaidb.rec": (
+                "def even(n):\n"
+                "    return True if n == 0 else odd(n - 1)\n"
+                "\n"
+                "def odd(n):\n"
+                "    return False if n == 0 else even(n - 1)\n"
+                "\n"
+                "def driver(n):\n"
+                "    return even(n)\n"
+            )
+        }
+    )
+    sccs = strongly_connected_components(graph)
+    cycle = next(scc for scc in sccs if len(scc) > 1)
+    assert cycle == ["xaidb.rec.even", "xaidb.rec.odd"]
+    # callees before callers: the cycle must precede the driver's SCC
+    assert sccs.index(cycle) < sccs.index(["xaidb.rec.driver"])
+
+
+def test_self_dispatch_includes_transitive_subclass_overrides():
+    graph = _graph(
+        {
+            "xaidb.base": (
+                "class Base:\n"
+                "    def run(self, x):\n"
+                "        return self._impl(x)\n"
+                "\n"
+                "    def _impl(self, x):\n"
+                "        return x\n"
+            ),
+            "xaidb.sub": (
+                "from xaidb.base import Base\n"
+                "\n"
+                "class Child(Base):\n"
+                "    def _impl(self, x):\n"
+                "        return x + 1\n"
+            ),
+        }
+    )
+    (call,) = _calls_in(graph, "xaidb.base.Base.run")
+    site = graph.callsites[id(call)]
+    # self may be any subtype: both bodies are candidates
+    assert set(site.candidates) == {
+        "xaidb.base.Base._impl",
+        "xaidb.sub.Child._impl",
+    }
+    assert site.binds_receiver
+
+
+def test_inherited_method_resolves_to_nearest_base_definition():
+    graph = _graph(
+        {
+            "xaidb.base": (
+                "class Base:\n"
+                "    def run(self, x):\n"
+                "        return x\n"
+            ),
+            "xaidb.sub": (
+                "from xaidb.base import Base\n"
+                "\n"
+                "class Child(Base):\n"
+                "    pass\n"
+            ),
+        }
+    )
+    assert graph.method_resolution("xaidb.sub.Child", "run") == [
+        "xaidb.base.Base.run"
+    ]
+
+
+def test_aliased_from_import_resolves_cross_module():
+    graph = _graph(
+        {
+            "xaidb.helpers": "def norm(x):\n    return x\n",
+            "xaidb.user": (
+                "from xaidb.helpers import norm as n\n"
+                "\n"
+                "def caller(x):\n"
+                "    return n(x)\n"
+            ),
+        }
+    )
+    assert graph.edges["xaidb.user.caller"] == {"xaidb.helpers.norm"}
+
+
+def test_aliased_module_import_resolves_qualified_call():
+    graph = _graph(
+        {
+            "xaidb.helpers": "def norm(x):\n    return x\n",
+            "xaidb.user": (
+                "import xaidb.helpers as h\n"
+                "\n"
+                "def caller(x):\n"
+                "    return h.norm(x)\n"
+            ),
+        }
+    )
+    assert graph.edges["xaidb.user.caller"] == {"xaidb.helpers.norm"}
+
+
+def test_relative_import_resolves_against_the_package():
+    graph = _graph(
+        {
+            "xaidb.pkg.helpers": "def norm(x):\n    return x\n",
+            "xaidb.pkg.user": (
+                "from .helpers import norm\n"
+                "\n"
+                "def caller(x):\n"
+                "    return norm(x)\n"
+            ),
+        }
+    )
+    assert graph.edges["xaidb.pkg.user.caller"] == {
+        "xaidb.pkg.helpers.norm"
+    }
+
+
+def test_constructor_call_resolves_to_init():
+    graph = _graph(
+        {
+            "xaidb.w": (
+                "class Widget:\n"
+                "    def __init__(self, x):\n"
+                "        self.x = x\n"
+                "\n"
+                "def make(x):\n"
+                "    return Widget(x)\n"
+            )
+        }
+    )
+    assert graph.edges["xaidb.w.make"] == {"xaidb.w.Widget.__init__"}
+
+
+def test_unresolvable_dynamic_calls_have_no_candidates():
+    graph = _graph(
+        {
+            "xaidb.dyn": (
+                "def caller(fns, x):\n"
+                "    fn = fns[0]\n"
+                "    y = fn(x)\n"
+                '    z = getattr(x, "transform")(y)\n'
+                "    return (lambda v: v)(z)\n"
+            )
+        }
+    )
+    calls = _calls_in(graph, "xaidb.dyn.caller")
+    assert calls  # the walk found the dynamic call expressions
+    for call in calls:
+        # ⊤: no candidates, so summary consumers claim nothing
+        assert graph.resolve_call(call) == ()
+    assert graph.edges["xaidb.dyn.caller"] == set()
+
+
+def test_functions_of_lists_a_files_functions_in_source_order():
+    ctx = _ctx(
+        "xaidb.order",
+        "def b():\n    return 1\n\ndef a():\n    return 2\n",
+    )
+    graph = build_call_graph([ctx])
+    assert [f.qualname for f in graph.functions_of(ctx)] == [
+        "xaidb.order.b",
+        "xaidb.order.a",
+    ]
+
+
+def test_dotted_name_handles_chains_and_rejects_interruptions():
+    assert dotted_name(ast.parse("a.b.c", mode="eval").body) == "a.b.c"
+    assert dotted_name(ast.parse("f().g", mode="eval").body) is None

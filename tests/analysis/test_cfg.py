@@ -225,3 +225,109 @@ def test_build_cfg_accepts_module_body():
     entry = cfg.block(cfg.entry)
     assert len(entry.items) == 2
     assert entry.succs == {cfg.exit}
+
+
+def test_finally_after_return_is_reachable():
+    """Regression: `try: return x finally: cleanup()` — the finally body
+    runs after the return, so it must be reachable from the return block
+    (it used to be an orphan block with no predecessors)."""
+    cfg = _cfg(
+        """
+        def f(p):
+            handle = open(p)
+            try:
+                return handle.read()
+            finally:
+                handle.close()
+        """
+    )
+    ret = _block_with(cfg, ast.Return)
+    fin = _block_with(cfg, ast.Expr)
+    reachable_ids = {block.id for block in cfg.reachable()}
+    assert fin.id in reachable_ids
+    assert fin.id in ret.succs
+    # the finally still flows to the function exit, not onward
+    assert cfg.exit in fin.succs
+
+
+def test_finally_after_raise_is_reachable():
+    cfg = _cfg(
+        """
+        def f(p):
+            try:
+                raise ValueError(p)
+            finally:
+                p.close()
+        """
+    )
+    rais = _block_with(cfg, ast.Raise)
+    fin = _block_with(cfg, ast.Expr)
+    assert fin.id in rais.succs
+    assert fin.id in {block.id for block in cfg.reachable()}
+
+
+def test_finally_on_normal_path_still_falls_through():
+    """A try body that completes normally keeps flowing through the
+    finally into the statement after the try."""
+    cfg = _cfg(
+        """
+        def f(p):
+            try:
+                x = p + 1
+            finally:
+                log = 1
+            return x
+        """
+    )
+    ret = _block_with(cfg, ast.Return)
+    reachable_ids = {block.id for block in cfg.reachable()}
+    assert ret.id in reachable_ids
+    fin_assigns = [
+        block
+        for block in cfg
+        if any(
+            isinstance(item, ast.Assign)
+            and isinstance(item.targets[0], ast.Name)
+            and item.targets[0].id == "log"
+            for item in block.items
+        )
+    ]
+    assert len(fin_assigns) == 1
+    assert fin_assigns[0].id in reachable_ids
+
+
+def test_break_inside_try_finally_crosses_the_finally():
+    """`for: try: break finally: ...` — the break runs the finally on
+    its way out of the loop, so the finally must be a successor."""
+    cfg = _cfg(
+        """
+        def f(items):
+            for item in items:
+                try:
+                    break
+                finally:
+                    item.close()
+        """
+    )
+    brk = _block_with(cfg, ast.Break)
+    fin = _block_with(cfg, ast.Expr)
+    assert fin.id in brk.succs
+    assert fin.id in {block.id for block in cfg.reachable()}
+
+
+def test_break_outside_inner_try_does_not_run_outer_finally():
+    """A loop *inside* a try/finally: break leaves only the loop, it
+    does not cross the enclosing finally."""
+    cfg = _cfg(
+        """
+        def f(items):
+            try:
+                for item in items:
+                    break
+            finally:
+                items.close()
+        """
+    )
+    brk = _block_with(cfg, ast.Break)
+    fin = _block_with(cfg, ast.Expr)
+    assert fin.id not in brk.succs

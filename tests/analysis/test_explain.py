@@ -1,0 +1,43 @@
+"""``--explain``: every registered rule renders its LINTING.md
+rationale and fixture pair; unknown ids become usage errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from xaidb.analysis.cli import main
+from xaidb.analysis.explain import render_explanation
+from xaidb.analysis.registry import rules_by_id
+
+
+@pytest.mark.parametrize("rule_id", sorted(rules_by_id()))
+def test_every_rule_renders_docs_and_fixtures(rule_id):
+    text = render_explanation(rule_id)
+    rule = rules_by_id()[rule_id]
+    assert text.startswith(f"{rule_id} [{rule.symbol}]")
+    # doc-sync: a rule without a LINTING.md table row or fixture pair
+    # fails here, not silently in a user's terminal
+    assert "no rules-table entry found" not in text
+    assert "fixture not found" not in text
+    assert f"fixtures/{rule_id.lower()}_dirty.py" in text
+    assert f"fixtures/{rule_id.lower()}_clean.py" in text
+    assert f"# xailint: disable={rule_id}" in text
+
+
+def test_unknown_rule_id_lists_the_known_ones():
+    with pytest.raises(KeyError) as excinfo:
+        render_explanation("XDB999")
+    assert "known: XDB001" in str(excinfo.value)
+
+
+def test_cli_explain_prints_and_normalises_case(capsys):
+    assert main(["--explain", "xdb016"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("XDB016 [rng-escapes-helper]")
+    assert "Rationale (docs/LINTING.md):" in out
+
+
+def test_cli_explain_unknown_id_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--explain", "XDB999"])
+    assert excinfo.value.code == 2

@@ -13,7 +13,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 
 # (rule id, extra lint_source kwargs). XDB004 only applies inside the
 # xaidb package; XDB008/XDB009 only inside xaidb.explainers;
-# XDB010/XDB013 (the flow-sensitive tier) only inside xaidb.
+# XDB010/XDB013 (the flow-sensitive tier) only inside xaidb;
+# XDB014-XDB017 (the interprocedural tier) additionally need a module
+# name, since call-graph qualnames derive from it.
 CASES = [
     ("XDB001", {}),
     ("XDB002", {}),
@@ -28,6 +30,10 @@ CASES = [
     ("XDB011", {}),
     ("XDB012", {}),
     ("XDB013", {"in_xaidb_package": True}),
+    ("XDB014", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB015", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB016", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB017", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
 ]
 
 
@@ -74,6 +80,10 @@ def test_dirty_fixture_finding_counts():
         "XDB011": 2,  # view-chain return + asarray passthrough return
         "XDB012": 3,  # stale + reason-less + dangling suppression
         "XDB013": 2,  # overwritten-before-use + unused unpack slot
+        "XDB014": 2,  # matmul + concatenate, shapes through a summary
+        "XDB015": 2,  # float32 cast + int/int division reaching return
+        "XDB016": 2,  # two sinks fed by a generator two levels down
+        "XDB017": 2,  # callee mutation + view-through-callee return
     }
     for (rule_id, kwargs) in CASES:
         findings = _lint_fixture(rule_id, "dirty", kwargs)
@@ -99,6 +109,40 @@ def test_xdb010_and_xdb013_silent_outside_xaidb_package():
     for rule_id in ("XDB010", "XDB013"):
         findings = _lint_fixture(rule_id, "dirty", {})
         assert not findings, [f.message for f in findings]
+
+
+def test_interproc_tier_silent_outside_xaidb_package():
+    """XDB014-XDB017 are scoped to the library like the rest of the
+    flow-sensitive tier."""
+    for rule_id in ("XDB014", "XDB015", "XDB016", "XDB017"):
+        findings = _lint_fixture(
+            rule_id, "dirty", {"module_name": "scripts.fx"}
+        )
+        assert not findings, [f.message for f in findings]
+
+
+def test_xdb016_findings_cross_two_call_boundaries():
+    """The dirty fixture builds its generator two helpers down; the
+    message must carry the measured depth."""
+    findings = _lint_fixture(
+        "XDB016",
+        "dirty",
+        {"in_xaidb_package": True, "module_name": "xaidb.fx"},
+    )
+    assert findings
+    for finding in findings:
+        assert "2 call levels away" in finding.message
+
+
+def test_xdb014_message_names_the_witness_shapes():
+    findings = _lint_fixture(
+        "XDB014",
+        "dirty",
+        {"in_xaidb_package": True, "module_name": "xaidb.fx"},
+    )
+    messages = " | ".join(f.message for f in findings)
+    assert "float64(3, 3) vs float64(4, 5)" in messages
+    assert "concatenate()" in messages
 
 
 def test_xdb012_messages_distinguish_failure_modes():

@@ -18,11 +18,19 @@ Usage::
     python tools/check.py --fast     # lint + tier-1 only (skip the bench smoke)
     python tools/check.py --changed-only   # lint only files changed vs
                                            # the merge base with main
+    python tools/check.py --baseline # lint failures only on findings not
+                                     # in xailint_baseline.sarif
 
 ``--changed-only`` narrows the *lint* step to ``.py`` files that differ
 from the merge base with ``main`` (plus untracked ones); when git cannot
 answer — not a repository, no ``main`` ref — it falls back to the full
 scan rather than passing vacuously.  Tests always run in full.
+
+``--baseline`` makes the lint step diff its findings against the
+committed SARIF snapshot (``xailint_baseline.sarif``) and fail only on
+*new* ones — the adoption path for rules with pre-existing debt (see
+docs/LINTING.md "Baseline gating").  Refresh the snapshot with
+``python -m xaidb.analysis --write-baseline`` after a cleanup.
 
 Exit status is the first failing step's, 0 when everything passes.
 """
@@ -112,6 +120,12 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     fast = "--fast" in argv
     steps = list(STEPS[:2] if fast else STEPS)
+    if "--baseline" in argv:
+        name, command = steps[0]
+        steps[0] = (
+            f"{name} (baseline diff)",
+            command + ["--baseline", "xailint_baseline.sarif"],
+        )
     if "--changed-only" in argv:
         changed = changed_python_files()
         if changed is None:
