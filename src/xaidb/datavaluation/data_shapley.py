@@ -17,7 +17,7 @@ import numpy as np
 
 from xaidb.datavaluation.utility import UtilityFunction
 from xaidb.exceptions import ValidationError
-from xaidb.runtime import parallel_map
+from xaidb.runtime import EvalStats, WorkerPool, parallel_map, resolve_shared
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_matching_lengths
 
@@ -25,13 +25,16 @@ __all__ = ["tmc_shapley_values", "DataShapley"]
 
 
 def _tmc_permutation(
-    task: tuple[UtilityFunction, np.ndarray, np.ndarray, int, float, float, float],
+    task: tuple[UtilityFunction, object, object, int, float, float, float],
 ) -> np.ndarray:
     """Walk one seeded permutation — the process-pool work unit.
 
     Each permutation derives its ordering from its own spawned seed, so
     the walk is independent of every other permutation and of execution
-    order: serial and parallel runs are bit-identical.
+    order: serial and parallel runs are bit-identical.  On the pooled
+    path the training arrays arrive as
+    :class:`~xaidb.runtime.SharedArrayRef` handles (attached once per
+    worker process), serially as the plain arrays.
     """
     (
         utility,
@@ -42,6 +45,8 @@ def _tmc_permutation(
         null_utility,
         truncation_tolerance,
     ) = task
+    X_train = resolve_shared(X_train)
+    y_train = resolve_shared(y_train)
     n = len(y_train)
     order = check_random_state(seed).permutation(n)
     sample = np.zeros(n)
@@ -65,6 +70,7 @@ def tmc_shapley_values(
     truncation_tolerance: float = 0.01,
     random_state: RandomState = None,
     n_jobs: int | None = None,
+    stats: EvalStats | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """TMC-Shapley values.
 
@@ -74,7 +80,12 @@ def tmc_shapley_values(
         Worker processes for the (embarrassingly parallel) permutation
         walks; ``None``/``1`` runs serially.  Values are bit-identical
         for every ``n_jobs`` under a fixed ``random_state`` — each
-        permutation owns a spawned child seed.
+        permutation owns a spawned child seed.  On the pooled path the
+        training arrays are shipped once through the worker pool's
+        shared-memory arena instead of pickled into every task.
+    stats:
+        Optional :class:`~xaidb.runtime.EvalStats` ledger; pooled walks
+        record warm-pool reuse there.
 
     Returns
     -------
@@ -89,13 +100,19 @@ def tmc_shapley_values(
     full_utility = utility(X_train, y_train)
     null_utility = utility.null_utility()
     seeds = spawn_seeds(random_state, n_permutations)
+    X_payload: object = X_train
+    y_payload: object = y_train
+    if n_jobs is not None and n_jobs > 1:
+        pool = WorkerPool.get()
+        X_payload = pool.share(X_train)
+        y_payload = pool.share(y_train)
     walks = parallel_map(
         _tmc_permutation,
         [
             (
                 utility,
-                X_train,
-                y_train,
+                X_payload,
+                y_payload,
                 seed,
                 full_utility,
                 null_utility,
@@ -104,6 +121,7 @@ def tmc_shapley_values(
             for seed in seeds
         ],
         n_jobs=n_jobs,
+        stats=stats,
     )
     samples = np.asarray(walks)
     values = samples.mean(axis=0)
@@ -136,17 +154,23 @@ class DataShapley:
         self.n_jobs = n_jobs
         self.values_: np.ndarray | None = None
         self.errors_: np.ndarray | None = None
+        #: Ledger of the most recent :meth:`fit` (wall-time and, on the
+        #: pooled path, warm-pool reuse across repeated fits).
+        self.stats_: EvalStats | None = None
 
     def fit(self, *, random_state: RandomState = None) -> "DataShapley":
-        self.values_, self.errors_ = tmc_shapley_values(
-            self.utility,
-            self.X_train,
-            self.y_train,
-            n_permutations=self.n_permutations,
-            truncation_tolerance=self.truncation_tolerance,
-            random_state=random_state,
-            n_jobs=self.n_jobs,
-        )
+        self.stats_ = EvalStats()
+        with self.stats_.timer():
+            self.values_, self.errors_ = tmc_shapley_values(
+                self.utility,
+                self.X_train,
+                self.y_train,
+                n_permutations=self.n_permutations,
+                truncation_tolerance=self.truncation_tolerance,
+                random_state=random_state,
+                n_jobs=self.n_jobs,
+                stats=self.stats_,
+            )
         return self
 
     # ------------------------------------------------------------------

@@ -25,7 +25,7 @@ from xaidb.data.dataset import Dataset
 from xaidb.data.perturbation import LimeTabularSampler
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
-from xaidb.runtime import EvalStats, parallel_map
+from xaidb.runtime import EvalStats, WorkerPool, parallel_map, resolve_shared
 from xaidb.utils.kernels import exponential_kernel
 from xaidb.utils.linalg import solve_psd
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
@@ -34,12 +34,13 @@ from xaidb.utils.validation import check_array, check_positive
 __all__ = ["LimeExplanation", "LimeExplainer"]
 
 
-def _explain_one(
-    task: tuple["LimeExplainer", PredictFn, np.ndarray, int],
-) -> "LimeExplanation":
+def _explain_one(task) -> "LimeExplanation":
     """One seeded single-instance explanation — the process-pool work
-    unit for :meth:`LimeExplainer.explain_batch`."""
-    explainer, predict_fn, instance, seed = task
+    unit for :meth:`LimeExplainer.explain_batch`.  The instance batch
+    arrives as a :class:`~xaidb.runtime.SharedArrayRef` on the pooled
+    path (attached once per worker), or as the plain array serially."""
+    explainer, predict_fn, instances, index, seed = task
+    instance = np.asarray(resolve_shared(instances)[index])
     return explainer.explain(predict_fn, instance, random_state=seed)
 
 
@@ -102,6 +103,9 @@ class LimeExplainer(Explainer):
         self.l2 = l2
         self.n_features_to_show = n_features_to_show
         self.sampler = LimeTabularSampler(dataset)
+        #: Ledger of the most recent :meth:`explain_batch` call
+        #: (throughput + warm-pool reuse across repeated batches).
+        self.batch_stats_: EvalStats | None = None
 
     # ------------------------------------------------------------------
     def explain(
@@ -179,18 +183,32 @@ class LimeExplainer(Explainer):
         spawned child seed, so the result list is bit-identical for
         every ``n_jobs`` under a fixed ``random_state`` (a ``predict_fn``
         the pool cannot pickle — e.g. a lambda adapter — transparently
-        degrades to the serial path).
+        degrades to the serial path).  On the pooled path the instance
+        batch is shipped once through the worker pool's shared-memory
+        arena rather than pickled per task; :attr:`batch_stats_` records
+        the run, including warm-pool reuse across repeated calls.
         """
         instances = check_array(instances, name="instances", ndim=2)
         seeds = spawn_seeds(random_state, instances.shape[0])
-        return parallel_map(
-            _explain_one,
-            [
-                (self, predict_fn, instances[i], seeds[i])
-                for i in range(instances.shape[0])
-            ],
-            n_jobs=n_jobs,
-        )
+        self.batch_stats_ = EvalStats()
+        payload = instances
+        if n_jobs is not None and n_jobs > 1:
+            payload = WorkerPool.get().share(instances)
+        with self.batch_stats_.timer():
+            explanations = parallel_map(
+                _explain_one,
+                [
+                    (self, predict_fn, payload, i, seeds[i])
+                    for i in range(instances.shape[0])
+                ],
+                n_jobs=n_jobs,
+                stats=self.batch_stats_,
+            )
+        for explanation in explanations:
+            self.batch_stats_.count_rows(
+                explanation.metadata.get("n_model_evals", 0)
+            )
+        return explanations
 
     # ------------------------------------------------------------------
     def _select_features(

@@ -155,10 +155,15 @@ class LimeTextExplainer(Explainer):
         empty = Z.sum(axis=1) == 0
         Z[empty, 0] = 1.0
         word_index = {word: i for i, word in enumerate(vocabulary)}
-        documents = []
-        for mask in Z:
-            kept = [t for t in tokens if mask[word_index[t]] > 0.5]
-            documents.append(" ".join(kept))
+        # One gather instead of a per-mask token scan: column j of
+        # ``kept`` answers "does this perturbation keep occurrence j of
+        # the document?" for all perturbations at once.
+        token_cols = np.asarray(
+            [word_index[t] for t in tokens], dtype=np.intp
+        )
+        tokens_arr = np.asarray(tokens, dtype=object)
+        kept = Z[:, token_cols] > 0.5
+        documents = [" ".join(tokens_arr[row]) for row in kept]
         predictions = np.asarray(predict_fn(documents), dtype=float)
         distances = 1.0 - Z.mean(axis=1)
         weights = exponential_kernel(distances, self.kernel_width)

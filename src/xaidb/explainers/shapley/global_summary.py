@@ -39,8 +39,21 @@ ExplainFn = Callable[[np.ndarray], FeatureAttribution]
 
 
 def shap_matrix(explain_fn: ExplainFn, X: np.ndarray) -> np.ndarray:
-    """Stack local attributions into an ``(n, d)`` matrix."""
+    """Stack local attributions into an ``(n, d)`` matrix.
+
+    ``explain_fn`` is called once per row — unless it carries an
+    ``explain_batch`` attribute (``X -> sequence of FeatureAttribution``),
+    in which case the whole dataset goes through that one call so the
+    explainer can amortise its setup (warm worker pool, shared-memory
+    instance batch) across rows.  Adapters around
+    :meth:`xaidb.explainers.lime.LimeExplainer.explain_batch` are the
+    canonical provider.
+    """
     X = check_array(X, name="X", ndim=2)
+    batch_fn = getattr(explain_fn, "explain_batch", None)
+    if callable(batch_fn):
+        explanations = batch_fn(X)
+        return np.vstack([e.values for e in explanations])
     return np.vstack([explain_fn(row).values for row in X])
 
 

@@ -21,7 +21,7 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import CachedGame, Game, MarginalImputationGame
-from xaidb.runtime import GameRuntime, RuntimeConfig, parallel_map
+from xaidb.runtime import EvalStats, GameRuntime, RuntimeConfig, parallel_map
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array
 
@@ -62,6 +62,7 @@ def permutation_shapley_values(
     antithetic: bool = True,
     random_state: RandomState = None,
     n_jobs: int | None = None,
+    stats: EvalStats | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Monte-Carlo Shapley values.
 
@@ -72,6 +73,11 @@ def permutation_shapley_values(
         (``None``/``1`` = serial, sharing one memo cache across draws).
         Parallel and serial return identical values for a fixed
         ``random_state``.
+    stats:
+        Optional :class:`~xaidb.runtime.EvalStats` ledger; pooled draws
+        record warm-pool reuse there (a :class:`~xaidb.runtime.
+        GameRuntime` caller passes its own stats, so reuse shows up in
+        the attribution metadata).
 
     Returns
     -------
@@ -89,6 +95,7 @@ def permutation_shapley_values(
         _permutation_draw,
         [(cached, seed, antithetic) for seed in seeds],
         n_jobs=n_jobs,
+        stats=stats,
     )
     contributions = [walk for draw in draws for walk in draw]
     samples = np.asarray(contributions[:n_permutations])
@@ -142,6 +149,7 @@ class PermutationShapleyExplainer(Explainer):
                 antithetic=self.antithetic,
                 random_state=random_state,
                 n_jobs=self.config.n_jobs,
+                stats=runtime.stats,
             )
             base_value = runtime.empty_value()
             prediction = runtime.grand_value()

@@ -24,6 +24,7 @@ from xaidb.models.mlp import MLPClassifier
 from xaidb.models.naive_bayes import GaussianNB
 from xaidb.models.preprocessing import StandardScaler, train_test_split
 from xaidb.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from xaidb.models.tree_kernels import EnsembleKernel, TreeKernel
 
 __all__ = [
     "Model",
@@ -36,6 +37,8 @@ __all__ = [
     "DecisionTreeRegressor",
     "RandomForestClassifier",
     "RandomForestRegressor",
+    "TreeKernel",
+    "EnsembleKernel",
     "GradientBoostedClassifier",
     "GradientBoostedRegressor",
     "KNeighborsClassifier",

@@ -1,4 +1,11 @@
-"""Random forests: bagged CART trees with per-split feature subsampling."""
+"""Random forests: bagged CART trees with per-split feature subsampling.
+
+Prediction runs on a stacked :class:`~xaidb.models.tree_kernels.
+EnsembleKernel`: all trees are packed into padded ``(n_trees,
+max_nodes)`` tensors once per fit, so one level-synchronous traversal
+serves the whole forest and the per-tree class-code realignment is a
+precomputed index map instead of a Python loop per call.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,7 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.models.base import Classifier, Regressor
 from xaidb.models.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from xaidb.models.tree_kernels import EnsembleKernel
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_fitted
 
@@ -34,6 +42,7 @@ class _ForestMixin:
         self.bootstrap = bootstrap
         self.random_state = random_state
         self.estimators_: list | None = None
+        self._ensemble_kernel: EnsembleKernel | None = None
 
     def _resolve_max_features(self, n_features: int) -> int:
         if self.max_features is None:
@@ -45,6 +54,7 @@ class _ForestMixin:
         seeds = spawn_seeds(rng, self.n_estimators)
         n = len(y)
         self.estimators_ = []
+        self._ensemble_kernel = None  # rebuilt lazily at first predict
         for seed in seeds:
             tree_rng = check_random_state(seed)
             if self.bootstrap:
@@ -99,12 +109,14 @@ class RandomForestClassifier(_ForestMixin, Classifier):
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, ["estimators_"])
         X = check_array(X, name="X", ndim=2)
+        if self._ensemble_kernel is None:
+            # bootstrap samples can miss classes; the kernel realigns by
+            # each tree's fitted codes at pack time, once
+            self._ensemble_kernel = EnsembleKernel.for_forest_classifier(
+                self.estimators_, len(self.classes_)
+            )
         total = np.zeros((X.shape[0], len(self.classes_)))
-        for tree in self.estimators_:
-            leaf_probs = tree.predict_proba(X)
-            # a bootstrap sample can miss classes; align by the tree's codes
-            for code_index, code in enumerate(tree.classes_):
-                total[:, int(code)] += leaf_probs[:, code_index]
+        self._ensemble_kernel.accumulate(X, total)
         return total / len(self.estimators_)
 
 
@@ -148,7 +160,10 @@ class RandomForestRegressor(_ForestMixin, Regressor):
     def predict(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, ["estimators_"])
         X = check_array(X, name="X", ndim=2)
+        if self._ensemble_kernel is None:
+            self._ensemble_kernel = EnsembleKernel.for_regressors(
+                [tree.tree_ for tree in self.estimators_]
+            )
         predictions = np.zeros(X.shape[0])
-        for tree in self.estimators_:
-            predictions += tree.predict(X)
+        self._ensemble_kernel.accumulate(X, predictions)
         return predictions / len(self.estimators_)

@@ -18,6 +18,7 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.models.base import Classifier, Regressor
 from xaidb.models.tree import DecisionTreeRegressor
+from xaidb.models.tree_kernels import EnsembleKernel
 from xaidb.utils.linalg import sigmoid
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_fitted, check_positive
@@ -42,6 +43,7 @@ class _BoostingMixin:
         self.subsample = subsample
         self.random_state = random_state
         self.trees_: list[DecisionTreeRegressor] | None = None
+        self._stage_kernel: EnsembleKernel | None = None
         self.init_score_: float | None = None
         # per tree: the training-row indices used to fit it (LeafRefit needs
         # to know which rows shaped which leaves)
@@ -66,6 +68,7 @@ class _BoostingMixin:
         n = len(y)
         raw = np.full(n, self.init_score_)
         self.trees_ = []
+        self._stage_kernel = None  # packs leaf values; rebuilt post-fit
         self.tree_train_rows_ = []
         for seed in seeds:
             stage_rng = check_random_state(seed)
@@ -90,12 +93,21 @@ class _BoostingMixin:
             self.trees_.append(tree)
             self.tree_train_rows_.append(rows)
 
+    def _kernel(self) -> EnsembleKernel:
+        """Stacked stage-tree kernel, packed lazily after fitting (the
+        boosting loop rewrites leaf values via the Newton step, so the
+        pack must happen once the ensemble is final)."""
+        if self._stage_kernel is None:
+            self._stage_kernel = EnsembleKernel.for_regressors(
+                [tree.tree_ for tree in self.trees_]
+            )
+        return self._stage_kernel
+
     def _raw_scores(self, X: np.ndarray) -> np.ndarray:
         check_fitted(self, ["trees_"])
         X = check_array(X, name="X", ndim=2)
         raw = np.full(X.shape[0], self.init_score_)
-        for tree in self.trees_:
-            raw += self.learning_rate * tree.predict(X)
+        self._kernel().accumulate(X, raw, scale=self.learning_rate)
         return raw
 
     def staged_raw_scores(self, X: np.ndarray) -> np.ndarray:
@@ -106,10 +118,11 @@ class _BoostingMixin:
         """
         check_fitted(self, ["trees_"])
         X = check_array(X, name="X", ndim=2)
+        per_stage = self._kernel().leaf_values(X)  # (stages, n)
         raw = np.full(X.shape[0], self.init_score_)
         stages = [raw.copy()]
-        for tree in self.trees_:
-            raw = raw + self.learning_rate * tree.predict(X)
+        for stage_values in per_stage:
+            raw = raw + self.learning_rate * stage_values
             stages.append(raw.copy())
         return np.asarray(stages)
 

@@ -56,7 +56,8 @@ class TreeStructure:
         return [n for n in range(self.node_count) if self.is_leaf(n)]
 
     def apply_row(self, row: np.ndarray) -> int:
-        """Leaf index reached by one input row."""
+        """Leaf index reached by one input row (the row-wise reference
+        the vectorized kernel is regression-tested against)."""
         node = 0
         while not self.is_leaf(node):
             if row[self.feature[node]] <= self.threshold[node]:
@@ -65,10 +66,36 @@ class TreeStructure:
                 node = self.children_right[node]
         return node
 
-    def apply(self, X: np.ndarray) -> np.ndarray:
-        """Leaf index for every row of ``X``."""
+    def apply_rowwise(self, X: np.ndarray) -> np.ndarray:
+        """Row-at-a-time ``apply`` — retained as the exactness oracle for
+        :class:`~xaidb.models.tree_kernels.TreeKernel` (see
+        ``tests/models/test_tree_kernels.py``) and for the before/after
+        rows of benchmark A10."""
         X = np.asarray(X, dtype=float)
         return np.asarray([self.apply_row(row) for row in X], dtype=int)
+
+    @property
+    def kernel(self):
+        """Lazily built vectorized traversal kernel.
+
+        Safe to cache: the routing arrays are immutable once the builder
+        returns (only leaf *values* are ever rewritten, by the GBM's
+        Newton step, and the kernel does not capture values).
+        """
+        kernel = getattr(self, "_kernel", None)
+        if kernel is None:
+            from xaidb.models.tree_kernels import TreeKernel
+
+            kernel = TreeKernel(self)
+            self._kernel = kernel
+        return kernel
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index for every row of ``X`` (level-synchronous frontier
+        traversal — one vectorized step per depth level instead of one
+        Python loop per row)."""
+        X = np.asarray(X, dtype=float)
+        return self.kernel.apply(X)
 
     def decision_path(self, row: np.ndarray) -> list[int]:
         """The node sequence from root to the leaf reached by ``row``."""

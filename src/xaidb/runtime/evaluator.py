@@ -19,6 +19,7 @@ import numpy as np
 
 from xaidb.exceptions import ValidationError
 from xaidb.runtime.cache import CoalitionCache
+from xaidb.runtime.parallel import parallel_map
 from xaidb.runtime.stats import EvalStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -28,6 +29,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from xaidb.explainers.shapley.games import Game
 
 __all__ = ["RuntimeConfig", "GameRuntime"]
+
+
+def _values_batch_chunk(task) -> np.ndarray:
+    """Evaluate one mask chunk — the process-pool work unit for
+    :meth:`GameRuntime._evaluate`'s parallel path.  ``batch_fn`` is a
+    bound method of the wrapped game, so the chunk only ships when the
+    game itself is picklable."""
+    batch_fn, masks, max_batch_rows, supports_chunks = task
+    if supports_chunks:
+        return np.asarray(
+            batch_fn(masks, max_batch_rows=max_batch_rows), dtype=float
+        )
+    return np.asarray(batch_fn(masks), dtype=float)
 
 
 @dataclass(frozen=True)
@@ -45,7 +59,12 @@ class RuntimeConfig:
     n_jobs:
         Worker processes for embarrassingly parallel outer loops
         (``None``/``1`` = serial).  Consumed by the explainers' parallel
-        paths, not by :class:`GameRuntime` itself.
+        paths and by :class:`GameRuntime`'s chunked batch evaluation,
+        which fans uncached mask chunks over the persistent
+        :class:`~xaidb.runtime.parallel.WorkerPool` when the game can
+        cross the process boundary (instrumented games carry an
+        unpicklable counting wrapper and transparently stay serial, so
+        evaluation accounting is never lost to a worker process).
     """
 
     cache: bool = True
@@ -169,8 +188,38 @@ class GameRuntime:
         return values
 
     def _evaluate(self, masks: np.ndarray) -> np.ndarray:
-        """Raw (uncached) evaluation, chunked when the game supports it."""
+        """Raw (uncached) evaluation, chunked when the game supports it.
+
+        With ``config.n_jobs > 1`` the mask chunks fan out over the
+        persistent worker pool; per-mask values are independent, so
+        chunk boundaries and worker count never change the result
+        (games that cannot be pickled — every instrumented game, whose
+        ``predict_fn`` is a counting closure — fall back to the serial
+        path inside ``parallel_map``, keeping the ledger exact).
+        """
+        n_jobs = self.config.n_jobs
         if self._batch_fn is not None:
+            if (
+                n_jobs is not None
+                and n_jobs > 1
+                and masks.shape[0] >= 2 * n_jobs
+            ):
+                chunks = np.array_split(masks, n_jobs)
+                parts = parallel_map(
+                    _values_batch_chunk,
+                    [
+                        (
+                            self._batch_fn,
+                            chunk,
+                            self.config.max_batch_rows,
+                            self._batch_fn_chunks,
+                        )
+                        for chunk in chunks
+                    ],
+                    n_jobs=n_jobs,
+                    stats=self.stats,
+                )
+                return np.concatenate(parts)
             if self._batch_fn_chunks:
                 return np.asarray(
                     self._batch_fn(

@@ -43,6 +43,10 @@ class EvalStats:
         Memo-cache outcomes, over both scalar and batch lookups.
     wall_time_s:
         Seconds accumulated inside :meth:`timer` blocks.
+    n_pool_reuses:
+        Pooled ``parallel_map`` calls served by already-warm workers of
+        the persistent :class:`~xaidb.runtime.parallel.WorkerPool`
+        (each one is a process-pool spawn the run did not pay for).
     """
 
     n_model_evals: int = 0
@@ -50,6 +54,7 @@ class EvalStats:
     cache_hits: int = 0
     cache_misses: int = 0
     wall_time_s: float = 0.0
+    n_pool_reuses: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -58,6 +63,14 @@ class EvalStats:
         """Fraction of coalition lookups served from the memo cache."""
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
+
+    @property
+    def rows_per_s(self) -> float:
+        """Model-evaluation throughput over the timed blocks — the
+        hardware-utilisation number benchmark A10 tracks."""
+        if self.wall_time_s <= 0.0:
+            return 0.0
+        return self.n_model_evals / self.wall_time_s
 
     def count_rows(self, n_rows: int) -> None:
         self.n_model_evals += int(n_rows)
@@ -90,6 +103,7 @@ class EvalStats:
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
             wall_time_s=self.wall_time_s,
+            n_pool_reuses=self.n_pool_reuses,
             extra=dict(self.extra),
         )
 
@@ -104,6 +118,7 @@ class EvalStats:
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
             wall_time_s=self.wall_time_s - earlier.wall_time_s,
+            n_pool_reuses=self.n_pool_reuses - earlier.n_pool_reuses,
         )
 
     def merge(self, other: "EvalStats") -> "EvalStats":
@@ -113,6 +128,7 @@ class EvalStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.wall_time_s += other.wall_time_s
+        self.n_pool_reuses += other.n_pool_reuses
         return self
 
     def as_metadata(self) -> dict[str, Any]:
@@ -121,4 +137,6 @@ class EvalStats:
             "n_model_evals": int(self.n_model_evals),
             "cache_hit_rate": float(self.cache_hit_rate),
             "wall_time_s": float(self.wall_time_s),
+            "rows_per_s": float(self.rows_per_s),
+            "n_pool_reuses": int(self.n_pool_reuses),
         }

@@ -24,7 +24,13 @@ def test_cache_hit_rate_and_metadata_keys():
     stats = EvalStats(cache_hits=3, cache_misses=1)
     assert stats.cache_hit_rate == pytest.approx(0.75)
     metadata = stats.as_metadata()
-    assert set(metadata) == {"n_model_evals", "cache_hit_rate", "wall_time_s"}
+    assert set(metadata) == {
+        "n_model_evals",
+        "cache_hit_rate",
+        "wall_time_s",
+        "rows_per_s",
+        "n_pool_reuses",
+    }
     assert EvalStats().cache_hit_rate == 0.0  # no lookups, no divide-by-zero
 
 

@@ -1,0 +1,139 @@
+"""The persistent WorkerPool: shared-memory round-trips, warm-worker
+reuse accounting, and the bit-identical-for-every-``n_jobs`` contract."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from xaidb.runtime import (
+    EvalStats,
+    SharedArrayRef,
+    WorkerPool,
+    parallel_map,
+    resolve_shared,
+)
+
+
+def _seeded_draw(seed: int) -> np.ndarray:  # module-level: picklable
+    return np.random.default_rng(seed).normal(size=3)
+
+
+def _shared_row_sum(task) -> float:  # module-level: picklable
+    payload, index = task
+    return float(resolve_shared(payload)[index].sum())
+
+
+@pytest.fixture()
+def fresh_pool():
+    """A cold singleton for tests that assert on reuse counters, with
+    guaranteed cleanup of workers and shared segments."""
+    WorkerPool.close_global()
+    yield WorkerPool.get()
+    WorkerPool.close_global()
+
+
+# ------------------------------------------------------------ determinism
+def test_results_bit_identical_across_n_jobs(fresh_pool):
+    seeds = list(range(20))
+    reference = [_seeded_draw(seed) for seed in seeds]
+    for n_jobs in (None, 1, 4):
+        results = parallel_map(_seeded_draw, seeds, n_jobs=n_jobs)
+        assert len(results) == len(reference)
+        for got, want in zip(results, reference):
+            assert np.array_equal(got, want)
+
+
+# ------------------------------------------------------------ shared arena
+def test_shared_array_round_trip(fresh_pool):
+    array = np.arange(12, dtype=float).reshape(4, 3)
+    ref = fresh_pool.share(array)
+    assert isinstance(ref, SharedArrayRef)
+    loaded = ref.load()
+    assert np.array_equal(loaded, array)
+    assert not loaded.flags.writeable  # read-only view, by contract
+    # identity passthrough for plain arrays
+    assert resolve_shared(array) is array
+    assert np.array_equal(resolve_shared(ref), array)
+
+
+def test_share_is_memoised_per_source_object(fresh_pool):
+    array = np.ones((5, 2))
+    assert fresh_pool.share(array) is fresh_pool.share(array)
+    assert fresh_pool.n_shared_arrays == 1
+
+
+def test_shared_payload_crosses_process_boundary(fresh_pool):
+    array = np.arange(20, dtype=float).reshape(5, 4)
+    ref = fresh_pool.share(array)
+    tasks = [(ref, i) for i in range(5)]
+    serial = parallel_map(
+        _shared_row_sum, [(array, i) for i in range(5)]
+    )
+    pooled = parallel_map(_shared_row_sum, tasks, n_jobs=2)
+    assert pooled == serial == [float(row.sum()) for row in array]
+
+
+# ------------------------------------------------------------ reuse ledger
+def test_pool_reuse_counted_on_second_map(fresh_pool):
+    stats = EvalStats()
+    parallel_map(_seeded_draw, list(range(6)), n_jobs=2, stats=stats)
+    assert stats.n_pool_reuses == 0  # cold start paid the spawn
+    parallel_map(_seeded_draw, list(range(6)), n_jobs=2, stats=stats)
+    assert stats.n_pool_reuses == 1  # warm workers served this one
+    assert fresh_pool.n_maps == 2
+    assert fresh_pool.n_pool_reuses == 1
+
+
+def test_pool_grows_without_losing_reuse_semantics(fresh_pool):
+    parallel_map(_seeded_draw, list(range(4)), n_jobs=2)
+    stats = EvalStats()
+    # asking for more workers than the pool holds forces a respawn
+    parallel_map(_seeded_draw, list(range(8)), n_jobs=4, stats=stats)
+    assert stats.n_pool_reuses == 0
+    parallel_map(_seeded_draw, list(range(4)), n_jobs=2, stats=stats)
+    assert stats.n_pool_reuses == 1  # smaller requests ride the big pool
+
+
+def test_repeated_data_shapley_fits_reuse_warm_pool(fresh_pool):
+    """The acceptance contract: a second pooled explainer call must be
+    served by already-warm workers, visible in its stats ledger — and
+    stay bit-identical to the serial path."""
+    from xaidb.datavaluation import DataShapley, UtilityFunction
+    from xaidb.models import KNeighborsClassifier
+
+    rng = np.random.default_rng(17)
+    X = rng.normal(size=(18, 3))
+    y = (X[:, 0] > 0).astype(int)
+    X_valid = rng.normal(size=(12, 3))
+    y_valid = (X_valid[:, 0] > 0).astype(int)
+    utility = UtilityFunction(
+        KNeighborsClassifier(n_neighbors=3), X_valid, y_valid
+    )
+    pooled = DataShapley(
+        utility, X, y, n_permutations=4, n_jobs=2
+    )
+    pooled.fit(random_state=3)
+    first = pooled.values_.copy()
+    pooled.fit(random_state=3)
+    assert pooled.stats_.n_pool_reuses > 0
+    assert np.array_equal(pooled.values_, first)
+    serial = DataShapley(utility, X, y, n_permutations=4).fit(
+        random_state=3
+    )
+    assert np.array_equal(serial.values_, pooled.values_)
+    # the training arrays crossed the boundary via the shared arena
+    assert fresh_pool.n_shared_arrays == 2
+
+
+# ------------------------------------------------------------ lifecycle
+def test_close_unlinks_segments_and_resets_singleton(fresh_pool):
+    ref = fresh_pool.share(np.zeros(4))
+    WorkerPool.close_global()
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=ref.name)
+    replacement = WorkerPool.get()
+    assert replacement is not fresh_pool
+    assert replacement.n_shared_arrays == 0

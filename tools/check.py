@@ -10,7 +10,13 @@ Runs, in order, stopping at the first failure:
    (``benchmarks/bench_a07_runtime_scaling.py``) — proves the shared
    evaluation runtime's memoisation/chunking/parallel invariants on a
    small workload, so a regression in the substrate every perturbation
-   explainer rides on cannot land silently.
+   explainer rides on cannot land silently;
+4. a smoke run of the A10 inference-kernel benchmark
+   (``benchmarks/bench_a10_inference_kernels.py``, 2000 rows via
+   ``XAIDB_A10_ROWS``) — proves the vectorized tree kernels stay
+   bit-identical to the row-wise reference *and* meaningfully faster,
+   so a perf or exactness regression in model inference cannot land
+   silently either.
 
 Usage::
 
@@ -113,7 +119,26 @@ STEPS: list[tuple[str, list[str]]] = [
             str(REPO_ROOT / "benchmarks" / "bench_a07_runtime_scaling.py"),
         ],
     ),
+    (
+        "A10 kernel smoke",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            str(
+                REPO_ROOT / "benchmarks" / "bench_a10_inference_kernels.py"
+            ),
+        ],
+    ),
 ]
+
+#: The A10 smoke shrinks the workload (the >= 10x bar applies at the
+#: full 10^4 rows; the bench relaxes it below that — see its module
+#: docstring).  Respect an explicit caller override.
+_ENV.setdefault("XAIDB_A10_ROWS", "2000")
 
 
 def main(argv: list[str] | None = None) -> int:
