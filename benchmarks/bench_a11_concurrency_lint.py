@@ -1,0 +1,126 @@
+"""A11 (ablation) — parallel xailint scan over the shared worker pool.
+
+The concurrency tier (XDB018-XDB022) is *about* the shared-memory
+runtime; this bench closes the loop by running the linter's own
+per-file phase over that runtime.  ``run_paths(jobs=N)`` fans the
+parse + file-rule work out over ``WorkerPool`` processes while project
+rules, suppression filtering and the final sort stay in the parent, so
+the contract mirrors ``parallel_map``'s: findings are *byte-identical*
+to a serial scan for every job count — only wall-clock may change.
+
+Asserted invariants:
+
+1. *identity*: the serial and ``jobs=4`` cold scans are
+   finding-for-finding identical (suppressions included);
+2. *no silent fallback*: the pooled scan really crossed the process
+   boundary (``WorkerPool.n_maps`` advanced) — a pickling regression in
+   the per-file task would otherwise hide behind the serial fallback;
+3. *bounded overhead*: fan-out never costs more than 2x serial wall
+   (on a single-CPU host there is nothing to win, only overhead to
+   bound; with >= 4 CPUs the per-file phase must actually win).
+
+The run emits ``benchmarks/BENCH_lint.json`` with the measured wall
+times, the speedup and the CPU count the numbers were taken on.
+"""
+
+import json
+import os
+import time
+
+from pathlib import Path
+
+from benchmarks._tables import print_table
+from xaidb.analysis import run_paths
+from xaidb.runtime.parallel import WorkerPool
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The repo-standard scan set (mirrors tools/xailint.py defaults).
+SCAN_PATHS = [
+    REPO_ROOT / name
+    for name in ("src", "benchmarks", "examples", "tools")
+    if (REPO_ROOT / name).is_dir()
+]
+
+N_JOBS = 4
+
+
+def _fingerprint(result):
+    return [
+        (f.path, f.line, f.col, f.rule_id, f.message)
+        for f in result.findings + result.suppressed
+    ]
+
+
+def _timed_scan(jobs):
+    started = time.perf_counter()
+    result = run_paths(
+        SCAN_PATHS, root=REPO_ROOT, cache_path=None, jobs=jobs
+    )
+    return result, time.perf_counter() - started
+
+
+def compute_rows():
+    WorkerPool.close_global()
+    try:
+        serial, serial_seconds = _timed_scan(None)
+        maps_before = WorkerPool.get().n_maps
+        fanned, fanned_seconds = _timed_scan(N_JOBS)
+        maps_after = WorkerPool.get().n_maps
+    finally:
+        WorkerPool.close_global()
+    speedup = serial_seconds / fanned_seconds
+    rows = [
+        (
+            "serial",
+            serial.stats.files_scanned,
+            f"{serial_seconds * 1e3:.1f}",
+            "1.0x",
+        ),
+        (
+            f"--jobs {N_JOBS}",
+            fanned.stats.files_scanned,
+            f"{fanned_seconds * 1e3:.1f}",
+            f"{speedup:.2f}x",
+        ),
+    ]
+    record = {
+        "n_jobs": N_JOBS,
+        "n_cpus": os.cpu_count(),
+        "files_scanned": serial.stats.files_scanned,
+        "serial_s": serial_seconds,
+        "jobs_s": fanned_seconds,
+        "speedup": speedup,
+        "identical": _fingerprint(serial) == _fingerprint(fanned),
+        "pool_maps": maps_after - maps_before,
+    }
+    context = {"serial": serial, "fanned": fanned, "record": record}
+    if os.environ.get("XAIDB_A11_SMOKE") != "1":
+        out_path = Path(__file__).resolve().parent / "BENCH_lint.json"
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return rows, context
+
+
+def test_a11_concurrency_lint(benchmark):
+    rows, context = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    record = context["record"]
+    print_table(
+        f"A11 (ablation): xailint --jobs {N_JOBS} over the shared "
+        f"WorkerPool vs serial (cold, {record['n_cpus']} CPU(s))",
+        ["scan", "files", "wall ms", "speedup"],
+        rows,
+    )
+    # identity: the fan-out must be invisible in the verdicts
+    assert record["identical"]
+    serial, fanned = context["serial"], context["fanned"]
+    assert serial.files_scanned == fanned.files_scanned
+    # the pooled scan really used worker processes — a per-file task
+    # that stopped pickling would silently fall back to serial and
+    # this bench would measure nothing
+    assert record["pool_maps"] >= 1
+    # fan-out overhead is bounded; with real cores it must pay off
+    assert record["speedup"] >= 0.5
+    if (record["n_cpus"] or 1) >= 4:
+        assert record["speedup"] >= 1.1
+    # the gate this bench models is currently green
+    assert serial.ok, [f.message for f in serial.findings]

@@ -62,6 +62,7 @@ from xaidb.analysis.registry import (
 from xaidb.analysis.reporters import (
     JSON_SCHEMA_VERSION,
     SARIF_VERSION,
+    render_github,
     render_json,
     render_sarif,
     render_stats,
@@ -100,6 +101,7 @@ __all__ = [
     "render_text",
     "render_json",
     "render_sarif",
+    "render_github",
     "render_stats",
     "JSON_SCHEMA_VERSION",
     "SARIF_VERSION",

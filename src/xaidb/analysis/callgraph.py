@@ -88,6 +88,10 @@ class CallGraph:
     class_bases: dict[str, list[str]] = field(default_factory=dict)
     #: fq class name -> direct fq subclass names
     class_subs: dict[str, list[str]] = field(default_factory=dict)
+    #: module -> local alias -> fq dotted target (``np`` -> ``numpy``),
+    #: kept from the build index so effect analyses can resolve sink
+    #: names (``np.random.normal`` -> ``numpy.random.normal``).
+    aliases: dict[str, dict[str, str]] = field(default_factory=dict)
 
     def resolve_call(self, call: ast.Call) -> tuple[str, ...]:
         """Candidate callee qualnames for ``call`` (empty = ⊤)."""
@@ -219,6 +223,7 @@ def build_call_graph(files: list[FileContext]) -> CallGraph:
     resolve the call sites inside each of them."""
     graph = CallGraph()
     index = _ModuleIndex(files)
+    graph.aliases = index.aliases
 
     # -- pass 1: function/method index and class hierarchy -----------
     for ctx in files:

@@ -29,6 +29,7 @@ from xaidb.analysis.engine import run_paths
 from xaidb.analysis.explain import render_explanation
 from xaidb.analysis.registry import all_rules
 from xaidb.analysis.reporters import (
+    render_github,
     render_json,
     render_sarif,
     render_stats,
@@ -48,7 +49,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="xailint",
         description=(
             "Static analysis enforcing xaidb's scientific-correctness "
-            "invariants (rule ids XDB001-XDB017; see docs/LINTING.md)."
+            "invariants (rule ids XDB001-XDB022; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -61,9 +62,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json", "sarif"),
+        choices=("text", "json", "sarif", "github"),
         default="text",
-        help="report format (default: text; sarif for CI annotation)",
+        help=(
+            "report format (default: text; sarif for code scanning, "
+            "github for workflow ::warning:: annotations)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "fan the per-file phase out over N worker processes "
+            "(default: serial; findings are identical either way)"
+        ),
     )
     parser.add_argument(
         "--rules",
@@ -161,9 +175,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
     cache_path = None if args.no_cache else args.cache_file
+    if args.jobs is not None and args.jobs < 1:
+        parser.error("--jobs must be a positive integer")
     try:
         result = run_paths(
-            paths, root=Path.cwd(), rule_ids=rule_ids, cache_path=cache_path
+            paths,
+            root=Path.cwd(),
+            rule_ids=rule_ids,
+            cache_path=cache_path,
+            jobs=args.jobs,
         )
     except ValueError as exc:  # unknown rule id
         parser.error(str(exc))
@@ -191,6 +211,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(render_json(result))
     elif args.format == "sarif":
         print(render_sarif(result))
+    elif args.format == "github":
+        print(render_github(result))
     else:
         print(render_text(result))
         if args.baseline is not None:

@@ -1,0 +1,584 @@
+"""Concurrency & determinism effect vectors over the call graph.
+
+The PR 5 runtime (``xaidb.runtime.parallel``) rests on two contracts no
+test can see being broken at a distance: tasks submitted to the
+persistent :class:`~xaidb.runtime.parallel.WorkerPool` never *mutate* a
+``SharedArrayRef``-backed array (workers map one read-only buffer — a
+write is a cross-process race), and tasks draw randomness only from
+their per-task spawned seed (the bit-identical-for-every-``n_jobs``
+guarantee).  The X-SYS serving layer adds a third: async request paths
+must not block the event loop.  This module computes, for every
+function in the lint corpus, the *effect vector* that makes those
+contracts statically checkable:
+
+- ``mutates_shared`` — the function writes (subscript store, augmented
+  assignment, ``out=``, or transitively through a callee) into an array
+  obtained from the shared arena (``resolve_shared(...)`` /
+  ``SharedArrayRef.load()``), directly or any number of call
+  boundaries down;
+- ``draws_global_rng`` — the function reaches process-global
+  randomness or wall-clock state (legacy ``numpy.random.*``, stdlib
+  ``random``, ``time.time``, ``os.urandom``, …) instead of a seeded
+  ``Generator``, directly or transitively;
+- ``may_block`` — the function reaches a blocking call
+  (``time.sleep``, ``subprocess``, file/socket I/O, ``.join()`` /
+  ``.result()`` / ``.acquire()``, or a model ``fit``/``predict``
+  path), directly or transitively;
+- ``leaks_resource`` — some CFG path from a ``SharedMemory``
+  acquisition reaches the function exit without a ``close``/``unlink``
+  or an ownership transfer (the ``releases_resources`` obligation,
+  checked over the try/finally edges :mod:`xaidb.analysis.cfg` models).
+
+Effects are *witness strings* (``None`` = effect absent / nothing
+provable), so the XDB018–XDB022 rules can say why a task is flagged.
+They are computed bottom-up with the rest of the function summaries
+(:func:`xaidb.analysis.summaries.summarize_function`, pass D), cached
+per SCC under the same Merkle keys, and — like every tier before —
+default to claiming nothing: unresolved calls, dynamic scopes and
+ambiguous ``finally`` edges all block the proof, never invent one.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from xaidb.analysis.callgraph import (
+    CallGraph,
+    FunctionNode,
+    _own_calls,
+    dotted_name,
+)
+from xaidb.analysis.cfg import CFG, function_cfg
+from xaidb.analysis.dataflow import item_exprs, replay, solve_forward
+
+__all__ = [
+    "EffectVector",
+    "function_effects",
+    "direct_block_witness",
+    "direct_rng_witness",
+    "submission_sites",
+    "resolve_task_refs",
+    "leaked_acquisitions",
+    "SHARED",
+]
+
+#: Alias-taint label marking "this value aliases a shared-arena array".
+SHARED = "<shared>"
+
+# -- sink tables ------------------------------------------------------------
+
+#: Seeded-construction entry points under ``numpy.random`` that do NOT
+#: touch module-level state (building a generator is deterministic; the
+#: flow-sensitive XDB010/XDB016 own the literal-seed question).
+_RNG_EXEMPT_TAILS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+        "BitGenerator",
+        "RandomState",
+        "Random",  # random.Random(seed): an instance, not the module state
+    }
+)
+
+#: Module prefixes whose calls draw from process-global RNG state.
+_RNG_PREFIXES = ("numpy.random.", "random.")
+
+#: Exact dotted calls that read entropy or wall-clock state no seed
+#: controls (``perf_counter``/``monotonic`` are deliberately absent:
+#: measuring elapsed time in a stats ledger is deterministic-enough and
+#: ubiquitous).
+_RNG_EXACT = frozenset(
+    {
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbits",
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Exact dotted calls that block the calling thread.
+_BLOCK_EXACT = frozenset(
+    {
+        "time.sleep",
+        "os.system",
+        "os.popen",
+        "os.wait",
+        "os.waitpid",
+        "select.select",
+    }
+)
+
+#: Module prefixes whose calls block (process spawning, sockets, HTTP).
+_BLOCK_PREFIXES = (
+    "subprocess.",
+    "socket.",
+    "urllib.request.",
+    "http.client.",
+)
+
+#: Bare-name calls that block (file I/O / terminal reads).
+_BLOCK_NAMES = frozenset({"open", "input"})
+
+#: Method names whose call is a model-evaluation path — the expensive
+#: synchronous work an async handler must hop to an executor for.
+_BLOCK_MODEL_METHODS = frozenset({"fit", "predict", "predict_proba"})
+
+#: Pool/lock/future synchronisation methods.  ``join`` only counts with
+#: zero arguments (``", ".join(parts)`` is string formatting).
+_BLOCK_SYNC_METHODS = frozenset({"result", "acquire"})
+
+#: Pooled-submission callables: ``parallel_map(fn, tasks)`` and the
+#: ``pool.map(fn, tasks, ...)`` method form.
+_SUBMIT_NAMES = frozenset({"parallel_map"})
+
+#: Compound-statement items whose bodies live in *successor* CFG blocks
+#: — only their header expressions may be inspected at the item itself.
+_HEADER_ITEMS = (
+    ast.If,
+    ast.While,
+    ast.For,
+    ast.AsyncFor,
+    ast.With,
+    ast.AsyncWith,
+    ast.Match,
+    ast.Try,
+    ast.ExceptHandler,
+)
+
+#: Statements that end a basic block without falling through.
+_TERMINATORS = (ast.Return, ast.Raise, ast.Break, ast.Continue)
+
+
+@dataclass(frozen=True)
+class EffectVector:
+    """The concurrency/determinism facts of one function, as witnesses
+    (``None`` = effect provably absent or nothing provable)."""
+
+    mutates_shared: str | None = None
+    draws_global_rng: str | None = None
+    may_block: str | None = None
+    leaks_resource: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "mutates_shared": self.mutates_shared,
+            "draws_global_rng": self.draws_global_rng,
+            "may_block": self.may_block,
+            "leaks_resource": self.leaks_resource,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EffectVector":
+        def witness(key: str) -> str | None:
+            value = data[key]
+            if value is not None and not isinstance(value, str):
+                raise ValueError(f"{key} must be a string or None")
+            return value
+
+        return cls(
+            mutates_shared=witness("mutates_shared"),
+            draws_global_rng=witness("draws_global_rng"),
+            may_block=witness("may_block"),
+            leaks_resource=witness("leaks_resource"),
+        )
+
+
+# ---------------------------------------------------------------------------
+# direct (syntactic) sink detection
+# ---------------------------------------------------------------------------
+
+
+def _expand(aliases: dict[str, str], dotted: str) -> str:
+    """Rewrite the leading segment of ``dotted`` through a module's
+    import aliases (``np.zeros`` -> ``numpy.zeros``)."""
+    head, _, tail = dotted.partition(".")
+    target = aliases.get(head)
+    if target is None:
+        return dotted
+    return f"{target}.{tail}" if tail else target
+
+
+def _call_name(call: ast.Call) -> str:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return ""
+
+
+def direct_rng_witness(
+    call: ast.Call, aliases: dict[str, str]
+) -> str | None:
+    """Witness when ``call`` itself reads process-global RNG or
+    wall-clock state, resolved through the module's import aliases."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    expanded = _expand(aliases, dotted)
+    if expanded in _RNG_EXACT:
+        return f"calls {expanded}() at line {call.lineno}"
+    tail = expanded.rsplit(".", 1)[-1]
+    for prefix in _RNG_PREFIXES:
+        if expanded.startswith(prefix) and tail not in _RNG_EXEMPT_TAILS:
+            return f"calls {expanded}() at line {call.lineno}"
+    return None
+
+
+def direct_block_witness(
+    call: ast.Call, aliases: dict[str, str]
+) -> str | None:
+    """Witness when ``call`` itself blocks the calling thread."""
+    func = call.func
+    if isinstance(func, ast.Name) and func.id in _BLOCK_NAMES:
+        return f"calls {func.id}() at line {call.lineno}"
+    dotted = dotted_name(func)
+    if dotted is not None:
+        expanded = _expand(aliases, dotted)
+        if expanded in _BLOCK_EXACT:
+            return f"calls {expanded}() at line {call.lineno}"
+        for prefix in _BLOCK_PREFIXES:
+            if expanded.startswith(prefix):
+                return f"calls {expanded}() at line {call.lineno}"
+    if isinstance(func, ast.Attribute):
+        attr = func.attr
+        if attr in _BLOCK_SYNC_METHODS and len(call.args) <= 1:
+            return f"calls .{attr}() at line {call.lineno}"
+        if attr == "join" and not call.args and not call.keywords:
+            return f"calls .join() at line {call.lineno}"
+        if attr in _BLOCK_MODEL_METHODS:
+            return (
+                f"calls the model-evaluation path .{attr}() "
+                f"at line {call.lineno}"
+            )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# pooled-submission sites and task-function references
+# ---------------------------------------------------------------------------
+
+
+def submission_sites(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.Call, ast.AST]]:
+    """``(call, task_fn_expr)`` for every pooled-map submission in
+    ``fn``'s own body: ``parallel_map(task, ...)`` (possibly
+    module-qualified) and the ``pool.map(task, tasks, ...)`` method
+    form.  The builtin ``map`` (a bare name) never matches."""
+    sites: list[tuple[ast.Call, ast.AST]] = []
+    for call in _own_calls(fn):
+        if _call_name(call) in _SUBMIT_NAMES and call.args:
+            sites.append((call, call.args[0]))
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "map"
+            and len(call.args) >= 2
+        ):
+            sites.append((call, call.args[0]))
+    return sites
+
+
+def resolve_task_refs(
+    graph: CallGraph, fnode: FunctionNode, expr: ast.AST
+) -> tuple[str, ...]:
+    """Corpus qualnames a task-function *reference* (not a call) may
+    denote: a module-level function, a (possibly aliased) import of
+    one, ``self.method``, or a module-qualified function.  Anything
+    else — lambdas, locals, partials — is unresolved (⊤, no claim)."""
+    module = fnode.module
+    aliases = graph.aliases.get(module, {})
+    if isinstance(expr, ast.Name):
+        qualname = f"{module}.{expr.id}"
+        if qualname in graph.functions:
+            return (qualname,)
+        target = aliases.get(expr.id)
+        if target is not None and target in graph.functions:
+            return (target,)
+        return ()
+    if isinstance(expr, ast.Attribute):
+        if (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id in ("self", "cls")
+            and fnode.class_name is not None
+        ):
+            class_fq = f"{module}.{fnode.class_name}"
+            return tuple(graph.method_resolution(class_fq, expr.attr))
+        dotted = dotted_name(expr)
+        if dotted is not None:
+            expanded = _expand(aliases, dotted)
+            if expanded in graph.functions:
+                return (expanded,)
+    return ()
+
+
+# ---------------------------------------------------------------------------
+# shared-array mutation (alias taint over the arena sources)
+# ---------------------------------------------------------------------------
+
+
+def _mentions_shared_source(fn: ast.AST) -> bool:
+    """Cheap syntactic gate: does ``fn`` load from the shared arena at
+    all (``resolve_shared(...)`` / ``.load()``)?"""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name == "resolve_shared" and node.args:
+                return True
+            if (
+                name == "load"
+                and isinstance(node.func, ast.Attribute)
+                and not node.args
+            ):
+                return True
+    return False
+
+
+def _shared_mutation_witness(
+    fnode: FunctionNode,
+    graph: CallGraph,
+    summaries: dict,
+    calls: list[ast.Call],
+    cfg: CFG | None,
+) -> str | None:
+    # transitive first: a callee that loads-and-mutates on its own
+    for call in calls:
+        site = graph.callsites.get(id(call))
+        if site is None:
+            continue
+        for qualname in site.candidates:
+            summary = summaries.get(qualname)
+            if (
+                summary is not None
+                and summary.effects.mutates_shared is not None
+            ):
+                return f"via {qualname} at line {call.lineno}"
+    if not _mentions_shared_source(fnode.node):
+        return None
+    # deferred import: summaries imports this module for EffectVector,
+    # so the taint machinery has to be pulled in lazily
+    from xaidb.analysis.summaries import (
+        SharedSourceTaint,
+        iter_mutations,
+        strip_via,
+    )
+
+    if cfg is None:
+        cfg = function_cfg(fnode.node)
+    taint = SharedSourceTaint(graph, summaries, entry={})
+    in_states = solve_forward(cfg, taint)
+    witness: list[str] = []
+
+    def visit(item: ast.AST, state) -> None:
+        if witness:
+            return
+        for labels, node, kind, detail in iter_mutations(
+            item, state, taint, graph, summaries
+        ):
+            if not any(strip_via(label) == SHARED for label in labels):
+                continue
+            if kind == "callee":
+                callee = detail.rpartition(":")[0]
+                witness.append(
+                    f"passes a shared array to {callee}, which "
+                    f"mutates it, at line {node.lineno}"
+                )
+            else:
+                witness.append(
+                    f"writes into a shared array at line {node.lineno}"
+                )
+            return
+
+    replay(cfg, taint, in_states, visit)
+    return witness[0] if witness else None
+
+
+# ---------------------------------------------------------------------------
+# resource-release obligation (SharedMemory acquisitions)
+# ---------------------------------------------------------------------------
+
+
+def _acquisition_bindings(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[ast.Assign, str]]:
+    """``(assign, name)`` for every simple ``name = SharedMemory(...)``
+    binding in ``fn``, excluding any inside a ``try`` that has
+    ``except`` handlers — there the conservative exception edges make
+    "the acquisition itself failed" indistinguishable from "acquired
+    then leaked", so nothing is provable."""
+    found: list[tuple[ast.Assign, str]] = []
+
+    def scan(stmts: list[ast.stmt], guarded: bool) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Try):
+                inner = guarded or bool(stmt.handlers)
+                scan(stmt.body, inner)
+                scan(stmt.orelse, inner)
+                for handler in stmt.handlers:
+                    scan(handler.body, inner)
+                scan(stmt.finalbody, inner)
+                continue
+            if isinstance(
+                stmt,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue  # separate scopes with their own CFGs
+            if (
+                not guarded
+                and isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+                and _call_name(stmt.value) == "SharedMemory"
+            ):
+                found.append((stmt, stmt.targets[0].id))
+            for field in ("body", "orelse", "cases"):
+                children = getattr(stmt, field, None)
+                if not children:
+                    continue
+                if field == "cases":
+                    for case in children:
+                        scan(case.body, guarded)
+                else:
+                    scan(children, guarded)
+
+    scan(fn.body, False)
+    return found
+
+
+def _mentions(item: ast.AST, name: str) -> bool:
+    """Whether ``item`` (a CFG item) evaluates any expression reading
+    ``name`` — header items contribute only their header expressions."""
+    if isinstance(item, _HEADER_ITEMS):
+        roots = list(item_exprs(item))
+    else:
+        roots = [item]
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for root in roots
+        for node in ast.walk(root)
+    )
+
+
+def _path_leaks(cfg: CFG, name: str, block_id: int, index: int) -> bool:
+    """True when some CFG path from ``(block_id, index)`` reaches the
+    function exit without ever mentioning ``name`` again (no release,
+    no escape, no rebinding).  A terminator with multiple successors
+    (``return``/``raise`` under a ``finally``) blocks the proof — the
+    direct exit edge is the builder's over-approximation."""
+    stack = [(block_id, index)]
+    seen: set[tuple[int, int]] = set()
+    while stack:
+        current, start = stack.pop()
+        if (current, start) in seen:
+            continue
+        seen.add((current, start))
+        if current == cfg.exit:
+            return True
+        block = cfg.blocks[current]
+        if any(_mentions(item, name) for item in block.items[start:]):
+            continue  # released / escaped / rebound on this path
+        if (
+            block.items
+            and isinstance(block.items[-1], _TERMINATORS)
+            and len(block.succs) > 1
+        ):
+            continue  # ambiguous finally edges: prove nothing past them
+        for succ in block.succs:
+            stack.append((succ, 0))
+    return False
+
+
+def leaked_acquisitions(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    cfg: CFG | None = None,
+) -> list[tuple[ast.Assign, str]]:
+    """Acquisitions in ``fn`` with a provable path to the function exit
+    on which the segment is neither closed/unlinked nor handed off."""
+    acquisitions = _acquisition_bindings(fn)
+    if not acquisitions:
+        return []
+    if cfg is None:
+        cfg = function_cfg(fn)
+    location: dict[int, tuple[int, int]] = {}
+    for block in cfg.blocks.values():
+        for index, item in enumerate(block.items):
+            location[id(item)] = (block.id, index)
+    leaked: list[tuple[ast.Assign, str]] = []
+    for item, name in acquisitions:
+        loc = location.get(id(item))
+        if loc is None:
+            continue  # unreachable code: claim nothing
+        if _path_leaks(cfg, name, loc[0], loc[1] + 1):
+            leaked.append((item, name))
+    return leaked
+
+
+# ---------------------------------------------------------------------------
+# the per-function effect vector (summary pass D)
+# ---------------------------------------------------------------------------
+
+
+def function_effects(
+    fnode: FunctionNode,
+    graph: CallGraph,
+    summaries: dict,
+    cfg: CFG | None = None,
+) -> EffectVector:
+    """Compute ``fnode``'s effect vector given its callees' summaries
+    (bottom-up over the SCC condensation, like every other summary
+    fact).  ``summaries`` maps qualnames to
+    :class:`~xaidb.analysis.summaries.FunctionSummary`."""
+    fn = fnode.node
+    aliases = graph.aliases.get(fnode.module, {})
+    calls = _own_calls(fn)
+    draws: str | None = None
+    blocks: str | None = None
+    for call in calls:
+        if draws is None:
+            draws = direct_rng_witness(call, aliases)
+        if blocks is None:
+            blocks = direct_block_witness(call, aliases)
+        if draws is not None and blocks is not None:
+            break
+        site = graph.callsites.get(id(call))
+        if site is None:
+            continue
+        for qualname in site.candidates:
+            summary = summaries.get(qualname)
+            if summary is None:
+                continue
+            if draws is None and summary.effects.draws_global_rng:
+                draws = f"via {qualname} at line {call.lineno}"
+            if blocks is None and summary.effects.may_block:
+                blocks = f"via {qualname} at line {call.lineno}"
+    mutates = _shared_mutation_witness(
+        fnode, graph, summaries, calls, cfg
+    )
+    leaks: str | None = None
+    leaked = leaked_acquisitions(fn, cfg)
+    if leaked:
+        node, name = leaked[0]
+        leaks = (
+            f"SharedMemory bound to '{name}' at line {node.lineno} "
+            f"may reach the function exit unreleased"
+        )
+    return EffectVector(
+        mutates_shared=mutates,
+        draws_global_rng=draws,
+        may_block=blocks,
+        leaks_resource=leaks,
+    )

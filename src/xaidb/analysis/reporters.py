@@ -32,6 +32,7 @@ __all__ = [
     "render_text",
     "render_json",
     "render_sarif",
+    "render_github",
     "render_stats",
     "finding_to_dict",
 ]
@@ -165,6 +166,45 @@ def render_sarif(result: LintResult) -> str:
         ],
     }
     return json.dumps(document, indent=2, sort_keys=True)
+
+
+def _github_escape_data(text: str) -> str:
+    """Escape a workflow-command message per GitHub's data rules."""
+    return text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+
+
+def _github_escape_property(text: str) -> str:
+    """Escape a workflow-command property value (file=, etc.)."""
+    return (
+        _github_escape_data(text).replace(":", "%3A").replace(",", "%2C")
+    )
+
+
+def render_github(result: LintResult) -> str:
+    """GitHub Actions workflow commands, one annotation per finding.
+
+    ``::warning file=...,line=...,col=...::message`` lines surface
+    inline on the PR diff when printed inside a workflow run — no SARIF
+    upload step or code-scanning permission needed.  Severities other
+    than ``warning`` map to ``error``; columns are 1-based like SARIF.
+    """
+    lines = []
+    for finding in result.findings:
+        level = "warning" if finding.severity == "warning" else "error"
+        lines.append(
+            f"::{level} "
+            f"file={_github_escape_property(finding.path)},"
+            f"line={finding.line},"
+            f"col={finding.col + 1},"
+            f"title={_github_escape_property(finding.rule_id)}"
+            f"::{_github_escape_data(f'[{finding.symbol}] {finding.message}')}"
+        )
+    noun = "file" if result.files_scanned == 1 else "files"
+    status = "clean" if result.ok else f"{len(result.findings)} finding(s)"
+    lines.append(
+        f"xailint: {result.files_scanned} {noun} scanned, {status}"
+    )
+    return "\n".join(lines)
 
 
 def render_stats(result: LintResult) -> str:

@@ -1,4 +1,4 @@
-"""The built-in xailint rule pack (XDB001–XDB017).
+"""The built-in xailint rule pack (XDB001–XDB022).
 
 Importing this package registers every rule with
 :mod:`xaidb.analysis.registry`; the ids are stable and documented in
@@ -6,10 +6,19 @@ Importing this package registers every rule with
 on :mod:`xaidb.analysis.cfg` / :mod:`xaidb.analysis.dataflow`;
 XDB014–XDB017 are the interprocedural tier built on
 :mod:`xaidb.analysis.callgraph` / :mod:`xaidb.analysis.summaries` /
-:mod:`xaidb.analysis.shapes`.
+:mod:`xaidb.analysis.shapes`; XDB018–XDB022 are the concurrency &
+determinism tier built on the effect vectors of
+:mod:`xaidb.analysis.effects`.
 """
 
 from xaidb.analysis.rules.api_surface import MissingAllRule
+from xaidb.analysis.rules.concurrency import (
+    BlockingCallInAsyncRule,
+    LeakedSharedResourceRule,
+    NondeterministicWorkerTaskRule,
+    SharedArrayMutationRule,
+    UnpicklableTaskCaptureRule,
+)
 from xaidb.analysis.rules.dead_store import DeadStoreRule
 from xaidb.analysis.rules.defaults import MutableDefaultRule
 from xaidb.analysis.rules.error_handling import BroadExceptRule
@@ -47,4 +56,9 @@ __all__ = [
     "DtypeDegradationRule",
     "RngEscapesHelperRule",
     "MutationThroughCalleeRule",
+    "SharedArrayMutationRule",
+    "NondeterministicWorkerTaskRule",
+    "UnpicklableTaskCaptureRule",
+    "BlockingCallInAsyncRule",
+    "LeakedSharedResourceRule",
 ]

@@ -1,0 +1,299 @@
+"""XDB018–XDB022 — the concurrency & determinism rule tier.
+
+The PR 5 shared-memory runtime and the upcoming serving layer rest on
+contracts that are invisible to per-function analysis: a pooled task
+must not mutate the read-only arena buffer it was handed, must not draw
+from process-global randomness, must actually be picklable, async
+request paths must not block the event loop, and every ``SharedMemory``
+acquisition must reach a release.  These five rules check those
+contracts statically, riding on the effect vectors
+(:mod:`xaidb.analysis.effects`) that summary pass D computes bottom-up
+over the SCC condensation:
+
+- **XDB018 shared-array-mutation** — a callable submitted to
+  ``parallel_map``/``pool.map`` transitively writes into an array that
+  aliases the shared arena (``resolve_shared``/``.load()``): a
+  cross-process race, or a ``ValueError`` at best (the buffer is mapped
+  read-only).
+- **XDB019 nondeterministic-worker-task** — a pooled task transitively
+  draws global RNG or wall-clock state, breaking the
+  bit-identical-for-every-``n_jobs`` seeding contract.
+- **XDB020 unpicklable-task-capture** — the submitted task is a lambda
+  or a function defined inside the submitting frame: pickling fails and
+  the map silently degrades to the serial fallback.
+- **XDB021 blocking-call-in-async** — an ``async def`` body reaches a
+  blocking call (directly or through a resolved helper) without an
+  executor hop.
+- **XDB022 leaked-shared-resource** — a ``SharedMemory`` acquisition
+  with a provable CFG path to the function exit on which the segment is
+  neither closed/unlinked nor handed off.
+
+As everywhere in xailint, unresolved task references, dynamic scopes
+and ambiguous control flow collapse to ⊤: no rule fires on anything it
+cannot prove.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from xaidb.analysis.effects import (
+    direct_block_witness,
+    leaked_acquisitions,
+    resolve_task_refs,
+    submission_sites,
+)
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import ProjectContext, ProjectRule, register
+from xaidb.analysis.rules.interproc import _package_functions
+
+__all__ = [
+    "SharedArrayMutationRule",
+    "NondeterministicWorkerTaskRule",
+    "UnpicklableTaskCaptureRule",
+    "BlockingCallInAsyncRule",
+    "LeakedSharedResourceRule",
+]
+
+
+def _mentions_submission(fn: ast.AST) -> bool:
+    """Cheap syntactic gate: does ``fn`` submit anything to a pool at
+    all (``parallel_map`` by any name, or a ``.map`` method call)?"""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "parallel_map":
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "parallel_map",
+                "map",
+            ):
+                return True
+    return False
+
+
+def _mentions_shared_memory(fn: ast.AST) -> bool:
+    """Cheap syntactic gate for XDB022: any ``SharedMemory`` call."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "SharedMemory":
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "SharedMemory"
+            ):
+                return True
+    return False
+
+
+@register
+class SharedArrayMutationRule(ProjectRule):
+    rule_id = "XDB018"
+    symbol = "shared-array-mutation"
+    description = (
+        "A callable submitted to parallel_map/WorkerPool.map "
+        "transitively writes into an array aliasing the shared worker "
+        "arena (resolve_shared/.load()): shared buffers are mapped "
+        "read-only and owned by every worker at once, so the write is "
+        "a cross-process race; copy first or return fresh arrays."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for interproc, ctx, fnode in _package_functions(project):
+            if not _mentions_submission(fnode.node):
+                continue
+            seen: set[tuple[int, str]] = set()
+            for call, task in submission_sites(fnode.node):
+                for qualname in resolve_task_refs(
+                    interproc.graph, fnode, task
+                ):
+                    summary = interproc.summaries.get(qualname)
+                    if summary is None or (id(call), qualname) in seen:
+                        continue
+                    seen.add((id(call), qualname))
+                    witness = summary.effects.mutates_shared
+                    if witness is not None:
+                        yield ctx.finding(
+                            self,
+                            call,
+                            f"pooled task {qualname} mutates a shared "
+                            f"arena array ({witness}); workers race on "
+                            f"one read-only buffer — copy before "
+                            f"writing or build the result fresh",
+                        )
+
+
+@register
+class NondeterministicWorkerTaskRule(ProjectRule):
+    rule_id = "XDB019"
+    symbol = "nondeterministic-worker-task"
+    description = (
+        "A callable submitted to parallel_map/WorkerPool.map "
+        "transitively draws from process-global randomness or "
+        "wall-clock state (np.random.* module functions, random.*, "
+        "time.time, os.urandom, ...): results then depend on worker "
+        "scheduling, breaking the bit-identical-for-every-n_jobs "
+        "contract; derive all randomness from the task's seed payload."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for interproc, ctx, fnode in _package_functions(project):
+            if not _mentions_submission(fnode.node):
+                continue
+            seen: set[tuple[int, str]] = set()
+            for call, task in submission_sites(fnode.node):
+                for qualname in resolve_task_refs(
+                    interproc.graph, fnode, task
+                ):
+                    summary = interproc.summaries.get(qualname)
+                    if summary is None or (id(call), qualname) in seen:
+                        continue
+                    seen.add((id(call), qualname))
+                    witness = summary.effects.draws_global_rng
+                    if witness is not None:
+                        yield ctx.finding(
+                            self,
+                            call,
+                            f"pooled task {qualname} draws from "
+                            f"process-global randomness or wall-clock "
+                            f"state ({witness}); thread the per-task "
+                            f"spawned seed into a local Generator "
+                            f"instead",
+                        )
+
+
+@register
+class UnpicklableTaskCaptureRule(ProjectRule):
+    rule_id = "XDB020"
+    symbol = "unpicklable-task-capture"
+    description = (
+        "The callable submitted to parallel_map/WorkerPool.map is a "
+        "lambda or a function defined inside the submitting frame: "
+        "pickling it fails, so the pooled map silently degrades to the "
+        "serial fallback and the requested parallelism never happens; "
+        "move the task to module level."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for _interproc, ctx, fnode in _package_functions(project):
+            fn = fnode.node
+            if not _mentions_submission(fn):
+                continue
+            local_defs: dict[str, str] = {}
+            for node in ast.walk(fn):
+                if (
+                    isinstance(
+                        node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    )
+                    and node is not fn
+                ):
+                    local_defs[node.name] = (
+                        f"function '{node.name}' defined inside "
+                        f"{fn.name}"
+                    )
+                elif isinstance(node, ast.Assign) and isinstance(
+                    node.value, ast.Lambda
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            local_defs[target.id] = (
+                                f"lambda bound to '{target.id}'"
+                            )
+            for call, task in submission_sites(fn):
+                what = None
+                if isinstance(task, ast.Lambda):
+                    what = "a lambda"
+                elif (
+                    isinstance(task, ast.Name) and task.id in local_defs
+                ):
+                    what = local_defs[task.id]
+                if what is not None:
+                    yield ctx.finding(
+                        self,
+                        call,
+                        f"task submitted to the worker pool is {what}, "
+                        f"which cannot be pickled: the map silently "
+                        f"degrades to the serial fallback — define the "
+                        f"task at module level",
+                    )
+
+
+@register
+class BlockingCallInAsyncRule(ProjectRule):
+    rule_id = "XDB021"
+    symbol = "blocking-call-in-async"
+    description = (
+        "An async def body reaches a blocking call — time.sleep, "
+        "subprocess/socket/file I/O, .join()/.result()/.acquire(), or "
+        "a model fit/predict path — directly or through a resolved "
+        "helper, without an executor hop: the call stalls the whole "
+        "event loop; use asyncio equivalents or run_in_executor."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for interproc, ctx, fnode in _package_functions(project):
+            fn = fnode.node
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            aliases = interproc.graph.aliases.get(fnode.module, {})
+            for site in interproc._sites_by_caller.get(
+                fnode.qualname, ()
+            ):
+                call = site.call
+                witness = direct_block_witness(call, aliases)
+                if witness is not None:
+                    yield ctx.finding(
+                        self,
+                        call,
+                        f"async function {fn.name} performs a blocking "
+                        f"call ({witness}); the event loop stalls for "
+                        f"its whole duration — await an asyncio "
+                        f"equivalent or hop to an executor",
+                    )
+                    continue
+                for qualname in site.candidates:
+                    summary = interproc.summaries.get(qualname)
+                    if summary is None:
+                        continue
+                    transitive = summary.effects.may_block
+                    if transitive is not None:
+                        yield ctx.finding(
+                            self,
+                            call,
+                            f"async function {fn.name} calls "
+                            f"{qualname}, which may block "
+                            f"({transitive}); run it in an executor "
+                            f"(loop.run_in_executor / "
+                            f"asyncio.to_thread)",
+                        )
+                        break
+
+
+@register
+class LeakedSharedResourceRule(ProjectRule):
+    rule_id = "XDB022"
+    symbol = "leaked-shared-resource"
+    description = (
+        "A SharedMemory acquisition has a provable CFG path to the "
+        "function exit (early return, raise, or fall-through) on which "
+        "the segment is neither closed/unlinked nor handed off to an "
+        "owner: the mapping outlives the function and, across enough "
+        "calls, exhausts /dev/shm; release in a finally block."
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for _interproc, ctx, fnode in _package_functions(project):
+            fn = fnode.node
+            if not _mentions_shared_memory(fn):
+                continue
+            for node, name in leaked_acquisitions(fn):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"SharedMemory segment bound to '{name}' can reach "
+                    f"the end of {fnode.qualname} without close()/"
+                    f"unlink(); release it in a finally block or hand "
+                    f"it to an owner that does",
+                )

@@ -48,6 +48,7 @@ from xaidb.analysis.callgraph import (
     strongly_connected_components,
 )
 from xaidb.analysis.cfg import function_cfg
+from xaidb.analysis.effects import SHARED, EffectVector, function_effects
 from xaidb.analysis.dataflow import (
     VIEW_FUNCTIONS,
     VIEW_METHODS,
@@ -73,6 +74,7 @@ __all__ = [
     "InterprocAnalysis",
     "InterAliasTaint",
     "InterSeedTaint",
+    "SharedSourceTaint",
     "summarize_function",
     "map_arguments",
     "iter_mutations",
@@ -114,6 +116,9 @@ class FunctionSummary:
     mutates: tuple[str, ...] = ()
     rng_return_depth: int | None = None
     return_shapes: tuple[str, ...] = ()
+    #: Concurrency/determinism facts (pass D) — witnesses for the
+    #: XDB018–XDB022 tier, ``None`` per field = effect absent.
+    effects: EffectVector = EffectVector()
 
     def to_dict(self) -> dict:
         return {
@@ -123,6 +128,7 @@ class FunctionSummary:
             "mutates": list(self.mutates),
             "rng_return_depth": self.rng_return_depth,
             "return_shapes": list(self.return_shapes),
+            "effects": self.effects.to_dict(),
         }
 
     @classmethod
@@ -139,6 +145,7 @@ class FunctionSummary:
             mutates=tuple(str(p) for p in data["mutates"]),
             rng_return_depth=depth,
             return_shapes=tuple(str(s) for s in data["return_shapes"]),
+            effects=EffectVector.from_dict(data["effects"]),
         )
 
 
@@ -273,6 +280,32 @@ class InterAliasTaint(ValueTaint):
 def strip_via(label: str) -> str:
     """The underlying parameter name of an alias-taint label."""
     return label[len(VIA_PREFIX):] if label.startswith(VIA_PREFIX) else label
+
+
+class SharedSourceTaint(InterAliasTaint):
+    """Alias taint whose sources are the shared worker arena instead of
+    parameters: ``resolve_shared(payload)`` and zero-argument
+    ``.load()`` calls yield :data:`xaidb.analysis.effects.SHARED`, and
+    the inherited view semantics then track which names alias that
+    read-only buffer.  Lives here (not in effects.py) because the base
+    class does — effects.py pulls it in lazily."""
+
+    def eval_call(self, call: ast.Call, state: State) -> frozenset[str]:
+        func = call.func
+        if (
+            isinstance(func, (ast.Name, ast.Attribute))
+            and _syntactic_name(call) == "resolve_shared"
+            and call.args
+        ):
+            return frozenset({SHARED})
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "load"
+            and not call.args
+            and not call.keywords
+        ):
+            return frozenset({SHARED})
+        return super().eval_call(call, state)
 
 
 def _is_default_rng(func: ast.AST) -> bool:
@@ -502,6 +535,9 @@ def summarize_function(
     else:
         return_shapes = tuple(sorted(return_values))
 
+    # -- pass D: concurrency/determinism effect vector ---------------
+    effects = function_effects(fnode, graph, summaries, cfg=cfg)
+
     return FunctionSummary(
         qualname=fnode.qualname,
         params=params,
@@ -509,6 +545,7 @@ def summarize_function(
         mutates=tuple(sorted(mutated & set(tracked))),
         rng_return_depth=rng_depth,
         return_shapes=return_shapes,
+        effects=effects,
     )
 
 

@@ -36,8 +36,10 @@ down and unlinks every shared segment.
 from __future__ import annotations
 
 import atexit
+import multiprocessing
+import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -236,7 +238,15 @@ class WorkerPool:
             return True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
-        self._executor = ProcessPoolExecutor(max_workers=n_workers)
+        # test hook: force a start method (fork/spawn/forkserver) so the
+        # determinism contract can be pinned under each of them
+        method = os.environ.get("XAIDB_POOL_START_METHOD")
+        self._executor = ProcessPoolExecutor(
+            max_workers=n_workers,
+            mp_context=(
+                multiprocessing.get_context(method) if method else None
+            ),
+        )
         self._max_workers = n_workers
         return False
 
@@ -254,18 +264,46 @@ class WorkerPool:
         fallback.
         """
         reused = self._ensure_workers(min(n_jobs, len(tasks)))
+        futures = [self._executor.submit(fn, task) for task in tasks]
         try:
-            results = list(self._executor.map(fn, tasks))
+            results = [future.result() for future in futures]
         except BrokenProcessPool:
             # dead workers poison the executor; discard it so the next
             # call starts clean
             self._executor = None
             self._max_workers = 0
             raise
+        except BaseException:
+            # quiesce before re-raising: cancel what has not started
+            # and let in-flight tasks finish, so the caller's fallback
+            # bookkeeping (e.g. retrack_segments) cannot race a worker
+            # that is still attaching/untracking arena segments
+            for future in futures:
+                future.cancel()
+            wait(futures)
+            raise
         self.n_maps += 1
         if reused:
             self.n_pool_reuses += 1
         return results, reused
+
+    # ------------------------------------------------------------------
+    def retrack_segments(self) -> None:
+        """Re-register every arena segment with the resource tracker.
+
+        Under the ``fork`` start method workers share the creator's
+        tracker daemon, so a worker's attach (which calls
+        :func:`_untrack`) strips the *creator's* registration too.
+        That is harmless while :meth:`close` runs — it re-registers
+        before unlinking — but a map that died mid-flight and fell back
+        to serial leaves the segments untracked: if the process then
+        exits without ``close()``, nothing reaps them from
+        ``/dev/shm``.  Calling this on the fallback path restores the
+        safety net (``register`` is a set-add, so double-tracking is
+        impossible).
+        """
+        for __, segment, _ref in self._segments.values():
+            _retrack(segment)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -323,6 +361,12 @@ def parallel_map(
     try:
         results, reused = pool.map(fn, task_list, n_jobs=n_jobs)
     except _POOL_FAILURES:
+        # fork-mode workers may already have untracked the creator's
+        # arena segments; rebalance the tracker's books before running
+        # serially so a crash without close() still gets reaped
+        pool.retrack_segments()
+        if stats is not None:
+            stats.n_serial_fallbacks += 1
         return [fn(task) for task in task_list]
     if stats is not None and reused:
         stats.n_pool_reuses += 1

@@ -47,6 +47,12 @@ class EvalStats:
         Pooled ``parallel_map`` calls served by already-warm workers of
         the persistent :class:`~xaidb.runtime.parallel.WorkerPool`
         (each one is a process-pool spawn the run did not pay for).
+    n_serial_fallbacks:
+        ``parallel_map`` calls that could not cross the process
+        boundary (unpicklable work, dead workers) and ran serially
+        instead.  Results are identical either way; a nonzero count on
+        a hot path means the requested parallelism silently bought
+        nothing.
     """
 
     n_model_evals: int = 0
@@ -55,6 +61,7 @@ class EvalStats:
     cache_misses: int = 0
     wall_time_s: float = 0.0
     n_pool_reuses: int = 0
+    n_serial_fallbacks: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -104,6 +111,7 @@ class EvalStats:
             cache_misses=self.cache_misses,
             wall_time_s=self.wall_time_s,
             n_pool_reuses=self.n_pool_reuses,
+            n_serial_fallbacks=self.n_serial_fallbacks,
             extra=dict(self.extra),
         )
 
@@ -119,6 +127,9 @@ class EvalStats:
             cache_misses=self.cache_misses - earlier.cache_misses,
             wall_time_s=self.wall_time_s - earlier.wall_time_s,
             n_pool_reuses=self.n_pool_reuses - earlier.n_pool_reuses,
+            n_serial_fallbacks=(
+                self.n_serial_fallbacks - earlier.n_serial_fallbacks
+            ),
         )
 
     def merge(self, other: "EvalStats") -> "EvalStats":
@@ -129,6 +140,7 @@ class EvalStats:
         self.cache_misses += other.cache_misses
         self.wall_time_s += other.wall_time_s
         self.n_pool_reuses += other.n_pool_reuses
+        self.n_serial_fallbacks += other.n_serial_fallbacks
         return self
 
     def as_metadata(self) -> dict[str, Any]:
@@ -139,4 +151,5 @@ class EvalStats:
             "wall_time_s": float(self.wall_time_s),
             "rows_per_s": float(self.rows_per_s),
             "n_pool_reuses": int(self.n_pool_reuses),
+            "n_serial_fallbacks": int(self.n_serial_fallbacks),
         }

@@ -1,0 +1,27 @@
+"""Clean fixture for XDB018: pooled tasks read shared arena arrays and
+write only into freshly allocated buffers."""
+
+from xaidb.runtime import parallel_map, resolve_shared
+
+__all__ = ["scale_rows", "center_rows"]
+
+
+def _scale_task(task):
+    ref, factor = task
+    data = resolve_shared(ref)
+    scaled = data * factor  # fresh allocation: shared buffer untouched
+    return scaled.sum()
+
+
+def _center_task(ref):
+    data = resolve_shared(ref)
+    centered = data - data.mean()
+    return centered.sum()
+
+
+def scale_rows(ref, factors):
+    return parallel_map(_scale_task, [(ref, f) for f in factors])
+
+
+def center_rows(refs):
+    return parallel_map(_center_task, refs)

@@ -1,0 +1,32 @@
+"""Dirty fixture for XDB018: tasks submitted to the worker pool mutate
+shared read-only arena arrays — a cross-process race."""
+
+from xaidb.runtime import WorkerPool, parallel_map, resolve_shared
+
+__all__ = ["scale_rows", "center_rows"]
+
+
+def _scale_task(task):
+    ref, factor = task
+    data = resolve_shared(ref)
+    data *= factor  # writes into the shared buffer in place
+    return data.sum()
+
+
+def _center_helper(data):
+    data -= data.mean()  # summary: mutates 'data'
+
+
+def _center_task(ref):
+    data = resolve_shared(ref)
+    _center_helper(data)  # mutation one call boundary down
+    return data.sum()
+
+
+def scale_rows(ref, factors):
+    return parallel_map(_scale_task, [(ref, f) for f in factors])  # finding 1
+
+
+def center_rows(refs):
+    pool = WorkerPool.get()
+    return pool.map(_center_task, refs, 2)  # finding 2

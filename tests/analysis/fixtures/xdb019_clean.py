@@ -1,0 +1,18 @@
+"""Clean fixture for XDB019: pooled tasks derive every draw from the
+per-task seed in their payload — bit-identical for any n_jobs."""
+
+import numpy as np
+
+from xaidb.runtime import parallel_map
+
+__all__ = ["sample_rows"]
+
+
+def _seeded_task(task):
+    seed, scale = task
+    rng = np.random.default_rng(seed)  # local generator from the payload
+    return rng.normal(scale=scale)
+
+
+def sample_rows(seeds, scale):
+    return parallel_map(_seeded_task, [(s, scale) for s in seeds])

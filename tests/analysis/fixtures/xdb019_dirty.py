@@ -1,0 +1,30 @@
+"""Dirty fixture for XDB019: pooled tasks draw from process-global
+randomness and wall-clock state, breaking the seeding contract."""
+
+import time
+
+import numpy as np
+
+from xaidb.runtime import parallel_map
+
+__all__ = ["sample_rows", "stamp_rows"]
+
+
+def _noisy_task(scale):
+    return np.random.normal(scale=scale)  # module-level RNG state
+
+
+def _stamp_helper():
+    return time.time()  # wall clock, one call boundary down
+
+
+def _stamp_task(index):
+    return index + _stamp_helper()
+
+
+def sample_rows(scales):
+    return parallel_map(_noisy_task, scales)  # finding 1
+
+
+def stamp_rows(indices):
+    return parallel_map(_stamp_task, indices)  # finding 2

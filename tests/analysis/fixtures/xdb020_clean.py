@@ -1,0 +1,23 @@
+"""Clean fixture for XDB020: pooled tasks live at module level, so they
+pickle by reference and actually run in the workers."""
+
+from xaidb.runtime import parallel_map
+
+__all__ = ["double_all", "offset_all"]
+
+
+def _double_task(value):
+    return value * 2
+
+
+def _shift_task(task):
+    value, offset = task
+    return value + offset
+
+
+def double_all(values):
+    return parallel_map(_double_task, values)
+
+
+def offset_all(values, offset):
+    return parallel_map(_shift_task, [(v, offset) for v in values])

@@ -1,0 +1,17 @@
+"""Dirty fixture for XDB020: pooled tasks that cannot be pickled — the
+map silently degrades to the serial fallback."""
+
+from xaidb.runtime import parallel_map
+
+__all__ = ["double_all", "offset_all"]
+
+
+def double_all(values):
+    return parallel_map(lambda v: v * 2, values)  # finding 1: lambda
+
+
+def offset_all(values, offset):
+    def _shift(v):  # local closure: unpicklable
+        return v + offset
+
+    return parallel_map(_shift, values)  # finding 2: nested function

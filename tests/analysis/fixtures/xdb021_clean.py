@@ -1,0 +1,21 @@
+"""Clean fixture for XDB021: async handlers yield to the loop and hop
+blocking work to an executor."""
+
+import asyncio
+
+__all__ = ["serve_one", "serve_two"]
+
+
+def _train(model, X, y):
+    model.fit(X, y)
+    return model
+
+
+async def serve_one(request):
+    await asyncio.sleep(0.05)  # cooperative: yields the event loop
+    return request
+
+
+async def serve_two(model, X, y):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _train, model, X, y)

@@ -1,0 +1,21 @@
+"""Dirty fixture for XDB021: async request handlers that block the
+event loop, directly and through a helper."""
+
+import time
+
+__all__ = ["serve_one", "serve_two"]
+
+
+def _train(model, X, y):
+    model.fit(X, y)  # summary: may_block (model-evaluation path)
+    return model
+
+
+async def serve_one(request):
+    time.sleep(0.05)  # finding 1: blocking sleep in async body
+    return request
+
+
+async def serve_two(model, X, y):
+    trained = _train(model, X, y)  # finding 2: blocking helper, awaited by nobody
+    return trained

@@ -1,0 +1,25 @@
+"""Clean fixture for XDB022: every acquisition either releases in a
+finally block or hands the segment to a long-lived owner."""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+__all__ = ["checksum_block", "stage_into"]
+
+_ARENA = {}
+
+
+def checksum_block(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    try:
+        view = np.ndarray((nbytes,), dtype=np.uint8, buffer=segment.buf)
+        return float(view.sum())
+    finally:
+        segment.close()  # every way out releases the mapping
+        segment.unlink()
+
+
+def stage_into(name, data):
+    segment = shared_memory.SharedMemory(create=True, size=data.nbytes)
+    _ARENA[name] = segment  # ownership transfer: the arena releases later
+    return name

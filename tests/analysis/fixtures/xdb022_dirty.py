@@ -1,0 +1,29 @@
+"""Dirty fixture for XDB022: SharedMemory acquisitions with paths to
+the function exit that never close or unlink the segment."""
+
+import numpy as np
+from multiprocessing import shared_memory
+
+__all__ = ["stage_block", "stage_matrix"]
+
+
+def stage_block(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)  # finding 1
+    if nbytes > 4096:
+        return None  # early exit leaks the mapping
+    view = np.ndarray((nbytes,), dtype=np.uint8, buffer=segment.buf)
+    out = view.copy()
+    segment.close()
+    segment.unlink()
+    return out
+
+
+def stage_matrix(data):
+    segment = shared_memory.SharedMemory(create=True, size=data.nbytes)  # finding 2
+    if data.ndim != 2:
+        raise ValueError("expected a matrix")  # raise path leaks the mapping
+    view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+    view[...] = data
+    segment.close()
+    segment.unlink()
+    return data.shape

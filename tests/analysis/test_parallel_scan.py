@@ -1,0 +1,83 @@
+"""``run_paths(jobs=N)``: the fan-out must be invisible in the output.
+
+The ISSUE 6 acceptance criterion is byte-identity: a ``--jobs 4`` scan
+renders exactly the same report as a serial one, cold or warm.  These
+tests scan a small synthetic tree (fast, hermetic) and the repo's own
+``src/xaidb/analysis`` package (realistic project-rule load).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from xaidb.analysis import render_json, render_sarif, render_text, run_paths
+from xaidb.runtime.parallel import WorkerPool
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+DIRTY_MODULE = textwrap.dedent(
+    """\
+    import numpy as np
+
+
+    def noisy(values, bucket=[]):
+        bucket.append(np.random.normal())
+        return bucket
+    """
+)
+
+CLEAN_MODULE = textwrap.dedent(
+    """\
+    def double(values):
+        return [v * 2 for v in values]
+    """
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    WorkerPool.close_global()
+    yield
+    WorkerPool.close_global()
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    for i in range(6):
+        source = DIRTY_MODULE if i % 2 else CLEAN_MODULE
+        (tmp_path / f"mod_{i}.py").write_text(source, encoding="utf-8")
+    return tmp_path
+
+
+def test_jobs_scan_is_byte_identical_on_synthetic_tree(tree):
+    serial = run_paths([tree], root=tree, cache_path=None)
+    fanned = run_paths([tree], root=tree, cache_path=None, jobs=2)
+    assert render_json(serial) == render_json(fanned)
+    assert render_text(serial) == render_text(fanned)
+    assert render_sarif(serial) == render_sarif(fanned)
+    assert serial.findings  # the comparison must not be vacuous
+
+
+def test_jobs_scan_is_byte_identical_on_real_corpus():
+    target = REPO_ROOT / "src" / "xaidb" / "analysis"
+    serial = run_paths([target], root=REPO_ROOT, cache_path=None)
+    fanned = run_paths([target], root=REPO_ROOT, cache_path=None, jobs=4)
+    assert render_json(serial) == render_json(fanned)
+    assert serial.files_scanned == fanned.files_scanned
+
+
+def test_jobs_cold_cache_serves_a_warm_serial_scan(tree, tmp_path):
+    cache = tmp_path / "cache.json"
+    cold = run_paths([tree], root=tree, cache_path=cache, jobs=2)
+    warm = run_paths([tree], root=tree, cache_path=cache)
+    assert render_json(cold) == render_json(warm)
+    assert warm.stats.cache_hits == warm.files_scanned
+
+
+def test_jobs_one_is_plain_serial(tree):
+    result = run_paths([tree], root=tree, cache_path=None, jobs=1)
+    baseline = run_paths([tree], root=tree, cache_path=None)
+    assert render_json(result) == render_json(baseline)

@@ -9,10 +9,15 @@ import pytest
 from xaidb.analysis import (
     JSON_SCHEMA_VERSION,
     lint_source,
+    render_github,
     render_json,
     render_text,
 )
 from xaidb.analysis.cli import main
+from xaidb.analysis.reporters import (
+    _github_escape_data,
+    _github_escape_property,
+)
 
 DIRTY = "def f(x, bucket=[]):\n    return bucket\n"
 
@@ -59,6 +64,29 @@ class TestTextReporter:
 
     def test_clean_says_clean(self):
         assert "clean" in render_text(lint_source("x = 1\n"))
+
+
+class TestGithubReporter:
+    def test_one_annotation_per_finding(self):
+        out = render_github(lint_source(DIRTY, filename="mod.py"))
+        (annotation, summary) = out.splitlines()
+        assert annotation.startswith("::error file=mod.py,line=1,col=")
+        assert ",title=XDB007::" in annotation
+        assert "[mutable-default-argument]" in annotation
+        assert "1 finding(s)" in summary
+
+    def test_clean_emits_only_the_summary_line(self):
+        out = render_github(lint_source("x = 1\n"))
+        assert out.splitlines() == ["xailint: 1 file scanned, clean"]
+
+    def test_workflow_command_escaping(self):
+        # %, CR and LF would corrupt the ::command stream; commas and
+        # colons would corrupt the property list.  The escapes are
+        # GitHub's documented ones.
+        out = render_github(lint_source(DIRTY, filename="a,b:c.py"))
+        assert "file=a%2Cb%3Ac.py," in out
+        assert _github_escape_data("50%\r\ndone") == "50%25%0D%0Adone"
+        assert _github_escape_property("f:1,2") == "f%3A1%2C2"
 
 
 class TestCli:

@@ -14,8 +14,9 @@ FIXTURES = Path(__file__).parent / "fixtures"
 # (rule id, extra lint_source kwargs). XDB004 only applies inside the
 # xaidb package; XDB008/XDB009 only inside xaidb.explainers;
 # XDB010/XDB013 (the flow-sensitive tier) only inside xaidb;
-# XDB014-XDB017 (the interprocedural tier) additionally need a module
-# name, since call-graph qualnames derive from it.
+# XDB014-XDB017 (the interprocedural tier) and XDB018-XDB022 (the
+# concurrency tier) additionally need a module name, since call-graph
+# qualnames derive from it.
 CASES = [
     ("XDB001", {}),
     ("XDB002", {}),
@@ -34,6 +35,11 @@ CASES = [
     ("XDB015", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
     ("XDB016", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
     ("XDB017", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB018", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB019", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB020", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB021", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB022", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
 ]
 
 
@@ -84,6 +90,11 @@ def test_dirty_fixture_finding_counts():
         "XDB015": 2,  # float32 cast + int/int division reaching return
         "XDB016": 2,  # two sinks fed by a generator two levels down
         "XDB017": 2,  # callee mutation + view-through-callee return
+        "XDB018": 2,  # direct in-place write + mutation via a helper
+        "XDB019": 2,  # np.random module state + wall clock via helper
+        "XDB020": 2,  # lambda task + nested-function task
+        "XDB021": 2,  # direct time.sleep + blocking .fit via helper
+        "XDB022": 2,  # early-return leak + raise-path leak
     }
     for (rule_id, kwargs) in CASES:
         findings = _lint_fixture(rule_id, "dirty", kwargs)
@@ -112,13 +123,44 @@ def test_xdb010_and_xdb013_silent_outside_xaidb_package():
 
 
 def test_interproc_tier_silent_outside_xaidb_package():
-    """XDB014-XDB017 are scoped to the library like the rest of the
+    """XDB014-XDB022 are scoped to the library like the rest of the
     flow-sensitive tier."""
-    for rule_id in ("XDB014", "XDB015", "XDB016", "XDB017"):
+    for rule_id in (
+        "XDB014",
+        "XDB015",
+        "XDB016",
+        "XDB017",
+        "XDB018",
+        "XDB019",
+        "XDB020",
+        "XDB021",
+        "XDB022",
+    ):
         findings = _lint_fixture(
             rule_id, "dirty", {"module_name": "scripts.fx"}
         )
         assert not findings, [f.message for f in findings]
+
+
+def test_concurrency_tier_messages_carry_witnesses():
+    """XDB018/XDB019/XDB021 findings must say *where* the effect comes
+    from — the witness line the effect vector recorded."""
+    kwargs = {"in_xaidb_package": True, "module_name": "xaidb.fx"}
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB018", "dirty", kwargs)
+    )
+    assert "writes into a shared array at line" in messages
+    assert "which mutates it, at line" in messages
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB019", "dirty", kwargs)
+    )
+    assert "calls numpy.random.normal() at line" in messages
+    assert "via xaidb.fx._stamp_helper at line" in messages
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB021", "dirty", kwargs)
+    )
+    assert "calls time.sleep() at line" in messages
+    assert "model-evaluation path .fit()" in messages
 
 
 def test_xdb016_findings_cross_two_call_boundaries():

@@ -1,0 +1,144 @@
+"""Resource-tracker bookkeeping across the serial-fallback path.
+
+Under the ``fork`` start method workers share the creator's resource
+tracker daemon, so a worker's attach (which unregisters the segment to
+avoid double-unlink warnings) also strips the *creator's* registration.
+``WorkerPool.close`` re-registers before unlinking, but a map that dies
+mid-flight and falls back to serial used to leave the arena untracked —
+a process that then exited without ``close()`` orphaned its segments in
+``/dev/shm`` forever.  ``parallel_map`` now calls
+``retrack_segments()`` on the fallback path; these tests pin the fix by
+running the scenario in a real subprocess and watching the segment
+disappear (or the tracker stay quiet).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+# The scenario script reproduces the exact sequence under which a fork
+# worker's attach strips the creator's registration — every step is
+# load-bearing:
+#
+# 1. share a first array, so the tracker daemon exists BEFORE any
+#    worker is forked (workers inherit its pipe fd; a daemon spawned
+#    later would be private to each worker and the books stay
+#    separate);
+# 2. run a warm-up map, forking the workers (they inherit the attach
+#    cache holding array #1, so they will never untrack *it*);
+# 3. share a second array — registered with the shared daemon but
+#    absent from the workers' inherited attach cache;
+# 4. run a map over array #2: each worker attaches (cache miss) and
+#    untracks — sending the shared daemon an unregister that strips
+#    the CREATOR's registration — then dies (OSError is a
+#    pool-fallback failure, so the map retries serially in the
+#    parent, where the pid check passes).
+#
+# ``crash`` mode then exits without close(): from that point only the
+# resource tracker can reap segment #2, and it only can if the
+# fallback path re-registered it.  The task functions live at module
+# level behind no guard so spawn-mode children can import them; the
+# parent pid travels in the payload because a module global would be
+# re-evaluated (wrongly) on spawn re-import.
+SCENARIO = '''\
+import os
+import sys
+
+import numpy as np
+
+from xaidb.runtime.parallel import WorkerPool, parallel_map, resolve_shared
+
+
+def _warm(x):
+    return x
+
+
+def _attach_then_die(task):
+    payload, parent = task
+    total = float(resolve_shared(payload).sum())
+    if os.getpid() != parent:
+        raise OSError("simulated worker death after attach")
+    return total
+
+
+if __name__ == "__main__":
+    method, mode = sys.argv[1], sys.argv[2]
+    os.environ["XAIDB_POOL_START_METHOD"] = method
+    pool = WorkerPool.get()
+    pool.share(np.ones(8))  # spawns the tracker daemon pre-fork
+    assert parallel_map(_warm, [1, 2, 3, 4], n_jobs=2) == [1, 2, 3, 4]
+    array = np.arange(64, dtype=float)
+    ref = pool.share(array)  # post-fork: workers must attach to see it
+    tasks = [(ref, os.getpid())] * 4
+    results = parallel_map(_attach_then_die, tasks, n_jobs=2)
+    assert results == [float(array.sum())] * 4, results
+    print(ref.name, flush=True)
+    if mode == "crash":
+        # die without close(): shut the (broken) workers down so they
+        # cannot outlive us, then skip every atexit hook
+        pool._executor.shutdown(wait=True)
+        os._exit(0)
+    WorkerPool.close_global()
+'''
+
+
+def _run_scenario(tmp_path, method: str, mode: str):
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {method!r} unavailable here")
+    script = tmp_path / "tracker_scenario.py"
+    script.write_text(SCENARIO, encoding="utf-8")
+    env = dict(os.environ, PYTHONPATH=str(REPO_SRC))
+    proc = subprocess.run(
+        [sys.executable, str(script), method, mode],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr
+    segment_name = proc.stdout.strip().splitlines()[-1]
+    return segment_name, proc.stderr
+
+
+def _wait_gone(path: Path, seconds: float = 10.0) -> bool:
+    deadline = time.monotonic() + seconds
+    while path.exists():
+        if time.monotonic() > deadline:
+            return False
+        time.sleep(0.05)
+    return True
+
+
+@pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs a visible /dev/shm"
+)
+def test_fork_fallback_then_crash_segment_is_reaped(tmp_path):
+    """The regression: fork workers untrack the creator's segment, the
+    map falls back to serial, the process dies without close() — the
+    tracker must still reap the segment from /dev/shm."""
+    name, _stderr = _run_scenario(tmp_path, "fork", "crash")
+    segment = Path("/dev/shm") / name
+    reaped = _wait_gone(segment)
+    if not reaped:  # clean up the orphan before failing the test
+        segment.unlink()
+    assert reaped, f"segment {name} leaked in /dev/shm"
+
+
+def test_spawn_fallback_clean_exit_leaves_nothing_tracked(tmp_path):
+    """Spawn workers own a private tracker, so their attach/untrack is
+    self-balancing — after the fallback (which now re-registers) and a
+    normal close(), no segment survives and no tracker warns."""
+    name, stderr = _run_scenario(tmp_path, "spawn", "clean")
+    if os.path.isdir("/dev/shm"):
+        assert not (Path("/dev/shm") / name).exists()
+    assert "leaked shared_memory" not in stderr
+    assert "resource_tracker" not in stderr, stderr

@@ -30,6 +30,7 @@ def test_cache_hit_rate_and_metadata_keys():
         "wall_time_s",
         "rows_per_s",
         "n_pool_reuses",
+        "n_serial_fallbacks",
     }
     assert EvalStats().cache_hit_rate == 0.0  # no lookups, no divide-by-zero
 

@@ -24,6 +24,12 @@ def _shared_row_sum(task) -> float:  # module-level: picklable
     return float(resolve_shared(payload)[index].sum())
 
 
+def _mutate_shared(task):  # module-level: picklable, and wrong on purpose
+    payload, value = task
+    resolve_shared(payload)[0, 0] = value
+    return value
+
+
 @pytest.fixture()
 def fresh_pool():
     """A cold singleton for tests that assert on reuse counters, with
@@ -124,6 +130,53 @@ def test_repeated_data_shapley_fits_reuse_warm_pool(fresh_pool):
     assert np.array_equal(serial.values_, pooled.values_)
     # the training arrays crossed the boundary via the shared arena
     assert fresh_pool.n_shared_arrays == 2
+
+
+# ------------------------------------------------------------ contract edges
+def test_task_mutating_shared_array_raises_not_corrupts(fresh_pool):
+    """The arena is read-only by contract; a task that writes anyway
+    must fail loudly (ValueError is *not* a pool-fallback failure) and
+    leave the shared buffer unscathed for every other worker."""
+    array = np.arange(6, dtype=float).reshape(2, 3)
+    ref = fresh_pool.share(array)
+    with pytest.raises(ValueError):
+        parallel_map(_mutate_shared, [(ref, 99.0), (ref, 98.0)], n_jobs=2)
+    assert np.array_equal(ref.load(), array)
+
+
+def test_unpicklable_task_counts_a_serial_fallback(fresh_pool):
+    stats = EvalStats()
+    results = parallel_map(
+        lambda seed: seed * 2, list(range(5)), n_jobs=2, stats=stats
+    )
+    assert results == [0, 2, 4, 6, 8]  # identical verdict, serial path
+    assert stats.n_serial_fallbacks == 1
+    assert stats.n_pool_reuses == 0
+    assert "n_serial_fallbacks" in stats.as_metadata()
+
+
+@pytest.mark.parametrize("method", ["fork", "spawn"])
+def test_bit_identity_under_both_start_methods(method, monkeypatch):
+    """The determinism contract cannot depend on how workers are born:
+    fork inherits the parent heap, spawn re-imports from scratch, and
+    ``parallel_map`` must be bit-identical under both (and serial)."""
+    import multiprocessing
+
+    if method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {method!r} unavailable here")
+    WorkerPool.close_global()  # the env hook only binds at pool creation
+    monkeypatch.setenv("XAIDB_POOL_START_METHOD", method)
+    try:
+        seeds = list(range(8))
+        reference = [_seeded_draw(seed) for seed in seeds]
+        for n_jobs in (None, 1, 4):
+            results = parallel_map(_seeded_draw, seeds, n_jobs=n_jobs)
+            for got, want in zip(results, reference):
+                assert np.array_equal(got, want)
+        pool = WorkerPool.get()
+        assert pool.n_maps == 1  # the n_jobs=4 map really used the pool
+    finally:
+        WorkerPool.close_global()
 
 
 # ------------------------------------------------------------ lifecycle

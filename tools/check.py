@@ -38,6 +38,9 @@ committed SARIF snapshot (``xailint_baseline.sarif``) and fail only on
 docs/LINTING.md "Baseline gating").  Refresh the snapshot with
 ``python -m xaidb.analysis --write-baseline`` after a cleanup.
 
+When ``GITHUB_ACTIONS`` is set (workflow runs), the lint step reports
+via ``--format github`` so findings surface as inline PR annotations.
+
 Exit status is the first failing step's, 0 when everything passes.
 """
 
@@ -151,6 +154,11 @@ def main(argv: list[str] | None = None) -> int:
             f"{name} (baseline diff)",
             command + ["--baseline", "xailint_baseline.sarif"],
         )
+    if os.environ.get("GITHUB_ACTIONS"):
+        # inside a workflow run, findings surface as inline PR
+        # annotations (::warning/::error commands) instead of plain text
+        name, command = steps[0]
+        steps[0] = (name, command + ["--format", "github"])
     if "--changed-only" in argv:
         changed = changed_python_files()
         if changed is None:
