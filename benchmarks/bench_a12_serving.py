@@ -1,0 +1,275 @@
+"""A12 (serving) — closed-loop load sweep over the explanation server.
+
+Reproduced shape: an interactive explanation system is judged by its
+*served* latency/throughput trade-off, not by batch kernel speed (the
+X-SYS reference architecture's framing).  This benchmark drives the
+:mod:`xaidb.service` stack — bounded queue, micro-batcher, batched
+dispatcher — with a mixed LIME/KernelSHAP/Anchors workload over forest,
+GBM and linear models, sweeping the number of closed-loop clients:
+
+1. every response stays **bitwise identical** to the per-request serial
+   path (the coalescing-correctness invariant — checked on a sample of
+   requests against direct explainer calls);
+2. achieved throughput rises with offered concurrency while the
+   micro-batcher's mean batch size grows (coalescing is actually
+   happening, not just queueing);
+3. the p50/p95/p99 latency trajectory is recorded per concurrency
+   level, alongside shed/deadline counts.
+
+Besides the printed table, the full run persists ``benchmarks/
+BENCH_serving.json`` — offered load vs. achieved throughput vs. latency
+percentiles — next to ``BENCH_inference.json``, so the serving-layer
+trajectory across sessions has a baseline artifact.
+
+``XAIDB_A12_SMOKE=1`` (the ``tools/check.py`` / CI setting) shrinks the
+sweep and the per-client request count and skips the JSON write;
+``XAIDB_A12_CLIENTS`` / ``XAIDB_A12_REQUESTS`` cap the sweep and the
+requests-per-client explicitly.
+"""
+
+import asyncio
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks._tables import print_table
+from xaidb.data import make_income
+from xaidb.explainers.base import predict_positive_proba
+from xaidb.explainers.lime import LimeExplainer
+from xaidb.explainers.shapley import KernelShapExplainer
+from xaidb.models import (
+    GradientBoostedClassifier,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+from xaidb.service import (
+    Dispatcher,
+    ExplanationServer,
+    ServiceStats,
+    WorkloadItem,
+    run_closed_loop,
+)
+
+SMOKE = os.environ.get("XAIDB_A12_SMOKE", "0") == "1"
+MAX_CLIENTS = int(os.environ.get("XAIDB_A12_CLIENTS", "4" if SMOKE else "16"))
+N_REQUESTS = int(os.environ.get("XAIDB_A12_REQUESTS", "6" if SMOKE else "25"))
+
+#: Small explainer budgets: A12 measures the *serving* machinery, so the
+#: per-request work is deliberately modest (A10 owns kernel speed).
+LIME_CONFIG = {"n_samples": 128}
+SHAP_CONFIG = {"n_coalitions": 64}
+ANCHORS_CONFIG = {
+    "batch_size": 32,
+    "max_samples_per_candidate": 200,
+    "beam_width": 1,
+    "max_anchor_size": 2,
+}
+
+
+def _build_dispatcher():
+    workload = make_income(400, random_state=7)
+    dataset = workload.dataset
+    forest = RandomForestClassifier(
+        n_estimators=8, max_depth=5, random_state=0
+    ).fit(dataset.X, dataset.y)
+    gbm = GradientBoostedClassifier(
+        n_estimators=12, max_depth=3, random_state=1
+    ).fit(dataset.X, dataset.y)
+    linear = LogisticRegression(l2=1e-2).fit(dataset.X, dataset.y)
+
+    dispatcher = Dispatcher()
+    background = dataset.X[:24]
+    for digest, model in (
+        ("forest", forest),
+        ("gbm", gbm),
+        ("linear", linear),
+    ):
+        dispatcher.register_model(
+            digest,
+            predict_positive_proba(model),
+            dataset=dataset,
+            background=background,
+        )
+    pool = dataset.X[:32]
+    mix = [
+        WorkloadItem("forest", "lime", pool, config=LIME_CONFIG),
+        WorkloadItem("gbm", "kernel_shap", pool, config=SHAP_CONFIG),
+        WorkloadItem("linear", "anchors", pool, config=ANCHORS_CONFIG),
+        WorkloadItem("forest", "kernel_shap", pool, config=SHAP_CONFIG),
+        WorkloadItem("linear", "lime", pool, config=LIME_CONFIG),
+        WorkloadItem("gbm", "lime", pool, config=LIME_CONFIG),
+    ]
+    return dispatcher, dataset, mix
+
+
+def _serial_reference(dispatcher, dataset, response, request):
+    """Re-run one served request through the plain serial path."""
+    entry = dispatcher._models[request.model]
+    if request.explainer == "kernel_shap":
+        explainer = KernelShapExplainer(
+            entry.predict_fn, entry.background, **request.config
+        )
+        serial = explainer.explain(
+            request.instance, random_state=request.random_state
+        )
+        return bool(np.array_equal(response.result.values, serial.values))
+    if request.explainer == "lime":
+        explainer = LimeExplainer(entry.dataset, **request.config)
+        serial = explainer.explain(
+            entry.predict_fn,
+            request.instance,
+            random_state=request.random_state,
+        )
+        return bool(np.array_equal(response.result.values, serial.values))
+    raise ValueError(request.explainer)
+
+
+async def _check_bitwise(server, dispatcher, dataset) -> bool:
+    """Submit a burst of coalescing-prone requests and compare each
+    response to the serial path, bitwise."""
+    from xaidb.service import ExplainRequest
+
+    requests = [
+        ExplainRequest(
+            model="forest",
+            explainer="kernel_shap",
+            instance=dataset.X[i],
+            config=SHAP_CONFIG,
+            random_state=5000 + i,
+        )
+        for i in range(4)
+    ] + [
+        ExplainRequest(
+            model="forest",
+            explainer="lime",
+            instance=dataset.X[i],
+            config=LIME_CONFIG,
+            random_state=6000 + i,
+        )
+        for i in range(4)
+    ]
+    responses = await asyncio.gather(
+        *(server.submit(request) for request in requests)
+    )
+    coalesced = any(response.batch_size > 1 for response in responses)
+    identical = all(
+        _serial_reference(dispatcher, dataset, response, request)
+        for response, request in zip(responses, requests)
+    )
+    return identical and coalesced
+
+
+async def _sweep():
+    dispatcher, dataset, mix = _build_dispatcher()
+    levels = [n for n in (1, 2, 4, 8, 16) if n <= MAX_CLIENTS]
+    sweep = []
+    for n_clients in levels:
+        stats = ServiceStats()
+        async with ExplanationServer(
+            dispatcher,
+            max_queue_depth=max(64, 4 * n_clients),
+            max_batch_size=32,
+            max_wait_s=0.002,
+            stats=stats,
+        ) as server:
+            result = await run_closed_loop(
+                server,
+                mix,
+                n_clients=n_clients,
+                n_requests_per_client=N_REQUESTS,
+                base_seed=17,
+            )
+        sweep.append(
+            {
+                "n_clients": n_clients,
+                "n_requests": result.n_requests,
+                "n_completed": result.n_completed,
+                "n_shed": result.n_shed,
+                "n_deadline_expired": result.n_deadline_expired,
+                "n_failed": result.n_failed,
+                "offered_rps": result.offered_rps,
+                "achieved_rps": result.achieved_rps,
+                "p50_ms": stats.p50_s * 1e3,
+                "p95_ms": stats.p95_s * 1e3,
+                "p99_ms": stats.p99_s * 1e3,
+                "mean_batch_size": stats.mean_batch_size,
+                "queue_depth_peak": stats.queue_depth_peak,
+                "n_model_evals": stats.runtime.n_model_evals,
+            }
+        )
+
+    # correctness burst on a fresh server (separate stats, so the sweep
+    # numbers above stay pure throughput measurements)
+    async with ExplanationServer(
+        dispatcher, max_batch_size=16, max_wait_s=0.005
+    ) as server:
+        bitwise = await _check_bitwise(server, dispatcher, dataset)
+    return sweep, bitwise
+
+
+def compute_rows():
+    sweep, bitwise = asyncio.run(_sweep())
+    rows = [
+        (
+            level["n_clients"],
+            f"{level['offered_rps']:,.1f}",
+            f"{level['achieved_rps']:,.1f}",
+            f"{level['p50_ms']:.1f}",
+            f"{level['p99_ms']:.1f}",
+            f"{level['mean_batch_size']:.2f}",
+            level["n_shed"] + level["n_deadline_expired"],
+        )
+        for level in sweep
+    ]
+    record = {
+        "smoke": SMOKE,
+        "n_requests_per_client": N_REQUESTS,
+        "workload_mix": [
+            "lime/forest",
+            "kernel_shap/gbm",
+            "anchors/linear",
+            "kernel_shap/forest",
+            "lime/linear",
+            "lime/gbm",
+        ],
+        "bitwise_identical_to_serial": bitwise,
+        "sweep": sweep,
+    }
+    if not SMOKE:  # smoke runs must not overwrite the baseline artifact
+        out_path = Path(__file__).resolve().parent / "BENCH_serving.json"
+        out_path.write_text(json.dumps(record, indent=2) + "\n")
+    return rows, record
+
+
+def test_a12_serving(benchmark):
+    rows, record = benchmark.pedantic(compute_rows, rounds=1, iterations=1)
+    print_table(
+        "A12 (serving): closed-loop load sweep over the explanation "
+        "server (mixed LIME/KernelSHAP/Anchors on forest/GBM/linear)",
+        ["clients", "offered rps", "achieved rps", "p50 ms", "p99 ms",
+         "mean batch", "rejected"],
+        rows,
+    )
+    sweep = record["sweep"]
+    # batched responses reproduce the per-request serial path bitwise,
+    # and the burst actually coalesced (batch_size > 1 observed)
+    assert record["bitwise_identical_to_serial"]
+    # every level completed its full closed-loop request count
+    assert all(
+        level["n_completed"] == level["n_requests"] for level in sweep
+    )
+    assert all(level["n_failed"] == 0 for level in sweep)
+    # latency percentiles are recorded and ordered
+    assert all(
+        0 < level["p50_ms"] <= level["p95_ms"] <= level["p99_ms"]
+        for level in sweep
+    )
+    # coalescing is guaranteed by the burst check above (simultaneous
+    # same-key submissions must share a dispatched batch); the sweep's
+    # mean batch size is traffic-timing-dependent, so the full run
+    # asserts it while the CI smoke only records it
+    assert all(level["mean_batch_size"] >= 1.0 for level in sweep)
+    if not SMOKE:
+        assert sweep[-1]["mean_batch_size"] > 1.0

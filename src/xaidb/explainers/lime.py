@@ -175,6 +175,7 @@ class LimeExplainer(Explainer):
         instances: np.ndarray,
         *,
         random_state: RandomState = None,
+        seeds: list[int | None] | None = None,
         n_jobs: int | None = None,
     ) -> list[LimeExplanation]:
         """Explain many instances, optionally across worker processes.
@@ -187,9 +188,19 @@ class LimeExplainer(Explainer):
         batch is shipped once through the worker pool's shared-memory
         arena rather than pickled per task; :attr:`batch_stats_` records
         the run, including warm-pool reuse across repeated calls.
+
+        ``seeds`` overrides the spawned child seeds with one explicit
+        per-instance seed each — the serving dispatcher's entry point,
+        which must reproduce ``explain(instance, random_state=seed)``
+        bitwise for every coalesced request.
         """
         instances = check_array(instances, name="instances", ndim=2)
-        seeds = spawn_seeds(random_state, instances.shape[0])
+        if seeds is None:
+            seeds = spawn_seeds(random_state, instances.shape[0])
+        elif len(seeds) != instances.shape[0]:
+            raise ValidationError(
+                f"got {len(seeds)} seeds for {instances.shape[0]} instances"
+            )
         self.batch_stats_ = EvalStats()
         payload = instances
         if n_jobs is not None and n_jobs > 1:

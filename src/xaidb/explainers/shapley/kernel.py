@@ -26,10 +26,10 @@ import numpy as np
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
 from xaidb.explainers.shapley.games import MarginalImputationGame
-from xaidb.runtime import GameRuntime, RuntimeConfig
+from xaidb.runtime import EvalStats, GameRuntime, RuntimeConfig
 from xaidb.utils.combinatorics import shapley_kernel_weight
 from xaidb.utils.linalg import solve_psd
-from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array
 
 __all__ = ["KernelShapExplainer"]
@@ -73,9 +73,16 @@ class KernelShapExplainer(Explainer):
         self.l2 = l2
         self.feature_names = feature_names
         self.config = config or RuntimeConfig()
+        #: Shared ledger of the most recent :meth:`explain_batch` call.
+        self.batch_stats_: EvalStats | None = None
 
     # ------------------------------------------------------------------
-    def make_runtime(self, instance: np.ndarray) -> GameRuntime:
+    def make_runtime(
+        self,
+        instance: np.ndarray,
+        *,
+        stats: EvalStats | None = None,
+    ) -> GameRuntime:
         """A runtime for repeated explanations of one instance.
 
         Pass the result to :meth:`explain` via ``runtime=`` to share the
@@ -83,7 +90,8 @@ class KernelShapExplainer(Explainer):
         the same explanation with different budgets/visualisations);
         its :attr:`~xaidb.runtime.GameRuntime.stats` accumulate across
         those calls while each attribution's metadata reports per-call
-        deltas.
+        deltas.  ``stats`` threads in an external ledger (e.g. one
+        shared across a batch) instead of a fresh one.
         """
         instance = check_array(instance, name="instance", ndim=1)
         return GameRuntime(
@@ -91,6 +99,7 @@ class KernelShapExplainer(Explainer):
                 self.predict_fn, instance, self.background
             ),
             config=self.config,
+            stats=stats,
         )
 
     def explain(
@@ -132,6 +141,47 @@ class KernelShapExplainer(Explainer):
                 **run_stats.as_metadata(),
             },
         )
+
+    # ------------------------------------------------------------------
+    def explain_batch(
+        self,
+        instances: np.ndarray,
+        *,
+        random_state: RandomState = None,
+        seeds: list[int | None] | None = None,
+    ) -> list[FeatureAttribution]:
+        """Explain many instances in one call — the serving dispatcher's
+        batch entry point.
+
+        Each instance gets its own fresh game and runtime (the
+        marginal-imputation game is per-instance, so coalition caches
+        cannot be shared across rows), seeded per instance, which makes
+        every attribution **bitwise identical** to the serial
+        ``explain(instance, random_state=seed)`` path.  All runtimes
+        write into one shared :attr:`batch_stats_` ledger; per-call
+        deltas in each attribution's metadata stay exact because
+        :meth:`EvalStats.since` snapshots are taken inside
+        :meth:`explain`.
+        """
+        instances = check_array(instances, name="instances", ndim=2)
+        n = instances.shape[0]
+        if seeds is None:
+            seeds = spawn_seeds(random_state, n)
+        elif len(seeds) != n:
+            raise ValidationError(
+                f"got {len(seeds)} seeds for {n} instances"
+            )
+        self.batch_stats_ = EvalStats()
+        return [
+            self.explain(
+                instances[i],
+                random_state=seeds[i],
+                runtime=self.make_runtime(
+                    instances[i], stats=self.batch_stats_
+                ),
+            )
+            for i in range(n)
+        ]
 
     # ------------------------------------------------------------------
     def _coalition_design(

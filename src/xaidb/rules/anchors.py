@@ -26,7 +26,7 @@ from xaidb.data.dataset import Dataset
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import PredictFn
 from xaidb.runtime import EvalStats
-from xaidb.utils.rng import RandomState, check_random_state
+from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array, check_probability
 
 __all__ = [
@@ -149,6 +149,8 @@ class AnchorsExplainer:
         self.delta = delta
         self.candidate_selection = candidate_selection
         self._bin_edges = self._compute_bins()
+        #: Ledger of the most recent :meth:`explain_batch` call.
+        self.batch_stats_: EvalStats | None = None
 
     # ------------------------------------------------------------------
     def _compute_bins(self) -> dict[int, np.ndarray]:
@@ -323,6 +325,45 @@ class AnchorsExplainer:
             prediction=1.0 if decision else 0.0,
             eval_stats=eval_stats.as_metadata(),
         )
+
+    # ------------------------------------------------------------------
+    def explain_batch(
+        self,
+        instances: np.ndarray,
+        *,
+        random_state: RandomState = None,
+        seeds: list[int | None] | None = None,
+    ) -> list[Anchor]:
+        """Find anchors for many instances — the serving dispatcher's
+        batch entry point.
+
+        Each instance's beam search runs under its own seed, so every
+        anchor is bitwise identical to the serial ``explain(instance,
+        random_state=seed)`` path; :attr:`batch_stats_` accumulates the
+        per-search ledgers (rows scored, search wall-time).
+        """
+        instances = check_array(instances, name="instances", ndim=2)
+        n = instances.shape[0]
+        if seeds is None:
+            seeds = spawn_seeds(random_state, n)
+        elif len(seeds) != n:
+            raise ValidationError(
+                f"got {len(seeds)} seeds for {n} instances"
+            )
+        self.batch_stats_ = EvalStats()
+        anchors = [
+            self.explain(instances[i], random_state=seeds[i])
+            for i in range(n)
+        ]
+        for anchor in anchors:
+            if anchor.eval_stats:
+                self.batch_stats_.count_rows(
+                    anchor.eval_stats.get("n_model_evals", 0)
+                )
+                self.batch_stats_.wall_time_s += anchor.eval_stats.get(
+                    "wall_time_s", 0.0
+                )
+        return anchors
 
     # ------------------------------------------------------------------
     def _coverage_of(self, instance: np.ndarray):

@@ -15,7 +15,16 @@ import numpy as np
 
 from xaidb.exceptions import ValidationError
 
-__all__ = ["CoalitionCache"]
+__all__ = ["CoalitionCache", "DEFAULT_MAX_ENTRIES"]
+
+
+#: Default :class:`CoalitionCache` capacity.  Far above any tier-1 or
+#: single-explanation workload (a 20-feature exhaustive KernelSHAP
+#: enumerates ~10^6 coalitions), so bounded behaviour is bitwise
+#: identical to the old unbounded cache there — the bound only bites in
+#: long-running processes (servers) where it used to leak memory on
+#: every distinct coalition.
+DEFAULT_MAX_ENTRIES = 1_000_000
 
 
 class CoalitionCache:
@@ -24,23 +33,53 @@ class CoalitionCache:
     Keys are the raw bytes of the boolean mask, so lookups are dtype- and
     order-exact; one cache serves one game (one instance/background pair)
     and must not be shared across games.
+
+    Parameters
+    ----------
+    n_players:
+        Mask width; every lookup is validated against it.
+    max_entries:
+        Capacity bound.  When an insert would exceed it, the oldest
+        entries (FIFO — dict insertion order) are evicted and counted in
+        :attr:`n_evictions`; ``None`` means unbounded (the historical
+        behaviour, which leaks in a long-running server).  Eviction
+        never changes values, only cost: an evicted coalition is simply
+        re-evaluated on its next request.
     """
 
-    def __init__(self, n_players: int) -> None:
+    def __init__(
+        self,
+        n_players: int,
+        *,
+        max_entries: int | None = DEFAULT_MAX_ENTRIES,
+    ) -> None:
         if n_players < 1:
             raise ValidationError("a coalition cache needs n_players >= 1")
+        if max_entries is not None and max_entries < 1:
+            raise ValidationError("max_entries must be >= 1 or None")
         self.n_players = n_players
+        self.max_entries = max_entries
+        self.n_evictions = 0
         self._values: dict[bytes, float] = {}
 
     # ------------------------------------------------------------------
     def _key(self, mask: np.ndarray) -> bytes:
         return np.ascontiguousarray(mask, dtype=bool).tobytes()
 
+    def _evict_to_bound(self) -> None:
+        if self.max_entries is None:
+            return
+        while len(self._values) > self.max_entries:
+            # dicts iterate in insertion order: drop the oldest entry
+            del self._values[next(iter(self._values))]
+            self.n_evictions += 1
+
     def get(self, mask: np.ndarray) -> float | None:
         return self._values.get(self._key(mask))
 
     def put(self, mask: np.ndarray, value: float) -> None:
         self._values[self._key(mask)] = float(value)
+        self._evict_to_bound()
 
     # ------------------------------------------------------------------
     def lookup_batch(
@@ -78,6 +117,7 @@ class CoalitionCache:
             )
         for row in range(masks.shape[0]):
             self._values[self._key(masks[row])] = float(values[row])
+        self._evict_to_bound()
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

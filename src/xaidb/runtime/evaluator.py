@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Iterable
 import numpy as np
 
 from xaidb.exceptions import ValidationError
-from xaidb.runtime.cache import CoalitionCache
+from xaidb.runtime.cache import DEFAULT_MAX_ENTRIES, CoalitionCache
 from xaidb.runtime.parallel import parallel_map
 from xaidb.runtime.stats import EvalStats
 
@@ -65,17 +65,27 @@ class RuntimeConfig:
         cross the process boundary (instrumented games carry an
         unpicklable counting wrapper and transparently stay serial, so
         evaluation accounting is never lost to a worker process).
+    max_cache_entries:
+        Capacity bound on the coalition memo cache (FIFO eviction,
+        ``None`` = unbounded).  The default is far above any single
+        explanation's coalition count, so results are bitwise unchanged
+        there; it exists so a long-running server cannot leak memory on
+        every distinct coalition.  Evictions surface as
+        ``EvalStats.cache_evictions``.
     """
 
     cache: bool = True
     max_batch_rows: int | None = 16384
     n_jobs: int | None = None
+    max_cache_entries: int | None = DEFAULT_MAX_ENTRIES
 
     def __post_init__(self) -> None:
         if self.max_batch_rows is not None and self.max_batch_rows < 1:
             raise ValidationError("max_batch_rows must be >= 1 or None")
         if self.n_jobs is not None and self.n_jobs < 1:
             raise ValidationError("n_jobs must be >= 1 or None")
+        if self.max_cache_entries is not None and self.max_cache_entries < 1:
+            raise ValidationError("max_cache_entries must be >= 1 or None")
 
 
 class GameRuntime:
@@ -111,10 +121,21 @@ class GameRuntime:
         self.config = config or RuntimeConfig()
         self.stats = stats or EvalStats()
         self._cache = (
-            CoalitionCache(game.n_players) if self.config.cache else None
+            CoalitionCache(
+                game.n_players,
+                max_entries=self.config.max_cache_entries,
+            )
+            if self.config.cache
+            else None
         )
+        # ``wrap_predict_fn`` is idempotent: re-wrapping a game that an
+        # earlier runtime already instrumented (a dispatcher reusing
+        # long-lived games) replaces the old counting wrapper instead of
+        # stacking another one, so each scored row counts exactly once —
+        # in *this* runtime's ledger.
         if hasattr(game, "predict_fn"):
             game.predict_fn = self.stats.wrap_predict_fn(game.predict_fn)
+        self._evictions_seen = 0
         batch_fn = getattr(game, "values_batch", None)
         self._batch_fn = batch_fn
         self._batch_fn_chunks = bool(batch_fn) and (
@@ -134,6 +155,16 @@ class GameRuntime:
             mask[index] = True
         return mask
 
+    def _sync_evictions(self) -> None:
+        """Mirror the cache's eviction count into the ledger (as deltas,
+        so a stats object shared across runtimes accumulates correctly)."""
+        if self._cache is None:
+            return
+        delta = self._cache.n_evictions - self._evictions_seen
+        if delta:
+            self.stats.cache_evictions += delta
+            self._evictions_seen = self._cache.n_evictions
+
     def value(self, coalition: Iterable[int]) -> float:
         mask = self._mask_of(coalition)
         if self._cache is not None:
@@ -146,6 +177,7 @@ class GameRuntime:
         self.stats.n_coalition_evals += 1
         if self._cache is not None:
             self._cache.put(mask, result)
+            self._sync_evictions()
         return result
 
     # ------------------------------------------------------------------
@@ -184,6 +216,7 @@ class GameRuntime:
             unique_values = self._evaluate(unique_masks)
             self.stats.n_coalition_evals += len(unique_rows)
             self._cache.store_batch(unique_masks, unique_values)
+            self._sync_evictions()
             values[missing] = unique_values[position]
         return values
 

@@ -42,7 +42,15 @@ class EvalStats:
     cache_hits / cache_misses:
         Memo-cache outcomes, over both scalar and batch lookups.
     wall_time_s:
-        Seconds accumulated inside :meth:`timer` blocks.
+        Seconds accumulated inside :meth:`timer` blocks.  Nested blocks
+        on the *same* ledger count the outermost span only, so an outer
+        ``explain_batch`` timer wrapped around inner per-explanation
+        timed sections never double-counts wall time (which would
+        inflate the denominator of :attr:`rows_per_s`).
+    cache_evictions:
+        Entries dropped from a bounded :class:`~xaidb.runtime.cache.
+        CoalitionCache` to stay within ``max_entries`` — nonzero means
+        the working set no longer fits and hit rates are paying for it.
     n_pool_reuses:
         Pooled ``parallel_map`` calls served by already-warm workers of
         the persistent :class:`~xaidb.runtime.parallel.WorkerPool`
@@ -59,10 +67,16 @@ class EvalStats:
     n_coalition_evals: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     wall_time_s: float = 0.0
     n_pool_reuses: int = 0
     n_serial_fallbacks: int = 0
     extra: dict[str, Any] = field(default_factory=dict)
+    #: Live :meth:`timer` nesting depth — bookkeeping, not a counter
+    #: (never copied, compared or merged).
+    _timer_depth: int = field(
+        default=0, init=False, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -83,23 +97,42 @@ class EvalStats:
         self.n_model_evals += int(n_rows)
 
     def wrap_predict_fn(self, predict_fn: _PredictFn) -> _PredictFn:
-        """Wrap ``predict_fn`` so every scored row is counted here."""
+        """Wrap ``predict_fn`` so every scored row is counted here.
+
+        Instrumentation is *idempotent*: wrapping a function that is
+        already a counting wrapper (its own, or another ledger's)
+        replaces that wrapper instead of stacking a second one — a
+        dispatcher that re-instruments a long-lived game on every
+        request must not multiply ``n_model_evals`` by the number of
+        times the game has been wrapped.  The original callable is kept
+        on the wrapper as :attr:`__wrapped__`.
+        """
+        predict_fn = getattr(predict_fn, "__wrapped__", predict_fn)
 
         def counted(X: np.ndarray) -> np.ndarray:
             X = np.asarray(X)
             self.count_rows(X.shape[0] if X.ndim > 1 else 1)
             return predict_fn(X)
 
+        counted.__wrapped__ = predict_fn
         return counted
 
     @contextmanager
     def timer(self) -> Iterator["EvalStats"]:
-        """Accumulate the wall-time of the enclosed block."""
+        """Accumulate the wall-time of the enclosed block.
+
+        Re-entrancy-safe: when timer blocks on the same ledger nest
+        (an outer batch timer around inner per-call timed sections),
+        only the outermost block adds to :attr:`wall_time_s`.
+        """
         start = time.perf_counter()
+        self._timer_depth += 1
         try:
             yield self
         finally:
-            self.wall_time_s += time.perf_counter() - start
+            self._timer_depth -= 1
+            if self._timer_depth == 0:
+                self.wall_time_s += time.perf_counter() - start
 
     # ------------------------------------------------------------------
     def copy(self) -> "EvalStats":
@@ -109,6 +142,7 @@ class EvalStats:
             n_coalition_evals=self.n_coalition_evals,
             cache_hits=self.cache_hits,
             cache_misses=self.cache_misses,
+            cache_evictions=self.cache_evictions,
             wall_time_s=self.wall_time_s,
             n_pool_reuses=self.n_pool_reuses,
             n_serial_fallbacks=self.n_serial_fallbacks,
@@ -117,7 +151,26 @@ class EvalStats:
 
     def since(self, earlier: "EvalStats") -> "EvalStats":
         """Counters accumulated after the ``earlier`` snapshot — how a
-        shared runtime attributes work to one explanation call."""
+        shared runtime attributes work to one explanation call.
+
+        ``extra`` travels with the delta, like :meth:`copy`: numeric
+        values that exist in both snapshots are differenced; everything
+        else (labels, configs, keys added after the snapshot) keeps the
+        current value.  Dropping the dict here silently stripped
+        per-explanation metadata attribution.
+        """
+        extra: dict[str, Any] = {}
+        for key, value in self.extra.items():
+            prior = earlier.extra.get(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and isinstance(prior, (int, float))
+                and not isinstance(prior, bool)
+            ):
+                extra[key] = value - prior
+            else:
+                extra[key] = value
         return EvalStats(
             n_model_evals=self.n_model_evals - earlier.n_model_evals,
             n_coalition_evals=(
@@ -125,22 +178,41 @@ class EvalStats:
             ),
             cache_hits=self.cache_hits - earlier.cache_hits,
             cache_misses=self.cache_misses - earlier.cache_misses,
+            cache_evictions=self.cache_evictions - earlier.cache_evictions,
             wall_time_s=self.wall_time_s - earlier.wall_time_s,
             n_pool_reuses=self.n_pool_reuses - earlier.n_pool_reuses,
             n_serial_fallbacks=(
                 self.n_serial_fallbacks - earlier.n_serial_fallbacks
             ),
+            extra=extra,
         )
 
     def merge(self, other: "EvalStats") -> "EvalStats":
-        """Fold another ledger into this one (e.g. per-worker stats)."""
+        """Fold another ledger into this one (e.g. per-worker stats).
+
+        ``extra`` folds too: numeric values shared by both ledgers add,
+        anything else takes ``other``'s value — the same convention
+        :meth:`since` inverts.
+        """
         self.n_model_evals += other.n_model_evals
         self.n_coalition_evals += other.n_coalition_evals
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.wall_time_s += other.wall_time_s
         self.n_pool_reuses += other.n_pool_reuses
         self.n_serial_fallbacks += other.n_serial_fallbacks
+        for key, value in other.extra.items():
+            mine = self.extra.get(key)
+            if (
+                isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and isinstance(mine, (int, float))
+                and not isinstance(mine, bool)
+            ):
+                self.extra[key] = mine + value
+            else:
+                self.extra[key] = value
         return self
 
     def as_metadata(self) -> dict[str, Any]:
@@ -148,6 +220,7 @@ class EvalStats:
         return {
             "n_model_evals": int(self.n_model_evals),
             "cache_hit_rate": float(self.cache_hit_rate),
+            "cache_evictions": int(self.cache_evictions),
             "wall_time_s": float(self.wall_time_s),
             "rows_per_s": float(self.rows_per_s),
             "n_pool_reuses": int(self.n_pool_reuses),

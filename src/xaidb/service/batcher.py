@@ -1,0 +1,144 @@
+"""Bounded request queue + micro-batcher.
+
+The admission and coalescing half of the server: requests enter a
+bounded :class:`asyncio.Queue` (overflow is *rejected*, never buffered —
+an overloaded explanation server must fail fast, not build an invisible
+latency bomb), and :meth:`MicroBatcher.next_batch` drains them in
+batching windows: wait for one request, then keep collecting until
+either ``max_batch_size`` requests arrived or ``max_wait_s`` elapsed.
+Grouping the drained window by :attr:`~xaidb.service.types.
+ExplainRequest.batch_key` is the caller's job (:func:`group_by_key`),
+because one window may legitimately carry several distinct workloads.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from xaidb.exceptions import ValidationError
+from xaidb.service.types import ExplainRequest, LoadShedError
+
+__all__ = ["PendingRequest", "MicroBatcher", "group_by_key"]
+
+
+@dataclass
+class PendingRequest:
+    """A queued request plus its completion plumbing."""
+
+    request: ExplainRequest
+    request_id: int
+    future: "asyncio.Future[Any]"
+    enqueued_at: float
+    #: Absolute ``loop.time()`` deadline, or ``None``.
+    deadline_at: float | None = None
+    #: Size of the dispatched batch this request rode in (set by the
+    #: dispatch path; 0 until then).
+    batch_size: int = field(default=0)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now >= self.deadline_at
+
+
+class MicroBatcher:
+    """Bounded queue + batching-window drain.
+
+    Parameters
+    ----------
+    max_queue_depth:
+        Admission bound; :meth:`put_nowait` raises
+        :class:`~xaidb.service.types.LoadShedError` beyond it.
+    max_batch_size:
+        Upper bound on requests per drained window (and therefore per
+        dispatched batch).
+    max_wait_s:
+        How long the drain waits for stragglers after the first request
+        of a window arrives.  0 coalesces only requests that are
+        already queued — lowest latency, least batching.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_queue_depth: int = 256,
+        max_batch_size: int = 32,
+        max_wait_s: float = 0.002,
+    ) -> None:
+        if max_queue_depth < 1:
+            raise ValidationError("max_queue_depth must be >= 1")
+        if max_batch_size < 1:
+            raise ValidationError("max_batch_size must be >= 1")
+        if max_wait_s < 0:
+            raise ValidationError("max_wait_s must be >= 0")
+        self.max_queue_depth = max_queue_depth
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_s
+        self._queue: asyncio.Queue[PendingRequest] = asyncio.Queue(
+            maxsize=max_queue_depth
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (admitted, not yet drained)."""
+        return self._queue.qsize()
+
+    def put_nowait(self, entry: PendingRequest) -> None:
+        """Admit a request or shed it — never blocks, never buffers
+        beyond the bound."""
+        try:
+            self._queue.put_nowait(entry)
+        except asyncio.QueueFull:
+            raise LoadShedError(
+                f"request queue is full ({self.max_queue_depth} pending); "
+                f"request shed"
+            ) from None
+
+    async def next_batch(self) -> list[PendingRequest]:
+        """Drain one batching window (at least one request).
+
+        Waits indefinitely for the first request, then keeps collecting
+        until the window closes (``max_wait_s`` after the first
+        request) or ``max_batch_size`` is reached.
+        """
+        first = await self._queue.get()
+        batch = [first]
+        if self.max_wait_s <= 0:
+            while (
+                len(batch) < self.max_batch_size and not self._queue.empty()
+            ):
+                batch.append(self._queue.get_nowait())
+            return batch
+        loop = asyncio.get_running_loop()
+        closes_at = loop.time() + self.max_wait_s
+        while len(batch) < self.max_batch_size:
+            remaining = closes_at - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(
+                    await asyncio.wait_for(self._queue.get(), remaining)
+                )
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    def drain_nowait(self) -> list[PendingRequest]:
+        """Remove and return everything currently queued (shutdown
+        path: the server fails these with a typed error)."""
+        drained: list[PendingRequest] = []
+        while not self._queue.empty():
+            drained.append(self._queue.get_nowait())
+        return drained
+
+
+def group_by_key(
+    batch: list[PendingRequest],
+) -> dict[tuple[str, str, str], list[PendingRequest]]:
+    """Split one drained window into per-``batch_key`` dispatch groups,
+    preserving arrival order within each group."""
+    groups: dict[tuple[str, str, str], list[PendingRequest]] = {}
+    for entry in batch:
+        groups.setdefault(entry.request.batch_key, []).append(entry)
+    return groups

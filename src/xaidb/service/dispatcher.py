@@ -1,0 +1,222 @@
+"""The batched explanation back-end: (model, explainer, config) → work.
+
+The dispatcher owns two registries — models (by digest) and explainer
+factories (by name) — and turns one coalesced micro-batch into exactly
+one batched explainer call.  Backends are built once per
+``(model, explainer, config digest)`` and cached, so a hot workload
+pays explainer construction (quantile bins, perturbation statistics)
+once, not per request; every backend's batch entry point is seeded
+per instance, which keeps the batched results **bitwise identical** to
+the per-request serial path (asserted in ``tests/service/`` and by
+benchmark A12).
+
+Built-in explainer names: ``"lime"``, ``"kernel_shap"``, ``"anchors"``.
+Custom backends register via :meth:`Dispatcher.register_explainer` with
+a factory ``(entry, config) -> (instances, seeds) -> (results, stats)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from xaidb.data.dataset import Dataset
+from xaidb.explainers.base import PredictFn
+from xaidb.explainers.lime import LimeExplainer
+from xaidb.explainers.shapley import KernelShapExplainer
+from xaidb.rules.anchors import AnchorsExplainer
+from xaidb.runtime.stats import EvalStats
+from xaidb.service.types import (
+    UnknownExplainerError,
+    UnknownModelError,
+    config_digest,
+)
+
+__all__ = ["ModelEntry", "Dispatcher", "BackendFn", "BackendFactory"]
+
+#: A built backend: ``(instances, per-instance seeds) -> (results,
+#: evaluation ledger or None)``.
+BackendFn = Callable[
+    [np.ndarray, list[int | None]], tuple[list[Any], EvalStats | None]
+]
+#: Builds a backend for one (model entry, explainer config) pair.
+BackendFactory = Callable[["ModelEntry", dict[str, Any]], BackendFn]
+
+
+@dataclass
+class ModelEntry:
+    """One served model: its prediction function plus the side inputs
+    different explainer families need (training data for LIME/Anchors
+    perturbation statistics, background rows for KernelSHAP)."""
+
+    digest: str
+    predict_fn: PredictFn
+    dataset: Dataset | None = None
+    background: np.ndarray | None = None
+
+
+# ----------------------------------------------------------- built-ins
+def _lime_factory(entry: ModelEntry, config: dict[str, Any]) -> BackendFn:
+    if entry.dataset is None:
+        raise UnknownModelError(
+            f"model {entry.digest!r} has no dataset; LIME needs one for "
+            f"perturbation statistics"
+        )
+    explainer = LimeExplainer(entry.dataset, **config)
+
+    def run(instances, seeds):
+        results = explainer.explain_batch(
+            entry.predict_fn, instances, seeds=seeds
+        )
+        return results, explainer.batch_stats_
+
+    return run
+
+
+def _kernel_shap_factory(
+    entry: ModelEntry, config: dict[str, Any]
+) -> BackendFn:
+    background = entry.background
+    if background is None and entry.dataset is not None:
+        background = entry.dataset.X
+    if background is None:
+        raise UnknownModelError(
+            f"model {entry.digest!r} has neither background rows nor a "
+            f"dataset; KernelSHAP needs a background"
+        )
+    explainer = KernelShapExplainer(
+        entry.predict_fn, background, **config
+    )
+
+    def run(instances, seeds):
+        results = explainer.explain_batch(instances, seeds=seeds)
+        return results, explainer.batch_stats_
+
+    return run
+
+
+def _anchors_factory(entry: ModelEntry, config: dict[str, Any]) -> BackendFn:
+    if entry.dataset is None:
+        raise UnknownModelError(
+            f"model {entry.digest!r} has no dataset; Anchors needs one "
+            f"for its perturbation distribution"
+        )
+    explainer = AnchorsExplainer(entry.predict_fn, entry.dataset, **config)
+
+    def run(instances, seeds):
+        results = explainer.explain_batch(instances, seeds=seeds)
+        return results, explainer.batch_stats_
+
+    return run
+
+
+_BUILTIN_FACTORIES: dict[str, BackendFactory] = {
+    "lime": _lime_factory,
+    "kernel_shap": _kernel_shap_factory,
+    "anchors": _anchors_factory,
+}
+
+
+class Dispatcher:
+    """Model + explainer registries with a per-batch-key backend cache.
+
+    Thread-safety note: :meth:`dispatch` runs in worker threads (the
+    server calls it via ``asyncio.to_thread``), but the server
+    serialises dispatches *per batch key*, and the registries are
+    written only at setup time — so no locking is needed as long as
+    registration precedes serving.
+    """
+
+    def __init__(self) -> None:
+        self._models: dict[str, ModelEntry] = {}
+        self._factories: dict[str, BackendFactory] = dict(
+            _BUILTIN_FACTORIES
+        )
+        self._backends: dict[tuple[str, str, str], BackendFn] = {}
+
+    # ------------------------------------------------------------------
+    def register_model(
+        self,
+        digest: str,
+        predict_fn: PredictFn,
+        *,
+        dataset: Dataset | None = None,
+        background: np.ndarray | None = None,
+    ) -> ModelEntry:
+        """Register a served model under ``digest``; re-registering a
+        digest replaces the entry and drops its cached backends."""
+        entry = ModelEntry(
+            digest=digest,
+            predict_fn=predict_fn,
+            dataset=dataset,
+            background=(
+                None
+                if background is None
+                else np.asarray(background, dtype=float)
+            ),
+        )
+        self._models[digest] = entry
+        self._backends = {
+            key: backend
+            for key, backend in self._backends.items()
+            if key[0] != digest
+        }
+        return entry
+
+    def register_explainer(self, name: str, factory: BackendFactory) -> None:
+        """Register (or replace) an explainer factory under ``name``."""
+        self._factories[name] = factory
+        self._backends = {
+            key: backend
+            for key, backend in self._backends.items()
+            if key[1] != name
+        }
+
+    @property
+    def models(self) -> tuple[str, ...]:
+        return tuple(self._models)
+
+    @property
+    def explainers(self) -> tuple[str, ...]:
+        return tuple(self._factories)
+
+    # ------------------------------------------------------------------
+    def _backend(
+        self, model: str, explainer: str, config: dict[str, Any]
+    ) -> BackendFn:
+        key = (model, explainer, config_digest(config))
+        backend = self._backends.get(key)
+        if backend is None:
+            entry = self._models.get(model)
+            if entry is None:
+                raise UnknownModelError(
+                    f"no model registered under digest {model!r}"
+                )
+            factory = self._factories.get(explainer)
+            if factory is None:
+                raise UnknownExplainerError(
+                    f"no explainer registered under {explainer!r} "
+                    f"(have: {sorted(self._factories)})"
+                )
+            backend = factory(entry, dict(config))
+            self._backends[key] = backend
+        return backend
+
+    def dispatch(
+        self,
+        model: str,
+        explainer: str,
+        config: dict[str, Any],
+        instances: np.ndarray,
+        seeds: list[int | None],
+    ) -> tuple[list[Any], EvalStats | None]:
+        """Run one coalesced batch through its backend.
+
+        Returns one result per instance (order-aligned) plus the
+        backend's evaluation ledger for this batch, ready to fold into
+        :attr:`~xaidb.service.stats.ServiceStats.runtime`.
+        """
+        backend = self._backend(model, explainer, config)
+        return backend(np.asarray(instances, dtype=float), seeds)

@@ -1,0 +1,173 @@
+"""Closed-loop load generator for the explanation server.
+
+*Closed-loop* means each simulated client keeps exactly one request in
+flight: it submits, awaits the response (or a typed rejection), then
+immediately submits the next.  Offered load therefore rises with the
+number of clients rather than with an open-loop arrival rate — the
+standard way to trace an achieved-throughput vs. latency curve without
+coordinated-omission artefacts.  Benchmark A12
+(``benchmarks/bench_a12_serving.py``) sweeps the client count over a
+mixed LIME/KernelSHAP/Anchors workload and persists the trajectory to
+``benchmarks/BENCH_serving.json``.
+
+Every request is deterministically seeded from ``(base_seed, client,
+request index)``, so a load-generator run is replayable and each
+response remains bitwise comparable to the serial path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from xaidb.exceptions import ValidationError
+from xaidb.service.server import ExplanationServer
+from xaidb.service.types import (
+    DeadlineExceededError,
+    ExplainRequest,
+    LoadShedError,
+    ServiceError,
+)
+
+__all__ = ["WorkloadItem", "LoadResult", "run_closed_loop"]
+
+
+@dataclass
+class WorkloadItem:
+    """One (model, explainer, config) workload plus its instance pool.
+
+    Clients walk the workload mix round-robin and the instance pool
+    cyclically, so a run covers every combination deterministically.
+    """
+
+    model: str
+    explainer: str
+    instances: np.ndarray
+    config: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.instances = np.asarray(self.instances, dtype=float)
+        if self.instances.ndim != 2 or self.instances.shape[0] < 1:
+            raise ValidationError(
+                "instances must be a non-empty (n, d) matrix"
+            )
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one closed-loop run at a fixed client count."""
+
+    n_clients: int
+    n_requests: int
+    n_completed: int
+    n_shed: int
+    n_deadline_expired: int
+    n_failed: int
+    duration_s: float
+
+    @property
+    def offered_rps(self) -> float:
+        """Requests the clients pushed per second (completions plus
+        rejections — the closed loop's actual pressure)."""
+        return self.n_requests / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def achieved_rps(self) -> float:
+        """Successfully answered requests per second."""
+        return (
+            self.n_completed / self.duration_s if self.duration_s else 0.0
+        )
+
+
+async def _client(
+    server: ExplanationServer,
+    workload: list[WorkloadItem],
+    client_index: int,
+    n_requests: int,
+    deadline_s: float | None,
+    base_seed: int,
+    result: LoadResult,
+) -> None:
+    for r in range(n_requests):
+        # pairs of clients walk the mix in lockstep, so concurrent
+        # same-key submissions (coalescing) actually occur while
+        # different pairs still exercise key diversity
+        item = workload[(client_index // 2 + r) % len(workload)]
+        instance = item.instances[
+            (client_index * n_requests + r) % item.instances.shape[0]
+        ]
+        request = ExplainRequest(
+            model=item.model,
+            explainer=item.explainer,
+            instance=instance,
+            config=item.config,
+            random_state=(
+                base_seed + 100_003 * client_index + r
+            ) % (2**31 - 1),
+            deadline_s=deadline_s,
+        )
+        result.n_requests += 1
+        try:
+            await server.submit(request)
+        except LoadShedError:
+            result.n_shed += 1
+        except DeadlineExceededError:
+            result.n_deadline_expired += 1
+        except ServiceError:
+            result.n_failed += 1
+        else:
+            result.n_completed += 1
+
+
+async def run_closed_loop(
+    server: ExplanationServer,
+    workload: list[WorkloadItem],
+    *,
+    n_clients: int,
+    n_requests_per_client: int,
+    deadline_s: float | None = None,
+    base_seed: int = 0,
+) -> LoadResult:
+    """Drive ``n_clients`` closed-loop clients against a started server.
+
+    The server's own :class:`~xaidb.service.stats.ServiceStats` carries
+    the latency percentiles and batch histogram for the run; the
+    returned :class:`LoadResult` adds the client-side view (offered vs.
+    achieved throughput, rejection counts).
+    """
+    if not workload:
+        raise ValidationError("workload must name at least one item")
+    if n_clients < 1 or n_requests_per_client < 1:
+        raise ValidationError(
+            "n_clients and n_requests_per_client must be >= 1"
+        )
+    result = LoadResult(
+        n_clients=n_clients,
+        n_requests=0,
+        n_completed=0,
+        n_shed=0,
+        n_deadline_expired=0,
+        n_failed=0,
+        duration_s=0.0,
+    )
+    started = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _client(
+                server,
+                workload,
+                client,
+                n_requests_per_client,
+                deadline_s,
+                base_seed,
+                result,
+            )
+            for client in range(n_clients)
+        )
+    )
+    result.duration_s = time.perf_counter() - started
+    return result

@@ -1,0 +1,153 @@
+"""Serving-side accounting: latency percentiles, queueing, batching.
+
+:class:`ServiceStats` is to the serving layer what
+:class:`~xaidb.runtime.stats.EvalStats` is to the evaluation substrate —
+and it *composes* with it: every dispatched batch folds the explainer's
+evaluation ledger into :attr:`ServiceStats.runtime`, so one object
+answers both "how fast are responses?" (p50/p95/p99, shed and deadline
+counts, batch-size histogram) and "how much model work bought them?"
+(rows scored, cache behaviour, eviction pressure).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from xaidb.exceptions import ValidationError
+from xaidb.runtime.stats import EvalStats
+
+__all__ = ["ServiceStats"]
+
+#: Completed-request latencies kept for percentile estimation; beyond
+#: this the buffer wraps (most-recent window) so a long-running server's
+#: stats object cannot grow without bound — the same discipline the
+#: bounded :class:`~xaidb.runtime.cache.CoalitionCache` follows.
+DEFAULT_MAX_LATENCY_SAMPLES = 65536
+
+
+@dataclass
+class ServiceStats:
+    """Counters and latency record for one explanation server.
+
+    Attributes
+    ----------
+    n_received / n_completed / n_failed:
+        Requests accepted into the queue, answered successfully, and
+        failed in dispatch (backend error, unknown model/explainer).
+    n_shed:
+        Requests rejected at the door because the queue was full.
+    n_deadline_expired:
+        Requests whose deadline elapsed before completion (dropped
+        pre-dispatch or discarded post-dispatch).
+    n_batches:
+        Dispatched micro-batches; ``batch_sizes`` histograms their
+        sizes, so ``mean_batch_size`` measures how much coalescing the
+        traffic actually admitted.
+    queue_depth_peak:
+        High-water mark of the bounded request queue.
+    runtime:
+        The composed :class:`~xaidb.runtime.stats.EvalStats` — every
+        dispatched batch's evaluation ledger merged into one.
+    """
+
+    n_received: int = 0
+    n_completed: int = 0
+    n_failed: int = 0
+    n_shed: int = 0
+    n_deadline_expired: int = 0
+    n_batches: int = 0
+    queue_depth_peak: int = 0
+    batch_sizes: dict[int, int] = field(default_factory=dict)
+    runtime: EvalStats = field(default_factory=EvalStats)
+    max_latency_samples: int = DEFAULT_MAX_LATENCY_SAMPLES
+    _latencies: list[float] = field(default_factory=list, repr=False)
+    _ring_next: int = field(default=0, repr=False)
+
+    # ------------------------------------------------------------- record
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_depth_peak:
+            self.queue_depth_peak = depth
+
+    def record_batch(self, size: int) -> None:
+        self.n_batches += 1
+        self.batch_sizes[size] = self.batch_sizes.get(size, 0) + 1
+
+    def record_completion(self, latency_s: float) -> None:
+        self.n_completed += 1
+        if len(self._latencies) < self.max_latency_samples:
+            self._latencies.append(float(latency_s))
+        else:
+            # wrap: keep a most-recent window without unbounded growth
+            self._latencies[self._ring_next] = float(latency_s)
+            self._ring_next = (
+                self._ring_next + 1
+            ) % self.max_latency_samples
+
+    # ---------------------------------------------------------- percentiles
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of recorded latencies (seconds).
+
+        ``percentile(50)`` on ``n`` sorted samples returns the
+        ``ceil(n/2)``-th — the textbook nearest-rank definition, chosen
+        over interpolation so the reported p99 is a latency some request
+        actually paid.  Returns 0.0 before any completion.
+        """
+        if not 0.0 < q <= 100.0:
+            raise ValidationError("q must be in (0, 100]")
+        if not self._latencies:
+            return 0.0
+        ordered = sorted(self._latencies)
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    @property
+    def p50_s(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95_s(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99_s(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def n_latency_samples(self) -> int:
+        return len(self._latencies)
+
+    @property
+    def mean_batch_size(self) -> float:
+        total = sum(size * n for size, n in self.batch_sizes.items())
+        return total / self.n_batches if self.n_batches else 0.0
+
+    # ------------------------------------------------------------- compose
+    def merge_runtime(self, stats: EvalStats | None) -> None:
+        """Fold one dispatched batch's evaluation ledger into
+        :attr:`runtime` (None-tolerant for backends without a ledger)."""
+        if stats is not None:
+            self.runtime.merge(stats)
+
+    def as_metadata(self) -> dict[str, Any]:
+        """One serialisable block: serving counters + latency
+        percentiles + the composed evaluation ledger."""
+        return {
+            "n_received": int(self.n_received),
+            "n_completed": int(self.n_completed),
+            "n_failed": int(self.n_failed),
+            "n_shed": int(self.n_shed),
+            "n_deadline_expired": int(self.n_deadline_expired),
+            "n_batches": int(self.n_batches),
+            "queue_depth_peak": int(self.queue_depth_peak),
+            "mean_batch_size": float(self.mean_batch_size),
+            "batch_size_hist": {
+                str(size): int(count)
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "p50_s": float(self.p50_s),
+            "p95_s": float(self.p95_s),
+            "p99_s": float(self.p99_s),
+            "runtime": self.runtime.as_metadata(),
+        }

@@ -27,6 +27,7 @@ def test_cache_hit_rate_and_metadata_keys():
     assert set(metadata) == {
         "n_model_evals",
         "cache_hit_rate",
+        "cache_evictions",
         "wall_time_s",
         "rows_per_s",
         "n_pool_reuses",

@@ -1,0 +1,238 @@
+"""Regression tests for the runtime-ledger bugfix sweep.
+
+Each test pins one fix that the serving layer leans on and that was red
+before it landed:
+
+1. :class:`CoalitionCache` is bounded (``max_entries`` + FIFO eviction,
+   surfaced as ``EvalStats.cache_evictions``) — an unbounded cache leaks
+   in a long-running server;
+2. ``EvalStats.since()`` propagates ``extra`` (it used to drop the dict,
+   silently stripping per-explanation metadata);
+3. nested ``EvalStats.timer()`` blocks count the outermost span only
+   (nesting used to double-count wall time, deflating ``rows_per_s``);
+4. ``EvalStats.wrap_predict_fn`` is idempotent (re-instrumenting a
+   long-lived game used to stack counting wrappers and multiply
+   ``n_model_evals``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from xaidb.exceptions import ValidationError
+from xaidb.explainers.shapley.games import MarginalImputationGame
+from xaidb.runtime import EvalStats, GameRuntime, RuntimeConfig
+from xaidb.runtime.cache import CoalitionCache
+
+
+def _mask(bits: str) -> np.ndarray:
+    return np.array([b == "1" for b in bits], dtype=bool)
+
+
+# ---------------------------------------------------- 1. bounded cache
+def test_cache_evicts_fifo_at_max_entries():
+    cache = CoalitionCache(4, max_entries=3)
+    masks = ["1000", "0100", "0010", "0001", "1100"]
+    for i, bits in enumerate(masks):
+        cache.put(_mask(bits), float(i))
+    assert len(cache) == 3
+    assert cache.n_evictions == 2
+    # FIFO: the two oldest inserts are gone, the newest three remain
+    assert cache.get(_mask("1000")) is None
+    assert cache.get(_mask("0100")) is None
+    assert cache.get(_mask("0001")) == 3.0
+    assert cache.get(_mask("1100")) == 4.0
+
+
+def test_cache_store_batch_respects_bound():
+    cache = CoalitionCache(3, max_entries=2)
+    masks = np.array(
+        [[1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 0]], dtype=bool
+    )
+    cache.store_batch(masks, np.arange(4.0))
+    assert len(cache) == 2
+    assert cache.n_evictions == 2
+    # eviction never changes values: survivors read back exactly
+    values, missing = cache.lookup_batch(masks)
+    assert list(missing) == [0, 1]
+    assert values[2] == 2.0 and values[3] == 3.0
+
+
+def test_cache_rejects_bad_bound_and_none_is_unbounded():
+    with pytest.raises(ValidationError):
+        CoalitionCache(4, max_entries=0)
+    cache = CoalitionCache(2, max_entries=None)
+    cache.put(_mask("10"), 1.0)
+    cache.put(_mask("01"), 2.0)
+    cache.put(_mask("11"), 3.0)
+    assert len(cache) == 3
+    assert cache.n_evictions == 0
+
+
+def test_runtime_surfaces_evictions_in_stats():
+    rng = np.random.default_rng(0)
+    game = MarginalImputationGame(
+        lambda X: X.sum(axis=1),
+        instance=np.arange(4.0),
+        background=rng.normal(size=(3, 4)),
+    )
+    stats = EvalStats()
+    runtime = GameRuntime(
+        game,
+        config=RuntimeConfig(max_cache_entries=4),
+        stats=stats,
+    )
+    # all 16 masks over 4 players: 12 must be evicted to hold the bound
+    bits = np.arange(16)[:, None] >> np.arange(4)[None, :]
+    all_masks = (bits & 1).astype(bool)
+    values = runtime.values_batch(all_masks)
+    assert runtime.n_cached == 4
+    assert stats.cache_evictions == 12
+    assert "cache_evictions" in stats.as_metadata()
+    # eviction is a cost knob, not a correctness knob
+    unbounded = GameRuntime(
+        MarginalImputationGame(
+            lambda X: X.sum(axis=1),
+            instance=np.arange(4.0),
+            background=game.background,
+        )
+    )
+    np.testing.assert_array_equal(
+        values, unbounded.values_batch(all_masks)
+    )
+
+
+def test_shared_stats_accumulate_evictions_as_deltas():
+    """Two runtimes writing to one ledger must not re-add each other's
+    eviction counts (the sync is delta-based, not absolute)."""
+    stats = EvalStats()
+    runtimes = [
+        GameRuntime(
+            MarginalImputationGame(
+                lambda X: X.sum(axis=1),
+                instance=np.arange(3.0),
+                background=np.eye(3),
+            ),
+            config=RuntimeConfig(max_cache_entries=2),
+            stats=stats,
+        )
+        for _ in range(2)
+    ]
+    bits = np.arange(8)[:, None] >> np.arange(3)[None, :]
+    all_masks = (bits & 1).astype(bool)
+    for runtime in runtimes:
+        runtime.values_batch(all_masks)  # 8 stored, bound 2 → 6 evicted
+    assert stats.cache_evictions == 12
+
+
+# -------------------------------------------- 2. since() keeps `extra`
+def test_since_propagates_extra_with_numeric_deltas():
+    stats = EvalStats(n_model_evals=100)
+    stats.extra.update(n_candidates=10, phase="sample", exact=True)
+    snapshot = stats.copy()
+    stats.count_rows(50)
+    stats.extra["n_candidates"] = 25
+    stats.extra["coverage"] = 0.8
+    delta = stats.since(snapshot)
+    assert delta.n_model_evals == 50
+    # numeric keys present in both snapshots are differenced...
+    assert delta.extra["n_candidates"] == 15
+    # ...new keys and non-numeric values (incl. bools) keep the current
+    # value instead of being dropped
+    assert delta.extra["coverage"] == 0.8
+    assert delta.extra["phase"] == "sample"
+    assert delta.extra["exact"] is True
+
+
+def test_copy_since_merge_round_trip_on_extra():
+    a = EvalStats(extra={"n_candidates": 10, "phase": "sample"})
+    b = EvalStats(extra={"n_candidates": 5, "phase": "refine"})
+    merged = a.copy().merge(b)
+    assert merged.extra == {"n_candidates": 15, "phase": "refine"}
+    # merge then since(b-shaped snapshot) recovers a's numeric share
+    assert merged.since(b).extra["n_candidates"] == 10
+    # and the originals were not mutated by copy()
+    assert a.extra["n_candidates"] == 10
+
+
+# --------------------------------------- 3. re-entrant timer, outermost
+def test_nested_timer_counts_outermost_span_only(monkeypatch):
+    import xaidb.runtime.stats as stats_module
+
+    tick = iter(range(1, 100))
+    monkeypatch.setattr(
+        stats_module.time, "perf_counter", lambda: float(next(tick))
+    )
+    stats = EvalStats()
+    with stats.timer():  # start = 1
+        with stats.timer():  # start = 2
+            pass  # inner exit must NOT add (2nd span would double-count)
+    # outer exit reads tick 3 → wall = 3 - 1; the pre-fix behaviour
+    # accumulated both spans (1 + 3 = 4)
+    assert stats.wall_time_s == 2.0
+    with stats.timer():  # start = 4
+        pass  # exit reads 5
+    assert stats.wall_time_s == 3.0  # sequential blocks still add up
+
+
+def test_timer_depth_recovers_after_exception():
+    stats = EvalStats()
+    with pytest.raises(RuntimeError):
+        with stats.timer():
+            with stats.timer():
+                raise RuntimeError("boom")
+    with stats.timer():
+        pass
+    assert stats._timer_depth == 0
+    assert stats.wall_time_s > 0.0
+
+
+# ------------------------------------- 4. idempotent instrumentation
+def test_wrap_predict_fn_is_idempotent():
+    stats = EvalStats()
+    base = lambda X: np.asarray(X).sum(axis=1)  # noqa: E731
+    once = stats.wrap_predict_fn(base)
+    twice = stats.wrap_predict_fn(once)
+    assert twice.__wrapped__ is base  # wrappers never stack
+    twice(np.ones((5, 3)))
+    assert stats.n_model_evals == 5  # not 10
+
+
+def test_rewrapping_moves_counting_to_the_new_ledger():
+    first, second = EvalStats(), EvalStats()
+    fn = second.wrap_predict_fn(
+        first.wrap_predict_fn(lambda X: np.zeros(len(X)))
+    )
+    fn(np.ones((4, 2)))
+    assert first.n_model_evals == 0  # old wrapper was replaced...
+    assert second.n_model_evals == 4  # ...so rows count exactly once
+
+
+def test_reinstrumented_game_counts_each_row_once():
+    """A dispatcher reusing a long-lived game builds a fresh runtime per
+    request; the Nth runtime must not count every row N times."""
+    rng = np.random.default_rng(1)
+    background = rng.normal(size=(5, 3))
+    instance = np.arange(3.0)
+    masks = np.array([[1, 0, 0], [0, 1, 1], [1, 1, 1]], dtype=bool)
+
+    shared_game = MarginalImputationGame(
+        lambda X: X.sum(axis=1), instance, background
+    )
+    ledger = EvalStats()
+    for _ in range(3):  # three requests over the same game
+        runtime = GameRuntime(
+            shared_game, config=RuntimeConfig(cache=False), stats=ledger
+        )
+    runtime.values_batch(masks)
+
+    fresh = GameRuntime(
+        MarginalImputationGame(
+            lambda X: X.sum(axis=1), instance, background
+        ),
+        config=RuntimeConfig(cache=False),
+    )
+    fresh.values_batch(masks)
+    # pre-fix the triple-wrapped game counted 3x the fresh baseline
+    assert ledger.n_model_evals == fresh.stats.n_model_evals > 0

@@ -1,0 +1,364 @@
+"""Integration tests for the asyncio explanation server.
+
+The invariants the serving layer stakes its correctness on:
+
+1. **Coalescing changes cost, never results** — responses from a
+   micro-batched burst are bitwise equal to the per-request serial
+   explainer calls;
+2. **deadlines are enforced** — a request whose budget elapses gets a
+   typed :class:`DeadlineExceededError`, and expired work is dropped
+   before dispatch when possible;
+3. **overload sheds, it doesn't buffer** — beyond ``max_queue_depth``
+   submissions fail fast with :class:`LoadShedError`;
+4. dispatch failures (unknown model/explainer, backend bugs) surface as
+   typed :class:`ServiceError`\\ s, not hangs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from xaidb.data import make_income
+from xaidb.explainers.base import predict_positive_proba
+from xaidb.explainers.lime import LimeExplainer
+from xaidb.explainers.shapley import KernelShapExplainer
+from xaidb.models import RandomForestClassifier
+from xaidb.rules.anchors import AnchorsExplainer
+from xaidb.service import (
+    DeadlineExceededError,
+    Dispatcher,
+    ExplainRequest,
+    ExplanationServer,
+    LoadShedError,
+    ServiceError,
+    UnknownExplainerError,
+    UnknownModelError,
+)
+
+SHAP_CONFIG = {"n_coalitions": 32}
+LIME_CONFIG = {"n_samples": 64}
+ANCHORS_CONFIG = {
+    "batch_size": 32,
+    "max_samples_per_candidate": 100,
+    "beam_width": 1,
+    "max_anchor_size": 2,
+}
+
+
+@pytest.fixture(scope="module")
+def served():
+    workload = make_income(250, random_state=3)
+    dataset = workload.dataset
+    model = RandomForestClassifier(
+        n_estimators=5, max_depth=4, random_state=0
+    ).fit(dataset.X, dataset.y)
+    predict_fn = predict_positive_proba(model)
+    dispatcher = Dispatcher()
+    dispatcher.register_model(
+        "forest", predict_fn, dataset=dataset, background=dataset.X[:16]
+    )
+    return dispatcher, dataset, predict_fn
+
+
+# ------------------------------------------------------------ coalescing
+def test_batched_responses_bitwise_equal_serial(served):
+    dispatcher, dataset, predict_fn = served
+
+    async def burst():
+        async with ExplanationServer(
+            dispatcher, max_batch_size=16, max_wait_s=0.05
+        ) as server:
+            requests = [
+                ExplainRequest(
+                    model="forest",
+                    explainer=explainer,
+                    instance=dataset.X[i],
+                    config=config,
+                    random_state=900 + i,
+                )
+                for explainer, config in (
+                    ("kernel_shap", SHAP_CONFIG),
+                    ("lime", LIME_CONFIG),
+                    ("anchors", ANCHORS_CONFIG),
+                )
+                for i in range(3)
+            ]
+            responses = await asyncio.gather(
+                *(server.submit(request) for request in requests)
+            )
+            return requests, responses, server.stats
+
+    requests, responses, stats = asyncio.run(burst())
+
+    # every same-key triple shared one dispatched batch
+    assert all(response.batch_size == 3 for response in responses)
+    assert stats.n_completed == 9
+    assert stats.mean_batch_size == pytest.approx(3.0)
+    # the composed runtime ledger saw the batches' model evaluations
+    assert stats.runtime.n_model_evals > 0
+
+    shap = KernelShapExplainer(
+        predict_fn, dataset.X[:16], **SHAP_CONFIG
+    )
+    lime = LimeExplainer(dataset, **LIME_CONFIG)
+    anchors = AnchorsExplainer(predict_fn, dataset, **ANCHORS_CONFIG)
+    for request, response in zip(requests, responses):
+        seed = request.random_state
+        if request.explainer == "kernel_shap":
+            serial = shap.explain(request.instance, random_state=seed)
+            assert np.array_equal(response.result.values, serial.values)
+        elif request.explainer == "lime":
+            serial = lime.explain(
+                predict_fn, request.instance, random_state=seed
+            )
+            assert np.array_equal(response.result.values, serial.values)
+        else:
+            serial = anchors.explain(request.instance, random_state=seed)
+            assert response.result.predicates == serial.predicates
+            assert response.result.precision == serial.precision
+
+
+def test_distinct_configs_do_not_coalesce(served):
+    dispatcher, dataset, _ = served
+
+    async def burst():
+        async with ExplanationServer(
+            dispatcher, max_batch_size=16, max_wait_s=0.05
+        ) as server:
+            requests = [
+                ExplainRequest(
+                    model="forest",
+                    explainer="kernel_shap",
+                    instance=dataset.X[i],
+                    config={"n_coalitions": 32 + 16 * i},
+                    random_state=i,
+                )
+                for i in range(3)
+            ]
+            return await asyncio.gather(
+                *(server.submit(request) for request in requests)
+            )
+
+    responses = asyncio.run(burst())
+    assert all(response.batch_size == 1 for response in responses)
+
+
+# ----------------------------------------------------- deadlines / shed
+def _slow_backend_dispatcher(sleep_s: float) -> Dispatcher:
+    dispatcher = Dispatcher()
+    dispatcher.register_model("m", lambda X: np.zeros(len(X)))
+
+    def factory(entry, config):
+        def run(instances, seeds):
+            time.sleep(sleep_s)
+            return [float(i) for i in range(len(instances))], None
+
+        return run
+
+    dispatcher.register_explainer("slow", factory)
+    return dispatcher
+
+
+def test_deadline_expiry_raises_typed_error():
+    dispatcher = _slow_backend_dispatcher(sleep_s=0.5)
+
+    async def run():
+        async with ExplanationServer(dispatcher, max_wait_s=0.0) as server:
+            with pytest.raises(DeadlineExceededError):
+                await server.submit(
+                    ExplainRequest(
+                        model="m",
+                        explainer="slow",
+                        instance=np.zeros(2),
+                        deadline_s=0.05,
+                    )
+                )
+            return server.stats
+
+    stats = asyncio.run(run())
+    assert stats.n_deadline_expired == 1
+    assert stats.n_completed == 0
+
+
+def test_expired_requests_dropped_before_dispatch():
+    """A request whose deadline passes while queued never reaches the
+    back-end: the dispatcher drops it and the caller gets the typed
+    error (here the queue stalls behind a slow in-flight batch)."""
+    dispatcher = _slow_backend_dispatcher(sleep_s=0.3)
+
+    async def run():
+        async with ExplanationServer(
+            dispatcher,
+            max_batch_size=1,
+            max_wait_s=0.0,
+            max_inflight_batches=1,
+        ) as server:
+            first = asyncio.create_task(
+                server.submit(
+                    ExplainRequest(
+                        model="m", explainer="slow", instance=np.zeros(2)
+                    )
+                )
+            )
+            await asyncio.sleep(0.05)  # first batch now in flight
+            with pytest.raises(DeadlineExceededError):
+                await server.submit(
+                    ExplainRequest(
+                        model="m",
+                        explainer="slow",
+                        instance=np.zeros(2),
+                        deadline_s=0.05,
+                    )
+                )
+            response = await first
+            return response, server.stats
+
+    response, stats = asyncio.run(run())
+    assert response.result == 0.0  # the in-flight request still lands
+    assert stats.n_deadline_expired == 1
+    assert stats.n_completed == 1
+
+
+def test_load_shedding_rejects_with_typed_error():
+    dispatcher = _slow_backend_dispatcher(sleep_s=0.3)
+
+    async def run():
+        async with ExplanationServer(
+            dispatcher,
+            max_queue_depth=2,
+            max_batch_size=1,
+            max_wait_s=0.0,
+            max_inflight_batches=1,
+        ) as server:
+            pending = []
+            for _ in range(3):  # 1 in flight + 2 queued = saturated
+                pending.append(
+                    asyncio.create_task(
+                        server.submit(
+                            ExplainRequest(
+                                model="m",
+                                explainer="slow",
+                                instance=np.zeros(2),
+                            )
+                        )
+                    )
+                )
+                # let the serve loop drain before the next submission so
+                # saturation builds up deterministically
+                await asyncio.sleep(0.02)
+            with pytest.raises(LoadShedError):
+                await server.submit(
+                    ExplainRequest(
+                        model="m", explainer="slow", instance=np.zeros(2)
+                    )
+                )
+            responses = await asyncio.gather(*pending)
+            return responses, server.stats
+
+    responses, stats = asyncio.run(run())
+    assert len(responses) == 3  # everything admitted completed
+    assert stats.n_shed == 1
+    assert stats.n_completed == 3
+    assert stats.queue_depth_peak == 2
+
+
+# ------------------------------------------------------- failure paths
+def test_unknown_model_and_explainer_are_typed(served):
+    dispatcher, dataset, _ = served
+
+    async def run():
+        async with ExplanationServer(dispatcher, max_wait_s=0.0) as server:
+            with pytest.raises(UnknownModelError):
+                await server.submit(
+                    ExplainRequest(
+                        model="nope",
+                        explainer="lime",
+                        instance=dataset.X[0],
+                    )
+                )
+            with pytest.raises(UnknownExplainerError):
+                await server.submit(
+                    ExplainRequest(
+                        model="forest",
+                        explainer="nope",
+                        instance=dataset.X[0],
+                    )
+                )
+            return server.stats
+
+    stats = asyncio.run(run())
+    assert stats.n_failed == 2
+
+
+def test_backend_exception_wrapped_as_service_error():
+    dispatcher = Dispatcher()
+    dispatcher.register_model("m", lambda X: np.zeros(len(X)))
+
+    def factory(entry, config):
+        def run(instances, seeds):
+            raise RuntimeError("backend bug")
+
+        return run
+
+    dispatcher.register_explainer("broken", factory)
+
+    async def run():
+        async with ExplanationServer(dispatcher, max_wait_s=0.0) as server:
+            with pytest.raises(ServiceError, match="backend bug"):
+                await server.submit(
+                    ExplainRequest(
+                        model="m", explainer="broken", instance=np.zeros(2)
+                    )
+                )
+
+    asyncio.run(run())
+
+
+def test_submit_requires_running_server(served):
+    dispatcher, dataset, _ = served
+    server = ExplanationServer(dispatcher)
+
+    async def run():
+        with pytest.raises(ServiceError, match="not running"):
+            await server.submit(
+                ExplainRequest(
+                    model="forest", explainer="lime", instance=dataset.X[0]
+                )
+            )
+
+    asyncio.run(run())
+
+
+def test_stop_fails_queued_requests():
+    dispatcher = _slow_backend_dispatcher(sleep_s=0.2)
+
+    async def run():
+        server = ExplanationServer(
+            dispatcher,
+            max_batch_size=1,
+            max_wait_s=0.0,
+            max_inflight_batches=1,
+        )
+        await server.start()
+        tasks = [
+            asyncio.create_task(
+                server.submit(
+                    ExplainRequest(
+                        model="m", explainer="slow", instance=np.zeros(2)
+                    )
+                )
+            )
+            for _ in range(3)
+        ]
+        await asyncio.sleep(0.05)
+        await server.stop()
+        return await asyncio.gather(*tasks, return_exceptions=True)
+
+    outcomes = asyncio.run(run())
+    # the in-flight batch completes; everything still queued fails typed
+    assert sum(1 for o in outcomes if isinstance(o, ServiceError)) == 2
+    assert sum(1 for o in outcomes if not isinstance(o, Exception)) == 1

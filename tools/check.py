@@ -16,7 +16,12 @@ Runs, in order, stopping at the first failure:
    ``XAIDB_A10_ROWS``) — proves the vectorized tree kernels stay
    bit-identical to the row-wise reference *and* meaningfully faster,
    so a perf or exactness regression in model inference cannot land
-   silently either.
+   silently either;
+5. a smoke run of the A12 serving benchmark
+   (``benchmarks/bench_a12_serving.py``, reduced sweep via
+   ``XAIDB_A12_SMOKE``) — proves the explanation server's coalesced
+   batches stay bitwise identical to the per-request serial path and
+   the closed-loop sweep completes without failures.
 
 Usage::
 
@@ -136,12 +141,28 @@ STEPS: list[tuple[str, list[str]]] = [
             ),
         ],
     ),
+    (
+        "A12 serving smoke",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            str(REPO_ROOT / "benchmarks" / "bench_a12_serving.py"),
+        ],
+    ),
 ]
 
 #: The A10 smoke shrinks the workload (the >= 10x bar applies at the
 #: full 10^4 rows; the bench relaxes it below that — see its module
 #: docstring).  Respect an explicit caller override.
 _ENV.setdefault("XAIDB_A10_ROWS", "2000")
+
+#: The A12 smoke shrinks the client sweep and skips the JSON artifact
+#: write (the committed BENCH_serving.json only changes on full runs).
+_ENV.setdefault("XAIDB_A12_SMOKE", "1")
 
 
 def main(argv: list[str] | None = None) -> int:
