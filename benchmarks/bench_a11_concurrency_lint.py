@@ -97,7 +97,12 @@ def compute_rows():
     context = {"serial": serial, "fanned": fanned, "record": record}
     if os.environ.get("XAIDB_A11_SMOKE") != "1":
         out_path = Path(__file__).resolve().parent / "BENCH_lint.json"
-        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        # keep foreign keys (the A13 "a13_numeric" record) intact
+        merged = {}
+        if out_path.exists():
+            merged = json.loads(out_path.read_text())
+        merged.update(record)
+        out_path.write_text(json.dumps(merged, indent=2) + "\n")
     return rows, context
 
 

@@ -5,10 +5,10 @@ validity silently: unseeded randomness, hidden library behaviour and
 impure explainers make a reproduction drift from the results it claims
 to match without any test failing.  This package turns the repo's
 scientific-correctness conventions into machine-checked invariants
-(rule ids XDB001–XDB017, documented in ``docs/LINTING.md``) that gate
+(rule ids XDB001–XDB027, documented in ``docs/LINTING.md``) that gate
 every PR via ``tests/analysis/test_lint_clean.py``.
 
-Three tiers of rules ship: syntactic/AST-pattern checks
+Five tiers of rules ship: syntactic/AST-pattern checks
 (XDB001–XDB009); a flow-sensitive tier (XDB010–XDB013) built on a
 per-function CFG (:mod:`xaidb.analysis.cfg`) and a forward dataflow
 framework with reaching-definitions and value-taint instantiations
@@ -16,7 +16,13 @@ framework with reaching-definitions and value-taint instantiations
 (XDB014–XDB017) built on a project-wide call graph
 (:mod:`xaidb.analysis.callgraph`), bottom-up function summaries over
 its SCC condensation (:mod:`xaidb.analysis.summaries`) and an ndarray
-shape/dtype abstract domain (:mod:`xaidb.analysis.shapes`).  Scans are
+shape/dtype abstract domain (:mod:`xaidb.analysis.shapes`); a
+concurrency/determinism tier (XDB018–XDB022); and a numeric-safety tier
+(XDB023–XDB027) built on a value-range abstract interpretation
+(:mod:`xaidb.analysis.intervals`) whose interval domain tracks bounds,
+may-be-NaN flags and array lengths flow-sensitively and across calls.
+Findings with a mechanical remedy are repaired by ``xailint --fix``
+(:mod:`xaidb.analysis.fixes`).  Scans are
 commit-speed via a content-hash-keyed incremental cache
 (:mod:`xaidb.analysis.cache`) that also persists function summaries
 per SCC, and ``--format sarif`` emits CI-ready annotations.
@@ -51,6 +57,19 @@ from xaidb.analysis.dataflow import (
 )
 from xaidb.analysis.engine import discover_files, lint_source, run_paths
 from xaidb.analysis.findings import Finding, LintResult, ScanStats
+from xaidb.analysis.fixes import (
+    FIXABLE_RULES,
+    FileFix,
+    FixReport,
+    apply_fixes,
+    plan_fixes,
+)
+from xaidb.analysis.intervals import (
+    AbstractNum,
+    Interval,
+    IntervalAnalysis,
+    interval_hull,
+)
 from xaidb.analysis.registry import (
     FileRule,
     ProjectRule,
@@ -132,4 +151,13 @@ __all__ = [
     "Suppression",
     "SuppressionIndex",
     "parse_suppressions",
+    "Interval",
+    "AbstractNum",
+    "IntervalAnalysis",
+    "interval_hull",
+    "FIXABLE_RULES",
+    "FileFix",
+    "FixReport",
+    "plan_fixes",
+    "apply_fixes",
 ]

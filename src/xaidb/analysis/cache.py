@@ -38,7 +38,9 @@ from xaidb.analysis.suppressions import Suppression
 
 __all__ = ["LintCache", "ruleset_digest", "file_digest", "CACHE_VERSION"]
 
-CACHE_VERSION = 2
+#: Bumped whenever the cached document schema changes shape — v3 added
+#: numeric summary fields (``return_ranges``/``param_preconditions``).
+CACHE_VERSION = 3
 
 
 def file_digest(data: bytes) -> str:

@@ -72,6 +72,16 @@ class CFG:
     entry: int
     exit: int
     blocks: dict[int, Block] = field(default_factory=dict)
+    #: Branch metadata for edges that are taken only when a test holds:
+    #: ``(src, dst) -> (test expression, sense)``.  ``sense`` is the
+    #: truth value of the test along that edge (``if``/``while`` only;
+    #: ``for`` edges carry no test).  Path-sensitive analyses use this
+    #: to refine the state flowing across the edge — e.g. the interval
+    #: domain narrows ``x`` to ``(0, inf]`` on the true edge of
+    #: ``if x > 0:``.  Plain dataflow ignores it.
+    branches: dict[tuple[int, int], tuple[ast.expr, bool]] = field(
+        default_factory=dict
+    )
 
     def block(self, block_id: int) -> Block:
         return self.blocks[block_id]
@@ -197,6 +207,7 @@ class _Builder:
 
         then_entry = self._new_block()
         self._edge(current, then_entry.id)
+        self.cfg.branches[(current, then_entry.id)] = (stmt.test, True)
         then_exit = self._body(stmt.body, then_entry.id)
         if then_exit is not None:
             self._edge(then_exit, join.id)
@@ -204,11 +215,13 @@ class _Builder:
         if stmt.orelse:
             else_entry = self._new_block()
             self._edge(current, else_entry.id)
+            self.cfg.branches[(current, else_entry.id)] = (stmt.test, False)
             else_exit = self._body(stmt.orelse, else_entry.id)
             if else_exit is not None:
                 self._edge(else_exit, join.id)
         else:
             self._edge(current, join.id)
+            self.cfg.branches[(current, join.id)] = (stmt.test, False)
 
         if not join.preds:
             return None
@@ -224,6 +237,8 @@ class _Builder:
 
         body_entry = self._new_block()
         self._edge(header.id, body_entry.id)
+        if isinstance(stmt, ast.While):
+            self.cfg.branches[(header.id, body_entry.id)] = (stmt.test, True)
         self._loops.append((header.id, after.id, len(self._finallies)))
         body_exit = self._body(stmt.body, body_entry.id)
         self._loops.pop()
@@ -234,11 +249,18 @@ class _Builder:
         if stmt.orelse:
             else_entry = self._new_block()
             self._edge(header.id, else_entry.id)
+            if isinstance(stmt, ast.While):
+                self.cfg.branches[(header.id, else_entry.id)] = (
+                    stmt.test,
+                    False,
+                )
             else_exit = self._body(stmt.orelse, else_entry.id)
             if else_exit is not None:
                 self._edge(else_exit, after.id)
         else:
             self._edge(header.id, after.id)
+            if isinstance(stmt, ast.While):
+                self.cfg.branches[(header.id, after.id)] = (stmt.test, False)
 
         if not after.preds:
             return None

@@ -27,6 +27,7 @@ from xaidb.analysis.baseline import (
 )
 from xaidb.analysis.engine import run_paths
 from xaidb.analysis.explain import render_explanation
+from xaidb.analysis.fixes import apply_fixes
 from xaidb.analysis.registry import all_rules
 from xaidb.analysis.reporters import (
     render_github,
@@ -49,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="xailint",
         description=(
             "Static analysis enforcing xaidb's scientific-correctness "
-            "invariants (rule ids XDB001-XDB022; see docs/LINTING.md)."
+            "invariants (rule ids XDB001-XDB027; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -138,6 +139,22 @@ def build_parser() -> argparse.ArgumentParser:
             "minimal dirty/clean examples, and exit"
         ),
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help=(
+            "apply mechanical fixes for the rules that have one "
+            "(currently XDB012 stale/dangling suppressions) and exit"
+        ),
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help=(
+            "with --fix: print the unified diff of the planned fixes "
+            "without writing any file"
+        ),
+    )
     return parser
 
 
@@ -171,6 +188,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         # a typo'd path must not let the gate pass vacuously
         parser.error("no such file or directory: " + ", ".join(missing))
 
+    if args.dry_run and not args.fix:
+        parser.error("--dry-run only makes sense with --fix")
+
     rule_ids = None
     if args.rules:
         rule_ids = [part.strip() for part in args.rules.split(",") if part.strip()]
@@ -187,6 +207,24 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     except ValueError as exc:  # unknown rule id
         parser.error(str(exc))
+
+    if args.fix:
+        report = apply_fixes(
+            result.findings, root=Path.cwd(), dry_run=args.dry_run
+        )
+        if args.dry_run:
+            if report.diff:
+                print(report.diff, end="")
+            print(
+                f"xailint: --fix would remove {report.n_findings} "
+                f"suppression comment(s) in {report.n_files} file(s)"
+            )
+        else:
+            print(
+                f"xailint: fixed {report.n_findings} suppression "
+                f"comment(s) in {report.n_files} file(s)"
+            )
+        return 0
 
     if args.write_baseline is not None:
         Path(args.write_baseline).write_text(

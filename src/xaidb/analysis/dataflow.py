@@ -33,6 +33,7 @@ __all__ = [
     "State",
     "ForwardProblem",
     "solve_forward",
+    "solve_refined",
     "replay",
     "item_defs",
     "item_uses",
@@ -307,6 +308,108 @@ def solve_forward(
                 if succ not in queued:
                     worklist.append(succ)
                     queued.add(succ)
+    return in_states
+
+
+def solve_refined(
+    cfg: CFG,
+    problem: ForwardProblem,
+    *,
+    refine: Callable[[State, int, int], State] | None = None,
+    widen: Callable[[State, State], State] | None = None,
+    widen_after: int = 3,
+    narrow_rounds: int = 2,
+) -> dict[int, State]:
+    """:func:`solve_forward` for *infinite-height* domains.
+
+    Two extra hooks make path-sensitive numeric analyses possible:
+
+    - ``refine(out_state, src, dst)`` filters a predecessor's OUT state
+      through the branch condition on the ``src -> dst`` edge (see
+      :attr:`~xaidb.analysis.cfg.CFG.branches`) before it is joined into
+      the successor's IN state — ``if x > 0:`` narrows ``x`` on the true
+      edge.  It must return a fresh state and never mutate its input.
+    - ``widen(previous_in, new_in)`` is applied to a block's IN state
+      after the block has been visited more than ``widen_after`` times,
+      jumping growing bounds to a finite threshold set so loops converge
+      (plain union join never terminates over intervals: a loop counter
+      climbs one lattice step per iteration forever).
+
+    After the widened fixpoint, ``narrow_rounds`` plain passes (refine
+    but no widen) re-run in block order to claw back precision the
+    widening overshot — the classic widen-then-narrow recipe.  Both
+    hooks defaulting to ``None`` degrades to :func:`solve_forward`.
+    """
+
+    def edge_state(pred: int, block_id: int) -> State | None:
+        out = out_states.get(pred)
+        if out is None:
+            return None
+        if refine is None:
+            return out
+        return refine(out, pred, block_id)
+
+    order = [block.id for block in cfg.reachable()]
+    in_states: dict[int, State] = {}
+    out_states: dict[int, State] = {}
+    worklist: deque[int] = deque(order)
+    queued = set(order)
+    visits: dict[int, int] = {}
+    max_steps = max(64, len(order) * 64)
+    steps = 0
+    while worklist and steps < max_steps:
+        steps += 1
+        block_id = worklist.popleft()
+        queued.discard(block_id)
+        block = cfg.blocks[block_id]
+        new_in: State = (
+            dict(problem.entry_state()) if block_id == cfg.entry else {}
+        )
+        for pred in block.preds:
+            refined = edge_state(pred, block_id)
+            if refined is not None:
+                _join_into(new_in, refined)
+        visits[block_id] = visits.get(block_id, 0) + 1
+        if (
+            widen is not None
+            and visits[block_id] > widen_after
+            and block_id in in_states
+        ):
+            new_in = widen(in_states[block_id], new_in)
+        in_states[block_id] = new_in
+        state = dict(new_in)
+        for item in block.items:
+            problem.transfer(item, state)
+        if out_states.get(block_id) != state:
+            out_states[block_id] = state
+            for succ in block.succs:
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    for _round in range(narrow_rounds):
+        changed = False
+        for block_id in order:
+            block = cfg.blocks[block_id]
+            new_in = (
+                dict(problem.entry_state())
+                if block_id == cfg.entry
+                else {}
+            )
+            for pred in block.preds:
+                refined = edge_state(pred, block_id)
+                if refined is not None:
+                    _join_into(new_in, refined)
+            if new_in != in_states.get(block_id):
+                in_states[block_id] = new_in
+                changed = True
+            state = dict(new_in)
+            for item in block.items:
+                problem.transfer(item, state)
+            if out_states.get(block_id) != state:
+                out_states[block_id] = state
+                changed = True
+        if not changed:
+            break
     return in_states
 
 

@@ -442,6 +442,10 @@ def _run_project_rules(
     if interproc is not None:
         result.stats.summary_hits += interproc.hits
         result.stats.summary_misses += interproc.misses
+        for pass_name, seconds in interproc.pass_seconds.items():
+            result.stats.pass_seconds[pass_name] = (
+                result.stats.pass_seconds.get(pass_name, 0.0) + seconds
+            )
         if cache is not None:
             cache.prune_summaries(interproc.used_keys)
     return findings

@@ -1,0 +1,167 @@
+"""Mechanical autofixes for findings that have one (``xailint --fix``).
+
+The only fixable rule so far is XDB012: *stale* suppression comments
+(the violation they vouched for is gone) and *dangling* ones (no code
+line follows) are deleted — a standalone comment loses its whole line,
+a trailing comment is stripped off the code it rides.  Reason-less
+suppressions are deliberately left alone: the mechanical fix would be
+to invent a reason, and only a human can supply one.
+
+A multi-id comment (``disable=XDB006,XDB010``) is only removed when
+*every* id it names is reported stale — deleting it while one id still
+silences a live finding would resurrect that finding.
+
+Fixes are planned from the findings of a completed scan, so
+``apply_fixes`` is idempotent by construction: after one application
+the re-scan reports no fixable finding and the second plan is empty.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from xaidb.analysis.findings import Finding
+
+__all__ = ["FIXABLE_RULES", "FileFix", "FixReport", "plan_fixes", "apply_fixes"]
+
+#: Rules ``--fix`` knows a mechanical remedy for.
+FIXABLE_RULES = ("XDB012",)
+
+_STALE_MARKER = "never matched a finding"
+_DANGLING_MARKER = "not followed by any code line"
+_STALE_ID_RE = re.compile(r"suppression of (XDB\d{3}) never matched")
+_COMMENT_RE = re.compile(
+    r"\s*#\s*xailint:\s*disable=([A-Z0-9,\s]+?)(\([^)]*\))?\s*$"
+)
+
+
+@dataclass
+class FileFix:
+    """All planned line edits for one file."""
+
+    path: str
+    #: 1-based comment lines to remove entirely.
+    drop_lines: set[int] = field(default_factory=set)
+    #: 1-based lines whose trailing suppression comment is stripped.
+    strip_lines: set[int] = field(default_factory=set)
+
+    def apply(self, text: str) -> str:
+        lines = text.splitlines(keepends=True)
+        out: list[str] = []
+        for number, line in enumerate(lines, start=1):
+            if number in self.drop_lines:
+                continue
+            if number in self.strip_lines:
+                stripped = _COMMENT_RE.sub("", line.rstrip("\n"))
+                out.append(stripped.rstrip() + "\n")
+                continue
+            out.append(line)
+        return "".join(out)
+
+
+@dataclass
+class FixReport:
+    """What ``apply_fixes`` did (or, dry-run, would do)."""
+
+    fixes: list[FileFix]
+    diff: str
+    n_findings: int
+
+    @property
+    def n_files(self) -> int:
+        return len(self.fixes)
+
+
+def _comment_ids(line: str) -> frozenset[str] | None:
+    """Rule ids named by the suppression comment on ``line``."""
+    match = _COMMENT_RE.search(line.rstrip("\n"))
+    if match is None:
+        return None
+    return frozenset(
+        part.strip() for part in match.group(1).split(",") if part.strip()
+    )
+
+
+def plan_fixes(
+    findings: Iterable[Finding], root: Path
+) -> list[FileFix]:
+    """Plan the line edits the fixable findings call for.
+
+    Stale ids are accumulated per comment line and the comment is only
+    touched once every id it names is stale (or the comment is
+    dangling, which condemns the line no matter what it names).
+    """
+    stale: dict[tuple[str, int], set[str]] = {}
+    dangling: set[tuple[str, int]] = set()
+    for finding in findings:
+        if finding.rule_id != "XDB012":
+            continue
+        key = (finding.path, finding.line)
+        if _DANGLING_MARKER in finding.message:
+            dangling.add(key)
+        elif _STALE_MARKER in finding.message:
+            match = _STALE_ID_RE.search(finding.message)
+            if match is not None:
+                stale.setdefault(key, set()).add(match.group(1))
+
+    fixes: dict[str, FileFix] = {}
+    for path, line in sorted(dangling | set(stale)):
+        try:
+            lines = (root / path).read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            continue
+        if not 1 <= line <= len(lines):
+            continue
+        text = lines[line - 1]
+        ids = _comment_ids(text)
+        if ids is None:
+            continue
+        key = (path, line)
+        if key not in dangling and not ids <= stale.get(key, set()):
+            # some id still vouches for a live finding: keep the comment
+            continue
+        fix = fixes.setdefault(path, FileFix(path=path))
+        if _COMMENT_RE.sub("", text).strip():
+            fix.strip_lines.add(line)
+        else:
+            fix.drop_lines.add(line)
+    return [fixes[path] for path in sorted(fixes)]
+
+
+def apply_fixes(
+    findings: Sequence[Finding], root: Path, *, dry_run: bool = False
+) -> FixReport:
+    """Apply (or, with ``dry_run``, render) the planned fixes.
+
+    Returns the unified diff of every touched file; with ``dry_run``
+    no file is written.
+    """
+    fixes = plan_fixes(findings, root)
+    diffs: list[str] = []
+    n_findings = 0
+    for fix in fixes:
+        target = root / fix.path
+        original = target.read_text(encoding="utf-8")
+        fixed = fix.apply(original)
+        if fixed == original:
+            continue
+        n_findings += len(fix.drop_lines | fix.strip_lines)
+        diffs.append(
+            "".join(
+                difflib.unified_diff(
+                    original.splitlines(keepends=True),
+                    fixed.splitlines(keepends=True),
+                    fromfile=f"a/{fix.path}",
+                    tofile=f"b/{fix.path}",
+                )
+            )
+        )
+        if not dry_run:
+            target.write_text(fixed, encoding="utf-8")
+    return FixReport(fixes=fixes, diff="".join(diffs), n_findings=n_findings)

@@ -224,6 +224,16 @@ def render_stats(result: LintResult) -> str:
         f"  parse time        {stats.parse_seconds * 1e3:8.1f} ms",
         f"  total time        {stats.total_seconds * 1e3:8.1f} ms",
     ]
+    if stats.pass_seconds:
+        lines.append("  per-pass time (function summaries):")
+        for pass_name, seconds in sorted(
+            stats.pass_seconds.items(),
+            key=lambda pair: pair[1],
+            reverse=True,
+        ):
+            lines.append(
+                f"    {pass_name:<10} {seconds * 1e3:8.1f} ms"
+            )
     if stats.rule_seconds:
         lines.append("  per-rule time:")
         for rule_id, seconds in sorted(

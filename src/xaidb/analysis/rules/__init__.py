@@ -1,4 +1,4 @@
-"""The built-in xailint rule pack (XDB001–XDB022).
+"""The built-in xailint rule pack (XDB001–XDB027).
 
 Importing this package registers every rule with
 :mod:`xaidb.analysis.registry`; the ids are stable and documented in
@@ -8,7 +8,9 @@ XDB014–XDB017 are the interprocedural tier built on
 :mod:`xaidb.analysis.callgraph` / :mod:`xaidb.analysis.summaries` /
 :mod:`xaidb.analysis.shapes`; XDB018–XDB022 are the concurrency &
 determinism tier built on the effect vectors of
-:mod:`xaidb.analysis.effects`.
+:mod:`xaidb.analysis.effects`; XDB023–XDB027 are the numeric-safety
+tier built on the value-range abstract interpretation of
+:mod:`xaidb.analysis.intervals`.
 """
 
 from xaidb.analysis.rules.api_surface import MissingAllRule
@@ -29,6 +31,13 @@ from xaidb.analysis.rules.interproc import (
     MutationThroughCalleeRule,
     RngEscapesHelperRule,
     ShapeMismatchRule,
+)
+from xaidb.analysis.rules.numeric import (
+    DegenerateReductionRule,
+    DivisionByPossibleZeroRule,
+    LogSqrtDomainRule,
+    ReciprocalScaleRule,
+    UnnormalizedProbabilityRule,
 )
 from xaidb.analysis.rules.project import ExplainerInterfaceRule
 from xaidb.analysis.rules.purity import ExplainerPurityRule
@@ -61,4 +70,9 @@ __all__ = [
     "UnpicklableTaskCaptureRule",
     "BlockingCallInAsyncRule",
     "LeakedSharedResourceRule",
+    "DivisionByPossibleZeroRule",
+    "LogSqrtDomainRule",
+    "DegenerateReductionRule",
+    "UnnormalizedProbabilityRule",
+    "ReciprocalScaleRule",
 ]

@@ -624,6 +624,8 @@ def _reduce_shape(
     ):
         axis = axis_node.value
         rank = len(value.shape)
+        if rank == 0:
+            return None
         if not -rank <= axis < rank:
             return None
         axis %= rank

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import time
 from dataclasses import dataclass
 
 from xaidb.analysis.callgraph import (
@@ -59,6 +60,15 @@ from xaidb.analysis.dataflow import (
     item_exprs,
     replay,
     solve_forward,
+)
+from xaidb.analysis.intervals import (
+    IntervalAnalysis,
+    informative as num_informative,
+    decode as num_decode,
+    encode as num_encode,
+    param_label as num_param_label,
+    params_of as num_params_of,
+    values_of as num_values_of,
 )
 from xaidb.analysis.registry import FileContext
 from xaidb.analysis.shapes import (
@@ -116,6 +126,16 @@ class FunctionSummary:
     mutates: tuple[str, ...] = ()
     rng_return_depth: int | None = None
     return_shapes: tuple[str, ...] = ()
+    #: Abstract numeric return values (pass E) in the
+    #: :mod:`xaidb.analysis.intervals` encoding — empty = ⊤, nothing
+    #: provable about the returned range.
+    return_ranges: tuple[str, ...] = ()
+    #: Numeric obligations on parameters (pass E): each entry is
+    #: ``"param|kind|line"`` with ``kind`` ∈ ``nonzero`` (flows to a
+    #: denominator), ``positive`` (flows into ``log``) or
+    #: ``nonnegative`` (flows into ``sqrt``) — checked at call sites by
+    #: XDB023/XDB024.
+    param_preconditions: tuple[str, ...] = ()
     #: Concurrency/determinism facts (pass D) — witnesses for the
     #: XDB018–XDB022 tier, ``None`` per field = effect absent.
     effects: EffectVector = EffectVector()
@@ -128,6 +148,8 @@ class FunctionSummary:
             "mutates": list(self.mutates),
             "rng_return_depth": self.rng_return_depth,
             "return_shapes": list(self.return_shapes),
+            "return_ranges": list(self.return_ranges),
+            "param_preconditions": list(self.param_preconditions),
             "effects": self.effects.to_dict(),
         }
 
@@ -145,6 +167,10 @@ class FunctionSummary:
             mutates=tuple(str(p) for p in data["mutates"]),
             rng_return_depth=depth,
             return_shapes=tuple(str(s) for s in data["return_shapes"]),
+            return_ranges=tuple(str(s) for s in data["return_ranges"]),
+            param_preconditions=tuple(
+                str(s) for s in data["param_preconditions"]
+            ),
             effects=EffectVector.from_dict(data["effects"]),
         )
 
@@ -453,8 +479,12 @@ def summarize_function(
     fnode: FunctionNode,
     graph: CallGraph,
     summaries: dict[str, FunctionSummary],
+    timings: dict[str, float] | None = None,
 ) -> FunctionSummary:
-    """Compute one function's summary given its callees' summaries."""
+    """Compute one function's summary given its callees' summaries.
+    ``timings`` (when given) accumulates wall seconds per summary pass
+    under the keys ``alias``/``seed``/``shape``/``effects``/``interval``
+    — surfaced by ``--stats`` as the per-pass breakdown."""
     fn = fnode.node
     params = tuple(function_params(fn))
     tracked = [p for p in params if p not in ("self", "cls")]
@@ -463,7 +493,14 @@ def summarize_function(
         return bottom  # nothing provable: claim nothing
     cfg = function_cfg(fn)
 
+    def _tick(label: str, started: float) -> None:
+        if timings is not None:
+            timings[label] = (
+                timings.get(label, 0.0) + time.perf_counter() - started
+            )
+
     # -- pass A: view aliases and in-place mutation ------------------
+    pass_started = time.perf_counter()
     alias = InterAliasTaint(
         graph,
         summaries,
@@ -487,8 +524,10 @@ def summarize_function(
             mutated.update(strip_via(label) for label in labels)
 
     replay(cfg, alias, alias_in, visit_alias)
+    _tick("alias", pass_started)
 
     # -- pass B: rng escape depth ------------------------------------
+    pass_started = time.perf_counter()
     seed = InterSeedTaint(
         graph,
         summaries,
@@ -507,8 +546,10 @@ def summarize_function(
     rng_depth = min(escape_depths) if escape_depths else None
     if rng_depth is not None and rng_depth >= RNG_MAX_DEPTH:
         rng_depth = None  # beyond the tracking horizon
+    _tick("seed", pass_started)
 
     # -- pass C: abstract return shapes ------------------------------
+    pass_started = time.perf_counter()
     shape = ShapeAnalysis(
         callee_returns=lambda call: _callee_return_shapes(
             graph, summaries, call
@@ -534,9 +575,53 @@ def summarize_function(
         return_shapes: tuple[str, ...] = ()
     else:
         return_shapes = tuple(sorted(return_values))
+    _tick("shape", pass_started)
 
     # -- pass D: concurrency/determinism effect vector ---------------
+    pass_started = time.perf_counter()
     effects = function_effects(fnode, graph, summaries, cfg=cfg)
+    _tick("effects", pass_started)
+
+    # -- pass E: numeric return ranges and param preconditions -------
+    pass_started = time.perf_counter()
+    interval = IntervalAnalysis(
+        entry={
+            name: frozenset({num_param_label(name)}) for name in tracked
+        },
+        callee_ranges=lambda call: _callee_return_ranges(
+            graph, summaries, call
+        ),
+    )
+    interval_in = interval.solve(cfg)
+    range_values: set[str] = set()
+    range_top = False
+    preconditions: set[str] = set()
+
+    def visit_interval(item: ast.AST, state: State) -> None:
+        nonlocal range_top
+        if isinstance(item, ast.Return) and item.value is not None:
+            labels = interval.eval_expr(item.value, state)
+            values = num_values_of(labels)
+            if (
+                num_params_of(labels)
+                or not values
+                or not all(num_informative(v) for v in values)
+            ):
+                range_top = True
+            else:
+                range_values.update(num_encode(v) for v in values)
+        for name, kind, line in _numeric_obligations(
+            interval, item, state
+        ):
+            if name in tracked:
+                preconditions.add(f"{name}|{kind}|{line}")
+
+    replay(cfg, interval, interval_in, visit_interval)
+    if range_top or len(range_values) > _MAX_RETURN_SHAPES:
+        return_ranges: tuple[str, ...] = ()
+    else:
+        return_ranges = tuple(sorted(range_values))
+    _tick("interval", pass_started)
 
     return FunctionSummary(
         qualname=fnode.qualname,
@@ -545,8 +630,71 @@ def summarize_function(
         mutates=tuple(sorted(mutated & set(tracked))),
         rng_return_depth=rng_depth,
         return_shapes=return_shapes,
+        return_ranges=return_ranges,
+        param_preconditions=tuple(sorted(preconditions)),
         effects=effects,
     )
+
+
+#: log-family / sqrt entry points whose argument a precondition covers.
+_DOMAIN_OBLIGATIONS = {
+    "log": "positive",
+    "log2": "positive",
+    "log10": "positive",
+    "sqrt": "nonnegative",
+}
+
+
+def _numeric_obligations(
+    interval: IntervalAnalysis, item: ast.AST, state: State
+):
+    """Yield ``(param_name, kind, line)`` for every *unguarded*
+    parameter that flows into a partial numeric operation in ``item``:
+    a denominator (``nonzero``), a ``log`` argument (``positive``) or a
+    ``sqrt`` argument (``nonnegative``).  Parameters the function
+    already guards (``if x > 0:`` …) carry refined labels instead and
+    are checked in-function, not exported."""
+    for root in item_exprs(item):
+        for node in ast.walk(root):
+            operand: ast.AST | None = None
+            kind = ""
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Div, ast.FloorDiv, ast.Mod)
+            ):
+                operand, kind = node.right, "nonzero"
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                kind = _DOMAIN_OBLIGATIONS.get(node.func.attr, "")
+                if kind and node.args:
+                    operand = node.args[0]
+            if operand is None or not kind:
+                continue
+            labels = interval.eval_expr(operand, state)
+            for name in sorted(num_params_of(labels)):
+                yield name, kind, getattr(node, "lineno", 0)
+
+
+def _callee_return_ranges(
+    graph: CallGraph,
+    summaries: dict[str, FunctionSummary],
+    call: ast.Call,
+):
+    """The numeric hook: ``None`` for unresolved calls (the numpy
+    transfer functions take over), the union of candidate return
+    ranges for resolved ones (empty = resolved-but-unknown = ⊤)."""
+    site = graph.callsites.get(id(call))
+    if site is None or not site.candidates:
+        return None
+    values = []
+    for qualname in site.candidates:
+        summary = summaries.get(qualname)
+        if summary is None or not summary.return_ranges:
+            return []  # ⊤ — never let numpy guesses shadow a callee
+        values.extend(
+            num_decode(label) for label in summary.return_ranges
+        )
+    return values
 
 
 def _callee_return_shapes(
@@ -595,6 +743,9 @@ class InterprocAnalysis:
         self.summaries: dict[str, FunctionSummary] = {}
         self.hits = 0
         self.misses = 0
+        #: Wall seconds per summary pass (alias/seed/shape/effects/
+        #: interval) across every recomputed SCC — ``--stats`` fodder.
+        self.pass_seconds: dict[str, float] = {}
         #: Every SCC cache key used this run (for cache pruning).
         self.used_keys: set[str] = set()
         self._sites_by_caller: dict[str, list[CallSite]] = {}
@@ -610,9 +761,13 @@ class InterprocAnalysis:
         one of the rule-facing problems — ``"shape"``
         (:class:`~xaidb.analysis.shapes.ShapeAnalysis`), ``"alias"``
         (:class:`InterAliasTaint`, parameters seeded with their own
-        names) or ``"seed"`` (:class:`InterSeedTaint`, parameters
-        seeded :data:`PARAM`) — memoised so the four interprocedural
-        rules never re-run a fixpoint the scan already paid for."""
+        names), ``"seed"`` (:class:`InterSeedTaint`, parameters seeded
+        :data:`PARAM`) or ``"interval"``
+        (:class:`~xaidb.analysis.intervals.IntervalAnalysis`,
+        parameters seeded with opaque range labels, solved with
+        widening and branch refinement) — memoised so the
+        interprocedural rules never re-run a fixpoint the scan already
+        paid for."""
         memo_key = (kind, qualname)
         if memo_key not in self._solutions:
             fnode = self.graph.functions[qualname]
@@ -636,14 +791,24 @@ class InterprocAnalysis:
                     self.summaries,
                     entry={name: frozenset({PARAM}) for name in params},
                 )
+            elif kind == "interval":
+                problem = IntervalAnalysis(
+                    entry={
+                        name: frozenset({num_param_label(name)})
+                        for name in tracked
+                    },
+                    callee_ranges=lambda call: _callee_return_ranges(
+                        self.graph, self.summaries, call
+                    ),
+                )
             else:
                 raise ValueError(f"unknown solution kind: {kind!r}")
             cfg = function_cfg(fnode.node)
-            self._solutions[memo_key] = (
-                cfg,
-                problem,
-                solve_forward(cfg, problem),
-            )
+            if kind == "interval":
+                solved = problem.solve(cfg)  # widened + refined
+            else:
+                solved = solve_forward(cfg, problem)
+            self._solutions[memo_key] = (cfg, problem, solved)
         return self._solutions[memo_key]
 
     def summaries_for_call(
@@ -738,6 +903,7 @@ class InterprocAnalysis:
                     self.graph.functions[qualname],
                     self.graph,
                     self.summaries,
+                    timings=self.pass_seconds,
                 )
                 if updated != self.summaries[qualname]:
                     self.summaries[qualname] = updated

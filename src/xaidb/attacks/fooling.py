@@ -123,6 +123,7 @@ def train_ood_detector(
             degenerate = (counts < 2) | (counts > d - 2)
         synthetic_blocks.append(np.where(masks, left, right))
     synthetic = np.vstack(synthetic_blocks)
+    # xailint: disable=XDB023 (dataset.X is validated non-empty, so len(real_rows) >= 1)
     replication = max(1, round(len(synthetic) / len(real_rows)))
 
     detector = OODDetector(

@@ -154,7 +154,9 @@ class DiscreteMechanism(Mechanism):
                 f"({n}, {len(self.categories)})"
             )
         p = np.clip(p, 0.0, None)
-        return p / p.sum(axis=1, keepdims=True)
+        # an all-zero row would normalise to NaN; the clamp keeps the
+        # division defined and such a row surfaces as uniform-ish noise
+        return p / np.maximum(p.sum(axis=1, keepdims=True), 1e-12)
 
     def sample_noise(self, n: int, rng: np.random.Generator) -> np.ndarray:
         return rng.uniform(0.0, 1.0, size=n)

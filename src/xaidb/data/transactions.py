@@ -52,6 +52,7 @@ class TransactionDatabase:
         """Fraction of transactions containing ``itemset``."""
         if not self.transactions:
             raise ValidationError("support undefined on an empty database")
+        # xailint: disable=XDB023 (the empty-database guard above raises first)
         return self.support_count(itemset) / len(self.transactions)
 
     def item_counts(self) -> Counter:

@@ -20,7 +20,11 @@ import numpy as np
 
 from xaidb.exceptions import ValidationError
 from xaidb.utils.kernels import pairwise_distances
-from xaidb.utils.validation import check_array, check_matching_lengths
+from xaidb.utils.validation import (
+    check_array,
+    check_matching_lengths,
+    check_positive,
+)
 
 __all__ = ["knn_shapley_values", "knn_utility"]
 
@@ -72,6 +76,9 @@ def knn_utility(
     so tests can verify the efficiency axiom: ``sum(values) = v(D) - v(∅)``
     with ``v(∅)`` the expected utility of random labels... precisely 0
     under this utility's convention of scoring an empty neighbour set 0."""
+    X_train = check_array(X_train, name="X_train", ndim=2)
+    y_valid = check_array(y_valid, name="y_valid", ndim=1)
+    check_positive(k, name="k")
     distances = pairwise_distances(X_valid, X_train)
     k_effective = min(k, X_train.shape[0])
     total = 0.0

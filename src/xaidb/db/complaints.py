@@ -153,4 +153,5 @@ class ComplaintDebugger:
         truth = set(int(i) for i in corrupted)
         if not truth:
             raise ValidationError("corrupted set is empty")
+        # xailint: disable=XDB023 (the empty corrupted-set guard above raises first)
         return len(top & truth) / len(truth)

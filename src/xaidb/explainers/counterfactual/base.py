@@ -219,4 +219,5 @@ class CounterfactualSet:
                     self.mad,
                 )
                 count += 1
+        # xailint: disable=XDB023 (count >= 1: the k < 2 early return guarantees at least one pair)
         return total / count

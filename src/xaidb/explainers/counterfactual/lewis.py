@@ -78,6 +78,8 @@ class LewisExplainer(Explainer):
         missing = [n for n in feature_nodes if n not in scm.graph]
         if missing:
             raise ValidationError(f"SCM is missing feature nodes: {missing}")
+        if n_units < 1:
+            raise ValidationError(f"n_units must be >= 1, got {n_units}")
         self.predict_fn = predict_fn
         self.scm = scm
         self.feature_nodes = list(feature_nodes)
@@ -184,6 +186,7 @@ class LewisExplainer(Explainer):
                 if sufficiency_trials
                 else 0.0
             ),
+            # xailint: disable=XDB023 (init validates n_units >= 1 and _population samples exactly that many units)
             pns=pns_events / len(units),
             n_units=len(units),
         )

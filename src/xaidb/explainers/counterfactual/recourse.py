@@ -134,6 +134,7 @@ class LinearRecourse:
             if gained >= needed:
                 break
             gain_here = min(gain_cap, needed - gained)
+            # xailint: disable=XDB023 (candidates only admits features with w[i] != 0)
             move = gain_here / abs(w[i])
             deltas[i] = direction * move
             gained += gain_here

@@ -100,6 +100,7 @@ class BagOfWordsClassifier:
                 )
             log_joint -= log_joint.max()
             joint = np.exp(log_joint)
+            # xailint: disable=XDB023 (the max shift leaves one term at exp(0) = 1, so the sum is >= 1)
             out[i] = joint / joint.sum()
         return out
 

@@ -113,6 +113,7 @@ class MMDCritic:
                 m = len(trial)
                 cross = column_means[trial].sum()
                 inner = kernel[np.ix_(trial, trial)].sum()
+                # xailint: disable=XDB023 (m = len(prototypes) + 1 >= 1 by construction)
                 mmd = grand_mean - 2.0 * cross / m + inner / (m * m)
                 if mmd < best_mmd:
                     best_candidate, best_mmd = candidate, mmd
@@ -135,6 +136,8 @@ class MMDCritic:
         X = check_array(X, name="X", ndim=2)
         y = np.asarray(y)
         classes = np.unique(y)
+        if len(classes) == 0:
+            raise ValidationError("y must contain at least one label")
         per_class = max(1, self.n_prototypes // len(classes))
         prototypes: list[int] = []
         traces: list[float] = []

@@ -246,6 +246,7 @@ class AsymmetricShapleyExplainer(Explainer):
                 current = game.value(frozenset(coalition))
                 phi[player] += current - previous
                 previous = current
+        # xailint: disable=XDB023 (the no-topological-order guard above raises first)
         phi /= len(orders)
         return FeatureAttribution(
             feature_names=list(self.feature_names),

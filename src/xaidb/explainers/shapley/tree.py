@@ -115,6 +115,7 @@ def _unwind(path: list[_PathElement], index: int) -> list[_PathElement]:
         if one != 0.0:
             tmp = out[j].weight
             out[j].weight = carry * (last + 1) / ((j + 1) * one)
+            # xailint: disable=XDB023 (UNWIND precondition: a path entry with both fractions 0 is never extended)
             carry = tmp - out[j].weight * zero * (last - j) / (last + 1)
         else:
             out[j].weight = out[j].weight * (last + 1) / (zero * (last - j))
@@ -308,6 +309,7 @@ class TreeShapExplainer(Explainer):
                 f"P(class={k})",
             )
         if isinstance(model, RandomForestRegressor):
+            # xailint: disable=XDB027 (a fitted forest holds at least one estimator)
             scale = 1.0 / len(model.estimators_)
             return (
                 [(t.tree_, t.tree_.value[:, 0], scale) for t in model.estimators_],
@@ -315,6 +317,7 @@ class TreeShapExplainer(Explainer):
                 "value",
             )
         if isinstance(model, RandomForestClassifier):
+            # xailint: disable=XDB027 (a fitted forest holds at least one estimator)
             scale = 1.0 / len(model.estimators_)
             terms = []
             for t in model.estimators_:

@@ -218,6 +218,7 @@ class UnlearnableExtraTrees:
                 total = node.class_counts.sum()
                 if total > 0:
                     out[i] += node.class_counts / total
+        # xailint: disable=XDB023 (a fitted forest holds at least one root)
         return out / len(self.roots_)
 
     def predict(self, X: np.ndarray) -> np.ndarray:

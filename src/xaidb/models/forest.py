@@ -117,6 +117,7 @@ class RandomForestClassifier(_ForestMixin, Classifier):
             )
         total = np.zeros((X.shape[0], len(self.classes_)))
         self._ensemble_kernel.accumulate(X, total)
+        # xailint: disable=XDB023 (a fitted forest holds at least one estimator)
         return total / len(self.estimators_)
 
 
@@ -166,4 +167,5 @@ class RandomForestRegressor(_ForestMixin, Regressor):
             )
         predictions = np.zeros(X.shape[0])
         self._ensemble_kernel.accumulate(X, predictions)
+        # xailint: disable=XDB023 (a fitted forest holds at least one estimator)
         return predictions / len(self.estimators_)

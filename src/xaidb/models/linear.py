@@ -111,6 +111,7 @@ class LinearRegression(Regressor):
         """Average Hessian of the penalised squared loss: ``X^T X / n + L2``."""
         check_fitted(self, ["coef_"])
         design = self._augment(check_array(X, name="X", ndim=2))
+        # xailint: disable=XDB023 (check_array rejects an empty X and _augment keeps its rows)
         return design.T @ design / design.shape[0] + self._penalty_matrix(
             design.shape[1]
         ) / design.shape[0]

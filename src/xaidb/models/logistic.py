@@ -174,5 +174,7 @@ class LogisticRegression(Classifier):
         probabilities = sigmoid(design @ theta)
         curvature = probabilities * (1.0 - probabilities)
         n = design.shape[0]
+        # xailint: disable=XDB023 (check_array rejects an empty X and _augment keeps its rows)
         hessian = (design * curvature[:, None]).T @ design / n
+        # xailint: disable=XDB023 (check_array rejects an empty X and _augment keeps its rows)
         return hessian + np.diag(self._penalty_vector(design.shape[1])) / n

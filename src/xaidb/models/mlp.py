@@ -59,6 +59,7 @@ class MLPClassifier(Classifier):
         logits = hidden @ self.weights_[-1] + self.biases_[-1]
         logits -= logits.max(axis=1, keepdims=True)
         exp_logits = np.exp(logits)
+        # xailint: disable=XDB023 (the max shift leaves one term at exp(0) = 1, so the sum is >= 1)
         probabilities = exp_logits / exp_logits.sum(axis=1, keepdims=True)
         return activations, probabilities
 
@@ -80,6 +81,7 @@ class MLPClassifier(Classifier):
         n = X.shape[0]
         for _ in range(self.max_iter):
             activations, probabilities = self._forward(X)
+            # xailint: disable=XDB023 (fit's argument validation rejects an empty X)
             delta = (probabilities - one_hot) / n
             for layer in reversed(range(len(self.weights_))):
                 grad_w = activations[layer].T @ delta + self.l2 * self.weights_[layer]

@@ -99,6 +99,7 @@ class ScaleStandard(Operator):
         X = X.copy()
         means = X.mean(axis=0)
         scales = np.where(X.std(axis=0) > 0, X.std(axis=0), 1.0)
+        # xailint: disable=XDB023 (np.where replaces non-positive scales with 1.0)
         X = (X - means) / scales
         record = StageRecord(
             name=self.name,

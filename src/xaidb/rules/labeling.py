@@ -233,6 +233,7 @@ def mine_labeling_rules(
                         directions=tuple(d for __, __, d in combo),
                         target=target,
                         precision=precision,
+                        # xailint: disable=XDB023 (covered >= 2 via the coverage guard implies n >= 2)
                         coverage=covered / n,
                         name=f"lf[{text} => {target}]",
                     )

@@ -96,6 +96,7 @@ async def _client(
         # pairs of clients walk the mix in lockstep, so concurrent
         # same-key submissions (coalescing) actually occur while
         # different pairs still exercise key diversity
+        # xailint: disable=XDB023 (run() validates a non-empty workload before spawning clients)
         item = workload[(client_index // 2 + r) % len(workload)]
         instance = item.instances[
             (client_index * n_requests + r) % item.instances.shape[0]

@@ -1,0 +1,28 @@
+"""Clean fixture for XDB023: the same divisions, but every denominator
+is clamped or guarded so its proven interval excludes 0."""
+
+import numpy as np
+
+__all__ = ["normalized_scores", "bucket_average", "normalize_margin"]
+
+
+def normalized_scores(scores):
+    weights = np.abs(scores)
+    total = np.maximum(weights.sum(), 1e-12)  # clamp lifts the bound
+    return scores / total
+
+
+def bucket_average(total, buckets):
+    if len(buckets) == 0:
+        return 0.0
+    return total / len(buckets)  # fall-through proves len >= 1
+
+
+def _rescale(values, denom):
+    return values / denom
+
+
+def normalize_margin(margin):
+    weights = np.abs(margin)
+    total = np.maximum(weights.sum(), 1e-12)
+    return _rescale(weights, total)  # argument proven >= 1e-12

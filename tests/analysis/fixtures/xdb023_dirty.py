@@ -1,0 +1,27 @@
+"""Dirty fixture for XDB023: denominators whose proven interval
+contains 0, in-function and through a callee precondition."""
+
+import numpy as np
+
+__all__ = ["normalized_scores", "bucket_average", "normalize_margin"]
+
+
+def normalized_scores(scores):
+    weights = np.abs(scores)
+    total = weights.sum()  # proven range [0, inf]: can be exactly 0
+    return scores / total  # finding 1
+
+
+def bucket_average(total, buckets):
+    return total / len(buckets)  # finding 2: len() can be 0
+
+
+def _rescale(values, denom):
+    # denom is an unguarded parameter: silent here, but the summary
+    # exports the nonzero precondition checked at every call site
+    return values / denom
+
+
+def normalize_margin(margin):
+    weights = np.abs(margin)
+    return _rescale(weights, weights.sum())  # finding 3: arg can be 0

@@ -1,0 +1,16 @@
+"""Clean fixture for XDB024: the same transcendentals, arguments
+clamped into their domains first."""
+
+import numpy as np
+
+__all__ = ["log_confidence", "root_deficit"]
+
+
+def log_confidence(margin):
+    conf = np.maximum(np.abs(margin), 1e-9)  # proven range [1e-9, inf]
+    return np.log(conf)
+
+
+def root_deficit(delta):
+    shortfall = np.maximum(np.minimum(delta, 0.0), 0.0)  # exactly 0
+    return np.sqrt(shortfall)

@@ -1,0 +1,16 @@
+"""Dirty fixture for XDB024: log over an interval reaching 0, sqrt
+over an interval reaching below 0."""
+
+import numpy as np
+
+__all__ = ["log_confidence", "root_deficit"]
+
+
+def log_confidence(margin):
+    conf = np.abs(margin)  # proven range [0, inf]: log(0) = -inf
+    return np.log(conf)  # finding 1
+
+
+def root_deficit(delta):
+    shortfall = np.minimum(delta, 0.0)  # proven range [-inf, 0]
+    return np.sqrt(shortfall)  # finding 2: sqrt of a negative is NaN

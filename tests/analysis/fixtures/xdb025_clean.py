@@ -1,0 +1,16 @@
+"""Clean fixture for XDB025: the same reductions over provably
+non-degenerate samples."""
+
+import numpy as np
+
+__all__ = ["mean_of_some", "variance_of_two"]
+
+
+def mean_of_some():
+    scores = np.zeros((4,))  # proven length [4, 4]
+    return scores.mean()
+
+
+def variance_of_two():
+    sample = np.ones(2)  # proven length [2, 2]: n - ddof = 1
+    return sample.std(ddof=1)

@@ -1,0 +1,16 @@
+"""Dirty fixture for XDB025: a reduction over a provably empty array
+and a ddof that provably reaches the sample count."""
+
+import numpy as np
+
+__all__ = ["mean_of_nothing", "variance_of_one"]
+
+
+def mean_of_nothing():
+    scores = np.zeros((0,))  # proven length [0, 0]
+    return scores.mean()  # finding 1: mean of an empty array is NaN
+
+
+def variance_of_one():
+    sample = np.ones(1)  # proven length [1, 1]
+    return sample.std(ddof=1)  # finding 2: n - ddof = 0, result NaN

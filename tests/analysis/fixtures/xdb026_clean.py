@@ -1,0 +1,15 @@
+"""Clean fixture for XDB026: the same probability positions fed with
+values proven inside [0, 1]."""
+
+import numpy as np
+
+__all__ = ["predict_proba_margin", "draw_bucket"]
+
+
+def predict_proba_margin(margin):
+    return 1.0 / (1.0 + np.exp(-margin))  # sigmoid: proven (0, 1]
+
+
+def draw_bucket(rng):
+    weights = np.full(8, 0.125)  # uniform: proven [0.125, 0.125]
+    return rng.choice(8, p=weights)

@@ -1,0 +1,15 @@
+"""Dirty fixture for XDB026: values provably outside [0, 1] flowing
+into probability positions."""
+
+import numpy as np
+
+__all__ = ["predict_proba_margin", "draw_bucket"]
+
+
+def predict_proba_margin(margin):
+    return 2.0 + np.abs(margin)  # finding 1: proven range [2, inf]
+
+
+def draw_bucket(rng):
+    weights = np.full(8, -0.125)  # proven range [-0.125, -0.125]
+    return rng.choice(8, p=weights)  # finding 2: negative "probability"

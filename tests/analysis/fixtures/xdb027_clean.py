@@ -1,0 +1,19 @@
+"""Clean fixture for XDB027: the same reciprocal scales, denominators
+clamped or guarded away from 0."""
+
+import numpy as np
+
+__all__ = ["hit_rates", "uniform_share"]
+
+
+def hit_rates(indices):
+    counts = np.zeros(8)
+    for index in indices:
+        counts[index] += 1.0
+    return 1.0 / np.maximum(counts, 1.0)  # clamp: proven [1, inf]
+
+
+def uniform_share(weights):
+    if len(weights) == 0:
+        return 0.0
+    return 1.0 / len(weights)  # fall-through proves len >= 1

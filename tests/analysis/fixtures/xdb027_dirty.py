@@ -1,0 +1,17 @@
+"""Dirty fixture for XDB027: constant-numerator reciprocal scales
+whose denominator interval contains 0."""
+
+import numpy as np
+
+__all__ = ["hit_rates", "uniform_share"]
+
+
+def hit_rates(indices):
+    counts = np.zeros(8)
+    for index in indices:
+        counts[index] += 1.0  # weak update: counts stays >= 0
+    return 1.0 / counts  # finding 1: an unhit bucket is still 0
+
+
+def uniform_share(weights):
+    return 1.0 / len(weights)  # finding 2: len() can be 0

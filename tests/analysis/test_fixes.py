@@ -1,0 +1,130 @@
+"""``xailint --fix``: XDB012 stale/dangling suppressions are deleted,
+the fix is idempotent, and ``--dry-run`` only prints the diff."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from xaidb.analysis.cli import main
+from xaidb.analysis.engine import run_paths
+from xaidb.analysis.fixes import apply_fixes, plan_fixes
+
+DIRTY = '''\
+import numpy as np
+
+# xailint: disable=XDB002 (the violation below is long gone)
+def mean_of(xs):
+    return float(np.mean(np.asarray(xs, dtype=float)))
+
+
+def scaled(xs):
+    total = np.asarray(xs, dtype=float).sum()
+    # xailint: disable=XDB006 (dangling: nothing follows)
+'''
+
+#: What --fix must leave behind: both bad comments gone, code intact.
+CLEAN = '''\
+import numpy as np
+
+def mean_of(xs):
+    return float(np.mean(np.asarray(xs, dtype=float)))
+
+
+def scaled(xs):
+    total = np.asarray(xs, dtype=float).sum()
+'''
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path, monkeypatch):
+    target = tmp_path / "module.py"
+    target.write_text(DIRTY, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def _scan(root: Path):
+    return run_paths(["module.py"], root=root, cache_path=None)
+
+
+def test_plan_targets_stale_and_dangling_only(dirty_tree):
+    result = _scan(dirty_tree)
+    assert {f.rule_id for f in result.findings} >= {"XDB012"}
+    fixes = plan_fixes(result.findings, dirty_tree)
+    assert len(fixes) == 1
+    assert fixes[0].drop_lines == {3, 10}
+    assert not fixes[0].strip_lines
+
+
+def test_apply_fixes_rewrites_and_rescans_clean(dirty_tree):
+    result = _scan(dirty_tree)
+    report = apply_fixes(result.findings, dirty_tree)
+    assert report.n_files == 1
+    assert report.n_findings == 2
+    assert (dirty_tree / "module.py").read_text(encoding="utf-8") == CLEAN
+    rescan = _scan(dirty_tree)
+    assert not [f for f in rescan.findings if f.rule_id == "XDB012"]
+
+
+def test_apply_fixes_is_idempotent(dirty_tree):
+    apply_fixes(_scan(dirty_tree).findings, dirty_tree)
+    first = (dirty_tree / "module.py").read_text(encoding="utf-8")
+    second_report = apply_fixes(_scan(dirty_tree).findings, dirty_tree)
+    assert second_report.n_findings == 0
+    assert (dirty_tree / "module.py").read_text(encoding="utf-8") == first
+
+
+def test_trailing_stale_comment_keeps_the_code(tmp_path, monkeypatch):
+    target = tmp_path / "module.py"
+    target.write_text(
+        "x = 1  # xailint: disable=XDB002 (stale trailing comment)\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    report = apply_fixes(_scan(tmp_path).findings, tmp_path)
+    assert report.n_findings == 1
+    assert target.read_text(encoding="utf-8") == "x = 1\n"
+
+
+def test_partial_stale_multi_id_comment_survives(tmp_path, monkeypatch):
+    # XDB007 still fires on the target line, so the comment is only
+    # *partially* stale and must be kept verbatim
+    target = tmp_path / "module.py"
+    target.write_text(
+        "# xailint: disable=XDB002,XDB007 (one id is live)\n"
+        "def f(bucket=[]):\n"
+        "    return bucket\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    original = target.read_text(encoding="utf-8")
+    report = apply_fixes(_scan(tmp_path).findings, tmp_path)
+    assert report.n_findings == 0
+    assert target.read_text(encoding="utf-8") == original
+
+
+def test_cli_fix_dry_run_prints_diff_without_writing(
+    dirty_tree, capsys
+):
+    assert main(["--fix", "--dry-run", "module.py", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "--- a/module.py" in out
+    assert "+++ b/module.py" in out
+    assert "-# xailint: disable=XDB002" in out
+    assert "would remove 2 suppression comment(s)" in out
+    assert (dirty_tree / "module.py").read_text(encoding="utf-8") == DIRTY
+
+
+def test_cli_fix_applies_and_reports(dirty_tree, capsys):
+    assert main(["--fix", "module.py", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "fixed 2 suppression comment(s) in 1 file(s)" in out
+    assert (dirty_tree / "module.py").read_text(encoding="utf-8") == CLEAN
+
+
+def test_cli_dry_run_without_fix_is_a_usage_error():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--dry-run", "src"])
+    assert excinfo.value.code == 2

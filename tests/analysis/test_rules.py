@@ -40,6 +40,11 @@ CASES = [
     ("XDB020", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
     ("XDB021", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
     ("XDB022", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB023", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB024", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB025", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB026", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB027", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
 ]
 
 
@@ -95,6 +100,11 @@ def test_dirty_fixture_finding_counts():
         "XDB020": 2,  # lambda task + nested-function task
         "XDB021": 2,  # direct time.sleep + blocking .fit via helper
         "XDB022": 2,  # early-return leak + raise-path leak
+        "XDB023": 3,  # sum + len denominators + callsite precondition
+        "XDB024": 2,  # log reaching 0 + sqrt reaching below 0
+        "XDB025": 2,  # empty mean + ddof == sample count
+        "XDB026": 2,  # predict_proba return + negative p= weights
+        "XDB027": 2,  # weak-updated counts + unguarded len()
     }
     for (rule_id, kwargs) in CASES:
         findings = _lint_fixture(rule_id, "dirty", kwargs)
@@ -123,7 +133,7 @@ def test_xdb010_and_xdb013_silent_outside_xaidb_package():
 
 
 def test_interproc_tier_silent_outside_xaidb_package():
-    """XDB014-XDB022 are scoped to the library like the rest of the
+    """XDB014-XDB027 are scoped to the library like the rest of the
     flow-sensitive tier."""
     for rule_id in (
         "XDB014",
@@ -135,6 +145,11 @@ def test_interproc_tier_silent_outside_xaidb_package():
         "XDB020",
         "XDB021",
         "XDB022",
+        "XDB023",
+        "XDB024",
+        "XDB025",
+        "XDB026",
+        "XDB027",
     ):
         findings = _lint_fixture(
             rule_id, "dirty", {"module_name": "scripts.fx"}
@@ -185,6 +200,27 @@ def test_xdb014_message_names_the_witness_shapes():
     messages = " | ".join(f.message for f in findings)
     assert "float64(3, 3) vs float64(4, 5)" in messages
     assert "concatenate()" in messages
+
+
+def test_numeric_tier_messages_carry_interval_witnesses():
+    """XDB023-XDB027 findings must cite the proven interval that
+    supports them — the silent-unless-provable contract made visible."""
+    kwargs = {"in_xaidb_package": True, "module_name": "xaidb.fx"}
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB023", "dirty", kwargs)
+    )
+    assert "proven range [0, inf]" in messages
+    assert "xaidb.fx._rescale divides by it" in messages
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB025", "dirty", kwargs)
+    )
+    assert "proven length [0, 0]" in messages
+    assert "n - ddof reaches 0" in messages
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB026", "dirty", kwargs)
+    )
+    assert "proven range [2, inf]" in messages
+    assert "proven range [-0.125, -0.125]" in messages
 
 
 def test_xdb012_messages_distinguish_failure_modes():

@@ -21,7 +21,13 @@ Runs, in order, stopping at the first failure:
    (``benchmarks/bench_a12_serving.py``, reduced sweep via
    ``XAIDB_A12_SMOKE``) — proves the explanation server's coalesced
    batches stay bitwise identical to the per-request serial path and
-   the closed-loop sweep completes without failures.
+   the closed-loop sweep completes without failures;
+6. a smoke run of the A13 numeric-lint benchmark
+   (``benchmarks/bench_a13_numeric_lint.py``, reduced scan set via
+   ``XAIDB_A13_SMOKE``) — proves a warm (summary-cached) scan is
+   finding-for-finding identical to a cold one and that the interval
+   pass really is skipped, so a cache-keying bug in the numeric tier
+   cannot change verdicts silently.
 
 Usage::
 
@@ -153,6 +159,18 @@ STEPS: list[tuple[str, list[str]]] = [
             str(REPO_ROOT / "benchmarks" / "bench_a12_serving.py"),
         ],
     ),
+    (
+        "A13 numeric-lint smoke",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            str(REPO_ROOT / "benchmarks" / "bench_a13_numeric_lint.py"),
+        ],
+    ),
 ]
 
 #: The A10 smoke shrinks the workload (the >= 10x bar applies at the
@@ -163,6 +181,10 @@ _ENV.setdefault("XAIDB_A10_ROWS", "2000")
 #: The A12 smoke shrinks the client sweep and skips the JSON artifact
 #: write (the committed BENCH_serving.json only changes on full runs).
 _ENV.setdefault("XAIDB_A12_SMOKE", "1")
+
+#: The A13 smoke scans only the linter's own sources and skips the
+#: BENCH_lint.json write (the committed record reflects full runs).
+_ENV.setdefault("XAIDB_A13_SMOKE", "1")
 
 
 def main(argv: list[str] | None = None) -> int:
