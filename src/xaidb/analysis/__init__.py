@@ -5,10 +5,10 @@ validity silently: unseeded randomness, hidden library behaviour and
 impure explainers make a reproduction drift from the results it claims
 to match without any test failing.  This package turns the repo's
 scientific-correctness conventions into machine-checked invariants
-(rule ids XDB001–XDB027, documented in ``docs/LINTING.md``) that gate
+(rule ids XDB001–XDB032, documented in ``docs/LINTING.md``) that gate
 every PR via ``tests/analysis/test_lint_clean.py``.
 
-Five tiers of rules ship: syntactic/AST-pattern checks
+Six tiers of rules ship: syntactic/AST-pattern checks
 (XDB001–XDB009); a flow-sensitive tier (XDB010–XDB013) built on a
 per-function CFG (:mod:`xaidb.analysis.cfg`) and a forward dataflow
 framework with reaching-definitions and value-taint instantiations
@@ -20,7 +20,12 @@ shape/dtype abstract domain (:mod:`xaidb.analysis.shapes`); a
 concurrency/determinism tier (XDB018–XDB022); and a numeric-safety tier
 (XDB023–XDB027) built on a value-range abstract interpretation
 (:mod:`xaidb.analysis.intervals`) whose interval domain tracks bounds,
-may-be-NaN flags and array lengths flow-sensitively and across calls.
+may-be-NaN flags and array lengths flow-sensitively and across calls;
+and a typestate/exception-flow tier (XDB028–XDB032) that proves
+lifecycle contracts against protocol DFAs
+(:mod:`xaidb.analysis.typestate`) and threads interprocedural
+may-raise summaries (:mod:`xaidb.analysis.raises`) through the same
+summary cache.
 Findings with a mechanical remedy are repaired by ``xailint --fix``
 (:mod:`xaidb.analysis.fixes`).  Scans are
 commit-speed via a content-hash-keyed incremental cache
@@ -63,6 +68,12 @@ from xaidb.analysis.fixes import (
     FixReport,
     apply_fixes,
     plan_fixes,
+)
+from xaidb.analysis.raises import encode_raises, may_raise
+from xaidb.analysis.typestate import (
+    PROTOCOLS,
+    Protocol,
+    TypestateAnalysis,
 )
 from xaidb.analysis.intervals import (
     AbstractNum,
@@ -160,4 +171,9 @@ __all__ = [
     "FixReport",
     "plan_fixes",
     "apply_fixes",
+    "Protocol",
+    "PROTOCOLS",
+    "TypestateAnalysis",
+    "may_raise",
+    "encode_raises",
 ]

@@ -50,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="xailint",
         description=(
             "Static analysis enforcing xaidb's scientific-correctness "
-            "invariants (rule ids XDB001-XDB027; see docs/LINTING.md)."
+            "invariants (rule ids XDB001-XDB032; see docs/LINTING.md)."
         ),
     )
     parser.add_argument(
@@ -144,7 +144,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=(
             "apply mechanical fixes for the rules that have one "
-            "(currently XDB012 stale/dangling suppressions) and exit"
+            "(XDB012: stale/dangling suppressions are removed, "
+            "reason-less ones gain a '(reason: TODO)' placeholder) "
+            "and exit"
         ),
     )
     parser.add_argument(
@@ -216,13 +218,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             if report.diff:
                 print(report.diff, end="")
             print(
-                f"xailint: --fix would remove {report.n_findings} "
-                f"suppression comment(s) in {report.n_files} file(s)"
+                f"xailint: --fix would remove {report.n_removed} and "
+                f"rewrite {report.n_rewritten} suppression comment(s) "
+                f"in {report.n_files} file(s)"
             )
         else:
             print(
-                f"xailint: fixed {report.n_findings} suppression "
-                f"comment(s) in {report.n_files} file(s)"
+                f"xailint: removed {report.n_removed} and rewrote "
+                f"{report.n_rewritten} suppression comment(s) in "
+                f"{report.n_files} file(s)"
             )
         return 0
 

@@ -1,11 +1,16 @@
 """Mechanical autofixes for findings that have one (``xailint --fix``).
 
-The only fixable rule so far is XDB012: *stale* suppression comments
-(the violation they vouched for is gone) and *dangling* ones (no code
-line follows) are deleted — a standalone comment loses its whole line,
-a trailing comment is stripped off the code it rides.  Reason-less
-suppressions are deliberately left alone: the mechanical fix would be
-to invent a reason, and only a human can supply one.
+The only fixable rule so far is XDB012, in its three shapes.  *Stale*
+suppression comments (the violation they vouched for is gone) and
+*dangling* ones (no code line follows) are deleted — a standalone
+comment loses its whole line, a trailing comment is stripped off the
+code it rides.  *Reason-less* suppressions are rewritten into the
+canonical reason-bearing form by appending a ``(reason: TODO)``
+placeholder: the tool cannot invent the real justification, but it can
+put the hole where the repo convention says the answer goes — and the
+rewritten comment parses as reason-bearing, so XDB012 stops reporting
+it and the rewrite is idempotent.  A comment that is both stale and
+reason-less is removed, not rewritten.
 
 A multi-id comment (``disable=XDB006,XDB010``) is only removed when
 *every* id it names is reported stale — deleting it while one id still
@@ -33,10 +38,15 @@ FIXABLE_RULES = ("XDB012",)
 
 _STALE_MARKER = "never matched a finding"
 _DANGLING_MARKER = "not followed by any code line"
+_REASONLESS_MARKER = "has no parenthesised reason"
 _STALE_ID_RE = re.compile(r"suppression of (XDB\d{3}) never matched")
 _COMMENT_RE = re.compile(
     r"\s*#\s*xailint:\s*disable=([A-Z0-9,\s]+?)(\([^)]*\))?\s*$"
 )
+
+#: The placeholder a reason-less suppression is rewritten with — valid
+#: under the repo convention, obviously unfinished to a reviewer.
+REASON_PLACEHOLDER = "(reason: TODO)"
 
 
 @dataclass
@@ -48,6 +58,8 @@ class FileFix:
     drop_lines: set[int] = field(default_factory=set)
     #: 1-based lines whose trailing suppression comment is stripped.
     strip_lines: set[int] = field(default_factory=set)
+    #: 1-based lines whose reason-less comment gains the placeholder.
+    rewrite_lines: set[int] = field(default_factory=set)
 
     def apply(self, text: str) -> str:
         lines = text.splitlines(keepends=True)
@@ -58,6 +70,9 @@ class FileFix:
             if number in self.strip_lines:
                 stripped = _COMMENT_RE.sub("", line.rstrip("\n"))
                 out.append(stripped.rstrip() + "\n")
+                continue
+            if number in self.rewrite_lines:
+                out.append(_with_reason(line))
                 continue
             out.append(line)
         return "".join(out)
@@ -70,10 +85,23 @@ class FixReport:
     fixes: list[FileFix]
     diff: str
     n_findings: int
+    #: Comments deleted (stale/dangling) vs rewritten (reason-less).
+    n_removed: int = 0
+    n_rewritten: int = 0
 
     @property
     def n_files(self) -> int:
         return len(self.fixes)
+
+
+def _with_reason(line: str) -> str:
+    """Append the reason placeholder to the suppression comment on
+    ``line`` (no-op when a reason is already present)."""
+    text = line.rstrip("\n")
+    match = _COMMENT_RE.search(text)
+    if match is None or match.group(2) is not None:
+        return line
+    return text.rstrip() + f" {REASON_PLACEHOLDER}\n"
 
 
 def _comment_ids(line: str) -> frozenset[str] | None:
@@ -97,6 +125,7 @@ def plan_fixes(
     """
     stale: dict[tuple[str, int], set[str]] = {}
     dangling: set[tuple[str, int]] = set()
+    reasonless: set[tuple[str, int]] = set()
     for finding in findings:
         if finding.rule_id != "XDB012":
             continue
@@ -107,6 +136,8 @@ def plan_fixes(
             match = _STALE_ID_RE.search(finding.message)
             if match is not None:
                 stale.setdefault(key, set()).add(match.group(1))
+        elif _REASONLESS_MARKER in finding.message:
+            reasonless.add(key)
 
     fixes: dict[str, FileFix] = {}
     for path, line in sorted(dangling | set(stale)):
@@ -131,6 +162,24 @@ def plan_fixes(
             fix.strip_lines.add(line)
         else:
             fix.drop_lines.add(line)
+    for path, line in sorted(reasonless):
+        fix = fixes.get(path)
+        if fix is not None and line in (fix.drop_lines | fix.strip_lines):
+            continue  # removal supersedes the rewrite
+        try:
+            lines = (root / path).read_text(
+                encoding="utf-8"
+            ).splitlines()
+        except OSError:
+            continue
+        if not 1 <= line <= len(lines):
+            continue
+        match = _COMMENT_RE.search(lines[line - 1])
+        if match is None or match.group(2) is not None:
+            continue  # already reason-bearing (or not a suppression)
+        fixes.setdefault(path, FileFix(path=path)).rewrite_lines.add(
+            line
+        )
     return [fixes[path] for path in sorted(fixes)]
 
 
@@ -144,14 +193,16 @@ def apply_fixes(
     """
     fixes = plan_fixes(findings, root)
     diffs: list[str] = []
-    n_findings = 0
+    n_removed = 0
+    n_rewritten = 0
     for fix in fixes:
         target = root / fix.path
         original = target.read_text(encoding="utf-8")
         fixed = fix.apply(original)
         if fixed == original:
             continue
-        n_findings += len(fix.drop_lines | fix.strip_lines)
+        n_removed += len(fix.drop_lines | fix.strip_lines)
+        n_rewritten += len(fix.rewrite_lines)
         diffs.append(
             "".join(
                 difflib.unified_diff(
@@ -164,4 +215,10 @@ def apply_fixes(
         )
         if not dry_run:
             target.write_text(fixed, encoding="utf-8")
-    return FixReport(fixes=fixes, diff="".join(diffs), n_findings=n_findings)
+    return FixReport(
+        fixes=fixes,
+        diff="".join(diffs),
+        n_findings=n_removed + n_rewritten,
+        n_removed=n_removed,
+        n_rewritten=n_rewritten,
+    )

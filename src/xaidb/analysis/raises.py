@@ -1,0 +1,443 @@
+"""Interprocedural may-raise summaries (summary pass G).
+
+Computes, per function, an over-approximation of the exception types
+that may escape it: the types it raises itself, plus everything its
+callees' summaries may raise, minus what enclosing ``try`` blocks
+provably handle — folded bottom-up over the SCC-condensed call graph
+exactly like the other summary passes, and cached under the same
+Merkle keys.
+
+The summary is a pair ``(named, top)``:
+
+- ``named`` maps an exception type name to a *witness* —
+  ``qualname:line`` of the raise (or of the deepest callee raise it
+  was inherited from), so a rule can point at the actual throw site
+  two frames away;
+- ``top`` is the conservative "and possibly anything else" bit, set by
+  bare ``raise``, unresolved calls, and callees that are themselves ⊤.
+
+Directionality matters and differs by operation.  *Raising* is
+over-approximated (every resolvable raise is included, every opaque
+one sets ⊤).  *Catching* is what needs care: subtracting a handler is
+only sound for a may-raise summary if over-subtraction is the
+accepted direction — and it is, because the one rule built on this
+summary (XDB031 ``untyped-exception-escapes-service-boundary``) fires
+on *provable escapes*, so assuming a handler catches can only lose
+findings, never invent them.  A handler therefore catches everything
+it *might* catch, and a raised type survives subtraction only when it
+**provably** escapes every handler:
+
+- both types builtin → decided exactly by the builtin ancestry table
+  (notably ``asyncio.CancelledError`` derives from ``BaseException``,
+  so ``except Exception`` provably misses it);
+- corpus handler vs builtin raise → provably escapes (a corpus class
+  cannot appear in a builtin's MRO);
+- corpus handler vs corpus raise → decided by ``class_bases``
+  reachability, which is sound *because* the call-graph builder
+  records every corpus inheritance edge (builtin bases are dropped,
+  so non-reachability over corpus edges is a real proof);
+- anything involving an unresolvable name → assumed caught.
+
+A ``return`` in a ``finally`` block swallows whatever was in flight —
+the summary models that too, since it is precisely the "exception
+silently discarded" shape the swallowed-exception rule cares about.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from xaidb.analysis.callgraph import CallGraph, FunctionNode, dotted_name
+from xaidb.analysis.dataflow import item_exprs
+
+__all__ = [
+    "BUILTIN_BASES",
+    "may_raise",
+    "encode_raises",
+    "decode_entry",
+    "builtin_ancestors",
+    "corpus_ancestors",
+    "is_service_error",
+    "is_cancellation",
+]
+
+#: Builtin exception hierarchy (child -> parent), the fragment the
+#: corpus can realistically raise or catch.  ``None`` marks the root.
+BUILTIN_BASES: dict[str, str | None] = {
+    "BaseException": None,
+    "Exception": "BaseException",
+    "KeyboardInterrupt": "BaseException",
+    "SystemExit": "BaseException",
+    "GeneratorExit": "BaseException",
+    "asyncio.CancelledError": "BaseException",
+    "CancelledError": "BaseException",
+    "ArithmeticError": "Exception",
+    "ZeroDivisionError": "ArithmeticError",
+    "OverflowError": "ArithmeticError",
+    "FloatingPointError": "ArithmeticError",
+    "AssertionError": "Exception",
+    "AttributeError": "Exception",
+    "BufferError": "Exception",
+    "EOFError": "Exception",
+    "ImportError": "Exception",
+    "ModuleNotFoundError": "ImportError",
+    "LookupError": "Exception",
+    "IndexError": "LookupError",
+    "KeyError": "LookupError",
+    "MemoryError": "Exception",
+    "NameError": "Exception",
+    "OSError": "Exception",
+    "FileNotFoundError": "OSError",
+    "FileExistsError": "OSError",
+    "PermissionError": "OSError",
+    "InterruptedError": "OSError",
+    "ConnectionError": "OSError",
+    "BrokenPipeError": "ConnectionError",
+    "ConnectionResetError": "ConnectionError",
+    "ConnectionRefusedError": "ConnectionError",
+    "TimeoutError": "OSError",
+    "ReferenceError": "Exception",
+    "RuntimeError": "Exception",
+    "NotImplementedError": "RuntimeError",
+    "RecursionError": "RuntimeError",
+    "StopIteration": "Exception",
+    "StopAsyncIteration": "Exception",
+    "SystemError": "Exception",
+    "TypeError": "Exception",
+    "ValueError": "Exception",
+    "UnicodeError": "ValueError",
+}
+
+#: Summary size cap: past this many distinct named types the summary
+#: degrades to ⊤ (keeping the lexicographically-first entries so the
+#: encoding stays deterministic).
+_MAX_NAMED = 12
+
+_BROAD = ("Exception", "BaseException")
+
+
+def builtin_ancestors(name: str) -> tuple[str, ...]:
+    """``name`` and its builtin superclasses, child first."""
+    chain: list[str] = []
+    current: str | None = name
+    while current is not None:
+        chain.append(current)
+        current = BUILTIN_BASES.get(current)
+    return tuple(chain)
+
+
+def corpus_ancestors(class_fq: str, graph: CallGraph) -> frozenset[str]:
+    """``class_fq`` and every corpus base reachable from it."""
+    seen: set[str] = set()
+    stack = [class_fq]
+    while stack:
+        current = stack.pop()
+        if current in seen:
+            continue
+        seen.add(current)
+        stack.extend(graph.class_bases.get(current, []))
+    return frozenset(seen)
+
+
+def is_service_error(type_name: str, graph: CallGraph) -> bool:
+    """Does ``type_name`` (resolved) derive from ``ServiceError``?"""
+    if type_name in graph.class_bases:
+        return any(
+            ancestor.rpartition(".")[2] == "ServiceError"
+            for ancestor in corpus_ancestors(type_name, graph)
+        )
+    return type_name.rpartition(".")[2] == "ServiceError"
+
+
+def is_cancellation(type_name: str) -> bool:
+    return type_name.rpartition(".")[2] == "CancelledError"
+
+
+def encode_raises(
+    named: dict[str, str], top: bool
+) -> tuple[tuple[str, ...], bool]:
+    """``FunctionSummary`` encoding: ``("Type@qualname:line", ...)``."""
+    entries = tuple(
+        f"{name}@{witness}" for name, witness in sorted(named.items())
+    )
+    if len(entries) > _MAX_NAMED:
+        entries = entries[:_MAX_NAMED]
+        top = True
+    return entries, top
+
+
+def decode_entry(entry: str) -> tuple[str, str]:
+    name, _, witness = entry.partition("@")
+    return name, witness
+
+
+def may_raise(
+    fnode: FunctionNode,
+    graph: CallGraph,
+    summaries: dict,
+) -> tuple[dict[str, str], bool]:
+    """The may-raise set of one function body, given callee summaries
+    (missing or in-flight callees read as ⊤ until the SCC round in
+    :mod:`~xaidb.analysis.summaries` converges)."""
+    return _Walker(fnode, graph, summaries).run()
+
+
+class _Walker:
+    def __init__(
+        self, fnode: FunctionNode, graph: CallGraph, summaries: dict
+    ) -> None:
+        self.fnode = fnode
+        self.graph = graph
+        self.summaries = summaries
+        self.module = fnode.module
+
+    def run(self) -> tuple[dict[str, str], bool]:
+        return self._block(self.fnode.node.body)
+
+    # -- name resolution ---------------------------------------------
+
+    def _exc_type(self, expr: ast.AST | None) -> str | None:
+        """Resolve a raised/caught expression to a corpus fq name or a
+        builtin table key; ``None`` = unresolvable."""
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        aliases = self.graph.aliases.get(self.module, {})
+        if "." not in dotted:
+            local = f"{self.module}.{dotted}"
+            if local in self.graph.class_bases:
+                return local
+            target = aliases.get(dotted)
+            if target is not None:
+                if target in self.graph.class_bases:
+                    return target
+                if target in BUILTIN_BASES:
+                    return target
+                return None  # imported, but not something we know
+            if dotted in BUILTIN_BASES:
+                return dotted
+            return None
+        head, _, tail = dotted.partition(".")
+        target = aliases.get(head)
+        full = f"{target}.{tail}" if target is not None else dotted
+        if full in self.graph.class_bases:
+            return full
+        if full in BUILTIN_BASES:
+            return full
+        if dotted in BUILTIN_BASES:
+            return dotted
+        return None
+
+    def _handler_types(self, node: ast.AST | None) -> list[str | None]:
+        """Resolved types of one ``except`` clause (``None`` entries =
+        bare/unresolvable, which catch everything)."""
+        if node is None:
+            return [None]
+        if isinstance(node, ast.Tuple):
+            return [self._exc_type(element) for element in node.elts]
+        return [self._exc_type(node)]
+
+    # -- the catch decision ------------------------------------------
+
+    def _may_catch(self, handler: str | None, raised: str) -> bool:
+        """May ``except handler`` catch ``raised``?  ``False`` only on
+        a proof of disjointness (see module docstring)."""
+        if handler is None:
+            return True
+        raised_builtin = raised in BUILTIN_BASES
+        if handler in BUILTIN_BASES:
+            if raised_builtin:
+                return handler in builtin_ancestors(raised)
+            return True  # corpus raise under builtin handler: assume
+        # corpus handler
+        if raised_builtin:
+            return False  # a corpus class is never in a builtin's MRO
+        return handler in corpus_ancestors(raised, self.graph)
+
+    # -- call effects ------------------------------------------------
+
+    def _call_effect(self, call: ast.Call) -> tuple[dict[str, str], bool]:
+        site = self.graph.callsites.get(id(call))
+        if site is None or not site.candidates:
+            return {}, True
+        named: dict[str, str] = {}
+        top = False
+        for qualname in site.candidates:
+            summary = self.summaries.get(qualname)
+            if summary is None:
+                return named, True
+            top = top or summary.raises_top
+            for entry in summary.raises_named:
+                name, witness = decode_entry(entry)
+                named.setdefault(name, witness)
+        return named, top
+
+    def _calls_in(self, root: ast.AST | None) -> list[ast.Call]:
+        if root is None:
+            return []
+        out: list[ast.Call] = []
+        stack: list[ast.AST] = [root]
+        while stack:
+            current = stack.pop()
+            if isinstance(
+                current,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                    ast.Lambda,
+                ),
+            ):
+                continue  # deferred bodies raise in their own frame
+            if isinstance(current, ast.Call):
+                out.append(current)
+            stack.extend(ast.iter_child_nodes(current))
+        return out
+
+    # -- the walk ----------------------------------------------------
+
+    def _block(self, stmts: list[ast.stmt]) -> tuple[dict[str, str], bool]:
+        named: dict[str, str] = {}
+        top = False
+        for stmt in stmts:
+            sub_named, sub_top = self._stmt(stmt)
+            for name, witness in sub_named.items():
+                named.setdefault(name, witness)
+            top = top or sub_top
+        return named, top
+
+    def _stmt(self, stmt: ast.stmt) -> tuple[dict[str, str], bool]:
+        if isinstance(stmt, ast.Raise):
+            return self._raise(stmt)
+        if isinstance(stmt, ast.Assert):
+            named, top = self._header_calls(stmt)
+            named.setdefault(
+                "AssertionError", f"{self.fnode.qualname}:{stmt.lineno}"
+            )
+            return named, top
+        if isinstance(stmt, ast.Try) or (
+            hasattr(ast, "TryStar") and isinstance(stmt, ast.TryStar)
+        ):
+            return self._try(stmt)
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return {}, False  # raises in their own (later) frame
+        named, top = self._header_calls(stmt)
+        for block in self._sub_blocks(stmt):
+            sub_named, sub_top = self._block(block)
+            for name, witness in sub_named.items():
+                named.setdefault(name, witness)
+            top = top or sub_top
+        return named, top
+
+    def _raise(self, stmt: ast.Raise) -> tuple[dict[str, str], bool]:
+        if stmt.exc is None:
+            return self._header_calls(stmt)[0], True  # bare re-raise
+        resolved = self._exc_type(stmt.exc)
+        if resolved is None:
+            return self._header_calls(stmt)[0], True
+        # the constructor call is accounted for by naming the type —
+        # only calls in its *arguments* (and the cause) can add more
+        named: dict[str, str] = {}
+        top = False
+        roots: list[ast.AST | None] = [stmt.cause]
+        if isinstance(stmt.exc, ast.Call):
+            roots.extend(stmt.exc.args)
+            roots.extend(kw.value for kw in stmt.exc.keywords)
+        for root in roots:
+            for call in self._calls_in(root):
+                sub_named, sub_top = self._call_effect(call)
+                for name, witness in sub_named.items():
+                    named.setdefault(name, witness)
+                top = top or sub_top
+        named.setdefault(
+            resolved, f"{self.fnode.qualname}:{stmt.lineno}"
+        )
+        return named, top
+
+    def _try(self, stmt) -> tuple[dict[str, str], bool]:
+        body_named, body_top = self._block(stmt.body)
+        handler_specs: list[list[str | None]] = []
+        merged: dict[str, str] = {}
+        merged_top = False
+        for handler in stmt.handlers:
+            handler_specs.append(self._handler_types(handler.type))
+            sub_named, sub_top = self._block(handler.body)
+            for name, witness in sub_named.items():
+                merged.setdefault(name, witness)
+            merged_top = merged_top or sub_top
+        escaped = {
+            name: witness
+            for name, witness in body_named.items()
+            if not any(
+                self._may_catch(handler, name)
+                for types in handler_specs
+                for handler in types
+            )
+        }
+        escaped_top = body_top and not any(
+            handler is None or handler in _BROAD
+            for types in handler_specs
+            for handler in types
+        )
+        orelse_named, orelse_top = self._block(stmt.orelse)
+        final_named, final_top = self._block(stmt.finalbody)
+        if any(
+            isinstance(node, ast.Return)
+            for node in self._calls_scope_walk(stmt.finalbody)
+        ):
+            # a return in finally discards whatever was in flight
+            return final_named, final_top
+        for source_named, source_top in (
+            (escaped, escaped_top),
+            (orelse_named, orelse_top),
+            (final_named, final_top),
+        ):
+            for name, witness in source_named.items():
+                merged.setdefault(name, witness)
+            merged_top = merged_top or source_top
+        return merged, merged_top
+
+    def _header_calls(self, stmt: ast.stmt) -> tuple[dict[str, str], bool]:
+        named: dict[str, str] = {}
+        top = False
+        for root in item_exprs(stmt):
+            for call in self._calls_in(root):
+                sub_named, sub_top = self._call_effect(call)
+                for name, witness in sub_named.items():
+                    named.setdefault(name, witness)
+                top = top or sub_top
+        return named, top
+
+    @staticmethod
+    def _sub_blocks(stmt: ast.stmt):
+        for _name, value in ast.iter_fields(stmt):
+            if isinstance(value, list) and value:
+                if isinstance(value[0], ast.stmt):
+                    yield value
+                elif isinstance(value[0], ast.match_case):
+                    for case in value:
+                        yield case.body
+                elif isinstance(value[0], ast.excepthandler):
+                    pass  # handled by _try
+                elif isinstance(value[0], (ast.withitem,)):
+                    pass  # header expressions, covered by item_exprs
+
+    @staticmethod
+    def _calls_scope_walk(stmts: list[ast.stmt]):
+        for stmt in stmts:
+            stack: list[ast.AST] = [stmt]
+            while stack:
+                current = stack.pop()
+                if isinstance(
+                    current,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                yield current
+                stack.extend(ast.iter_child_nodes(current))

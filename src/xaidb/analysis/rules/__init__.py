@@ -1,4 +1,4 @@
-"""The built-in xailint rule pack (XDB001–XDB027).
+"""The built-in xailint rule pack (XDB001–XDB032).
 
 Importing this package registers every rule with
 :mod:`xaidb.analysis.registry`; the ids are stable and documented in
@@ -10,7 +10,10 @@ XDB014–XDB017 are the interprocedural tier built on
 determinism tier built on the effect vectors of
 :mod:`xaidb.analysis.effects`; XDB023–XDB027 are the numeric-safety
 tier built on the value-range abstract interpretation of
-:mod:`xaidb.analysis.intervals`.
+:mod:`xaidb.analysis.intervals`; XDB028–XDB032 are the typestate &
+exception-flow tier built on the protocol DFAs of
+:mod:`xaidb.analysis.typestate` and the may-raise summaries of
+:mod:`xaidb.analysis.raises`.
 """
 
 from xaidb.analysis.rules.api_surface import MissingAllRule
@@ -40,6 +43,13 @@ from xaidb.analysis.rules.numeric import (
     UnnormalizedProbabilityRule,
 )
 from xaidb.analysis.rules.project import ExplainerInterfaceRule
+from xaidb.analysis.rules.protocol import (
+    SwallowedExceptionRule,
+    UnawaitedCoroutineRule,
+    UntypedExceptionEscapesRule,
+    UseAfterCloseRule,
+    UseBeforeFitRule,
+)
 from xaidb.analysis.rules.purity import ExplainerPurityRule
 from xaidb.analysis.rules.randomness import UnseededRandomnessRule
 from xaidb.analysis.rules.rng_origin import RngOriginRule
@@ -75,4 +85,9 @@ __all__ = [
     "DegenerateReductionRule",
     "UnnormalizedProbabilityRule",
     "ReciprocalScaleRule",
+    "UseBeforeFitRule",
+    "UseAfterCloseRule",
+    "UnawaitedCoroutineRule",
+    "UntypedExceptionEscapesRule",
+    "SwallowedExceptionRule",
 ]

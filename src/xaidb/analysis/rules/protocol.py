@@ -1,0 +1,434 @@
+"""Typestate & exception-flow rules (XDB028–XDB032).
+
+The lifecycle tier: five silent-unless-provable rules built on the
+pass F typestate summaries (:mod:`xaidb.analysis.typestate`) and the
+pass G may-raise summaries (:mod:`xaidb.analysis.raises`).
+
+- **XDB028** ``use-before-fit`` — a protocol operation that needs an
+  enabling call first (``predict`` before ``fit``, ``submit`` before
+  ``start``) is provably reached in the not-yet-enabled state on every
+  path;
+- **XDB029** ``use-after-close`` — a protocol operation provably
+  reached after the terminal call (``map`` after ``close``,
+  ``put_nowait`` after ``drain_nowait``) on every path;
+- **XDB030** ``unawaited-coroutine`` — a coroutine is created as a
+  bare expression statement and discarded, so its body never runs;
+- **XDB031** ``untyped-exception-escapes-service-boundary`` — a task
+  spawned into the server's fire-and-forget fan-out
+  (``create_task``/``ensure_future``) provably raises a
+  non-``ServiceError``, which the event loop swallows;
+- **XDB032** ``swallowed-exception`` — a broad ``except`` whose body
+  discards the exception on every path (no re-raise, no log, no read
+  of the bound name).  Every XDB032 site is also an XDB005
+  (broad-except) site; XDB005 points at the overly-wide *catch*,
+  XDB032 at the silent *discard* — fixing the discard (log/re-raise)
+  clears XDB032 while XDB005 may legitimately stay suppressed.
+
+All five stay silent unless the violation is provable: typestate
+proofs require every non-escaped automaton label to agree, may-raise
+findings fire only on *named* raised types (never on the conservative
+⊤ bit), and any object that reaches unknown code is poisoned out of
+the proof.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from xaidb.analysis.callgraph import dotted_name
+from xaidb.analysis.dataflow import calls_dynamic_scope
+from xaidb.analysis.raises import (
+    decode_entry,
+    is_cancellation,
+    is_service_error,
+)
+from xaidb.analysis.findings import Finding
+from xaidb.analysis.registry import (
+    FileContext,
+    FileRule,
+    ProjectContext,
+    ProjectRule,
+    register,
+)
+from xaidb.analysis.typestate import PROTOCOLS, Violation
+
+__all__ = [
+    "UseBeforeFitRule",
+    "UseAfterCloseRule",
+    "UnawaitedCoroutineRule",
+    "UntypedExceptionEscapesRule",
+    "SwallowedExceptionRule",
+]
+
+#: Method names whose presence in a file is a necessary condition for a
+#: "before"-kind (XDB028) / "after"-kind (XDB029) typestate violation —
+#: the cheap syntactic gate that skips the fixpoint for most files.
+_BEFORE_METHODS = frozenset(
+    method
+    for proto in PROTOCOLS
+    for (method, _state), (kind, _advice) in proto.illegal.items()
+    if kind == "before"
+)
+_AFTER_METHODS = frozenset(
+    method
+    for proto in PROTOCOLS
+    for (method, _state), (kind, _advice) in proto.illegal.items()
+    if kind == "after"
+)
+
+
+def _mentions_any(fn: ast.AST, methods: frozenset[str]) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr in methods:
+            return True
+    return False
+
+
+def _calls_obligated(interproc, fnode) -> bool:
+    """Does ``fnode`` call anything whose summary exports a typestate
+    obligation?  Such callers can violate a protocol without ever
+    naming an illegal method themselves — the illegal call lives in
+    the callee and is consumed at the argument-passing site."""
+    for callee in interproc.graph.edges.get(fnode.qualname, ()):
+        summary = interproc.summaries.get(callee)
+        if summary is not None and summary.typestate_obligations:
+            return True
+    return False
+
+
+def _typestate_violations(project: ProjectContext, methods):
+    """``(ctx, violation)`` over every analysable function in the scan
+    (examples and benchmarks included — lifecycle bugs live in caller
+    code, not just inside the package)."""
+    interproc = project.interproc()
+    for ctx in project.files:
+        for fnode in interproc.graph.functions_of(ctx):
+            if calls_dynamic_scope(fnode.node):
+                continue
+            if not _mentions_any(fnode.node, methods) and not (
+                _calls_obligated(interproc, fnode)
+            ):
+                continue
+            cfg, problem, in_states = interproc.solution(
+                "typestate", fnode.qualname
+            )
+            for violation in problem.facts(cfg, in_states).violations:
+                yield ctx, violation
+
+
+def _witness(violation: Violation) -> str:
+    if violation.callee:
+        return (
+            f" (the illegal call is inside "
+            f"{violation.callee}:{violation.callee_line})"
+        )
+    return ""
+
+
+@register
+class UseBeforeFitRule(ProjectRule):
+    """XDB028: a lifecycle operation provably runs before the call
+    that enables it."""
+
+    rule_id = "XDB028"
+    symbol = "use-before-fit"
+    description = (
+        "A protocol operation that requires an enabling call first — "
+        "predict/explain before fit, submit before start — is provably "
+        "reached in the not-yet-enabled state on every path"
+    )
+
+    def check_project(self, project: ProjectContext):
+        for ctx, violation in _typestate_violations(
+            project, _BEFORE_METHODS
+        ):
+            if violation.kind != "before":
+                continue
+            states = "/".join(violation.states)
+            yield ctx.finding(
+                self,
+                violation.node,
+                f"{violation.method}() on the "
+                f"{violation.proto.object_kind} "
+                f"({violation.origin}) is provably still in "
+                f"state '{states}' here — "
+                f"{violation.advice}{_witness(violation)}",
+            )
+
+
+@register
+class UseAfterCloseRule(ProjectRule):
+    """XDB029: a lifecycle operation provably runs after the terminal
+    call."""
+
+    rule_id = "XDB029"
+    symbol = "use-after-close"
+    description = (
+        "A protocol operation provably runs after the object's "
+        "terminal call on every path — map/share after close, "
+        "put_nowait after drain_nowait, submit after stop"
+    )
+
+    def check_project(self, project: ProjectContext):
+        for ctx, violation in _typestate_violations(
+            project, _AFTER_METHODS
+        ):
+            if violation.kind != "after":
+                continue
+            states = "/".join(violation.states)
+            yield ctx.finding(
+                self,
+                violation.node,
+                f"{violation.method}() on the "
+                f"{violation.proto.object_kind} "
+                f"({violation.origin}) is provably already in "
+                f"state '{states}' here — "
+                f"{violation.advice}{_witness(violation)}",
+            )
+
+
+#: asyncio entry points that return a coroutine/future which is inert
+#: until awaited — calling them as a bare statement is always a bug.
+_ASYNC_BUILTINS = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.to_thread",
+        "asyncio.open_connection",
+    }
+)
+
+
+@register
+class UnawaitedCoroutineRule(ProjectRule):
+    """XDB030: a coroutine object is created and silently discarded."""
+
+    rule_id = "XDB030"
+    symbol = "unawaited-coroutine"
+    description = (
+        "A call that provably returns a coroutine is used as a bare "
+        "expression statement — the coroutine is created, never "
+        "awaited, and its body never runs"
+    )
+
+    def check_project(self, project: ProjectContext):
+        interproc = project.interproc()
+        graph = interproc.graph
+        for ctx in project.files:
+            if "async" not in ctx.source:
+                continue
+            for node in ast.walk(ctx.tree):
+                if not (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                call = node.value
+                name = self._coroutine_name(ctx, graph, call)
+                if name is None:
+                    continue
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"{name}(...) returns a coroutine that is "
+                    "never awaited — the statement builds the "
+                    "coroutine object and discards it, so its "
+                    "body never runs; await it or hand it to "
+                    "asyncio.create_task(...)",
+                )
+
+    @staticmethod
+    def _coroutine_name(
+        ctx: FileContext, graph, call: ast.Call
+    ) -> str | None:
+        site = graph.callsites.get(id(call))
+        if site is not None and site.candidates:
+            fnodes = [
+                graph.functions.get(qualname)
+                for qualname in site.candidates
+            ]
+            if all(
+                fnode is not None
+                and isinstance(fnode.node, ast.AsyncFunctionDef)
+                for fnode in fnodes
+            ):
+                return site.candidates[0].rpartition(".")[2]
+            return None
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        aliases = graph.aliases.get(ctx.module_name, {})
+        head, _, tail = dotted.partition(".")
+        target = aliases.get(head)
+        expanded = (
+            f"{target}.{tail}"
+            if target is not None and tail
+            else (target or dotted)
+        )
+        if expanded in _ASYNC_BUILTINS or dotted in _ASYNC_BUILTINS:
+            return dotted
+        return None
+
+
+@register
+class UntypedExceptionEscapesRule(ProjectRule):
+    """XDB031: a fire-and-forget task body provably raises something
+    the service boundary does not model."""
+
+    rule_id = "XDB031"
+    symbol = "untyped-exception-escapes-service-boundary"
+    description = (
+        "A task spawned with create_task/ensure_future provably raises "
+        "a non-ServiceError — fire-and-forget tasks have no awaiter, "
+        "so the exception is lost in the event loop instead of "
+        "reaching the response fan-out"
+    )
+
+    _SPAWNERS = frozenset({"create_task", "ensure_future"})
+
+    def check_project(self, project: ProjectContext):
+        interproc = project.interproc()
+        graph = interproc.graph
+        for ctx in project.files:
+            if not any(
+                spawner in ctx.source for spawner in self._SPAWNERS
+            ):
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                spawn_name = (dotted_name(node.func) or "").rpartition(
+                    "."
+                )[2]
+                if spawn_name not in self._SPAWNERS or not node.args:
+                    continue
+                inner = node.args[0]
+                if not isinstance(inner, ast.Call):
+                    continue
+                site = graph.callsites.get(id(inner))
+                if site is None or not site.candidates:
+                    continue
+                escape = self._first_escape(interproc, site.candidates)
+                if escape is None:
+                    continue
+                type_name, witness, qualname = escape
+                short = type_name.rpartition(".")[2]
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"task body {qualname.rpartition('.')[2]}() "
+                    f"may raise {short} (raised at {witness}) "
+                    "which is not a ServiceError — nothing "
+                    "awaits this task, so the exception never "
+                    "reaches the response fan-out; convert it "
+                    "to a ServiceError at the boundary or "
+                    "handle it inside the task",
+                )
+
+    @staticmethod
+    def _first_escape(interproc, candidates):
+        for qualname in candidates:
+            summary = interproc.summaries.get(qualname)
+            if summary is None:
+                continue
+            for entry in summary.raises_named:
+                type_name, witness = decode_entry(entry)
+                if is_cancellation(type_name):
+                    continue
+                if is_service_error(type_name, interproc.graph):
+                    continue
+                return type_name, witness, qualname
+        return None
+
+
+#: Dotted-name fragments that count as "the handler did something with
+#: the error" — logging, reporting, failing the request, exiting.
+_HANDLING_TOKENS = (
+    "log",
+    "warn",
+    "print",
+    "traceback",
+    "exit",
+    "set_exception",
+    "fail",
+)
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _broad_handler(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD_NAMES
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(element, ast.Name)
+            and element.id in _BROAD_NAMES
+            for element in node.elts
+        )
+    return False
+
+
+def _handler_acts(handler: ast.ExceptHandler) -> bool:
+    """Does the handler body re-raise, read the bound exception, or
+    call anything that looks like logging/reporting?"""
+    bound = handler.name
+    for stmt in handler.body:
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                bound
+                and isinstance(node, ast.Name)
+                and node.id == bound
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                dotted = (dotted_name(node.func) or "").lower()
+                if any(tok in dotted for tok in _HANDLING_TOKENS):
+                    return True
+            stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+@register
+class SwallowedExceptionRule(FileRule):
+    """XDB032: a broad except discards the exception on every path."""
+
+    rule_id = "XDB032"
+    symbol = "swallowed-exception"
+    description = (
+        "A broad except (bare / Exception / BaseException) neither "
+        "re-raises, reads the caught exception, nor calls anything "
+        "that logs or reports it — the failure vanishes without a "
+        "trace on every path through the handler"
+    )
+
+    def check_file(self, ctx: FileContext):
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _broad_handler(node):
+                continue
+            if _handler_acts(node):
+                continue
+            yield ctx.finding(
+                self,
+                node,
+                "broad except swallows the exception: no path "
+                "through the handler re-raises, reads the caught "
+                "error, or logs it — narrow the except, log the "
+                "failure, or re-raise (XDB005 flags the width of "
+                "the catch; this flags the silent discard)",
+            )

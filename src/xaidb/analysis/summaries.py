@@ -70,6 +70,7 @@ from xaidb.analysis.intervals import (
     params_of as num_params_of,
     values_of as num_values_of,
 )
+from xaidb.analysis.raises import encode_raises, may_raise
 from xaidb.analysis.registry import FileContext
 from xaidb.analysis.shapes import (
     TOP,
@@ -78,6 +79,7 @@ from xaidb.analysis.shapes import (
     encode,
     sanitize,
 )
+from xaidb.analysis.typestate import TypestateAnalysis
 
 __all__ = [
     "FunctionSummary",
@@ -139,6 +141,21 @@ class FunctionSummary:
     #: Concurrency/determinism facts (pass D) — witnesses for the
     #: XDB018–XDB022 tier, ``None`` per field = effect absent.
     effects: EffectVector = EffectVector()
+    #: May-raise facts (pass G): each entry is ``"Type@qualname:line"``
+    #: — an exception type that may escape, with the throw-site
+    #: witness.  ``raises_top`` is the conservative "and possibly
+    #: anything else" bit; it defaults to ``True`` so the bottom
+    #: summary claims nothing it cannot prove.
+    raises_named: tuple[str, ...] = ()
+    raises_top: bool = True
+    #: Typestate facts (pass F) in the
+    #: :mod:`xaidb.analysis.typestate` encodings: ``"param|proto"``
+    #: pairs tracked to every exit, ``"param|proto|s_in|outs"``
+    #: state-transition entries, and
+    #: ``"param|proto|s_in|method|line|kind"`` conditional obligations.
+    typestate_tracked: tuple[str, ...] = ()
+    typestate_transitions: tuple[str, ...] = ()
+    typestate_obligations: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         return {
@@ -151,6 +168,11 @@ class FunctionSummary:
             "return_ranges": list(self.return_ranges),
             "param_preconditions": list(self.param_preconditions),
             "effects": self.effects.to_dict(),
+            "raises_named": list(self.raises_named),
+            "raises_top": self.raises_top,
+            "typestate_tracked": list(self.typestate_tracked),
+            "typestate_transitions": list(self.typestate_transitions),
+            "typestate_obligations": list(self.typestate_obligations),
         }
 
     @classmethod
@@ -158,6 +180,9 @@ class FunctionSummary:
         depth = data["rng_return_depth"]
         if depth is not None and not isinstance(depth, int):
             raise ValueError("rng_return_depth must be int or None")
+        raises_top = data["raises_top"]
+        if not isinstance(raises_top, bool):
+            raise ValueError("raises_top must be bool")
         return cls(
             qualname=str(data["qualname"]),
             params=tuple(str(p) for p in data["params"]),
@@ -172,6 +197,17 @@ class FunctionSummary:
                 str(s) for s in data["param_preconditions"]
             ),
             effects=EffectVector.from_dict(data["effects"]),
+            raises_named=tuple(str(s) for s in data["raises_named"]),
+            raises_top=raises_top,
+            typestate_tracked=tuple(
+                str(s) for s in data["typestate_tracked"]
+            ),
+            typestate_transitions=tuple(
+                str(s) for s in data["typestate_transitions"]
+            ),
+            typestate_obligations=tuple(
+                str(s) for s in data["typestate_obligations"]
+            ),
         )
 
 
@@ -483,8 +519,9 @@ def summarize_function(
 ) -> FunctionSummary:
     """Compute one function's summary given its callees' summaries.
     ``timings`` (when given) accumulates wall seconds per summary pass
-    under the keys ``alias``/``seed``/``shape``/``effects``/``interval``
-    — surfaced by ``--stats`` as the per-pass breakdown."""
+    under the keys ``alias``/``seed``/``shape``/``effects``/
+    ``interval``/``typestate``/``raises`` — surfaced by ``--stats`` as
+    the per-pass breakdown."""
     fn = fnode.node
     params = tuple(function_params(fn))
     tracked = [p for p in params if p not in ("self", "cls")]
@@ -623,6 +660,20 @@ def summarize_function(
         return_ranges = tuple(sorted(range_values))
     _tick("interval", pass_started)
 
+    # -- pass F: protocol typestate ----------------------------------
+    pass_started = time.perf_counter()
+    typestate = TypestateAnalysis(fnode, graph, summaries)
+    typestate_in = solve_forward(cfg, typestate)
+    typestate_facts = typestate.facts(cfg, typestate_in)
+    _tick("typestate", pass_started)
+
+    # -- pass G: may-raise set ---------------------------------------
+    pass_started = time.perf_counter()
+    raises_named, raises_top = encode_raises(
+        *may_raise(fnode, graph, summaries)
+    )
+    _tick("raises", pass_started)
+
     return FunctionSummary(
         qualname=fnode.qualname,
         params=params,
@@ -633,6 +684,11 @@ def summarize_function(
         return_ranges=return_ranges,
         param_preconditions=tuple(sorted(preconditions)),
         effects=effects,
+        raises_named=raises_named,
+        raises_top=raises_top,
+        typestate_tracked=typestate_facts.tracked,
+        typestate_transitions=typestate_facts.transitions,
+        typestate_obligations=typestate_facts.obligations,
     )
 
 
@@ -744,7 +800,8 @@ class InterprocAnalysis:
         self.hits = 0
         self.misses = 0
         #: Wall seconds per summary pass (alias/seed/shape/effects/
-        #: interval) across every recomputed SCC — ``--stats`` fodder.
+        #: interval/typestate/raises) across every recomputed SCC —
+        #: ``--stats`` fodder.
         self.pass_seconds: dict[str, float] = {}
         #: Every SCC cache key used this run (for cache pruning).
         self.used_keys: set[str] = set()
@@ -765,7 +822,9 @@ class InterprocAnalysis:
         :data:`PARAM`) or ``"interval"``
         (:class:`~xaidb.analysis.intervals.IntervalAnalysis`,
         parameters seeded with opaque range labels, solved with
-        widening and branch refinement) — memoised so the
+        widening and branch refinement) or ``"typestate"``
+        (:class:`~xaidb.analysis.typestate.TypestateAnalysis`,
+        protocol DFAs per abstract object) — memoised so the
         interprocedural rules never re-run a fixpoint the scan already
         paid for."""
         memo_key = (kind, qualname)
@@ -800,6 +859,10 @@ class InterprocAnalysis:
                     callee_ranges=lambda call: _callee_return_ranges(
                         self.graph, self.summaries, call
                     ),
+                )
+            elif kind == "typestate":
+                problem = TypestateAnalysis(
+                    fnode, self.graph, self.summaries
                 )
             else:
                 raise ValueError(f"unknown solution kind: {kind!r}")

@@ -1,0 +1,1165 @@
+"""Protocol typestate over the dataflow framework (summary pass F).
+
+The serving stack carries lifecycle contracts that nothing dynamic
+checks until production traffic does: a :class:`~xaidb.runtime.parallel.
+WorkerPool` must not ``map()`` after ``close()`` (its worker processes
+and shared arenas are gone), an :class:`~xaidb.service.server.
+ExplanationServer` must not ``submit()`` outside ``start()``/``stop()``,
+a :class:`~xaidb.service.batcher.MicroBatcher` must not accept requests
+after ``drain_nowait()``, and an estimator must be ``fit()`` before
+``predict``/``explain``.  This module turns each contract into a small
+deterministic automaton (:class:`Protocol` — a Strom/Yemini-style
+typestate DFA declared as a data table) and tracks every abstract
+object through it with the PR 3 forward-dataflow framework.
+
+The abstract domain rides the standard map lattice: a local variable
+maps to a set of *object identities* (``obj:<line>:<col>`` for a
+constructor call, ``obj:param:<name>`` for a parameter), and a pseudo
+variable per identity maps to a set of labels ``proto|s_in|s_cur`` —
+"interpreting this object under protocol ``proto``, entered in state
+``s_in``, it is now in state ``s_cur``".  Join is pointwise union, so a
+state set answers *may* questions; the rules (XDB028/XDB029) fire only
+on **must** proofs: every label of the object makes the invoked method
+illegal.  Three escape hatches keep that sound:
+
+- *poisoning* — an object that reaches unknown code (unresolved call,
+  attribute/subscript store, starred/keyword splat, container literal)
+  moves to the absorbing pseudo-state :data:`ESCAPED`, which is never
+  illegal, so a one-branch escape blocks every later proof;
+- *refutation* — calling a method a protocol's alphabet does not
+  contain deletes that protocol's labels: a real object of the protocol
+  class would have crashed with ``AttributeError``, so every claim
+  under that protocol is vacuous from here on;
+- *⊤ fallback* — parameters read by nested scopes or declared
+  ``global``/``nonlocal`` are never seeded at all.
+
+Interprocedural transport (pass F proper) exports three fact families
+per function into :class:`~xaidb.analysis.summaries.FunctionSummary`:
+which parameters stay *tracked* to every exit, the *state-transition
+relation* the body applies to them, and conditional *obligations* —
+"entered with ``param`` in state ``s``, line ``L`` performs an illegal
+``method``" — which caller frames consume (firing XDB028/XDB029 with a
+cross-function witness) or re-export transitively over the
+SCC-condensed call graph.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from xaidb.analysis.callgraph import CallGraph, FunctionNode, dotted_name
+from xaidb.analysis.cfg import CFG
+from xaidb.analysis.dataflow import (
+    State,
+    ValueTaint,
+    function_params,
+    item_exprs,
+    names_read_in_nested_scopes,
+)
+
+__all__ = [
+    "ESCAPED",
+    "OBJ_PREFIX",
+    "PSEUDO_PREFIX",
+    "RETURNS_SELF",
+    "Protocol",
+    "PROTOCOLS",
+    "PROTOCOL_BY_NAME",
+    "ProtocolIndex",
+    "protocol_index",
+    "TypestateAnalysis",
+    "TypestateFacts",
+    "Violation",
+    "state_label",
+    "parse_label",
+    "join_states",
+    "step_label",
+    "tracked_pairs",
+    "transition_relation",
+    "obligation_index",
+]
+
+#: Absorbing pseudo-state for objects that escaped to unknown code: it
+#: survives joins and is never illegal, so must-proofs cannot fire.
+ESCAPED = "!"
+
+#: Object-identity label prefixes (``obj:12:4`` / ``obj:param:pool``).
+OBJ_PREFIX = "obj:"
+
+#: A pseudo variable ``~obj:...`` holds the object's typestate labels.
+PSEUDO_PREFIX = "~"
+
+#: Methods whose return value is the receiver (``est.fit(X).predict``
+#: chains keep the object identity flowing).
+RETURNS_SELF = frozenset({"fit", "partial_fit"})
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """One lifecycle contract as a data-table DFA.
+
+    ``transitions`` maps ``(state, method)`` to the successor state;
+    a method in the alphabet with no entry for the current state is a
+    self-loop (calling it does not move the automaton).  ``illegal``
+    maps ``(method, state)`` to ``(kind, advice)`` with ``kind`` either
+    ``"before"`` (the enabling call has not happened yet — XDB028) or
+    ``"after"`` (a terminal call already happened — XDB029).  Classes
+    are matched *structurally*: every method in ``requires`` plus at
+    least one of ``any_of`` (when non-empty) must exist on the class.
+    """
+
+    name: str
+    object_kind: str  # human phrase for messages ("worker pool")
+    states: tuple[str, ...]
+    initial: str
+    transitions: dict[tuple[str, str], str]
+    illegal: dict[tuple[str, str], tuple[str, str]]
+    neutral: frozenset[str] = frozenset()
+    requires: frozenset[str] = frozenset()
+    any_of: frozenset[str] = frozenset()
+
+    @property
+    def alphabet(self) -> frozenset[str]:
+        return (
+            frozenset(m for _s, m in self.transitions)
+            | frozenset(m for m, _s in self.illegal)
+            | self.neutral
+        )
+
+    def matches(self, methods: frozenset[str]) -> bool:
+        if not self.requires <= methods:
+            return False
+        return not self.any_of or bool(self.any_of & methods)
+
+
+#: Estimator methods that require a fitted model.
+_ESTIMATOR_USES = (
+    "predict",
+    "predict_proba",
+    "predict_log_proba",
+    "decision_function",
+    "transform",
+    "score",
+    "explain",
+    "explain_batch",
+    "explain_instance",
+    "staged_raw_scores",
+)
+
+_CTX_NEUTRAL = frozenset({"__enter__", "__aenter__"})
+
+PROTOCOLS: tuple[Protocol, ...] = (
+    Protocol(
+        name="pool",
+        object_kind="worker pool",
+        states=("open", "closed"),
+        initial="open",
+        transitions={
+            ("open", "close"): "closed",
+            ("closed", "close"): "closed",
+        },
+        illegal={
+            ("map", "closed"): (
+                "after",
+                "close() already shut its workers down and unlinked "
+                "the shared arenas",
+            ),
+            ("share", "closed"): (
+                "after",
+                "close() already unlinked the shared arenas",
+            ),
+            ("retrack_segments", "closed"): (
+                "after",
+                "close() already unlinked the shared arenas",
+            ),
+        },
+        neutral=_CTX_NEUTRAL | {"n_shared_arrays"},
+        requires=frozenset({"close"}),
+        any_of=frozenset({"map", "share"}),
+    ),
+    Protocol(
+        name="server",
+        object_kind="explanation server",
+        states=("new", "running", "stopped"),
+        initial="new",
+        transitions={
+            ("new", "start"): "running",
+            ("new", "__aenter__"): "running",
+            ("running", "stop"): "stopped",
+            ("running", "__aexit__"): "stopped",
+        },
+        illegal={
+            ("submit", "new"): (
+                "before",
+                "call start() (or enter the async context) first",
+            ),
+            ("submit", "stopped"): (
+                "after",
+                "stop() already drained the batcher and failed "
+                "pending requests",
+            ),
+        },
+        neutral=frozenset({"__enter__"}),
+        requires=frozenset({"start", "stop", "submit"}),
+    ),
+    Protocol(
+        name="batcher",
+        object_kind="micro-batcher",
+        states=("accepting", "drained"),
+        initial="accepting",
+        transitions={
+            ("accepting", "drain_nowait"): "drained",
+            ("drained", "drain_nowait"): "drained",
+        },
+        illegal={
+            ("put_nowait", "drained"): (
+                "after",
+                "drain_nowait() is the shutdown path; enqueueing "
+                "after it strands the request forever",
+            ),
+        },
+        neutral=_CTX_NEUTRAL | {"next_batch", "depth"},
+        requires=frozenset({"put_nowait", "drain_nowait"}),
+    ),
+    Protocol(
+        name="estimator",
+        object_kind="estimator",
+        states=("unfitted", "fitted"),
+        initial="unfitted",
+        transitions={
+            ("unfitted", "fit"): "fitted",
+            ("fitted", "fit"): "fitted",
+            ("unfitted", "partial_fit"): "fitted",
+            ("fitted", "partial_fit"): "fitted",
+        },
+        illegal={
+            (use, "unfitted"): (
+                "before",
+                "call fit() before requesting predictions or "
+                "explanations",
+            )
+            for use in _ESTIMATOR_USES
+        },
+        neutral=_CTX_NEUTRAL | {"get_params", "set_params"},
+        requires=frozenset({"fit"}),
+        any_of=frozenset(_ESTIMATOR_USES),
+    ),
+)
+
+PROTOCOL_BY_NAME: dict[str, Protocol] = {p.name: p for p in PROTOCOLS}
+
+
+# ---------------------------------------------------------------------------
+# label algebra (the lattice the property tests exercise)
+# ---------------------------------------------------------------------------
+
+
+def state_label(proto: str, s_in: str, s_cur: str) -> str:
+    return f"{proto}|{s_in}|{s_cur}"
+
+
+def parse_label(label: str) -> tuple[str, str, str]:
+    proto, s_in, s_cur = label.split("|")
+    return proto, s_in, s_cur
+
+
+def join_states(a: frozenset[str], b: frozenset[str]) -> frozenset[str]:
+    """The lattice join — pointwise set union, exactly what the map
+    lattice of :func:`~xaidb.analysis.dataflow.solve_forward` applies;
+    exported as a named function so the property tests can pin
+    commutativity/associativity/idempotence against the real join."""
+    return a | b
+
+
+def step_label(label: str, method: str) -> str | None:
+    """One DFA step on one label: ``None`` = refuted (method outside
+    the protocol's alphabet), :data:`ESCAPED` is absorbing, a method
+    with no transition entry for the current state self-loops."""
+    proto_name, s_in, s_cur = parse_label(label)
+    proto = PROTOCOL_BY_NAME.get(proto_name)
+    if proto is None:
+        return None
+    if s_cur == ESCAPED:
+        return label
+    if method not in proto.alphabet:
+        return None
+    return state_label(
+        proto_name, s_in, proto.transitions.get((s_cur, method), s_cur)
+    )
+
+
+def step_states(labels: frozenset[str], method: str) -> frozenset[str]:
+    """The transfer of one method call on one object's label set —
+    monotone in ``labels``, which the property tests verify."""
+    out = set()
+    for label in labels:
+        stepped = step_label(label, method)
+        if stepped is not None:
+            out.add(stepped)
+    return frozenset(out)
+
+
+# ---------------------------------------------------------------------------
+# summary-fact codecs (FunctionSummary stores plain string tuples)
+# ---------------------------------------------------------------------------
+
+
+def tracked_pairs(summary) -> frozenset[str]:
+    """``{"param|proto", ...}`` a summary claims to track to exit."""
+    return frozenset(summary.typestate_tracked)
+
+
+def transition_relation(
+    summary,
+) -> dict[tuple[str, str, str], frozenset[str]]:
+    """``(param, proto, s_in) -> out states`` (identity entries are
+    omitted from the encoding and default at lookup time)."""
+    relation: dict[tuple[str, str, str], frozenset[str]] = {}
+    for entry in summary.typestate_transitions:
+        try:
+            param, proto, s_in, outs = entry.split("|")
+        except ValueError:
+            continue
+        relation[(param, proto, s_in)] = frozenset(outs.split(","))
+    return relation
+
+
+def obligation_index(
+    summary,
+) -> dict[tuple[str, str, str], list[tuple[str, int, str]]]:
+    """``(param, proto, s_in) -> [(method, line, kind), ...]``."""
+    index: dict[tuple[str, str, str], list[tuple[str, int, str]]] = {}
+    for entry in summary.typestate_obligations:
+        try:
+            param, proto, s_in, method, line, kind = entry.split("|")
+            line_no = int(line)
+        except ValueError:
+            continue
+        index.setdefault((param, proto, s_in), []).append(
+            (method, line_no, kind)
+        )
+    return index
+
+
+# ---------------------------------------------------------------------------
+# structural protocol matching over the corpus class hierarchy
+# ---------------------------------------------------------------------------
+
+
+class ProtocolIndex:
+    """Which corpus classes speak which protocols, plus constructor
+    resolution (``WorkerPool(...)`` / package re-exports like
+    ``xaidb.models.LogisticRegression``).  Built once per call graph
+    and memoised on it."""
+
+    def __init__(self, graph: CallGraph) -> None:
+        self.graph = graph
+        own_methods: dict[str, set[str]] = {}
+        for qualname in graph.functions:
+            owner, _, method = qualname.rpartition(".")
+            if owner in graph.class_bases:
+                own_methods.setdefault(owner, set()).add(method)
+        self._matched: dict[str, tuple[Protocol, ...]] = {}
+        for class_fq in graph.class_bases:
+            methods: set[str] = set()
+            stack = [class_fq]
+            seen: set[str] = set()
+            while stack:
+                current = stack.pop()
+                if current in seen:
+                    continue
+                seen.add(current)
+                methods |= own_methods.get(current, set())
+                stack.extend(graph.class_bases.get(current, []))
+            matched = tuple(
+                p for p in PROTOCOLS if p.matches(frozenset(methods))
+            )
+            if matched:
+                self._matched[class_fq] = matched
+
+    def protocols_for_class(self, class_fq: str) -> tuple[Protocol, ...]:
+        return self._matched.get(class_fq, ())
+
+    def resolve_constructed(
+        self, module: str, call: ast.Call
+    ) -> tuple[str, tuple[Protocol, ...]]:
+        """``(class_fq, protocols)`` when ``call`` constructs a
+        protocol-matched corpus class, else ``("", ())``.  Handles one
+        hop of package re-export (``xaidb.models.LogisticRegression``
+        resolving through ``xaidb/models/__init__``'s from-imports)."""
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return "", ()
+        candidates = []
+        if "." not in dotted:
+            candidates.append(f"{module}.{dotted}")
+        head, _, tail = dotted.partition(".")
+        target = self.graph.aliases.get(module, {}).get(head)
+        if target is not None:
+            candidates.append(f"{target}.{tail}" if tail else target)
+        for class_fq in candidates:
+            if class_fq in self._matched:
+                return class_fq, self._matched[class_fq]
+            # one re-export hop: pkg.Name -> pkg/__init__'s alias map
+            package, _, name = class_fq.rpartition(".")
+            for init_module in (package, f"{package}.__init__"):
+                real = self.graph.aliases.get(init_module, {}).get(name)
+                if real is not None and real in self._matched:
+                    return real, self._matched[real]
+        return "", ()
+
+
+def protocol_index(graph: CallGraph) -> ProtocolIndex:
+    index = getattr(graph, "_typestate_index", None)
+    if index is None:
+        index = ProtocolIndex(graph)
+        graph._typestate_index = index
+    return index
+
+
+# ---------------------------------------------------------------------------
+# the dataflow problem
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    """One must-proven protocol violation inside a function body."""
+
+    node: ast.AST  # the offending call (finding anchor)
+    kind: str  # "before" | "after"
+    proto: Protocol
+    method: str
+    origin: str  # "constructed at line N" / "parameter 'pool'"
+    advice: str
+    states: tuple[str, ...]
+    #: Set for obligation-consumption firings: the callee frame and the
+    #: line inside it where the illegal operation actually happens.
+    callee: str = ""
+    callee_line: int = 0
+
+
+@dataclass
+class TypestateFacts:
+    """Pass F's caller-visible facts plus this frame's violations."""
+
+    tracked: tuple[str, ...] = ()
+    transitions: tuple[str, ...] = ()
+    obligations: tuple[str, ...] = ()
+    violations: list[Violation] = field(default_factory=list)
+
+
+def _join_into(acc: State, other: State) -> None:
+    for name, labels in other.items():
+        existing = acc.get(name)
+        acc[name] = labels if existing is None else existing | labels
+
+
+class TypestateAnalysis(ValueTaint):
+    """Forward typestate propagation for one function.
+
+    Unlike the base :class:`ValueTaint`, expression evaluation here is
+    *strict* — only identity-preserving positions (names, ternaries,
+    walrus, ``await``, constructor calls, :data:`RETURNS_SELF` method
+    chains) propagate object identities; everything else evaluates to
+    the empty set, and any identity that surfaces in a non-propagating
+    position is poisoned.  Call subexpressions are processed in Python
+    evaluation order (receiver, then arguments, then the call's own
+    effect), so ``Ridge().fit(X).predict(X)`` steps the automaton in
+    the order the interpreter would.
+    """
+
+    def __init__(
+        self,
+        fnode: FunctionNode,
+        graph: CallGraph,
+        summaries: dict,
+    ) -> None:
+        self.fnode = fnode
+        self.graph = graph
+        self.summaries = summaries
+        self.index = protocol_index(graph)
+        self.module = fnode.module
+        fn = fnode.node
+        unsafe = names_read_in_nested_scopes(fn)
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                unsafe.update(node.names)
+        args = fn.args
+        wide = {a.arg for a in (args.vararg, args.kwarg) if a is not None}
+        entry: State = {}
+        self._param_objids: dict[str, str] = {}
+        #: Objects whose concrete class is known (constructor results,
+        #: ``self`` of a protocol-matched class).  Their labels are
+        #: facts, not hypotheses, so an out-of-alphabet method call
+        #: escapes them instead of refuting them.
+        self._known: set[str] = set()
+        #: objid -> (anchor node or None, class_fq or param name)
+        self.origins: dict[str, tuple[ast.AST | None, str]] = {}
+        for name in function_params(fn):
+            if name == "cls" or name in unsafe or name in wide:
+                continue
+            known = False
+            if name == "self":
+                if fnode.class_name is None:
+                    continue
+                protos = self.index.protocols_for_class(
+                    f"{fnode.module}.{fnode.class_name}"
+                )
+                known = True
+            else:
+                protos = PROTOCOLS
+            if not protos:
+                continue
+            objid = f"{OBJ_PREFIX}param:{name}"
+            if known:
+                self._known.add(objid)
+            entry[name] = frozenset({objid})
+            entry[PSEUDO_PREFIX + objid] = frozenset(
+                state_label(p.name, s, s)
+                for p in protos
+                for s in p.states
+            )
+            self._param_objids[name] = objid
+            self.origins[objid] = (None, name)
+        super().__init__(entry=entry)
+        self._unsafe_names = unsafe
+        self._recording = False
+        self._violations: list[Violation] = []
+        self._obligations: set[str] = set()
+        self._facts: TypestateFacts | None = None
+
+    # -- strict expression semantics ---------------------------------
+
+    def eval_expr(
+        self, expr: ast.AST | None, state: State
+    ) -> frozenset[str]:
+        """Pure identity lookup (no effects) — only sound on state the
+        transfers have already processed; the transfer itself goes
+        through :meth:`_process_expr`."""
+        if expr is None:
+            return frozenset()
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, frozenset())
+        if isinstance(expr, ast.NamedExpr):
+            return self.eval_expr(expr.value, state)
+        if isinstance(expr, ast.Await):
+            return self.eval_expr(expr.value, state)
+        if isinstance(expr, ast.IfExp):
+            return self.eval_expr(expr.body, state) | self.eval_expr(
+                expr.orelse, state
+            )
+        return frozenset()
+
+    # -- effectful expression processing (evaluation order) ----------
+
+    def _process_expr(
+        self, expr: ast.AST | None, state: State
+    ) -> frozenset[str]:
+        if expr is None or isinstance(expr, (ast.Constant,)):
+            return frozenset()
+        if isinstance(expr, ast.Name):
+            return state.get(expr.id, frozenset())
+        if isinstance(expr, ast.NamedExpr):
+            ids = self._process_expr(expr.value, state)
+            self._bind_name(expr.target.id, ids, state)
+            return ids
+        if isinstance(expr, ast.Await):
+            return self._process_expr(expr.value, state)
+        if isinstance(expr, ast.IfExp):
+            self._process_expr(expr.test, state)
+            return self._process_expr(
+                expr.body, state
+            ) | self._process_expr(expr.orelse, state)
+        if isinstance(expr, ast.Call):
+            return self._process_call(expr, state)
+        if isinstance(expr, ast.Attribute):
+            # reading an attribute does not leak the *base* object —
+            # unless the attribute is a protocol method (a bound-method
+            # extraction defers a transition we cannot see)
+            for objid in self._process_expr(expr.value, state):
+                labels = state.get(PSEUDO_PREFIX + objid, frozenset())
+                if any(
+                    expr.attr
+                    in PROTOCOL_BY_NAME[parse_label(label)[0]].alphabet
+                    for label in labels
+                ):
+                    self._poison(objid, state)
+            return frozenset()
+        if isinstance(expr, ast.Subscript):
+            self._process_expr(expr.value, state)
+            self._process_expr(expr.slice, state)
+            return frozenset()
+        if isinstance(expr, ast.Lambda):
+            return frozenset()  # body runs later, in its own scope
+        # any other shape: children evaluate, and an identity surfacing
+        # here (tuple/list display, boolop, yield, f-string, subscript
+        # read of a container of pools, ...) is beyond tracking
+        escaped: frozenset[str] = frozenset()
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                escaped |= self._process_expr(child, state)
+        for objid in escaped:
+            self._poison(objid, state)
+        return frozenset()
+
+    def _process_call(
+        self, call: ast.Call, state: State
+    ) -> frozenset[str]:
+        func = call.func
+        site = self.graph.callsites.get(id(call))
+        candidates = site.candidates if site is not None else ()
+
+        method: str | None = None
+        recv_ids: frozenset[str] = frozenset()
+        if isinstance(func, ast.Attribute):
+            recv_ids = self._process_expr(func.value, state)
+            method = func.attr
+        elif not isinstance(func, ast.Name):
+            for objid in self._process_expr(func, state):
+                self._poison(objid, state)
+
+        arg_ids: list[frozenset[str]] = []
+        for arg in call.args:
+            if isinstance(arg, ast.Starred):
+                for objid in self._process_expr(arg.value, state):
+                    self._poison(objid, state)
+                arg_ids.append(frozenset())
+            else:
+                arg_ids.append(self._process_expr(arg, state))
+        kw_ids: list[frozenset[str]] = []
+        for keyword in call.keywords:
+            ids = self._process_expr(keyword.value, state)
+            if keyword.arg is None:  # **splat
+                for objid in ids:
+                    self._poison(objid, state)
+                ids = frozenset()
+            kw_ids.append(ids)
+
+        class_fq, protos = self.index.resolve_constructed(
+            self.module, call
+        )
+        if protos:
+            objid = f"{OBJ_PREFIX}{call.lineno}:{call.col_offset}"
+            self._known.add(objid)
+            # strong update: a loop re-executing the constructor makes
+            # a *fresh* object, so the old labels do not carry over
+            state[PSEUDO_PREFIX + objid] = frozenset(
+                state_label(p.name, p.initial, p.initial)
+                for p in protos
+            )
+            self.origins.setdefault(objid, (call, class_fq))
+            for ids in arg_ids + kw_ids:
+                for other in ids:  # identities fed to a constructor
+                    self._poison(other, state)  # escape into the instance
+            return frozenset({objid})
+
+        if method is not None and recv_ids:
+            if self._recording:
+                self._record_method(call, method, recv_ids, state)
+            for objid in recv_ids:
+                self._apply_method(objid, method, state, call=call)
+            self._route_args(call, site, candidates, arg_ids, kw_ids, state)
+            return recv_ids if method in RETURNS_SELF else frozenset()
+
+        self._route_args(call, site, candidates, arg_ids, kw_ids, state)
+        return frozenset()
+
+    # -- object-level operations -------------------------------------
+
+    def _poison(self, objid: str, state: State) -> None:
+        pseudo = PSEUDO_PREFIX + objid
+        labels = state.get(pseudo)
+        if not labels:
+            return
+        state[pseudo] = frozenset(
+            state_label(*parse_label(label)[:2], ESCAPED)
+            for label in labels
+        )
+
+    def _apply_method(
+        self,
+        objid: str,
+        method: str,
+        state: State,
+        call: ast.Call | None = None,
+    ) -> None:
+        pseudo = PSEUDO_PREFIX + objid
+        labels = state.get(pseudo)
+        if not labels:
+            return
+        known = objid in self._known
+        out: set[str] = set()
+        for label in labels:
+            proto_name, s_in, s_cur = parse_label(label)
+            proto = PROTOCOL_BY_NAME.get(proto_name)
+            if proto is None:
+                continue
+            if s_cur == ESCAPED:
+                out.add(label)
+                continue
+            if method in proto.alphabet:
+                out.add(
+                    state_label(
+                        proto_name,
+                        s_in,
+                        proto.transitions.get((s_cur, method), s_cur),
+                    )
+                )
+                continue
+            if not known:
+                continue  # hypothesis refuted: the class lacks `method`
+            # the class genuinely has this method; its body may move
+            # the automaton, so consult its summary relation for self
+            outs = self._receiver_relation(call, proto_name, s_cur)
+            if outs is None:
+                out.add(state_label(proto_name, s_in, ESCAPED))
+            else:
+                out.update(
+                    state_label(proto_name, s_in, s) for s in outs
+                )
+        if out:
+            state[pseudo] = frozenset(out)
+        else:
+            state.pop(pseudo, None)  # every protocol refuted
+
+    def _receiver_relation(
+        self, call: ast.Call | None, proto: str, s_cur: str
+    ) -> frozenset[str] | None:
+        """What a resolved out-of-alphabet method does to its receiver
+        (``None`` = unprovable, the caller escapes the label)."""
+        if call is None:
+            return None
+        site = self.graph.callsites.get(id(call))
+        if site is None or not site.candidates:
+            return None
+        outs: set[str] = set()
+        for qualname in site.candidates:
+            summary = self.summaries.get(qualname)
+            if (
+                summary is None
+                or f"self|{proto}" not in tracked_pairs(summary)
+            ):
+                return None
+            outs |= transition_relation(summary).get(
+                ("self", proto, s_cur), frozenset({s_cur})
+            )
+        return frozenset(outs)
+
+    def _bind_name(
+        self, name: str, ids: frozenset[str], state: State
+    ) -> None:
+        if name in self._unsafe_names:
+            # a nested scope reads this name: the binding escapes
+            for objid in ids:
+                self._poison(objid, state)
+            ids = frozenset()
+        state[name] = ids
+
+    def _bind_target(
+        self,
+        target: ast.AST,
+        ids: frozenset[str],
+        state: State,
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bind_name(target.id, ids, state)
+            return
+        # attribute/subscript stores and unpacking put the object where
+        # other frames (or other elements) can reach it
+        for objid in ids:
+            self._poison(objid, state)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, frozenset(), state)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, frozenset(), state)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self._process_expr(target.value, state)
+            if isinstance(target, ast.Subscript):
+                self._process_expr(target.slice, state)
+
+    # -- callsite routing through callee summaries -------------------
+
+    def _route_args(
+        self,
+        call: ast.Call,
+        site,
+        candidates: tuple[str, ...],
+        arg_ids: list[frozenset[str]],
+        kw_ids: list[frozenset[str]],
+        state: State,
+    ) -> None:
+        """Push tracked identities through a callee's transition
+        relation, or poison them when nothing is provable about the
+        callee.  The receiver of a bound method call is *not* routed —
+        its DFA step already happened in :meth:`_process_call`."""
+        slots: list[tuple[int | str, frozenset[str]]] = []
+        for position, ids in enumerate(arg_ids):
+            if ids:
+                slots.append((position, ids))
+        kw_index = 0
+        for keyword in call.keywords:
+            if keyword.arg is not None and kw_ids[kw_index]:
+                slots.append((keyword.arg, kw_ids[kw_index]))
+            kw_index += 1
+        if not slots:
+            return
+        summaries = [self.summaries.get(q) for q in candidates]
+        if not candidates or any(s is None for s in summaries):
+            for _slot, ids in slots:
+                for objid in ids:
+                    self._poison(objid, state)
+            return
+        for slot, ids in slots:
+            per_candidate = [
+                (summary, _param_for_slot(summary, site, slot))
+                for summary in summaries
+            ]
+            for objid in ids:
+                if self._recording:
+                    self._consume_obligations(
+                        call, objid, per_candidate, state
+                    )
+                self._apply_relation(objid, per_candidate, state)
+
+    def _apply_relation(
+        self, objid: str, per_candidate, state: State
+    ) -> None:
+        pseudo = PSEUDO_PREFIX + objid
+        labels = state.get(pseudo)
+        if not labels:
+            return
+        out: set[str] = set()
+        for label in labels:
+            proto, s_in, s_cur = parse_label(label)
+            if s_cur == ESCAPED:
+                out.add(label)
+                continue
+            states: set[str] = set()
+            poisoned = False
+            for summary, param in per_candidate:
+                if (
+                    param is None
+                    or f"{param}|{proto}" not in tracked_pairs(summary)
+                ):
+                    poisoned = True
+                    break
+                relation = transition_relation(summary)
+                states |= relation.get(
+                    (param, proto, s_cur), frozenset({s_cur})
+                )
+            if poisoned:
+                out.add(state_label(proto, s_in, ESCAPED))
+            else:
+                out.update(state_label(proto, s_in, s) for s in states)
+        state[pseudo] = frozenset(out)
+
+    # -- transfer ----------------------------------------------------
+
+    def transfer(self, item: ast.AST, state: State) -> None:
+        if isinstance(item, ast.Assign):
+            ids = self._process_expr(item.value, state)
+            for target in item.targets:
+                self._bind_target(target, ids, state)
+        elif isinstance(item, ast.AnnAssign):
+            if item.value is not None:
+                ids = self._process_expr(item.value, state)
+                self._bind_target(item.target, ids, state)
+        elif isinstance(item, ast.AugAssign):
+            for objid in self._process_expr(item.value, state):
+                self._poison(objid, state)
+            if isinstance(item.target, ast.Name):
+                ids = state.get(item.target.id, frozenset())
+                for objid in ids:
+                    self._poison(objid, state)
+                self._bind_name(item.target.id, frozenset(), state)
+        elif isinstance(item, (ast.For, ast.AsyncFor)):
+            self._process_expr(item.iter, state)
+            self._bind_target(item.target, frozenset(), state)
+        elif isinstance(item, (ast.With, ast.AsyncWith)):
+            enter = (
+                "__aenter__"
+                if isinstance(item, ast.AsyncWith)
+                else "__enter__"
+            )
+            for with_item in item.items:
+                ids = self._process_expr(with_item.context_expr, state)
+                for objid in ids:
+                    self._apply_method(objid, enter, state)
+                if with_item.optional_vars is not None:
+                    self._bind_target(with_item.optional_vars, ids, state)
+        elif isinstance(
+            item,
+            (
+                ast.FunctionDef,
+                ast.AsyncFunctionDef,
+                ast.ClassDef,
+                ast.Import,
+                ast.ImportFrom,
+            ),
+        ):
+            for root in item_exprs(item):
+                self._process_expr(root, state)
+            for name, _node in _item_bound_names(item):
+                state[name] = frozenset()
+        elif isinstance(item, ast.ExceptHandler):
+            if item.name:
+                state[item.name] = frozenset()
+        elif isinstance(item, ast.Delete):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    state.pop(target.id, None)
+                else:
+                    self._process_expr(target, state)
+        else:
+            # If/While tests, Expr statements, Return/Raise/Assert
+            # values, Match subjects: evaluate for effects; the root
+            # value position itself does not leak the identity
+            for root in item_exprs(item):
+                self._process_expr(root, state)
+
+    # -- recording: violations and obligation export/consumption -----
+
+    def _record_method(
+        self,
+        call: ast.Call,
+        method: str,
+        recv_ids: frozenset[str],
+        state: State,
+    ) -> None:
+        for objid in recv_ids:
+            labels = state.get(PSEUDO_PREFIX + objid)
+            if not labels:
+                continue
+            is_param = objid.startswith(OBJ_PREFIX + "param:")
+            by_group: dict[tuple[str, str], set[str]] = {}
+            for label in labels:
+                proto, s_in, s_cur = parse_label(label)
+                by_group.setdefault((proto, s_in), set()).add(s_cur)
+            by_proto: dict[str, set[str]] = {}
+            for (proto, _s_in), current in by_group.items():
+                by_proto.setdefault(proto, set()).update(current)
+            if is_param:
+                # conditional on the entry state: export obligations
+                param = objid[len(OBJ_PREFIX + "param:"):]
+                for (proto_name, s_in), current in by_group.items():
+                    proto = PROTOCOL_BY_NAME[proto_name]
+                    verdicts = [
+                        proto.illegal.get((method, s)) for s in current
+                    ]
+                    if ESCAPED in current or not all(verdicts):
+                        continue
+                    kinds = {kind for kind, _advice in verdicts}
+                    if len(kinds) == 1:
+                        self._obligations.add(
+                            f"{param}|{proto_name}|{s_in}|{method}|"
+                            f"{call.lineno}|{kinds.pop()}"
+                        )
+                continue
+            for proto_name, current in by_proto.items():
+                proto = PROTOCOL_BY_NAME[proto_name]
+                verdicts = [
+                    proto.illegal.get((method, s)) for s in current
+                ]
+                if ESCAPED in current or not all(verdicts):
+                    continue
+                kinds = {kind for kind, _advice in verdicts}
+                if len(kinds) != 1:
+                    continue  # mixed before/after: no single story
+                self._violations.append(
+                    Violation(
+                        node=call,
+                        kind=kinds.pop(),
+                        proto=proto,
+                        method=method,
+                        origin=self._origin_of(objid),
+                        advice=verdicts[0][1],
+                        states=tuple(sorted(current)),
+                    )
+                )
+
+    def _consume_obligations(
+        self, call: ast.Call, objid: str, per_candidate, state: State
+    ) -> None:
+        labels = state.get(PSEUDO_PREFIX + objid)
+        if not labels:
+            return
+        is_param = objid.startswith(OBJ_PREFIX + "param:")
+        indexes = [
+            (param, obligation_index(summary))
+            for summary, param in per_candidate
+            if param is not None
+        ]
+        if len(indexes) != len(per_candidate) or not indexes:
+            return
+
+        def matches(proto: str, s_cur: str):
+            """The obligation every candidate proves for this state
+            (``None`` when any candidate has none)."""
+            found: tuple[str, int, str] | None = None
+            for param, index in indexes:
+                entries = index.get((param, proto, s_cur))
+                if not entries:
+                    return None
+                found = found or entries[0]
+            return found
+
+        by_group: dict[tuple[str, str], set[str]] = {}
+        for label in labels:
+            proto, s_in, s_cur = parse_label(label)
+            by_group.setdefault((proto, s_in), set()).add(s_cur)
+        if is_param:
+            param = objid[len(OBJ_PREFIX + "param:"):]
+            for (proto, s_in), current in by_group.items():
+                if ESCAPED in current:
+                    continue
+                found = [matches(proto, s) for s in sorted(current)]
+                if not all(found):
+                    continue
+                kinds = {kind for _m, _l, kind in found}
+                if len(kinds) == 1:
+                    method, _line, kind = found[0]
+                    self._obligations.add(
+                        f"{param}|{proto}|{s_in}|{method}|"
+                        f"{call.lineno}|{kinds.pop()}"
+                    )
+            return
+        by_proto: dict[str, set[str]] = {}
+        for (proto, _s_in), current in by_group.items():
+            by_proto.setdefault(proto, set()).update(current)
+        for proto_name, current in by_proto.items():
+            if ESCAPED in current:
+                continue
+            found = [matches(proto_name, s) for s in sorted(current)]
+            if not all(found):
+                continue
+            kinds = {kind for _m, _l, kind in found}
+            if len(kinds) != 1:
+                continue
+            method, line, kind = found[0]
+            proto = PROTOCOL_BY_NAME[proto_name]
+            advice_key = next(
+                (
+                    (method, s)
+                    for s in sorted(current)
+                    if (method, s) in proto.illegal
+                ),
+                None,
+            )
+            advice = (
+                proto.illegal[advice_key][1]
+                if advice_key is not None
+                else "the callee performs an operation this state forbids"
+            )
+            callee = next(
+                s.qualname for s, _p in per_candidate if _p is not None
+            )
+            self._violations.append(
+                Violation(
+                    node=call,
+                    kind=kind,
+                    proto=proto,
+                    method=method,
+                    origin=self._origin_of(objid),
+                    advice=advice,
+                    states=tuple(sorted(current)),
+                    callee=callee,
+                    callee_line=line,
+                )
+            )
+
+    def _origin_of(self, objid: str) -> str:
+        anchor, detail = self.origins.get(objid, (None, ""))
+        if objid.startswith(OBJ_PREFIX + "param:"):
+            return f"parameter '{detail}'"
+        class_name = detail.rpartition(".")[2] or "object"
+        line = getattr(anchor, "lineno", "?")
+        return f"{class_name} constructed at line {line}"
+
+    # -- facts: one recording replay + exit-state export -------------
+
+    def facts(
+        self, cfg: CFG, in_states: dict[int, State]
+    ) -> TypestateFacts:
+        if self._facts is not None:
+            return self._facts
+        self._recording = True
+        self._violations = []
+        self._obligations = set()
+        exits: State = {}
+        for block in cfg.reachable():
+            state = dict(in_states.get(block.id, {}))
+            for item in block.items:
+                self.transfer(item, state)
+                if isinstance(item, ast.Return):
+                    _join_into(exits, state)
+            if not block.succs:
+                _join_into(exits, state)
+        self._recording = False
+        tracked: list[str] = []
+        transitions: list[str] = []
+        for name, objid in sorted(self._param_objids.items()):
+            labels = exits.get(PSEUDO_PREFIX + objid, frozenset())
+            by_proto: dict[str, dict[str, set[str]]] = {}
+            for label in labels:
+                proto, s_in, s_cur = parse_label(label)
+                by_proto.setdefault(proto, {}).setdefault(
+                    s_in, set()
+                ).add(s_cur)
+            for proto, groups in sorted(by_proto.items()):
+                if any(
+                    ESCAPED in outs for outs in groups.values()
+                ):
+                    continue
+                tracked.append(f"{name}|{proto}")
+                for s_in, outs in sorted(groups.items()):
+                    if outs != {s_in}:
+                        transitions.append(
+                            f"{name}|{proto}|{s_in}|"
+                            + ",".join(sorted(outs))
+                        )
+        self._facts = TypestateFacts(
+            tracked=tuple(tracked),
+            transitions=tuple(transitions),
+            obligations=tuple(sorted(self._obligations)),
+            violations=self._violations,
+        )
+        return self._facts
+
+
+def _item_bound_names(item: ast.AST) -> list[tuple[str, ast.AST]]:
+    from xaidb.analysis.dataflow import item_defs
+
+    return item_defs(item)
+
+
+def _param_for_slot(summary, site, slot) -> str | None:
+    """The callee parameter a positional index / keyword name maps to
+    (mirrors :func:`~xaidb.analysis.summaries.map_arguments`, receiver
+    binding included, ``None`` past a ``*args`` boundary)."""
+    params = list(summary.params)
+    if isinstance(slot, str):
+        return slot if slot in params else None
+    offset = 0
+    if params and params[0] in ("self", "cls"):
+        if site is not None and site.binds_receiver:
+            offset = 1
+        elif summary.qualname.endswith(".__init__"):
+            call = site.call if site is not None else None
+            name = ""
+            if call is not None:
+                func = call.func
+                if isinstance(func, ast.Attribute):
+                    name = func.attr
+                elif isinstance(func, ast.Name):
+                    name = func.id
+            if name != "__init__":
+                offset = 1
+        positional = params[offset:]
+    else:
+        positional = params
+    if slot < len(positional):
+        return positional[slot]
+    return None

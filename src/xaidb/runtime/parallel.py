@@ -90,7 +90,7 @@ def _untrack(segment: shared_memory.SharedMemory) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.unregister(segment._name, "shared_memory")
-    # xailint: disable=XDB005 (stdlib-private tracker API varies across versions; cleanup must never break a worker)
+    # xailint: disable=XDB005,XDB032 (stdlib-private tracker API varies across versions; cleanup must never break a worker)
     except Exception:  # noqa: BLE001 - cleanup must never break a worker
         pass
 
@@ -110,7 +110,7 @@ def _retrack(segment: shared_memory.SharedMemory) -> None:
         from multiprocessing import resource_tracker
 
         resource_tracker.register(segment._name, "shared_memory")
-    # xailint: disable=XDB005 (stdlib-private tracker API varies across versions; cleanup must never break shutdown)
+    # xailint: disable=XDB005,XDB032 (stdlib-private tracker API varies across versions; cleanup must never break shutdown)
     except Exception:  # noqa: BLE001 - cleanup must never break shutdown
         pass
 

@@ -1,0 +1,34 @@
+"""Clean fixture for XDB028: the same call shapes, but every use is
+provably preceded by fit() — directly, via the fit()-returns-self
+chain, and across the helper boundary."""
+
+__all__ = ["trained_predictions", "trained_scores"]
+
+
+class RidgeModel:
+    def __init__(self):
+        self.coef_ = None
+
+    def fit(self, X, y):
+        self.coef_ = [sum(row) for row in X]
+        return self
+
+    def predict(self, X):
+        return [sum(row) for row in X]
+
+
+def _score_all(model, X):
+    # same obligation as the dirty twin, but every caller hands in a
+    # fitted model, so it is never consumed
+    return model.predict(X)
+
+
+def trained_predictions(X, y):
+    model = RidgeModel().fit(X, y)  # fit() returns self, state fitted
+    return model.predict(X)
+
+
+def trained_scores(X, y):
+    model = RidgeModel()
+    model.fit(X, y)
+    return _score_all(model, X)

@@ -1,0 +1,35 @@
+"""Dirty fixture for XDB028: estimator use provably before fit, once
+directly and once through a helper (the finding carries the witness
+line inside the helper)."""
+
+__all__ = ["untrained_predictions", "untrained_scores"]
+
+
+class RidgeModel:
+    """Structurally an estimator: has fit plus a use method."""
+
+    def __init__(self):
+        self.coef_ = None
+
+    def fit(self, X, y):
+        self.coef_ = [sum(row) for row in X]
+        return self
+
+    def predict(self, X):
+        return [sum(row) for row in X]
+
+
+def _score_all(model, X):
+    # the summary exports the obligation: predict() is illegal while
+    # the argument is still unfitted
+    return model.predict(X)
+
+
+def untrained_predictions(X):
+    model = RidgeModel()
+    return model.predict(X)  # finding 1: never fitted on any path
+
+
+def untrained_scores(X):
+    model = RidgeModel()
+    return _score_all(model, X)  # finding 2: illegal inside the helper

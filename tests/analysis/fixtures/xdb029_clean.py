@@ -1,0 +1,37 @@
+"""Clean fixture for XDB029: the same pool, but every map/share runs
+while the pool is provably still open and close() comes last."""
+
+__all__ = ["mapped_then_closed", "shared_then_closed"]
+
+
+class ArrayPool:
+    def __init__(self, jobs):
+        self.jobs = jobs
+
+    def map(self, fn, chunks):
+        return [fn(chunk) for chunk in chunks]
+
+    def share(self, array):
+        return array
+
+    def close(self):
+        self.jobs = 0
+
+
+def _reuse(pool, array):
+    return pool.share(array)
+
+
+def mapped_then_closed(chunks):
+    pool = ArrayPool(2)
+    try:
+        return pool.map(len, chunks)
+    finally:
+        pool.close()
+
+
+def shared_then_closed(array):
+    pool = ArrayPool(2)
+    handle = _reuse(pool, array)  # pool is still open here
+    pool.close()
+    return handle

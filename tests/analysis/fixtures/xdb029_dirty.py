@@ -1,0 +1,39 @@
+"""Dirty fixture for XDB029: worker-pool operations provably after
+close(), once directly and once through a helper (the finding carries
+the witness line inside the helper)."""
+
+__all__ = ["drained_map", "drained_share"]
+
+
+class ArrayPool:
+    """Structurally a worker pool: close plus map/share."""
+
+    def __init__(self, jobs):
+        self.jobs = jobs
+
+    def map(self, fn, chunks):
+        return [fn(chunk) for chunk in chunks]
+
+    def share(self, array):
+        return array
+
+    def close(self):
+        self.jobs = 0
+
+
+def _reuse(pool, array):
+    # the summary exports the obligation: share() is illegal once the
+    # argument is already closed
+    return pool.share(array)
+
+
+def drained_map(chunks):
+    pool = ArrayPool(2)
+    pool.close()
+    return pool.map(len, chunks)  # finding 1: closed on every path
+
+
+def drained_share(array):
+    pool = ArrayPool(2)
+    pool.close()
+    return _reuse(pool, array)  # finding 2: illegal inside the helper

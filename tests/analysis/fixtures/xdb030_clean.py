@@ -1,0 +1,18 @@
+"""Clean fixture for XDB030: every coroutine is awaited or handed to
+the scheduler, so each body actually runs."""
+
+import asyncio
+
+__all__ = ["handle"]
+
+
+async def _warm_cache(server):
+    await asyncio.sleep(0)
+    return server
+
+
+async def handle(server):
+    task = asyncio.create_task(_warm_cache(server))  # scheduled
+    await asyncio.sleep(0.01)
+    await task
+    return await _warm_cache(server)

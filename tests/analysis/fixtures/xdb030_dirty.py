@@ -1,0 +1,18 @@
+"""Dirty fixture for XDB030: coroutines built as bare expression
+statements — one local ``async def``, one asyncio builtin — so their
+bodies never run."""
+
+import asyncio
+
+__all__ = ["handle"]
+
+
+async def _warm_cache(server):
+    await asyncio.sleep(0)
+    return server
+
+
+async def handle(server):
+    _warm_cache(server)  # finding 1: coroutine created and discarded
+    asyncio.sleep(0.01)  # finding 2: the sleep never happens
+    return await _warm_cache(server)

@@ -1,0 +1,38 @@
+"""Clean fixture for XDB031: the same fan-out, but every task body
+either raises the boundary's modelled ServiceError hierarchy or
+handles its own failure — nothing untyped can escape."""
+
+import asyncio
+
+__all__ = ["ServiceError", "RefreshError", "refresh_all", "evict_all"]
+
+
+class ServiceError(Exception):
+    """The boundary's modelled failure type."""
+
+
+class RefreshError(ServiceError):
+    """A modelled refresh failure."""
+
+
+async def _modelled_refresh(key):
+    if not key:
+        raise RefreshError(key)  # a ServiceError: the boundary models it
+    return key
+
+
+async def _guarded_evict(key):
+    try:
+        return int(key)
+    except ValueError:
+        return None  # handled inside the task body
+
+
+async def refresh_all(keys):
+    for key in keys:
+        asyncio.create_task(_modelled_refresh(key))
+
+
+async def evict_all(keys):
+    for key in keys:
+        asyncio.ensure_future(_guarded_evict(key))

@@ -1,0 +1,33 @@
+"""Dirty fixture for XDB031: fire-and-forget task bodies that provably
+raise exception types the service boundary does not model — nothing
+awaits the tasks, so the failures vanish into the event loop."""
+
+import asyncio
+
+__all__ = ["ServiceError", "refresh_all", "evict_all"]
+
+
+class ServiceError(Exception):
+    """The boundary's modelled failure type."""
+
+
+async def _flaky_refresh(key):
+    if not key:
+        raise KeyError(key)
+    return key
+
+
+async def _flaky_evict(key):
+    if key is None:
+        raise ValueError("missing key")
+    return key
+
+
+async def refresh_all(keys):
+    for key in keys:
+        asyncio.create_task(_flaky_refresh(key))  # finding 1: KeyError
+
+
+async def evict_all(keys):
+    for key in keys:
+        asyncio.ensure_future(_flaky_evict(key))  # finding 2: ValueError

@@ -1,0 +1,25 @@
+"""Clean fixture for XDB032: each handler either narrows the catch or
+does something observable with the failure (logs it, re-raises)."""
+
+import logging
+
+__all__ = ["load_cache", "shutdown"]
+
+logger = logging.getLogger(__name__)
+
+
+def load_cache(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except OSError:  # narrow: only the failure this path can produce
+        return ""
+
+
+def shutdown(workers):
+    for worker in workers:
+        try:
+            worker.halt()
+        except Exception as exc:
+            logger.warning("worker halt failed: %s", exc)
+            raise

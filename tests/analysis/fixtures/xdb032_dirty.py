@@ -1,0 +1,23 @@
+"""Dirty fixture for XDB032: broad handlers that discard the failure
+on every path — no re-raise, no read of the bound name, no logging.
+Both sites also fire XDB005 (the catch is too wide); XDB032 is about
+the silent discard."""
+
+__all__ = ["load_cache", "shutdown"]
+
+
+def load_cache(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except Exception:
+        pass  # finding 1: the failure vanishes without a trace
+    return ""
+
+
+def shutdown(workers):
+    for worker in workers:
+        try:
+            worker.halt()
+        except:  # noqa: E722
+            worker = None  # finding 2: bound to nothing, logged nowhere

@@ -1,4 +1,5 @@
 """``xailint --fix``: XDB012 stale/dangling suppressions are deleted,
+reason-less ones are rewritten into the canonical reason-bearing form,
 the fix is idempotent, and ``--dry-run`` only prints the diff."""
 
 from __future__ import annotations
@@ -113,15 +114,75 @@ def test_cli_fix_dry_run_prints_diff_without_writing(
     assert "--- a/module.py" in out
     assert "+++ b/module.py" in out
     assert "-# xailint: disable=XDB002" in out
-    assert "would remove 2 suppression comment(s)" in out
+    assert "would remove 2 and rewrite 0 suppression comment(s)" in out
     assert (dirty_tree / "module.py").read_text(encoding="utf-8") == DIRTY
 
 
 def test_cli_fix_applies_and_reports(dirty_tree, capsys):
     assert main(["--fix", "module.py", "--no-cache"]) == 0
     out = capsys.readouterr().out
-    assert "fixed 2 suppression comment(s) in 1 file(s)" in out
+    assert "removed 2 and rewrote 0 suppression comment(s) in 1 file(s)" in out
     assert (dirty_tree / "module.py").read_text(encoding="utf-8") == CLEAN
+
+
+#: A live finding suppressed without a reason: XDB007 fires on the
+#: mutable default, the comment silences it, XDB012 flags the missing
+#: reason — the mechanical fix appends the placeholder.
+REASONLESS = (
+    "# xailint: disable=XDB007\n"
+    "def f(bucket=[]):\n"
+    "    return bucket\n"
+)
+
+
+def test_reasonless_comment_is_rewritten(tmp_path, monkeypatch):
+    target = tmp_path / "module.py"
+    target.write_text(REASONLESS, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    result = _scan(tmp_path)
+    fixes = plan_fixes(result.findings, tmp_path)
+    assert len(fixes) == 1
+    assert fixes[0].rewrite_lines == {1}
+    assert not fixes[0].drop_lines and not fixes[0].strip_lines
+    report = apply_fixes(result.findings, tmp_path)
+    assert (report.n_removed, report.n_rewritten) == (0, 1)
+    fixed = target.read_text(encoding="utf-8")
+    assert fixed.splitlines()[0] == (
+        "# xailint: disable=XDB007 (reason: TODO)"
+    )
+    # idempotent: the rewritten comment is reason-bearing, XDB012 is
+    # silent, and a second --fix plans nothing
+    rescan = _scan(tmp_path)
+    assert not [f for f in rescan.findings if f.rule_id == "XDB012"]
+    second = apply_fixes(rescan.findings, tmp_path)
+    assert second.n_findings == 0
+    assert target.read_text(encoding="utf-8") == fixed
+
+
+def test_reasonless_trailing_comment_keeps_code(tmp_path, monkeypatch):
+    target = tmp_path / "module.py"
+    target.write_text(
+        "def f(bucket=[]):  # xailint: disable=XDB007\n"
+        "    return bucket\n",
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    report = apply_fixes(_scan(tmp_path).findings, tmp_path)
+    assert report.n_rewritten == 1
+    assert target.read_text(encoding="utf-8").splitlines()[0] == (
+        "def f(bucket=[]):  # xailint: disable=XDB007 (reason: TODO)"
+    )
+
+
+def test_cli_fix_dry_run_reports_rewrites(tmp_path, monkeypatch, capsys):
+    target = tmp_path / "module.py"
+    target.write_text(REASONLESS, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert main(["--fix", "--dry-run", "module.py", "--no-cache"]) == 0
+    out = capsys.readouterr().out
+    assert "+# xailint: disable=XDB007 (reason: TODO)" in out
+    assert "would remove 0 and rewrite 1 suppression comment(s)" in out
+    assert target.read_text(encoding="utf-8") == REASONLESS
 
 
 def test_cli_dry_run_without_fix_is_a_usage_error():

@@ -1,0 +1,188 @@
+"""The pass G may-raise summaries: named types propagate bottom-up
+with witnesses, handlers subtract only what they provably catch, and
+everything unprovable collapses to the conservative ⊤ bit instead of
+a wrong 'cannot raise' claim."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from xaidb.analysis.raises import (
+    builtin_ancestors,
+    decode_entry,
+    encode_raises,
+    is_cancellation,
+    is_service_error,
+)
+from xaidb.analysis.registry import FileContext, ProjectContext
+
+
+def _summaries(source: str):
+    ctx = FileContext(
+        path=Path("module.py"),
+        relpath="module.py",
+        source=source,
+        tree=ast.parse(source),
+        in_xaidb_package=True,
+        module_name="xaidb.fx",
+    )
+    return ProjectContext(files=[ctx]).interproc().summaries
+
+
+def _named(summary):
+    return {decode_entry(e)[0] for e in summary.raises_named}
+
+
+def test_direct_raise_is_named_with_a_witness():
+    summaries = _summaries(
+        "def boom(key):\n"
+        "    raise KeyError(key)\n"
+    )
+    summary = summaries["xaidb.fx.boom"]
+    assert not summary.raises_top
+    ((type_name, witness),) = [
+        decode_entry(e) for e in summary.raises_named
+    ]
+    assert type_name == "KeyError"
+    assert witness == "xaidb.fx.boom:2"
+
+
+def test_callee_raises_flow_into_the_caller():
+    summaries = _summaries(
+        "def inner(key):\n"
+        "    raise KeyError(key)\n"
+        "def outer(key):\n"
+        "    return inner(key)\n"
+    )
+    summary = summaries["xaidb.fx.outer"]
+    assert _named(summary) == {"KeyError"}
+    # the witness points at the original raise, not the call site
+    assert decode_entry(summary.raises_named[0])[1] == "xaidb.fx.inner:2"
+
+
+def test_handler_subtracts_what_it_provably_catches():
+    summaries = _summaries(
+        "def guarded(key):\n"
+        "    try:\n"
+        "        raise KeyError(key)\n"
+        "    except KeyError:\n"
+        "        return None\n"
+    )
+    summary = summaries["xaidb.fx.guarded"]
+    assert not summary.raises_top
+    assert _named(summary) == set()
+
+
+def test_disjoint_builtin_handler_provably_misses():
+    summaries = _summaries(
+        "def mismatched(key):\n"
+        "    try:\n"
+        "        raise KeyError(key)\n"
+        "    except ValueError:\n"
+        "        return None\n"
+    )
+    assert _named(summaries["xaidb.fx.mismatched"]) == {"KeyError"}
+
+
+def test_broad_except_does_not_catch_cancellation():
+    summaries = _summaries(
+        "import asyncio\n"
+        "def cancelled():\n"
+        "    try:\n"
+        "        raise asyncio.CancelledError()\n"
+        "    except Exception:\n"
+        "        return None\n"
+    )
+    summary = summaries["xaidb.fx.cancelled"]
+    assert _named(summary) == {"asyncio.CancelledError"}
+    assert not summary.raises_top  # the broad handler clears ⊤, not this
+
+
+def test_unresolved_call_and_bare_raise_are_top():
+    summaries = _summaries(
+        "def opaque(path):\n"
+        "    return open(path).read()\n"
+        "def reraise(exc):\n"
+        "    raise\n"
+    )
+    assert summaries["xaidb.fx.opaque"].raises_top
+    assert summaries["xaidb.fx.reraise"].raises_top
+
+
+def test_finally_return_swallows_everything_in_flight():
+    summaries = _summaries(
+        "def swallowed(key):\n"
+        "    try:\n"
+        "        raise KeyError(key)\n"
+        "    finally:\n"
+        "        return None\n"
+    )
+    summary = summaries["xaidb.fx.swallowed"]
+    assert not summary.raises_top
+    assert _named(summary) == set()
+
+
+def test_corpus_exception_hierarchy_resolves_through_bases():
+    summaries = _summaries(
+        "class ServiceError(Exception):\n"
+        "    pass\n"
+        "class RefreshError(ServiceError):\n"
+        "    pass\n"
+        "def modelled(key):\n"
+        "    try:\n"
+        "        raise RefreshError(key)\n"
+        "    except ServiceError:\n"
+        "        return None\n"
+    )
+    summary = summaries["xaidb.fx.modelled"]
+    assert not summary.raises_top
+    assert _named(summary) == set()
+
+
+def test_encode_caps_named_types_into_top():
+    named = {f"Error{i}": f"m.f:{i}" for i in range(20)}
+    entries, top = encode_raises(named, False)
+    assert len(entries) == 12  # the overflow collapses into ⊤
+    assert top
+
+
+def test_encode_is_sorted_and_decodable():
+    entries, top = encode_raises(
+        {"ValueError": "m.f:3", "KeyError": "m.f:2"}, False
+    )
+    assert not top
+    assert entries == ("KeyError@m.f:2", "ValueError@m.f:3")
+    assert decode_entry(entries[0]) == ("KeyError", "m.f:2")
+
+
+def test_classification_helpers():
+    assert is_cancellation("asyncio.CancelledError")
+    assert not is_cancellation("KeyError")
+    assert "Exception" in builtin_ancestors("KeyError")
+    assert "BaseException" in builtin_ancestors("asyncio.CancelledError")
+
+
+def test_service_error_classification_uses_corpus_ancestry():
+    ctx = FileContext(
+        path=Path("module.py"),
+        relpath="module.py",
+        source=(
+            "class ServiceError(Exception):\n"
+            "    pass\n"
+            "class RefreshError(ServiceError):\n"
+            "    pass\n"
+        ),
+        tree=ast.parse(
+            "class ServiceError(Exception):\n"
+            "    pass\n"
+            "class RefreshError(ServiceError):\n"
+            "    pass\n"
+        ),
+        in_xaidb_package=True,
+        module_name="xaidb.fx",
+    )
+    graph = ProjectContext(files=[ctx]).interproc().graph
+    assert is_service_error("xaidb.fx.ServiceError", graph)
+    assert is_service_error("xaidb.fx.RefreshError", graph)
+    assert not is_service_error("KeyError", graph)

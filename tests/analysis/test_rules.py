@@ -45,6 +45,11 @@ CASES = [
     ("XDB025", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
     ("XDB026", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
     ("XDB027", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB028", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB029", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB030", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB031", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
+    ("XDB032", {"in_xaidb_package": True, "module_name": "xaidb.fx"}),
 ]
 
 
@@ -105,6 +110,11 @@ def test_dirty_fixture_finding_counts():
         "XDB025": 2,  # empty mean + ddof == sample count
         "XDB026": 2,  # predict_proba return + negative p= weights
         "XDB027": 2,  # weak-updated counts + unguarded len()
+        "XDB028": 2,  # direct predict-before-fit + via helper witness
+        "XDB029": 2,  # map after close + share-after-close via helper
+        "XDB030": 2,  # local async def + asyncio builtin, both bare
+        "XDB031": 2,  # KeyError via create_task + ValueError via ensure_future
+        "XDB032": 2,  # except Exception: pass + bare except discard
     }
     for (rule_id, kwargs) in CASES:
         findings = _lint_fixture(rule_id, "dirty", kwargs)
@@ -176,6 +186,28 @@ def test_concurrency_tier_messages_carry_witnesses():
     )
     assert "calls time.sleep() at line" in messages
     assert "model-evaluation path .fit()" in messages
+
+
+def test_typestate_tier_messages_carry_witnesses():
+    """The interprocedural XDB028/XDB029 findings name the helper and
+    the line the illegal call actually lives on; XDB031 names the raise
+    site the may-raise summary recorded."""
+    kwargs = {"in_xaidb_package": True, "module_name": "xaidb.fx"}
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB028", "dirty", kwargs)
+    )
+    assert "provably still in state 'unfitted'" in messages
+    assert "the illegal call is inside xaidb.fx._score_all:" in messages
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB029", "dirty", kwargs)
+    )
+    assert "provably already in state 'closed'" in messages
+    assert "the illegal call is inside xaidb.fx._reuse:" in messages
+    messages = " | ".join(
+        f.message for f in _lint_fixture("XDB031", "dirty", kwargs)
+    )
+    assert "raised at xaidb.fx._flaky_refresh:" in messages
+    assert "raised at xaidb.fx._flaky_evict:" in messages
 
 
 def test_xdb016_findings_cross_two_call_boundaries():

@@ -108,6 +108,45 @@ def test_corrupt_summary_entries_degrade_to_misses_not_wrong_results(
     assert _fingerprint(rescanned) == _fingerprint(cold)
 
 
+def test_typestate_findings_survive_the_cache_round_trip(tmp_path):
+    """Pass F (typestate) and pass G (may-raise) live in the cached
+    summaries: a warm scan must replay the XDB028 findings — witness
+    lines included — without recomputing anything."""
+    fixtures = Path(__file__).parent / "fixtures"
+    pkg = tmp_path / "src" / "xaidb"
+    pkg.mkdir(parents=True)
+    (pkg / "__init__.py").write_text('"""Typestate cache corpus."""\n')
+    (pkg / "lifecycle.py").write_text(
+        (fixtures / "xdb028_dirty.py").read_text(encoding="utf-8")
+    )
+    cold = _scan(tmp_path)
+    assert cold.counts_by_rule().get("XDB028") == 2
+    warm = _scan(tmp_path)
+    assert warm.stats.project_from_cache
+    assert warm.stats.summary_misses == 0
+    assert _fingerprint(warm) == _fingerprint(cold)
+    # the interprocedural witness is part of the replayed message
+    messages = " | ".join(f.message for f in warm.findings)
+    assert "the illegal call is inside xaidb.lifecycle._score_all:" in (
+        messages
+    )
+
+
+def test_cache_version_bump_invalidates_old_documents(project):
+    from xaidb.analysis.cache import CACHE_VERSION
+
+    assert CACHE_VERSION == 4  # v4 added the pass F/G summary fields
+    cache_path = project / ".xailint_cache.json"
+    cold = _scan(project)
+    document = json.loads(cache_path.read_text())
+    document["version"] = CACHE_VERSION - 1
+    cache_path.write_text(json.dumps(document))
+    rescan = _scan(project)
+    assert not rescan.stats.project_from_cache
+    assert rescan.stats.summary_hits == 0  # pre-bump summaries dropped
+    assert _fingerprint(rescan) == _fingerprint(cold)
+
+
 def test_stale_summary_keys_are_pruned_after_edits(project):
     cache_path = project / ".xailint_cache.json"
     _scan(project)

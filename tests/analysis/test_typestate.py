@@ -1,0 +1,213 @@
+"""The pass F typestate machinery: the label-set lattice obeys the
+laws the fixpoint solver assumes (property-tested with hypothesis),
+structural protocol matching finds exactly the lifecycle classes, and
+the per-function facts stay silent the moment a proof has a hole
+(may-join, escape)."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from xaidb.analysis.registry import FileContext, ProjectContext
+from xaidb.analysis.typestate import (
+    ESCAPED,
+    PROTOCOL_BY_NAME,
+    PROTOCOLS,
+    join_states,
+    parse_label,
+    protocol_index,
+    state_label,
+    step_label,
+    step_states,
+)
+
+# ---------------------------------------------------------------------------
+# lattice laws
+# ---------------------------------------------------------------------------
+
+_ALL_LABELS = sorted(
+    state_label(proto.name, s_in, s_cur)
+    for proto in PROTOCOLS
+    for s_in in proto.states
+    for s_cur in (*proto.states, ESCAPED)
+)
+_ALL_METHODS = sorted(
+    {method for proto in PROTOCOLS for method in proto.alphabet}
+    | {"unknown_method", "tolist"}
+)
+
+labels = st.frozensets(st.sampled_from(_ALL_LABELS), max_size=8)
+methods = st.sampled_from(_ALL_METHODS)
+
+
+@settings(max_examples=300)
+@given(a=labels, b=labels)
+def test_join_is_commutative(a, b):
+    assert join_states(a, b) == join_states(b, a)
+
+
+@settings(max_examples=300)
+@given(a=labels, b=labels, c=labels)
+def test_join_is_associative(a, b, c):
+    assert join_states(join_states(a, b), c) == join_states(
+        a, join_states(b, c)
+    )
+
+
+@settings(max_examples=300)
+@given(a=labels)
+def test_join_is_idempotent(a):
+    assert join_states(a, a) == a
+
+
+@settings(max_examples=300)
+@given(a=labels, b=labels, method=methods)
+def test_transfer_is_monotone(a, b, method):
+    """a ⊆ b implies step(a) ⊆ step(b) — the precondition for the
+    fixpoint solver to terminate on the right answer."""
+    small, large = a, join_states(a, b)
+    assert step_states(small, method) <= step_states(large, method)
+
+
+@settings(max_examples=300)
+@given(a=labels, b=labels, method=methods)
+def test_transfer_distributes_over_join(a, b, method):
+    """The transfer is a join-morphism, so solving with merged inputs
+    equals merging the solved outputs (no precision lost at joins)."""
+    assert step_states(join_states(a, b), method) == join_states(
+        step_states(a, method), step_states(b, method)
+    )
+
+
+@settings(max_examples=300)
+@given(label=st.sampled_from(_ALL_LABELS), method=methods)
+def test_step_refutes_escapes_or_stays_in_the_protocol(label, method):
+    proto_name, s_in, s_cur = parse_label(label)
+    proto = PROTOCOL_BY_NAME[proto_name]
+    stepped = step_label(label, method)
+    if s_cur == ESCAPED:
+        assert stepped == label  # escape is absorbing
+    elif method not in proto.alphabet:
+        assert stepped is None  # out-of-alphabet call refutes
+    else:
+        out_proto, out_in, out_cur = parse_label(stepped)
+        assert (out_proto, out_in) == (proto_name, s_in)
+        assert out_cur in proto.states
+
+
+def test_step_follows_the_transition_table_or_self_loops():
+    fit = step_label(state_label("estimator", "unfitted", "unfitted"), "fit")
+    assert fit == state_label("estimator", "unfitted", "fitted")
+    # predict has no transition entry: the automaton self-loops
+    stay = step_label(
+        state_label("estimator", "unfitted", "unfitted"), "predict"
+    )
+    assert stay == state_label("estimator", "unfitted", "unfitted")
+
+
+# ---------------------------------------------------------------------------
+# structural matching + proof holes
+# ---------------------------------------------------------------------------
+
+
+def _interproc(source: str):
+    ctx = FileContext(
+        path=Path("module.py"),
+        relpath="module.py",
+        source=source,
+        tree=ast.parse(source),
+        in_xaidb_package=True,
+        module_name="xaidb.fx",
+    )
+    return ProjectContext(files=[ctx]).interproc()
+
+
+_POOLISH = '''
+class Pool:
+    def map(self, fn, chunks):
+        return [fn(c) for c in chunks]
+    def share(self, a):
+        return a
+    def close(self):
+        pass
+
+class NotAPool:
+    def map(self, fn, chunks):
+        return [fn(c) for c in chunks]
+'''
+
+
+def test_protocol_index_matches_structurally():
+    index = protocol_index(_interproc(_POOLISH).graph)
+    matched = index.protocols_for_class("xaidb.fx.Pool")
+    assert [p.name for p in matched] == ["pool"]
+    # close() is required: map alone is any container type
+    assert not index.protocols_for_class("xaidb.fx.NotAPool")
+
+
+def test_protocol_index_sees_inherited_methods():
+    source = _POOLISH + (
+        "class SubPool(Pool):\n"
+        "    def warm(self):\n"
+        "        return 1\n"
+    )
+    index = protocol_index(_interproc(source).graph)
+    matched = index.protocols_for_class("xaidb.fx.SubPool")
+    assert [p.name for p in matched] == ["pool"]
+
+
+_ESTIMATOR = '''
+class Model:
+    def fit(self, X, y):
+        return self
+    def predict(self, X):
+        return X
+'''
+
+
+def _violations(source: str, qualname: str):
+    interproc = _interproc(_ESTIMATOR + source)
+    cfg, problem, in_states = interproc.solution("typestate", qualname)
+    return problem.facts(cfg, in_states).violations
+
+
+def test_may_join_keeps_the_rule_silent():
+    # one branch fits: the use is not provably-unfitted any more
+    violations = _violations(
+        "def maybe(X, y, flag):\n"
+        "    model = Model()\n"
+        "    if flag:\n"
+        "        model.fit(X, y)\n"
+        "    return model.predict(X)\n",
+        "xaidb.fx.maybe",
+    )
+    assert violations == []
+
+
+def test_escape_poisons_the_proof():
+    # the object reaches unknown code that may fit it for us
+    violations = _violations(
+        "def escaped(X, register):\n"
+        "    model = Model()\n"
+        "    register(model)\n"
+        "    return model.predict(X)\n",
+        "xaidb.fx.escaped",
+    )
+    assert violations == []
+
+
+def test_straight_line_misuse_is_provable():
+    violations = _violations(
+        "def broken(X):\n"
+        "    model = Model()\n"
+        "    return model.predict(X)\n",
+        "xaidb.fx.broken",
+    )
+    assert [(v.kind, v.method) for v in violations] == [
+        ("before", "predict")
+    ]
+    assert violations[0].states == ("unfitted",)

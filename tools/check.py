@@ -27,7 +27,13 @@ Runs, in order, stopping at the first failure:
    ``XAIDB_A13_SMOKE``) — proves a warm (summary-cached) scan is
    finding-for-finding identical to a cold one and that the interval
    pass really is skipped, so a cache-keying bug in the numeric tier
-   cannot change verdicts silently.
+   cannot change verdicts silently;
+7. a smoke run of the A14 typestate-lint benchmark
+   (``benchmarks/bench_a14_typestate_lint.py``, reduced scan set via
+   ``XAIDB_A14_SMOKE``) — the same warm≡cold identity for the
+   typestate (pass F) and may-raise (pass G) summaries, so the
+   XDB028-XDB032 tier replays from cache without losing its
+   interprocedural witnesses.
 
 Usage::
 
@@ -171,6 +177,18 @@ STEPS: list[tuple[str, list[str]]] = [
             str(REPO_ROOT / "benchmarks" / "bench_a13_numeric_lint.py"),
         ],
     ),
+    (
+        "A14 typestate-lint smoke",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            str(REPO_ROOT / "benchmarks" / "bench_a14_typestate_lint.py"),
+        ],
+    ),
 ]
 
 #: The A10 smoke shrinks the workload (the >= 10x bar applies at the
@@ -185,6 +203,10 @@ _ENV.setdefault("XAIDB_A12_SMOKE", "1")
 #: The A13 smoke scans only the linter's own sources and skips the
 #: BENCH_lint.json write (the committed record reflects full runs).
 _ENV.setdefault("XAIDB_A13_SMOKE", "1")
+
+#: The A14 smoke scans the protocol-dense modules (service, runtime,
+#: analysis) and likewise skips the BENCH_lint.json write.
+_ENV.setdefault("XAIDB_A14_SMOKE", "1")
 
 
 def main(argv: list[str] | None = None) -> int:
