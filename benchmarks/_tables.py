@@ -4,11 +4,38 @@ Every ``bench_eXX`` module computes the rows of the table/figure it
 reproduces, prints them in a uniform format (so ``pytest benchmarks/
 --benchmark-only -s`` regenerates the report), and asserts the
 qualitative *shape* documented in EXPERIMENTS.md.
+
+:func:`merge_bench_record` is the shared writer for the machine-readable
+baseline artifacts (``BENCH_inference.json``): each benchmark owns one
+top-level key and merges into the file instead of overwriting it, so
+A10's inference rows and A15's explainer rows coexist.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 from typing import Any, Sequence
+
+
+def merge_bench_record(path: Path, key: str, record: dict) -> None:
+    """Write ``record`` under ``key`` in the JSON file at ``path``,
+    preserving every other benchmark's key.
+
+    A legacy file holding one benchmark's record at top level (the
+    pre-A15 ``BENCH_inference.json`` shape: ``workloads`` with no
+    namespace) is migrated under ``"a10_inference"`` first.
+    """
+    data: dict = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    if "workloads" in data:  # legacy single-record layout
+        data = {"a10_inference": data}
+    data[key] = record
+    path.write_text(json.dumps(data, indent=2) + "\n")
 
 
 def print_table(

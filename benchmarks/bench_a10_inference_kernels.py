@@ -24,14 +24,13 @@ smoke uses a smaller workload; the >= 10x bar applies at >= 10^4 rows,
 the smoke asserts a looser >= 4x).
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 import numpy as np
 
-from benchmarks._tables import print_table
+from benchmarks._tables import merge_bench_record, print_table
 from xaidb.explainers.shapley import KernelShapExplainer
 from xaidb.models import (
     DecisionTreeRegressor,
@@ -168,7 +167,7 @@ def compute_rows():
         }
     if N_ROWS >= 10_000:  # smoke runs must not overwrite the baseline
         out_path = Path(__file__).resolve().parent / "BENCH_inference.json"
-        out_path.write_text(json.dumps(record, indent=2) + "\n")
+        merge_bench_record(out_path, "a10_inference", record)
     return rows, record
 
 

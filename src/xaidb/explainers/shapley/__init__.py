@@ -9,6 +9,9 @@ estimators differ in how they traverse coalitions:
 - :mod:`kernel` — KernelSHAP's weighted-least-squares regression;
 - :mod:`tree` — TreeSHAP's polynomial-time recursion for tree ensembles,
   plus the interventional (background-set) variant;
+- :mod:`tree_shap_kernels` — the arena-wide vectorized TreeSHAP kernels
+  behind :meth:`TreeShapExplainer.explain_batch` (all rows × all trees,
+  bitwise identical to the retained recursion);
 - :mod:`qii` — Quantitative Input Influence set-based measures;
 - :mod:`causal` — asymmetric and causal Shapley values on an SCM;
 - :mod:`flow` — Shapley flow's edge-based credit assignment.
@@ -50,6 +53,10 @@ from xaidb.explainers.shapley.tree import (
     interventional_tree_shap,
     tree_expected_value,
 )
+from xaidb.explainers.shapley.tree_shap_kernels import (
+    ensemble_interventional_shap,
+    ensemble_path_dependent_shap,
+)
 
 __all__ = [
     "Game",
@@ -63,6 +70,8 @@ __all__ = [
     "TreeShapExplainer",
     "interventional_tree_shap",
     "tree_expected_value",
+    "ensemble_path_dependent_shap",
+    "ensemble_interventional_shap",
     "QIIExplainer",
     "AsymmetricShapleyExplainer",
     "CausalShapleyExplainer",

@@ -23,6 +23,7 @@ import numpy as np
 from xaidb.db.provenance import Provenance
 from xaidb.db.sql_shapley import BooleanQueryGame
 from xaidb.exceptions import ValidationError
+from xaidb.explainers.shapley.coalitions import sample_uniform_masks
 from xaidb.explainers.shapley.games import CachedGame, Game
 from xaidb.utils.rng import RandomState, check_random_state
 
@@ -70,14 +71,30 @@ def banzhaf_values_sampled(
     rng = check_random_state(random_state)
     cached = game if isinstance(game, CachedGame) else CachedGame(game)
     n = game.n_players
-    samples = np.zeros((n_samples, n))
-    for s in range(n_samples):
-        mask = rng.random(n) < 0.5
-        for player in range(n):
-            coalition = [p for p in range(n) if mask[p] and p != player]
-            samples[s, player] = cached.value(
-                coalition + [player]
-            ) - cached.value(coalition)
+    # One block draw replays the historical per-sample coin flips
+    # bit-for-bit; the with/without coalitions for every (sample,
+    # player) pair then come from mask-matrix arithmetic instead of
+    # O(n_samples * n^2) Python list scans.
+    masks = sample_uniform_masks(rng, n_samples, n)
+    eye = np.eye(n, dtype=bool)
+    with_player = (masks[:, None, :] | eye[None, :, :]).reshape(-1, n)
+    without_player = (masks[:, None, :] & ~eye[None, :, :]).reshape(-1, n)
+    stacked = np.concatenate([with_player, without_player])
+    # The game is evaluated once per *distinct* coalition — the sampled
+    # masks repeat heavily (mask ∪ {p} == mask whenever p is already
+    # in, and complements collide across samples) — and each value is
+    # produced by the same ``cached.value`` call the scalar loop made,
+    # so every matrix entry is bitwise the historical one.
+    packed = np.packbits(stacked, axis=1)
+    __, first, inverse = np.unique(
+        packed, axis=0, return_index=True, return_inverse=True
+    )
+    unique_values = np.asarray(
+        [cached.value(np.flatnonzero(stacked[row])) for row in first]
+    )
+    scores = unique_values[np.asarray(inverse).ravel()]
+    split = n_samples * n
+    samples = (scores[:split] - scores[split:]).reshape(n_samples, n)
     values = samples.mean(axis=0)
     if n_samples > 1:
         errors = samples.std(axis=0, ddof=1) / np.sqrt(n_samples)

@@ -45,12 +45,21 @@ def shap_matrix(explain_fn: ExplainFn, X: np.ndarray) -> np.ndarray:
     ``explain_batch`` attribute (``X -> sequence of FeatureAttribution``),
     in which case the whole dataset goes through that one call so the
     explainer can amortise its setup (warm worker pool, shared-memory
-    instance batch) across rows.  Adapters around
-    :meth:`xaidb.explainers.lime.LimeExplainer.explain_batch` are the
-    canonical provider.
+    instance batch, arena-wide TreeSHAP kernels) across rows.  Adapters
+    around :meth:`xaidb.explainers.lime.LimeExplainer.explain_batch` are
+    the canonical provider; passing a bound ``explainer.explain`` method
+    also works — the batch entry point is resolved from the owning
+    explainer, and every batch implementation in the repo is bitwise
+    identical to its per-row path, so the routing never changes results.
     """
     X = check_array(X, name="X", ndim=2)
     batch_fn = getattr(explain_fn, "explain_batch", None)
+    if not callable(batch_fn) and getattr(explain_fn, "__name__", "") == "explain":
+        # a bound ``explainer.explain``: look up the batch path on the
+        # explainer itself
+        batch_fn = getattr(
+            getattr(explain_fn, "__self__", None), "explain_batch", None
+        )
     if callable(batch_fn):
         explanations = batch_fn(X)
         return np.vstack([e.values for e in explanations])

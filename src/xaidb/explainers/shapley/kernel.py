@@ -18,17 +18,17 @@ the kernel distribution.
 
 from __future__ import annotations
 
-from itertools import combinations
-from math import comb
-
 import numpy as np
 
 from xaidb.exceptions import ValidationError
 from xaidb.explainers.base import Explainer, FeatureAttribution, PredictFn
+from xaidb.explainers.shapley.coalitions import (
+    _sampled_design,
+    kernel_shap_design,
+)
 from xaidb.explainers.shapley.games import MarginalImputationGame
 from xaidb.runtime import EvalStats, GameRuntime, RuntimeConfig
-from xaidb.utils.combinatorics import shapley_kernel_weight
-from xaidb.utils.linalg import solve_psd
+from xaidb.utils.linalg import solve_psd, solve_psd_stacked
 from xaidb.utils.rng import RandomState, check_random_state, spawn_seeds
 from xaidb.utils.validation import check_array
 
@@ -150,16 +150,120 @@ class KernelShapExplainer(Explainer):
         random_state: RandomState = None,
         seeds: list[int | None] | None = None,
     ) -> list[FeatureAttribution]:
-        """Explain many instances in one call — the serving dispatcher's
-        batch entry point.
+        """Explain many instances in one *stacked* pass — the serving
+        dispatcher's batch entry point.
 
-        Each instance gets its own fresh game and runtime (the
-        marginal-imputation game is per-instance, so coalition caches
-        cannot be shared across rows), seeded per instance, which makes
-        every attribution **bitwise identical** to the serial
-        ``explain(instance, random_state=seed)`` path.  All runtimes
-        write into one shared :attr:`batch_stats_` ledger; per-call
-        deltas in each attribution's metadata stay exact because
+        Instead of running one full KernelSHAP pipeline per row (the
+        retained :meth:`explain_batch_serial` path), the batch shares
+        everything that is shareable while staying **bitwise identical**
+        to ``explain(instance, random_state=seed)`` per instance:
+
+        - coalition designs come from the shared read-only arena — one
+          design for the whole batch in the exhaustive regime, one per
+          distinct seed otherwise;
+        - the base value ``v(∅)`` (instance-independent: the mean
+          background prediction) is evaluated once, not per row;
+        - per-instance runtime scaffolding is dropped: no coalition
+          cache to hash every mask into, no per-call ledger snapshots —
+          the designs are duplicate-free, so the cache can never hit
+          within one explanation anyway;
+        - the per-instance WLS solves stack onto one shared
+          design/Gram/Cholesky factorization per distinct mask set,
+          substituting column by column
+          (:func:`~xaidb.utils.linalg.solve_psd_stacked`) so each
+          column replays the single-instance ``solve_psd`` exactly.
+
+        Model evaluations deliberately keep the *serial call shapes*:
+        each instance's hybrid matrices go through its own
+        :class:`~xaidb.explainers.shapley.games.MarginalImputationGame`
+        with the same ``max_batch_rows`` chunking the runtime would
+        use, so every ``predict_fn`` call receives a bitwise-equal
+        input array of the same shape as in the serial path.  That is
+        what makes the identity unconditional: coalescing rows *across*
+        instances would change call shapes, and BLAS-backed predictors
+        (``X @ w``) are not bitwise row-stable across shapes.
+
+        All model evaluations land in the shared :attr:`batch_stats_`
+        ledger.  Per-instance metadata carries the design shape
+        (``method``/``n_coalitions``/``exhaustive``) plus
+        ``"stacked": True``; the per-call eval-ledger deltas of the
+        serial path are not separable once the base evaluation is
+        shared.
+        """
+        instances = check_array(instances, name="instances", ndim=2)
+        n, d = instances.shape
+        if d < 2:
+            raise ValidationError("KernelSHAP needs at least 2 features")
+        if seeds is None:
+            seeds = spawn_seeds(random_state, n)
+        elif len(seeds) != n:
+            raise ValidationError(
+                f"got {len(seeds)} seeds for {n} instances"
+            )
+        stats = EvalStats()
+        self.batch_stats_ = stats
+        predict = stats.wrap_predict_fn(self.predict_fn)
+        background = self.background
+        with stats.timer():
+            designs = [
+                self._coalition_design(d, seeds[i]) for i in range(n)
+            ]
+            games = [
+                MarginalImputationGame(predict, instances[i], background)
+                for i in range(n)
+            ]
+            # v(∅) is the mean background prediction — one evaluation
+            # serves every instance (each serial call scores a
+            # bitwise-equal background copy, so the value is identical).
+            base_value = games[0].value(())
+            full_values = np.asarray(
+                [game.value(range(d)) for game in games]
+            )
+            coalition_values = [
+                games[i].values_batch(
+                    designs[i][0],
+                    max_batch_rows=self.config.max_batch_rows,
+                )
+                for i in range(n)
+            ]
+            # base (once) + full (per instance) + every design mask
+            stats.n_coalition_evals += 1 + n + sum(
+                masks.shape[0] for masks, _ in designs
+            )
+            phis = self._solve_stacked(
+                designs, coalition_values, base_value, full_values
+            )
+        names = self.feature_names or [f"x{i}" for i in range(d)]
+        exhaustive = (2**d - 2) <= self.n_coalitions
+        return [
+            FeatureAttribution(
+                feature_names=list(names),
+                values=phis[i],
+                base_value=base_value,
+                prediction=float(full_values[i]),
+                metadata={
+                    "method": "kernel_shap",
+                    "n_coalitions": int(designs[i][0].shape[0]),
+                    "exhaustive": exhaustive,
+                    "stacked": True,
+                },
+            )
+            for i in range(n)
+        ]
+
+    def explain_batch_serial(
+        self,
+        instances: np.ndarray,
+        *,
+        random_state: RandomState = None,
+        seeds: list[int | None] | None = None,
+    ) -> list[FeatureAttribution]:
+        """The retained per-instance batch path: one fresh game, runtime
+        and WLS solve per row, seeded per instance — the exactness
+        oracle the stacked :meth:`explain_batch` is tested against (and
+        the "before" measurement of benchmark A15).  All runtimes write
+        into one shared :attr:`batch_stats_` ledger; per-call deltas in
+        each attribution's metadata stay exact because
         :meth:`EvalStats.since` snapshots are taken inside
         :meth:`explain`.
         """
@@ -184,58 +288,66 @@ class KernelShapExplainer(Explainer):
         ]
 
     # ------------------------------------------------------------------
+    def _solve_stacked(
+        self,
+        designs: list[tuple[np.ndarray, np.ndarray]],
+        coalition_values: list[np.ndarray],
+        base_value: float,
+        full_values: np.ndarray,
+    ) -> np.ndarray:
+        """One constrained WLS per instance, sharing the design matrix,
+        Gram matrix and Cholesky factorization across every instance
+        with the same mask set (the arena returns identical objects for
+        identical designs), substituting per column so each solution is
+        bitwise the single-instance :meth:`_solve`."""
+        n = len(designs)
+        d = designs[0][0].shape[1]
+        groups: dict[int, tuple[np.ndarray, np.ndarray, list[int]]] = {}
+        for i, (masks, weights) in enumerate(designs):
+            groups.setdefault(id(masks), (masks, weights, []))[2].append(i)
+        phis = np.empty((n, d))
+        for masks, weights, members in groups.values():
+            Z = masks.astype(float)
+            design = Z[:, :-1] - Z[:, -1][:, None]
+            weighted = design * weights[:, None]
+            gram = weighted.T @ design + self.l2 * np.eye(d - 1)
+            rhs = np.empty((d - 1, len(members)))
+            deltas = np.empty(len(members))
+            for column, i in enumerate(members):
+                delta = full_values[i] - base_value
+                target = coalition_values[i] - base_value - Z[:, -1] * delta
+                # per-column matvec: the multi-RHS gemm is not bitwise
+                # column-equivalent to the serial dgemv
+                rhs[:, column] = weighted.T @ target
+                deltas[column] = delta
+            heads = solve_psd_stacked(gram, rhs)
+            for column, i in enumerate(members):
+                head = heads[:, column].copy()
+                phis[i, :-1] = head
+                phis[i, -1] = deltas[column] - head.sum()
+        return phis
+
+    # ------------------------------------------------------------------
     def _coalition_design(
         self, d: int, random_state: RandomState
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Return coalition masks and their regression weights."""
-        total_nontrivial = 2**d - 2
-        if total_nontrivial <= self.n_coalitions:
-            masks = []
-            weights = []
-            for size in range(1, d):
-                kernel = shapley_kernel_weight(size, d)
-                for subset in combinations(range(d), size):
-                    mask = np.zeros(d, dtype=bool)
-                    mask[list(subset)] = True
-                    masks.append(mask)
-                    weights.append(kernel)
-            return np.asarray(masks), np.asarray(weights)
-        return self._sample_coalitions(d, random_state)
+        """Coalition masks and regression weights, from the shared
+        read-only design arena (:mod:`~xaidb.explainers.shapley.
+        coalitions`): exhaustive designs and integer-seeded samples are
+        built once per ``(d, budget, seed)`` and reused across calls,
+        instances and dispatch batches."""
+        return kernel_shap_design(d, self.n_coalitions, random_state)
 
     def _sample_coalitions(
         self, d: int, random_state: RandomState
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Size-stratified paired sampling from the kernel distribution.
-
-        Sizes are drawn with probability proportional to the *total*
-        kernel mass of that size (kernel weight x number of coalitions of
-        that size); each sampled mask is paired with its complement.  Once
-        sampled this way, every coalition enters the regression with unit
-        weight (the kernel is already accounted for by the sampling
-        distribution).
-
-        Duplicate draws are *aggregated*: a mask sampled ``k`` times
-        enters the regression once with weight ``k``.  This matches the
-        sampling distribution exactly (the WLS normal equations are
-        identical to ``k`` unit-weight copies) while letting the runtime
-        cache dedupe cleanly — the seed behaviour, which kept duplicates
-        as independent unit-weight rows, silently re-evaluated them.
-        """
-        rng = check_random_state(random_state)
-        sizes = np.arange(1, d)
-        mass = np.asarray(
-            [shapley_kernel_weight(int(s), d) * comb(d, int(s)) for s in sizes]
+        """Force the size-stratified paired sampler (see
+        :func:`~xaidb.explainers.shapley.coalitions.kernel_shap_design`
+        for the sampling scheme and duplicate aggregation), bypassing
+        both the exhaustive branch and the arena cache."""
+        return _sampled_design(
+            d, self.n_coalitions, check_random_state(random_state)
         )
-        probabilities = mass / mass.sum()
-        n_pairs = self.n_coalitions // 2
-        masks = np.zeros((2 * n_pairs, d), dtype=bool)
-        drawn_sizes = rng.choice(sizes, size=n_pairs, p=probabilities)
-        for pair, size in enumerate(drawn_sizes):
-            chosen = rng.choice(d, size=int(size), replace=False)
-            masks[2 * pair, chosen] = True
-            masks[2 * pair + 1] = ~masks[2 * pair]
-        unique_masks, counts = np.unique(masks, axis=0, return_counts=True)
-        return unique_masks, counts.astype(float)
 
     def _solve(
         self,

@@ -31,6 +31,7 @@ from xaidb.explainers.base import Explainer, FeatureAttribution
 from xaidb.models.forest import RandomForestClassifier, RandomForestRegressor
 from xaidb.models.gbm import GradientBoostedClassifier, GradientBoostedRegressor
 from xaidb.models.tree import DecisionTreeClassifier, DecisionTreeRegressor, TreeStructure
+from xaidb.models.tree_kernels import EnsembleKernel
 from xaidb.utils.validation import check_array
 
 __all__ = [
@@ -157,9 +158,7 @@ def path_dependent_tree_shap(
         split = int(tree.feature[node])
         left = int(tree.children_left[node])
         right = int(tree.children_right[node])
-        hot, cold = (
-            (left, right) if x[split] <= tree.threshold[node] else (right, left)
-        )
+        go_left = x[split] <= tree.threshold[node]
         incoming_zero = incoming_one = 1.0
         existing = next(
             (i for i in range(1, len(path)) if path[i].feature == split), None
@@ -168,10 +167,26 @@ def path_dependent_tree_shap(
             incoming_zero = path[existing].zero_fraction
             incoming_one = path[existing].one_fraction
             path = _unwind(path, existing)
+        # Children are visited left-then-right (not hot-then-cold): the
+        # DFS leaf order is then a property of the tree alone, which is
+        # what lets tree_shap_kernels vectorize the traversal across
+        # rows.  Only the accumulation order of phi changes (last-ulp);
+        # every leaf's contribution is identical either way.
+        hot_one = incoming_one
         recurse(
-            hot, path, incoming_zero * cover[hot] / cover[node], incoming_one, split
+            left,
+            path,
+            incoming_zero * cover[left] / cover[node],
+            hot_one if go_left else 0.0,
+            split,
         )
-        recurse(cold, path, incoming_zero * cover[cold] / cover[node], 0.0, split)
+        recurse(
+            right,
+            path,
+            incoming_zero * cover[right] / cover[node],
+            0.0 if go_left else hot_one,
+            split,
+        )
 
     recurse(0, [], 1.0, 1.0, -1)
     return phi
@@ -227,10 +242,21 @@ def _interventional_single(
         elif choice == "z":
             recurse(z_child, need_x, need_z, assigned)
         else:
-            assigned[feature] = "x"
-            recurse(x_child, need_x + [feature], need_z, assigned)
-            assigned[feature] = "z"
-            recurse(z_child, need_x, need_z + [feature], assigned)
+            # Divergent children are explored left-then-right (not
+            # x-then-z) so the leaf visit order is a property of the
+            # tree alone — the contract the vectorized kernel in
+            # tree_shap_kernels relies on.  Contribution values are
+            # unchanged; only their accumulation order moves (last-ulp).
+            if x_child == left:
+                assigned[feature] = "x"
+                recurse(left, need_x + [feature], need_z, assigned)
+                assigned[feature] = "z"
+                recurse(right, need_x, need_z + [feature], assigned)
+            else:
+                assigned[feature] = "z"
+                recurse(left, need_x, need_z + [feature], assigned)
+                assigned[feature] = "x"
+                recurse(right, need_x + [feature], need_z, assigned)
             del assigned[feature]
 
     recurse(0, [], [], {})
@@ -247,8 +273,14 @@ def interventional_tree_shap(
     x = check_array(x, name="x", ndim=1)
     background = check_array(background, name="background", ndim=2)
     phi = np.zeros(x.shape[0])
+    # One fresh phi per background row, folded in sequentially: the
+    # per-row partials are then well-defined quantities the vectorized
+    # kernel (tree_shap_kernels.ensemble_interventional_shap) can
+    # reproduce row-for-row before summing in the same order.
     for z in background:
-        _interventional_single(tree, leaf_values, x, z, phi)
+        phi_z = np.zeros(x.shape[0])
+        _interventional_single(tree, leaf_values, x, z, phi_z)
+        phi += phi_z
     return phi / background.shape[0]
 
 
@@ -296,6 +328,15 @@ class TreeShapExplainer(Explainer):
         self.class_index = class_index
         self.terms_, self.offset_, self.description_ = self._decompose(model)
         self._model = model
+        self._pack_cache: "EnsembleKernel | None" = None
+
+    @property
+    def pack_(self) -> "EnsembleKernel":
+        """The term decomposition packed into one node arena (lazily
+        built, cached — tree structures are immutable once fitted)."""
+        if self._pack_cache is None:
+            self._pack_cache = EnsembleKernel.for_terms(self.terms_)
+        return self._pack_cache
 
     # ------------------------------------------------------------------
     def _decompose(self, model) -> tuple[list[_TreeTerm], float, str]:
@@ -385,22 +426,79 @@ class TreeShapExplainer(Explainer):
             },
         )
 
+    def explain_batch(
+        self,
+        instances: np.ndarray,
+        *,
+        seeds: "np.ndarray | list[int] | None" = None,
+    ) -> list[FeatureAttribution]:
+        """Path-dependent TreeSHAP for a whole batch of rows at once.
+
+        Runs the arena-wide vectorized kernel
+        (:func:`~xaidb.explainers.shapley.tree_shap_kernels.ensemble_path_dependent_shap`)
+        over the packed term decomposition; each row's attribution is
+        bitwise identical to :meth:`explain` (the retained recursion is
+        the exactness oracle, enforced in the test-suite).
+
+        ``seeds`` is accepted for interface parity with the sampled
+        explainers' batched entry points (the service dispatcher threads
+        per-instance seeds uniformly) and ignored — TreeSHAP is
+        deterministic.
+        """
+        from xaidb.explainers.shapley.tree_shap_kernels import (
+            ensemble_path_dependent_shap,
+        )
+
+        del seeds  # deterministic: nothing to seed
+        instances = check_array(instances, name="instances", ndim=2)
+        n_features = instances.shape[1]
+        pack = self.pack_
+        phi = ensemble_path_dependent_shap(pack, instances, n_features)
+        base = self.expected_value()
+        leaves = pack.apply(instances)
+        predictions = np.full(instances.shape[0], self.offset_, dtype=float)
+        for t, (_, _, scale) in enumerate(self.terms_):
+            predictions += scale * pack.values[leaves[t]]
+        names = self.feature_names or [f"x{i}" for i in range(n_features)]
+        return [
+            FeatureAttribution(
+                feature_names=list(names),
+                values=phi[i],
+                base_value=base,
+                prediction=float(predictions[i]),
+                metadata={
+                    "method": "tree_shap_path_dependent",
+                    "output": self.description_,
+                    "n_trees": len(self.terms_),
+                    "batched": True,
+                },
+            )
+            for i in range(instances.shape[0])
+        ]
+
     def explain_interventional(
         self, instance: np.ndarray, background: np.ndarray
     ) -> FeatureAttribution:
-        """Interventional TreeSHAP against an explicit background set."""
+        """Interventional TreeSHAP against an explicit background set.
+
+        Routed through the vectorized kernel
+        (:func:`~xaidb.explainers.shapley.tree_shap_kernels.ensemble_interventional_shap`),
+        which evaluates every leaf's AND-game against the whole
+        background at once; the retained per-row recursion
+        (:func:`interventional_tree_shap`) is the exactness oracle.
+        """
+        from xaidb.explainers.shapley.tree_shap_kernels import (
+            ensemble_interventional_shap,
+        )
+
         instance = check_array(instance, name="instance", ndim=1)
         background = check_array(background, name="background", ndim=2)
-        phi = np.zeros(instance.shape[0])
-        for tree, leaf_values, scale in self.terms_:
-            phi += scale * interventional_tree_shap(
-                tree, leaf_values, instance, background
-            )
+        pack = self.pack_
+        phi = ensemble_interventional_shap(pack, instance, background)
         base = self.offset_
-        for tree, leaf_values, scale in self.terms_:
-            base += scale * float(
-                np.mean([leaf_values[tree.apply_row(z)] for z in background])
-            )
+        leaves = pack.apply(background)
+        for t, (_, _, scale) in enumerate(self.terms_):
+            base += scale * float(np.mean(pack.values[leaves[t]]))
         names = self.feature_names or [f"x{i}" for i in range(len(instance))]
         return FeatureAttribution(
             feature_names=list(names),

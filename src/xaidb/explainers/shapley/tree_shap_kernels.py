@@ -1,0 +1,382 @@
+"""Vectorized TreeSHAP kernels over the packed ``EnsembleKernel`` arena.
+
+The second wave of the PR-5 pattern: PR 5 vectorized *inference* (one
+level-synchronous frontier instead of a Python ``while`` per row); this
+module vectorizes the *explainers* themselves.  The retained recursions
+in :mod:`xaidb.explainers.shapley.tree` stay the exactness oracle — the
+kernels here must reproduce them bitwise (``np.array_equal``; signs of
+exact zeros may differ where the vectorized form adds a masked ``0.0``
+the recursion skips).
+
+**Path-dependent** (:func:`ensemble_path_dependent_shap`).  The
+Lundberg Algorithm-2 recursion keeps, per tree node, a *path* of
+``(feature, zero_fraction, one_fraction, weight)`` entries and runs
+EXTEND/UNWIND polynomial updates on it.  The key structural facts that
+make it vectorizable across rows:
+
+- the DFS itself visits **every** node for **every** row (absent
+  features descend both children), so there is no per-row control flow
+  to emulate — after normalizing the recursion to visit children
+  left-then-right, the node/leaf order is a property of the tree alone;
+- ``feature`` and ``zero_fraction`` (products of training-cover
+  ratios) are row-independent scalars;
+- ``one_fraction`` is exactly ``0.0`` or ``1.0`` per row (whether the
+  row follows the split), and ``weight`` is the only genuinely
+  row-valued state.
+
+So the explicit iterative DFS here carries the path as a tuple of
+scalars plus two ``(path_len, n_rows)`` ndarrays, and each EXTEND /
+UNWIND step is the recursion's scalar update replayed as one row-wise
+vector operation **in the same expression order** — which is what makes
+the result bitwise identical rather than merely close.
+
+**Interventional** (:func:`ensemble_interventional_shap`).  For one
+``(x, z)`` pair each leaf is an AND-game over the features where ``x``
+and ``z`` diverge on the leaf's path, with closed-form Shapley values
+``±(a-1)! b! / (a+b)!``.  The kernel enumerates each tree's leaf paths
+once (row-independent), then evaluates every leaf against the whole
+background set at once: per-feature match masks, coalition sizes
+``a``/``b`` by row-wise popcount, and factorial weights from an exact
+precomputed table.  The retained recursion (normalized to the same
+left-first leaf order, accumulating one fresh ``phi_z`` per background
+row) is again the oracle.
+
+Both kernels fold trees sequentially in term order, exactly like the
+per-term Python loops they replace.
+"""
+
+from __future__ import annotations
+
+from math import factorial
+
+import numpy as np
+
+from xaidb.models.tree_kernels import EnsembleKernel
+from xaidb.utils.validation import check_array
+
+__all__ = [
+    "ensemble_path_dependent_shap",
+    "ensemble_interventional_shap",
+]
+
+#: Rows processed per arena sweep.  Chunking is bitwise-safe (every
+#: row's op sequence is independent) and bounds the ``(path_len,
+#: n_rows)`` stack state plus the ``(n_nodes, n_rows)`` split table.
+_ROW_BLOCK = 4096
+
+
+# ----------------------------------------------------------------------
+# Path-dependent: EXTEND / UNWIND as row-vectorized frontier updates
+# ----------------------------------------------------------------------
+def _extend_state(
+    state: tuple,
+    pz: float,
+    po: np.ndarray,
+    feat: int,
+) -> tuple:
+    """The recursion's ``_extend`` with per-row ``one_fraction``/
+    ``weight`` columns; same expression order, so bitwise identical
+    per row."""
+    features, zeros, ones, weights = state
+    length, n = weights.shape
+    new_ones = np.empty((length + 1, n))
+    new_ones[:length] = ones
+    new_ones[length] = po
+    new_weights = np.empty((length + 1, n))
+    new_weights[:length] = weights
+    new_weights[length] = 1.0 if length == 0 else 0.0
+    for i in range(length - 1, -1, -1):
+        new_weights[i + 1] += po * new_weights[i] * (i + 1) / (length + 1)
+        new_weights[i] = pz * new_weights[i] * (length - i) / (length + 1)
+    return features + (feat,), zeros + (pz,), new_ones, new_weights
+
+
+def _unwound_weights(
+    weights: np.ndarray, one: np.ndarray, zero: float
+) -> np.ndarray:
+    """The recursion's ``_unwind`` weight loop, vectorized across rows.
+
+    ``one`` is exactly ``0.0`` or ``1.0`` per row; the hot/cold branch
+    of the scalar code becomes a ``np.where`` select between the two
+    closed forms, each computed with the reference's expression order.
+    The hot denominator ``(j+1)*one`` is masked to 1.0 on cold rows
+    only to avoid spurious divide-by-zero work — those lanes are
+    discarded by the select.
+    """
+    last = weights.shape[0] - 1
+    # xailint: disable=XDB006 (exact-zero one-fraction guard, as in the scalar unwind)
+    hot = one != 0.0
+    carry = weights[last]
+    unwound = np.empty((last, weights.shape[1]))
+    for j in range(last - 1, -1, -1):
+        previous = weights[j]
+        denom = np.where(hot, (j + 1) * one, 1.0)
+        hot_weight = carry * (last + 1) / denom
+        cold_weight = previous * (last + 1) / (zero * (last - j))
+        unwound[j] = np.where(hot, hot_weight, cold_weight)
+        carry = np.where(
+            # xailint: disable=XDB023 (last + 1 = weights.shape[0] >= 1: UNWIND only runs on a non-empty path)
+            hot, previous - unwound[j] * zero * (last - j) / (last + 1), carry
+        )
+    return unwound
+
+
+def _unwind_state(state: tuple, index: int) -> tuple:
+    """Drop path entry ``index``: weights update in place (unshifted),
+    features/fractions shift down — exactly the scalar ``_unwind``."""
+    features, zeros, ones, weights = state
+    new_weights = _unwound_weights(weights, ones[index], zeros[index])
+    new_features = features[:index] + features[index + 1 :]
+    new_zeros = zeros[:index] + zeros[index + 1 :]
+    new_ones = np.concatenate([ones[:index], ones[index + 1 :]])
+    return new_features, new_zeros, new_ones, new_weights
+
+
+def _leaf_accumulate(state: tuple, value: float, phi: np.ndarray) -> None:
+    """At a leaf, unwind each path entry and fold its contribution into
+    ``phi[:, feature]`` — the recursion's leaf loop over all rows."""
+    features, zeros, ones, weights = state
+    length, n = weights.shape
+    last = length - 1
+    for i in range(1, length):
+        unwound = _unwound_weights(weights, ones[i], zeros[i])
+        total = np.zeros(n)
+        for j in range(last):
+            total += unwound[j]
+        phi[:, features[i]] += total * (ones[i] - zeros[i]) * value
+
+
+def _block_path_dependent(
+    kernel: EnsembleKernel,
+    X: np.ndarray,
+    out: np.ndarray,
+    scales: np.ndarray,
+) -> None:
+    """One row block: iterative left-first DFS per tree over the arena,
+    all rows advancing through every EXTEND/UNWIND together."""
+    n = X.shape[0]
+    left, right = kernel.left, kernel.right
+    feature, threshold = kernel.feature, kernel.threshold
+    covers, values = kernel.covers, kernel.values
+    is_internal = kernel.is_internal
+    # one arena-wide split evaluation: go_left[node] is the bool column
+    # "row follows the left child" (NaN compares False -> right, same
+    # as the scalar reference)
+    internal_ids = np.flatnonzero(is_internal)
+    go_left = np.zeros((left.shape[0], n), dtype=bool)
+    if internal_ids.size:
+        go_left[internal_ids] = (
+            X[:, feature[internal_ids]] <= threshold[internal_ids]
+        ).T
+    root_ones = np.ones(n)
+    for t in range(kernel.n_trees):
+        scale = float(scales[t])
+        phi = np.zeros(out.shape)
+        empty = ((), (), np.empty((0, n)), np.empty((0, n)))
+        stack: list[tuple] = [(int(kernel.offsets[t]), empty, 1.0, root_ones, -1)]
+        while stack:
+            node, state, pz, po, feat = stack.pop()
+            state = _extend_state(state, pz, po, feat)
+            if not is_internal[node]:
+                _leaf_accumulate(state, float(values[node]), phi)
+                continue
+            split = int(feature[node])
+            l, r = int(left[node]), int(right[node])
+            incoming_zero = 1.0
+            incoming_one = root_ones
+            path_features = state[0]
+            existing = None
+            for i in range(1, len(path_features)):
+                if path_features[i] == split:
+                    existing = i
+                    break
+            if existing is not None:
+                incoming_zero = state[1][existing]
+                incoming_one = state[2][existing]
+                state = _unwind_state(state, existing)
+            follows = go_left[node]
+            # left child first (normalized order); the hot fraction
+            # rides with whichever child the row follows
+            stack.append(
+                (
+                    r,
+                    state,
+                    incoming_zero * covers[r] / covers[node],
+                    np.where(follows, 0.0, incoming_one),
+                    split,
+                )
+            )
+            stack.append(
+                (
+                    l,
+                    state,
+                    incoming_zero * covers[l] / covers[node],
+                    np.where(follows, incoming_one, 0.0),
+                    split,
+                )
+            )
+        out += scale * phi
+
+
+def ensemble_path_dependent_shap(
+    kernel: EnsembleKernel,
+    X: np.ndarray,
+    n_features: int,
+    *,
+    scales: np.ndarray | None = None,
+    row_block: int = _ROW_BLOCK,
+) -> np.ndarray:
+    """Path-dependent TreeSHAP for all rows of ``X`` across every tree
+    of the arena: shape ``(n_rows, n_features)``.
+
+    Bitwise identical per row to the retained recursion::
+
+        phi = zeros(d)
+        for (tree, leaf_values, scale) in terms:
+            phi += scale * path_dependent_tree_shap(tree, leaf_values, x, d)
+
+    ``scales`` defaults to the pack's :attr:`EnsembleKernel.scales`
+    (set by :meth:`EnsembleKernel.for_terms`).
+    """
+    X = np.asarray(X, dtype=float)
+    if scales is None:
+        scales = kernel.scales
+    if scales is None:
+        scales = np.ones(kernel.n_trees)
+    out = np.zeros((X.shape[0], n_features))
+    for start in range(0, X.shape[0], row_block):
+        stop = min(start + row_block, X.shape[0])
+        _block_path_dependent(kernel, X[start:stop], out[start:stop], scales)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Interventional: leaf AND-games against the whole background at once
+# ----------------------------------------------------------------------
+def _factorial_tables(depth: int) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``(a-1)! b! / (a+b)!`` and ``a! (b-1)! / (a+b)!`` lookup
+    tables: the integer arithmetic happens in Python ints, so each cell
+    is the same correctly-rounded float the recursion computes."""
+    pos = np.zeros((depth + 1, depth + 1))
+    neg = np.zeros((depth + 1, depth + 1))
+    for a in range(depth + 1):
+        for b in range(depth + 1):
+            if a + b == 0:
+                continue
+            denom = factorial(a + b)
+            if a:
+                pos[a, b] = factorial(a - 1) * factorial(b) / denom
+            if b:
+                neg[a, b] = factorial(a) * factorial(b - 1) / denom
+    return pos, neg
+
+
+def _leaf_paths(
+    kernel: EnsembleKernel, tree_index: int
+) -> list[tuple[int, list[tuple[int, bool]]]]:
+    """Left-first DFS enumeration of one tree's leaves with their
+    decision paths ``[(arena_node, went_left), ...]`` — structural,
+    shared by every row."""
+    left, right = kernel.left, kernel.right
+    is_internal = kernel.is_internal
+    leaves: list[tuple[int, list[tuple[int, bool]]]] = []
+    stack: list[tuple[int, list[tuple[int, bool]]]] = [
+        (int(kernel.offsets[tree_index]), [])
+    ]
+    while stack:
+        node, path = stack.pop()
+        if not is_internal[node]:
+            leaves.append((node, path))
+            continue
+        stack.append((int(right[node]), path + [(node, False)]))
+        stack.append((int(left[node]), path + [(node, True)]))
+    return leaves
+
+
+def ensemble_interventional_shap(
+    kernel: EnsembleKernel,
+    x: np.ndarray,
+    background: np.ndarray,
+    *,
+    scales: np.ndarray | None = None,
+) -> np.ndarray:
+    """Interventional TreeSHAP of ``x`` against ``background`` across
+    every tree of the arena: shape ``(n_features,)``.
+
+    Bitwise identical (up to signs of exact zeros, via masked adds the
+    recursion skips) to::
+
+        phi = zeros(d)
+        for (tree, leaf_values, scale) in terms:
+            phi += scale * interventional_tree_shap(tree, leaf_values, x, background)
+    """
+    x = check_array(x, name="x", ndim=1)
+    Z = check_array(background, name="background", ndim=2)
+    if scales is None:
+        scales = kernel.scales
+    if scales is None:
+        scales = np.ones(kernel.n_trees)
+    n_background, d = Z.shape[0], x.shape[0]
+    feature, threshold = kernel.feature, kernel.threshold
+    internal_ids = np.flatnonzero(kernel.is_internal)
+    # split outcomes for x (per node) and every background row at once
+    x_goes_left = np.zeros(kernel.left.shape[0], dtype=bool)
+    z_goes_left = np.zeros((n_background, kernel.left.shape[0]), dtype=bool)
+    if internal_ids.size:
+        x_goes_left[internal_ids] = (
+            x[feature[internal_ids]] <= threshold[internal_ids]
+        )
+        z_goes_left[:, internal_ids] = (
+            Z[:, feature[internal_ids]] <= threshold[internal_ids]
+        )
+    pos_table = neg_table = None
+    out = np.zeros(d)
+    for t in range(kernel.n_trees):
+        contributions = np.zeros((n_background, d))
+        for leaf, path in _leaf_paths(kernel, t):
+            if not path:
+                continue  # single-node tree: x and z always agree
+            # group path occurrences by feature, first-occurrence order
+            order: list[int] = []
+            occurrences: dict[int, list[tuple[int, bool]]] = {}
+            for node, went_left in path:
+                f = int(feature[node])
+                if f not in occurrences:
+                    occurrences[f] = []
+                    order.append(f)
+                occurrences[f].append((node, went_left))
+            k = len(order)
+            x_match = np.empty(k, dtype=bool)
+            z_match = np.empty((n_background, k), dtype=bool)
+            for j, f in enumerate(order):
+                x_ok = True
+                z_ok = np.ones(n_background, dtype=bool)
+                for node, went_left in occurrences[f]:
+                    x_ok = x_ok and (bool(x_goes_left[node]) == went_left)
+                    z_ok &= z_goes_left[:, node] == went_left
+                x_match[j] = x_ok
+                z_match[:, j] = z_ok
+            # the leaf's AND-game: A = follow-x features, B = follow-z
+            in_a = x_match[None, :] & ~z_match
+            in_b = ~x_match[None, :] & z_match
+            reachable = (x_match[None, :] | z_match).all(axis=1)
+            a_sizes = in_a.sum(axis=1)
+            b_sizes = in_b.sum(axis=1)
+            valid = reachable & ((a_sizes + b_sizes) > 0)
+            if not valid.any():
+                continue
+            if pos_table is None or pos_table.shape[0] <= k:
+                pos_table, neg_table = _factorial_tables(max(k, 16))
+            value = float(kernel.values[leaf])
+            pos = pos_table[a_sizes, b_sizes] * value
+            neg = neg_table[a_sizes, b_sizes] * value
+            for j, f in enumerate(order):
+                contributions[:, f] += np.where(valid & in_a[:, j], pos, 0.0)
+                contributions[:, f] -= np.where(valid & in_b[:, j], neg, 0.0)
+        # fold background rows sequentially, then trees in term order —
+        # the retained recursion's accumulation structure
+        phi_tree = np.zeros(d)
+        for row in range(n_background):
+            phi_tree += contributions[row]
+        out += float(scales[t]) * (phi_tree / n_background)
+    return out

@@ -126,6 +126,16 @@ class EnsembleKernel:
         offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
         self.n_trees = len(structures)
         self.offsets = offsets
+        self.counts = counts
+        # training covers, packed alongside the routing arrays: the
+        # path-dependent TreeSHAP kernel weighs absent features by
+        # cover ratios, so the arena carries them too
+        self.covers = np.concatenate(
+            [np.asarray(tree.n_node_samples) for tree in structures]
+        )
+        #: per-tree output scales (set by :meth:`for_terms`); ``None``
+        #: for inference packs, which apply scales via ``accumulate``
+        self.scales: np.ndarray | None = None
         left = []
         right = []
         feature = []
@@ -173,6 +183,26 @@ class EnsembleKernel:
         regressors and GBM stages."""
         values = np.concatenate([tree.value[:, 0] for tree in structures])
         return cls(structures, values)
+
+    @classmethod
+    def for_terms(cls, terms: list) -> "EnsembleKernel":
+        """Pack a :class:`TreeShapExplainer` term decomposition —
+        ``(structure, leaf_scalars, scale)`` triples — into one arena.
+
+        Unlike the inference factories, the scalar node values come
+        from the explainer's decomposition (a class-probability column,
+        a realigned bootstrap column, a GBM stage) rather than
+        ``tree.value``, and the per-term output scales ride along in
+        :attr:`scales` so the SHAP kernels can fold trees in term
+        order.
+        """
+        structures = [tree for tree, _, _ in terms]
+        values = np.concatenate(
+            [np.asarray(leaf_scalars, dtype=float) for _, leaf_scalars, _ in terms]
+        )
+        kernel = cls(structures, values)
+        kernel.scales = np.asarray([scale for _, _, scale in terms], dtype=float)
+        return kernel
 
     # ------------------------------------------------------------------
     def apply(self, X: np.ndarray) -> np.ndarray:

@@ -19,7 +19,7 @@ import numpy as np
 
 from xaidb.exceptions import ValidationError
 from xaidb.runtime.cache import DEFAULT_MAX_ENTRIES, CoalitionCache
-from xaidb.runtime.parallel import parallel_map
+from xaidb.runtime.parallel import WorkerPool, parallel_map, resolve_shared
 from xaidb.runtime.stats import EvalStats
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -37,6 +37,7 @@ def _values_batch_chunk(task) -> np.ndarray:
     bound method of the wrapped game, so the chunk only ships when the
     game itself is picklable."""
     batch_fn, masks, max_batch_rows, supports_chunks = task
+    masks = resolve_shared(masks)
     if supports_chunks:
         return np.asarray(
             batch_fn(masks, max_batch_rows=max_batch_rows), dtype=float
@@ -210,7 +211,14 @@ class GameRuntime:
                     unique_rows.append(int(row))
                 else:
                     position.append(slot)
-            unique_masks = masks[unique_rows]
+            if len(unique_rows) == masks.shape[0]:
+                # Nothing cached and no duplicates: evaluate the
+                # caller's array as-is.  Preserving object identity is
+                # what lets the worker pool's ``share()`` memo hit for
+                # read-only arena designs (and skips a full-array copy).
+                unique_masks = masks
+            else:
+                unique_masks = masks[unique_rows]
             self.stats.cache_misses += len(unique_rows)
             self.stats.cache_hits += len(missing) - len(unique_rows)
             unique_values = self._evaluate(unique_masks)
@@ -238,16 +246,34 @@ class GameRuntime:
                 and masks.shape[0] >= 2 * n_jobs
             ):
                 chunks = np.array_split(masks, n_jobs)
+                payloads: list = chunks
+                if not masks.flags.writeable:
+                    # Read-only masks are arena designs with stable
+                    # object identity: place them in shared memory once
+                    # (``share`` memoises per source object) and ship
+                    # pickle-cheap window handles instead of per-task
+                    # mask copies.  Writable masks are one-shot arrays
+                    # — sharing them would pin them in the arena for
+                    # the life of the pool, so those still travel by
+                    # pickle.
+                    ref = WorkerPool.get().share(masks)
+                    edges = np.cumsum(
+                        [0] + [chunk.shape[0] for chunk in chunks]
+                    )
+                    payloads = [
+                        ref.slice(edges[k], edges[k + 1])
+                        for k in range(len(chunks))
+                    ]
                 parts = parallel_map(
                     _values_batch_chunk,
                     [
                         (
                             self._batch_fn,
-                            chunk,
+                            payload,
                             self.config.max_batch_rows,
                             self._batch_fn_chunks,
                         )
-                        for chunk in chunks
+                        for payload in payloads
                     ],
                     n_jobs=n_jobs,
                     stats=self.stats,

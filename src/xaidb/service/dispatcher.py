@@ -10,9 +10,10 @@ per instance, which keeps the batched results **bitwise identical** to
 the per-request serial path (asserted in ``tests/service/`` and by
 benchmark A12).
 
-Built-in explainer names: ``"lime"``, ``"kernel_shap"``, ``"anchors"``.
-Custom backends register via :meth:`Dispatcher.register_explainer` with
-a factory ``(entry, config) -> (instances, seeds) -> (results, stats)``.
+Built-in explainer names: ``"lime"``, ``"kernel_shap"``, ``"anchors"``,
+``"tree_shap"``.  Custom backends register via
+:meth:`Dispatcher.register_explainer` with a factory
+``(entry, config) -> (instances, seeds) -> (results, stats)``.
 """
 
 from __future__ import annotations
@@ -25,7 +26,7 @@ import numpy as np
 from xaidb.data.dataset import Dataset
 from xaidb.explainers.base import PredictFn
 from xaidb.explainers.lime import LimeExplainer
-from xaidb.explainers.shapley import KernelShapExplainer
+from xaidb.explainers.shapley import KernelShapExplainer, TreeShapExplainer
 from xaidb.rules.anchors import AnchorsExplainer
 from xaidb.runtime.stats import EvalStats
 from xaidb.service.types import (
@@ -49,35 +50,37 @@ BackendFactory = Callable[["ModelEntry", dict[str, Any]], BackendFn]
 class ModelEntry:
     """One served model: its prediction function plus the side inputs
     different explainer families need (training data for LIME/Anchors
-    perturbation statistics, background rows for KernelSHAP)."""
+    perturbation statistics, background rows for KernelSHAP, the fitted
+    model object itself for TreeSHAP's structure traversal)."""
 
     digest: str
     predict_fn: PredictFn
     dataset: Dataset | None = None
     background: np.ndarray | None = None
+    model: Any | None = None
 
 
 # ----------------------------------------------------------- built-ins
-def _lime_factory(entry: ModelEntry, config: dict[str, Any]) -> BackendFn:
+#
+# Every built-in backend has the same run shape — construct the
+# explainer once from the entry's side inputs, then feed each coalesced
+# batch to ``explain_batch`` with the per-instance seeds and return the
+# shared ledger.  Only the construction differs, so built-ins are a
+# *table of constructors* and one generic factory; the seed-threading
+# closure is written once instead of once per family (the historical
+# copy-paste drifted three times before ``tree_shap`` would have made
+# it four).
+
+
+def _require_dataset(entry: ModelEntry, need: str) -> Dataset:
     if entry.dataset is None:
         raise UnknownModelError(
-            f"model {entry.digest!r} has no dataset; LIME needs one for "
-            f"perturbation statistics"
+            f"model {entry.digest!r} has no dataset; {need}"
         )
-    explainer = LimeExplainer(entry.dataset, **config)
-
-    def run(instances, seeds):
-        results = explainer.explain_batch(
-            entry.predict_fn, instances, seeds=seeds
-        )
-        return results, explainer.batch_stats_
-
-    return run
+    return entry.dataset
 
 
-def _kernel_shap_factory(
-    entry: ModelEntry, config: dict[str, Any]
-) -> BackendFn:
+def _resolve_background(entry: ModelEntry) -> np.ndarray:
     background = entry.background
     if background is None and entry.dataset is not None:
         background = entry.dataset.X
@@ -86,36 +89,80 @@ def _kernel_shap_factory(
             f"model {entry.digest!r} has neither background rows nor a "
             f"dataset; KernelSHAP needs a background"
         )
-    explainer = KernelShapExplainer(
-        entry.predict_fn, background, **config
+    return background
+
+
+def _build_lime(entry: ModelEntry, config: dict[str, Any]):
+    dataset = _require_dataset(
+        entry, "LIME needs one for perturbation statistics"
+    )
+    return LimeExplainer(dataset, **config)
+
+
+def _build_kernel_shap(entry: ModelEntry, config: dict[str, Any]):
+    return KernelShapExplainer(
+        entry.predict_fn, _resolve_background(entry), **config
     )
 
-    def run(instances, seeds):
-        results = explainer.explain_batch(instances, seeds=seeds)
-        return results, explainer.batch_stats_
 
-    return run
+def _build_anchors(entry: ModelEntry, config: dict[str, Any]):
+    dataset = _require_dataset(
+        entry, "Anchors needs one for its perturbation distribution"
+    )
+    return AnchorsExplainer(entry.predict_fn, dataset, **config)
 
 
-def _anchors_factory(entry: ModelEntry, config: dict[str, Any]) -> BackendFn:
-    if entry.dataset is None:
+def _build_tree_shap(entry: ModelEntry, config: dict[str, Any]):
+    if entry.model is None:
         raise UnknownModelError(
-            f"model {entry.digest!r} has no dataset; Anchors needs one "
-            f"for its perturbation distribution"
+            f"model {entry.digest!r} has no fitted model object; "
+            f"tree_shap traverses the tree structures themselves"
         )
-    explainer = AnchorsExplainer(entry.predict_fn, entry.dataset, **config)
+    return TreeShapExplainer(entry.model, **config)
 
-    def run(instances, seeds):
-        results = explainer.explain_batch(instances, seeds=seeds)
-        return results, explainer.batch_stats_
 
-    return run
+def _run_with_predict_fn(explainer, entry, instances, seeds):
+    # LIME's batch entry point takes the prediction function per call
+    return explainer.explain_batch(entry.predict_fn, instances, seeds=seeds)
+
+
+def _run_plain(explainer, entry, instances, seeds):
+    return explainer.explain_batch(instances, seeds=seeds)
+
+
+@dataclass(frozen=True)
+class _BuiltinSpec:
+    """Declarative recipe for one built-in backend."""
+
+    build: Callable[[ModelEntry, dict[str, Any]], Any]
+    run: Callable[[Any, ModelEntry, np.ndarray, list], list] = _run_plain
+
+
+_BUILTIN_SPECS: dict[str, _BuiltinSpec] = {
+    "lime": _BuiltinSpec(build=_build_lime, run=_run_with_predict_fn),
+    "kernel_shap": _BuiltinSpec(build=_build_kernel_shap),
+    "anchors": _BuiltinSpec(build=_build_anchors),
+    # seeds are accepted and ignored — TreeSHAP is deterministic, but
+    # the dispatcher threads per-instance seeds uniformly
+    "tree_shap": _BuiltinSpec(build=_build_tree_shap),
+}
+
+
+def _spec_factory(spec: _BuiltinSpec) -> BackendFactory:
+    def factory(entry: ModelEntry, config: dict[str, Any]) -> BackendFn:
+        explainer = spec.build(entry, config)
+
+        def run(instances, seeds):
+            results = spec.run(explainer, entry, instances, seeds)
+            return results, getattr(explainer, "batch_stats_", None)
+
+        return run
+
+    return factory
 
 
 _BUILTIN_FACTORIES: dict[str, BackendFactory] = {
-    "lime": _lime_factory,
-    "kernel_shap": _kernel_shap_factory,
-    "anchors": _anchors_factory,
+    name: _spec_factory(spec) for name, spec in _BUILTIN_SPECS.items()
 }
 
 
@@ -144,9 +191,15 @@ class Dispatcher:
         *,
         dataset: Dataset | None = None,
         background: np.ndarray | None = None,
+        model: Any | None = None,
     ) -> ModelEntry:
         """Register a served model under ``digest``; re-registering a
-        digest replaces the entry and drops its cached backends."""
+        digest replaces the entry and drops its cached backends.
+
+        ``model`` is the fitted model object itself — required only by
+        structure-walking backends (``tree_shap``); prediction-function
+        backends never touch it.
+        """
         entry = ModelEntry(
             digest=digest,
             predict_fn=predict_fn,
@@ -156,6 +209,7 @@ class Dispatcher:
                 if background is None
                 else np.asarray(background, dtype=float)
             ),
+            model=model,
         )
         self._models[digest] = entry
         self._backends = {

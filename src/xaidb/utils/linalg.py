@@ -8,6 +8,7 @@ from xaidb.exceptions import ConvergenceError
 
 __all__ = [
     "solve_psd",
+    "solve_psd_stacked",
     "conjugate_gradient",
     "batched_outer_sum",
     "logsumexp",
@@ -33,6 +34,40 @@ def solve_psd(matrix: np.ndarray, rhs: np.ndarray, *, ridge: float = 0.0) -> np.
     except np.linalg.LinAlgError:
         solution, *_ = np.linalg.lstsq(a, rhs, rcond=None)
         return solution
+
+
+def solve_psd_stacked(
+    matrix: np.ndarray, rhs_columns: np.ndarray, *, ridge: float = 0.0
+) -> np.ndarray:
+    """Solve ``(matrix + ridge*I) X = rhs_columns`` for many right-hand
+    sides, factorizing once and substituting column by column.
+
+    Column ``k`` of the result is **bitwise identical** to
+    ``solve_psd(matrix, rhs_columns[:, k])``: the Cholesky factor of a
+    given matrix is deterministic, and the per-column triangular solves
+    replay exactly the single-RHS path.  The obvious one-shot
+    multi-RHS ``np.linalg.solve(a, rhs_columns)`` is deliberately
+    avoided — the blocked (gemm-based) BLAS kernels it dispatches to
+    are *not* column-for-column identical to the vector path, so it
+    would break the stacked-solve == per-instance-solve contract the
+    batched KernelSHAP relies on.  The factorization is still shared,
+    which is where the time goes.
+    """
+    a = np.asarray(matrix, dtype=float)
+    if ridge:
+        a = a + ridge * np.eye(a.shape[0])
+    rhs = np.asarray(rhs_columns, dtype=float)
+    out = np.empty((a.shape[0], rhs.shape[1]))
+    try:
+        chol = np.linalg.cholesky(a)
+    except np.linalg.LinAlgError:
+        for k in range(rhs.shape[1]):
+            out[:, k] = np.linalg.lstsq(a, rhs[:, k], rcond=None)[0]
+        return out
+    for k in range(rhs.shape[1]):
+        y = np.linalg.solve(chol, rhs[:, k])
+        out[:, k] = np.linalg.solve(chol.T, y)
+    return out
 
 
 def conjugate_gradient(

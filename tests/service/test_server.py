@@ -25,7 +25,7 @@ import pytest
 from xaidb.data import make_income
 from xaidb.explainers.base import predict_positive_proba
 from xaidb.explainers.lime import LimeExplainer
-from xaidb.explainers.shapley import KernelShapExplainer
+from xaidb.explainers.shapley import KernelShapExplainer, TreeShapExplainer
 from xaidb.models import RandomForestClassifier
 from xaidb.rules.anchors import AnchorsExplainer
 from xaidb.service import (
@@ -145,6 +145,46 @@ def test_distinct_configs_do_not_coalesce(served):
 
     responses = asyncio.run(burst())
     assert all(response.batch_size == 1 for response in responses)
+
+
+def test_tree_shap_backend_bitwise_equal_per_row():
+    workload = make_income(250, random_state=3)
+    dataset = workload.dataset
+    model = RandomForestClassifier(
+        n_estimators=5, max_depth=4, random_state=0
+    ).fit(dataset.X, dataset.y)
+    dispatcher = Dispatcher()
+    dispatcher.register_model(
+        "forest", predict_positive_proba(model), model=model
+    )
+
+    async def burst():
+        async with ExplanationServer(
+            dispatcher, max_batch_size=16, max_wait_s=0.05
+        ) as server:
+            requests = [
+                ExplainRequest(
+                    model="forest",
+                    explainer="tree_shap",
+                    instance=dataset.X[i],
+                    config={},
+                    random_state=i,
+                )
+                for i in range(5)
+            ]
+            responses = await asyncio.gather(
+                *(server.submit(request) for request in requests)
+            )
+            return responses
+
+    responses = asyncio.run(burst())
+    assert all(response.batch_size == 5 for response in responses)
+    reference = TreeShapExplainer(model)
+    for i, response in enumerate(responses):
+        serial = reference.explain(dataset.X[i])
+        assert np.array_equal(response.result.values, serial.values)
+        assert response.result.base_value == serial.base_value
+        assert response.result.metadata["batched"] is True
 
 
 # ----------------------------------------------------- deadlines / shed

@@ -33,7 +33,14 @@ Runs, in order, stopping at the first failure:
    ``XAIDB_A14_SMOKE``) — the same warm≡cold identity for the
    typestate (pass F) and may-raise (pass G) summaries, so the
    XDB028-XDB032 tier replays from cache without losing its
-   interprocedural witnesses.
+   interprocedural witnesses;
+8. a smoke run of the A15 explainer-kernel benchmark
+   (``benchmarks/bench_a15_explainer_kernels.py``, reduced workloads
+   via ``XAIDB_A15_SMOKE``) — proves the arena-wide TreeSHAP and
+   stacked-KernelSHAP batch paths stay bitwise identical to the
+   retained per-row/per-instance references and meaningfully faster,
+   so a regression in the vectorized explainer kernels cannot land
+   silently.
 
 Usage::
 
@@ -189,6 +196,20 @@ STEPS: list[tuple[str, list[str]]] = [
             str(REPO_ROOT / "benchmarks" / "bench_a14_typestate_lint.py"),
         ],
     ),
+    (
+        "A15 explainer-kernel smoke",
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "-q",
+            "--benchmark-only",
+            "--benchmark-disable-gc",
+            str(
+                REPO_ROOT / "benchmarks" / "bench_a15_explainer_kernels.py"
+            ),
+        ],
+    ),
 ]
 
 #: The A10 smoke shrinks the workload (the >= 10x bar applies at the
@@ -207,6 +228,11 @@ _ENV.setdefault("XAIDB_A13_SMOKE", "1")
 #: The A14 smoke scans the protocol-dense modules (service, runtime,
 #: analysis) and likewise skips the BENCH_lint.json write.
 _ENV.setdefault("XAIDB_A14_SMOKE", "1")
+
+#: The A15 smoke shrinks every explainer workload, loosens the speedup
+#: bars and skips the BENCH_inference.json write (the committed record
+#: reflects full runs — see the bench module docstring).
+_ENV.setdefault("XAIDB_A15_SMOKE", "1")
 
 
 def main(argv: list[str] | None = None) -> int:
